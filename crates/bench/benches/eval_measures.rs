@@ -1,0 +1,45 @@
+//! Quality-measure benchmarks: E4SC / F1 / RNIA / CE on clusterings of
+//! growing size (the measures run once per experiment cell, so they must
+//! stay cheap relative to the clustering itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p3c_dataset::{Clustering, ProjectedCluster};
+use p3c_eval::{ce, e4sc, f1_object, rnia};
+use std::collections::BTreeSet;
+
+fn synthetic_clustering(n: usize, k: usize, shift: usize) -> Clustering {
+    let per = n / k;
+    let clusters = (0..k)
+        .map(|c| {
+            let lo = c * per + shift;
+            let points: Vec<usize> = (lo..lo + per).collect();
+            let attrs: BTreeSet<usize> = (c % 5..c % 5 + 4).collect();
+            ProjectedCluster::new(points, attrs, vec![])
+        })
+        .collect();
+    Clustering::new(clusters, vec![])
+}
+
+fn bench_measures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_measures");
+    for &n in &[10_000usize, 100_000] {
+        let found = synthetic_clustering(n, 7, 50);
+        let hidden = synthetic_clustering(n, 7, 0);
+        group.bench_with_input(BenchmarkId::new("e4sc", n), &n, |b, _| {
+            b.iter(|| e4sc(&found, &hidden))
+        });
+        group.bench_with_input(BenchmarkId::new("f1", n), &n, |b, _| {
+            b.iter(|| f1_object(&found, &hidden))
+        });
+        group.bench_with_input(BenchmarkId::new("rnia", n), &n, |b, _| {
+            b.iter(|| rnia(&found, &hidden))
+        });
+        group.bench_with_input(BenchmarkId::new("ce", n), &n, |b, _| {
+            b.iter(|| ce(&found, &hidden))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_measures);
+criterion_main!(benches);

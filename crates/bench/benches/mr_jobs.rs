@@ -1,0 +1,65 @@
+//! Engine-level benchmarks: histogram job, candidate proving job, and the
+//! raw shuffle, at several split sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use p3c_core::mr::coregen::proving_job;
+use p3c_core::mr::histogram::histogram_job;
+use p3c_core::types::{Interval, Signature};
+use p3c_datagen::{generate, SyntheticSpec};
+use p3c_mapreduce::{Emitter, Engine, MrConfig};
+
+fn bench_mr_jobs(c: &mut Criterion) {
+    let data = generate(&SyntheticSpec {
+        n: 50_000,
+        d: 20,
+        num_clusters: 3,
+        noise_fraction: 0.1,
+        max_cluster_dims: 6,
+        seed: 5,
+        ..SyntheticSpec::default()
+    });
+    let rows = data.dataset.row_refs();
+    let n = rows.len() as u64;
+
+    let mut group = c.benchmark_group("mr_jobs");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n));
+
+    for &split_size in &[2_048usize, 16_384] {
+        let engine =
+            Engine::new(MrConfig { split_size, num_reducers: 8, ..MrConfig::default() });
+        group.bench_with_input(
+            BenchmarkId::new("histogram_job", split_size),
+            &engine,
+            |b, eng| b.iter(|| histogram_job(eng, &rows, &[32; 20]).unwrap()),
+        );
+    }
+
+    let candidates: Vec<Signature> = (0..128)
+        .map(|i| {
+            Signature::new(vec![
+                Interval::new(i % 10, (i / 10) % 8, (i / 10) % 8 + 2, 16),
+                Interval::new(10 + (i % 10), i % 8, i % 8 + 3, 16),
+            ])
+        })
+        .collect();
+    let engine = Engine::new(MrConfig { split_size: 8_192, ..MrConfig::default() });
+    group.bench_function("proving_job_128_candidates", |b| {
+        b.iter(|| proving_job(&engine, &candidates, &rows).unwrap())
+    });
+
+    // Raw shuffle throughput: identity map + counting reduce.
+    let ints: Vec<u64> = (0..200_000).collect();
+    let mapper = |r: &u64, out: &mut Emitter<u64, u64>| out.emit(r % 1024, 1);
+    let reducer = |k: &u64, vs: Vec<u64>, out: &mut Vec<(u64, u64)>| {
+        out.push((*k, vs.into_iter().sum()));
+    };
+    group.throughput(Throughput::Elements(ints.len() as u64));
+    group.bench_function("shuffle_200k_records", |b| {
+        b.iter(|| engine.run("bench-shuffle", &ints, &mapper, &reducer).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mr_jobs);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! End-to-end pipeline benchmarks — the Figure 7 quantities as criterion
+//! measurements: BoW (Light/MVB), P3C+-MR (Light/MVB/Naive) at two sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use p3c_bench::experiments::{run_algo, Algo};
+use p3c_datagen::{generate, SyntheticSpec};
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipelines");
+    group.sample_size(10);
+    for &n in &[5_000usize, 20_000] {
+        let data = generate(&SyntheticSpec {
+            n,
+            d: 20,
+            num_clusters: 5,
+            noise_fraction: 0.1,
+            max_cluster_dims: 6,
+            seed: 7,
+            ..SyntheticSpec::default()
+        });
+        group.throughput(Throughput::Elements(n as u64));
+        for algo in
+            [Algo::BowLight, Algo::BowMvb, Algo::MrLight, Algo::MrMvb, Algo::MrNaive]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(algo.label().replace(' ', "_"), n),
+                &data.dataset,
+                |b, ds| b.iter(|| run_algo(algo, ds, 1_000)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Microbenchmark for the Poisson support test (Figure 1's machinery):
+//! exact incomplete-gamma tail vs the Gaussian σ-unit approximation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use p3c_stats::PoissonTest;
+
+fn bench_poisson(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poisson_test");
+    for &lambda in &[10.0, 1_000.0, 100_000.0] {
+        group.bench_with_input(
+            BenchmarkId::new("exact_tail", lambda as u64),
+            &lambda,
+            |b, &l| {
+                b.iter(|| PoissonTest::tail_prob_exact(black_box(1.01 * l), black_box(l)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gauss_tail", lambda as u64),
+            &lambda,
+            |b, &l| {
+                b.iter(|| PoissonTest::tail_prob_gauss(black_box(1.01 * l), black_box(l)))
+            },
+        );
+    }
+    let test = PoissonTest::new(1e-10);
+    group.bench_function("significantly_larger", |b| {
+        b.iter(|| test.significantly_larger(black_box(1_200.0), black_box(1_000.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_poisson);
+criterion_main!(benches);

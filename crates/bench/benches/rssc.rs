@@ -1,0 +1,63 @@
+//! Section 5.3 ablation: the Rapid Signature Support Counter vs the naive
+//! per-candidate containment scan, across candidate-set sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use p3c_core::support::{count_supports_naive, count_supports_rssc};
+use p3c_core::types::{Interval, Signature};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BINS: usize = 20;
+const DIMS: usize = 20;
+
+fn make_candidates(count: usize, rng: &mut StdRng) -> Vec<Signature> {
+    (0..count)
+        .map(|_| {
+            let p = rng.gen_range(1..=3usize);
+            let mut attrs: Vec<usize> = (0..DIMS).collect();
+            // Partial shuffle for attribute selection.
+            for i in 0..p {
+                let j = rng.gen_range(i..DIMS);
+                attrs.swap(i, j);
+            }
+            let intervals = (0..p)
+                .map(|i| {
+                    let lo = rng.gen_range(0..BINS - 1);
+                    let hi = rng.gen_range(lo..BINS.min(lo + 4));
+                    Interval::new(attrs[i], lo, hi, BINS)
+                })
+                .collect();
+            Signature::new(intervals)
+        })
+        .collect()
+}
+
+fn bench_rssc(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let data: Vec<Vec<f64>> =
+        (0..20_000).map(|_| (0..DIMS).map(|_| rng.gen::<f64>()).collect()).collect();
+    let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+
+    let mut group = c.benchmark_group("support_counting");
+    group.sample_size(10);
+    for &count in &[64usize, 512, 4_096] {
+        let candidates = make_candidates(count, &mut rng);
+        group.throughput(Throughput::Elements((rows.len() * count) as u64));
+        group.bench_with_input(BenchmarkId::new("rssc", count), &candidates, |b, cands| {
+            b.iter(|| count_supports_rssc(cands, &rows))
+        });
+        // The naive oracle becomes unbearable past ~1k candidates; bench
+        // it only where it finishes quickly, which is exactly the point.
+        if count <= 512 {
+            group.bench_with_input(
+                BenchmarkId::new("naive", count),
+                &candidates,
+                |b, cands| b.iter(|| count_supports_naive(cands, &rows)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rssc);
+criterion_main!(benches);

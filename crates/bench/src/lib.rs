@@ -1,0 +1,45 @@
+//! The experiment harness regenerating every table and figure of the
+//! paper's evaluation (Section 7).
+//!
+//! Each `fig*` function in [`experiments`] reproduces one figure as a
+//! [`report::Report`] — the same series the paper plots — and can be run
+//! at configurable scale (the paper's largest runs used a 112-reducer
+//! Hadoop cluster and up to 10⁹ points; the defaults here reproduce the
+//! *shape* of every result on one machine, see DESIGN.md §1).
+//!
+//! The `experiments` binary (this crate's `src/bin/experiments.rs`) runs
+//! them all and writes `results/*.{json,md}`, from which EXPERIMENTS.md
+//! is assembled.
+
+pub mod experiments;
+pub mod report;
+
+/// Scale preset for the experiment suite.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Multiplier applied to the default database sizes (1.0 = defaults;
+    /// 0.1 = smoke test).
+    pub factor: f64,
+    /// Data dimensionality (the paper: 50).
+    pub dims: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self { factor: 1.0, dims: 50, seed: 7 }
+    }
+}
+
+impl Scale {
+    /// A fast configuration for CI and tests.
+    pub fn smoke() -> Self {
+        Self { factor: 0.05, dims: 12, ..Self::default() }
+    }
+
+    /// Applies the factor to a base size (at least 500 points).
+    pub fn size(&self, base: usize) -> usize {
+        ((base as f64 * self.factor) as usize).max(500)
+    }
+}

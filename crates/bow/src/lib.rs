@@ -1,0 +1,22 @@
+//! BoW — the "Best of both Worlds" sample-and-merge MapReduce clustering
+//! framework of Cordeiro et al. (KDD 2011), reimplemented as the paper's
+//! competitor (Sections 2 and 7).
+//!
+//! BoW parallelizes any clustering algorithm whose results are
+//! hyperrectangles: the data is hash-partitioned over reducers, each
+//! reducer clusters a bounded *sample* of its partition, and the partial
+//! results are combined by merging intersecting hyperrectangles into
+//! larger ones. The evaluation plugs in the serial P3C+ in two flavors —
+//! **BoW (Light)** (no EM/OD finishing) and **BoW (MVB)** (full pipeline
+//! with MVB outlier detection) — matching the paper's two BoW series.
+//!
+//! BoW is *approximate* by construction: per-partition samples see a
+//! distorted distribution, and rectangles that drift in one partition
+//! blur the merged result. The quality experiments (Figure 6) exist to
+//! show exactly that.
+
+pub mod pipeline;
+pub mod rect;
+
+pub use pipeline::{Bow, BowConfig, BowResult, BowStrategy, BowVariant};
+pub use rect::{merge_rectangles, Rect};

@@ -1,0 +1,90 @@
+//! Property tests for the BoW rectangle merge phase.
+
+use p3c_bow::{merge_rectangles, Rect};
+use p3c_dataset::AttrInterval;
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    prop::collection::btree_map(0usize..6, (0.0f64..0.8, 0.01f64..0.2), 1..4).prop_map(
+        |m| {
+            Rect::new(
+                m.into_iter()
+                    .map(|(attr, (lo, w))| AttrInterval::new(attr, lo, (lo + w).min(1.0))),
+            )
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn merge_is_order_independent(rects in prop::collection::vec(arb_rect(), 0..12), seed in 0u64..100) {
+        let a = merge_rectangles(rects.clone(), 0.5);
+        // Shuffle deterministically by the seed.
+        let mut shuffled = rects;
+        let len = shuffled.len();
+        if len > 1 {
+            for i in 0..len {
+                let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % len;
+                shuffled.swap(i, j);
+            }
+        }
+        let b = merge_rectangles(shuffled, 0.5);
+        prop_assert_eq!(a.len(), b.len());
+        // Canonical order makes the sets comparable directly.
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_intervals().len(), y.to_intervals().len());
+        }
+    }
+
+    #[test]
+    fn merge_is_idempotent(rects in prop::collection::vec(arb_rect(), 0..12)) {
+        let once = merge_rectangles(rects, 0.5);
+        let twice = merge_rectangles(once.clone(), 0.5);
+        prop_assert_eq!(once.len(), twice.len());
+    }
+
+    #[test]
+    fn merge_never_increases_count(rects in prop::collection::vec(arb_rect(), 0..12)) {
+        let n = rects.len();
+        let merged = merge_rectangles(rects, 0.5);
+        prop_assert!(merged.len() <= n);
+    }
+
+    #[test]
+    fn merged_rectangles_cover_inputs(rects in prop::collection::vec(arb_rect(), 1..8)) {
+        // Every input rectangle's center point (on its own attributes)
+        // must be contained in some merged rectangle restricted to shared
+        // attributes — merging only ever widens.
+        let merged = merge_rectangles(rects.clone(), 0.5);
+        for r in &rects {
+            let mut center = [0.5; 6];
+            for iv in r.to_intervals() {
+                center[iv.attr] = 0.5 * (iv.lo + iv.hi);
+            }
+            let covered = merged.iter().any(|m| {
+                m.to_intervals().iter().all(|iv| {
+                    // Only check attrs that r also constrains; merged rects
+                    // may constrain more (union of attribute sets).
+                    match r.interval(iv.attr) {
+                        Some(_) => iv.lo <= center[iv.attr] && center[iv.attr] <= iv.hi,
+                        None => true,
+                    }
+                })
+            });
+            prop_assert!(covered, "input rectangle center escaped all merged rects");
+        }
+    }
+
+    #[test]
+    fn pairwise_unmergeable_output(rects in prop::collection::vec(arb_rect(), 0..10)) {
+        let merged = merge_rectangles(rects, 0.5);
+        for i in 0..merged.len() {
+            for j in (i + 1)..merged.len() {
+                prop_assert!(
+                    !merged[i].should_merge(&merged[j], 0.5),
+                    "merge did not reach a fixed point"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Argument parsing for the `p3c` binary (hand-rolled: the workspace's
+//! dependency budget has no CLI framework, and the grammar is small).
+
+use std::fmt;
+
+/// Which algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Original P3C (serial).
+    P3c,
+    /// P3C+ full pipeline (serial).
+    P3cPlus,
+    /// P3C+-Light (serial).
+    Light,
+    /// P3C+-MR full pipeline.
+    Mr,
+    /// P3C+-MR-Light.
+    MrLight,
+    /// BoW with per-partition P3C+-Light.
+    Bow,
+}
+
+impl Algorithm {
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "p3c" => Some(Self::P3c),
+            "p3c+" | "p3cplus" => Some(Self::P3cPlus),
+            "light" | "p3c+light" => Some(Self::Light),
+            "mr" | "p3c+mr" => Some(Self::Mr),
+            "mr-light" | "mrlight" => Some(Self::MrLight),
+            "bow" => Some(Self::Bow),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::P3c => "p3c",
+            Self::P3cPlus => "p3c+",
+            Self::Light => "light",
+            Self::Mr => "mr",
+            Self::MrLight => "mr-light",
+            Self::Bow => "bow",
+        }
+    }
+}
+
+/// Output format of the `cluster` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Human-readable summary.
+    Text,
+    /// Full clustering as JSON.
+    Json,
+}
+
+/// A parsed synthetic-workload shape `NxD`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shape {
+    pub n: usize,
+    pub d: usize,
+}
+
+fn parse_shape(s: &str) -> Option<Shape> {
+    let (n, d) = s.split_once(['x', 'X'])?;
+    Some(Shape { n: n.parse().ok()?, d: d.parse().ok()? })
+}
+
+/// The `p3c` subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Cluster a dataset.
+    Cluster {
+        /// Text-format input file (see `p3c_dataset::persist`); mutually
+        /// exclusive with `synthetic`.
+        input: Option<String>,
+        /// Synthetic workload shape.
+        synthetic: Option<Shape>,
+        algorithm: Algorithm,
+        /// Hidden clusters for the synthetic workload.
+        clusters: usize,
+        /// Noise fraction for the synthetic workload.
+        noise: f64,
+        seed: u64,
+        /// Poisson significance level.
+        alpha: f64,
+        output: OutputFormat,
+        /// Report E4SC against the synthetic ground truth.
+        evaluate: bool,
+    },
+    /// Generate a synthetic dataset to a file.
+    Generate { synthetic: Shape, clusters: usize, noise: f64, seed: u64, out: String },
+    /// Print usage.
+    Help,
+}
+
+/// Parse result plus any warnings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedArgs {
+    pub command: Command,
+}
+
+/// Parse errors with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses the argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<ParsedArgs, ParseError> {
+    let mut it = args.iter().map(String::as_str);
+    let command = match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            return Ok(ParsedArgs { command: Command::Help })
+        }
+        Some("cluster") => parse_cluster(&mut it)?,
+        Some("generate") => parse_generate(&mut it)?,
+        Some(other) => {
+            return Err(ParseError(format!(
+                "unknown command '{other}' (expected cluster | generate | help)"
+            )))
+        }
+    };
+    Ok(ParsedArgs { command })
+}
+
+fn next_value<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    flag: &str,
+) -> Result<&'a str, ParseError> {
+    it.next().ok_or_else(|| ParseError(format!("{flag} needs a value")))
+}
+
+fn parse_cluster<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, ParseError> {
+    let mut input = None;
+    let mut synthetic = None;
+    let mut algorithm = Algorithm::P3cPlus;
+    let mut clusters = 3;
+    let mut noise = 0.1;
+    let mut seed = 0;
+    let mut alpha = 1e-10;
+    let mut output = OutputFormat::Text;
+    let mut evaluate = false;
+    while let Some(arg) = it.next() {
+        match arg {
+            "--input" | "-i" => input = Some(next_value(it, arg)?.to_string()),
+            "--synthetic" => {
+                let v = next_value(it, arg)?;
+                synthetic = Some(
+                    parse_shape(v)
+                        .ok_or_else(|| ParseError(format!("bad shape '{v}' (want NxD)")))?,
+                );
+            }
+            "--algorithm" | "-a" => {
+                let v = next_value(it, arg)?;
+                algorithm = Algorithm::parse(v)
+                    .ok_or_else(|| ParseError(format!("unknown algorithm '{v}'")))?;
+            }
+            "--clusters" | "-k" => {
+                clusters = next_value(it, arg)?
+                    .parse()
+                    .map_err(|_| ParseError("bad --clusters value".into()))?;
+            }
+            "--noise" => {
+                noise = next_value(it, arg)?
+                    .parse()
+                    .map_err(|_| ParseError("bad --noise value".into()))?;
+            }
+            "--seed" => {
+                seed = next_value(it, arg)?
+                    .parse()
+                    .map_err(|_| ParseError("bad --seed value".into()))?;
+            }
+            "--alpha" => {
+                alpha = next_value(it, arg)?
+                    .parse()
+                    .map_err(|_| ParseError("bad --alpha value".into()))?;
+            }
+            "--output" | "-o" => {
+                output = match next_value(it, arg)? {
+                    "text" => OutputFormat::Text,
+                    "json" => OutputFormat::Json,
+                    other => return Err(ParseError(format!("unknown output '{other}'"))),
+                };
+            }
+            "--evaluate" | "-e" => evaluate = true,
+            other => return Err(ParseError(format!("unknown flag '{other}'"))),
+        }
+    }
+    match (&input, &synthetic) {
+        (None, None) => {
+            return Err(ParseError("cluster needs --input FILE or --synthetic NxD".into()))
+        }
+        (Some(_), Some(_)) => {
+            return Err(ParseError("--input and --synthetic are mutually exclusive".into()))
+        }
+        _ => {}
+    }
+    if evaluate && synthetic.is_none() {
+        return Err(ParseError("--evaluate requires --synthetic (needs ground truth)".into()));
+    }
+    Ok(Command::Cluster { input, synthetic, algorithm, clusters, noise, seed, alpha, output, evaluate })
+}
+
+fn parse_generate<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, ParseError> {
+    let mut synthetic = None;
+    let mut clusters = 3;
+    let mut noise = 0.1;
+    let mut seed = 0;
+    let mut out = None;
+    while let Some(arg) = it.next() {
+        match arg {
+            "--synthetic" => {
+                let v = next_value(it, arg)?;
+                synthetic = Some(
+                    parse_shape(v)
+                        .ok_or_else(|| ParseError(format!("bad shape '{v}' (want NxD)")))?,
+                );
+            }
+            "--clusters" | "-k" => {
+                clusters = next_value(it, arg)?
+                    .parse()
+                    .map_err(|_| ParseError("bad --clusters value".into()))?;
+            }
+            "--noise" => {
+                noise = next_value(it, arg)?
+                    .parse()
+                    .map_err(|_| ParseError("bad --noise value".into()))?;
+            }
+            "--seed" => {
+                seed = next_value(it, arg)?
+                    .parse()
+                    .map_err(|_| ParseError("bad --seed value".into()))?;
+            }
+            "--out" => out = Some(next_value(it, arg)?.to_string()),
+            other => return Err(ParseError(format!("unknown flag '{other}'"))),
+        }
+    }
+    let synthetic =
+        synthetic.ok_or_else(|| ParseError("generate needs --synthetic NxD".into()))?;
+    let out = out.ok_or_else(|| ParseError("generate needs --out FILE".into()))?;
+    Ok(Command::Generate { synthetic, clusters, noise, seed, out })
+}
+
+/// The usage text printed by `p3c help`.
+pub const USAGE: &str = "\
+p3c — projected clustering (P3C / P3C+ / P3C+-MR / BoW)
+
+USAGE:
+  p3c cluster (--input FILE | --synthetic NxD) [OPTIONS]
+  p3c generate --synthetic NxD --out FILE [OPTIONS]
+  p3c help
+
+CLUSTER OPTIONS:
+  -a, --algorithm ALGO   p3c | p3c+ | light | mr | mr-light | bow  [p3c+]
+  -k, --clusters K       hidden clusters for --synthetic            [3]
+      --noise FRAC       noise fraction for --synthetic             [0.1]
+      --seed SEED        generator seed                             [0]
+      --alpha A          Poisson significance level                 [1e-10]
+  -o, --output FMT       text | json                                [text]
+  -e, --evaluate         report E4SC against the synthetic truth
+
+GENERATE OPTIONS:
+  -k, --clusters K / --noise FRAC / --seed SEED as above
+      --out FILE         destination (text format)
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn help_paths() {
+        for a in ["", "help", "--help", "-h"] {
+            let parsed = parse(&args(a)).unwrap();
+            assert_eq!(parsed.command, Command::Help);
+        }
+    }
+
+    #[test]
+    fn cluster_defaults() {
+        let parsed = parse(&args("cluster --synthetic 1000x10")).unwrap();
+        match parsed.command {
+            Command::Cluster { synthetic, algorithm, clusters, output, evaluate, .. } => {
+                assert_eq!(synthetic, Some(Shape { n: 1000, d: 10 }));
+                assert_eq!(algorithm, Algorithm::P3cPlus);
+                assert_eq!(clusters, 3);
+                assert_eq!(output, OutputFormat::Text);
+                assert!(!evaluate);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cluster_full_flags() {
+        let parsed = parse(&args(
+            "cluster --synthetic 500x8 -a mr-light -k 5 --noise 0.2 --seed 7 --alpha 1e-4 -o json -e",
+        ))
+        .unwrap();
+        match parsed.command {
+            Command::Cluster { algorithm, clusters, noise, seed, alpha, output, evaluate, .. } => {
+                assert_eq!(algorithm, Algorithm::MrLight);
+                assert_eq!(clusters, 5);
+                assert!((noise - 0.2).abs() < 1e-12);
+                assert_eq!(seed, 7);
+                assert!((alpha - 1e-4).abs() < 1e-16);
+                assert_eq!(output, OutputFormat::Json);
+                assert!(evaluate);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_algorithms_parse() {
+        for (s, a) in [
+            ("p3c", Algorithm::P3c),
+            ("p3c+", Algorithm::P3cPlus),
+            ("P3CPLUS", Algorithm::P3cPlus),
+            ("light", Algorithm::Light),
+            ("mr", Algorithm::Mr),
+            ("mr-light", Algorithm::MrLight),
+            ("bow", Algorithm::Bow),
+        ] {
+            assert_eq!(Algorithm::parse(s), Some(a), "{s}");
+        }
+        assert_eq!(Algorithm::parse("kmeans"), None);
+    }
+
+    #[test]
+    fn cluster_input_and_synthetic_exclusive() {
+        let err = parse(&args("cluster --input f.txt --synthetic 10x2")).unwrap_err();
+        assert!(err.0.contains("mutually exclusive"));
+        let err = parse(&args("cluster")).unwrap_err();
+        assert!(err.0.contains("needs"));
+    }
+
+    #[test]
+    fn evaluate_requires_synthetic() {
+        let err = parse(&args("cluster --input f.txt -e")).unwrap_err();
+        assert!(err.0.contains("--evaluate requires"));
+    }
+
+    #[test]
+    fn generate_roundtrip() {
+        let parsed =
+            parse(&args("generate --synthetic 200x5 --out /tmp/x.txt -k 2")).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Generate {
+                synthetic: Shape { n: 200, d: 5 },
+                clusters: 2,
+                noise: 0.1,
+                seed: 0,
+                out: "/tmp/x.txt".into()
+            }
+        );
+    }
+
+    #[test]
+    fn bad_inputs_error() {
+        assert!(parse(&args("frobnicate")).is_err());
+        assert!(parse(&args("cluster --synthetic banana")).is_err());
+        assert!(parse(&args("cluster --synthetic 10x2 --algorithm nope")).is_err());
+        assert!(parse(&args("cluster --synthetic 10x2 --output xml")).is_err());
+        assert!(parse(&args("generate --synthetic 10x2")).is_err());
+    }
+
+    #[test]
+    fn shape_parser() {
+        assert_eq!(parse_shape("100x5"), Some(Shape { n: 100, d: 5 }));
+        assert_eq!(parse_shape("100X5"), Some(Shape { n: 100, d: 5 }));
+        assert_eq!(parse_shape("100"), None);
+        assert_eq!(parse_shape("ax5"), None);
+    }
+}

@@ -1,0 +1,18 @@
+//! The `p3c` command-line tool: projected clustering for text datasets
+//! and synthetic workloads, from the shell.
+//!
+//! ```text
+//! p3c cluster --input data.txt --algorithm p3c+ --output json
+//! p3c cluster --synthetic 10000x20 --clusters 3 --algorithm mr-light
+//! p3c generate --synthetic 5000x10 --clusters 2 --out data.txt
+//! ```
+//!
+//! The library half holds the argument parser and the runner so that both
+//! are unit-testable without spawning processes; `main.rs` is a thin
+//! wrapper.
+
+pub mod args;
+pub mod run;
+
+pub use args::{Algorithm, Command, OutputFormat, ParsedArgs};
+pub use run::{execute, ExecError};

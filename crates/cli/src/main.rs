@@ -1,0 +1,25 @@
+//! The `p3c` binary: thin wrapper over the testable library half.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match p3c_cli::args::parse(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", p3c_cli::args::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match p3c_cli::execute(&parsed) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Command execution for the `p3c` binary.
+
+use crate::args::{Algorithm, Command, OutputFormat, ParsedArgs};
+use p3c_bow::{Bow, BowConfig, BowVariant};
+use p3c_core::config::P3cParams;
+use p3c_core::mr::{P3cPlusMr, P3cPlusMrLight};
+use p3c_core::p3c::P3c;
+use p3c_core::p3cplus::{P3cPlus, P3cPlusLight};
+use p3c_datagen::{generate, SyntheticSpec};
+use p3c_dataset::{persist, Clustering, Dataset};
+use p3c_eval::e4sc;
+use p3c_mapreduce::{Engine, MrConfig};
+use std::fmt;
+
+/// Execution errors (I/O, decoding, clustering failures).
+#[derive(Debug)]
+pub enum ExecError {
+    Io(std::io::Error),
+    Decode(String),
+    Mr(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Io(e) => write!(f, "I/O error: {e}"),
+            ExecError::Decode(e) => write!(f, "could not decode input: {e}"),
+            ExecError::Mr(e) => write!(f, "MapReduce failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<std::io::Error> for ExecError {
+    fn from(e: std::io::Error) -> Self {
+        ExecError::Io(e)
+    }
+}
+
+/// Executes a parsed command, returning the text to print.
+pub fn execute(parsed: &ParsedArgs) -> Result<String, ExecError> {
+    match &parsed.command {
+        Command::Help => Ok(crate::args::USAGE.to_string()),
+        Command::Generate { synthetic, clusters, noise, seed, out } => {
+            let data = generate(&SyntheticSpec {
+                n: synthetic.n,
+                d: synthetic.d,
+                num_clusters: *clusters,
+                noise_fraction: *noise,
+                max_cluster_dims: 10.min(synthetic.d),
+                seed: *seed,
+                ..SyntheticSpec::default()
+            });
+            std::fs::write(out, persist::to_text(&data.dataset))?;
+            Ok(format!(
+                "wrote {} points × {} dims ({} clusters, {:.0}% noise) to {}",
+                synthetic.n,
+                synthetic.d,
+                clusters,
+                noise * 100.0,
+                out
+            ))
+        }
+        Command::Cluster {
+            input,
+            synthetic,
+            algorithm,
+            clusters,
+            noise,
+            seed,
+            alpha,
+            output,
+            evaluate,
+        } => {
+            let (dataset, truth) = match (input, synthetic) {
+                (Some(path), None) => {
+                    let text = std::fs::read_to_string(path)?;
+                    let ds = persist::from_text(&text)
+                        .map_err(|e| ExecError::Decode(e.to_string()))?;
+                    let ds = if ds.is_normalized() { ds } else { ds.normalize().0 };
+                    (ds, None)
+                }
+                (None, Some(shape)) => {
+                    let data = generate(&SyntheticSpec {
+                        n: shape.n,
+                        d: shape.d,
+                        num_clusters: *clusters,
+                        noise_fraction: *noise,
+                        max_cluster_dims: 10.min(shape.d),
+                        seed: *seed,
+                        ..SyntheticSpec::default()
+                    });
+                    (data.dataset, Some(data.ground_truth))
+                }
+                _ => unreachable!("validated at parse time"),
+            };
+            let params = P3cParams { alpha_poisson: *alpha, ..P3cParams::default() };
+            let clustering = run_algorithm(*algorithm, &params, &dataset)?;
+            let mut text = render(&clustering, *output, *algorithm);
+            if *evaluate {
+                if let Some(truth) = &truth {
+                    text.push_str(&format!("\nE4SC vs ground truth: {:.3}\n", e4sc(&clustering, truth)));
+                }
+            }
+            Ok(text)
+        }
+    }
+}
+
+fn run_algorithm(
+    algorithm: Algorithm,
+    params: &P3cParams,
+    dataset: &Dataset,
+) -> Result<Clustering, ExecError> {
+    let mr_err = |e: p3c_mapreduce::MrError| ExecError::Mr(e.to_string());
+    Ok(match algorithm {
+        Algorithm::P3c => P3c::new(params.alpha_poisson).cluster(dataset).clustering,
+        Algorithm::P3cPlus => P3cPlus::new(params.clone()).cluster(dataset).clustering,
+        Algorithm::Light => P3cPlusLight::new(params.clone()).cluster(dataset).clustering,
+        Algorithm::Mr => {
+            let engine = Engine::new(MrConfig::default());
+            P3cPlusMr::new(&engine, params.clone()).cluster(dataset).map_err(mr_err)?.clustering
+        }
+        Algorithm::MrLight => {
+            let engine = Engine::new(MrConfig::default());
+            P3cPlusMrLight::new(&engine, params.clone())
+                .cluster(dataset)
+                .map_err(mr_err)?
+                .clustering
+        }
+        Algorithm::Bow => {
+            let engine = Engine::new(MrConfig::default());
+            let config = BowConfig {
+                variant: BowVariant::Light,
+                params: params.clone(),
+                ..BowConfig::default()
+            };
+            Bow::new(&engine, config).cluster(dataset).map_err(mr_err)?.clustering
+        }
+    })
+}
+
+fn render(clustering: &Clustering, format: OutputFormat, algorithm: Algorithm) -> String {
+    match format {
+        OutputFormat::Json => {
+            serde_json::to_string_pretty(clustering).expect("clustering serializes") + "\n"
+        }
+        OutputFormat::Text => {
+            let mut out = format!(
+                "{}: {} clusters, {} outliers\n",
+                algorithm.name(),
+                clustering.num_clusters(),
+                clustering.outliers.len()
+            );
+            for (i, c) in clustering.clusters.iter().enumerate() {
+                let attrs: Vec<String> =
+                    c.attributes.iter().map(|a| format!("a{a}")).collect();
+                out.push_str(&format!(
+                    "  cluster {i}: {} points, subspace {{{}}}\n",
+                    c.size(),
+                    attrs.join(", ")
+                ));
+                for iv in &c.intervals {
+                    out.push_str(&format!(
+                        "    a{} ∈ [{:.3}, {:.3}]\n",
+                        iv.attr, iv.lo, iv.hi
+                    ));
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run(cmdline: &str) -> Result<String, ExecError> {
+        let args: Vec<String> = cmdline.split_whitespace().map(|s| s.to_string()).collect();
+        execute(&parse(&args).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run("help").unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("mr-light"));
+    }
+
+    #[test]
+    fn synthetic_cluster_text_output() {
+        let out = run("cluster --synthetic 2000x10 -k 2 --seed 3 -e").unwrap();
+        assert!(out.contains("p3c+:"), "{out}");
+        assert!(out.contains("cluster 0:"));
+        assert!(out.contains("E4SC vs ground truth"));
+        // Quality on this easy instance must be reported high.
+        let e4sc_line = out.lines().find(|l| l.contains("E4SC")).unwrap();
+        let score: f64 = e4sc_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(score > 0.5, "{e4sc_line}");
+    }
+
+    #[test]
+    fn json_output_deserializes() {
+        let out = run("cluster --synthetic 1500x8 -k 2 --seed 5 -o json").unwrap();
+        let clustering: Clustering = serde_json::from_str(&out).unwrap();
+        assert!(clustering.num_clusters() >= 1);
+    }
+
+    #[test]
+    fn all_algorithms_execute() {
+        for algo in ["p3c", "p3c+", "light", "mr", "mr-light", "bow"] {
+            let out = run(&format!(
+                "cluster --synthetic 1500x8 -k 2 --seed 3 -a {algo}"
+            ))
+            .unwrap();
+            assert!(out.contains("clusters"), "{algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn generate_then_cluster_file_roundtrip() {
+        let dir = std::env::temp_dir().join("p3c-cli-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("data.txt");
+        let path_s = path.to_str().unwrap();
+        let gen_out =
+            run(&format!("generate --synthetic 1500x8 -k 2 --seed 3 --out {path_s}")).unwrap();
+        assert!(gen_out.contains("wrote 1500 points"));
+        let out = run(&format!("cluster --input {path_s} -a light")).unwrap();
+        assert!(out.contains("light:"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = run("cluster --input /nonexistent/nope.txt").unwrap_err();
+        assert!(matches!(err, ExecError::Io(_)));
+    }
+
+    #[test]
+    fn malformed_file_is_decode_error() {
+        let dir = std::env::temp_dir().join("p3c-cli-test-bad");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("bad.txt");
+        std::fs::write(&path, "this is not a dataset\n").unwrap();
+        let err = run(&format!("cluster --input {}", path.to_str().unwrap())).unwrap_err();
+        assert!(matches!(err, ExecError::Decode(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unnormalized_input_is_normalized() {
+        // Values outside [0,1] must be min-max normalized, not rejected.
+        let dir = std::env::temp_dir().join("p3c-cli-test-norm");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("wide.txt");
+        let ds = Dataset::from_rows(
+            (0..200)
+                .map(|i| vec![i as f64, 1000.0 - i as f64, (i % 7) as f64 * 100.0])
+                .collect(),
+        );
+        std::fs::write(&path, persist::to_text(&ds)).unwrap();
+        let out = run(&format!("cluster --input {} -a light", path.to_str().unwrap()));
+        assert!(out.is_ok(), "{out:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,330 @@
+//! Gaussian-mixture EM refinement of cluster cores (paper Sections 3.2.2
+//! and 5.4).
+//!
+//! EM runs in the *relevant subspace* `A_rel` (Equation 3) — the union of
+//! all attributes relevant to at least one cluster core. Initialization
+//! follows the paper's two rounds: first means/covariances from the core
+//! support sets only, then the remaining points are attached to their
+//! Mahalanobis-nearest core and the statistics recomputed.
+
+use crate::cores::ClusterCore;
+use p3c_linalg::{Cholesky, CovarianceAccumulator, Matrix};
+
+/// One Gaussian component in `A_rel` coordinates.
+#[derive(Debug, Clone)]
+pub struct Component {
+    pub mean: Vec<f64>,
+    pub cov: Matrix,
+    /// Mixture weight π_k (sums to 1 across components).
+    pub weight: f64,
+}
+
+/// A fitted Gaussian mixture over the relevant subspace.
+#[derive(Debug, Clone)]
+pub struct MixtureModel {
+    /// The relevant attributes, in ascending order; component coordinates
+    /// index into this list.
+    pub arel: Vec<usize>,
+    pub components: Vec<Component>,
+}
+
+/// Precomputed per-component state for fast density evaluation.
+pub struct DensityEvaluator {
+    comps: Vec<(Vec<f64>, Cholesky, f64 /* log(π) − ½log|2πΣ| */)>,
+    arel: Vec<usize>,
+}
+
+impl MixtureModel {
+    /// Builds the evaluator (factorizes every covariance once).
+    pub fn evaluator(&self) -> DensityEvaluator {
+        let d = self.arel.len() as f64;
+        let comps = self
+            .components
+            .iter()
+            .map(|c| {
+                let chol = Cholesky::new_regularized(&c.cov)
+                    .expect("covariance not regularizable");
+                let log_norm = c.weight.max(1e-300).ln()
+                    - 0.5 * (d * (2.0 * std::f64::consts::PI).ln() + chol.log_det());
+                (c.mean.clone(), chol, log_norm)
+            })
+            .collect();
+        DensityEvaluator { comps, arel: self.arel.clone() }
+    }
+}
+
+impl DensityEvaluator {
+    pub fn num_components(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// Projects a full-dimensional row into `A_rel` coordinates.
+    pub fn project(&self, row: &[f64]) -> Vec<f64> {
+        self.arel.iter().map(|&a| row[a]).collect()
+    }
+
+    /// Log of `π_k · N(x | μ_k, Σ_k)` for the projected point.
+    pub fn log_weighted_density(&self, k: usize, x_sub: &[f64]) -> f64 {
+        let (mean, chol, log_norm) = &self.comps[k];
+        let diff: Vec<f64> = x_sub.iter().zip(mean).map(|(a, b)| a - b).collect();
+        log_norm - 0.5 * chol.mahalanobis_sq(&diff)
+    }
+
+    /// Squared Mahalanobis distance of the projected point to component k.
+    pub fn mahalanobis_sq(&self, k: usize, x_sub: &[f64]) -> f64 {
+        let (mean, chol, _) = &self.comps[k];
+        let diff: Vec<f64> = x_sub.iter().zip(mean).map(|(a, b)| a - b).collect();
+        chol.mahalanobis_sq(&diff)
+    }
+
+    /// Responsibilities γ_k(x) (softmax over components) and the point's
+    /// log-likelihood contribution.
+    pub fn responsibilities(&self, x_sub: &[f64], out: &mut Vec<f64>) -> f64 {
+        out.clear();
+        out.extend((0..self.comps.len()).map(|k| self.log_weighted_density(k, x_sub)));
+        let max = out.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in out.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in out.iter_mut() {
+            *v /= sum;
+        }
+        max + sum.ln()
+    }
+
+    /// Hard assignment: the component maximizing the weighted density.
+    pub fn assign(&self, row: &[f64]) -> usize {
+        let x = self.project(row);
+        (0..self.comps.len())
+            .max_by(|&a, &b| {
+                self.log_weighted_density(a, &x)
+                    .total_cmp(&self.log_weighted_density(b, &x))
+            })
+            .expect("at least one component")
+    }
+}
+
+/// Builds the initial mixture from cluster cores: the paper's two-round
+/// initialization (support sets only, then plus nearest-core leftovers).
+pub fn initialize_from_cores(
+    cores: &[ClusterCore],
+    rows: &[&[f64]],
+    arel: &[usize],
+) -> MixtureModel {
+    assert!(!cores.is_empty(), "EM initialization needs at least one core");
+    let k = cores.len();
+    let d = arel.len();
+    let project = |row: &[f64]| -> Vec<f64> { arel.iter().map(|&a| row[a]).collect() };
+
+    // Round 1: accumulate over core support sets.
+    let mut accs: Vec<CovarianceAccumulator> =
+        (0..k).map(|_| CovarianceAccumulator::new(d)).collect();
+    let mut uncovered: Vec<usize> = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let mut in_any = false;
+        for (c, core) in cores.iter().enumerate() {
+            if core.signature.contains(row) {
+                accs[c].push(&project(row), 1.0);
+                in_any = true;
+            }
+        }
+        if !in_any {
+            uncovered.push(i);
+        }
+    }
+    let round1 = finish_components(&accs);
+
+    // Round 2: attach uncovered points to the Mahalanobis-nearest core.
+    let eval = MixtureModel { arel: arel.to_vec(), components: round1 }.evaluator();
+    for &i in &uncovered {
+        let x = eval.project(rows[i]);
+        let nearest = (0..k)
+            .min_by(|&a, &b| eval.mahalanobis_sq(a, &x).total_cmp(&eval.mahalanobis_sq(b, &x)))
+            .expect("k >= 1");
+        accs[nearest].push(&x, 1.0);
+    }
+    MixtureModel { arel: arel.to_vec(), components: finish_components(&accs) }
+}
+
+/// Converts accumulators into components with safe fallbacks for
+/// degenerate (empty / single-point) cores.
+fn finish_components(accs: &[CovarianceAccumulator]) -> Vec<Component> {
+    let d = accs.first().map_or(0, |a| a.dim());
+    let total: f64 = accs.iter().map(|a| a.total_weight()).sum::<f64>().max(1.0);
+    accs.iter()
+        .map(|acc| {
+            let mean = acc.mean().unwrap_or_else(|| vec![0.5; d]);
+            let mut cov = acc
+                .covariance_ml()
+                .unwrap_or_else(|| Matrix::identity(d));
+            cov.add_ridge(1e-9);
+            let weight = (acc.total_weight() / total).max(1e-12);
+            Component { mean, cov, weight }
+        })
+        .collect()
+}
+
+/// Result of an EM fit.
+#[derive(Debug, Clone)]
+pub struct EmFit {
+    pub model: MixtureModel,
+    /// Log-likelihood after each iteration.
+    pub loglik_history: Vec<f64>,
+    pub iterations: usize,
+}
+
+/// Runs EM to convergence (or `max_iters`), serially.
+pub fn em_fit(init: MixtureModel, rows: &[&[f64]], max_iters: usize, tol: f64) -> EmFit {
+    let mut model = init;
+    let k = model.components.len();
+    let d = model.arel.len();
+    let mut history = Vec::new();
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        let eval = model.evaluator();
+        let mut accs: Vec<CovarianceAccumulator> =
+            (0..k).map(|_| CovarianceAccumulator::new(d)).collect();
+        let mut loglik = 0.0;
+        let mut resp = Vec::with_capacity(k);
+        for row in rows {
+            let x = eval.project(row);
+            loglik += eval.responsibilities(&x, &mut resp);
+            for (c, &r) in resp.iter().enumerate() {
+                if r > 1e-12 {
+                    accs[c].push(&x, r);
+                }
+            }
+        }
+        model = MixtureModel { arel: model.arel, components: finish_components(&accs) };
+        let converged = history
+            .last()
+            .map(|&prev: &f64| (loglik - prev).abs() <= tol * prev.abs().max(1.0))
+            .unwrap_or(false);
+        history.push(loglik);
+        if converged {
+            break;
+        }
+    }
+    EmFit { model, loglik_history: history, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Interval, Signature};
+
+    fn two_blob_rows() -> Vec<Vec<f64>> {
+        // Blob A around (0.2, 0.2), blob B around (0.8, 0.8), in 2D.
+        let mut rows = Vec::new();
+        for i in 0..100 {
+            let t = (i as f64) / 100.0 * 0.08;
+            rows.push(vec![0.16 + t, 0.24 - t]);
+            rows.push(vec![0.76 + t, 0.84 - t]);
+        }
+        rows
+    }
+
+    fn cores_for_blobs() -> Vec<ClusterCore> {
+        let a = Signature::new(vec![Interval::new(0, 1, 2, 10), Interval::new(1, 1, 2, 10)]);
+        let b = Signature::new(vec![Interval::new(0, 7, 8, 10), Interval::new(1, 7, 8, 10)]);
+        vec![
+            ClusterCore { signature: a, support: 100.0, expected: 1.0 },
+            ClusterCore { signature: b, support: 100.0, expected: 1.0 },
+        ]
+    }
+
+    #[test]
+    fn initialization_centers_on_blobs() {
+        let data = two_blob_rows();
+        let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let model = initialize_from_cores(&cores_for_blobs(), &rows, &[0, 1]);
+        assert_eq!(model.components.len(), 2);
+        let m0 = &model.components[0].mean;
+        let m1 = &model.components[1].mean;
+        assert!((m0[0] - 0.2).abs() < 0.05, "mean0 {m0:?}");
+        assert!((m1[0] - 0.8).abs() < 0.05, "mean1 {m1:?}");
+        let wsum: f64 = model.components.iter().map(|c| c.weight).sum();
+        assert!((wsum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn em_improves_loglik_monotonically() {
+        let data = two_blob_rows();
+        let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let init = initialize_from_cores(&cores_for_blobs(), &rows, &[0, 1]);
+        let fit = em_fit(init, &rows, 8, 0.0);
+        for w in fit.loglik_history.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6, "loglik decreased: {:?}", fit.loglik_history);
+        }
+    }
+
+    #[test]
+    fn hard_assignment_separates_blobs() {
+        let data = two_blob_rows();
+        let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let init = initialize_from_cores(&cores_for_blobs(), &rows, &[0, 1]);
+        let fit = em_fit(init, &rows, 10, 1e-6);
+        let eval = fit.model.evaluator();
+        let a = eval.assign(&[0.2, 0.2]);
+        let b = eval.assign(&[0.8, 0.8]);
+        assert_ne!(a, b);
+        // Every even row (blob A) goes with `a`, odd with `b`.
+        for (i, row) in rows.iter().enumerate() {
+            let got = eval.assign(row);
+            if i % 2 == 0 {
+                assert_eq!(got, a, "row {i}");
+            } else {
+                assert_eq!(got, b, "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn responsibilities_sum_to_one() {
+        let data = two_blob_rows();
+        let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let model = initialize_from_cores(&cores_for_blobs(), &rows, &[0, 1]);
+        let eval = model.evaluator();
+        let mut resp = Vec::new();
+        for row in rows.iter().take(10) {
+            let x = eval.project(row);
+            eval.responsibilities(&x, &mut resp);
+            let s: f64 = resp.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(resp.iter().all(|&r| (0.0..=1.0).contains(&r)));
+        }
+    }
+
+    #[test]
+    fn projection_uses_arel_only() {
+        let model = MixtureModel {
+            arel: vec![1, 3],
+            components: vec![Component {
+                mean: vec![0.5, 0.5],
+                cov: Matrix::identity(2),
+                weight: 1.0,
+            }],
+        };
+        let eval = model.evaluator();
+        assert_eq!(eval.project(&[9.0, 0.1, 9.0, 0.7]), vec![0.1, 0.7]);
+    }
+
+    #[test]
+    fn degenerate_single_point_core_survives() {
+        let data = [vec![0.5, 0.5], vec![0.9, 0.9]];
+        let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let core = ClusterCore {
+            signature: Signature::new(vec![Interval::new(0, 4, 4, 10)]),
+            support: 1.0,
+            expected: 0.1,
+        };
+        let model = initialize_from_cores(&[core], &rows, &[0, 1]);
+        // Should not panic, and covariance must be factorizable.
+        let eval = model.evaluator();
+        assert_eq!(eval.num_components(), 1);
+        let _ = eval.assign(&[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Serial histogram building over all attributes (paper Section 5.1).
+//!
+//! For a dataset of `n` points and `d` attributes, one `m`-bin histogram
+//! per attribute is built, with `m` decided by the configured bin rule.
+//! The MapReduce variant lives in [`crate::mr::histogram`] and must
+//! produce bit-identical counts (tested there).
+
+use p3c_dataset::Dataset;
+use p3c_stats::{BinRule, Histogram};
+
+/// All per-attribute histograms of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeHistograms {
+    /// One histogram per attribute. Bin counts are usually uniform, but
+    /// the exact-IQR Freedman–Diaconis extension produces per-attribute
+    /// counts — read them via `histograms[j].num_bins()`.
+    pub histograms: Vec<Histogram>,
+    /// The largest bin count across attributes (uniform rules: the count).
+    pub bins: usize,
+}
+
+impl AttributeHistograms {
+    /// Number of attributes.
+    pub fn dim(&self) -> usize {
+        self.histograms.len()
+    }
+}
+
+/// Builds per-attribute histograms with the bin count given by `rule`.
+pub fn build_histograms(data: &Dataset, rule: BinRule) -> AttributeHistograms {
+    let bins = rule.num_bins(data.len()).max(1);
+    build_histograms_with_bins(data, bins)
+}
+
+/// Builds per-attribute histograms with an explicit bin count.
+pub fn build_histograms_with_bins(data: &Dataset, bins: usize) -> AttributeHistograms {
+    let rows: Vec<&[f64]> = data.rows().collect();
+    build_histograms_rows(&rows, bins)
+}
+
+/// Builds per-attribute histograms over row slices (no dataset needed).
+pub fn build_histograms_rows(rows: &[&[f64]], bins: usize) -> AttributeHistograms {
+    let d = rows.first().map_or(0, |r| r.len());
+    build_histograms_per_attr(rows, &vec![bins; d])
+}
+
+/// Builds histograms with a per-attribute bin count (the exact-IQR
+/// Freedman–Diaconis extension; see `config::BinRuleChoice`).
+pub fn build_histograms_per_attr(rows: &[&[f64]], bins_per_attr: &[usize]) -> AttributeHistograms {
+    let mut histograms: Vec<Histogram> =
+        bins_per_attr.iter().map(|&b| Histogram::new(b.max(1))).collect();
+    for row in rows {
+        for (j, &v) in row.iter().enumerate() {
+            histograms[j].add(v);
+        }
+    }
+    let bins = bins_per_attr.iter().copied().max().unwrap_or(1).max(1);
+    AttributeHistograms { histograms, bins }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3c_dataset::Dataset;
+
+    fn grid_dataset(n: usize) -> Dataset {
+        // Attribute 0: uniform grid; attribute 1: everything in one spot.
+        let rows = (0..n).map(|i| vec![(i as f64 + 0.5) / n as f64, 0.42]).collect();
+        Dataset::from_rows(rows)
+    }
+
+    #[test]
+    fn counts_sum_to_n_per_attribute() {
+        let ds = grid_dataset(100);
+        let h = build_histograms(&ds, BinRule::FreedmanDiaconis);
+        for hist in &h.histograms {
+            assert_eq!(hist.total(), 100.0);
+        }
+        assert_eq!(h.dim(), 2);
+    }
+
+    #[test]
+    fn uniform_attribute_is_flat() {
+        let ds = grid_dataset(1000);
+        let h = build_histograms_with_bins(&ds, 10);
+        for i in 0..10 {
+            assert_eq!(h.histograms[0].count(i), 100.0);
+        }
+    }
+
+    #[test]
+    fn concentrated_attribute_spikes() {
+        let ds = grid_dataset(1000);
+        let h = build_histograms_with_bins(&ds, 10);
+        // 0.42 → bin ⌈4.2⌉−1 = 4.
+        assert_eq!(h.histograms[1].count(4), 1000.0);
+    }
+
+    #[test]
+    fn bin_rule_decides_bin_count() {
+        let ds = grid_dataset(1000);
+        let fd = build_histograms(&ds, BinRule::FreedmanDiaconis);
+        let st = build_histograms(&ds, BinRule::Sturges);
+        assert_eq!(fd.bins, 10); // 1000^(1/3)
+        assert_eq!(st.bins, 11); // ⌈1+log2(1000)⌉
+    }
+
+    #[test]
+    fn per_attribute_bin_counts() {
+        let ds = grid_dataset(100);
+        let rows: Vec<&[f64]> = ds.rows().collect();
+        let h = build_histograms_per_attr(&rows, &[4, 16]);
+        assert_eq!(h.histograms[0].num_bins(), 4);
+        assert_eq!(h.histograms[1].num_bins(), 16);
+        assert_eq!(h.bins, 16);
+        assert_eq!(h.histograms[0].total(), 100.0);
+        assert_eq!(h.histograms[1].total(), 100.0);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::from_rows(vec![]);
+        let h = build_histograms(&ds, BinRule::Sturges);
+        assert_eq!(h.dim(), 0);
+        assert_eq!(h.bins, 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Attribute inspection, AI proving and interval tightening
+//! (paper Sections 3.2.2, 4.2.3, 5.6, 5.7).
+//!
+//! After the point partition is fixed (by EM + outlier detection, or by
+//! support-set membership in the Light variant), each cluster's members
+//! are re-examined: histograms over the members reveal relevant
+//! attributes missed by core generation; P3C+ additionally *proves* each
+//! suggested interval with the same support test as Equation 1 (AI
+//! proving); finally every relevant attribute's interval is tightened to
+//! the min/max of the members.
+
+use crate::config::P3cParams;
+use crate::cores::SupportTester;
+use crate::relevance::{mark_relevant_bins, merge_marked_bins};
+use crate::types::Interval;
+use p3c_dataset::AttrInterval;
+use p3c_stats::Histogram;
+use std::collections::BTreeSet;
+
+/// Suggests additional relevant intervals for one cluster from its member
+/// rows, skipping attributes already known relevant.
+///
+/// When `params.use_ai_proving`, each suggested interval `I_new` must pass
+/// the support test `Supp_members(I_new) >_p |members| · width(I_new)` —
+/// the cluster-conditional form of Equation 1.
+pub fn inspect_attributes(
+    member_rows: &[&[f64]],
+    known_attrs: &BTreeSet<usize>,
+    params: &P3cParams,
+) -> Vec<Interval> {
+    if member_rows.is_empty() {
+        return Vec::new();
+    }
+    let d = member_rows[0].len();
+    let bins = params.bin_rule.to_rule().num_bins(member_rows.len()).max(1);
+    let mut hists = vec![Histogram::new(bins); d];
+    for row in member_rows {
+        for (attr, &v) in row.iter().enumerate() {
+            hists[attr].add(v);
+        }
+    }
+    inspect_from_histograms(&hists, member_rows.len(), known_attrs, params)
+}
+
+/// The histogram-level half of attribute inspection: given per-attribute
+/// member histograms (from the serial scan above, or from the MR
+/// attribute-inspection job of Section 5.6), marks relevant bins, merges
+/// them to intervals, and applies AI proving. Attributes in `known_attrs`
+/// are skipped.
+pub fn inspect_from_histograms(
+    hists: &[Histogram],
+    n_members: usize,
+    known_attrs: &BTreeSet<usize>,
+    params: &P3cParams,
+) -> Vec<Interval> {
+    let tester = SupportTester::from_params(params);
+    let mut found = Vec::new();
+    for (attr, hist) in hists.iter().enumerate() {
+        if known_attrs.contains(&attr) {
+            continue;
+        }
+        let bins = hist.num_bins();
+        let marked = mark_relevant_bins(hist, params.alpha_chi2);
+        for interval in merge_marked_bins(attr, &marked, bins) {
+            if params.use_ai_proving {
+                let support: f64 =
+                    (interval.bin_lo..=interval.bin_hi).map(|b| hist.count(b)).sum();
+                let expected = n_members as f64 * interval.width();
+                if !tester.accepts(support, expected) {
+                    continue;
+                }
+            }
+            found.push(interval);
+        }
+    }
+    found
+}
+
+/// Tightens the output intervals of a cluster: per relevant attribute the
+/// smallest closed interval containing all member values (Section 5.7).
+pub fn tighten_intervals(member_rows: &[&[f64]], attrs: &BTreeSet<usize>) -> Vec<AttrInterval> {
+    let mut out = Vec::with_capacity(attrs.len());
+    for &attr in attrs {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for row in member_rows {
+            let v = row[attr];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if member_rows.is_empty() {
+            lo = 0.0;
+            hi = 0.0;
+        }
+        out.push(AttrInterval::new(attr, lo, hi));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Members concentrated on attr 1 around 0.3, uniform on attr 0.
+    fn member_data(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let t = (i as f64 + 0.5) / n as f64;
+                vec![t, 0.28 + 0.04 * ((i % 7) as f64 / 7.0)]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_missed_relevant_attribute() {
+        let data = member_data(500);
+        let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let known = BTreeSet::new();
+        let found = inspect_attributes(&rows, &known, &P3cParams::default());
+        assert!(found.iter().any(|iv| iv.attr == 1), "found: {found:?}");
+        assert!(found.iter().all(|iv| iv.attr != 0), "uniform attr flagged");
+    }
+
+    #[test]
+    fn known_attributes_are_skipped() {
+        let data = member_data(500);
+        let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let known: BTreeSet<usize> = [1].into();
+        let found = inspect_attributes(&rows, &known, &P3cParams::default());
+        assert!(found.is_empty(), "found: {found:?}");
+    }
+
+    #[test]
+    fn ai_proving_rejects_weak_intervals() {
+        // A mild bump that the χ² marking flags at a loose alpha but whose
+        // effect size stays under θ_cc.
+        let mut data = Vec::new();
+        for i in 0..1000 {
+            let t = (i as f64 + 0.5) / 1000.0;
+            data.push(vec![t]);
+        }
+        // add 12% extra points in one bin region
+        for i in 0..120 {
+            let t = (i as f64 + 0.5) / 120.0;
+            data.push(vec![0.42 + 0.05 * t]);
+        }
+        let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let known = BTreeSet::new();
+        let loose = P3cParams {
+            alpha_chi2: 0.5,
+            use_ai_proving: false,
+            ..P3cParams::default()
+        };
+        let proving = P3cParams {
+            alpha_chi2: 0.5,
+            use_ai_proving: true,
+            theta_cc: 3.0, // absurdly strict: nothing passes
+            ..P3cParams::default()
+        };
+        let without = inspect_attributes(&rows, &known, &loose);
+        let with = inspect_attributes(&rows, &known, &proving);
+        assert!(with.len() <= without.len());
+        assert!(with.is_empty(), "θ_cc=3 must reject all: {with:?}");
+    }
+
+    #[test]
+    fn empty_members() {
+        let rows: Vec<&[f64]> = vec![];
+        assert!(inspect_attributes(&rows, &BTreeSet::new(), &P3cParams::default()).is_empty());
+        assert!(tighten_intervals(&rows, &BTreeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn tightening_bounds_members_exactly() {
+        let data = [vec![0.2, 0.9], vec![0.4, 0.5], vec![0.3, 0.7]];
+        let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let attrs: BTreeSet<usize> = [0, 1].into();
+        let ivs = tighten_intervals(&rows, &attrs);
+        assert_eq!(ivs.len(), 2);
+        assert_eq!((ivs[0].lo, ivs[0].hi), (0.2, 0.4));
+        assert_eq!((ivs[1].lo, ivs[1].hi), (0.5, 0.9));
+        // Every member is covered.
+        for row in &rows {
+            assert!(ivs.iter().all(|iv| iv.contains(row)));
+        }
+    }
+
+    #[test]
+    fn tightening_subset_of_attrs() {
+        let data = [vec![0.2, 0.9], vec![0.4, 0.5]];
+        let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let attrs: BTreeSet<usize> = [1].into();
+        let ivs = tighten_intervals(&rows, &attrs);
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].attr, 1);
+    }
+}

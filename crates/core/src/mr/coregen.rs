@@ -1,0 +1,440 @@
+//! MapReduce cluster-core generation (paper Section 5.3).
+//!
+//! Three pieces:
+//!
+//! 1. **Parallel candidate generation** — with `k` p-signatures there are
+//!    `c = k(k−1)/2` join pairs; above `T_gen` pairs the join runs as a
+//!    map-only job over pair-index ranges, with the signature list shipped
+//!    through the distributed cache (below `T_gen` it runs serially, since
+//!    "each MR job adds some overhead").
+//! 2. **Multi-level candidate collection** — candidates are not proven at
+//!    every level; levels accumulate until the paper's stop heuristic
+//!    `|Cand_j| = 0 ∨ (c_sum > T_c ∧ |Cand_j| > |Cand_{j−1}|)` fires, then
+//!    one proving job validates the whole batch.
+//! 3. **RSSC candidate proving** — mappers bin each point per relevant
+//!    attribute and AND the precomputed bit masks ([`crate::support::Rssc`]),
+//!    emitting per-split support counts; reducers sum them.
+
+use crate::config::P3cParams;
+use crate::cores::{filter_maximal, ClusterCore, CoreGenStats, SupportTester};
+use crate::mr::SigMsg;
+use crate::support::{Rssc, SupportTable};
+use crate::types::{Interval, Signature};
+use p3c_mapreduce::{Emitter, Engine, Mapper, MrError, Reducer};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+// ------------------------------------------------------------- proving --
+
+/// Mapper for the proving job: per-split RSSC support counting.
+struct ProveMapper {
+    rssc: Arc<Rssc>,
+}
+
+impl<'a> Mapper<&'a [f64], usize, u64> for ProveMapper {
+    fn map(&self, row: &&'a [f64], out: &mut Emitter<usize, u64>) {
+        for idx in self.rssc.candidates_of(row) {
+            out.emit(idx, 1);
+        }
+    }
+
+    fn map_split(&self, split: &[&'a [f64]], out: &mut Emitter<usize, u64>) {
+        let mut counts = vec![0u64; self.rssc.num_candidates()];
+        let mut scratch = Vec::new();
+        for row in split {
+            self.rssc.count_into(row, &mut counts, &mut scratch);
+        }
+        for (idx, c) in counts.into_iter().enumerate() {
+            if c > 0 {
+                out.emit(idx, c);
+            }
+        }
+    }
+}
+
+struct SumReducer;
+impl Reducer<usize, u64, (usize, u64)> for SumReducer {
+    fn reduce(&self, key: &usize, values: Vec<u64>, out: &mut Vec<(usize, u64)>) {
+        out.push((*key, values.into_iter().sum()));
+    }
+}
+
+/// Counts the supports of a candidate batch with one MR job.
+pub fn proving_job(
+    engine: &Engine,
+    candidates: &[Signature],
+    rows: &[&[f64]],
+) -> Result<Vec<u64>, MrError> {
+    if candidates.is_empty() {
+        return Ok(Vec::new());
+    }
+    let rssc = Arc::new(Rssc::build(candidates));
+    let cache_bytes = rssc.byte_size();
+    let result = engine.run_with_cache(
+        "p3c-prove-candidates",
+        rows,
+        cache_bytes,
+        &ProveMapper { rssc },
+        &SumReducer,
+    )?;
+    let mut counts = vec![0u64; candidates.len()];
+    for (idx, c) in result.output {
+        counts[idx] = c;
+    }
+    Ok(counts)
+}
+
+// -------------------------------------------------- candidate generation --
+
+/// Mapper for parallel candidate generation: each record is a range of
+/// prefix buckets (index ranges into the sorted signature list) to join.
+///
+/// The paper partitions the raw `k(k−1)/2` pair-index space across
+/// mappers; since only pairs sharing a (p−1)-prefix can produce surviving
+/// candidates, we ship the same distributed-cache payload but let each
+/// mapper enumerate pairs *within its buckets* — identical output, far
+/// fewer wasted join attempts (see DESIGN.md §1).
+struct CandGenMapper {
+    /// Sorted signature list.
+    level: Arc<Vec<Signature>>,
+    prune: Arc<HashSet<Signature>>,
+}
+
+impl Mapper<(usize, usize), (), SigMsg> for CandGenMapper {
+    /// A record `(i, end)` joins `sorted[i]` with every `sorted[j]`,
+    /// `i < j < end` — one record per bucket row, so every in-bucket pair
+    /// is enumerated exactly once and large buckets spread across tasks.
+    fn map(&self, &(i, end): &(usize, usize), out: &mut Emitter<(), SigMsg>) {
+        for j in (i + 1)..end {
+            if let Some(cand) =
+                crate::cores::join_in_bucket(&self.level[i], &self.level[j], &self.prune)
+            {
+                out.emit((), SigMsg(cand));
+            }
+        }
+    }
+}
+
+/// Candidate generation: serial below `t_gen` within-bucket join pairs, a
+/// map-only MR job above (paper Section 5.3). Duplicate candidates from
+/// different pair joins are removed, and the all-subsets Apriori prune is
+/// applied. Produces exactly [`crate::cores::generate_candidates`]'s
+/// output either way.
+pub fn generate_candidates_mr(
+    engine: &Engine,
+    level: &[Signature],
+    prune_against: &HashSet<Signature>,
+    t_gen: usize,
+) -> Result<Vec<Signature>, MrError> {
+    // Sort and bucket by (p−1)-prefix.
+    let mut sorted: Vec<Signature> = level.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    let mut buckets = crate::cores::prefix_buckets(&sorted);
+    let join_pairs: usize =
+        buckets.iter().map(|(s, e)| (e - s) * (e - s).saturating_sub(1) / 2).sum();
+    if join_pairs <= t_gen {
+        return Ok(crate::cores::generate_candidates(level, prune_against));
+    }
+    // One record per bucket row: (i, end) means "join sorted[i] with
+    // sorted[i+1..end]" — exact pair coverage with balanced tasks.
+    buckets = buckets.into_iter().flat_map(|(s, e)| (s..e).map(move |i| (i, e))).collect();
+    let level_arc = Arc::new(sorted);
+    let prune_arc = Arc::new(prune_against.clone());
+    let cache_bytes: usize = level.iter().map(|s| 4 + s.len() * 32).sum();
+    let result = engine.run_map_only_with_cache(
+        "p3c-candidate-generation",
+        &buckets,
+        cache_bytes,
+        &CandGenMapper { level: level_arc, prune: prune_arc },
+    )?;
+    let mut set: HashSet<Signature> = HashSet::with_capacity(result.output.len());
+    for SigMsg(sig) in result.output {
+        set.insert(sig);
+    }
+    let mut v: Vec<Signature> = set.into_iter().collect();
+    v.sort();
+    Ok(v)
+}
+
+// ------------------------------------------- multi-level orchestration --
+
+/// Result of the MapReduce core-generation phase.
+#[derive(Debug, Clone)]
+pub struct MrCoreGenResult {
+    pub cores: Vec<ClusterCore>,
+    pub proven: Vec<(Signature, f64)>,
+    pub table: SupportTable,
+    pub stats: CoreGenStats,
+    /// Proving jobs actually executed (multi-level collection batches).
+    pub proving_jobs: usize,
+}
+
+/// Runs cluster-core generation with multi-level candidate collection
+/// (paper Section 5.3). Produces exactly the same proven set as the
+/// serial [`crate::cores::generate_cluster_cores`] — the collection
+/// heuristic only changes *when* supports are counted.
+pub fn generate_cluster_cores_mr(
+    engine: &Engine,
+    intervals: &[Interval],
+    rows: &[&[f64]],
+    params: &P3cParams,
+) -> Result<MrCoreGenResult, MrError> {
+    let n = rows.len();
+    let tester = SupportTester::from_params(params);
+    let mut table = SupportTable::new();
+    let mut stats = CoreGenStats::default();
+    let mut all_proven: Vec<(Signature, f64)> = Vec::new();
+    let mut proving_jobs = 0usize;
+
+    // Level-1 candidates.
+    let mut level1: Vec<Signature> =
+        intervals.iter().map(|&iv| Signature::singleton(iv)).collect();
+    level1.sort();
+    level1.dedup();
+
+    // The batch of levels collected since the last proving job.
+    let mut batch: Vec<Vec<Signature>> = Vec::new();
+    let mut csum = 0usize;
+    let mut current = level1;
+    let mut level = 1usize;
+    // Proven signatures of the last *proven* level (for generation once a
+    // batch closes); while collecting, generation chains off candidates.
+    let mut generation_basis: Vec<Signature>;
+
+    loop {
+        if current.is_empty() || level > params.max_levels {
+            // Close any open batch.
+            if !batch.is_empty() {
+                let proven_now = prove_batch(
+                    engine, &batch, rows, n, &tester, &mut table, &mut stats,
+                )?;
+                proving_jobs += 1;
+                all_proven.extend(proven_now);
+            }
+            break;
+        }
+        crate::cores::truncate_level(&mut current, params, &mut stats);
+        stats.candidates_per_level.push(current.len());
+        csum += current.len();
+        batch.push(current.clone());
+
+        // Stop-collection heuristic (Section 5.3): always prove when the
+        // candidate set grew past the budget; otherwise keep collecting
+        // while the set shrinks.
+        let grew = batch
+            .len()
+            .checked_sub(2)
+            .map(|i| current.len() > batch[i].len())
+            .unwrap_or(false);
+        let close_batch = csum > params.t_c && (grew || batch.len() == 1);
+
+        if close_batch {
+            let proven_now = prove_batch(
+                engine, &batch, rows, n, &tester, &mut table, &mut stats,
+            )?;
+            proving_jobs += 1;
+            // Next generation chains off the just-proven top level.
+            generation_basis = proven_now
+                .iter()
+                .filter(|(s, _)| s.len() == level)
+                .map(|(s, _)| s.clone())
+                .collect();
+            all_proven.extend(proven_now);
+            batch.clear();
+            csum = 0;
+        } else {
+            // Keep collecting: generate from the *candidates*.
+            generation_basis = current.clone();
+        }
+
+        let prune: HashSet<Signature> = generation_basis.iter().cloned().collect();
+        current = generate_candidates_mr(engine, &generation_basis, &prune, params.t_gen)?;
+        level += 1;
+    }
+
+    stats.total_proven = all_proven.len();
+    let mut cores = filter_maximal(&all_proven);
+    crate::cores::attach_expected_supports(&mut cores, n);
+    stats.maximal = cores.len();
+    Ok(MrCoreGenResult { cores, proven: all_proven, table, stats, proving_jobs })
+}
+
+/// Proves a batch of levels with one MR support-counting job, evaluating
+/// Equation 1 level by level (a candidate needs all its subsignatures
+/// proven, so validation ascends).
+#[allow(clippy::too_many_arguments)]
+fn prove_batch(
+    engine: &Engine,
+    batch: &[Vec<Signature>],
+    rows: &[&[f64]],
+    n: usize,
+    tester: &SupportTester,
+    table: &mut SupportTable,
+    stats: &mut CoreGenStats,
+) -> Result<Vec<(Signature, f64)>, MrError> {
+    let flat: Vec<Signature> = batch.iter().flatten().cloned().collect();
+    let counts = proving_job(engine, &flat, rows)?;
+    for (sig, &c) in flat.iter().zip(&counts) {
+        table.insert(sig.clone(), c as f64);
+    }
+    // Validate ascending by level; a signature is proven iff Equation 1
+    // holds AND all its subsignatures are proven (matching the serial
+    // per-level semantics).
+    let mut proven_set: HashSet<Signature> = HashSet::new();
+    let mut proven: Vec<(Signature, f64)> = Vec::new();
+    let mut by_level: Vec<Vec<(&Signature, f64)>> = Vec::new();
+    for level_sigs in batch {
+        by_level.push(
+            level_sigs
+                .iter()
+                .map(|s| (s, table.get(s).unwrap_or(0.0)))
+                .collect(),
+        );
+    }
+    for level_sigs in by_level {
+        let mut proven_this_level = 0usize;
+        for (sig, support) in level_sigs {
+            let subs_ok = sig.len() == 1
+                || sig
+                    .subsignatures()
+                    .all(|sub| proven_set.contains(&sub) || was_previously_proven(table, &sub, tester, n));
+            if subs_ok && tester.passes_equation1(sig, support, n, table) {
+                proven_set.insert(sig.clone());
+                proven.push((sig.clone(), support));
+                proven_this_level += 1;
+            }
+        }
+        stats.proven_per_level.push(proven_this_level);
+    }
+    Ok(proven)
+}
+
+/// A subsignature from an *earlier batch* is proven iff it passed then;
+/// we re-derive that from the support table (its support is recorded) by
+/// re-running Equation 1 — cheap, exact, and avoids threading the proven
+/// set through batches.
+fn was_previously_proven(
+    table: &SupportTable,
+    sig: &Signature,
+    tester: &SupportTester,
+    n: usize,
+) -> bool {
+    match table.get(sig) {
+        Some(support) => tester.passes_equation1(sig, support, n, table),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3c_mapreduce::MrConfig;
+
+    fn iv(attr: usize, lo: usize, hi: usize) -> Interval {
+        Interval::new(attr, lo, hi, 10)
+    }
+
+    #[test]
+    fn parallel_candgen_matches_serial() {
+        // 40 singletons on 8 attributes → 780 pairs; force the MR path
+        // with t_gen = 0.
+        let level: Vec<Signature> = (0..40)
+            .map(|i| Signature::singleton(Interval::new(i % 8, i / 8, i / 8, 10)))
+            .collect();
+        let prune: HashSet<Signature> = level.iter().cloned().collect();
+        let serial = crate::cores::generate_candidates(&level, &prune);
+        let engine = Engine::new(MrConfig::default());
+        let parallel = generate_candidates_mr(&engine, &level, &prune, 0).unwrap();
+        assert_eq!(serial, parallel);
+        assert!(engine.cluster_metrics().num_jobs() >= 1);
+    }
+
+    #[test]
+    fn proving_job_matches_serial_counts() {
+        let candidates = vec![
+            Signature::new(vec![iv(0, 0, 2)]),
+            Signature::new(vec![iv(0, 0, 2), iv(1, 5, 9)]),
+        ];
+        let data: Vec<Vec<f64>> = (0..300)
+            .map(|i| {
+                let t = (i as f64 + 0.5) / 300.0;
+                vec![t, 1.0 - t]
+            })
+            .collect();
+        let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let engine = Engine::new(MrConfig { split_size: 37, ..MrConfig::default() });
+        let mr = proving_job(&engine, &candidates, &rows).unwrap();
+        let serial = crate::support::count_supports_naive(&candidates, &rows);
+        assert_eq!(mr, serial);
+        // Cache bytes were charged.
+        let metrics = engine.cluster_metrics();
+        assert!(metrics.jobs()[0].broadcast_bytes > 0);
+    }
+
+    #[test]
+    fn mr_coregen_equals_serial_coregen() {
+        // Planted 2D cluster; MR and serial generation must agree on the
+        // proven set and cores.
+        let mut data = Vec::new();
+        for i in 0..300 {
+            let t = (i as f64 + 0.5) / 300.0;
+            data.push(vec![0.11 + 0.08 * t, 0.56 + 0.08 * t, t]);
+        }
+        for i in 0..300 {
+            let t = (i as f64 + 0.5) / 300.0;
+            data.push(vec![t, (t * 7.0).fract(), (t * 13.0).fract()]);
+        }
+        let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let intervals = vec![iv(0, 1, 2), iv(1, 5, 6), iv(2, 0, 9)];
+        let params = P3cParams { alpha_poisson: 1e-6, ..P3cParams::default() };
+        let engine = Engine::new(MrConfig { split_size: 100, ..MrConfig::default() });
+        let mr = generate_cluster_cores_mr(&engine, &intervals, &rows, &params).unwrap();
+        let serial = crate::cores::generate_cluster_cores(&intervals, &rows, &params);
+        let mut mr_proven = mr.proven.clone();
+        let mut serial_proven = serial.proven.clone();
+        mr_proven.sort_by(|a, b| a.0.cmp(&b.0));
+        serial_proven.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(mr_proven, serial_proven);
+        let mr_sigs: Vec<&Signature> = mr.cores.iter().map(|c| &c.signature).collect();
+        let serial_sigs: Vec<&Signature> =
+            serial.cores.iter().map(|c| &c.signature).collect();
+        assert_eq!(mr_sigs, serial_sigs);
+        assert!(mr.proving_jobs >= 1);
+    }
+
+    #[test]
+    fn multi_level_collection_with_tiny_tc() {
+        // t_c = 0 forces a proving job per level — the degenerate but
+        // valid corner of the heuristic.
+        let mut data = Vec::new();
+        for i in 0..200 {
+            let t = (i as f64 + 0.5) / 200.0;
+            data.push(vec![0.15 + 0.05 * t, 0.35 + 0.05 * t]);
+        }
+        for i in 0..200 {
+            let t = (i as f64 + 0.5) / 200.0;
+            data.push(vec![t, (t * 3.0).fract()]);
+        }
+        let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let intervals = vec![iv(0, 1, 1), iv(1, 3, 4)];
+        let params =
+            P3cParams { t_c: 0, alpha_poisson: 1e-6, ..P3cParams::default() };
+        let engine = Engine::with_defaults();
+        let result =
+            generate_cluster_cores_mr(&engine, &intervals, &rows, &params).unwrap();
+        let serial =
+            crate::cores::generate_cluster_cores(&intervals, &rows, &params);
+        assert_eq!(result.proven.len(), serial.proven.len());
+    }
+
+    #[test]
+    fn empty_intervals() {
+        let rows: Vec<&[f64]> = vec![];
+        let engine = Engine::with_defaults();
+        let result =
+            generate_cluster_cores_mr(&engine, &[], &rows, &P3cParams::default()).unwrap();
+        assert!(result.cores.is_empty());
+        assert_eq!(result.proving_jobs, 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! The MapReduce implementations: P3C+-MR (Section 5) and P3C+-MR-Light
+//! (Section 6).
+//!
+//! Every data-proportional step of P3C+ is expressed as a job on the
+//! [`p3c_mapreduce::Engine`], following the paper's summation-form recipe
+//!
+//! ```text
+//! s = Σᵢ s(xᵢ) = Σ_{splits} (reduce) Σ_{xᵢ ∈ split} (map) s(xᵢ)
+//! ```
+//!
+//! * [`histogram`] — the histogram-building job (Section 5.1),
+//! * [`coregen`] — parallel candidate generation, multi-level candidate
+//!   collection, and RSSC-based candidate proving (Section 5.3),
+//! * [`em`] — EM initialization and the two-jobs-per-iteration EM loop
+//!   (Section 5.4),
+//! * [`outlier`] — the OD job and the three MVB jobs (Section 5.5),
+//! * [`inspect`] — attribute-inspection histograms, AI proving supports
+//!   and interval tightening (Sections 5.6, 5.7),
+//! * [`pipeline`] — the [`pipeline::P3cPlusMr`] and
+//!   [`pipeline::P3cPlusMrLight`] drivers chaining the jobs.
+
+pub mod coregen;
+pub mod em;
+pub mod histogram;
+pub mod inspect;
+pub mod outlier;
+pub mod pipeline;
+
+pub use pipeline::{P3cPlusMr, P3cPlusMrLight};
+
+use crate::types::Signature;
+use p3c_linalg::CovarianceAccumulator;
+use p3c_mapreduce::Weighable;
+
+/// A signature as a shuffle message (candidate generation output).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct SigMsg(pub Signature);
+
+impl Weighable for SigMsg {
+    fn weight(&self) -> usize {
+        // 4-byte length prefix + 4 packed usizes per interval.
+        4 + self.0.len() * 32
+    }
+}
+
+/// A covariance accumulator as a shuffle message (EM/OD statistics jobs).
+#[derive(Debug, Clone)]
+pub(crate) struct AccMsg(pub CovarianceAccumulator);
+
+impl Weighable for AccMsg {
+    fn weight(&self) -> usize {
+        let d = self.0.dim();
+        // linear sum + scatter matrix + (weight, weight², count).
+        8 * (d + d * d) + 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Interval;
+
+    #[test]
+    fn message_weights() {
+        let sig = Signature::new(vec![
+            Interval::new(0, 0, 1, 10),
+            Interval::new(1, 2, 3, 10),
+        ]);
+        assert_eq!(SigMsg(sig).weight(), 4 + 64);
+        let acc = CovarianceAccumulator::new(3);
+        assert_eq!(AccMsg(acc).weight(), 8 * 12 + 24);
+    }
+}

@@ -1,0 +1,115 @@
+//! The original P3C baseline (Moise, Sander & Ester, ICDM 2006) as the
+//! paper describes it in Section 3.
+//!
+//! Architecturally this is [`crate::p3cplus::P3cPlus`] with every P3C+
+//! improvement switched off: Sturges binning, Poisson-only support test,
+//! no redundancy filtering, naive outlier detection, no AI proving. The
+//! wrapper exists so the comparison experiments (Section 7.4, 7.6) read
+//! naturally.
+
+use crate::config::P3cParams;
+use crate::p3cplus::{P3cPlus, P3cResult};
+use p3c_dataset::Dataset;
+
+/// The original P3C algorithm.
+#[derive(Debug, Clone)]
+pub struct P3c {
+    inner: P3cPlus,
+}
+
+impl P3c {
+    /// Original P3C with its default configuration; only the Poisson
+    /// significance level is tunable (the paper's single P3C parameter).
+    pub fn new(alpha_poisson: f64) -> Self {
+        let params = P3cParams { alpha_poisson, ..P3cParams::original_p3c() };
+        Self { inner: P3cPlus::new(params) }
+    }
+
+    /// Original P3C with full parameter control (must keep the original
+    /// feature switches; use [`P3cPlus`] directly for the improved model).
+    pub fn with_params(params: P3cParams) -> Self {
+        assert!(
+            !params.use_effect_size && !params.use_redundancy_filter && !params.use_ai_proving,
+            "P3C wrapper requires the original feature switches; use P3cPlus for the improved model"
+        );
+        Self { inner: P3cPlus::new(params) }
+    }
+
+    pub fn params(&self) -> &P3cParams {
+        self.inner.params()
+    }
+
+    /// Clusters a normalized dataset.
+    pub fn cluster(&self, data: &Dataset) -> P3cResult {
+        self.inner.cluster(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3c_datagen::{generate, SyntheticSpec};
+
+    #[test]
+    fn finds_clusters_on_easy_data() {
+        let data = generate(&SyntheticSpec {
+            n: 2000,
+            d: 10,
+            num_clusters: 2,
+            noise_fraction: 0.0,
+            max_cluster_dims: 4,
+            seed: 3,
+            ..SyntheticSpec::default()
+        });
+        let result = P3c::new(1e-10).cluster(&data.dataset);
+        assert!(result.clustering.num_clusters() >= 2);
+    }
+
+    #[test]
+    fn uses_sturges_bins() {
+        let data = generate(&SyntheticSpec {
+            n: 1024,
+            d: 6,
+            num_clusters: 1,
+            noise_fraction: 0.0,
+            max_cluster_dims: 3,
+            seed: 1,
+            ..SyntheticSpec::default()
+        });
+        let result = P3c::new(1e-10).cluster(&data.dataset);
+        assert_eq!(result.stats.bins, 11); // Sturges on n = 1024
+    }
+
+    #[test]
+    #[should_panic(expected = "original feature switches")]
+    fn with_params_rejects_p3cplus_features() {
+        let _ = P3c::with_params(P3cParams::default());
+    }
+
+    #[test]
+    fn overestimates_cores_without_redundancy_filter() {
+        // On overlapping clusters the original P3C (no redundancy filter,
+        // Poisson-only) reports at least as many cores as P3C+.
+        let data = generate(&SyntheticSpec {
+            n: 5000,
+            d: 12,
+            num_clusters: 5,
+            noise_fraction: 0.2,
+            max_cluster_dims: 5,
+            seed: 42,
+            ..SyntheticSpec::default()
+        });
+        let original = P3c::new(1e-4).cluster(&data.dataset);
+        let plus = crate::p3cplus::P3cPlusLight::new(P3cParams {
+            alpha_poisson: 1e-4,
+            ..P3cParams::default()
+        })
+        .cluster(&data.dataset);
+        assert!(
+            original.stats.cores >= plus.stats.cores,
+            "original {} vs plus {}",
+            original.stats.cores,
+            plus.stats.cores
+        );
+    }
+}

@@ -1,0 +1,440 @@
+//! The serial P3C+ pipelines: full (EM + outlier detection) and Light.
+//!
+//! These drive the whole algorithm in-process; the MapReduce versions in
+//! [`crate::mr`] reuse the same building blocks, replacing each data scan
+//! with a job. The serial pipelines also power the per-partition work of
+//! the BoW baseline.
+
+use crate::config::{BinRuleChoice, OutlierMethod, P3cParams};
+use crate::cores::{
+    attach_expected_supports, generate_cluster_cores, ClusterCore, CoreGenStats,
+};
+use crate::em::{em_fit, initialize_from_cores};
+use crate::histogram::build_histograms_per_attr;
+use crate::inspect::{inspect_attributes, tighten_intervals};
+use crate::outlier::{
+    assign_clusters, detect_outliers_mcd, detect_outliers_mvb, detect_outliers_naive,
+};
+use crate::redundancy::filter_redundant;
+use crate::relevance::relevant_intervals;
+use p3c_dataset::{Clustering, Dataset, ProjectedCluster};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Statistics of one pipeline run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Histogram bins used.
+    pub bins: usize,
+    /// Relevant intervals found.
+    pub relevant_intervals: usize,
+    /// Core generation counters.
+    pub core_gen: CoreGenStats,
+    /// Cores removed by the redundancy filter.
+    pub redundancy_removed: usize,
+    /// Cluster cores after all filtering.
+    pub cores: usize,
+    /// EM iterations executed (0 for Light).
+    pub em_iterations: usize,
+    /// Points flagged as outliers.
+    pub outliers: usize,
+}
+
+/// Result of a P3C-family run.
+#[derive(Debug, Clone)]
+pub struct P3cResult {
+    pub clustering: Clustering,
+    /// The cluster cores behind the clusters (parallel to
+    /// `clustering.clusters` — core i produced cluster i).
+    pub cores: Vec<ClusterCore>,
+    pub stats: PipelineStats,
+}
+
+/// The P3C+ algorithm (Section 4) with the full EM + outlier-detection
+/// refinement. Configure via [`P3cParams`]; `P3cParams::original_p3c()`
+/// turns this into the original P3C baseline.
+#[derive(Debug, Clone)]
+pub struct P3cPlus {
+    params: P3cParams,
+}
+
+impl P3cPlus {
+    pub fn new(params: P3cParams) -> Self {
+        params.validate();
+        Self { params }
+    }
+
+    pub fn params(&self) -> &P3cParams {
+        &self.params
+    }
+
+    /// Clusters a normalized dataset.
+    pub fn cluster(&self, data: &Dataset) -> P3cResult {
+        let rows = data.row_refs();
+        let (cores, mut stats) = shared_core_phase(&rows, data.len(), &self.params);
+        if cores.is_empty() {
+            return empty_result(data.len(), stats);
+        }
+
+        // EM in the relevant subspace.
+        let arel: Vec<usize> =
+            cores.iter().flat_map(|c| c.signature.attributes()).collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect();
+        let init = initialize_from_cores(&cores, &rows, &arel);
+        let fit = em_fit(init, &rows, self.params.em_max_iters, self.params.em_tol);
+        stats.em_iterations = fit.iterations;
+        let eval = fit.model.evaluator();
+        let hard = assign_clusters(&eval, &rows);
+
+        // Outlier detection.
+        let assignment = match self.params.outlier {
+            OutlierMethod::Naive => {
+                detect_outliers_naive(&eval, &rows, &hard, self.params.alpha_outlier, arel.len())
+            }
+            OutlierMethod::Mvb => {
+                detect_outliers_mvb(&eval, &rows, &hard, self.params.alpha_outlier, arel.len())
+            }
+            OutlierMethod::Mcd => {
+                detect_outliers_mcd(&eval, &rows, &hard, self.params.alpha_outlier, arel.len())
+            }
+        };
+        stats.outliers = assignment.iter().filter(|&&a| a == -1).count();
+
+        // Attribute inspection + interval tightening per cluster.
+        let clustering =
+            finalize_partitioned(&rows, &assignment, &cores, &self.params);
+        P3cResult { clustering, cores, stats }
+    }
+}
+
+/// The P3C+-Light pipeline (Section 6): no EM, no outlier detection;
+/// clusters are the cluster cores' support sets, with attribute
+/// inspection restricted to points belonging to exactly one support set.
+#[derive(Debug, Clone)]
+pub struct P3cPlusLight {
+    params: P3cParams,
+}
+
+impl P3cPlusLight {
+    pub fn new(params: P3cParams) -> Self {
+        params.validate();
+        Self { params }
+    }
+
+    pub fn params(&self) -> &P3cParams {
+        &self.params
+    }
+
+    pub fn cluster(&self, data: &Dataset) -> P3cResult {
+        let rows = data.row_refs();
+        let (cores, mut stats) = shared_core_phase(&rows, data.len(), &self.params);
+        if cores.is_empty() {
+            return empty_result(data.len(), stats);
+        }
+
+        // Membership mapping m′: point → set of cores whose support set
+        // contains it (Section 6).
+        let k = cores.len();
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let mut unique_members: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let mut outliers = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            let mut containing: Vec<usize> = Vec::new();
+            for (c, core) in cores.iter().enumerate() {
+                if core.signature.contains(row) {
+                    containing.push(c);
+                }
+            }
+            match containing.as_slice() {
+                [] => outliers.push(i),
+                cs => {
+                    for &c in cs {
+                        members[c].push(i);
+                    }
+                    if let [only] = cs {
+                        unique_members[*only].push(i);
+                    }
+                }
+            }
+        }
+        stats.outliers = outliers.len();
+
+        let mut clusters = Vec::with_capacity(k);
+        for (c, core) in cores.iter().enumerate() {
+            let member_rows: Vec<&[f64]> = members[c].iter().map(|&i| rows[i]).collect();
+            let unique_rows: Vec<&[f64]> =
+                unique_members[c].iter().map(|&i| rows[i]).collect();
+            let core_attrs = core.signature.attributes();
+            // AI over unique-membership points only (the Light histogram
+            // of Section 6).
+            let extra = inspect_attributes(&unique_rows, &core_attrs, &self.params);
+            let mut attrs = core_attrs.clone();
+            attrs.extend(extra.iter().map(|iv| iv.attr));
+            // Tighten: core attributes over the full support set; AI
+            // attributes over the unique members (shared points would blur
+            // exactly the way Section 6 warns about).
+            let mut intervals = tighten_intervals(&member_rows, &core_attrs);
+            let ai_attrs: BTreeSet<usize> = extra.iter().map(|iv| iv.attr).collect();
+            intervals.extend(tighten_intervals(&unique_rows, &ai_attrs));
+            clusters.push(ProjectedCluster::new(members[c].clone(), attrs, intervals));
+        }
+        P3cResult {
+            clustering: Clustering::new(clusters, outliers),
+            cores,
+            stats,
+        }
+    }
+}
+
+/// Histogram → relevant intervals → cluster cores → redundancy filter:
+/// the part shared by every variant.
+fn shared_core_phase(
+    rows: &[&[f64]],
+    n: usize,
+    params: &P3cParams,
+) -> (Vec<ClusterCore>, PipelineStats) {
+    let mut stats = PipelineStats::default();
+    let bins_per_attr = bins_per_attribute(rows, n, params);
+    let hists = build_histograms_per_attr(rows, &bins_per_attr);
+    stats.bins = hists.bins;
+    let intervals = relevant_intervals(&hists.histograms, params.alpha_chi2);
+    stats.relevant_intervals = intervals.len();
+    let gen = generate_cluster_cores(&intervals, rows, params);
+    stats.core_gen = gen.stats.clone();
+    let mut cores = gen.cores;
+    attach_expected_supports(&mut cores, n);
+    if params.use_redundancy_filter {
+        let (kept, removed) = filter_redundant(cores);
+        cores = kept;
+        stats.redundancy_removed = removed;
+    }
+    stats.cores = cores.len();
+    (cores, stats)
+}
+
+/// Builds the final clustering from a hard partition (EM + OD output):
+/// attribute inspection on each cluster's members, then tightening.
+fn finalize_partitioned(
+    rows: &[&[f64]],
+    assignment: &[i64],
+    cores: &[ClusterCore],
+    params: &P3cParams,
+) -> Clustering {
+    let k = cores.len();
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut outliers = Vec::new();
+    for (i, &a) in assignment.iter().enumerate() {
+        if a < 0 {
+            outliers.push(i);
+        } else {
+            members[a as usize].push(i);
+        }
+    }
+    let mut clusters = Vec::with_capacity(k);
+    for (c, core) in cores.iter().enumerate() {
+        let member_rows: Vec<&[f64]> = members[c].iter().map(|&i| rows[i]).collect();
+        let core_attrs = core.signature.attributes();
+        let extra = inspect_attributes(&member_rows, &core_attrs, params);
+        let mut attrs = core_attrs;
+        attrs.extend(extra.iter().map(|iv| iv.attr));
+        let intervals = tighten_intervals(&member_rows, &attrs);
+        clusters.push(ProjectedCluster::new(members[c].clone(), attrs, intervals));
+    }
+    Clustering::new(clusters, outliers)
+}
+
+/// Per-attribute bin counts under the configured rule. The uniform rules
+/// return a constant vector; the exact-IQR extension computes each
+/// attribute's quartiles (serially — the MR pipelines use a job instead).
+pub fn bins_per_attribute(rows: &[&[f64]], n: usize, params: &P3cParams) -> Vec<usize> {
+    let d = rows.first().map_or(0, |r| r.len());
+    match params.bin_rule {
+        BinRuleChoice::Sturges | BinRuleChoice::FreedmanDiaconis => {
+            vec![params.bin_rule.to_rule().num_bins(n).max(1); d]
+        }
+        BinRuleChoice::FreedmanDiaconisIqr => {
+            let mut column = Vec::with_capacity(n);
+            (0..d)
+                .map(|j| {
+                    column.clear();
+                    column.extend(rows.iter().map(|r| r[j]));
+                    let iqr = p3c_stats::descriptive::iqr(&column).unwrap_or(0.5);
+                    iqr_bins(n, iqr)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Freedman–Diaconis bin count from an attribute's IQR, clamped to
+/// `[2, 4 × simplified-FD]` (tiny IQRs would otherwise explode the
+/// discretization).
+pub fn iqr_bins(n: usize, iqr: f64) -> usize {
+    let cap = 4 * p3c_stats::binning::freedman_diaconis_bins(n).max(1);
+    if iqr <= f64::EPSILON {
+        return cap;
+    }
+    p3c_stats::binning::freedman_diaconis_bins_with_iqr(n, iqr, 1.0).clamp(2, cap)
+}
+
+fn empty_result(n: usize, stats: PipelineStats) -> P3cResult {
+    P3cResult {
+        clustering: Clustering::new(Vec::new(), (0..n).collect()),
+        cores: Vec::new(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3c_datagen::{generate, SyntheticSpec};
+    use p3c_eval::e4sc;
+
+    fn spec(n: usize, k: usize, noise: f64, seed: u64) -> SyntheticSpec {
+        SyntheticSpec {
+            n,
+            d: 12,
+            num_clusters: k,
+            noise_fraction: noise,
+            max_cluster_dims: 5,
+            seed,
+            ..SyntheticSpec::default()
+        }
+    }
+
+    #[test]
+    fn p3cplus_recovers_planted_clusters() {
+        let data = generate(&spec(3000, 3, 0.05, 11));
+        let result = P3cPlus::new(P3cParams::default()).cluster(&data.dataset);
+        assert_eq!(result.clustering.num_clusters(), 3, "stats: {:?}", result.stats);
+        let q = e4sc(&result.clustering, &data.ground_truth);
+        assert!(q > 0.6, "E4SC = {q}");
+    }
+
+    #[test]
+    fn light_recovers_planted_clusters_cleanly() {
+        let data = generate(&spec(3000, 3, 0.1, 5));
+        let result = P3cPlusLight::new(P3cParams::default()).cluster(&data.dataset);
+        assert_eq!(result.clustering.num_clusters(), 3, "stats: {:?}", result.stats);
+        let q = e4sc(&result.clustering, &data.ground_truth);
+        assert!(q > 0.7, "E4SC = {q}");
+    }
+
+    #[test]
+    fn redundancy_filter_controls_core_count() {
+        // The Figure 5 phenomenon: without the filter, overlap regions of
+        // hidden clusters spawn extra cores; with it the count settles at
+        // the number of hidden clusters.
+        let data = generate(&spec(8000, 5, 0.2, 42));
+        let with = P3cPlusLight::new(P3cParams::default()).cluster(&data.dataset);
+        let without = P3cPlusLight::new(P3cParams {
+            use_redundancy_filter: false,
+            ..P3cParams::default()
+        })
+        .cluster(&data.dataset);
+        assert!(with.stats.cores <= without.stats.cores);
+        assert_eq!(with.stats.cores, 5, "with filter: {:?}", with.stats);
+        assert!(without.stats.cores > 5, "without filter: {:?}", without.stats);
+    }
+
+    #[test]
+    fn no_clusters_on_pure_noise() {
+        // All-uniform data: every attribute passes the uniformity test and
+        // no cores are generated.
+        let rows: Vec<Vec<f64>> = (0..2000)
+            .map(|i| {
+                (0..8)
+                    .map(|j| {
+                        let x = ((i * 37 + j * 101) % 1999) as f64 / 1999.0;
+                        (x * 7.13 + 0.31 * j as f64).fract()
+                    })
+                    .collect()
+            })
+            .collect();
+        let ds = Dataset::from_rows(rows);
+        let result = P3cPlus::new(P3cParams::default()).cluster(&ds);
+        assert_eq!(result.clustering.num_clusters(), 0, "stats: {:?}", result.stats);
+        assert_eq!(result.clustering.outliers.len(), 2000);
+    }
+
+    #[test]
+    fn every_point_is_clustered_or_outlier_exactly_once_in_full_variant() {
+        let data = generate(&spec(2000, 3, 0.1, 9));
+        let result = P3cPlus::new(P3cParams::default()).cluster(&data.dataset);
+        let mut seen = vec![0usize; data.dataset.len()];
+        for c in &result.clustering.clusters {
+            for &p in &c.points {
+                seen[p] += 1;
+            }
+        }
+        for &o in &result.clustering.outliers {
+            seen[o] += 1;
+        }
+        assert!(seen.iter().all(|&s| s == 1), "partition violated");
+    }
+
+    #[test]
+    fn light_clusters_cover_their_points() {
+        let data = generate(&spec(2000, 3, 0.05, 21));
+        let result = P3cPlusLight::new(P3cParams::default()).cluster(&data.dataset);
+        for cluster in &result.clustering.clusters {
+            // Points must lie inside the tightened intervals on core attrs.
+            for &p in &cluster.points {
+                let row = data.dataset.row(p);
+                for iv in &cluster.intervals {
+                    if cluster.attributes.contains(&iv.attr) {
+                        // AI-attr intervals are tightened over unique
+                        // members only; core-attr intervals over all.
+                        continue;
+                    }
+                    assert!(iv.contains(row));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn original_p3c_params_run_end_to_end() {
+        let data = generate(&spec(2000, 3, 0.05, 17));
+        let result = P3cPlus::new(P3cParams::original_p3c()).cluster(&data.dataset);
+        // The original algorithm still finds clusters on easy data…
+        assert!(result.clustering.num_clusters() >= 3);
+    }
+
+    #[test]
+    fn exact_iqr_binning_end_to_end() {
+        let data = generate(&spec(3000, 3, 0.05, 11));
+        let result = P3cPlusLight::new(P3cParams {
+            bin_rule: crate::config::BinRuleChoice::FreedmanDiaconisIqr,
+            ..P3cParams::default()
+        })
+        .cluster(&data.dataset);
+        assert_eq!(result.clustering.num_clusters(), 3, "stats: {:?}", result.stats);
+        let q = e4sc(&result.clustering, &data.ground_truth);
+        assert!(q > 0.6, "E4SC = {q}");
+        // Clustered attributes have small IQRs → more bins than the
+        // simplified rule's uniform count.
+        let simplified = p3c_stats::binning::freedman_diaconis_bins(3000);
+        assert!(result.stats.bins > simplified, "bins {}", result.stats.bins);
+    }
+
+    #[test]
+    fn iqr_bins_clamps() {
+        assert_eq!(iqr_bins(1000, 0.0), 4 * 10);
+        assert_eq!(iqr_bins(1000, 0.5), 10); // reduces to the simplified rule
+        assert!(iqr_bins(1000, 0.01) <= 40);
+        assert!(iqr_bins(1000, 0.9) >= 2);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let data = generate(&spec(1500, 2, 0.0, 2));
+        let result = P3cPlus::new(P3cParams::default()).cluster(&data.dataset);
+        assert!(result.stats.bins > 0);
+        assert!(result.stats.relevant_intervals > 0);
+        assert!(result.stats.em_iterations > 0);
+        assert_eq!(result.stats.cores, result.cores.len());
+    }
+}

@@ -1,0 +1,152 @@
+//! Cluster-core redundancy filtering (paper Section 4.2.1).
+//!
+//! A signature describing only the *intersection region* of other hidden
+//! clusters passes the Poisson test (the paper's Figure 2 example) but
+//! reports a cluster that does not exist. P3C+ removes such signatures:
+//!
+//! ```text
+//! S redundant in Ŝ  ⟺  S ⊆ ∪ { Sᵢ ∈ Ŝ : Sᵢ >_r S }          (Eq. 5)
+//! S₁ >_r S₂          ⟺  Supp(S₁)/Supp_exp(S₁) > Supp(S₂)/Supp_exp(S₂)  (Eq. 6)
+//! ```
+//!
+//! Containment `S ⊆ ∪ Sᵢ` is interval coverage: every interval of `S` is
+//! covered (same attribute, enclosing bin range) by an interval of some
+//! strictly-more-interesting signature.
+
+use crate::cores::ClusterCore;
+
+/// Whether `core`'s signature is covered by the union of the given
+/// (more interesting) signatures.
+fn covered_by_union(core: &ClusterCore, better: &[&ClusterCore]) -> bool {
+    core.signature.intervals().iter().all(|iv| {
+        better
+            .iter()
+            .any(|b| b.signature.intervals().iter().any(|biv| biv.covers(iv)))
+    })
+}
+
+/// Applies the redundancy filter to a core set, returning the surviving
+/// cores (input order preserved) and the number removed.
+pub fn filter_redundant(cores: Vec<ClusterCore>) -> (Vec<ClusterCore>, usize) {
+    let n = cores.len();
+    let keep: Vec<bool> = cores
+        .iter()
+        .map(|core| {
+            let ratio = core.interest_ratio();
+            let better: Vec<&ClusterCore> =
+                cores.iter().filter(|c| c.interest_ratio() > ratio).collect();
+            if better.is_empty() {
+                return true;
+            }
+            !covered_by_union(core, &better)
+        })
+        .collect();
+    let survivors: Vec<ClusterCore> = cores
+        .into_iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(c, _)| c)
+        .collect();
+    let removed = n - survivors.len();
+    (survivors, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Interval, Signature};
+
+    fn core(intervals: Vec<Interval>, support: f64, n: usize) -> ClusterCore {
+        let signature = Signature::new(intervals);
+        let expected = signature.expected_support(n);
+        ClusterCore { signature, support, expected }
+    }
+
+    fn iv(attr: usize, lo: usize, hi: usize) -> Interval {
+        Interval::new(attr, lo, hi, 10)
+    }
+
+    /// The paper's Figure 2 scenario: C1 clustered on {a1,a3}, C2 on
+    /// {a1,a2} (both 50 points of n=100, interval width 0.1); the
+    /// intersection region yields a redundant {a2,a3} signature with
+    /// support 10.
+    #[test]
+    fn figure2_redundant_signature_removed() {
+        let n = 100;
+        // S1 = {I1 on a1, I3 on a3}, S2 = {I2 on a2, I4 on a1}, S3 = {I2 on a2, I3 on a3}.
+        let s1 = core(vec![iv(1, 0, 0), iv(3, 5, 5)], 50.0, n);
+        let s2 = core(vec![iv(2, 2, 2), iv(1, 0, 0)], 50.0, n);
+        let s3 = core(vec![iv(2, 2, 2), iv(3, 5, 5)], 10.0, n);
+        // Interest ratios: S1 = S2 = 50/1 = 50; S3 = 10/1 = 10.
+        let (kept, removed) = filter_redundant(vec![s1.clone(), s2.clone(), s3]);
+        assert_eq!(removed, 1);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().any(|c| c.signature == s1.signature));
+        assert!(kept.iter().any(|c| c.signature == s2.signature));
+    }
+
+    #[test]
+    fn non_covered_signature_survives() {
+        let n = 100;
+        let s1 = core(vec![iv(0, 0, 0), iv(1, 0, 0)], 50.0, n);
+        // S3 has an interval on a fresh attribute 5 — not coverable.
+        let s3 = core(vec![iv(1, 0, 0), iv(5, 3, 3)], 10.0, n);
+        let (kept, removed) = filter_redundant(vec![s1, s3]);
+        assert_eq!(removed, 0);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn equal_interest_does_not_dominate() {
+        // Eq. 6 is strict: equal ratios never make each other redundant.
+        let n = 100;
+        let a = core(vec![iv(0, 0, 0)], 30.0, n);
+        let b = core(vec![iv(0, 0, 0)], 30.0, n);
+        let (kept, removed) = filter_redundant(vec![a, b]);
+        assert_eq!(removed, 0);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn wider_interval_covers_narrower() {
+        let n = 1000;
+        // Strong wide cluster core on a0 bins 2..5.
+        let wide = core(vec![iv(0, 2, 5)], 900.0, n);
+        // Weak core inside it.
+        let narrow = core(vec![iv(0, 3, 4)], 250.0, n);
+        // Ratios: wide = 900/(1000·0.4) = 2.25; narrow = 250/200 = 1.25.
+        let (kept, removed) = filter_redundant(vec![wide.clone(), narrow]);
+        assert_eq!(removed, 1);
+        assert_eq!(kept[0].signature, wide.signature);
+    }
+
+    #[test]
+    fn coverage_needs_every_interval() {
+        let n = 100;
+        let better = core(vec![iv(0, 0, 0)], 90.0, n);
+        // Candidate has intervals on attrs 0 and 1; only attr 0 covered.
+        let cand = core(vec![iv(0, 0, 0), iv(1, 4, 4)], 5.0, n);
+        let (kept, removed) = filter_redundant(vec![better, cand]);
+        assert_eq!(removed, 0);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (kept, removed) = filter_redundant(vec![]);
+        assert!(kept.is_empty());
+        assert_eq!(removed, 0);
+    }
+
+    #[test]
+    fn union_coverage_across_multiple_better_signatures() {
+        // Figure 2's essence: S3 is covered by S1 ∪ S2 even though neither
+        // alone covers it.
+        let n = 100;
+        let s1 = core(vec![iv(0, 0, 0), iv(2, 5, 5)], 50.0, n);
+        let s2 = core(vec![iv(1, 3, 3), iv(0, 0, 0)], 50.0, n);
+        let s3 = core(vec![iv(1, 3, 3), iv(2, 5, 5)], 10.0, n);
+        let (_, removed) = filter_redundant(vec![s1, s2, s3]);
+        assert_eq!(removed, 1);
+    }
+}

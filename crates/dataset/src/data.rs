@@ -1,0 +1,258 @@
+//! The row-major dataset container.
+
+use serde::{Deserialize, Serialize};
+
+/// An `n × d` dataset stored row-major in one contiguous allocation.
+///
+/// The P3C model assumes every attribute normalized to `[0,1]`
+/// (paper Section 3.1); [`Dataset::normalize`] produces that form and a
+/// [`NormalizationMap`] for mapping results back to original coordinates.
+///
+/// ```
+/// use p3c_dataset::Dataset;
+///
+/// let ds = Dataset::from_rows(vec![vec![0.0, 10.0], vec![4.0, 30.0]]);
+/// let (normalized, map) = ds.normalize();
+/// assert!(normalized.is_normalized());
+/// assert_eq!(normalized.row(1), &[1.0, 1.0]);
+/// assert_eq!(map.denormalize(1, 0.5), 20.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    n: usize,
+    d: usize,
+    data: Vec<f64>,
+}
+
+impl Dataset {
+    /// Builds a dataset from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n * d`.
+    pub fn new(n: usize, d: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * d, "row-major buffer has wrong length");
+        Self { n, d, data }
+    }
+
+    /// Builds a dataset from row vectors (all of equal length).
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let n = rows.len();
+        let d = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n * d);
+        for row in &rows {
+            assert_eq!(row.len(), d, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { n, d, data }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.d..(i + 1) * self.d]
+    }
+
+    /// Value of point `i` on attribute `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.d + j]
+    }
+
+    /// Iterator over row slices.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f64]> + '_ {
+        self.data.chunks_exact(self.d.max(1)).take(self.n)
+    }
+
+    /// Materialized row references — the MapReduce engine's input format
+    /// (`&[&[f64]]` chunks into splits without copying point data).
+    pub fn row_refs(&self) -> Vec<&[f64]> {
+        self.rows().collect()
+    }
+
+    /// Raw row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Per-attribute minima and maxima; `None` on an empty dataset.
+    pub fn attribute_ranges(&self) -> Option<(Vec<f64>, Vec<f64>)> {
+        if self.n == 0 || self.d == 0 {
+            return None;
+        }
+        let mut mins = vec![f64::INFINITY; self.d];
+        let mut maxs = vec![f64::NEG_INFINITY; self.d];
+        for row in self.rows() {
+            for (j, &v) in row.iter().enumerate() {
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        Some((mins, maxs))
+    }
+
+    /// Whether all values already lie in `[0,1]` (the P3C precondition).
+    pub fn is_normalized(&self) -> bool {
+        self.data.iter().all(|&v| (0.0..=1.0).contains(&v))
+    }
+
+    /// Min–max normalizes every attribute to `[0,1]`, returning the
+    /// normalized dataset and the map back to original coordinates.
+    /// Constant attributes map to `0.5`.
+    pub fn normalize(&self) -> (Dataset, NormalizationMap) {
+        let (mins, maxs) = match self.attribute_ranges() {
+            Some(r) => r,
+            None => {
+                return (
+                    self.clone(),
+                    NormalizationMap { mins: vec![], scales: vec![] },
+                )
+            }
+        };
+        let scales: Vec<f64> =
+            mins.iter().zip(&maxs).map(|(&lo, &hi)| if hi > lo { hi - lo } else { 0.0 }).collect();
+        let mut data = Vec::with_capacity(self.data.len());
+        for row in self.rows() {
+            for (j, &v) in row.iter().enumerate() {
+                if scales[j] > 0.0 {
+                    data.push((v - mins[j]) / scales[j]);
+                } else {
+                    data.push(0.5);
+                }
+            }
+        }
+        (Dataset::new(self.n, self.d, data), NormalizationMap { mins, scales })
+    }
+
+    /// Extracts the sub-dataset of the given point ids (in the given order).
+    pub fn subset(&self, ids: &[usize]) -> Dataset {
+        let mut data = Vec::with_capacity(ids.len() * self.d);
+        for &i in ids {
+            data.extend_from_slice(self.row(i));
+        }
+        Dataset::new(ids.len(), self.d, data)
+    }
+}
+
+/// The affine map produced by [`Dataset::normalize`]; lets interval bounds
+/// found in normalized space be reported in original coordinates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NormalizationMap {
+    mins: Vec<f64>,
+    scales: Vec<f64>,
+}
+
+impl NormalizationMap {
+    /// Maps a normalized value on attribute `j` back to the original scale.
+    pub fn denormalize(&self, j: usize, v: f64) -> f64 {
+        self.mins[j] + v * self.scales[j]
+    }
+
+    /// Maps an original value on attribute `j` into `[0,1]`.
+    pub fn normalize(&self, j: usize, v: f64) -> f64 {
+        if self.scales[j] > 0.0 {
+            (v - self.mins[j]) / self.scales[j]
+        } else {
+            0.5
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_rows(vec![
+            vec![0.0, 10.0],
+            vec![5.0, 20.0],
+            vec![10.0, 40.0],
+        ])
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let ds = sample();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.dim(), 2);
+        assert_eq!(ds.row(1), &[5.0, 20.0]);
+        assert_eq!(ds.get(2, 1), 40.0);
+        assert_eq!(ds.rows().count(), 3);
+    }
+
+    #[test]
+    fn normalization_maps_to_unit_interval() {
+        let (norm, map) = sample().normalize();
+        assert!(norm.is_normalized());
+        assert_eq!(norm.row(0), &[0.0, 0.0]);
+        assert_eq!(norm.row(2), &[1.0, 1.0]);
+        assert!((norm.get(1, 0) - 0.5).abs() < 1e-15);
+        assert!((norm.get(1, 1) - 1.0 / 3.0).abs() < 1e-15);
+        // Roundtrip through the map.
+        assert!((map.denormalize(1, norm.get(1, 1)) - 20.0).abs() < 1e-12);
+        assert!((map.normalize(0, 5.0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn constant_attribute_maps_to_half() {
+        let ds = Dataset::from_rows(vec![vec![7.0, 1.0], vec![7.0, 2.0]]);
+        let (norm, map) = ds.normalize();
+        assert_eq!(norm.get(0, 0), 0.5);
+        assert_eq!(norm.get(1, 0), 0.5);
+        assert_eq!(map.normalize(0, 7.0), 0.5);
+    }
+
+    #[test]
+    fn subset_selects_rows_in_order() {
+        let ds = sample();
+        let sub = ds.subset(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.row(0), ds.row(2));
+        assert_eq!(sub.row(1), ds.row(0));
+    }
+
+    #[test]
+    fn attribute_ranges() {
+        let (mins, maxs) = sample().attribute_ranges().unwrap();
+        assert_eq!(mins, vec![0.0, 10.0]);
+        assert_eq!(maxs, vec![10.0, 40.0]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::from_rows(vec![]);
+        assert!(ds.is_empty());
+        assert!(ds.attribute_ranges().is_none());
+        let (norm, _) = ds.normalize();
+        assert!(norm.is_empty());
+    }
+
+    #[test]
+    fn row_refs_chunk_into_splits() {
+        let ds = sample();
+        let refs = ds.row_refs();
+        assert_eq!(refs.len(), 3);
+        let splits: Vec<&[&[f64]]> = refs.chunks(2).collect();
+        assert_eq!(splits.len(), 2);
+        assert_eq!(splits[0][1], ds.row(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "row-major buffer")]
+    fn wrong_buffer_length_panics() {
+        let _ = Dataset::new(2, 2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,18 @@
+//! Dataset abstraction and the shared projected-clustering data model.
+//!
+//! * [`Dataset`] — a row-major `n × d` matrix of `f64` attributes,
+//!   normalized to `[0,1]` as the paper assumes (Section 3.1), with
+//!   row-slice access suited to the MapReduce engine's split inputs.
+//! * [`AttrInterval`], [`ProjectedCluster`], [`Clustering`] — the result
+//!   model shared by the algorithms (`p3c-core`), the baseline
+//!   (`p3c-bow`), the generator's ground truth (`p3c-datagen`) and the
+//!   quality measures (`p3c-eval`).
+//! * [`persist`] — plain-text and binary round-tripping for staging data
+//!   into the block store and onto disk.
+
+pub mod data;
+pub mod model;
+pub mod persist;
+
+pub use data::{Dataset, NormalizationMap};
+pub use model::{AttrInterval, Clustering, ProjectedCluster};

@@ -1,0 +1,162 @@
+//! Dataset persistence: a plain-text format and a compact binary format.
+//!
+//! The text format is one point per line, attributes space-separated, with
+//! a `n d` header line — convenient for eyeballing small sets. The binary
+//! format is a little-endian `u64 n`, `u64 d` header followed by `n·d`
+//! `f64` values — the staging format for the block store.
+
+use crate::data::Dataset;
+use std::fmt::Write as _;
+
+/// Errors when decoding persisted datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    MissingHeader,
+    BadHeader(String),
+    BadValue { line: usize, token: String },
+    WrongCount { expected: usize, got: usize },
+    TooShort,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::MissingHeader => write!(f, "missing header line"),
+            DecodeError::BadHeader(h) => write!(f, "unparsable header: {h:?}"),
+            DecodeError::BadValue { line, token } => {
+                write!(f, "unparsable value {token:?} on line {line}")
+            }
+            DecodeError::WrongCount { expected, got } => {
+                write!(f, "expected {expected} values, found {got}")
+            }
+            DecodeError::TooShort => write!(f, "binary buffer shorter than its header claims"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes a dataset as text (`n d` header + one row per line).
+pub fn to_text(ds: &Dataset) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} {}", ds.len(), ds.dim());
+    for row in ds.rows() {
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Decodes the text format produced by [`to_text`].
+pub fn from_text(text: &str) -> Result<Dataset, DecodeError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(DecodeError::MissingHeader)?;
+    let mut parts = header.split_whitespace();
+    let parse_dim = |s: Option<&str>| -> Result<usize, DecodeError> {
+        s.and_then(|t| t.parse().ok()).ok_or_else(|| DecodeError::BadHeader(header.to_string()))
+    };
+    let n = parse_dim(parts.next())?;
+    let d = parse_dim(parts.next())?;
+    let mut data = Vec::with_capacity(n * d);
+    for (lineno, line) in lines {
+        for token in line.split_whitespace() {
+            let v: f64 = token
+                .parse()
+                .map_err(|_| DecodeError::BadValue { line: lineno + 1, token: token.to_string() })?;
+            data.push(v);
+        }
+    }
+    if data.len() != n * d {
+        return Err(DecodeError::WrongCount { expected: n * d, got: data.len() });
+    }
+    Ok(Dataset::new(n, d, data))
+}
+
+/// Encodes a dataset as little-endian binary (`u64 n, u64 d, n·d f64`).
+pub fn to_bytes(ds: &Dataset) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + ds.as_slice().len() * 8);
+    out.extend_from_slice(&(ds.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(ds.dim() as u64).to_le_bytes());
+    for v in ds.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes the binary format produced by [`to_bytes`].
+pub fn from_bytes(bytes: &[u8]) -> Result<Dataset, DecodeError> {
+    if bytes.len() < 16 {
+        return Err(DecodeError::TooShort);
+    }
+    let n = u64::from_le_bytes(bytes[0..8].try_into().unwrap()) as usize;
+    let d = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    let need = 16 + n * d * 8;
+    if bytes.len() < need {
+        return Err(DecodeError::TooShort);
+    }
+    let mut data = Vec::with_capacity(n * d);
+    for chunk in bytes[16..need].chunks_exact(8) {
+        data.push(f64::from_le_bytes(chunk.try_into().unwrap()));
+    }
+    Ok(Dataset::new(n, d, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_rows(vec![vec![0.25, 0.5], vec![0.75, 1.0], vec![0.0, 0.125]])
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let ds = sample();
+        let text = to_text(&ds);
+        let back = from_text(&text).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let ds = sample();
+        let bytes = to_bytes(&ds);
+        assert_eq!(bytes.len(), 16 + 6 * 8);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn text_errors() {
+        assert_eq!(from_text("").unwrap_err(), DecodeError::MissingHeader);
+        assert!(matches!(from_text("x y\n").unwrap_err(), DecodeError::BadHeader(_)));
+        assert!(matches!(
+            from_text("1 2\n0.5 oops\n").unwrap_err(),
+            DecodeError::BadValue { .. }
+        ));
+        assert!(matches!(
+            from_text("2 2\n0.5 0.5\n").unwrap_err(),
+            DecodeError::WrongCount { expected: 4, got: 2 }
+        ));
+    }
+
+    #[test]
+    fn binary_errors() {
+        assert_eq!(from_bytes(&[0u8; 8]).unwrap_err(), DecodeError::TooShort);
+        let mut bytes = to_bytes(&sample());
+        bytes.truncate(bytes.len() - 1);
+        assert_eq!(from_bytes(&bytes).unwrap_err(), DecodeError::TooShort);
+    }
+
+    #[test]
+    fn empty_dataset_roundtrips() {
+        let ds = Dataset::from_rows(vec![]);
+        assert_eq!(from_text(&to_text(&ds)).unwrap(), ds);
+        assert_eq!(from_bytes(&to_bytes(&ds)).unwrap(), ds);
+    }
+}

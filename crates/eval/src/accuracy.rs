@@ -1,0 +1,118 @@
+//! Label accuracy for labelled data — the Section 7.6 colon experiment.
+
+use p3c_dataset::Clustering;
+use std::collections::HashMap;
+
+/// Accuracy of a clustering against per-point class labels (purity-style).
+///
+/// Every cell of the partition — each cluster, *and the outlier set as
+/// one additional cell* — votes for its majority class; a point is
+/// counted correct iff its cell's majority class equals its label. When
+/// a point belongs to several clusters, the first containing cluster
+/// decides. Points in no cluster belong to the outlier cell.
+///
+/// Grading the outlier cell by its own majority keeps the measure fair
+/// to algorithms that *explain* part of the data and explicitly reject
+/// the rest: rejecting a coherent class as outliers is a correct binary
+/// separation, not `|outliers|` errors. The floor of the measure is the
+/// majority-class frequency (attained by any single-cell partition).
+pub fn label_accuracy(clustering: &Clustering, labels: &[usize]) -> f64 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    // Cell index per point: Some(cluster) or None (outlier cell).
+    let cell_of = |p: usize| -> Option<usize> {
+        clustering.clusters.iter().position(|c| c.contains_point(p))
+    };
+
+    // Majority class per cluster cell and for the outlier cell.
+    let mut votes: Vec<HashMap<usize, usize>> =
+        vec![HashMap::new(); clustering.clusters.len() + 1];
+    for (p, &label) in labels.iter().enumerate() {
+        let cell = cell_of(p).unwrap_or(clustering.clusters.len());
+        *votes[cell].entry(label).or_insert(0) += 1;
+    }
+    let majorities: Vec<Option<usize>> = votes
+        .iter()
+        .map(|v| {
+            v.iter()
+                .max_by_key(|&(class, n)| (*n, std::cmp::Reverse(*class)))
+                .map(|(&c, _)| c)
+        })
+        .collect();
+
+    let mut correct = 0usize;
+    for (p, &label) in labels.iter().enumerate() {
+        let cell = cell_of(p).unwrap_or(clustering.clusters.len());
+        if majorities[cell] == Some(label) {
+            correct += 1;
+        }
+    }
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3c_dataset::ProjectedCluster;
+    use std::collections::BTreeSet;
+
+    fn cluster(points: Vec<usize>) -> ProjectedCluster {
+        ProjectedCluster::new(points, BTreeSet::from([0]), vec![])
+    }
+
+    #[test]
+    fn perfect_clustering() {
+        let labels = vec![0, 0, 0, 1, 1];
+        let c = Clustering::new(vec![cluster(vec![0, 1, 2]), cluster(vec![3, 4])], vec![]);
+        assert!((label_accuracy(&c, &labels) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn majority_decides() {
+        let labels = vec![0, 0, 1, 1, 1];
+        // One cluster with majority 1: the two 0-points are wrong.
+        let c = Clustering::new(vec![cluster(vec![0, 1, 2, 3, 4])], vec![]);
+        assert!((label_accuracy(&c, &labels) - 0.6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn coherent_outlier_cell_is_rewarded() {
+        // Cluster isolates class 0; class 1 is rejected wholesale — a
+        // correct binary separation scores 1.0.
+        let labels = vec![0, 0, 1, 1];
+        let c = Clustering::new(vec![cluster(vec![0, 1])], vec![2, 3]);
+        assert!((label_accuracy(&c, &labels) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mixed_outlier_cell_scores_its_majority() {
+        let labels = vec![0, 0, 0, 1, 1, 0];
+        // Outlier cell = {3, 4, 5} with labels {1, 1, 0} → majority 1.
+        let c = Clustering::new(vec![cluster(vec![0, 1, 2])], vec![3, 4, 5]);
+        // Correct: 0,1,2 (cluster majority 0) + 3,4 (outlier majority 1).
+        assert!((label_accuracy(&c, &labels) - 5.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_clustering_scores_majority_floor() {
+        let labels = vec![0, 0, 0, 1];
+        let c = Clustering::new(vec![], vec![0, 1, 2, 3]);
+        assert!((label_accuracy(&c, &labels) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_labels() {
+        let c = Clustering::new(vec![], vec![]);
+        assert_eq!(label_accuracy(&c, &[]), 0.0);
+    }
+
+    #[test]
+    fn first_containing_cluster_decides_for_overlap() {
+        let labels = vec![0, 1];
+        let c = Clustering::new(vec![cluster(vec![0, 1]), cluster(vec![1])], vec![]);
+        // Cluster 0 holds both points; tie {0:1, 1:1} broken to class 0.
+        let acc = label_accuracy(&c, &labels);
+        assert!((acc - 0.5).abs() < 1e-15);
+    }
+}

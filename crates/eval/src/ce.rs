@@ -1,0 +1,138 @@
+//! CE — clustering error (Patrikainen & Meilă), reported as a score.
+//!
+//! Like RNIA but with a **one-to-one** correspondence between found and
+//! hidden clusters: `CE = D_max / U`, where `D_max` is the total subobject
+//! intersection of the best bipartite matching and `U` the multiset union
+//! of subobjects. Splitting one hidden cluster into two found halves is
+//! punished (only one half can match) — which is exactly why the paper
+//! calls CE "too sensitive in the case of cluster splits" (Section 7.2).
+
+use crate::matching::max_weight_matching;
+use crate::subobjects::subobject_intersection;
+use p3c_dataset::Clustering;
+use std::collections::HashMap;
+
+/// CE score of `found` against `hidden`, in `[0,1]` (1 is perfect).
+pub fn ce(found: &Clustering, hidden: &Clustering) -> f64 {
+    match (found.clusters.is_empty(), hidden.clusters.is_empty()) {
+        (true, true) => return 1.0,
+        (true, false) | (false, true) => return 0.0,
+        _ => {}
+    }
+    // Matched intersection mass under the best 1:1 correspondence.
+    let weights: Vec<Vec<f64>> = found
+        .clusters
+        .iter()
+        .map(|f| hidden.clusters.iter().map(|h| subobject_intersection(f, h) as f64).collect())
+        .collect();
+    let (_, d_max) = max_weight_matching(&weights);
+
+    // Multiset union size (same accounting as RNIA's denominator).
+    let mut mult: HashMap<(usize, usize), (u32, u32)> = HashMap::new();
+    for cluster in &found.clusters {
+        for &p in &cluster.points {
+            for &a in &cluster.attributes {
+                mult.entry((p, a)).or_default().0 += 1;
+            }
+        }
+    }
+    for cluster in &hidden.clusters {
+        for &p in &cluster.points {
+            for &a in &cluster.attributes {
+                mult.entry((p, a)).or_default().1 += 1;
+            }
+        }
+    }
+    let union: u64 = mult.values().map(|&(f, h)| f.max(h) as u64).sum();
+    if union == 0 {
+        1.0
+    } else {
+        d_max / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3c_dataset::ProjectedCluster;
+    use std::collections::BTreeSet;
+
+    fn cluster(points: Vec<usize>, attrs: &[usize]) -> ProjectedCluster {
+        ProjectedCluster::new(points, attrs.iter().copied().collect::<BTreeSet<_>>(), vec![])
+    }
+
+    fn clustering(clusters: Vec<ProjectedCluster>) -> Clustering {
+        Clustering::new(clusters, vec![])
+    }
+
+    #[test]
+    fn identical_scores_one() {
+        let c = clustering(vec![
+            cluster((0..10).collect(), &[0, 1]),
+            cluster((10..20).collect(), &[2]),
+        ]);
+        assert!((ce(&c, &c) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn split_is_punished_where_rnia_is_blind() {
+        let hidden = clustering(vec![cluster((0..10).collect(), &[0])]);
+        let split = clustering(vec![
+            cluster((0..5).collect(), &[0]),
+            cluster((5..10).collect(), &[0]),
+        ]);
+        let ce_score = ce(&split, &hidden);
+        let rnia_score = crate::rnia(&split, &hidden);
+        assert!((rnia_score - 1.0).abs() < 1e-15);
+        // CE can match only one half: D = 5, U = 10.
+        assert!((ce_score - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn one_to_one_matching_picks_best_pairs() {
+        let hidden = clustering(vec![
+            cluster((0..10).collect(), &[0]),
+            cluster((10..30).collect(), &[0]),
+        ]);
+        // Found cluster A overlaps both hidden clusters; matching must give
+        // it to the one maximizing total mass.
+        let found = clustering(vec![
+            cluster((5..15).collect(), &[0]),   // 5 with h0, 5 with h1
+            cluster((15..30).collect(), &[0]),  // 15 with h1
+        ]);
+        // Best: f0→h0 (5) + f1→h1 (15) = 20. U = 30 distinct subobjects... plus f covers 5..30 = 25, union = 30.
+        let s = ce(&found, &hidden);
+        assert!((s - 20.0 / 30.0).abs() < 1e-12, "{s}");
+    }
+
+    #[test]
+    fn wrong_subspace_scores_zero() {
+        let hidden = clustering(vec![cluster((0..10).collect(), &[0])]);
+        let wrong = clustering(vec![cluster((0..10).collect(), &[1])]);
+        assert_eq!(ce(&wrong, &hidden), 0.0);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let empty = clustering(vec![]);
+        let one = clustering(vec![cluster(vec![0], &[0])]);
+        assert_eq!(ce(&empty, &empty), 1.0);
+        assert_eq!(ce(&one, &empty), 0.0);
+        assert_eq!(ce(&empty, &one), 0.0);
+    }
+
+    #[test]
+    fn bounded_by_rnia() {
+        // CE ≤ RNIA always (matching restricts the intersection mass).
+        let hidden = clustering(vec![
+            cluster((0..20).collect(), &[0, 1]),
+            cluster((20..50).collect(), &[1, 2]),
+        ]);
+        let found = clustering(vec![
+            cluster((0..15).collect(), &[0, 1]),
+            cluster((15..35).collect(), &[1]),
+            cluster((35..50).collect(), &[1, 2]),
+        ]);
+        assert!(ce(&found, &hidden) <= crate::rnia(&found, &hidden) + 1e-12);
+    }
+}

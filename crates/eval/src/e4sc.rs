@@ -1,0 +1,177 @@
+//! E4SC: symmetric subobject-F1 quality of a found clustering against the
+//! hidden ground truth.
+//!
+//! Construction (see crate docs for provenance):
+//!
+//! ```text
+//! F1_cov  = avg over hidden clusters h of  max over found f of F1(f, h)
+//! F1_prec = avg over found  clusters f of  max over hidden h of F1(f, h)
+//! E4SC    = harmonic mean of F1_cov and F1_prec
+//! ```
+//!
+//! `F1_cov` drops when hidden clusters are missed or split; `F1_prec`
+//! drops when spurious or merged clusters are reported; pairwise F1 itself
+//! drops on wrong subspaces and wrong object assignments.
+
+use crate::subobjects::pairwise_f1_subobjects;
+use p3c_dataset::Clustering;
+
+/// E4SC of `found` against `hidden`, in `[0,1]`.
+///
+/// Conventions for degenerate inputs: two empty clusterings are identical
+/// (`1.0`); one-sided emptiness scores `0.0`.
+///
+/// ```
+/// use p3c_dataset::{Clustering, ProjectedCluster};
+/// use p3c_eval::e4sc;
+/// use std::collections::BTreeSet;
+///
+/// let hidden = Clustering::new(vec![ProjectedCluster::new(
+///     (0..100).collect(), BTreeSet::from([0, 1]), vec![])], vec![]);
+/// // Same points, half the subspace: quality strictly between 0 and 1.
+/// let found = Clustering::new(vec![ProjectedCluster::new(
+///     (0..100).collect(), BTreeSet::from([1, 2]), vec![])], vec![]);
+/// let q = e4sc(&found, &hidden);
+/// assert!(q > 0.0 && q < 1.0);
+/// assert_eq!(e4sc(&hidden, &hidden), 1.0);
+/// ```
+pub fn e4sc(found: &Clustering, hidden: &Clustering) -> f64 {
+    match (found.clusters.is_empty(), hidden.clusters.is_empty()) {
+        (true, true) => return 1.0,
+        (true, false) | (false, true) => return 0.0,
+        _ => {}
+    }
+    let coverage: f64 = hidden
+        .clusters
+        .iter()
+        .map(|h| {
+            found
+                .clusters
+                .iter()
+                .map(|f| pairwise_f1_subobjects(f, h))
+                .fold(0.0f64, f64::max)
+        })
+        .sum::<f64>()
+        / hidden.clusters.len() as f64;
+    let precision: f64 = found
+        .clusters
+        .iter()
+        .map(|f| {
+            hidden
+                .clusters
+                .iter()
+                .map(|h| pairwise_f1_subobjects(f, h))
+                .fold(0.0f64, f64::max)
+        })
+        .sum::<f64>()
+        / found.clusters.len() as f64;
+    if coverage + precision == 0.0 {
+        0.0
+    } else {
+        2.0 * coverage * precision / (coverage + precision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3c_dataset::ProjectedCluster;
+    use std::collections::BTreeSet;
+
+    fn cluster(points: Vec<usize>, attrs: &[usize]) -> ProjectedCluster {
+        ProjectedCluster::new(points, attrs.iter().copied().collect::<BTreeSet<_>>(), vec![])
+    }
+
+    fn clustering(clusters: Vec<ProjectedCluster>) -> Clustering {
+        Clustering::new(clusters, vec![])
+    }
+
+    #[test]
+    fn identical_clusterings_score_one() {
+        let c = clustering(vec![
+            cluster((0..50).collect(), &[0, 1]),
+            cluster((50..100).collect(), &[2, 3]),
+        ]);
+        assert!((e4sc(&c, &c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let empty = clustering(vec![]);
+        let something = clustering(vec![cluster(vec![0], &[0])]);
+        assert_eq!(e4sc(&empty, &empty), 1.0);
+        assert_eq!(e4sc(&empty, &something), 0.0);
+        assert_eq!(e4sc(&something, &empty), 0.0);
+    }
+
+    #[test]
+    fn merge_is_punished() {
+        let hidden = clustering(vec![
+            cluster((0..50).collect(), &[0, 1]),
+            cluster((50..100).collect(), &[0, 1]),
+        ]);
+        let merged = clustering(vec![cluster((0..100).collect(), &[0, 1])]);
+        let s = e4sc(&merged, &hidden);
+        assert!(s < 0.8, "merge scored {s}");
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn wrong_subspace_is_punished() {
+        let hidden = clustering(vec![cluster((0..50).collect(), &[0, 1])]);
+        let wrong = clustering(vec![cluster((0..50).collect(), &[2, 3])]);
+        assert_eq!(e4sc(&wrong, &hidden), 0.0);
+        // Half-right subspace scores between 0 and 1.
+        let half = clustering(vec![cluster((0..50).collect(), &[1, 2])]);
+        let s = e4sc(&half, &hidden);
+        assert!(s > 0.3 && s < 0.9, "half subspace scored {s}");
+    }
+
+    #[test]
+    fn spurious_cluster_is_punished() {
+        let hidden = clustering(vec![cluster((0..50).collect(), &[0, 1])]);
+        let exact = clustering(vec![cluster((0..50).collect(), &[0, 1])]);
+        let with_spurious = clustering(vec![
+            cluster((0..50).collect(), &[0, 1]),
+            cluster((60..80).collect(), &[4, 5]),
+        ]);
+        assert!(e4sc(&with_spurious, &hidden) < e4sc(&exact, &hidden));
+    }
+
+    #[test]
+    fn missed_cluster_is_punished() {
+        let hidden = clustering(vec![
+            cluster((0..50).collect(), &[0, 1]),
+            cluster((50..100).collect(), &[2, 3]),
+        ]);
+        let partial = clustering(vec![cluster((0..50).collect(), &[0, 1])]);
+        let s = e4sc(&partial, &hidden);
+        assert!(s < 0.8 && s > 0.3, "missed cluster scored {s}");
+    }
+
+    #[test]
+    fn score_in_unit_interval_for_noisy_result() {
+        let hidden = clustering(vec![cluster((0..30).collect(), &[0, 1, 2])]);
+        let found = clustering(vec![
+            cluster((10..40).collect(), &[0, 1]),
+            cluster((0..5).collect(), &[2]),
+        ]);
+        let s = e4sc(&found, &hidden);
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn symmetry_of_identity() {
+        let a = clustering(vec![cluster((0..10).collect(), &[0])]);
+        let b = clustering(vec![cluster((0..10).collect(), &[0])]);
+        assert_eq!(e4sc(&a, &b), e4sc(&b, &a));
+    }
+
+    #[test]
+    fn better_approximation_scores_higher() {
+        let hidden = clustering(vec![cluster((0..100).collect(), &[0, 1, 2])]);
+        let close = clustering(vec![cluster((0..90).collect(), &[0, 1, 2])]);
+        let far = clustering(vec![cluster((0..50).collect(), &[0, 1])]);
+        assert!(e4sc(&close, &hidden) > e4sc(&far, &hidden));
+    }
+}

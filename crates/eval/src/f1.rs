@@ -1,0 +1,80 @@
+//! Object-level F1 — the full-space clustering measure the paper reports
+//! alongside E4SC (and criticizes: it cannot punish wrong subspaces).
+
+use crate::subobjects::pairwise_f1_objects;
+use p3c_dataset::Clustering;
+
+/// Symmetric object-level F1 of `found` against `hidden` — identical
+/// construction to [`crate::e4sc::e4sc`] but over plain object sets.
+pub fn f1_object(found: &Clustering, hidden: &Clustering) -> f64 {
+    match (found.clusters.is_empty(), hidden.clusters.is_empty()) {
+        (true, true) => return 1.0,
+        (true, false) | (false, true) => return 0.0,
+        _ => {}
+    }
+    let coverage: f64 = hidden
+        .clusters
+        .iter()
+        .map(|h| found.clusters.iter().map(|f| pairwise_f1_objects(f, h)).fold(0.0f64, f64::max))
+        .sum::<f64>()
+        / hidden.clusters.len() as f64;
+    let precision: f64 = found
+        .clusters
+        .iter()
+        .map(|f| hidden.clusters.iter().map(|h| pairwise_f1_objects(f, h)).fold(0.0f64, f64::max))
+        .sum::<f64>()
+        / found.clusters.len() as f64;
+    if coverage + precision == 0.0 {
+        0.0
+    } else {
+        2.0 * coverage * precision / (coverage + precision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3c_dataset::ProjectedCluster;
+    use std::collections::BTreeSet;
+
+    fn cluster(points: Vec<usize>, attrs: &[usize]) -> ProjectedCluster {
+        ProjectedCluster::new(points, attrs.iter().copied().collect::<BTreeSet<_>>(), vec![])
+    }
+
+    fn clustering(clusters: Vec<ProjectedCluster>) -> Clustering {
+        Clustering::new(clusters, vec![])
+    }
+
+    #[test]
+    fn identical_scores_one() {
+        let c = clustering(vec![cluster((0..20).collect(), &[0])]);
+        assert!((f1_object(&c, &c) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn blind_to_wrong_subspace() {
+        // The paper's criticism of F1, verified: same objects in a totally
+        // wrong subspace still score 1.
+        let hidden = clustering(vec![cluster((0..20).collect(), &[0, 1])]);
+        let wrong = clustering(vec![cluster((0..20).collect(), &[7, 8])]);
+        assert!((f1_object(&wrong, &hidden) - 1.0).abs() < 1e-15);
+        // ...whereas E4SC gives 0 on the same input.
+        assert_eq!(crate::e4sc(&wrong, &hidden), 0.0);
+    }
+
+    #[test]
+    fn object_errors_still_punished() {
+        let hidden = clustering(vec![cluster((0..20).collect(), &[0])]);
+        let half = clustering(vec![cluster((0..10).collect(), &[0])]);
+        let s = f1_object(&half, &hidden);
+        assert!(s < 1.0 && s > 0.0);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let empty = clustering(vec![]);
+        let one = clustering(vec![cluster(vec![0], &[0])]);
+        assert_eq!(f1_object(&empty, &empty), 1.0);
+        assert_eq!(f1_object(&one, &empty), 0.0);
+    }
+}

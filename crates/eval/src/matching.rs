@@ -1,0 +1,194 @@
+//! Maximum-weight bipartite matching (Hungarian algorithm) for the CE
+//! measure's one-to-one cluster correspondence.
+
+/// Solves the assignment problem on a `rows × cols` weight matrix,
+/// returning the matching that **maximizes** total weight and that total.
+///
+/// The returned vector has one entry per row: `Some(col)` if the row is
+/// matched, `None` otherwise. Rectangular matrices are handled by padding
+/// to a square with zero weights; zero-weight pads are reported as `None`.
+///
+/// Complexity O(n³) — cluster counts here are tiny (tens), so this is
+/// instantaneous.
+pub fn max_weight_matching(weights: &[Vec<f64>]) -> (Vec<Option<usize>>, f64) {
+    let rows = weights.len();
+    let cols = weights.first().map_or(0, Vec::len);
+    if rows == 0 || cols == 0 {
+        return (vec![None; rows], 0.0);
+    }
+    let n = rows.max(cols);
+    // Convert to a min-cost square matrix: cost = max_w − w.
+    let max_w = weights
+        .iter()
+        .flat_map(|r| r.iter().copied())
+        .fold(0.0f64, f64::max);
+    let cost = |r: usize, c: usize| -> f64 {
+        if r < rows && c < cols {
+            max_w - weights[r][c]
+        } else {
+            max_w // padding: equivalent to weight 0
+        }
+    };
+
+    // Hungarian algorithm (Jonker-style potentials), 1-indexed internals.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[col] = row matched to col
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![None; rows];
+    let mut total = 0.0;
+    for j in 1..=n {
+        let i = p[j];
+        if i >= 1 && i - 1 < rows && j - 1 < cols {
+            let w = weights[i - 1][j - 1];
+            if w > 0.0 {
+                assignment[i - 1] = Some(j - 1);
+                total += w;
+            }
+        }
+    }
+    (assignment, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_matching() {
+        let w = vec![
+            vec![7.0, 5.0, 1.0],
+            vec![2.0, 4.0, 6.0],
+            vec![8.0, 3.0, 9.0],
+        ];
+        let (assign, total) = max_weight_matching(&w);
+        // Best: (0→0)=7, (1→1)=4, (2→2)=9 → 20; check alternatives:
+        // (0→1)+ (1→2)+(2→0)=5+6+8=19; (0→0)+(1→2)+(2→1)? invalid col reuse no: 7+6+3=16.
+        assert_eq!(total, 20.0);
+        assert_eq!(assign, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn rectangular_more_rows() {
+        let w = vec![vec![5.0], vec![9.0], vec![1.0]];
+        let (assign, total) = max_weight_matching(&w);
+        assert_eq!(total, 9.0);
+        assert_eq!(assign[1], Some(0));
+        assert_eq!(assign[0], None);
+        assert_eq!(assign[2], None);
+    }
+
+    #[test]
+    fn rectangular_more_cols() {
+        let w = vec![vec![1.0, 100.0, 3.0]];
+        let (assign, total) = max_weight_matching(&w);
+        assert_eq!(total, 100.0);
+        assert_eq!(assign, vec![Some(1)]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let (assign, total) = max_weight_matching(&[]);
+        assert!(assign.is_empty());
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    fn all_zero_weights_match_nothing() {
+        let w = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        let (assign, total) = max_weight_matching(&w);
+        assert_eq!(total, 0.0);
+        assert_eq!(assign, vec![None, None]);
+    }
+
+    #[test]
+    fn one_to_one_constraint_holds() {
+        // A greedy matcher would give row0→col0 (10) and row1 nothing good;
+        // optimal sacrifices row0 to col1.
+        let w = vec![vec![10.0, 9.0], vec![10.0, 0.0]];
+        let (assign, total) = max_weight_matching(&w);
+        assert_eq!(total, 19.0);
+        assert_eq!(assign, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn brute_force_agreement() {
+        // Exhaustively compare against permutation enumeration on 4×4.
+        let w: Vec<Vec<f64>> = vec![
+            vec![3.0, 8.0, 2.0, 9.0],
+            vec![7.0, 1.0, 5.0, 4.0],
+            vec![6.0, 9.0, 2.0, 2.0],
+            vec![4.0, 4.0, 8.0, 1.0],
+        ];
+        let perms = permutations(4);
+        let best = perms
+            .iter()
+            .map(|p| p.iter().enumerate().map(|(r, &c)| w[r][c]).sum::<f64>())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let (_, total) = max_weight_matching(&w);
+        assert_eq!(total, best);
+    }
+
+    fn permutations(n: usize) -> Vec<Vec<usize>> {
+        if n == 1 {
+            return vec![vec![0]];
+        }
+        let smaller = permutations(n - 1);
+        let mut out = Vec::new();
+        for p in smaller {
+            for pos in 0..=p.len() {
+                let mut q: Vec<usize> = p.clone();
+                q.insert(pos, n - 1);
+                out.push(q);
+            }
+        }
+        out
+    }
+}

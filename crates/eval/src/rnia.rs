@@ -1,0 +1,119 @@
+//! RNIA — relative non-intersecting area (Patrikainen & Meilă), reported
+//! here as a score: `1 − (U − I)/U = I/U` over subobject multisets.
+
+use p3c_dataset::Clustering;
+use std::collections::HashMap;
+
+/// Per-subobject coverage multiplicities of a clustering.
+fn multiplicities(c: &Clustering) -> HashMap<(usize, usize), u32> {
+    let mut m = HashMap::new();
+    for cluster in &c.clusters {
+        for &p in &cluster.points {
+            for &a in &cluster.attributes {
+                *m.entry((p, a)).or_insert(0u32) += 1;
+            }
+        }
+    }
+    m
+}
+
+/// RNIA score of `found` against `hidden`, in `[0,1]` (1 is perfect).
+///
+/// `I = Σ min(m_found, m_hidden)` and `U = Σ max(m_found, m_hidden)` over
+/// all subobjects, with multiset semantics so overlapping clusters count
+/// multiply. Two empty clusterings score 1.
+pub fn rnia(found: &Clustering, hidden: &Clustering) -> f64 {
+    let mf = multiplicities(found);
+    let mh = multiplicities(hidden);
+    let mut intersection = 0u64;
+    let mut union = 0u64;
+    for (so, &cf) in &mf {
+        let ch = mh.get(so).copied().unwrap_or(0);
+        intersection += cf.min(ch) as u64;
+        union += cf.max(ch) as u64;
+    }
+    for (so, &ch) in &mh {
+        if !mf.contains_key(so) {
+            union += ch as u64;
+        }
+    }
+    if union == 0 {
+        1.0 // both clusterings cover nothing — identical
+    } else {
+        intersection as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3c_dataset::ProjectedCluster;
+    use std::collections::BTreeSet;
+
+    fn cluster(points: Vec<usize>, attrs: &[usize]) -> ProjectedCluster {
+        ProjectedCluster::new(points, attrs.iter().copied().collect::<BTreeSet<_>>(), vec![])
+    }
+
+    fn clustering(clusters: Vec<ProjectedCluster>) -> Clustering {
+        Clustering::new(clusters, vec![])
+    }
+
+    #[test]
+    fn identical_scores_one() {
+        let c = clustering(vec![cluster((0..10).collect(), &[0, 1])]);
+        assert!((rnia(&c, &c) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn disjoint_scores_zero() {
+        let a = clustering(vec![cluster((0..10).collect(), &[0])]);
+        let b = clustering(vec![cluster((10..20).collect(), &[0])]);
+        assert_eq!(rnia(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn half_coverage() {
+        // found covers 10×1 subobjects, hidden 20×1, intersection 10 → 10/20.
+        let found = clustering(vec![cluster((0..10).collect(), &[0])]);
+        let hidden = clustering(vec![cluster((0..20).collect(), &[0])]);
+        assert!((rnia(&found, &hidden) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn multiset_semantics() {
+        // found double-covers the same subobjects with two clusters; hidden
+        // covers once. I = Σ min(2,1) = 10, U = Σ max(2,1) = 20.
+        let found = clustering(vec![
+            cluster((0..10).collect(), &[0]),
+            cluster((0..10).collect(), &[0]),
+        ]);
+        let hidden = clustering(vec![cluster((0..10).collect(), &[0])]);
+        assert!((rnia(&found, &hidden) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_both_is_one() {
+        let empty = clustering(vec![]);
+        assert_eq!(rnia(&empty, &empty), 1.0);
+    }
+
+    #[test]
+    fn empty_one_side_is_zero() {
+        let empty = clustering(vec![]);
+        let one = clustering(vec![cluster(vec![0], &[0])]);
+        assert_eq!(rnia(&empty, &one), 0.0);
+        assert_eq!(rnia(&one, &empty), 0.0);
+    }
+
+    #[test]
+    fn insensitive_to_splits_unlike_ce() {
+        // RNIA is (by design) blind to splitting a cluster into two halves
+        // that cover the same subobjects.
+        let hidden = clustering(vec![cluster((0..10).collect(), &[0])]);
+        let split = clustering(vec![
+            cluster((0..5).collect(), &[0]),
+            cluster((5..10).collect(), &[0]),
+        ]);
+        assert!((rnia(&split, &hidden) - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,117 @@
+//! Subobject arithmetic shared by the quality measures.
+
+use p3c_dataset::ProjectedCluster;
+
+/// Size of the intersection of two sorted, deduplicated id lists
+/// (two-pointer scan).
+pub fn sorted_intersection_count(a: &[usize], b: &[usize]) -> usize {
+    let (mut i, mut j, mut count) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// `|sub(A) ∩ sub(B)| = |points ∩| · |attrs ∩|` — the factorized subobject
+/// intersection of two projected clusters.
+pub fn subobject_intersection(a: &ProjectedCluster, b: &ProjectedCluster) -> usize {
+    let points = sorted_intersection_count(&a.points, &b.points);
+    if points == 0 {
+        return 0;
+    }
+    let attrs = a.attributes.intersection(&b.attributes).count();
+    points * attrs
+}
+
+/// Pairwise F1 of two clusters over subobject sets.
+pub fn pairwise_f1_subobjects(a: &ProjectedCluster, b: &ProjectedCluster) -> f64 {
+    let inter = subobject_intersection(a, b) as f64;
+    pairwise_f1_from_counts(inter, a.num_subobjects() as f64, b.num_subobjects() as f64)
+}
+
+/// Pairwise F1 of two clusters over plain object sets (ignores subspaces).
+pub fn pairwise_f1_objects(a: &ProjectedCluster, b: &ProjectedCluster) -> f64 {
+    let inter = sorted_intersection_count(&a.points, &b.points) as f64;
+    pairwise_f1_from_counts(inter, a.size() as f64, b.size() as f64)
+}
+
+/// F1 from intersection and set sizes; 0 when either set is empty.
+pub fn pairwise_f1_from_counts(intersection: f64, size_a: f64, size_b: f64) -> f64 {
+    if size_a <= 0.0 || size_b <= 0.0 || intersection <= 0.0 {
+        return 0.0;
+    }
+    let precision = intersection / size_a;
+    let recall = intersection / size_b;
+    2.0 * precision * recall / (precision + recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn cluster(points: Vec<usize>, attrs: &[usize]) -> ProjectedCluster {
+        ProjectedCluster::new(points, attrs.iter().copied().collect::<BTreeSet<_>>(), vec![])
+    }
+
+    #[test]
+    fn intersection_count() {
+        assert_eq!(sorted_intersection_count(&[1, 3, 5], &[2, 3, 5, 7]), 2);
+        assert_eq!(sorted_intersection_count(&[], &[1]), 0);
+        assert_eq!(sorted_intersection_count(&[1, 2], &[1, 2]), 2);
+    }
+
+    #[test]
+    fn subobject_intersection_factorizes() {
+        let a = cluster(vec![0, 1, 2, 3], &[0, 1]);
+        let b = cluster(vec![2, 3, 4], &[1, 2]);
+        // points ∩ = {2,3} (2), attrs ∩ = {1} (1) → 2 subobjects.
+        assert_eq!(subobject_intersection(&a, &b), 2);
+    }
+
+    #[test]
+    fn identical_clusters_have_f1_one() {
+        let a = cluster(vec![0, 1, 2], &[3, 4]);
+        assert!((pairwise_f1_subobjects(&a, &a) - 1.0).abs() < 1e-15);
+        assert!((pairwise_f1_objects(&a, &a) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn disjoint_clusters_have_f1_zero() {
+        let a = cluster(vec![0, 1], &[0]);
+        let b = cluster(vec![2, 3], &[0]);
+        assert_eq!(pairwise_f1_subobjects(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn wrong_subspace_penalized() {
+        // Same points, disjoint subspaces: subobject F1 is 0, object F1 is 1.
+        let a = cluster(vec![0, 1, 2], &[0, 1]);
+        let b = cluster(vec![0, 1, 2], &[2, 3]);
+        assert_eq!(pairwise_f1_subobjects(&a, &b), 0.0);
+        assert!((pairwise_f1_objects(&a, &b) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn partial_overlap_value() {
+        // A = {0..4}×{0}, B = {0..9}×{0}: P = 1, R = 0.5 → F1 = 2/3.
+        let a = cluster((0..5).collect(), &[0]);
+        let b = cluster((0..10).collect(), &[0]);
+        assert!((pairwise_f1_subobjects(&a, &b) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cluster_yields_zero() {
+        let a = cluster(vec![], &[0]);
+        let b = cluster(vec![0], &[0]);
+        assert_eq!(pairwise_f1_subobjects(&a, &b), 0.0);
+    }
+}

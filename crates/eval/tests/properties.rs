@@ -1,0 +1,86 @@
+//! Property-based tests for the quality measures.
+
+use p3c_dataset::{Clustering, ProjectedCluster};
+use p3c_eval::{ce, e4sc, f1_object, rnia};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Random clustering over point ids `< 60` and attributes `< 8`.
+fn arb_clustering() -> impl Strategy<Value = Clustering> {
+    prop::collection::vec(
+        (
+            prop::collection::btree_set(0usize..60, 1..20),
+            prop::collection::btree_set(0usize..8, 1..4),
+        ),
+        1..5,
+    )
+    .prop_map(|spec| {
+        let clusters = spec
+            .into_iter()
+            .map(|(points, attrs)| {
+                ProjectedCluster::new(points.into_iter().collect(), attrs, vec![])
+            })
+            .collect();
+        Clustering::new(clusters, vec![])
+    })
+}
+
+proptest! {
+    #[test]
+    fn measures_are_in_unit_interval(a in arb_clustering(), b in arb_clustering()) {
+        for (name, v) in [
+            ("e4sc", e4sc(&a, &b)),
+            ("f1", f1_object(&a, &b)),
+            ("rnia", rnia(&a, &b)),
+            ("ce", ce(&a, &b)),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&v), "{name} = {v}");
+        }
+    }
+
+    #[test]
+    fn identity_scores_one(a in arb_clustering()) {
+        prop_assert!((e4sc(&a, &a) - 1.0).abs() < 1e-12);
+        prop_assert!((f1_object(&a, &a) - 1.0).abs() < 1e-12);
+        prop_assert!((rnia(&a, &a) - 1.0).abs() < 1e-12);
+        prop_assert!((ce(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rnia_and_ce_are_symmetric(a in arb_clustering(), b in arb_clustering()) {
+        prop_assert!((rnia(&a, &b) - rnia(&b, &a)).abs() < 1e-12);
+        prop_assert!((ce(&a, &b) - ce(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn e4sc_is_symmetric(a in arb_clustering(), b in arb_clustering()) {
+        // The harmonic combination of both directional averages is
+        // symmetric by construction.
+        prop_assert!((e4sc(&a, &b) - e4sc(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ce_bounded_by_rnia(a in arb_clustering(), b in arb_clustering()) {
+        prop_assert!(ce(&a, &b) <= rnia(&a, &b) + 1e-12);
+    }
+
+    #[test]
+    fn subobject_blindness_ordering(a in arb_clustering()) {
+        // Replacing every cluster's subspace with a disjoint one zeroes
+        // E4SC/RNIA/CE but leaves object-F1 at 1.
+        let shifted = Clustering::new(
+            a.clusters
+                .iter()
+                .map(|c| {
+                    let attrs: BTreeSet<usize> = c.attributes.iter().map(|x| x + 100).collect();
+                    ProjectedCluster::new(c.points.clone(), attrs, vec![])
+                })
+                .collect(),
+            vec![],
+        );
+        prop_assert_eq!(e4sc(&shifted, &a), 0.0);
+        prop_assert_eq!(rnia(&shifted, &a), 0.0);
+        prop_assert_eq!(ce(&shifted, &a), 0.0);
+        prop_assert!((f1_object(&shifted, &a) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,212 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! Covariance matrices estimated from finite clusters are occasionally
+//! rank-deficient (e.g. a cluster that is constant on an attribute), so the
+//! factorization offers a regularized constructor that adds an escalating
+//! ridge until the matrix becomes positive definite.
+
+use crate::matrix::Matrix;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    n: usize,
+    /// Row-major lower-triangular factor (upper part is zero).
+    l: Vec<f64>,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Returns `None` if the matrix is not (numerically) positive definite.
+    pub fn new(a: &Matrix) -> Option<Self> {
+        assert_eq!(a.rows(), a.cols(), "Cholesky of non-square matrix");
+        let n = a.rows();
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return None;
+                    }
+                    l[i * n + j] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        Some(Self { n, l })
+    }
+
+    /// Factorizes after adding an escalating ridge to the diagonal.
+    ///
+    /// Starts at `1e-9 * max_diag` and multiplies by 10 until the matrix
+    /// factorizes or the ridge exceeds the largest diagonal entry, at which
+    /// point `None` is returned (the matrix is hopeless).
+    pub fn new_regularized(a: &Matrix) -> Option<Self> {
+        if let Some(c) = Self::new(a) {
+            return Some(c);
+        }
+        let max_diag = (0..a.rows()).map(|i| a[(i, i)].abs()).fold(0.0f64, f64::max).max(1e-12);
+        let mut ridge = max_diag * 1e-9;
+        while ridge <= max_diag {
+            let mut reg = a.clone();
+            reg.add_ridge(ridge);
+            if let Some(c) = Self::new(&reg) {
+                return Some(c);
+            }
+            ridge *= 10.0;
+        }
+        None
+    }
+
+    /// Order of the factorized matrix.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `L y = b` (forward substitution).
+    #[allow(clippy::needless_range_loop)] // indexed form mirrors the math
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[i * self.n + k] * y[k];
+            }
+            y[i] = sum / self.l[i * self.n + i];
+        }
+        y
+    }
+
+    /// Solves `A x = b` via forward then backward substitution.
+    #[allow(clippy::needless_range_loop)] // indexed form mirrors the math
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let y = self.solve_lower(b);
+        // Back substitution with Lᵀ.
+        let mut x = vec![0.0; self.n];
+        for i in (0..self.n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..self.n {
+                sum -= self.l[k * self.n + i] * x[k];
+            }
+            x[i] = sum / self.l[i * self.n + i];
+        }
+        x
+    }
+
+    /// Squared Mahalanobis length `diffᵀ A⁻¹ diff` of an offset vector.
+    ///
+    /// Uses `‖L⁻¹ diff‖²`, avoiding an explicit inverse.
+    pub fn mahalanobis_sq(&self, diff: &[f64]) -> f64 {
+        let y = self.solve_lower(diff);
+        y.iter().map(|v| v * v).sum()
+    }
+
+    /// `ln det A = 2 Σ ln L_ii` — needed by the Gaussian log-density in EM.
+    pub fn log_det(&self) -> f64 {
+        (0..self.n).map(|i| self.l[i * self.n + i].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Explicit inverse of the factorized matrix (rarely needed; prefer
+    /// [`Cholesky::solve`]).
+    pub fn inverse(&self) -> Matrix {
+        let mut inv = Matrix::zeros(self.n, self.n);
+        let mut e = vec![0.0; self.n];
+        for j in 0..self.n {
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            for i in 0..self.n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 3.0, 0.4], &[0.6, 0.4, 2.0]])
+    }
+
+    #[test]
+    fn factorization_reconstructs_matrix() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        // Reconstruct L L^T and compare.
+        let n = c.order();
+        for i in 0..n {
+            for j in 0..n {
+                let mut v = 0.0;
+                for k in 0..n {
+                    v += c.l[i * n + k] * c.l[j * n + k];
+                }
+                assert!((v - a[(i, j)]).abs() < 1e-12, "entry ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct_inverse() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let x = c.solve(&b);
+        let back = a.mul_vec(&x);
+        for (u, v) in back.iter().zip(b.iter()) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_determinant() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        assert!((c.log_det() - a.determinant().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(Cholesky::new(&a).is_none());
+    }
+
+    #[test]
+    fn regularized_handles_singular() {
+        // Rank-1 covariance: classic degenerate cluster.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let c = Cholesky::new_regularized(&a).expect("regularization should succeed");
+        // Mahalanobis along the null direction must be finite and large-ish.
+        let d = c.mahalanobis_sq(&[1.0, -1.0]);
+        assert!(d.is_finite());
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn inverse_agrees_with_gauss_jordan() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let inv1 = c.inverse();
+        let inv2 = a.inverse().unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((inv1[(i, j)] - inv2[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn mahalanobis_of_zero_vector_is_zero() {
+        let c = Cholesky::new(&spd3()).unwrap();
+        assert_eq!(c.mahalanobis_sq(&[0.0, 0.0, 0.0]), 0.0);
+    }
+}

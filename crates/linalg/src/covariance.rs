@@ -1,0 +1,284 @@
+//! Weighted mean/covariance estimation in the paper's summation form.
+//!
+//! Section 5.4 of the paper expresses EM initialization and covariance
+//! estimation as sums computable record-by-record in a mapper and combined
+//! in a reducer:
+//!
+//! ```text
+//! l_C  = Σ w_{C,i} · x_i          (weighted linear sum)
+//! w_C  = Σ w_{C,i}                (sum of weights)
+//! w_C2 = Σ w_{C,i}²               (sum of squared weights)
+//! μ_C  = l_C / w_C
+//! Σ_C  = w_C / (w_C² − w_C2) · Σ w_{C,i} (x_i − μ_C)(x_i − μ_C)ᵀ
+//! ```
+//!
+//! [`CovarianceAccumulator`] implements exactly those statistics and is
+//! *mergeable*, so partial accumulators from independent splits combine into
+//! the global result — the key property exploited by the MapReduce jobs.
+//! The scatter part uses a shifted two-pass-free formulation (sums of
+//! `w·x xᵀ`) so that merging stays exact.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Mergeable accumulator of weighted first and second moments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CovarianceAccumulator {
+    dim: usize,
+    /// Σ w_i x_i
+    linear: Vec<f64>,
+    /// Σ w_i x_i x_iᵀ (row-major, symmetric)
+    scatter: Vec<f64>,
+    /// Σ w_i
+    weight: f64,
+    /// Σ w_i²
+    weight_sq: f64,
+    /// Number of observations folded in (unweighted count).
+    count: u64,
+}
+
+impl CovarianceAccumulator {
+    /// Empty accumulator for `dim`-dimensional observations.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            linear: vec![0.0; dim],
+            scatter: vec![0.0; dim * dim],
+            weight: 0.0,
+            weight_sq: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Dimensionality of accepted observations.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Adds one observation with weight `w` (weights are EM
+    /// responsibilities; pass `1.0` for hard assignments).
+    #[allow(clippy::needless_range_loop)] // indexed form mirrors the math
+    pub fn push(&mut self, x: &[f64], w: f64) {
+        debug_assert_eq!(x.len(), self.dim);
+        if w == 0.0 {
+            return;
+        }
+        for (li, &xi) in self.linear.iter_mut().zip(x) {
+            *li += w * xi;
+        }
+        for i in 0..self.dim {
+            let wxi = w * x[i];
+            for j in 0..self.dim {
+                self.scatter[i * self.dim + j] += wxi * x[j];
+            }
+        }
+        self.weight += w;
+        self.weight_sq += w * w;
+        self.count += 1;
+    }
+
+    /// Merges a partial accumulator from another split.
+    pub fn merge(&mut self, other: &CovarianceAccumulator) {
+        assert_eq!(self.dim, other.dim, "merging accumulators of different dims");
+        for (a, b) in self.linear.iter_mut().zip(&other.linear) {
+            *a += b;
+        }
+        for (a, b) in self.scatter.iter_mut().zip(&other.scatter) {
+            *a += b;
+        }
+        self.weight += other.weight;
+        self.weight_sq += other.weight_sq;
+        self.count += other.count;
+    }
+
+    /// Total weight `w_C`.
+    pub fn total_weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Number of observations pushed (over all merged parts).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Weighted mean `μ_C`, or `None` when no weight was accumulated.
+    pub fn mean(&self) -> Option<Vec<f64>> {
+        if self.weight <= 0.0 {
+            return None;
+        }
+        Some(self.linear.iter().map(|l| l / self.weight).collect())
+    }
+
+    /// Unbiased weighted covariance `Σ_C` using the paper's
+    /// `w_C/(w_C² − w_C2)` normalization (reduces to `1/(n−1)` for unit
+    /// weights). `None` when fewer than two effective observations exist.
+    pub fn covariance(&self) -> Option<Matrix> {
+        let mean = self.mean()?;
+        let denom = self.weight * self.weight - self.weight_sq;
+        if denom <= 0.0 {
+            return None;
+        }
+        let norm = self.weight / denom;
+        let mut cov = Matrix::zeros(self.dim, self.dim);
+        // Σ w (x−μ)(x−μ)ᵀ = scatter − w_C μ μᵀ  (since Σ w x = w_C μ).
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                let centered = self.scatter[i * self.dim + j] - self.weight * mean[i] * mean[j];
+                cov[(i, j)] = norm * centered;
+            }
+        }
+        Some(cov)
+    }
+
+    /// Biased (maximum-likelihood) covariance `1/w_C Σ w (x−μ)(x−μ)ᵀ`,
+    /// the form EM's M-step uses.
+    pub fn covariance_ml(&self) -> Option<Matrix> {
+        let mean = self.mean()?;
+        if self.weight <= 0.0 {
+            return None;
+        }
+        let mut cov = Matrix::zeros(self.dim, self.dim);
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                let centered = self.scatter[i * self.dim + j] - self.weight * mean[i] * mean[j];
+                cov[(i, j)] = centered / self.weight;
+            }
+        }
+        Some(cov)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Vec<f64>> {
+        vec![
+            vec![1.0, 2.0],
+            vec![3.0, 1.0],
+            vec![2.0, 4.0],
+            vec![0.0, 0.0],
+            vec![4.0, 3.0],
+        ]
+    }
+
+    /// Textbook two-pass covariance for comparison.
+    fn naive_cov(points: &[Vec<f64>]) -> (Vec<f64>, Matrix) {
+        let n = points.len() as f64;
+        let d = points[0].len();
+        let mut mean = vec![0.0; d];
+        for p in points {
+            for (m, x) in mean.iter_mut().zip(p) {
+                *m += x / n;
+            }
+        }
+        let mut cov = Matrix::zeros(d, d);
+        for p in points {
+            for i in 0..d {
+                for j in 0..d {
+                    cov[(i, j)] += (p[i] - mean[i]) * (p[j] - mean[j]) / (n - 1.0);
+                }
+            }
+        }
+        (mean, cov)
+    }
+
+    #[test]
+    fn matches_two_pass_estimator() {
+        let pts = sample();
+        let mut acc = CovarianceAccumulator::new(2);
+        for p in &pts {
+            acc.push(p, 1.0);
+        }
+        let (mean, cov) = naive_cov(&pts);
+        let m = acc.mean().unwrap();
+        let c = acc.covariance().unwrap();
+        for (a, b) in m.iter().zip(&mean) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((c[(i, j)] - cov[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_accumulator() {
+        let pts = sample();
+        let mut whole = CovarianceAccumulator::new(2);
+        for p in &pts {
+            whole.push(p, 1.0);
+        }
+        let mut a = CovarianceAccumulator::new(2);
+        let mut b = CovarianceAccumulator::new(2);
+        for (i, p) in pts.iter().enumerate() {
+            if i % 2 == 0 {
+                a.push(p, 1.0);
+            } else {
+                b.push(p, 1.0);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        let (cw, cm) = (whole.covariance().unwrap(), a.covariance().unwrap());
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((cw[(i, j)] - cm[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_mean_prefers_heavy_points() {
+        let mut acc = CovarianceAccumulator::new(1);
+        acc.push(&[0.0], 1.0);
+        acc.push(&[10.0], 3.0);
+        let m = acc.mean().unwrap();
+        assert!((m[0] - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_is_ignored() {
+        let mut acc = CovarianceAccumulator::new(1);
+        acc.push(&[5.0], 0.0);
+        assert!(acc.mean().is_none());
+    }
+
+    #[test]
+    fn single_point_has_no_covariance() {
+        let mut acc = CovarianceAccumulator::new(2);
+        acc.push(&[1.0, 2.0], 1.0);
+        assert!(acc.covariance().is_none());
+        assert!(acc.mean().is_some());
+    }
+
+    #[test]
+    fn ml_covariance_is_smaller_by_n_minus_1_over_n() {
+        let pts = sample();
+        let mut acc = CovarianceAccumulator::new(2);
+        for p in &pts {
+            acc.push(p, 1.0);
+        }
+        let unbiased = acc.covariance().unwrap();
+        let ml = acc.covariance_ml().unwrap();
+        let ratio = (pts.len() as f64 - 1.0) / pts.len() as f64;
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((ml[(i, j)] - unbiased[(i, j)] * ratio).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd() {
+        let pts = sample();
+        let mut acc = CovarianceAccumulator::new(2);
+        for p in &pts {
+            acc.push(p, 0.5 + (p[0] * 0.1));
+        }
+        let c = acc.covariance().unwrap();
+        assert!(c.is_symmetric(1e-12));
+        assert!(crate::Cholesky::new_regularized(&c).is_some());
+    }
+}

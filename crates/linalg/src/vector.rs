@@ -1,0 +1,107 @@
+//! Free functions on `&[f64]` slices.
+//!
+//! The workspace stores points as flat `f64` slices (rows of a row-major
+//! dataset), so vector arithmetic is expressed over slices rather than a
+//! dedicated vector type.
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Element-wise difference `a - b`.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise sum `a + b`.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Scalar multiple `s * a`.
+pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
+    a.iter().map(|x| x * s).collect()
+}
+
+/// Squared Euclidean distance between two points.
+#[inline]
+pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two points.
+#[inline]
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    dist_sq(a, b).sqrt()
+}
+
+/// Euclidean distance restricted to a subset of attributes.
+///
+/// Used by the MVB (minimum volume ball) outlier detector, which operates
+/// in the relevant subspace `A_rel` only.
+pub fn dist_in_subspace(a: &[f64], b: &[f64], attrs: &[usize]) -> f64 {
+    attrs
+        .iter()
+        .map(|&j| {
+            let diff = a[j] - b[j];
+            diff * diff
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn add_sub_scale_roundtrip() {
+        let a = [1.0, -2.0, 0.5];
+        let b = [0.25, 4.0, -1.0];
+        let s = add(&sub(&a, &b), &b);
+        for (x, y) in s.iter().zip(a.iter()) {
+            assert!((x - y).abs() < 1e-15);
+        }
+        let doubled = scale(&a, 2.0);
+        assert_eq!(doubled, vec![2.0, -4.0, 1.0]);
+    }
+
+    #[test]
+    fn distances() {
+        assert!((dist(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(dist_sq(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn subspace_distance_ignores_other_dims() {
+        let a = [0.0, 100.0, 0.0, 7.0];
+        let b = [3.0, -100.0, 4.0, -7.0];
+        let d = dist_in_subspace(&a, &b, &[0, 2]);
+        assert!((d - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dist_is_symmetric() {
+        let a = [0.1, 0.9, 0.5];
+        let b = [0.7, 0.2, 0.3];
+        assert!((dist(&a, &b) - dist(&b, &a)).abs() < 1e-15);
+    }
+}

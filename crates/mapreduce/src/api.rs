@@ -1,0 +1,177 @@
+//! The MapReduce programming model: mappers, reducers, combiners, emitter.
+
+use crate::weight::Weighable;
+
+/// Emitted pairs plus user counters, as returned by [`Emitter::into_parts`].
+pub type EmittedParts<K, V> = (Vec<(K, V)>, Vec<(&'static str, u64)>);
+
+/// Collector handed to map tasks; counts emitted records and bytes for the
+/// job metrics (Hadoop's "map output records/bytes" counters).
+#[derive(Debug)]
+pub struct Emitter<K, V> {
+    pairs: Vec<(K, V)>,
+    records: u64,
+    bytes: u64,
+    counters: Vec<(&'static str, u64)>,
+}
+
+impl<K: Weighable, V: Weighable> Default for Emitter<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Weighable, V: Weighable> Emitter<K, V> {
+    /// Creates an empty emitter. Public so mapper implementations can be
+    /// unit-tested outside the engine.
+    pub fn new() -> Self {
+        Self { pairs: Vec::new(), records: 0, bytes: 0, counters: Vec::new() }
+    }
+
+    /// Emits one intermediate key/value pair.
+    #[inline]
+    pub fn emit(&mut self, key: K, value: V) {
+        self.records += 1;
+        self.bytes += (key.weight() + value.weight()) as u64;
+        self.pairs.push((key, value));
+    }
+
+    /// Increments a user counter (Hadoop-style custom counters).
+    pub fn inc_counter(&mut self, name: &'static str, delta: u64) {
+        if let Some(entry) = self.counters.iter_mut().find(|(n, _)| *n == name) {
+            entry.1 += delta;
+        } else {
+            self.counters.push((name, delta));
+        }
+    }
+
+    pub(crate) fn records(&self) -> u64 {
+        self.records
+    }
+
+    pub(crate) fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Consumes the emitter, returning the emitted pairs and counters.
+    /// Public for mapper unit-testing.
+    pub fn into_parts(self) -> EmittedParts<K, V> {
+        (self.pairs, self.counters)
+    }
+}
+
+/// A map task over records of type `I`, producing `(K, V)` pairs.
+///
+/// Implementations must be [`Sync`]: one mapper instance is shared by all
+/// map tasks, exactly like a Hadoop `Mapper` class configured once and
+/// instantiated per task. Any per-job configuration ("distributed cache"
+/// content) lives in the implementing struct's fields.
+pub trait Mapper<I, K, V>: Sync
+where
+    K: Weighable,
+    V: Weighable,
+{
+    /// Processes a single record.
+    fn map(&self, record: &I, out: &mut Emitter<K, V>);
+
+    /// Processes a whole input split. The default forwards record-by-record;
+    /// override to implement setup/cleanup-phase logic (e.g. the paper's
+    /// MVB mapper, which sorts its cached split in the cleanup phase).
+    fn map_split(&self, split: &[I], out: &mut Emitter<K, V>) {
+        for record in split {
+            self.map(record, out);
+        }
+    }
+}
+
+/// A reduce task: receives one key with all its values (already grouped by
+/// the shuffle) and appends output records.
+pub trait Reducer<K, V, O>: Sync {
+    fn reduce(&self, key: &K, values: Vec<V>, out: &mut Vec<O>);
+}
+
+/// A map-side combiner: folds the values of one key *within a single map
+/// task's output* before the shuffle, cutting shuffle bytes — semantics
+/// identical to Hadoop's combiner contract (must be associative).
+pub trait Combiner<K, V>: Sync {
+    fn combine(&self, key: &K, values: Vec<V>) -> V;
+}
+
+/// Blanket mapper for plain functions — convenient for small jobs/tests.
+impl<I, K, V, F> Mapper<I, K, V> for F
+where
+    F: Fn(&I, &mut Emitter<K, V>) + Sync,
+    K: Weighable,
+    V: Weighable,
+{
+    fn map(&self, record: &I, out: &mut Emitter<K, V>) {
+        self(record, out)
+    }
+}
+
+/// Blanket reducer for plain functions.
+impl<K, V, O, F> Reducer<K, V, O> for F
+where
+    F: Fn(&K, Vec<V>, &mut Vec<O>) + Sync,
+{
+    fn reduce(&self, key: &K, values: Vec<V>, out: &mut Vec<O>) {
+        self(key, values, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitter_counts_records_and_bytes() {
+        let mut e: Emitter<u32, f64> = Emitter::new();
+        e.emit(1, 2.0);
+        e.emit(2, 3.0);
+        assert_eq!(e.records(), 2);
+        assert_eq!(e.bytes(), 2 * 12);
+        let (pairs, _) = e.into_parts();
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn counters_accumulate_by_name() {
+        let mut e: Emitter<(), ()> = Emitter::new();
+        e.inc_counter("hits", 2);
+        e.inc_counter("misses", 1);
+        e.inc_counter("hits", 3);
+        let (_, counters) = e.into_parts();
+        assert!(counters.contains(&("hits", 5)));
+        assert!(counters.contains(&("misses", 1)));
+    }
+
+    #[test]
+    fn default_map_split_forwards_each_record() {
+        struct Echo;
+        impl Mapper<u32, u32, ()> for Echo {
+            fn map(&self, r: &u32, out: &mut Emitter<u32, ()>) {
+                out.emit(*r, ());
+            }
+        }
+        let mut e = Emitter::new();
+        Echo.map_split(&[1, 2, 3], &mut e);
+        let (pairs, _) = e.into_parts();
+        assert_eq!(pairs.iter().map(|p| p.0).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn closures_are_mappers_and_reducers() {
+        let m = |r: &u32, out: &mut Emitter<u32, u32>| out.emit(*r % 2, *r);
+        let mut e = Emitter::new();
+        m.map(&7, &mut e);
+        let (pairs, _) = e.into_parts();
+        assert_eq!(pairs, vec![(1, 7)]);
+
+        let r = |k: &u32, vs: Vec<u32>, out: &mut Vec<(u32, u32)>| {
+            out.push((*k, vs.into_iter().sum()));
+        };
+        let mut out = Vec::new();
+        r.reduce(&1, vec![1, 2, 3], &mut out);
+        assert_eq!(out, vec![(1, 6)]);
+    }
+}

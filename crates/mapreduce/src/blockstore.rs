@@ -1,0 +1,173 @@
+//! "HDFS-lite": a tiny in-memory replicated block store.
+//!
+//! The paper stages its datasets on HDFS; mappers read their split from the
+//! block containing it. This module models just enough of that behaviour
+//! for the examples and I/O accounting: named files are stored as
+//! fixed-size blocks, each block carries a replication factor, and the
+//! store meters bytes read and written.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default block size (small on purpose — test datasets are small too).
+pub const DEFAULT_BLOCK_SIZE: usize = 64 * 1024;
+
+/// A replicated, block-structured in-memory file store.
+#[derive(Debug)]
+pub struct BlockStore {
+    block_size: usize,
+    replication: usize,
+    files: RwLock<BTreeMap<String, Vec<Bytes>>>,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+}
+
+impl Default for BlockStore {
+    fn default() -> Self {
+        Self::new(DEFAULT_BLOCK_SIZE, 3)
+    }
+}
+
+impl BlockStore {
+    /// Creates a store with the given block size and replication factor.
+    pub fn new(block_size: usize, replication: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        assert!(replication >= 1, "replication factor must be at least 1");
+        Self {
+            block_size,
+            replication,
+            files: RwLock::new(BTreeMap::new()),
+            bytes_written: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+        }
+    }
+
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Writes (or overwrites) a file, splitting it into blocks. Charged
+    /// write bytes include replication, like a real HDFS pipeline.
+    pub fn write(&self, name: &str, data: &[u8]) {
+        let blocks: Vec<Bytes> =
+            data.chunks(self.block_size).map(Bytes::copy_from_slice).collect();
+        self.bytes_written
+            .fetch_add((data.len() * self.replication) as u64, Ordering::Relaxed);
+        self.files.write().insert(name.to_string(), blocks);
+    }
+
+    /// Reads a whole file back; `None` if absent.
+    pub fn read(&self, name: &str) -> Option<Vec<u8>> {
+        let files = self.files.read();
+        let blocks = files.get(name)?;
+        let mut out = Vec::with_capacity(blocks.iter().map(|b| b.len()).sum());
+        for b in blocks {
+            out.extend_from_slice(b);
+        }
+        self.bytes_read.fetch_add(out.len() as u64, Ordering::Relaxed);
+        Some(out)
+    }
+
+    /// Reads one block of a file; `None` if the file or block is absent.
+    pub fn read_block(&self, name: &str, index: usize) -> Option<Bytes> {
+        let files = self.files.read();
+        let block = files.get(name)?.get(index)?.clone();
+        self.bytes_read.fetch_add(block.len() as u64, Ordering::Relaxed);
+        Some(block)
+    }
+
+    /// Number of blocks of a file; `None` if absent.
+    pub fn num_blocks(&self, name: &str) -> Option<usize> {
+        self.files.read().get(name).map(|b| b.len())
+    }
+
+    /// File size in bytes; `None` if absent.
+    pub fn file_size(&self, name: &str) -> Option<usize> {
+        self.files.read().get(name).map(|b| b.iter().map(|x| x.len()).sum())
+    }
+
+    /// Deletes a file; returns whether it existed.
+    pub fn delete(&self, name: &str) -> bool {
+        self.files.write().remove(name).is_some()
+    }
+
+    /// Lists file names.
+    pub fn list(&self) -> Vec<String> {
+        self.files.read().keys().cloned().collect()
+    }
+
+    /// Total bytes written (replication included).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes read.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let store = BlockStore::new(4, 1);
+        let data = b"hello block store".to_vec();
+        store.write("f", &data);
+        assert_eq!(store.read("f").unwrap(), data);
+        assert_eq!(store.num_blocks("f"), Some(5)); // 17 bytes / 4 per block
+        assert_eq!(store.file_size("f"), Some(17));
+    }
+
+    #[test]
+    fn replication_charged_on_write() {
+        let store = BlockStore::new(1024, 3);
+        store.write("f", &[0u8; 100]);
+        assert_eq!(store.bytes_written(), 300);
+    }
+
+    #[test]
+    fn block_reads() {
+        let store = BlockStore::new(2, 1);
+        store.write("f", b"abcdef");
+        assert_eq!(store.read_block("f", 0).unwrap().as_ref(), b"ab");
+        assert_eq!(store.read_block("f", 2).unwrap().as_ref(), b"ef");
+        assert!(store.read_block("f", 3).is_none());
+        assert!(store.read_block("g", 0).is_none());
+        assert_eq!(store.bytes_read(), 4);
+    }
+
+    #[test]
+    fn missing_and_delete() {
+        let store = BlockStore::default();
+        assert!(store.read("nope").is_none());
+        store.write("x", b"1");
+        assert!(store.delete("x"));
+        assert!(!store.delete("x"));
+        assert!(store.list().is_empty());
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let store = BlockStore::new(8, 1);
+        store.write("f", b"first");
+        store.write("f", b"second!");
+        assert_eq!(store.read("f").unwrap(), b"second!".to_vec());
+    }
+
+    #[test]
+    fn empty_file() {
+        let store = BlockStore::default();
+        store.write("empty", b"");
+        assert_eq!(store.read("empty").unwrap(), Vec::<u8>::new());
+        assert_eq!(store.num_blocks("empty"), Some(0));
+    }
+}

@@ -1,0 +1,77 @@
+//! Distributed cache: broadcast side-data with cost accounting.
+//!
+//! The paper ships candidate signature sets and RSSC bit masks to every
+//! mapper "via the distributed cache" (Section 5.3). In-process, sharing
+//! is free — but its *cost on a real cluster* is not, and the evaluation
+//! depends on it. [`DistributedCache`] wraps a shared value together with
+//! its estimated broadcast size; the engine charges
+//! `bytes × number_of_map_tasks` to the job when the cache is attached.
+
+use crate::weight::Weighable;
+use std::sync::Arc;
+
+/// A broadcast value with an associated per-recipient byte cost.
+#[derive(Debug, Clone)]
+pub struct DistributedCache<T> {
+    value: Arc<T>,
+    bytes: usize,
+}
+
+impl<T> DistributedCache<T> {
+    /// Wraps a value whose broadcast size is estimated by [`Weighable`].
+    pub fn new(value: T) -> Self
+    where
+        T: Weighable,
+    {
+        let bytes = value.weight();
+        Self { value: Arc::new(value), bytes }
+    }
+
+    /// Wraps a value with an explicitly provided broadcast size
+    /// (for types without a [`Weighable`] impl).
+    pub fn with_size(value: T, bytes: usize) -> Self {
+        Self { value: Arc::new(value), bytes }
+    }
+
+    /// Shared access to the cached value.
+    pub fn get(&self) -> &T {
+        &self.value
+    }
+
+    /// Estimated serialized size of one broadcast copy.
+    pub fn byte_size(&self) -> usize {
+        self.bytes
+    }
+
+    /// A clone of the inner `Arc` (to move into mapper structs).
+    pub fn share(&self) -> Arc<T> {
+        Arc::clone(&self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighable_size_is_used() {
+        let c = DistributedCache::new(vec![0.0f64; 10]);
+        assert_eq!(c.byte_size(), 4 + 80);
+        assert_eq!(c.get().len(), 10);
+    }
+
+    #[test]
+    fn explicit_size() {
+        struct Opaque;
+        let c = DistributedCache::with_size(Opaque, 1234);
+        assert_eq!(c.byte_size(), 1234);
+    }
+
+    #[test]
+    fn share_is_same_allocation() {
+        let c = DistributedCache::new(vec![1u8, 2, 3]);
+        let a = c.share();
+        let b = c.share();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

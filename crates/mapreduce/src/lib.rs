@@ -1,0 +1,66 @@
+//! An in-process MapReduce execution engine — the Hadoop stand-in for the
+//! P3C+-MR reproduction.
+//!
+//! The paper implements P3C+ as a sequence of Hadoop jobs. This crate
+//! recreates the programming model and the observable behaviour of such a
+//! cluster inside one process:
+//!
+//! * **Programming model** — [`Mapper`], [`Reducer`] and [`Combiner`]
+//!   traits with an [`Emitter`] context ([`api`]); mappers may override
+//!   [`Mapper::map_split`] to use the whole input split (the paper's MVB
+//!   mapper does exactly that in its cleanup phase).
+//! * **Execution** — [`Engine`] chunks input into splits, runs map tasks on
+//!   a thread pool, hash-partitions and sort-merges the intermediate pairs
+//!   into `num_reducers` groups and runs the reduce tasks in parallel
+//!   ([`engine`]).
+//! * **Fault tolerance** — deterministic, seedable fault injection with
+//!   task re-execution ([`fault`]), mirroring Hadoop's retry semantics.
+//! * **Distributed cache** — a broadcast-cost-accounted side channel for
+//!   shipping candidate sets and RSSC bitmaps to every mapper ([`cache`]).
+//! * **Metrics** — per-job record/byte counters and wall-clock phases
+//!   ([`metrics`]); these drive the runtime/I/O figures of the evaluation.
+//! * **Block storage** — a tiny "HDFS-lite" ([`blockstore`]) used by the
+//!   examples to stage datasets as replicated blocks.
+//!
+//! # Example
+//!
+//! ```
+//! use p3c_mapreduce::{Engine, MrConfig, Mapper, Reducer, Emitter};
+//!
+//! /// Classic word-length count: length -> how many words.
+//! struct LenMapper;
+//! impl Mapper<&'static str, usize, u64> for LenMapper {
+//!     fn map(&self, word: &&'static str, out: &mut Emitter<usize, u64>) {
+//!         out.emit(word.len(), 1);
+//!     }
+//! }
+//! struct SumReducer;
+//! impl Reducer<usize, u64, (usize, u64)> for SumReducer {
+//!     fn reduce(&self, key: &usize, values: Vec<u64>, out: &mut Vec<(usize, u64)>) {
+//!         out.push((*key, values.into_iter().sum()));
+//!     }
+//! }
+//!
+//! let engine = Engine::new(MrConfig::default());
+//! let words = ["map", "reduce", "shuffle", "ox", "fox"];
+//! let result = engine.run("wordlen", &words, &LenMapper, &SumReducer).unwrap();
+//! let mut pairs = result.output;
+//! pairs.sort();
+//! assert_eq!(pairs, vec![(2, 1), (3, 2), (6, 1), (7, 1)]);
+//! ```
+
+pub mod api;
+pub mod blockstore;
+pub mod cache;
+pub mod engine;
+pub mod fault;
+pub mod metrics;
+pub mod weight;
+
+pub use api::{Combiner, Emitter, Mapper, Reducer};
+pub use blockstore::BlockStore;
+pub use cache::DistributedCache;
+pub use engine::{Engine, JobOutput, MrConfig, MrError};
+pub use fault::FaultPlan;
+pub use metrics::{ClusterMetrics, JobMetrics};
+pub use weight::Weighable;

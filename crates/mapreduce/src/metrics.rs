@@ -1,0 +1,154 @@
+//! Per-job and per-pipeline execution metrics.
+//!
+//! The evaluation figures of the paper (runtime and I/O, Figure 7) depend
+//! on *how much work and data movement* each algorithm causes: number of
+//! MR jobs, records mapped, bytes shuffled, bytes broadcast through the
+//! distributed cache. The engine meters all of these.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Counters for a single MapReduce job.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Job name as submitted.
+    pub job_name: String,
+    /// Number of map tasks (input splits).
+    pub map_tasks: u64,
+    /// Number of reduce tasks that received data.
+    pub reduce_tasks: u64,
+    /// Records read by all map tasks.
+    pub map_input_records: u64,
+    /// Records emitted by all map tasks (pre-combiner).
+    pub map_output_records: u64,
+    /// Bytes emitted by all map tasks (pre-combiner).
+    pub map_output_bytes: u64,
+    /// Records actually shuffled to reducers (post-combiner).
+    pub shuffle_records: u64,
+    /// Bytes actually shuffled to reducers (post-combiner).
+    pub shuffle_bytes: u64,
+    /// Distinct keys seen by reducers.
+    pub reduce_input_groups: u64,
+    /// Records produced by reducers (or by map-only output).
+    pub output_records: u64,
+    /// Bytes broadcast to every map task via the distributed cache.
+    pub broadcast_bytes: u64,
+    /// Map attempts that were failed and retried by fault injection.
+    pub failed_attempts: u64,
+    /// Speculative backup attempts launched.
+    pub speculative_attempts: u64,
+    /// Tasks whose committing attempt was a speculative backup.
+    pub speculative_wins: u64,
+    /// Wall-clock time of the map phase.
+    pub map_wall: Duration,
+    /// Wall-clock time of the shuffle+reduce phase.
+    pub reduce_wall: Duration,
+    /// User counters accumulated across all tasks.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl JobMetrics {
+    pub fn new(name: &str) -> Self {
+        Self { job_name: name.to_string(), ..Self::default() }
+    }
+
+    /// Total wall-clock of the job.
+    pub fn total_wall(&self) -> Duration {
+        self.map_wall + self.reduce_wall
+    }
+}
+
+/// Accumulated metrics of every job an [`crate::Engine`] has executed —
+/// the paper's "number of MapReduce jobs needed for clustering
+/// determination" is `jobs().len()` on this ledger.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ClusterMetrics {
+    jobs: Vec<JobMetrics>,
+}
+
+impl ClusterMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record(&mut self, job: JobMetrics) {
+        self.jobs.push(job);
+    }
+
+    /// All executed jobs, in submission order.
+    pub fn jobs(&self) -> &[JobMetrics] {
+        &self.jobs
+    }
+
+    /// Number of executed jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Total records read by map phases across all jobs.
+    pub fn total_map_input_records(&self) -> u64 {
+        self.jobs.iter().map(|j| j.map_input_records).sum()
+    }
+
+    /// Total bytes shuffled across all jobs.
+    pub fn total_shuffle_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.shuffle_bytes).sum()
+    }
+
+    /// Total bytes broadcast through the distributed cache.
+    pub fn total_broadcast_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.broadcast_bytes).sum()
+    }
+
+    /// Total wall-clock across all jobs.
+    pub fn total_wall(&self) -> Duration {
+        self.jobs.iter().map(|j| j.total_wall()).sum()
+    }
+
+    /// Clears the ledger (e.g. between benchmark repetitions).
+    pub fn reset(&mut self) {
+        self.jobs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates_jobs() {
+        let mut c = ClusterMetrics::new();
+        assert_eq!(c.num_jobs(), 0);
+        let mut j1 = JobMetrics::new("a");
+        j1.map_input_records = 10;
+        j1.shuffle_bytes = 100;
+        let mut j2 = JobMetrics::new("b");
+        j2.map_input_records = 5;
+        j2.shuffle_bytes = 7;
+        j2.broadcast_bytes = 50;
+        c.record(j1);
+        c.record(j2);
+        assert_eq!(c.num_jobs(), 2);
+        assert_eq!(c.total_map_input_records(), 15);
+        assert_eq!(c.total_shuffle_bytes(), 107);
+        assert_eq!(c.total_broadcast_bytes(), 50);
+        assert_eq!(c.jobs()[0].job_name, "a");
+    }
+
+    #[test]
+    fn total_wall_sums_phases() {
+        let mut j = JobMetrics::new("t");
+        j.map_wall = Duration::from_millis(30);
+        j.reduce_wall = Duration::from_millis(12);
+        assert_eq!(j.total_wall(), Duration::from_millis(42));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = ClusterMetrics::new();
+        c.record(JobMetrics::new("x"));
+        c.reset();
+        assert_eq!(c.num_jobs(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Byte-weight estimation for shuffle and broadcast accounting.
+//!
+//! Hadoop meters the bytes moved between phases; this engine does the same
+//! without actually serializing anything. Every key/value type implements
+//! [`Weighable`], returning the approximate number of bytes its serialized
+//! form would occupy. The estimates use fixed-width encodings (8 bytes per
+//! number), which is what the paper's Writable-based records cost.
+
+/// Approximate serialized size of a value, in bytes.
+pub trait Weighable {
+    fn weight(&self) -> usize;
+}
+
+macro_rules! fixed_weight {
+    ($($t:ty => $w:expr),* $(,)?) => {
+        $(impl Weighable for $t {
+            #[inline]
+            fn weight(&self) -> usize { $w }
+        })*
+    };
+}
+
+fixed_weight!(
+    u8 => 1, i8 => 1,
+    u16 => 2, i16 => 2,
+    u32 => 4, i32 => 4, f32 => 4,
+    u64 => 8, i64 => 8, f64 => 8,
+    usize => 8, isize => 8,
+    bool => 1,
+    () => 0,
+);
+
+impl<T: Weighable> Weighable for Vec<T> {
+    fn weight(&self) -> usize {
+        // 4-byte length prefix plus elements.
+        4 + self.iter().map(Weighable::weight).sum::<usize>()
+    }
+}
+
+impl<T: Weighable> Weighable for &[T] {
+    fn weight(&self) -> usize {
+        4 + self.iter().map(Weighable::weight).sum::<usize>()
+    }
+}
+
+impl<T: Weighable> Weighable for Option<T> {
+    fn weight(&self) -> usize {
+        1 + self.as_ref().map_or(0, Weighable::weight)
+    }
+}
+
+impl<T: Weighable> Weighable for Box<T> {
+    fn weight(&self) -> usize {
+        (**self).weight()
+    }
+}
+
+impl Weighable for String {
+    fn weight(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl Weighable for &str {
+    fn weight(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl<A: Weighable, B: Weighable> Weighable for (A, B) {
+    fn weight(&self) -> usize {
+        self.0.weight() + self.1.weight()
+    }
+}
+
+impl<A: Weighable, B: Weighable, C: Weighable> Weighable for (A, B, C) {
+    fn weight(&self) -> usize {
+        self.0.weight() + self.1.weight() + self.2.weight()
+    }
+}
+
+impl<A: Weighable, B: Weighable, C: Weighable, D: Weighable> Weighable for (A, B, C, D) {
+    fn weight(&self) -> usize {
+        self.0.weight() + self.1.weight() + self.2.weight() + self.3.weight()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_weights() {
+        assert_eq!(1u8.weight(), 1);
+        assert_eq!(1.0f64.weight(), 8);
+        assert_eq!(7usize.weight(), 8);
+        assert_eq!(().weight(), 0);
+        assert_eq!(true.weight(), 1);
+    }
+
+    #[test]
+    fn container_weights() {
+        assert_eq!(vec![1.0f64; 3].weight(), 4 + 24);
+        assert_eq!(String::from("abc").weight(), 7);
+        assert_eq!(Some(5u32).weight(), 5);
+        assert_eq!(None::<u32>.weight(), 1);
+    }
+
+    #[test]
+    fn tuple_weights_compose() {
+        assert_eq!((1u32, 2.0f64).weight(), 12);
+        assert_eq!((1u8, 2u8, 3u8).weight(), 3);
+        assert_eq!(((), 1u64, "ab", vec![0u8; 2]).weight(), 8 + 6 + 6);
+    }
+
+    #[test]
+    fn nested_vectors() {
+        let v: Vec<Vec<f64>> = vec![vec![0.0; 2]; 3];
+        // outer prefix 4 + 3 * (4 + 16)
+        assert_eq!(v.weight(), 4 + 3 * 20);
+    }
+}

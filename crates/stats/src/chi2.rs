@@ -1,0 +1,199 @@
+//! The χ² distribution and the uniformity goodness-of-fit test.
+//!
+//! Two P3C steps depend on it:
+//!
+//! * **Relevant attribute detection** (paper Section 3.2.2): the histogram
+//!   of an attribute is tested against the uniform distribution; attributes
+//!   whose histograms deviate significantly are candidates for relevant
+//!   intervals.
+//! * **Outlier detection** (Section 4.2.2): a cluster member is an outlier
+//!   if its squared Mahalanobis distance exceeds the critical value of the
+//!   χ² distribution with `|A_rel|` degrees of freedom at `α = 0.001`.
+
+use crate::special::{gamma_p, gamma_q};
+
+/// χ² distribution with `k` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquared {
+    k: f64,
+}
+
+impl ChiSquared {
+    /// Creates the distribution; `k` must be positive.
+    pub fn new(k: f64) -> Self {
+        assert!(k > 0.0, "χ² requires k > 0, got {k}");
+        Self { k }
+    }
+
+    /// Degrees of freedom.
+    pub fn dof(&self) -> f64 {
+        self.k
+    }
+
+    /// Cumulative distribution `P(X ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            gamma_p(self.k / 2.0, x / 2.0)
+        }
+    }
+
+    /// Survival function `P(X > x)` — the p-value of an observed statistic.
+    pub fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            gamma_q(self.k / 2.0, x / 2.0)
+        }
+    }
+
+    /// Critical value: the `x` with `P(X > x) = alpha`.
+    ///
+    /// Solved by bisection on the monotone survival function; accuracy
+    /// ~1e-10, plenty for threshold comparisons.
+    pub fn critical_value(&self, alpha: f64) -> f64 {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
+        // Bracket the root. sf is decreasing in x.
+        let mut lo = 0.0f64;
+        let mut hi = self.k.max(1.0);
+        while self.sf(hi) > alpha {
+            hi *= 2.0;
+            if hi > 1e12 {
+                break;
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.sf(mid) > alpha {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-12 * hi.max(1.0) {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+/// Result of a χ² goodness-of-fit test against the uniform distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformityTest {
+    /// The χ² statistic Σ (observed − expected)² / expected.
+    pub statistic: f64,
+    /// Degrees of freedom (`bins − 1`).
+    pub dof: usize,
+    /// p-value of the statistic.
+    pub p_value: f64,
+}
+
+impl UniformityTest {
+    /// Whether uniformity is rejected at significance level `alpha`
+    /// (i.e. the attribute is *non-uniform* and thus interesting).
+    pub fn is_non_uniform(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// χ² goodness-of-fit test of histogram `counts` against uniformity.
+///
+/// `counts` are the per-bin supports of one attribute's histogram. Returns
+/// `None` for histograms with fewer than two bins or zero total support,
+/// where the test is undefined (callers treat those as uniform).
+pub fn chi2_uniformity_test(counts: &[f64]) -> Option<UniformityTest> {
+    if counts.len() < 2 {
+        return None;
+    }
+    let total: f64 = counts.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let expected = total / counts.len() as f64;
+    let statistic: f64 = counts.iter().map(|&c| (c - expected) * (c - expected) / expected).sum();
+    let dof = counts.len() - 1;
+    let p_value = ChiSquared::new(dof as f64).sf(statistic);
+    Some(UniformityTest { statistic, dof, p_value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_known_values() {
+        // χ²(1): cdf(1.0) ≈ 0.6826894921 (the 1σ normal mass).
+        let c1 = ChiSquared::new(1.0);
+        assert!((c1.cdf(1.0) - 0.682_689_492_137_086).abs() < 1e-10);
+        // χ²(2) is Exp(1/2): cdf(x) = 1 - e^{-x/2}.
+        let c2 = ChiSquared::new(2.0);
+        for &x in &[0.5, 1.0, 3.0, 10.0] {
+            assert!((c2.cdf(x) - (1.0 - (-x / 2.0f64).exp())).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn critical_values_match_tables() {
+        // Classic table values (alpha = 0.05).
+        let cases = [(1.0, 3.841), (2.0, 5.991), (5.0, 11.070), (10.0, 18.307)];
+        for &(k, expect) in &cases {
+            let cv = ChiSquared::new(k).critical_value(0.05);
+            assert!((cv - expect).abs() < 5e-3, "k={k}: {cv} vs {expect}");
+        }
+        // alpha = 0.001 with 10 dof — the paper's outlier detection setting.
+        let cv = ChiSquared::new(10.0).critical_value(0.001);
+        assert!((cv - 29.588).abs() < 5e-3, "{cv}");
+    }
+
+    #[test]
+    fn critical_value_roundtrips_through_sf() {
+        for &k in &[1.0, 3.0, 7.0, 50.0] {
+            for &alpha in &[0.1, 0.01, 0.001] {
+                let cv = ChiSquared::new(k).critical_value(alpha);
+                let p = ChiSquared::new(k).sf(cv);
+                assert!((p - alpha).abs() < 1e-9, "k={k} alpha={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_histogram_not_rejected() {
+        let counts = vec![100.0; 10];
+        let t = chi2_uniformity_test(&counts).unwrap();
+        assert!(t.statistic.abs() < 1e-12);
+        assert!((t.p_value - 1.0).abs() < 1e-9);
+        assert!(!t.is_non_uniform(0.001));
+    }
+
+    #[test]
+    fn spiked_histogram_rejected() {
+        let mut counts = vec![100.0; 10];
+        counts[3] = 1000.0;
+        let t = chi2_uniformity_test(&counts).unwrap();
+        assert!(t.is_non_uniform(0.001));
+        assert!(t.p_value < 1e-12);
+    }
+
+    #[test]
+    fn small_fluctuations_not_rejected() {
+        let counts = vec![98.0, 103.0, 99.0, 101.0, 97.0, 102.0, 100.0, 100.0, 99.0, 101.0];
+        let t = chi2_uniformity_test(&counts).unwrap();
+        assert!(!t.is_non_uniform(0.001), "p={}", t.p_value);
+    }
+
+    #[test]
+    fn degenerate_histograms_return_none() {
+        assert!(chi2_uniformity_test(&[]).is_none());
+        assert!(chi2_uniformity_test(&[5.0]).is_none());
+        assert!(chi2_uniformity_test(&[0.0, 0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn sf_cdf_complement() {
+        let c = ChiSquared::new(4.0);
+        for &x in &[0.1, 1.0, 5.0, 20.0] {
+            assert!((c.sf(x) + c.cdf(x) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Descriptive statistics: medians, dimension-wise medians, IQR, moments.
+//!
+//! The MVB (minimum volume ball) outlier detector of Section 4.2.2 is built
+//! entirely from medians: the ball center is the dimension-wise median of a
+//! cluster's points and its radius the median of the distances to that
+//! center; the MapReduce variant (Section 5.5) additionally takes medians
+//! *across split-local estimates* in the reducer.
+
+/// Median of a slice (destructive on a copy; `select_nth_unstable`-based).
+///
+/// Even-length inputs average the two middle order statistics.
+/// Returns `None` on empty input.
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    Some(median_in_place(&mut v))
+}
+
+/// Median that consumes its scratch buffer (avoids the copy when the caller
+/// already owns the data).
+pub fn median_in_place(v: &mut [f64]) -> f64 {
+    assert!(!v.is_empty());
+    let n = v.len();
+    let mid = n / 2;
+    let (_, m, _) = v.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+    let hi = *m;
+    if n % 2 == 1 {
+        hi
+    } else {
+        // Lower middle is the max of the left partition.
+        let lo = v[..mid].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        0.5 * (lo + hi)
+    }
+}
+
+/// Dimension-wise median `Md_d(X)` of a set of d-dimensional points
+/// (paper Section 5.5): component `j` of the result is the median of the
+/// j-th coordinates. Returns `None` on empty input.
+pub fn dimensionwise_median(points: &[&[f64]]) -> Option<Vec<f64>> {
+    let first = points.first()?;
+    let d = first.len();
+    let mut out = Vec::with_capacity(d);
+    let mut scratch = Vec::with_capacity(points.len());
+    for j in 0..d {
+        scratch.clear();
+        scratch.extend(points.iter().map(|p| p[j]));
+        out.push(median_in_place(&mut scratch));
+    }
+    Some(out)
+}
+
+/// First and third quartiles (linear-interpolated order statistics).
+pub fn quartiles(values: &[f64]) -> Option<(f64, f64)> {
+    if values.len() < 2 {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_unstable_by(|a, b| a.total_cmp(b));
+    let q = |p: f64| -> f64 {
+        let idx = p * (v.len() - 1) as f64;
+        let lo = idx.floor() as usize;
+        let hi = idx.ceil() as usize;
+        let frac = idx - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    };
+    Some((q(0.25), q(0.75)))
+}
+
+/// Interquartile range (Q3 − Q1) using the nearest-rank quartile estimate.
+pub fn iqr(values: &[f64]) -> Option<f64> {
+    quartiles(values).map(|(q1, q3)| q3 - q1)
+}
+
+/// Numerically stable online mean/variance (Welford).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineMoments {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Sample variance (n−1 denominator).
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Merges another accumulator (Chan's parallel formula).
+    pub fn merge(&mut self, other: &OnlineMoments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+        assert_eq!(median(&[7.0]), Some(7.0));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn median_is_order_invariant() {
+        let a = [5.0, 9.0, 1.0, 7.0, 3.0];
+        let mut b = a;
+        b.reverse();
+        assert_eq!(median(&a), median(&b));
+    }
+
+    #[test]
+    fn dimensionwise_median_example() {
+        let pts: Vec<Vec<f64>> =
+            vec![vec![0.0, 10.0], vec![1.0, 20.0], vec![2.0, 0.0]];
+        let refs: Vec<&[f64]> = pts.iter().map(|p| p.as_slice()).collect();
+        let m = dimensionwise_median(&refs).unwrap();
+        assert_eq!(m, vec![1.0, 10.0]);
+    }
+
+    #[test]
+    fn dimensionwise_median_empty() {
+        let refs: Vec<&[f64]> = vec![];
+        assert!(dimensionwise_median(&refs).is_none());
+    }
+
+    #[test]
+    fn iqr_of_uniform_grid() {
+        let v: Vec<f64> = (0..101).map(|i| i as f64 / 100.0).collect();
+        let r = iqr(&v).unwrap();
+        assert!((r - 0.5).abs() < 1e-12, "iqr = {r}");
+    }
+
+    #[test]
+    fn iqr_requires_two_values() {
+        assert!(iqr(&[1.0]).is_none());
+        assert!(iqr(&[]).is_none());
+        assert!(quartiles(&[1.0]).is_none());
+    }
+
+    #[test]
+    fn quartiles_of_grid() {
+        let v: Vec<f64> = (0..101).map(|i| i as f64 / 100.0).collect();
+        let (q1, q3) = quartiles(&v).unwrap();
+        assert!((q1 - 0.25).abs() < 1e-12);
+        assert!((q3 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut m = OnlineMoments::new();
+        for &x in &data {
+            m.push(x);
+        }
+        assert!((m.mean().unwrap() - 5.0).abs() < 1e-12);
+        // Two-pass sample variance: Σ(x−5)²/7 = 32/7.
+        assert!((m.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineMoments::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineMoments::new();
+        let mut b = OnlineMoments::new();
+        for (i, &x) in data.iter().enumerate() {
+            if i < 37 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-10);
+        assert!((a.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = OnlineMoments::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a.mean();
+        a.merge(&OnlineMoments::new());
+        assert_eq!(a.mean(), before);
+        let mut empty = OnlineMoments::new();
+        empty.merge(&a);
+        assert_eq!(empty.mean(), before);
+    }
+}

@@ -1,0 +1,66 @@
+//! Cohen's d effect size for cluster-core supports (paper Section 4.1.2).
+//!
+//! The Poisson test only measures *significance*; on huge data sets even a
+//! 1% relative deviation is significant (Figure 1). P3C+ therefore also
+//! requires the *strength* of the deviation to exceed a threshold θ_cc.
+//! With the paper's choice σ = Supp_exp, Cohen's d_cc (Equation 4) reduces
+//! to the relative deviation of the observed from the expected support:
+//!
+//! ```text
+//! d_cc = (Supp − Supp_exp) / Supp_exp
+//! ```
+
+/// Cohen's d_cc of an observed support against its expectation (Equation 4
+/// with σ = `expected`): the relative deviation `(observed − expected) /
+/// expected`.
+///
+/// An expectation of zero means any positive support is an infinitely
+/// strong effect; we return `f64::INFINITY` in that case (and `0.0` when
+/// the observation is also zero).
+pub fn cohens_d_cc(observed: f64, expected: f64) -> f64 {
+    assert!(expected >= 0.0, "expected support must be nonnegative");
+    if expected == 0.0 {
+        return if observed > 0.0 { f64::INFINITY } else { 0.0 };
+    }
+    (observed - expected) / expected
+}
+
+/// The P3C+ combined acceptance predicate for effect size: `θ_cc ≤ d_cc`.
+pub fn effect_is_strong(observed: f64, expected: f64, theta_cc: f64) -> bool {
+    cohens_d_cc(observed, expected) >= theta_cc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_deviation() {
+        assert!((cohens_d_cc(150.0, 100.0) - 0.5).abs() < 1e-15);
+        assert!((cohens_d_cc(100.0, 100.0)).abs() < 1e-15);
+        assert!((cohens_d_cc(50.0, 100.0) + 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn threshold_semantics_match_paper() {
+        // Paper's tuned θ_cc = 0.35: a 35%+ excess is a strong effect.
+        assert!(effect_is_strong(135.0, 100.0, 0.35));
+        assert!(!effect_is_strong(134.0, 100.0, 0.35));
+    }
+
+    #[test]
+    fn scale_invariance() {
+        // Unlike the Poisson test, the effect size is invariant under
+        // scaling both observed and expected — the whole point of adding it.
+        let small = cohens_d_cc(101.0, 100.0);
+        let big = cohens_d_cc(101_000.0, 100_000.0);
+        assert!((small - big).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_expectation() {
+        assert_eq!(cohens_d_cc(5.0, 0.0), f64::INFINITY);
+        assert_eq!(cohens_d_cc(0.0, 0.0), 0.0);
+        assert!(effect_is_strong(1.0, 0.0, 100.0));
+    }
+}

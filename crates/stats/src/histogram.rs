@@ -1,0 +1,199 @@
+//! Equi-width histograms on `[0,1]` with the paper's bin indexing.
+//!
+//! Equation 8 assigns a value `x` to bin `max(1, ⌈m·x⌉)` (1-based). We keep
+//! the same boundary semantics — bin edges belong to the *lower* bin, zero
+//! belongs to bin 1 — but expose 0-based indices to Rust callers.
+
+use serde::{Deserialize, Serialize};
+
+/// 0-based bin index of `x ∈ [0,1]` in an `m`-bin equi-width histogram,
+/// following the paper's `max(1, ⌈m·x⌉)` convention (so `x = i/m` falls in
+/// bin `i-1`, and `x = 0` in bin 0). Values outside `[0,1]` are clamped.
+#[inline]
+pub fn bin_index(x: f64, m: usize) -> usize {
+    debug_assert!(m >= 1);
+    let raw = (m as f64 * x).ceil();
+    let one_based = raw.max(1.0).min(m as f64);
+    one_based as usize - 1
+}
+
+/// A histogram over `[0,1]` with `m` equal-width bins and f64 counts
+/// (counts are f64 so that partial/weighted histograms merge exactly like
+/// the MapReduce jobs do).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<f64>,
+}
+
+impl Histogram {
+    /// Empty histogram with `m ≥ 1` bins.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "histogram needs at least one bin");
+        Self { counts: vec![0.0; m] }
+    }
+
+    /// Builds a histogram directly from values.
+    pub fn from_values(values: impl IntoIterator<Item = f64>, m: usize) -> Self {
+        let mut h = Self::new(m);
+        for v in values {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Adds one observation with weight 1.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        self.add_weighted(x, 1.0);
+    }
+
+    /// Adds one observation with the given weight.
+    #[inline]
+    pub fn add_weighted(&mut self, x: f64, w: f64) {
+        let i = bin_index(x, self.counts.len());
+        self.counts[i] += w;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Count of bin `i`.
+    pub fn count(&self, i: usize) -> f64 {
+        self.counts[i]
+    }
+
+    /// Total mass.
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merges another histogram (same bin count) into this one —
+    /// the reducer side of the histogram-building MapReduce job.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "merging histograms of different bin counts");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// The `[lo, hi]` value range covered by bin `i`.
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        let m = self.counts.len() as f64;
+        (i as f64 / m, (i as f64 + 1.0) / m)
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        1.0 / self.counts.len() as f64
+    }
+
+    /// Index of the fullest bin, breaking ties toward the lower index;
+    /// `None` when the histogram is empty of mass.
+    pub fn argmax(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &c) in self.counts.iter().enumerate() {
+            match best {
+                Some((_, b)) if c <= b => {}
+                _ => best = Some((i, c)),
+            }
+        }
+        best.filter(|&(_, c)| c > 0.0).map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bin_indexing() {
+        // m = 10: x=0 → bin 0; x=0.05 → ⌈0.5⌉=1 → bin 0; x=0.1 → bin 0
+        // (upper edge belongs to lower bin); x=0.1000001 → bin 1; x=1 → bin 9.
+        assert_eq!(bin_index(0.0, 10), 0);
+        assert_eq!(bin_index(0.05, 10), 0);
+        assert_eq!(bin_index(0.1, 10), 0);
+        assert_eq!(bin_index(0.100_000_1, 10), 1);
+        assert_eq!(bin_index(0.95, 10), 9);
+        assert_eq!(bin_index(1.0, 10), 9);
+    }
+
+    #[test]
+    fn out_of_range_clamped() {
+        assert_eq!(bin_index(-0.5, 10), 0);
+        assert_eq!(bin_index(1.5, 10), 9);
+    }
+
+    #[test]
+    fn single_bin_takes_everything() {
+        for &x in &[0.0, 0.3, 1.0] {
+            assert_eq!(bin_index(x, 1), 0);
+        }
+    }
+
+    #[test]
+    fn from_values_counts() {
+        let h = Histogram::from_values([0.05, 0.15, 0.15, 0.95], 10);
+        assert_eq!(h.count(0), 1.0);
+        assert_eq!(h.count(1), 2.0);
+        assert_eq!(h.count(9), 1.0);
+        assert_eq!(h.total(), 4.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        // Edge values (0.25, 0.75) belong to the *lower* bin per Eq. 8.
+        let a = Histogram::from_values([0.05, 0.3], 4);
+        let mut b = Histogram::from_values([0.05, 0.8], 4);
+        b.merge(&a);
+        assert_eq!(b.count(0), 2.0);
+        assert_eq!(b.count(1), 1.0);
+        assert_eq!(b.count(2), 0.0);
+        assert_eq!(b.count(3), 1.0);
+        assert_eq!(b.total(), 4.0);
+    }
+
+    #[test]
+    fn merge_equals_global_histogram() {
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        let whole = Histogram::from_values(values.iter().copied(), 17);
+        let mut merged = Histogram::new(17);
+        for chunk in values.chunks(97) {
+            merged.merge(&Histogram::from_values(chunk.iter().copied(), 17));
+        }
+        assert_eq!(whole, merged);
+    }
+
+    #[test]
+    fn bin_bounds_partition_unit_interval() {
+        let h = Histogram::new(5);
+        assert_eq!(h.bin_bounds(0), (0.0, 0.2));
+        assert_eq!(h.bin_bounds(4), (0.8, 1.0));
+        assert!((h.bin_width() - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn argmax_finds_fullest_bin() {
+        let mut h = Histogram::new(4);
+        assert_eq!(h.argmax(), None);
+        h.add(0.1);
+        h.add(0.6);
+        h.add(0.6);
+        assert_eq!(h.argmax(), Some(2));
+    }
+
+    #[test]
+    fn weighted_adds() {
+        let mut h = Histogram::new(2);
+        h.add_weighted(0.25, 2.5);
+        h.add_weighted(0.75, 0.5);
+        assert_eq!(h.count(0), 2.5);
+        assert_eq!(h.count(1), 0.5);
+    }
+}

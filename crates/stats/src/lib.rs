@@ -1,0 +1,39 @@
+//! Statistical machinery for the P3C+/P3C+-MR reproduction.
+//!
+//! The paper's clustering model is driven by a handful of statistical
+//! devices, each implemented in its own module:
+//!
+//! * [`special`] — log-gamma, regularized incomplete gamma, and error
+//!   functions (the numerical bedrock for every distribution below),
+//! * [`normal`] — standard normal pdf/cdf and the inverse cdf used to turn
+//!   extreme Poisson thresholds (down to `1e-140`) into σ-unit tests, the
+//!   trick described at the end of the paper's Section 7.4.2,
+//! * [`chi2`] — the χ² distribution, its critical values (outlier
+//!   detection, Section 4.2.2) and the uniformity goodness-of-fit test
+//!   (relevant attribute detection, Section 3.2.2),
+//! * [`poisson`] — the Poisson support test of the cluster-core generation
+//!   step (Equation 1), in exact and Gaussian-approximated forms,
+//! * [`effect`] — Cohen's d_cc effect size (Equation 4) that P3C+ adds on
+//!   top of the significance test (Section 4.1.2),
+//! * [`binning`] — Sturges' rule (original P3C) and the Freedman–Diaconis
+//!   rule (P3C+, Section 4.1.1),
+//! * [`histogram`] — the equi-width `[0,1]` histogram with the paper's bin
+//!   indexing `max(1, ⌈m·x⌉)` (Equation 8),
+//! * [`descriptive`] — medians, dimension-wise medians, IQR and online
+//!   moments used by the MVB estimator and the data generator.
+
+pub mod binning;
+pub mod chi2;
+pub mod descriptive;
+pub mod effect;
+pub mod histogram;
+pub mod normal;
+pub mod poisson;
+pub mod special;
+
+pub use binning::{freedman_diaconis_bins, sturges_bins, BinRule};
+pub use chi2::ChiSquared;
+pub use effect::cohens_d_cc;
+pub use histogram::{bin_index, Histogram};
+pub use normal::Normal;
+pub use poisson::PoissonTest;

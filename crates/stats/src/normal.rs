@@ -1,0 +1,172 @@
+//! Standard normal distribution: pdf, cdf, survival, and inverse cdf.
+//!
+//! The inverse cdf is the workhorse behind the paper's fix for extreme
+//! Poisson thresholds (Section 7.4.2): a threshold like `1e-140` cannot be
+//! compared against a cumulative Poisson probability in `f64`, but it *can*
+//! be converted into a number of standard deviations `z = Φ⁻¹(1 − α)` and
+//! compared in σ-units. `Normal::isf` supports α down to ~1e-300.
+
+use crate::special::erfc;
+
+/// The standard normal distribution N(0, 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Normal;
+
+impl Normal {
+    /// Probability density at `x`.
+    pub fn pdf(x: f64) -> f64 {
+        (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+    }
+
+    /// Cumulative distribution `P(X ≤ x)` (uses `erfc` for tail accuracy).
+    pub fn cdf(x: f64) -> f64 {
+        0.5 * erfc(-x / std::f64::consts::SQRT_2)
+    }
+
+    /// Survival function `P(X > x)`, accurate far into the upper tail.
+    pub fn sf(x: f64) -> f64 {
+        0.5 * erfc(x / std::f64::consts::SQRT_2)
+    }
+
+    /// Inverse cumulative distribution (quantile) function.
+    ///
+    /// Peter Acklam's rational approximation refined by one Halley step of
+    /// Newton's method; absolute error below `1e-12` across `(0, 1)`.
+    pub fn inv_cdf(p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "inv_cdf requires p in (0,1), got {p}");
+        // Coefficients for the central and tail rational approximations.
+        const A: [f64; 6] = [
+            -3.969_683_028_665_376e1,
+            2.209_460_984_245_205e2,
+            -2.759_285_104_469_687e2,
+            1.383_577_518_672_69e2,
+            -3.066_479_806_614_716e1,
+            2.506_628_277_459_239,
+        ];
+        const B: [f64; 5] = [
+            -5.447_609_879_822_406e1,
+            1.615_858_368_580_409e2,
+            -1.556_989_798_598_866e2,
+            6.680_131_188_771_972e1,
+            -1.328_068_155_288_572e1,
+        ];
+        const C: [f64; 6] = [
+            -7.784_894_002_430_293e-3,
+            -3.223_964_580_411_365e-1,
+            -2.400_758_277_161_838,
+            -2.549_732_539_343_734,
+            4.374_664_141_464_968,
+            2.938_163_982_698_783,
+        ];
+        const D: [f64; 4] = [
+            7.784_695_709_041_462e-3,
+            3.224_671_290_700_398e-1,
+            2.445_134_137_142_996,
+            3.754_408_661_907_416,
+        ];
+        const P_LOW: f64 = 0.024_25;
+        let x = if p < P_LOW {
+            let q = (-2.0 * p.ln()).sqrt();
+            (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+                / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        } else if p <= 1.0 - P_LOW {
+            let q = p - 0.5;
+            let r = q * q;
+            (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+                / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+        } else {
+            let q = (-2.0 * (1.0 - p).ln()).sqrt();
+            -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+                / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        };
+        // One Halley refinement step. For p astronomically close to 0 or 1
+        // the cdf saturates; the raw approximation is already good there.
+        let e = Self::cdf(x) - p;
+        if e == 0.0 {
+            return x;
+        }
+        let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+        if u.is_finite() {
+            x - u / (1.0 + x * u / 2.0)
+        } else {
+            x
+        }
+    }
+
+    /// Inverse survival function: the z with `P(X > z) = alpha`.
+    ///
+    /// For `alpha < ~1e-16` the complementary path through `inv_cdf(1-α)`
+    /// would collapse; instead we use the symmetric identity
+    /// `isf(α) = -inv_cdf(α)`, which stays accurate down to `1e-300`.
+    pub fn isf(alpha: f64) -> f64 {
+        assert!(alpha > 0.0 && alpha < 1.0, "isf requires alpha in (0,1), got {alpha}");
+        -Self::inv_cdf(alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_symmetry_and_known_points() {
+        assert!((Normal::cdf(0.0) - 0.5).abs() < 1e-15);
+        assert!((Normal::cdf(1.959_963_984_540_054) - 0.975).abs() < 1e-9);
+        assert!((Normal::cdf(-1.0) + Normal::cdf(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_peak() {
+        assert!((Normal::pdf(0.0) - 0.398_942_280_401_432_7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inv_cdf_roundtrip() {
+        for &p in &[1e-10, 1e-4, 0.01, 0.3, 0.5, 0.7, 0.99, 1.0 - 1e-10] {
+            let x = Normal::inv_cdf(p);
+            assert!((Normal::cdf(x) - p).abs() < 1e-9, "p={p}, x={x}");
+        }
+    }
+
+    #[test]
+    fn inv_cdf_known_quantiles() {
+        assert!(Normal::inv_cdf(0.5).abs() < 1e-12);
+        assert!((Normal::inv_cdf(0.975) - 1.959_963_984_540_054).abs() < 1e-8);
+        assert!((Normal::inv_cdf(0.995) - 2.575_829_303_548_901).abs() < 1e-8);
+    }
+
+    #[test]
+    fn isf_handles_extreme_thresholds() {
+        // These are the Figure 5 sweep values; all must map to finite z.
+        for &alpha in &[1e-3, 1e-5, 1e-20, 1e-40, 1e-60, 1e-80, 1e-100, 1e-140] {
+            let z = Normal::isf(alpha);
+            assert!(z.is_finite() && z > 0.0, "alpha={alpha} -> z={z}");
+            // sf(z) should approximately reproduce alpha (log-scale check).
+            let back = Normal::sf(z);
+            assert!(
+                (back.ln() - alpha.ln()).abs() < 1e-3 * alpha.ln().abs().max(1.0),
+                "alpha={alpha} back={back}"
+            );
+        }
+    }
+
+    #[test]
+    fn isf_is_monotone_decreasing_in_alpha() {
+        let zs: Vec<f64> = [1e-2, 1e-5, 1e-10, 1e-50, 1e-140]
+            .iter()
+            .map(|&a| Normal::isf(a))
+            .collect();
+        for w in zs.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // z for 1e-140 is around 25.2 standard deviations.
+        assert!(zs[4] > 25.0 && zs[4] < 25.5, "z(1e-140) = {}", zs[4]);
+    }
+
+    #[test]
+    fn sf_is_complement_of_cdf() {
+        for &x in &[-3.0, -1.0, 0.0, 0.5, 2.0, 4.0] {
+            assert!((Normal::sf(x) + Normal::cdf(x) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! High-dimensional, tiny-sample clustering: the paper's real-world
+//! scenario (Section 7.6). A 62×2000 gene-expression-like matrix is
+//! clustered by the original P3C and by P3C+, and both are scored against
+//! the tumor/normal labels.
+//!
+//! ```text
+//! cargo run --release --example gene_expression
+//! ```
+
+use p3c_core::config::P3cParams;
+use p3c_core::p3c::P3c;
+use p3c_core::p3cplus::P3cPlus;
+use p3c_datagen::{colon_like, ColonSpec};
+use p3c_eval::label_accuracy;
+
+fn main() {
+    // 62 samples × 2000 genes, two classes (40 "tumor" / 22 "normal"),
+    // 40 genuinely discriminative genes — the synthetic stand-in for the
+    // UCI colon-cancer microarray set (DESIGN.md §1).
+    let data = colon_like(&ColonSpec::default());
+    println!(
+        "dataset: {} samples × {} genes, {} discriminative genes",
+        data.dataset.len(),
+        data.dataset.dim(),
+        data.discriminative_genes.len()
+    );
+
+    // With n = 62 the histograms are coarse (Sturges: 7 bins; FD: 4), and
+    // supports are tiny — loosen the Poisson level accordingly, exactly
+    // the regime in which the original P3C paper evaluated microarrays.
+    let p3c = P3c::new(1e-4).cluster(&data.dataset);
+    let acc_p3c = label_accuracy(&p3c.clustering, &data.labels);
+    println!(
+        "\noriginal P3C : {} clusters, accuracy {:.1}%",
+        p3c.clustering.num_clusters(),
+        acc_p3c * 100.0
+    );
+
+    let p3cplus = P3cPlus::new(P3cParams { alpha_poisson: 1e-4, ..P3cParams::default() })
+        .cluster(&data.dataset);
+    let acc_plus = label_accuracy(&p3cplus.clustering, &data.labels);
+    println!(
+        "P3C+         : {} clusters, accuracy {:.1}%",
+        p3cplus.clustering.num_clusters(),
+        acc_plus * 100.0
+    );
+
+    // Which genes did P3C+ consider relevant? Compare against the ground
+    // truth markers.
+    let truth: std::collections::BTreeSet<usize> =
+        data.discriminative_genes.iter().copied().collect();
+    let mut found: std::collections::BTreeSet<usize> = Default::default();
+    for cluster in &p3cplus.clustering.clusters {
+        found.extend(cluster.attributes.iter().copied());
+    }
+    let hits = found.intersection(&truth).count();
+    println!(
+        "\nP3C+ flagged {} genes as relevant; {} of them are true markers \
+         (of {} planted)",
+        found.len(),
+        hits,
+        truth.len()
+    );
+    println!(
+        "\npaper reference (real UCI data): P3C 67% vs P3C+ 71% accuracy"
+    );
+}

@@ -1,0 +1,77 @@
+//! Large-scale clustering with the MapReduce pipelines: P3C+-MR-Light on
+//! a (scaled-down stand-in for the paper's) huge dataset, with the
+//! engine's job ledger printed at the end — jobs, shuffle bytes,
+//! broadcast bytes, per-phase wall time.
+//!
+//! ```text
+//! cargo run --release --example huge_scale [-- <points> [<dims>]]
+//! ```
+
+use p3c_core::config::P3cParams;
+use p3c_core::mr::P3cPlusMrLight;
+use p3c_datagen::{generate, SyntheticSpec};
+use p3c_eval::e4sc;
+use p3c_mapreduce::{Engine, MrConfig};
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(200_000);
+    let d: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(50);
+
+    println!("generating {n} points × {d} dims (5 clusters, 10% noise) …");
+    let data = generate(&SyntheticSpec {
+        n,
+        d,
+        num_clusters: 5,
+        noise_fraction: 0.10,
+        max_cluster_dims: 10.min(d),
+        seed: 1,
+        ..SyntheticSpec::default()
+    });
+
+    // A "cluster" with 8 reducers and 8k-record splits. The paper used
+    // 112 reducers on Hadoop; the decomposition into jobs is identical.
+    let engine = Engine::new(MrConfig {
+        num_reducers: 8,
+        split_size: 8_192,
+        ..MrConfig::default()
+    });
+
+    let start = Instant::now();
+    let result = P3cPlusMrLight::new(&engine, P3cParams::default())
+        .cluster(&data.dataset)
+        .expect("pipeline run");
+    let elapsed = start.elapsed();
+
+    println!(
+        "\nP3C+-MR-Light: {} clusters in {:.2}s (E4SC {:.3})",
+        result.clustering.num_clusters(),
+        elapsed.as_secs_f64(),
+        e4sc(&result.clustering, &data.ground_truth)
+    );
+
+    let metrics = engine.cluster_metrics();
+    println!("\nMapReduce job ledger ({} jobs):", metrics.num_jobs());
+    println!(
+        "{:<34} {:>10} {:>12} {:>12} {:>9}",
+        "job", "map recs", "shuffle B", "broadcast B", "wall ms"
+    );
+    for job in metrics.jobs() {
+        println!(
+            "{:<34} {:>10} {:>12} {:>12} {:>9}",
+            job.job_name,
+            job.map_input_records,
+            job.shuffle_bytes,
+            job.broadcast_bytes,
+            job.total_wall().as_millis()
+        );
+    }
+    println!(
+        "\ntotals: {} map records, {} shuffle bytes, {} broadcast bytes, {:.2}s in jobs",
+        metrics.total_map_input_records(),
+        metrics.total_shuffle_bytes(),
+        metrics.total_broadcast_bytes(),
+        metrics.total_wall().as_secs_f64()
+    );
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the P3C+-MR reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use
+//! a single dependency. See the individual crates for the real APIs:
+//! [`p3c_core`] (the algorithms), [`p3c_mapreduce`] (the execution engine),
+//! [`p3c_datagen`] / [`p3c_eval`] (workloads and quality measures).
+
+pub use p3c_bow as bow;
+pub use p3c_core as core;
+pub use p3c_datagen as datagen;
+pub use p3c_dataset as dataset;
+pub use p3c_eval as eval;
+pub use p3c_linalg as linalg;
+pub use p3c_mapreduce as mapreduce;
+pub use p3c_stats as stats;

@@ -1,0 +1,181 @@
+//! Cross-crate integration tests: the full algorithm stack from data
+//! generation through clustering to quality measurement.
+
+use p3c_suite::core::config::{OutlierMethod, P3cParams};
+use p3c_suite::core::mr::{P3cPlusMr, P3cPlusMrLight};
+use p3c_suite::core::p3c::P3c;
+use p3c_suite::core::p3cplus::{P3cPlus, P3cPlusLight};
+use p3c_suite::datagen::{generate, SyntheticSpec};
+use p3c_suite::eval::{ce, e4sc, f1_object, rnia};
+use p3c_suite::mapreduce::{Engine, MrConfig};
+
+fn spec(n: usize, k: usize, noise: f64, seed: u64) -> SyntheticSpec {
+    SyntheticSpec {
+        n,
+        d: 16,
+        num_clusters: k,
+        noise_fraction: noise,
+        max_cluster_dims: 6,
+        seed,
+        ..SyntheticSpec::default()
+    }
+}
+
+fn engine() -> Engine {
+    Engine::new(MrConfig { num_reducers: 4, split_size: 1024, ..MrConfig::default() })
+}
+
+#[test]
+fn all_variants_find_easy_clusters_with_good_quality() {
+    let data = generate(&spec(4000, 3, 0.05, 1));
+    let params = P3cParams::default();
+
+    let serial_full = P3cPlus::new(params.clone()).cluster(&data.dataset);
+    let serial_light = P3cPlusLight::new(params.clone()).cluster(&data.dataset);
+    let eng = engine();
+    let mr_full = P3cPlusMr::new(&eng, params.clone()).cluster(&data.dataset).unwrap();
+    let mr_light = P3cPlusMrLight::new(&eng, params).cluster(&data.dataset).unwrap();
+
+    for (name, result) in [
+        ("serial full", &serial_full),
+        ("serial light", &serial_light),
+        ("mr full", &mr_full),
+        ("mr light", &mr_light),
+    ] {
+        let q = e4sc(&result.clustering, &data.ground_truth);
+        assert!(q > 0.6, "{name}: E4SC = {q}");
+        assert_eq!(result.clustering.num_clusters(), 3, "{name}");
+    }
+}
+
+#[test]
+fn mr_and_serial_produce_identical_cluster_cores() {
+    let data = generate(&spec(3000, 3, 0.1, 2));
+    let params = P3cParams::default();
+    let serial = P3cPlusLight::new(params.clone()).cluster(&data.dataset);
+    let eng = engine();
+    let mr = P3cPlusMrLight::new(&eng, params).cluster(&data.dataset).unwrap();
+    let serial_sigs: Vec<String> =
+        serial.cores.iter().map(|c| c.signature.to_string()).collect();
+    let mr_sigs: Vec<String> = mr.cores.iter().map(|c| c.signature.to_string()).collect();
+    assert_eq!(serial_sigs, mr_sigs);
+}
+
+#[test]
+fn quality_measures_agree_on_orderings() {
+    // A good clustering must dominate a bad one under every measure.
+    let data = generate(&spec(3000, 3, 0.1, 3));
+    let good = P3cPlusLight::new(P3cParams::default()).cluster(&data.dataset).clustering;
+    // "Bad": original P3C with a loose threshold and no filtering.
+    let bad = P3c::new(0.05).cluster(&data.dataset).clustering;
+    type Measure = fn(&p3c_suite::dataset::Clustering, &p3c_suite::dataset::Clustering) -> f64;
+    let measures: [(&str, Measure); 3] = [("e4sc", e4sc), ("rnia", rnia), ("ce", ce)];
+    for (name, m) in measures {
+        let q_good = m(&good, &data.ground_truth);
+        let q_bad = m(&bad, &data.ground_truth);
+        assert!(
+            q_good >= q_bad - 0.05,
+            "{name}: good {q_good} vs bad {q_bad}"
+        );
+    }
+    let _ = f1_object(&good, &data.ground_truth);
+}
+
+#[test]
+fn p3cplus_beats_original_p3c_on_noisy_overlapping_data() {
+    let data = generate(&spec(6000, 5, 0.2, 4));
+    let plus = P3cPlusLight::new(P3cParams::default()).cluster(&data.dataset);
+    let original = P3c::new(1e-4).cluster(&data.dataset);
+    let q_plus = e4sc(&plus.clustering, &data.ground_truth);
+    let q_orig = e4sc(&original.clustering, &data.ground_truth);
+    assert!(
+        q_plus > q_orig,
+        "P3C+ {q_plus} should beat P3C {q_orig} (cores: {} vs {})",
+        plus.stats.cores,
+        original.stats.cores
+    );
+}
+
+#[test]
+fn mcd_extension_runs_end_to_end_serial_and_mr() {
+    let data = generate(&spec(2500, 3, 0.1, 8));
+    let params = P3cParams { outlier: OutlierMethod::Mcd, ..P3cParams::default() };
+    let serial = P3cPlus::new(params.clone()).cluster(&data.dataset);
+    assert_eq!(serial.clustering.num_clusters(), 3);
+    assert!(e4sc(&serial.clustering, &data.ground_truth) > 0.6);
+    let eng = engine();
+    let mr = P3cPlusMr::new(&eng, params).cluster(&data.dataset).unwrap();
+    assert_eq!(mr.clustering.num_clusters(), 3);
+    // MCD charges its concentration jobs to the ledger.
+    let mcd_jobs = eng
+        .cluster_metrics()
+        .jobs()
+        .iter()
+        .filter(|j| j.job_name.starts_with("p3c-mcd") || j.job_name == "p3c-od-mcd")
+        .count();
+    assert_eq!(mcd_jobs, 5, "2 steps × 2 jobs + OD job");
+}
+
+#[test]
+fn outlier_points_do_not_appear_in_clusters() {
+    let data = generate(&spec(3000, 3, 0.1, 5));
+    let result = P3cPlus::new(P3cParams {
+        outlier: OutlierMethod::Mvb,
+        ..P3cParams::default()
+    })
+    .cluster(&data.dataset);
+    let outliers: std::collections::BTreeSet<usize> =
+        result.clustering.outliers.iter().copied().collect();
+    for cluster in &result.clustering.clusters {
+        for &p in &cluster.points {
+            assert!(!outliers.contains(&p), "point {p} both member and outlier");
+        }
+    }
+}
+
+#[test]
+fn results_are_deterministic_across_runs_and_thread_counts() {
+    let data = generate(&spec(2500, 3, 0.1, 6));
+    let run = |threads: usize| {
+        let eng = Engine::new(MrConfig {
+            num_reducers: 4,
+            split_size: 512,
+            threads,
+            ..MrConfig::default()
+        });
+        P3cPlusMrLight::new(&eng, P3cParams::default())
+            .cluster(&data.dataset)
+            .unwrap()
+            .clustering
+    };
+    let a = run(1);
+    let b = run(8);
+    assert_eq!(a, b, "thread count changed the clustering");
+}
+
+#[test]
+fn normalization_roundtrip_preserves_clustering() {
+    // Cluster normalized data, then map interval bounds back to original
+    // coordinates through the NormalizationMap.
+    let data = generate(&spec(2000, 2, 0.05, 7));
+    // Scale the dataset away from [0,1].
+    let scaled_rows: Vec<Vec<f64>> = data
+        .dataset
+        .rows()
+        .map(|r| r.iter().map(|&v| v * 250.0 - 100.0).collect())
+        .collect();
+    let scaled = p3c_suite::dataset::Dataset::from_rows(scaled_rows);
+    assert!(!scaled.is_normalized());
+    let (normalized, map) = scaled.normalize();
+    assert!(normalized.is_normalized());
+    let result = P3cPlusLight::new(P3cParams::default()).cluster(&normalized);
+    assert!(!result.clustering.clusters.is_empty());
+    for cluster in &result.clustering.clusters {
+        for iv in &cluster.intervals {
+            let lo = map.denormalize(iv.attr, iv.lo);
+            let hi = map.denormalize(iv.attr, iv.hi);
+            assert!(lo <= hi);
+            assert!((-100.0..=150.0).contains(&lo), "lo {lo} out of original range");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Integration tests of the MapReduce substrate under realistic use:
+//! fault tolerance through a full pipeline, metrics plausibility, and the
+//! block-store staging path.
+
+use p3c_suite::core::config::P3cParams;
+use p3c_suite::core::mr::{P3cPlusMr, P3cPlusMrLight};
+use p3c_suite::datagen::{generate, SyntheticSpec};
+use p3c_suite::dataset::persist;
+use p3c_suite::mapreduce::{BlockStore, Engine, FaultPlan, MrConfig};
+
+fn data() -> p3c_suite::datagen::GeneratedData {
+    generate(&SyntheticSpec {
+        n: 2500,
+        d: 12,
+        num_clusters: 3,
+        noise_fraction: 0.1,
+        max_cluster_dims: 5,
+        seed: 11,
+        ..SyntheticSpec::default()
+    })
+}
+
+#[test]
+fn full_pipeline_survives_aggressive_fault_injection() {
+    let d = data();
+    let clean_engine = Engine::new(MrConfig {
+        num_reducers: 4,
+        split_size: 256,
+        ..MrConfig::default()
+    });
+    let faulty_engine = Engine::new(MrConfig {
+        num_reducers: 4,
+        split_size: 256,
+        fault: Some(FaultPlan::new(0.25, 2024)),
+        max_attempts: 25,
+        ..MrConfig::default()
+    });
+    let clean = P3cPlusMr::new(&clean_engine, P3cParams::default())
+        .cluster(&d.dataset)
+        .unwrap();
+    let faulty = P3cPlusMr::new(&faulty_engine, P3cParams::default())
+        .cluster(&d.dataset)
+        .unwrap();
+    // Same cores, same point partition — retries must be invisible.
+    assert_eq!(clean.clustering.clusters.len(), faulty.clustering.clusters.len());
+    for (a, b) in clean.clustering.clusters.iter().zip(&faulty.clustering.clusters) {
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.attributes, b.attributes);
+    }
+    let failed: u64 = faulty_engine
+        .cluster_metrics()
+        .jobs()
+        .iter()
+        .map(|j| j.failed_attempts)
+        .sum();
+    assert!(failed > 50, "only {failed} injected failures at 25% rate");
+}
+
+#[test]
+fn job_ledger_reflects_pipeline_structure() {
+    let d = data();
+    let engine = Engine::new(MrConfig {
+        num_reducers: 4,
+        split_size: 512,
+        ..MrConfig::default()
+    });
+    P3cPlusMr::new(&engine, P3cParams::default()).cluster(&d.dataset).unwrap();
+    let metrics = engine.cluster_metrics();
+    let names: Vec<&str> = metrics.jobs().iter().map(|j| j.job_name.as_str()).collect();
+    // Structural expectations from the paper's Section 5.
+    assert_eq!(names[0], "p3c-histogram");
+    assert!(names.iter().any(|n| n.starts_with("p3c-prove-candidates")));
+    assert!(names.iter().any(|n| n.starts_with("p3c-em-init")));
+    assert!(names.iter().any(|n| n.starts_with("p3c-em-step")));
+    assert!(names.iter().any(|n| n.starts_with("p3c-mvb") || n.starts_with("p3c-od")));
+    assert!(names.iter().any(|n| n.starts_with("p3c-attribute-inspection")));
+    assert!(names.iter().any(|n| n.starts_with("p3c-interval-tightening")));
+    // Every job consumed data or was an explicit bookkeeping marker.
+    for job in metrics.jobs() {
+        assert!(
+            job.map_input_records > 0
+                || job.job_name.contains("covariances")
+                || job.job_name.contains("candidate-generation"),
+            "job {} read nothing",
+            job.job_name
+        );
+    }
+    // Data-proportional jobs read the whole dataset.
+    let hist = &metrics.jobs()[0];
+    assert_eq!(hist.map_input_records, 2500);
+}
+
+#[test]
+fn light_pipeline_moves_less_data_than_full() {
+    let d = data();
+    let eng_full = Engine::new(MrConfig { split_size: 512, ..MrConfig::default() });
+    let eng_light = Engine::new(MrConfig { split_size: 512, ..MrConfig::default() });
+    P3cPlusMr::new(&eng_full, P3cParams::default()).cluster(&d.dataset).unwrap();
+    P3cPlusMrLight::new(&eng_light, P3cParams::default()).cluster(&d.dataset).unwrap();
+    let full = eng_full.cluster_metrics();
+    let light = eng_light.cluster_metrics();
+    assert!(light.num_jobs() < full.num_jobs());
+    assert!(
+        light.total_map_input_records() < full.total_map_input_records(),
+        "light should scan the data fewer times ({} vs {})",
+        light.total_map_input_records(),
+        full.total_map_input_records()
+    );
+}
+
+#[test]
+fn dataset_stages_through_the_block_store() {
+    // The HDFS-lite path: serialize the dataset, store it as replicated
+    // blocks, read it back, cluster it — identical results.
+    let d = data();
+    let store = BlockStore::new(64 * 1024, 3);
+    let bytes = persist::to_bytes(&d.dataset);
+    store.write("dataset.bin", &bytes);
+    assert!(store.num_blocks("dataset.bin").unwrap() > 1);
+    assert_eq!(store.bytes_written(), (bytes.len() * 3) as u64);
+
+    let restored = persist::from_bytes(&store.read("dataset.bin").unwrap()).unwrap();
+    assert_eq!(restored, d.dataset);
+
+    let engine = Engine::with_defaults();
+    let from_store = P3cPlusMrLight::new(&engine, P3cParams::default())
+        .cluster(&restored)
+        .unwrap();
+    let direct = P3cPlusMrLight::new(&engine, P3cParams::default())
+        .cluster(&d.dataset)
+        .unwrap();
+    assert_eq!(from_store.clustering, direct.clustering);
+}

@@ -1,0 +1,88 @@
+//! Property-based integration tests of paper-level invariants, across
+//! randomly drawn workload configurations.
+
+use p3c_suite::core::config::P3cParams;
+use p3c_suite::core::p3cplus::P3cPlusLight;
+use p3c_suite::datagen::{generate, SyntheticSpec};
+use p3c_suite::eval::e4sc;
+use proptest::prelude::*;
+
+fn small_spec() -> impl Strategy<Value = SyntheticSpec> {
+    (2usize..4, 0.0f64..0.15, 0u64..50, 1500usize..3000).prop_map(
+        |(k, noise, seed, n)| SyntheticSpec {
+            n,
+            d: 10,
+            num_clusters: k,
+            noise_fraction: noise,
+            max_cluster_dims: 4,
+            seed,
+            ..SyntheticSpec::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every clustering is a valid object: point ids in range, clusters
+    /// and outliers disjoint, intervals ordered, quality in [0,1].
+    #[test]
+    fn clustering_wellformedness(spec in small_spec()) {
+        let data = generate(&spec);
+        let result = P3cPlusLight::new(P3cParams::default()).cluster(&data.dataset);
+        let n = data.dataset.len();
+        let outliers: std::collections::BTreeSet<usize> =
+            result.clustering.outliers.iter().copied().collect();
+        for cluster in &result.clustering.clusters {
+            for &p in &cluster.points {
+                prop_assert!(p < n);
+                prop_assert!(!outliers.contains(&p));
+            }
+            for iv in &cluster.intervals {
+                prop_assert!(iv.lo <= iv.hi);
+                prop_assert!(iv.attr < data.dataset.dim());
+                prop_assert!(cluster.attributes.contains(&iv.attr));
+            }
+        }
+        let q = e4sc(&result.clustering, &data.ground_truth);
+        prop_assert!((0.0..=1.0).contains(&q));
+    }
+
+    /// The redundancy filter never *increases* the number of cores, and
+    /// never drops below zero survivors when cores exist.
+    #[test]
+    fn redundancy_filter_monotone(spec in small_spec()) {
+        let data = generate(&spec);
+        let with = P3cPlusLight::new(P3cParams::default()).cluster(&data.dataset);
+        let without = P3cPlusLight::new(P3cParams {
+            use_redundancy_filter: false,
+            ..P3cParams::default()
+        })
+        .cluster(&data.dataset);
+        prop_assert!(with.stats.cores <= without.stats.cores);
+        if without.stats.cores > 0 {
+            prop_assert!(with.stats.cores > 0, "filter erased all cores");
+        }
+    }
+
+    /// Stricter Poisson thresholds can only shrink the proven set.
+    #[test]
+    fn stricter_alpha_fewer_proven(spec in small_spec()) {
+        let data = generate(&spec);
+        let loose = P3cPlusLight::new(P3cParams {
+            alpha_poisson: 1e-4,
+            use_redundancy_filter: false,
+            ..P3cParams::default()
+        })
+        .cluster(&data.dataset);
+        let strict = P3cPlusLight::new(P3cParams {
+            alpha_poisson: 1e-40,
+            use_redundancy_filter: false,
+            ..P3cParams::default()
+        })
+        .cluster(&data.dataset);
+        prop_assert!(
+            strict.stats.core_gen.total_proven <= loose.stats.core_gen.total_proven
+        );
+    }
+}
