@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full CI gate for the workspace.
+#
+# Tier 1 (must always pass, run first):
+#   cargo build --release
+#   cargo test -q
+# Tier 2 (lint + formatting):
+#   cargo clippy --all-targets -- -D warnings
+#   cargo fmt --check
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> tier 1: cargo build --release"
+cargo build --release
+
+echo "==> tier 1: cargo test -q"
+cargo test -q
+
+echo "==> tier 2: cargo clippy -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> tier 2: cargo fmt --check"
+cargo fmt --check
+
+echo "==> CI green"

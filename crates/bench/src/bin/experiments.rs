@@ -3,7 +3,8 @@
 //! ```text
 //! experiments [--scale F] [--dims D] [--seed S] [--out DIR] [EXPERIMENT...]
 //!
-//! EXPERIMENT ∈ {fig1, fig4, fig5, fig6, fig7, huge, colon, bins, all}
+//! EXPERIMENT ∈ {fig1, fig4, fig5, fig6, fig7, huge, colon, bins, measures,
+//!               stragglers, dag, all}
 //! ```
 //!
 //! Results are printed and written to `<out>/<id>.{json,md}`
@@ -36,11 +37,22 @@ fn main() -> ExitCode {
         }
     }
     if selected.is_empty() || selected.iter().any(|s| s == "all") {
-        selected =
-            ["fig1", "fig4", "fig5", "fig6", "fig7", "huge", "colon", "bins", "measures", "stragglers"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        selected = [
+            "fig1",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "huge",
+            "colon",
+            "bins",
+            "measures",
+            "stragglers",
+            "dag",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
 
     eprintln!(
@@ -61,6 +73,7 @@ fn main() -> ExitCode {
             "bins" => experiments::bins(&scale),
             "measures" => experiments::measures(&scale),
             "stragglers" => experiments::stragglers(&scale),
+            "dag" => experiments::dag(&scale),
             other => die(&format!("unknown experiment {other}")),
         };
         println!("{}", report.to_markdown());
@@ -73,7 +86,8 @@ fn main() -> ExitCode {
 }
 
 fn parse_or_die<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
-    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| die(&format!("{flag} needs a value")))
+    v.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| die(&format!("{flag} needs a value")))
 }
 
 fn die(msg: &str) -> ! {
@@ -86,6 +100,6 @@ fn die(msg: &str) -> ! {
 fn print_help() {
     eprintln!(
         "usage: experiments [--scale F] [--dims D] [--seed S] [--out DIR] [EXPERIMENT...]\n\
-         experiments: fig1 fig4 fig5 fig6 fig7 huge colon bins measures stragglers all (default: all)"
+         experiments: fig1 fig4 fig5 fig6 fig7 huge colon bins measures stragglers dag all (default: all)"
     );
 }

@@ -10,7 +10,7 @@ use p3c_core::p3cplus::{P3cPlus, P3cPlusLight};
 use p3c_datagen::{colon_like, generate, ColonSpec, SyntheticSpec};
 use p3c_dataset::Clustering;
 use p3c_eval::{e4sc, label_accuracy};
-use p3c_mapreduce::{Engine, MrConfig};
+use p3c_mapreduce::{Engine, MrConfig, SchedulerChoice};
 use p3c_stats::PoissonTest;
 use std::time::Instant;
 
@@ -18,11 +18,18 @@ use std::time::Instant;
 /// scaled-down data sizes: the Poisson level uses the safe small default
 /// rather than the cluster-tuned 0.01, and EM is capped at 5 iterations).
 fn experiment_params() -> P3cParams {
-    P3cParams { em_max_iters: 5, ..P3cParams::default() }
+    P3cParams {
+        em_max_iters: 5,
+        ..P3cParams::default()
+    }
 }
 
 fn engine() -> Engine {
-    Engine::new(MrConfig { num_reducers: 8, split_size: 8192, ..MrConfig::default() })
+    Engine::new(MrConfig {
+        num_reducers: 8,
+        split_size: 8192,
+        ..MrConfig::default()
+    })
 }
 
 fn spec(scale: &Scale, n: usize, k: usize, noise: f64, seed_off: u64) -> SyntheticSpec {
@@ -85,7 +92,14 @@ pub fn fig4(scale: &Scale) -> Report {
     let mut report = Report::new(
         "fig4",
         "Naive vs MVB outlier detection (E4SC, higher is better)",
-        &["noise", "clusters", "db_size", "E4SC naive", "E4SC MVB", "E4SC MCD (ext)"],
+        &[
+            "noise",
+            "clusters",
+            "db_size",
+            "E4SC naive",
+            "E4SC MVB",
+            "E4SC MCD (ext)",
+        ],
     );
     let sizes = [scale.size(10_000), scale.size(30_000), scale.size(100_000)];
     for &noise in &[0.05, 0.10, 0.20] {
@@ -198,13 +212,33 @@ impl Algo {
 }
 
 /// Runs one algorithm on a dataset, returning the clustering and runtime.
-pub fn run_algo(algo: Algo, data: &p3c_dataset::Dataset, sample_size: usize) -> (Clustering, std::time::Duration) {
+pub fn run_algo(
+    algo: Algo,
+    data: &p3c_dataset::Dataset,
+    sample_size: usize,
+) -> (Clustering, std::time::Duration) {
     let eng = engine();
     let start = Instant::now();
-    let clustering = match algo {
+    let clustering = run_scheduled(algo, &eng, data, sample_size, SchedulerChoice::Serial);
+    (clustering, start.elapsed())
+}
+
+/// Runs one algorithm on an existing engine under the given scheduler, so
+/// callers can inspect the engine's metrics ledger afterwards.
+fn run_scheduled(
+    algo: Algo,
+    eng: &Engine,
+    data: &p3c_dataset::Dataset,
+    sample_size: usize,
+    scheduler: SchedulerChoice,
+) -> Clustering {
+    match algo {
         Algo::BowLight | Algo::BowMvb => {
-            let variant =
-                if algo == Algo::BowLight { BowVariant::Light } else { BowVariant::Mvb };
+            let variant = if algo == Algo::BowLight {
+                BowVariant::Light
+            } else {
+                BowVariant::Mvb
+            };
             let config = BowConfig {
                 num_partitions: 8,
                 sample_size,
@@ -212,28 +246,42 @@ pub fn run_algo(algo: Algo, data: &p3c_dataset::Dataset, sample_size: usize) -> 
                 params: experiment_params(),
                 ..BowConfig::default()
             };
-            Bow::new(&eng, config).cluster(data).expect("bow run").clustering
+            Bow::new(eng, config)
+                .cluster_with(data, scheduler)
+                .expect("bow run")
+                .clustering
         }
-        Algo::MrLight => P3cPlusMrLight::new(&eng, experiment_params())
-            .cluster(data)
-            .expect("mr light run")
-            .clustering,
-        Algo::MrMvb => P3cPlusMr::new(&eng, P3cParams {
-            outlier: OutlierMethod::Mvb,
-            ..experiment_params()
-        })
-        .cluster(data)
-        .expect("mr mvb run")
-        .clustering,
-        Algo::MrNaive => P3cPlusMr::new(&eng, P3cParams {
-            outlier: OutlierMethod::Naive,
-            ..experiment_params()
-        })
-        .cluster(data)
-        .expect("mr naive run")
-        .clustering,
-    };
-    (clustering, start.elapsed())
+        Algo::MrLight => {
+            P3cPlusMrLight::new(eng, experiment_params())
+                .cluster_with(data, scheduler)
+                .expect("mr light run")
+                .clustering
+        }
+        Algo::MrMvb => {
+            P3cPlusMr::new(
+                eng,
+                P3cParams {
+                    outlier: OutlierMethod::Mvb,
+                    ..experiment_params()
+                },
+            )
+            .cluster_with(data, scheduler)
+            .expect("mr mvb run")
+            .clustering
+        }
+        Algo::MrNaive => {
+            P3cPlusMr::new(
+                eng,
+                P3cParams {
+                    outlier: OutlierMethod::Naive,
+                    ..experiment_params()
+                },
+            )
+            .cluster_with(data, scheduler)
+            .expect("mr naive run")
+            .clustering
+        }
+    }
 }
 
 /// Figure 6: E4SC of BoW (Light/MVB) vs P3C+-MR (Light/MVB) across
@@ -242,7 +290,15 @@ pub fn fig6(scale: &Scale) -> Report {
     let mut report = Report::new(
         "fig6",
         "Quality (E4SC) of BoW vs P3C+-MR across sizes, clusters and noise",
-        &["clusters", "noise", "db_size", "BoW (Light)", "BoW (MVB)", "MR (Light)", "MR (MVB)"],
+        &[
+            "clusters",
+            "noise",
+            "db_size",
+            "BoW (Light)",
+            "BoW (MVB)",
+            "MR (Light)",
+            "MR (MVB)",
+        ],
     );
     let sizes = [scale.size(10_000), scale.size(30_000), scale.size(100_000)];
     let sample = scale.size(2_000);
@@ -253,13 +309,15 @@ pub fn fig6(scale: &Scale) -> Report {
     for &k in &[3usize, 5, 7] {
         for &noise in &[0.0, 0.05, 0.10, 0.20] {
             for &n in &sizes {
-                let mut cells =
-                    vec![k.to_string(), format!("{:.0}%", noise * 100.0), n.to_string()];
+                let mut cells = vec![
+                    k.to_string(),
+                    format!("{:.0}%", noise * 100.0),
+                    n.to_string(),
+                ];
                 for algo in [Algo::BowLight, Algo::BowMvb, Algo::MrLight, Algo::MrMvb] {
                     let mut total = 0.0;
                     for rep in 0..seeds_per_cell {
-                        let data =
-                            generate(&spec(scale, n, k, noise, 100 + k as u64 + 31 * rep));
+                        let data = generate(&spec(scale, n, k, noise, 100 + k as u64 + 31 * rep));
                         let (clustering, _) = run_algo(algo, &data.dataset, sample);
                         total += e4sc(&clustering, &data.ground_truth);
                     }
@@ -283,7 +341,14 @@ pub fn fig7(scale: &Scale) -> Report {
     let mut report = Report::new(
         "fig7",
         "Runtime (seconds) vs database size (5 clusters, 10% noise)",
-        &["db_size", "BoW (Light)", "BoW (MVB)", "MR (Light)", "MR (MVB)", "MR (Naive)"],
+        &[
+            "db_size",
+            "BoW (Light)",
+            "BoW (MVB)",
+            "MR (Light)",
+            "MR (MVB)",
+            "MR (Naive)",
+        ],
     );
     let sizes = [
         scale.size(10_000),
@@ -295,9 +360,13 @@ pub fn fig7(scale: &Scale) -> Report {
     for &n in &sizes {
         let data = generate(&spec(scale, n, 5, 0.10, 7));
         let mut cells = vec![n.to_string()];
-        for algo in
-            [Algo::BowLight, Algo::BowMvb, Algo::MrLight, Algo::MrMvb, Algo::MrNaive]
-        {
+        for algo in [
+            Algo::BowLight,
+            Algo::BowMvb,
+            Algo::MrLight,
+            Algo::MrMvb,
+            Algo::MrNaive,
+        ] {
             let (_, elapsed) = run_algo(algo, &data.dataset, sample);
             cells.push(secs(elapsed));
         }
@@ -369,7 +438,10 @@ pub fn colon(scale: &Scale) -> Report {
     let mut acc_p3c = Vec::new();
     let mut acc_plus = Vec::new();
     for seed in (0..5).map(|i| scale.seed + i) {
-        let data = colon_like(&ColonSpec { seed, ..ColonSpec::default() });
+        let data = colon_like(&ColonSpec {
+            seed,
+            ..ColonSpec::default()
+        });
         // Tiny n, huge d: loosen the Poisson level the way the original
         // P3C evaluation does for microarray data.
         let p3c = P3c::new(1e-4).cluster(&data.dataset);
@@ -429,7 +501,9 @@ pub fn stragglers(_scale: &Scale) -> Report {
                 ..MrConfig::default()
             });
             let start = Instant::now();
-            let res = engine.run("straggle-bench", &input, &mapper, &reducer).expect("job");
+            let res = engine
+                .run("straggle-bench", &input, &mapper, &reducer)
+                .expect("job");
             report.push_row(vec![
                 format!("{:.0}%", rate * 100.0),
                 if speculative { "on" } else { "off" }.to_string(),
@@ -440,6 +514,75 @@ pub fn stragglers(_scale: &Scale) -> Report {
     }
     report.push_note(
         "Without speculation the job waits out every 400 ms straggler; with          it, idle workers commit backups and cancel the stragglers.",
+    );
+    report
+}
+
+// ------------------------------------------------------------------- dag --
+
+/// Scheduler ablation: every large-scale pipeline run job-by-job (serial)
+/// vs on the DAG scheduler with materialized datasets — wall time, the
+/// number of jobs observed executing concurrently, and how often a
+/// materialized dataset was served from the in-memory cache.
+pub fn dag(scale: &Scale) -> Report {
+    let mut report = Report::new(
+        "dag",
+        "Serial vs DAG scheduler (5 clusters, 10% noise)",
+        &[
+            "algorithm",
+            "serial_s",
+            "dag_s",
+            "max concurrent jobs",
+            "cache hits",
+            "output vs serial",
+        ],
+    );
+    let n = scale.size(30_000);
+    let data = generate(&spec(scale, n, 5, 0.10, 7));
+    let sample = scale.size(2_000);
+    for algo in [Algo::MrLight, Algo::MrMvb, Algo::BowLight] {
+        let serial_eng = engine();
+        let start = Instant::now();
+        let serial = run_scheduled(
+            algo,
+            &serial_eng,
+            &data.dataset,
+            sample,
+            SchedulerChoice::Serial,
+        );
+        let serial_wall = start.elapsed();
+
+        let dag_eng = engine();
+        let start = Instant::now();
+        let dagged = run_scheduled(algo, &dag_eng, &data.dataset, sample, SchedulerChoice::Dag);
+        let dag_wall = start.elapsed();
+
+        let metrics = dag_eng.cluster_metrics();
+        let hwm = metrics
+            .dag_runs()
+            .iter()
+            .map(|d| d.concurrency_high_water)
+            .max()
+            .unwrap_or(0);
+        let hits: u64 = metrics.dag_runs().iter().map(|d| d.cache_hits).sum();
+        let verdict = if serial == dagged {
+            "identical".to_string()
+        } else {
+            format!("k={}/{}", serial.num_clusters(), dagged.num_clusters())
+        };
+        report.push_row(vec![
+            algo.label().to_string(),
+            secs(serial_wall),
+            secs(dag_wall),
+            hwm.to_string(),
+            hits.to_string(),
+            verdict,
+        ]);
+    }
+    report.push_note(
+        "The P3C+-MR pipelines are byte-identical under both schedulers; BoW \
+         merges per-partition rectangles in a different (but fixed) order on \
+         the DAG, so only cluster counts are compared there.",
     );
     report
 }
@@ -483,7 +626,15 @@ pub fn bins(scale: &Scale) -> Report {
     let mut report = Report::new(
         "bins",
         "Sturges vs Freedman–Diaconis vs exact-IQR FD binning (P3C+-Light, narrow clusters)",
-        &["db_size", "bins sturges", "bins fd", "bins fd-iqr (max)", "E4SC sturges", "E4SC fd", "E4SC fd-iqr"],
+        &[
+            "db_size",
+            "bins sturges",
+            "bins fd",
+            "bins fd-iqr (max)",
+            "E4SC sturges",
+            "E4SC fd",
+            "E4SC fd-iqr",
+        ],
     );
     for &base in &[10_000usize, 50_000, 100_000] {
         let n = scale.size(base);
@@ -501,7 +652,10 @@ pub fn bins(scale: &Scale) -> Report {
             BinRuleChoice::FreedmanDiaconis,
             BinRuleChoice::FreedmanDiaconisIqr,
         ] {
-            let params = P3cParams { bin_rule: rule, ..experiment_params() };
+            let params = P3cParams {
+                bin_rule: rule,
+                ..experiment_params()
+            };
             let result = P3cPlusLight::new(params).cluster(&data.dataset);
             cells.push(result.stats.bins.to_string());
             quality.push(f3(e4sc(&result.clustering, &data.ground_truth)));
@@ -525,8 +679,7 @@ mod tests {
     fn fig1_rows_monotone_to_one() {
         let r = fig1(&Scale::smoke());
         assert_eq!(r.rows.len(), 9);
-        let probs: Vec<f64> =
-            r.rows.iter().map(|row| row[1].parse().unwrap()).collect();
+        let probs: Vec<f64> = r.rows.iter().map(|row| row[1].parse().unwrap()).collect();
         for w in probs.windows(2) {
             assert!(w[1] >= w[0] - 1e-9, "not monotone: {probs:?}");
         }
@@ -568,12 +721,30 @@ mod tests {
     }
 
     #[test]
+    fn dag_smoke() {
+        let r = dag(&Scale::smoke());
+        assert_eq!(r.rows.len(), 3);
+        for row in &r.rows {
+            let hwm: u64 = row[3].parse().unwrap();
+            assert!(hwm >= 1, "{row:?}");
+            // The MR pipelines must reproduce the serial output exactly.
+            if row[0].starts_with("MR") {
+                assert_eq!(row[5], "identical", "{row:?}");
+            }
+        }
+    }
+
+    #[test]
     fn run_algo_all_variants_smoke() {
         let scale = Scale::smoke();
         let data = generate(&spec(&scale, 1500, 2, 0.05, 3));
-        for algo in
-            [Algo::BowLight, Algo::BowMvb, Algo::MrLight, Algo::MrMvb, Algo::MrNaive]
-        {
+        for algo in [
+            Algo::BowLight,
+            Algo::BowMvb,
+            Algo::MrLight,
+            Algo::MrMvb,
+            Algo::MrNaive,
+        ] {
             let (clustering, _) = run_algo(algo, &data.dataset, 500);
             assert!(
                 clustering.num_clusters() <= 10,

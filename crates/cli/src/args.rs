@@ -1,6 +1,7 @@
 //! Argument parsing for the `p3c` binary (hand-rolled: the workspace's
 //! dependency budget has no CLI framework, and the grammar is small).
 
+use p3c_mapreduce::SchedulerChoice;
 use std::fmt;
 
 /// Which algorithm to run.
@@ -63,7 +64,10 @@ pub struct Shape {
 
 fn parse_shape(s: &str) -> Option<Shape> {
     let (n, d) = s.split_once(['x', 'X'])?;
-    Some(Shape { n: n.parse().ok()?, d: d.parse().ok()? })
+    Some(Shape {
+        n: n.parse().ok()?,
+        d: d.parse().ok()?,
+    })
 }
 
 /// The `p3c` subcommands.
@@ -87,9 +91,21 @@ pub enum Command {
         output: OutputFormat,
         /// Report E4SC against the synthetic ground truth.
         evaluate: bool,
+        /// Job scheduler for the MR algorithms (serial chaining or the
+        /// DAG scheduler with materialized datasets).
+        scheduler: SchedulerChoice,
+        /// Dump the engine's `ClusterMetrics` (jobs + DAG runs) as JSON
+        /// to this path after clustering.
+        metrics_json: Option<String>,
     },
     /// Generate a synthetic dataset to a file.
-    Generate { synthetic: Shape, clusters: usize, noise: f64, seed: u64, out: String },
+    Generate {
+        synthetic: Shape,
+        clusters: usize,
+        noise: f64,
+        seed: u64,
+        out: String,
+    },
     /// Print usage.
     Help,
 }
@@ -117,7 +133,9 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ParseError> {
     let mut it = args.iter().map(String::as_str);
     let command = match it.next() {
         None | Some("help") | Some("--help") | Some("-h") => {
-            return Ok(ParsedArgs { command: Command::Help })
+            return Ok(ParsedArgs {
+                command: Command::Help,
+            })
         }
         Some("cluster") => parse_cluster(&mut it)?,
         Some("generate") => parse_generate(&mut it)?,
@@ -134,7 +152,8 @@ fn next_value<'a>(
     it: &mut impl Iterator<Item = &'a str>,
     flag: &str,
 ) -> Result<&'a str, ParseError> {
-    it.next().ok_or_else(|| ParseError(format!("{flag} needs a value")))
+    it.next()
+        .ok_or_else(|| ParseError(format!("{flag} needs a value")))
 }
 
 fn parse_cluster<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, ParseError> {
@@ -147,6 +166,8 @@ fn parse_cluster<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, 
     let mut alpha = 1e-10;
     let mut output = OutputFormat::Text;
     let mut evaluate = false;
+    let mut scheduler = SchedulerChoice::Serial;
+    let mut metrics_json = None;
     while let Some(arg) = it.next() {
         match arg {
             "--input" | "-i" => input = Some(next_value(it, arg)?.to_string()),
@@ -190,22 +211,47 @@ fn parse_cluster<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, 
                 };
             }
             "--evaluate" | "-e" => evaluate = true,
+            "--scheduler" => {
+                let v = next_value(it, arg)?;
+                scheduler = SchedulerChoice::parse(v).ok_or_else(|| {
+                    ParseError(format!("unknown scheduler '{v}' (expected serial | dag)"))
+                })?;
+            }
+            "--metrics-json" => metrics_json = Some(next_value(it, arg)?.to_string()),
             other => return Err(ParseError(format!("unknown flag '{other}'"))),
         }
     }
     match (&input, &synthetic) {
         (None, None) => {
-            return Err(ParseError("cluster needs --input FILE or --synthetic NxD".into()))
+            return Err(ParseError(
+                "cluster needs --input FILE or --synthetic NxD".into(),
+            ))
         }
         (Some(_), Some(_)) => {
-            return Err(ParseError("--input and --synthetic are mutually exclusive".into()))
+            return Err(ParseError(
+                "--input and --synthetic are mutually exclusive".into(),
+            ))
         }
         _ => {}
     }
     if evaluate && synthetic.is_none() {
-        return Err(ParseError("--evaluate requires --synthetic (needs ground truth)".into()));
+        return Err(ParseError(
+            "--evaluate requires --synthetic (needs ground truth)".into(),
+        ));
     }
-    Ok(Command::Cluster { input, synthetic, algorithm, clusters, noise, seed, alpha, output, evaluate })
+    Ok(Command::Cluster {
+        input,
+        synthetic,
+        algorithm,
+        clusters,
+        noise,
+        seed,
+        alpha,
+        output,
+        evaluate,
+        scheduler,
+        metrics_json,
+    })
 }
 
 fn parse_generate<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, ParseError> {
@@ -242,10 +288,15 @@ fn parse_generate<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command,
             other => return Err(ParseError(format!("unknown flag '{other}'"))),
         }
     }
-    let synthetic =
-        synthetic.ok_or_else(|| ParseError("generate needs --synthetic NxD".into()))?;
+    let synthetic = synthetic.ok_or_else(|| ParseError("generate needs --synthetic NxD".into()))?;
     let out = out.ok_or_else(|| ParseError("generate needs --out FILE".into()))?;
-    Ok(Command::Generate { synthetic, clusters, noise, seed, out })
+    Ok(Command::Generate {
+        synthetic,
+        clusters,
+        noise,
+        seed,
+        out,
+    })
 }
 
 /// The usage text printed by `p3c help`.
@@ -265,6 +316,8 @@ CLUSTER OPTIONS:
       --alpha A          Poisson significance level                 [1e-10]
   -o, --output FMT       text | json                                [text]
   -e, --evaluate         report E4SC against the synthetic truth
+      --scheduler S      serial | dag (mr / mr-light / bow only)    [serial]
+      --metrics-json F   dump job + DAG metrics as JSON to file F
 
 GENERATE OPTIONS:
   -k, --clusters K / --noise FRAC / --seed SEED as above
@@ -291,7 +344,14 @@ mod tests {
     fn cluster_defaults() {
         let parsed = parse(&args("cluster --synthetic 1000x10")).unwrap();
         match parsed.command {
-            Command::Cluster { synthetic, algorithm, clusters, output, evaluate, .. } => {
+            Command::Cluster {
+                synthetic,
+                algorithm,
+                clusters,
+                output,
+                evaluate,
+                ..
+            } => {
                 assert_eq!(synthetic, Some(Shape { n: 1000, d: 10 }));
                 assert_eq!(algorithm, Algorithm::P3cPlus);
                 assert_eq!(clusters, 3);
@@ -309,7 +369,16 @@ mod tests {
         ))
         .unwrap();
         match parsed.command {
-            Command::Cluster { algorithm, clusters, noise, seed, alpha, output, evaluate, .. } => {
+            Command::Cluster {
+                algorithm,
+                clusters,
+                noise,
+                seed,
+                alpha,
+                output,
+                evaluate,
+                ..
+            } => {
                 assert_eq!(algorithm, Algorithm::MrLight);
                 assert_eq!(clusters, 5);
                 assert!((noise - 0.2).abs() < 1e-12);
@@ -339,6 +408,40 @@ mod tests {
     }
 
     #[test]
+    fn scheduler_and_metrics_flags() {
+        let parsed = parse(&args(
+            "cluster --synthetic 1000x10 -a mr --scheduler dag --metrics-json /tmp/m.json",
+        ))
+        .unwrap();
+        match parsed.command {
+            Command::Cluster {
+                scheduler,
+                metrics_json,
+                ..
+            } => {
+                assert_eq!(scheduler, SchedulerChoice::Dag);
+                assert_eq!(metrics_json.as_deref(), Some("/tmp/m.json"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults: serial scheduler, no metrics dump.
+        let parsed = parse(&args("cluster --synthetic 1000x10")).unwrap();
+        match parsed.command {
+            Command::Cluster {
+                scheduler,
+                metrics_json,
+                ..
+            } => {
+                assert_eq!(scheduler, SchedulerChoice::Serial);
+                assert_eq!(metrics_json, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse(&args("cluster --synthetic 1000x10 --scheduler turbo")).unwrap_err();
+        assert!(err.0.contains("unknown scheduler"));
+    }
+
+    #[test]
     fn cluster_input_and_synthetic_exclusive() {
         let err = parse(&args("cluster --input f.txt --synthetic 10x2")).unwrap_err();
         assert!(err.0.contains("mutually exclusive"));
@@ -354,8 +457,7 @@ mod tests {
 
     #[test]
     fn generate_roundtrip() {
-        let parsed =
-            parse(&args("generate --synthetic 200x5 --out /tmp/x.txt -k 2")).unwrap();
+        let parsed = parse(&args("generate --synthetic 200x5 --out /tmp/x.txt -k 2")).unwrap();
         assert_eq!(
             parsed.command,
             Command::Generate {

@@ -9,7 +9,7 @@ use p3c_core::p3cplus::{P3cPlus, P3cPlusLight};
 use p3c_datagen::{generate, SyntheticSpec};
 use p3c_dataset::{persist, Clustering, Dataset};
 use p3c_eval::e4sc;
-use p3c_mapreduce::{Engine, MrConfig};
+use p3c_mapreduce::{Engine, MrConfig, SchedulerChoice};
 use std::fmt;
 
 /// Execution errors (I/O, decoding, clustering failures).
@@ -42,7 +42,13 @@ impl From<std::io::Error> for ExecError {
 pub fn execute(parsed: &ParsedArgs) -> Result<String, ExecError> {
     match &parsed.command {
         Command::Help => Ok(crate::args::USAGE.to_string()),
-        Command::Generate { synthetic, clusters, noise, seed, out } => {
+        Command::Generate {
+            synthetic,
+            clusters,
+            noise,
+            seed,
+            out,
+        } => {
             let data = generate(&SyntheticSpec {
                 n: synthetic.n,
                 d: synthetic.d,
@@ -72,13 +78,19 @@ pub fn execute(parsed: &ParsedArgs) -> Result<String, ExecError> {
             alpha,
             output,
             evaluate,
+            scheduler,
+            metrics_json,
         } => {
             let (dataset, truth) = match (input, synthetic) {
                 (Some(path), None) => {
                     let text = std::fs::read_to_string(path)?;
-                    let ds = persist::from_text(&text)
-                        .map_err(|e| ExecError::Decode(e.to_string()))?;
-                    let ds = if ds.is_normalized() { ds } else { ds.normalize().0 };
+                    let ds =
+                        persist::from_text(&text).map_err(|e| ExecError::Decode(e.to_string()))?;
+                    let ds = if ds.is_normalized() {
+                        ds
+                    } else {
+                        ds.normalize().0
+                    };
                     (ds, None)
                 }
                 (None, Some(shape)) => {
@@ -95,13 +107,30 @@ pub fn execute(parsed: &ParsedArgs) -> Result<String, ExecError> {
                 }
                 _ => unreachable!("validated at parse time"),
             };
-            let params = P3cParams { alpha_poisson: *alpha, ..P3cParams::default() };
-            let clustering = run_algorithm(*algorithm, &params, &dataset)?;
+            let params = P3cParams {
+                alpha_poisson: *alpha,
+                ..P3cParams::default()
+            };
+            let (clustering, metrics) = run_algorithm(*algorithm, &params, &dataset, *scheduler)?;
             let mut text = render(&clustering, *output, *algorithm);
             if *evaluate {
                 if let Some(truth) = &truth {
-                    text.push_str(&format!("\nE4SC vs ground truth: {:.3}\n", e4sc(&clustering, truth)));
+                    text.push_str(&format!(
+                        "\nE4SC vs ground truth: {:.3}\n",
+                        e4sc(&clustering, truth)
+                    ));
                 }
+            }
+            if let Some(path) = metrics_json {
+                let json =
+                    serde_json::to_string_pretty(&metrics).expect("cluster metrics serialize");
+                std::fs::write(path, json + "\n")?;
+                text.push_str(&format!(
+                    "\nwrote metrics for {} job(s), {} DAG run(s) to {}\n",
+                    metrics.num_jobs(),
+                    metrics.dag_runs().len(),
+                    path
+                ));
             }
             Ok(text)
         }
@@ -112,33 +141,44 @@ fn run_algorithm(
     algorithm: Algorithm,
     params: &P3cParams,
     dataset: &Dataset,
-) -> Result<Clustering, ExecError> {
+    scheduler: SchedulerChoice,
+) -> Result<(Clustering, p3c_mapreduce::ClusterMetrics), ExecError> {
     let mr_err = |e: p3c_mapreduce::MrError| ExecError::Mr(e.to_string());
-    Ok(match algorithm {
+    // The serial algorithms run no jobs; their metrics ledger stays empty.
+    let engine = Engine::new(MrConfig::default());
+    let clustering = match algorithm {
         Algorithm::P3c => P3c::new(params.alpha_poisson).cluster(dataset).clustering,
         Algorithm::P3cPlus => P3cPlus::new(params.clone()).cluster(dataset).clustering,
-        Algorithm::Light => P3cPlusLight::new(params.clone()).cluster(dataset).clustering,
+        Algorithm::Light => {
+            P3cPlusLight::new(params.clone())
+                .cluster(dataset)
+                .clustering
+        }
         Algorithm::Mr => {
-            let engine = Engine::new(MrConfig::default());
-            P3cPlusMr::new(&engine, params.clone()).cluster(dataset).map_err(mr_err)?.clustering
+            P3cPlusMr::new(&engine, params.clone())
+                .cluster_with(dataset, scheduler)
+                .map_err(mr_err)?
+                .clustering
         }
         Algorithm::MrLight => {
-            let engine = Engine::new(MrConfig::default());
             P3cPlusMrLight::new(&engine, params.clone())
-                .cluster(dataset)
+                .cluster_with(dataset, scheduler)
                 .map_err(mr_err)?
                 .clustering
         }
         Algorithm::Bow => {
-            let engine = Engine::new(MrConfig::default());
             let config = BowConfig {
                 variant: BowVariant::Light,
                 params: params.clone(),
                 ..BowConfig::default()
             };
-            Bow::new(&engine, config).cluster(dataset).map_err(mr_err)?.clustering
+            Bow::new(&engine, config)
+                .cluster_with(dataset, scheduler)
+                .map_err(mr_err)?
+                .clustering
         }
-    })
+    };
+    Ok((clustering, engine.cluster_metrics()))
 }
 
 fn render(clustering: &Clustering, format: OutputFormat, algorithm: Algorithm) -> String {
@@ -154,8 +194,7 @@ fn render(clustering: &Clustering, format: OutputFormat, algorithm: Algorithm) -
                 clustering.outliers.len()
             );
             for (i, c) in clustering.clusters.iter().enumerate() {
-                let attrs: Vec<String> =
-                    c.attributes.iter().map(|a| format!("a{a}")).collect();
+                let attrs: Vec<String> = c.attributes.iter().map(|a| format!("a{a}")).collect();
                 out.push_str(&format!(
                     "  cluster {i}: {} points, subspace {{{}}}\n",
                     c.size(),
@@ -221,13 +260,67 @@ mod tests {
     }
 
     #[test]
+    fn dag_scheduler_matches_serial_output() {
+        for algo in ["mr", "mr-light"] {
+            let serial = run(&format!(
+                "cluster --synthetic 1500x8 -k 2 --seed 3 -a {algo} --scheduler serial"
+            ))
+            .unwrap();
+            let dag = run(&format!(
+                "cluster --synthetic 1500x8 -k 2 --seed 3 -a {algo} --scheduler dag"
+            ))
+            .unwrap();
+            assert_eq!(serial, dag, "{algo}");
+        }
+    }
+
+    #[test]
+    fn metrics_json_dump_records_dag_runs() {
+        let dir = std::env::temp_dir().join("p3c-cli-test-metrics");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("metrics.json");
+        let path_s = path.to_str().unwrap();
+        let out = run(&format!(
+            "cluster --synthetic 1500x8 -k 2 --seed 3 -a mr-light --scheduler dag \
+             --metrics-json {path_s}"
+        ))
+        .unwrap();
+        assert!(out.contains("wrote metrics for"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        let metrics: p3c_mapreduce::ClusterMetrics = serde_json::from_str(&json).unwrap();
+        assert!(metrics.num_jobs() > 0);
+        assert!(!metrics.dag_runs().is_empty());
+        assert!(metrics.dag_runs()[0].concurrency_high_water >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_json_for_serial_algorithm_is_empty() {
+        let dir = std::env::temp_dir().join("p3c-cli-test-metrics-serial");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("metrics.json");
+        let path_s = path.to_str().unwrap();
+        run(&format!(
+            "cluster --synthetic 1500x8 -k 2 --seed 3 -a light --metrics-json {path_s}"
+        ))
+        .unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let metrics: p3c_mapreduce::ClusterMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(metrics.num_jobs(), 0);
+        assert!(metrics.dag_runs().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn generate_then_cluster_file_roundtrip() {
         let dir = std::env::temp_dir().join("p3c-cli-test");
         let _ = std::fs::create_dir_all(&dir);
         let path = dir.join("data.txt");
         let path_s = path.to_str().unwrap();
-        let gen_out =
-            run(&format!("generate --synthetic 1500x8 -k 2 --seed 3 --out {path_s}")).unwrap();
+        let gen_out = run(&format!(
+            "generate --synthetic 1500x8 -k 2 --seed 3 --out {path_s}"
+        ))
+        .unwrap();
         assert!(gen_out.contains("wrote 1500 points"));
         let out = run(&format!("cluster --input {path_s} -a light")).unwrap();
         assert!(out.contains("light:"), "{out}");
@@ -263,7 +356,10 @@ mod tests {
                 .collect(),
         );
         std::fs::write(&path, persist::to_text(&ds)).unwrap();
-        let out = run(&format!("cluster --input {} -a light", path.to_str().unwrap()));
+        let out = run(&format!(
+            "cluster --input {} -a light",
+            path.to_str().unwrap()
+        ));
         assert!(out.is_ok(), "{out:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }

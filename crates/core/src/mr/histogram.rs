@@ -14,12 +14,20 @@ use std::sync::Arc;
 struct HistMapper {
     /// Per-attribute bin counts (uniform rules: a constant vector).
     bins: Arc<Vec<usize>>,
+    /// Attribute sub-range covered by this job. The full histogram job
+    /// uses `0..usize::MAX`; DAG histogram shards each take a slice of
+    /// the attribute space and run concurrently.
+    attr_lo: usize,
+    attr_hi: usize,
 }
 
 impl<'a> Mapper<&'a [f64], usize, Vec<f64>> for HistMapper {
     fn map(&self, row: &&'a [f64], out: &mut Emitter<usize, Vec<f64>>) {
         // Only used for 1-record splits; map_split is the real path.
         for (attr, &v) in row.iter().enumerate() {
+            if attr < self.attr_lo || attr >= self.attr_hi {
+                continue;
+            }
             let bins = self.bins[attr];
             let mut counts = vec![0.0; bins];
             counts[p3c_stats::histogram::bin_index(v, bins)] = 1.0;
@@ -29,15 +37,18 @@ impl<'a> Mapper<&'a [f64], usize, Vec<f64>> for HistMapper {
 
     fn map_split(&self, split: &[&'a [f64]], out: &mut Emitter<usize, Vec<f64>>) {
         let d = split.first().map_or(0, |r| r.len());
+        let lo = self.attr_lo.min(d);
+        let hi = self.attr_hi.min(d);
         let mut partials: Vec<Vec<f64>> =
-            (0..d).map(|attr| vec![0.0f64; self.bins[attr]]).collect();
+            (lo..hi).map(|attr| vec![0.0f64; self.bins[attr]]).collect();
         for row in split {
-            for (attr, &v) in row.iter().enumerate() {
-                partials[attr][p3c_stats::histogram::bin_index(v, self.bins[attr])] += 1.0;
+            for attr in lo..hi {
+                partials[attr - lo][p3c_stats::histogram::bin_index(row[attr], self.bins[attr])] +=
+                    1.0;
             }
         }
-        for (attr, counts) in partials.into_iter().enumerate() {
-            out.emit(attr, counts);
+        for (i, counts) in partials.into_iter().enumerate() {
+            out.emit(lo + i, counts);
         }
     }
 }
@@ -68,12 +79,53 @@ pub fn histogram_job(
     let result = engine.run(
         "p3c-histogram",
         rows,
-        &HistMapper { bins: Arc::new(bins_per_attr.to_vec()) },
+        &HistMapper {
+            bins: Arc::new(bins_per_attr.to_vec()),
+            attr_lo: 0,
+            attr_hi: usize::MAX,
+        },
         &HistReducer,
     )?;
-    let mut histograms: Vec<Histogram> =
-        bins_per_attr.iter().map(|&b| Histogram::new(b.max(1))).collect();
-    for (attr, counts) in result.output {
+    Ok(assemble_histograms(bins_per_attr, result.output))
+}
+
+/// Runs the histogram job over the attribute slice `attrs` only,
+/// returning the raw per-attribute bin counts. The DAG driver runs one
+/// shard job per attribute range concurrently; merging the shard outputs
+/// with [`assemble_histograms`] is *exact* — the reducer's per-attribute
+/// sums are integer-valued, so they do not depend on how attributes are
+/// grouped into jobs.
+pub fn histogram_shard_job(
+    engine: &Engine,
+    rows: &[&[f64]],
+    bins_per_attr: &[usize],
+    attrs: std::ops::Range<usize>,
+    job_name: &str,
+) -> Result<Vec<(usize, Vec<f64>)>, MrError> {
+    let result = engine.run(
+        job_name,
+        rows,
+        &HistMapper {
+            bins: Arc::new(bins_per_attr.to_vec()),
+            attr_lo: attrs.start,
+            attr_hi: attrs.end,
+        },
+        &HistReducer,
+    )?;
+    Ok(result.output)
+}
+
+/// Assembles reduced `(attribute, bin counts)` pairs — from one full job
+/// or from the union of shard jobs — into [`AttributeHistograms`].
+pub fn assemble_histograms(
+    bins_per_attr: &[usize],
+    parts: Vec<(usize, Vec<f64>)>,
+) -> AttributeHistograms {
+    let mut histograms: Vec<Histogram> = bins_per_attr
+        .iter()
+        .map(|&b| Histogram::new(b.max(1)))
+        .collect();
+    for (attr, counts) in parts {
         let bins = counts.len();
         let mut h = Histogram::new(bins);
         for (bin, &c) in counts.iter().enumerate() {
@@ -83,7 +135,7 @@ pub fn histogram_job(
         histograms[attr] = h;
     }
     let bins = bins_per_attr.iter().copied().max().unwrap_or(1).max(1);
-    Ok(AttributeHistograms { histograms, bins })
+    AttributeHistograms { histograms, bins }
 }
 
 /// The IQR job of the exact-IQR Freedman–Diaconis extension: mappers
@@ -110,12 +162,7 @@ pub fn iqr_job(engine: &Engine, rows: &[&[f64]]) -> Result<Vec<(f64, f64)>, MrEr
     }
     struct QuartileReducer;
     impl Reducer<usize, (f64, f64), (usize, (f64, f64))> for QuartileReducer {
-        fn reduce(
-            &self,
-            key: &usize,
-            values: Vec<(f64, f64)>,
-            out: &mut Vec<(usize, (f64, f64))>,
-        ) {
+        fn reduce(&self, key: &usize, values: Vec<(f64, f64)>, out: &mut Vec<(usize, (f64, f64))>) {
             let mut q1s: Vec<f64> = values.iter().map(|&(q1, _)| q1).collect();
             let mut q3s: Vec<f64> = values.iter().map(|&(_, q3)| q3).collect();
             out.push((*key, (median_in_place(&mut q1s), median_in_place(&mut q3s))));
@@ -149,7 +196,10 @@ mod tests {
     fn job_matches_serial_histograms() {
         let data = sample_rows();
         let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
-        let engine = Engine::new(MrConfig { split_size: 64, ..MrConfig::default() });
+        let engine = Engine::new(MrConfig {
+            split_size: 64,
+            ..MrConfig::default()
+        });
         let mr = histogram_job(&engine, &rows, &[8, 8, 8]).unwrap();
         let serial = build_histograms_rows(&rows, 8);
         assert_eq!(mr.histograms, serial.histograms);
@@ -160,7 +210,10 @@ mod tests {
     fn job_records_metrics() {
         let data = sample_rows();
         let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
-        let engine = Engine::new(MrConfig { split_size: 100, ..MrConfig::default() });
+        let engine = Engine::new(MrConfig {
+            split_size: 100,
+            ..MrConfig::default()
+        });
         histogram_job(&engine, &rows, &[8, 8, 8]).unwrap();
         let metrics = engine.cluster_metrics();
         assert_eq!(metrics.num_jobs(), 1);
@@ -184,7 +237,10 @@ mod tests {
     fn per_attribute_bins_job() {
         let data = sample_rows();
         let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
-        let engine = Engine::new(MrConfig { split_size: 64, ..MrConfig::default() });
+        let engine = Engine::new(MrConfig {
+            split_size: 64,
+            ..MrConfig::default()
+        });
         let mr = histogram_job(&engine, &rows, &[4, 16, 2]).unwrap();
         assert_eq!(mr.histograms[0].num_bins(), 4);
         assert_eq!(mr.histograms[1].num_bins(), 16);
@@ -204,7 +260,10 @@ mod tests {
         let n = ordered.len();
         let data: Vec<Vec<f64>> = (0..n).map(|i| ordered[(i * 137) % n].clone()).collect();
         let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
-        let engine = Engine::new(MrConfig { split_size: 50, ..MrConfig::default() });
+        let engine = Engine::new(MrConfig {
+            split_size: 50,
+            ..MrConfig::default()
+        });
         let q = iqr_job(&engine, &rows).unwrap();
         assert!((q[0].1 - q[0].0 - 0.5).abs() < 0.05, "attr0 IQR {:?}", q[0]);
         assert!((q[2].1 - q[2].0).abs() < 1e-12, "attr2 IQR {:?}", q[2]);
@@ -213,12 +272,48 @@ mod tests {
     #[test]
     fn single_record_map_path() {
         // Exercise the per-record `map` implementation directly.
-        let mapper = HistMapper { bins: Arc::new(vec![4, 4]) };
+        let mapper = HistMapper {
+            bins: Arc::new(vec![4, 4]),
+            attr_lo: 0,
+            attr_hi: usize::MAX,
+        };
         let row: &[f64] = &[0.1, 0.9];
         let mut em = p3c_mapreduce::Emitter::new();
         mapper.map(&row, &mut em);
         let (pairs, _) = em.into_parts();
         assert_eq!(pairs.len(), 2);
         assert_eq!(pairs[0].1.iter().sum::<f64>(), 1.0);
+        // A sharded mapper only emits its attribute slice.
+        let sharded = HistMapper {
+            bins: Arc::new(vec![4, 4]),
+            attr_lo: 1,
+            attr_hi: 2,
+        };
+        let mut em = p3c_mapreduce::Emitter::new();
+        sharded.map(&row, &mut em);
+        let (pairs, _) = em.into_parts();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, 1);
+    }
+
+    #[test]
+    fn shard_jobs_merge_to_the_full_histograms() {
+        let data = sample_rows();
+        let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let bins = [8, 8, 8];
+        let engine = Engine::new(MrConfig {
+            split_size: 64,
+            ..MrConfig::default()
+        });
+        let full = histogram_job(&engine, &rows, &bins).unwrap();
+        let sharded = Engine::new(MrConfig {
+            split_size: 64,
+            ..MrConfig::default()
+        });
+        let mut parts = histogram_shard_job(&sharded, &rows, &bins, 0..2, "shard-0").unwrap();
+        parts.extend(histogram_shard_job(&sharded, &rows, &bins, 2..3, "shard-1").unwrap());
+        let merged = assemble_histograms(&bins, parts);
+        assert_eq!(merged.histograms, full.histograms);
+        assert_eq!(merged.bins, full.bins);
     }
 }

@@ -5,14 +5,17 @@ use crate::config::{BinRuleChoice, OutlierMethod, P3cParams};
 use crate::cores::ClusterCore;
 use crate::inspect::inspect_from_histograms;
 use crate::mr::coregen::generate_cluster_cores_mr;
-use crate::mr::em::{em_fit_mr, initialize_from_cores_mr};
-use crate::mr::histogram::{histogram_job, iqr_job};
+use crate::mr::em::{em_fit_mr, initialize_from_cores_mr, MrEmFit};
+use crate::mr::histogram::{assemble_histograms, histogram_job, histogram_shard_job, iqr_job};
 use crate::mr::inspect::{ai_histogram_job, tighten_job};
 use crate::mr::outlier::{od_job_mcd, od_job_mvb, od_job_naive};
 use crate::p3cplus::{P3cResult, PipelineStats};
 use crate::relevance::relevant_intervals;
-use p3c_dataset::{Clustering, Dataset, ProjectedCluster};
-use p3c_mapreduce::{Emitter, Engine, Mapper, MrError};
+use p3c_dataset::{AttrInterval, Clustering, Dataset, ProjectedCluster};
+use p3c_mapreduce::{
+    rows_codec, take_dataset, DagError, DagScheduler, DatasetHandle, DatasetStore, Emitter, Engine,
+    JobGraph, JobKind, JobNode, Mapper, MrError, NodeCtx, SchedulerChoice,
+};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -45,7 +48,13 @@ impl<'e> P3cPlusMr<'e> {
 
         // EM (init jobs + 2 jobs per iteration).
         let init = initialize_from_cores_mr(self.engine, &cores, &rows, &arel)?;
-        let fit = em_fit_mr(self.engine, init, &rows, self.params.em_max_iters, self.params.em_tol)?;
+        let fit = em_fit_mr(
+            self.engine,
+            init,
+            &rows,
+            self.params.em_max_iters,
+            self.params.em_tol,
+        )?;
         stats.em_iterations = fit.iterations;
         let eval = Arc::new(fit.model.evaluator());
 
@@ -78,8 +87,11 @@ impl<'e> P3cPlusMr<'e> {
 
         // Attribute inspection (histogram job + driver-side marking).
         let k = cores.len();
-        let items: Vec<(i64, &[f64])> =
-            assignment.iter().copied().zip(rows.iter().copied()).collect();
+        let items: Vec<(i64, &[f64])> = assignment
+            .iter()
+            .copied()
+            .zip(rows.iter().copied())
+            .collect();
         let mut member_counts = vec![0usize; k];
         for &a in &assignment {
             if a >= 0 {
@@ -94,15 +106,19 @@ impl<'e> P3cPlusMr<'e> {
         let mut attrs_per_cluster: Vec<Vec<usize>> = Vec::with_capacity(k);
         for (c, core) in cores.iter().enumerate() {
             let known = core.signature.attributes();
-            let extra =
-                inspect_from_histograms(&hists[c], member_counts[c], &known, &self.params);
+            let extra = inspect_from_histograms(&hists[c], member_counts[c], &known, &self.params);
             let mut attrs: BTreeSet<usize> = known;
             attrs.extend(extra.iter().map(|iv| iv.attr));
             attrs_per_cluster.push(attrs.into_iter().collect());
         }
 
         // Interval tightening job.
-        let intervals = tighten_job(self.engine, "p3c-interval-tightening", &items, &attrs_per_cluster)?;
+        let intervals = tighten_job(
+            self.engine,
+            "p3c-interval-tightening",
+            &items,
+            &attrs_per_cluster,
+        )?;
 
         // Assemble.
         let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
@@ -123,7 +139,220 @@ impl<'e> P3cPlusMr<'e> {
                 )
             })
             .collect();
-        Ok(P3cResult { clustering: Clustering::new(clusters, outliers), cores, stats })
+        Ok(P3cResult {
+            clustering: Clustering::new(clusters, outliers),
+            cores,
+            stats,
+        })
+    }
+
+    /// Clusters through the chosen scheduler: [`SchedulerChoice::Serial`]
+    /// chains the jobs as [`Self::cluster`] does, [`SchedulerChoice::Dag`]
+    /// runs them as job graphs with materialized datasets.
+    pub fn cluster_with(
+        &self,
+        data: &Dataset,
+        scheduler: SchedulerChoice,
+    ) -> Result<P3cResult, MrError> {
+        match scheduler {
+            SchedulerChoice::Serial => self.cluster(data),
+            SchedulerChoice::Dag => self.cluster_dag(data),
+        }
+    }
+
+    /// The full pipeline on the DAG scheduler. Two graphs run back to
+    /// back — `p3c-core` (concurrent histogram shards feeding core
+    /// generation) and `p3c-model` (the EM → outlier → inspection →
+    /// tightening chain) — with the row set cached once in a
+    /// [`DatasetStore`] instead of re-shipped into every job. The
+    /// clustering is byte-identical to [`Self::cluster`].
+    pub fn cluster_dag(&self, data: &Dataset) -> Result<P3cResult, MrError> {
+        let store = DatasetStore::new();
+        let rows_ds = seed_rows(&store, data);
+        let d = data.row_refs().first().map_or(0, |r| r.len());
+        let (cores, mut stats) =
+            core_phase_dag(self.engine, &store, &rows_ds, data.len(), d, &self.params)?;
+        if cores.is_empty() {
+            return Ok(empty_result(data.len(), stats));
+        }
+        let arel: Vec<usize> = arel_of(&cores);
+        let k = cores.len();
+
+        let cores_ds: DatasetHandle<Vec<ClusterCore>> = DatasetHandle::new("cores");
+        let fit_ds: DatasetHandle<MrEmFit> = DatasetHandle::new("em-fit");
+        let assign_ds: DatasetHandle<Vec<i64>> = DatasetHandle::new("assignment");
+        let attrs_ds: DatasetHandle<Vec<Vec<usize>>> = DatasetHandle::new("attrs-per-cluster");
+        let intervals_ds: DatasetHandle<Vec<Vec<AttrInterval>>> = DatasetHandle::new("intervals");
+
+        let mut graph = JobGraph::new("p3c-model");
+        graph.add(
+            JobNode::new("em", JobKind::MapReduce, {
+                let (rows_ds, cores_ds, fit_ds) =
+                    (rows_ds.clone(), cores_ds.clone(), fit_ds.clone());
+                let arel = arel.clone();
+                let (max_iters, tol) = (self.params.em_max_iters, self.params.em_tol);
+                move |ctx: &NodeCtx| {
+                    let rows = ctx.fetch(&rows_ds)?;
+                    let cores = ctx.fetch(&cores_ds)?;
+                    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                    let init = initialize_from_cores_mr(ctx.engine, &cores, &refs, &arel)?;
+                    let fit = em_fit_mr(ctx.engine, init, &refs, max_iters, tol)?;
+                    ctx.put(&fit_ds, fit, 1024);
+                    Ok(())
+                }
+            })
+            .input(&rows_ds)
+            .input(&cores_ds)
+            .output(&fit_ds),
+        );
+        graph.add(
+            JobNode::new("outlier-detection", JobKind::MapReduce, {
+                let (rows_ds, fit_ds, assign_ds) =
+                    (rows_ds.clone(), fit_ds.clone(), assign_ds.clone());
+                let (method, alpha, arel_len) =
+                    (self.params.outlier, self.params.alpha_outlier, arel.len());
+                move |ctx: &NodeCtx| {
+                    let rows = ctx.fetch(&rows_ds)?;
+                    let fit = ctx.fetch(&fit_ds)?;
+                    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                    let eval = Arc::new(fit.model.evaluator());
+                    let assignment = match method {
+                        OutlierMethod::Naive => {
+                            od_job_naive(ctx.engine, eval, &refs, alpha, arel_len)?
+                        }
+                        OutlierMethod::Mvb => od_job_mvb(ctx.engine, eval, &refs, alpha, arel_len)?,
+                        OutlierMethod::Mcd => {
+                            od_job_mcd(ctx.engine, eval, &refs, alpha, arel_len, 2)?
+                        }
+                    };
+                    let bytes = 8 * assignment.len();
+                    ctx.put(&assign_ds, assignment, bytes);
+                    Ok(())
+                }
+            })
+            .input(&rows_ds)
+            .input(&fit_ds)
+            .output(&assign_ds),
+        );
+        graph.add(
+            JobNode::new("attribute-inspection", JobKind::MapReduce, {
+                let (rows_ds, assign_ds, cores_ds, attrs_ds) = (
+                    rows_ds.clone(),
+                    assign_ds.clone(),
+                    cores_ds.clone(),
+                    attrs_ds.clone(),
+                );
+                let params = self.params.clone();
+                move |ctx: &NodeCtx| {
+                    let rows = ctx.fetch(&rows_ds)?;
+                    let assignment = ctx.fetch(&assign_ds)?;
+                    let cores = ctx.fetch(&cores_ds)?;
+                    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                    let k = cores.len();
+                    let items: Vec<(i64, &[f64])> = assignment
+                        .iter()
+                        .copied()
+                        .zip(refs.iter().copied())
+                        .collect();
+                    let mut member_counts = vec![0usize; k];
+                    for &a in assignment.iter() {
+                        if a >= 0 {
+                            member_counts[a as usize] += 1;
+                        }
+                    }
+                    let bins_per_cluster: Vec<usize> = member_counts
+                        .iter()
+                        .map(|&m| params.bin_rule.to_rule().num_bins(m).max(1))
+                        .collect();
+                    let hists = ai_histogram_job(ctx.engine, &items, &bins_per_cluster)?;
+                    let mut attrs_per_cluster: Vec<Vec<usize>> = Vec::with_capacity(k);
+                    for (c, core) in cores.iter().enumerate() {
+                        let known = core.signature.attributes();
+                        let extra =
+                            inspect_from_histograms(&hists[c], member_counts[c], &known, &params);
+                        let mut attrs: BTreeSet<usize> = known;
+                        attrs.extend(extra.iter().map(|iv| iv.attr));
+                        attrs_per_cluster.push(attrs.into_iter().collect());
+                    }
+                    ctx.put(&attrs_ds, attrs_per_cluster, 16 * k);
+                    Ok(())
+                }
+            })
+            .input(&rows_ds)
+            .input(&assign_ds)
+            .input(&cores_ds)
+            .output(&attrs_ds),
+        );
+        graph.add(
+            JobNode::new("interval-tightening", JobKind::MapReduce, {
+                let (rows_ds, assign_ds, attrs_ds, intervals_ds) = (
+                    rows_ds.clone(),
+                    assign_ds.clone(),
+                    attrs_ds.clone(),
+                    intervals_ds.clone(),
+                );
+                move |ctx: &NodeCtx| {
+                    let rows = ctx.fetch(&rows_ds)?;
+                    let assignment = ctx.fetch(&assign_ds)?;
+                    let attrs = ctx.fetch(&attrs_ds)?;
+                    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                    let items: Vec<(i64, &[f64])> = assignment
+                        .iter()
+                        .copied()
+                        .zip(refs.iter().copied())
+                        .collect();
+                    let intervals =
+                        tighten_job(ctx.engine, "p3c-interval-tightening", &items, &attrs)?;
+                    let bytes = 32 * attrs.len();
+                    ctx.put(&intervals_ds, intervals, bytes);
+                    Ok(())
+                }
+            })
+            .input(&rows_ds)
+            .input(&assign_ds)
+            .input(&attrs_ds)
+            .output(&intervals_ds),
+        );
+
+        DagScheduler::new(self.engine)
+            .run(&graph, &store)
+            .map_err(DagError::into_mr)?;
+
+        // `MrEmFit` is not `Clone`; read the iteration count through the
+        // store's `Arc` instead of taking the dataset out.
+        let fit = store.get(&fit_ds).map_err(|e| MrError::Dag {
+            node: "<driver>".to_string(),
+            message: e.to_string(),
+        })?;
+        stats.em_iterations = fit.iterations;
+        let assignment: Vec<i64> = take_dataset(&store, &assign_ds)?;
+        let attrs_per_cluster: Vec<Vec<usize>> = take_dataset(&store, &attrs_ds)?;
+        let intervals: Vec<Vec<AttrInterval>> = take_dataset(&store, &intervals_ds)?;
+        stats.outliers = assignment.iter().filter(|&&a| a == -1).count();
+
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let mut outliers = Vec::new();
+        for (i, &a) in assignment.iter().enumerate() {
+            if a < 0 {
+                outliers.push(i);
+            } else {
+                members[a as usize].push(i);
+            }
+        }
+        let clusters: Vec<ProjectedCluster> = (0..k)
+            .map(|c| {
+                ProjectedCluster::new(
+                    members[c].clone(),
+                    attrs_per_cluster[c].iter().copied().collect(),
+                    intervals[c].clone(),
+                )
+            })
+            .collect();
+        Ok(P3cResult {
+            clustering: Clustering::new(clusters, outliers),
+            cores,
+            stats,
+        })
     }
 }
 
@@ -173,8 +402,11 @@ impl<'e> P3cPlusMrLight<'e> {
         stats.outliers = outliers.len();
 
         // AI over the uniquely-assigned points (Section 6's histogram).
-        let unique_items: Vec<(i64, &[f64])> =
-            unique_label.iter().copied().zip(rows.iter().copied()).collect();
+        let unique_items: Vec<(i64, &[f64])> = unique_label
+            .iter()
+            .copied()
+            .zip(rows.iter().copied())
+            .collect();
         let unique_counts: Vec<usize> = (0..k)
             .map(|c| unique_label.iter().filter(|&&l| l == c as i64).count())
             .collect();
@@ -197,16 +429,23 @@ impl<'e> P3cPlusMrLight<'e> {
         let support_items: Vec<(i64, &[f64])> = memberships
             .iter()
             .enumerate()
-            .flat_map(|(i, containing)| {
-                containing.iter().map(move |&c| (c as i64, i))
-            })
+            .flat_map(|(i, containing)| containing.iter().map(move |&c| (c as i64, i)))
             .map(|(c, i)| (c, rows[i]))
             .collect();
-        let core_intervals =
-            tighten_job(self.engine, "p3c-light-tighten-core", &support_items, &core_attrs)?;
+        let core_intervals = tighten_job(
+            self.engine,
+            "p3c-light-tighten-core",
+            &support_items,
+            &core_attrs,
+        )?;
         let any_ai = ai_attrs.iter().any(|a| !a.is_empty());
         let ai_intervals = if any_ai {
-            tighten_job(self.engine, "p3c-light-tighten-ai", &unique_items, &ai_attrs)?
+            tighten_job(
+                self.engine,
+                "p3c-light-tighten-ai",
+                &unique_items,
+                &ai_attrs,
+            )?
         } else {
             vec![Vec::new(); k]
         };
@@ -220,7 +459,226 @@ impl<'e> P3cPlusMrLight<'e> {
                 ProjectedCluster::new(members[c].clone(), attrs, intervals)
             })
             .collect();
-        Ok(P3cResult { clustering: Clustering::new(clusters, outliers), cores, stats })
+        Ok(P3cResult {
+            clustering: Clustering::new(clusters, outliers),
+            cores,
+            stats,
+        })
+    }
+
+    /// Clusters through the chosen scheduler (see [`P3cPlusMr::cluster_with`]).
+    pub fn cluster_with(
+        &self,
+        data: &Dataset,
+        scheduler: SchedulerChoice,
+    ) -> Result<P3cResult, MrError> {
+        match scheduler {
+            SchedulerChoice::Serial => self.cluster(data),
+            SchedulerChoice::Dag => self.cluster_dag(data),
+        }
+    }
+
+    /// The Light pipeline on the DAG scheduler: the shared `p3c-core`
+    /// graph, then a `p3c-light-model` graph where attribute inspection
+    /// and core-interval tightening run concurrently off the membership
+    /// job's output. Byte-identical to [`Self::cluster`].
+    pub fn cluster_dag(&self, data: &Dataset) -> Result<P3cResult, MrError> {
+        let store = DatasetStore::new();
+        let rows_ds = seed_rows(&store, data);
+        let d = data.row_refs().first().map_or(0, |r| r.len());
+        let (cores, mut stats) =
+            core_phase_dag(self.engine, &store, &rows_ds, data.len(), d, &self.params)?;
+        if cores.is_empty() {
+            return Ok(empty_result(data.len(), stats));
+        }
+        let k = cores.len();
+
+        let cores_ds: DatasetHandle<Vec<ClusterCore>> = DatasetHandle::new("cores");
+        let memberships_ds: DatasetHandle<Vec<Vec<u32>>> = DatasetHandle::new("memberships");
+        let ai_attrs_ds: DatasetHandle<Vec<Vec<usize>>> = DatasetHandle::new("ai-attrs");
+        let core_intervals_ds: DatasetHandle<Vec<Vec<AttrInterval>>> =
+            DatasetHandle::new("core-intervals");
+        let ai_intervals_ds: DatasetHandle<Vec<Vec<AttrInterval>>> =
+            DatasetHandle::new("ai-intervals");
+
+        let mut graph = JobGraph::new("p3c-light-model");
+        graph.add(
+            JobNode::new("membership", JobKind::MapOnly, {
+                let (rows_ds, cores_ds, memberships_ds) =
+                    (rows_ds.clone(), cores_ds.clone(), memberships_ds.clone());
+                move |ctx: &NodeCtx| {
+                    let rows = ctx.fetch(&rows_ds)?;
+                    let cores = ctx.fetch(&cores_ds)?;
+                    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                    let memberships = membership_job(ctx.engine, &cores, &refs)?;
+                    let bytes = memberships.iter().map(|m| 8 + 4 * m.len()).sum();
+                    ctx.put(&memberships_ds, memberships, bytes);
+                    Ok(())
+                }
+            })
+            .input(&rows_ds)
+            .input(&cores_ds)
+            .output(&memberships_ds),
+        );
+        graph.add(
+            JobNode::new("attribute-inspection", JobKind::MapReduce, {
+                let (rows_ds, memberships_ds, cores_ds, ai_attrs_ds) = (
+                    rows_ds.clone(),
+                    memberships_ds.clone(),
+                    cores_ds.clone(),
+                    ai_attrs_ds.clone(),
+                );
+                let params = self.params.clone();
+                move |ctx: &NodeCtx| {
+                    let rows = ctx.fetch(&rows_ds)?;
+                    let memberships = ctx.fetch(&memberships_ds)?;
+                    let cores = ctx.fetch(&cores_ds)?;
+                    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                    let k = cores.len();
+                    let unique_label = unique_labels(&memberships);
+                    let unique_items: Vec<(i64, &[f64])> = unique_label
+                        .iter()
+                        .copied()
+                        .zip(refs.iter().copied())
+                        .collect();
+                    let unique_counts: Vec<usize> = (0..k)
+                        .map(|c| unique_label.iter().filter(|&&l| l == c as i64).count())
+                        .collect();
+                    let bins_per_cluster: Vec<usize> = unique_counts
+                        .iter()
+                        .map(|&m| params.bin_rule.to_rule().num_bins(m).max(1))
+                        .collect();
+                    let hists = ai_histogram_job(ctx.engine, &unique_items, &bins_per_cluster)?;
+                    let mut ai_attrs: Vec<Vec<usize>> = Vec::with_capacity(k);
+                    for (c, core) in cores.iter().enumerate() {
+                        let known = core.signature.attributes();
+                        let extra =
+                            inspect_from_histograms(&hists[c], unique_counts[c], &known, &params);
+                        ai_attrs.push(extra.iter().map(|iv| iv.attr).collect());
+                    }
+                    ctx.put(&ai_attrs_ds, ai_attrs, 16 * k);
+                    Ok(())
+                }
+            })
+            .input(&rows_ds)
+            .input(&memberships_ds)
+            .input(&cores_ds)
+            .output(&ai_attrs_ds),
+        );
+        graph.add(
+            JobNode::new("tighten-core", JobKind::MapReduce, {
+                let (rows_ds, memberships_ds, cores_ds, core_intervals_ds) = (
+                    rows_ds.clone(),
+                    memberships_ds.clone(),
+                    cores_ds.clone(),
+                    core_intervals_ds.clone(),
+                );
+                move |ctx: &NodeCtx| {
+                    let rows = ctx.fetch(&rows_ds)?;
+                    let memberships = ctx.fetch(&memberships_ds)?;
+                    let cores = ctx.fetch(&cores_ds)?;
+                    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                    let core_attrs: Vec<Vec<usize>> = cores
+                        .iter()
+                        .map(|c| c.signature.attributes().into_iter().collect())
+                        .collect();
+                    let support_items: Vec<(i64, &[f64])> = memberships
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(i, containing)| containing.iter().map(move |&c| (c as i64, i)))
+                        .map(|(c, i)| (c, refs[i]))
+                        .collect();
+                    let intervals = tighten_job(
+                        ctx.engine,
+                        "p3c-light-tighten-core",
+                        &support_items,
+                        &core_attrs,
+                    )?;
+                    let bytes = 32 * core_attrs.len();
+                    ctx.put(&core_intervals_ds, intervals, bytes);
+                    Ok(())
+                }
+            })
+            .input(&rows_ds)
+            .input(&memberships_ds)
+            .input(&cores_ds)
+            .output(&core_intervals_ds),
+        );
+        graph.add(
+            JobNode::new("tighten-ai", JobKind::MapReduce, {
+                let (rows_ds, memberships_ds, ai_attrs_ds, ai_intervals_ds) = (
+                    rows_ds.clone(),
+                    memberships_ds.clone(),
+                    ai_attrs_ds.clone(),
+                    ai_intervals_ds.clone(),
+                );
+                move |ctx: &NodeCtx| {
+                    let rows = ctx.fetch(&rows_ds)?;
+                    let memberships = ctx.fetch(&memberships_ds)?;
+                    let ai_attrs = ctx.fetch(&ai_attrs_ds)?;
+                    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                    let k = ai_attrs.len();
+                    let any_ai = ai_attrs.iter().any(|a| !a.is_empty());
+                    let intervals = if any_ai {
+                        let unique_label = unique_labels(&memberships);
+                        let unique_items: Vec<(i64, &[f64])> = unique_label
+                            .iter()
+                            .copied()
+                            .zip(refs.iter().copied())
+                            .collect();
+                        tighten_job(ctx.engine, "p3c-light-tighten-ai", &unique_items, &ai_attrs)?
+                    } else {
+                        vec![Vec::new(); k]
+                    };
+                    ctx.put(&ai_intervals_ds, intervals, 32 * k);
+                    Ok(())
+                }
+            })
+            .input(&rows_ds)
+            .input(&memberships_ds)
+            .input(&ai_attrs_ds)
+            .output(&ai_intervals_ds),
+        );
+
+        DagScheduler::new(self.engine)
+            .run(&graph, &store)
+            .map_err(DagError::into_mr)?;
+
+        let memberships: Vec<Vec<u32>> = take_dataset(&store, &memberships_ds)?;
+        let ai_attrs: Vec<Vec<usize>> = take_dataset(&store, &ai_attrs_ds)?;
+        let core_intervals: Vec<Vec<AttrInterval>> = take_dataset(&store, &core_intervals_ds)?;
+        let ai_intervals: Vec<Vec<AttrInterval>> = take_dataset(&store, &ai_intervals_ds)?;
+
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let mut outliers = Vec::new();
+        for (i, containing) in memberships.iter().enumerate() {
+            if containing.is_empty() {
+                outliers.push(i);
+                continue;
+            }
+            for &c in containing {
+                members[c as usize].push(i);
+            }
+        }
+        stats.outliers = outliers.len();
+        let core_attrs: Vec<Vec<usize>> = cores
+            .iter()
+            .map(|c| c.signature.attributes().into_iter().collect())
+            .collect();
+        let clusters: Vec<ProjectedCluster> = (0..k)
+            .map(|c| {
+                let mut attrs: BTreeSet<usize> = core_attrs[c].iter().copied().collect();
+                attrs.extend(ai_attrs[c].iter().copied());
+                let mut intervals = core_intervals[c].clone();
+                intervals.extend(ai_intervals[c].iter().copied());
+                ProjectedCluster::new(members[c].clone(), attrs, intervals)
+            })
+            .collect();
+        Ok(P3cResult {
+            clustering: Clustering::new(clusters, outliers),
+            cores,
+            stats,
+        })
     }
 }
 
@@ -288,9 +746,173 @@ fn membership_job(
         "p3c-light-membership",
         rows,
         cache,
-        &MembershipMapper { cores: Arc::new(cores.to_vec()) },
+        &MembershipMapper {
+            cores: Arc::new(cores.to_vec()),
+        },
     )?;
     Ok(result.output)
+}
+
+/// Loads the row set into the dataset store once for a whole DAG
+/// pipeline (the serial drivers re-ship it into every job); spillable so
+/// a memory-budgeted store can stage it to the block store and reload.
+fn seed_rows(store: &DatasetStore, data: &Dataset) -> DatasetHandle<Vec<Vec<f64>>> {
+    let handle: DatasetHandle<Vec<Vec<f64>>> = DatasetHandle::new("rows");
+    let owned: Vec<Vec<f64>> = data.row_refs().iter().map(|r| r.to_vec()).collect();
+    let bytes = owned.iter().map(|r| 8 * r.len() + 8).sum();
+    store.put_spillable(&handle, owned, bytes, rows_codec());
+    handle
+}
+
+/// The core-generation phase as a job graph named `p3c-core`: histogram
+/// shards over disjoint attribute ranges run concurrently against the
+/// cached row set, and their partial counts merge into exactly the
+/// histograms the single serial job builds (per-attribute counts are
+/// reduced per split in split order, so the merge is bit-exact). The
+/// bin-count dataset is pre-seeded for uniform rules and produced by a
+/// quartile node under the exact-IQR rule.
+fn core_phase_dag(
+    engine: &Engine,
+    store: &DatasetStore,
+    rows_ds: &DatasetHandle<Vec<Vec<f64>>>,
+    n: usize,
+    d: usize,
+    params: &P3cParams,
+) -> Result<(Vec<ClusterCore>, PipelineStats), MrError> {
+    let bins_ds: DatasetHandle<Vec<usize>> = DatasetHandle::new("bins");
+    let cores_ds: DatasetHandle<Vec<ClusterCore>> = DatasetHandle::new("cores");
+    let stats_ds: DatasetHandle<PipelineStats> = DatasetHandle::new("core-stats");
+
+    let mut graph = JobGraph::new("p3c-core");
+    match params.bin_rule {
+        BinRuleChoice::FreedmanDiaconisIqr => {
+            graph.add(
+                JobNode::new("p3c-iqr", JobKind::MapReduce, {
+                    let (rows_ds, bins_ds) = (rows_ds.clone(), bins_ds.clone());
+                    move |ctx: &NodeCtx| {
+                        let rows = ctx.fetch(&rows_ds)?;
+                        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                        let quartiles = iqr_job(ctx.engine, &refs)?;
+                        let bins: Vec<usize> = quartiles
+                            .into_iter()
+                            .map(|(q1, q3)| crate::p3cplus::iqr_bins(n, q3 - q1))
+                            .collect();
+                        let bytes = 8 * bins.len();
+                        ctx.put(&bins_ds, bins, bytes);
+                        Ok(())
+                    }
+                })
+                .input(rows_ds)
+                .output(&bins_ds),
+            );
+        }
+        _ => {
+            // Uniform rules need no data pass; seeding the bin counts up
+            // front makes every histogram shard a source node, so they
+            // all become ready at once and overlap maximally.
+            let bins = vec![params.bin_rule.to_rule().num_bins(n).max(1); d];
+            store.put(&bins_ds, bins, 8 * d.max(1));
+        }
+    }
+
+    let num_shards = d.clamp(1, 4);
+    let chunk = d.div_ceil(num_shards).max(1);
+    let mut part_handles: Vec<DatasetHandle<Vec<(usize, Vec<f64>)>>> =
+        Vec::with_capacity(num_shards);
+    for s in 0..num_shards {
+        let (lo, hi) = (s * chunk, ((s + 1) * chunk).min(d));
+        let parts_ds: DatasetHandle<Vec<(usize, Vec<f64>)>> =
+            DatasetHandle::new(format!("hist-parts-{s}"));
+        graph.add(
+            JobNode::new(format!("hist-shard-{s}"), JobKind::MapReduce, {
+                let (rows_ds, bins_ds, parts_ds) =
+                    (rows_ds.clone(), bins_ds.clone(), parts_ds.clone());
+                move |ctx: &NodeCtx| {
+                    let rows = ctx.fetch(&rows_ds)?;
+                    let bins = ctx.fetch(&bins_ds)?;
+                    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                    let parts =
+                        histogram_shard_job(ctx.engine, &refs, &bins, lo..hi, ctx.node_name())?;
+                    let bytes = parts.iter().map(|(_, c)| 16 + 8 * c.len()).sum();
+                    ctx.put(&parts_ds, parts, bytes);
+                    Ok(())
+                }
+            })
+            .input(rows_ds)
+            .input(&bins_ds)
+            .output(&parts_ds),
+        );
+        part_handles.push(parts_ds);
+    }
+
+    graph.add({
+        let mut node = JobNode::new("coregen", JobKind::MapReduce, {
+            let (rows_ds, bins_ds, cores_ds, stats_ds) = (
+                rows_ds.clone(),
+                bins_ds.clone(),
+                cores_ds.clone(),
+                stats_ds.clone(),
+            );
+            let part_handles = part_handles.clone();
+            let params = params.clone();
+            move |ctx: &NodeCtx| {
+                let rows = ctx.fetch(&rows_ds)?;
+                let bins = ctx.fetch(&bins_ds)?;
+                let mut parts: Vec<(usize, Vec<f64>)> = Vec::new();
+                for h in &part_handles {
+                    parts.extend(ctx.fetch(h)?.iter().cloned());
+                }
+                let hists = assemble_histograms(&bins, parts);
+                let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                let mut stats = PipelineStats {
+                    bins: hists.bins,
+                    ..PipelineStats::default()
+                };
+                let intervals = relevant_intervals(&hists.histograms, params.alpha_chi2);
+                stats.relevant_intervals = intervals.len();
+                let gen = generate_cluster_cores_mr(ctx.engine, &intervals, &refs, &params)?;
+                stats.core_gen = gen.stats.clone();
+                let mut cores = gen.cores;
+                if params.use_redundancy_filter {
+                    let (kept, removed) = crate::redundancy::filter_redundant(cores);
+                    cores = kept;
+                    stats.redundancy_removed = removed;
+                }
+                stats.cores = cores.len();
+                let bytes = 64 + 128 * cores.len();
+                ctx.put(&cores_ds, cores, bytes);
+                ctx.put(&stats_ds, stats, 64);
+                Ok(())
+            }
+        })
+        .input(rows_ds)
+        .input(&bins_ds)
+        .output(&cores_ds)
+        .output(&stats_ds);
+        for h in &part_handles {
+            node = node.input(h);
+        }
+        node
+    });
+
+    DagScheduler::new(engine)
+        .run(&graph, store)
+        .map_err(DagError::into_mr)?;
+    let cores: Vec<ClusterCore> = take_dataset(store, &cores_ds)?;
+    let stats: PipelineStats = take_dataset(store, &stats_ds)?;
+    Ok((cores, stats))
+}
+
+/// Label of each point when it belongs to exactly one core, else -1 —
+/// the Light variant's unique-membership view, shared by two DAG nodes.
+fn unique_labels(memberships: &[Vec<u32>]) -> Vec<i64> {
+    memberships
+        .iter()
+        .map(|containing| match containing.as_slice() {
+            [only] => *only as i64,
+            _ => -1,
+        })
+        .collect()
 }
 
 fn arel_of(cores: &[ClusterCore]) -> Vec<usize> {
@@ -330,15 +952,26 @@ mod tests {
     }
 
     fn engine() -> Engine {
-        Engine::new(MrConfig { split_size: 512, num_reducers: 4, ..MrConfig::default() })
+        Engine::new(MrConfig {
+            split_size: 512,
+            num_reducers: 4,
+            ..MrConfig::default()
+        })
     }
 
     #[test]
     fn mr_full_pipeline_recovers_clusters() {
         let data = generate(&spec(3000, 3, 0.05, 11));
         let eng = engine();
-        let result = P3cPlusMr::new(&eng, P3cParams::default()).cluster(&data.dataset).unwrap();
-        assert_eq!(result.clustering.num_clusters(), 3, "stats: {:?}", result.stats);
+        let result = P3cPlusMr::new(&eng, P3cParams::default())
+            .cluster(&data.dataset)
+            .unwrap();
+        assert_eq!(
+            result.clustering.num_clusters(),
+            3,
+            "stats: {:?}",
+            result.stats
+        );
         let q = e4sc(&result.clustering, &data.ground_truth);
         assert!(q > 0.6, "E4SC = {q}");
         // The pipeline must have run a realistic number of jobs.
@@ -350,9 +983,15 @@ mod tests {
     fn mr_light_pipeline_recovers_clusters() {
         let data = generate(&spec(3000, 3, 0.1, 5));
         let eng = engine();
-        let result =
-            P3cPlusMrLight::new(&eng, P3cParams::default()).cluster(&data.dataset).unwrap();
-        assert_eq!(result.clustering.num_clusters(), 3, "stats: {:?}", result.stats);
+        let result = P3cPlusMrLight::new(&eng, P3cParams::default())
+            .cluster(&data.dataset)
+            .unwrap();
+        assert_eq!(
+            result.clustering.num_clusters(),
+            3,
+            "stats: {:?}",
+            result.stats
+        );
         let q = e4sc(&result.clustering, &data.ground_truth);
         assert!(q > 0.7, "E4SC = {q}");
     }
@@ -362,8 +1001,12 @@ mod tests {
         let data = generate(&spec(2000, 3, 0.1, 7));
         let eng_full = engine();
         let eng_light = engine();
-        P3cPlusMr::new(&eng_full, P3cParams::default()).cluster(&data.dataset).unwrap();
-        P3cPlusMrLight::new(&eng_light, P3cParams::default()).cluster(&data.dataset).unwrap();
+        P3cPlusMr::new(&eng_full, P3cParams::default())
+            .cluster(&data.dataset)
+            .unwrap();
+        P3cPlusMrLight::new(&eng_light, P3cParams::default())
+            .cluster(&data.dataset)
+            .unwrap();
         let full_jobs = eng_full.cluster_metrics().num_jobs();
         let light_jobs = eng_light.cluster_metrics().num_jobs();
         assert!(
@@ -376,17 +1019,28 @@ mod tests {
     fn mr_light_matches_serial_light_cores() {
         let data = generate(&spec(2500, 3, 0.1, 13));
         let eng = engine();
-        let mr = P3cPlusMrLight::new(&eng, P3cParams::default()).cluster(&data.dataset).unwrap();
-        let serial = crate::p3cplus::P3cPlusLight::new(P3cParams::default())
-            .cluster(&data.dataset);
-        let mr_sigs: Vec<String> =
-            mr.cores.iter().map(|c| c.signature.to_string()).collect();
-        let serial_sigs: Vec<String> =
-            serial.cores.iter().map(|c| c.signature.to_string()).collect();
+        let mr = P3cPlusMrLight::new(&eng, P3cParams::default())
+            .cluster(&data.dataset)
+            .unwrap();
+        let serial = crate::p3cplus::P3cPlusLight::new(P3cParams::default()).cluster(&data.dataset);
+        let mr_sigs: Vec<String> = mr.cores.iter().map(|c| c.signature.to_string()).collect();
+        let serial_sigs: Vec<String> = serial
+            .cores
+            .iter()
+            .map(|c| c.signature.to_string())
+            .collect();
         assert_eq!(mr_sigs, serial_sigs);
         // And the clusterings agree point-for-point.
-        assert_eq!(mr.clustering.clusters.len(), serial.clustering.clusters.len());
-        for (a, b) in mr.clustering.clusters.iter().zip(&serial.clustering.clusters) {
+        assert_eq!(
+            mr.clustering.clusters.len(),
+            serial.clustering.clusters.len()
+        );
+        for (a, b) in mr
+            .clustering
+            .clusters
+            .iter()
+            .zip(&serial.clustering.clusters)
+        {
             assert_eq!(a.points, b.points);
             assert_eq!(a.attributes, b.attributes);
         }
@@ -400,16 +1054,22 @@ mod tests {
             bin_rule: crate::config::BinRuleChoice::FreedmanDiaconisIqr,
             ..P3cParams::default()
         };
-        let eng = Engine::new(MrConfig { split_size: 100_000, ..MrConfig::default() });
+        let eng = Engine::new(MrConfig {
+            split_size: 100_000,
+            ..MrConfig::default()
+        });
         // With one split the MR quartile job computes exact quartiles, so
         // MR and serial pipelines must agree on the cores.
-        let mr = P3cPlusMrLight::new(&eng, params.clone()).cluster(&data.dataset).unwrap();
-        let serial =
-            crate::p3cplus::P3cPlusLight::new(params).cluster(&data.dataset);
-        let mr_sigs: Vec<String> =
-            mr.cores.iter().map(|c| c.signature.to_string()).collect();
-        let serial_sigs: Vec<String> =
-            serial.cores.iter().map(|c| c.signature.to_string()).collect();
+        let mr = P3cPlusMrLight::new(&eng, params.clone())
+            .cluster(&data.dataset)
+            .unwrap();
+        let serial = crate::p3cplus::P3cPlusLight::new(params).cluster(&data.dataset);
+        let mr_sigs: Vec<String> = mr.cores.iter().map(|c| c.signature.to_string()).collect();
+        let serial_sigs: Vec<String> = serial
+            .cores
+            .iter()
+            .map(|c| c.signature.to_string())
+            .collect();
         assert_eq!(mr_sigs, serial_sigs);
         // The ledger shows the extra quartile job first.
         assert_eq!(eng.cluster_metrics().jobs()[0].job_name, "p3c-iqr");
@@ -419,7 +1079,9 @@ mod tests {
     fn empty_data_mr() {
         let ds = p3c_dataset::Dataset::from_rows(vec![]);
         let eng = engine();
-        let result = P3cPlusMr::new(&eng, P3cParams::default()).cluster(&ds).unwrap();
+        let result = P3cPlusMr::new(&eng, P3cParams::default())
+            .cluster(&ds)
+            .unwrap();
         assert_eq!(result.clustering.num_clusters(), 0);
     }
 
@@ -447,5 +1109,192 @@ mod tests {
             .map(|j| j.failed_attempts)
             .sum();
         assert!(failed > 0, "fault plan never struck");
+    }
+
+    #[test]
+    fn dag_full_pipeline_matches_serial_byte_for_byte() {
+        let data = generate(&spec(3000, 3, 0.05, 11));
+        let eng_serial = engine();
+        let eng_dag = engine();
+        let serial = P3cPlusMr::new(&eng_serial, P3cParams::default())
+            .cluster(&data.dataset)
+            .unwrap();
+        let dag = P3cPlusMr::new(&eng_dag, P3cParams::default())
+            .cluster_with(&data.dataset, SchedulerChoice::Dag)
+            .unwrap();
+        assert_eq!(dag.clustering, serial.clustering);
+        assert_eq!(dag.cores, serial.cores);
+        assert_eq!(dag.stats.em_iterations, serial.stats.em_iterations);
+        // The core graph overlapped its histogram shards and re-used the
+        // cached row set across nodes.
+        let metrics = eng_dag.cluster_metrics();
+        let runs = metrics.dag_runs();
+        let core_run = runs.iter().find(|r| r.dag_name == "p3c-core").unwrap();
+        assert!(
+            core_run.concurrency_high_water >= 2,
+            "no overlap: high water {}",
+            core_run.concurrency_high_water
+        );
+        assert!(
+            core_run.cache_hits >= 2,
+            "rows not re-used: {} hits",
+            core_run.cache_hits
+        );
+        let shards = core_run
+            .nodes
+            .iter()
+            .filter(|n| n.node.starts_with("hist-shard-"))
+            .count();
+        assert!(shards >= 2, "expected >= 2 histogram shards, got {shards}");
+        assert!(runs.iter().any(|r| r.dag_name == "p3c-model"));
+    }
+
+    #[test]
+    fn dag_light_pipeline_matches_serial_byte_for_byte() {
+        let data = generate(&spec(2500, 3, 0.1, 13));
+        let eng_serial = engine();
+        let eng_dag = engine();
+        let serial = P3cPlusMrLight::new(&eng_serial, P3cParams::default())
+            .cluster(&data.dataset)
+            .unwrap();
+        let dag = P3cPlusMrLight::new(&eng_dag, P3cParams::default())
+            .cluster_with(&data.dataset, SchedulerChoice::Dag)
+            .unwrap();
+        assert_eq!(dag.clustering, serial.clustering);
+        assert_eq!(dag.cores, serial.cores);
+        let metrics = eng_dag.cluster_metrics();
+        let model_run = metrics
+            .dag_runs()
+            .iter()
+            .find(|r| r.dag_name == "p3c-light-model")
+            .cloned()
+            .unwrap();
+        // Membership, inspection, both tightenings — one execution each.
+        assert_eq!(model_run.total_executions, 4);
+        assert!(model_run.node("membership").is_some());
+    }
+
+    #[test]
+    fn dag_iqr_rule_adds_a_quartile_node() {
+        let data = generate(&spec(2500, 3, 0.1, 13));
+        let params = P3cParams {
+            bin_rule: crate::config::BinRuleChoice::FreedmanDiaconisIqr,
+            ..P3cParams::default()
+        };
+        let eng_serial = Engine::new(MrConfig {
+            split_size: 100_000,
+            ..MrConfig::default()
+        });
+        let eng_dag = Engine::new(MrConfig {
+            split_size: 100_000,
+            ..MrConfig::default()
+        });
+        let serial = P3cPlusMrLight::new(&eng_serial, params.clone())
+            .cluster(&data.dataset)
+            .unwrap();
+        let dag = P3cPlusMrLight::new(&eng_dag, params)
+            .cluster_dag(&data.dataset)
+            .unwrap();
+        assert_eq!(dag.clustering, serial.clustering);
+        let metrics = eng_dag.cluster_metrics();
+        let runs = metrics.dag_runs();
+        let core_run = runs.iter().find(|r| r.dag_name == "p3c-core").unwrap();
+        assert!(
+            core_run.node("p3c-iqr").is_some(),
+            "quartile node missing from the DAG"
+        );
+    }
+
+    #[test]
+    fn empty_data_dag() {
+        let ds = p3c_dataset::Dataset::from_rows(vec![]);
+        let eng = engine();
+        let result = P3cPlusMr::new(&eng, P3cParams::default())
+            .cluster_dag(&ds)
+            .unwrap();
+        assert_eq!(result.clustering.num_clusters(), 0);
+    }
+
+    #[test]
+    fn dag_pipeline_surfaces_exhausted_faults() {
+        let data = generate(&spec(1000, 2, 0.05, 3));
+        let eng = Engine::new(MrConfig {
+            split_size: 512,
+            fault: Some(p3c_mapreduce::FaultPlan::new(1.0, 5)),
+            max_attempts: 2,
+            ..MrConfig::default()
+        });
+        // Every map attempt fails, so the first DAG node exhausts its
+        // engine-level retries on both node attempts; the scheduler must
+        // return (not hang) with the underlying task failure.
+        let err = P3cPlusMr::new(&eng, P3cParams::default())
+            .cluster_dag(&data.dataset)
+            .unwrap_err();
+        assert!(
+            matches!(err, MrError::TaskFailed { attempts: 2, .. }),
+            "unexpected error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn dag_fault_injected_pipeline_still_correct() {
+        let data = generate(&spec(2000, 2, 0.05, 3));
+        let clean_engine = engine();
+        let faulty_engine = Engine::new(MrConfig {
+            split_size: 512,
+            fault: Some(p3c_mapreduce::FaultPlan::new(0.2, 99)),
+            max_attempts: 20,
+            ..MrConfig::default()
+        });
+        let clean = P3cPlusMrLight::new(&clean_engine, P3cParams::default())
+            .cluster_dag(&data.dataset)
+            .unwrap();
+        let faulty = P3cPlusMrLight::new(&faulty_engine, P3cParams::default())
+            .cluster_dag(&data.dataset)
+            .unwrap();
+        assert_eq!(clean.clustering, faulty.clustering);
+        let failed: u64 = faulty_engine
+            .cluster_metrics()
+            .jobs()
+            .iter()
+            .map(|j| j.failed_attempts)
+            .sum();
+        assert!(failed > 0, "fault plan never struck");
+    }
+
+    #[test]
+    fn speculative_pipeline_matches_and_launches_backups() {
+        let data = generate(&spec(1500, 2, 0.05, 17));
+        // Every primary attempt straggles, and there are more worker
+        // threads (6) than map tasks (1500 rows / 512 = 3), so idle
+        // workers are guaranteed to launch backup attempts while the
+        // primaries sleep — the test cannot pass vacuously.
+        let mk = |speculative: bool| {
+            Engine::new(MrConfig {
+                split_size: 512,
+                threads: 6,
+                straggler: Some(p3c_mapreduce::fault::StragglerPlan::new(1.0, 150, 7)),
+                speculative,
+                ..MrConfig::default()
+            })
+        };
+        let base_engine = mk(false);
+        let spec_engine = mk(true);
+        let base = P3cPlusMrLight::new(&base_engine, P3cParams::default())
+            .cluster(&data.dataset)
+            .unwrap();
+        let speculated = P3cPlusMrLight::new(&spec_engine, P3cParams::default())
+            .cluster(&data.dataset)
+            .unwrap();
+        // Backup attempts must not change the output...
+        assert_eq!(base.clustering, speculated.clustering);
+        // ...and the straggler plan must actually have triggered some.
+        let backups: u64 = spec_engine
+            .cluster_metrics()
+            .jobs()
+            .iter()
+            .map(|j| j.speculative_attempts)
+            .sum();
+        assert!(backups > 0, "no speculative attempts launched");
     }
 }

@@ -25,7 +25,12 @@ impl<K: Weighable, V: Weighable> Emitter<K, V> {
     /// Creates an empty emitter. Public so mapper implementations can be
     /// unit-tested outside the engine.
     pub fn new() -> Self {
-        Self { pairs: Vec::new(), records: 0, bytes: 0, counters: Vec::new() }
+        Self {
+            pairs: Vec::new(),
+            records: 0,
+            bytes: 0,
+            counters: Vec::new(),
+        }
     }
 
     /// Emits one intermediate key/value pair.

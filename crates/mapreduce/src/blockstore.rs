@@ -55,8 +55,10 @@ impl BlockStore {
     /// Writes (or overwrites) a file, splitting it into blocks. Charged
     /// write bytes include replication, like a real HDFS pipeline.
     pub fn write(&self, name: &str, data: &[u8]) {
-        let blocks: Vec<Bytes> =
-            data.chunks(self.block_size).map(Bytes::copy_from_slice).collect();
+        let blocks: Vec<Bytes> = data
+            .chunks(self.block_size)
+            .map(Bytes::copy_from_slice)
+            .collect();
         self.bytes_written
             .fetch_add((data.len() * self.replication) as u64, Ordering::Relaxed);
         self.files.write().insert(name.to_string(), blocks);
@@ -70,7 +72,8 @@ impl BlockStore {
         for b in blocks {
             out.extend_from_slice(b);
         }
-        self.bytes_read.fetch_add(out.len() as u64, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
         Some(out)
     }
 
@@ -78,7 +81,8 @@ impl BlockStore {
     pub fn read_block(&self, name: &str, index: usize) -> Option<Bytes> {
         let files = self.files.read();
         let block = files.get(name)?.get(index)?.clone();
-        self.bytes_read.fetch_add(block.len() as u64, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(block.len() as u64, Ordering::Relaxed);
         Some(block)
     }
 
@@ -89,7 +93,10 @@ impl BlockStore {
 
     /// File size in bytes; `None` if absent.
     pub fn file_size(&self, name: &str) -> Option<usize> {
-        self.files.read().get(name).map(|b| b.iter().map(|x| x.len()).sum())
+        self.files
+            .read()
+            .get(name)
+            .map(|b| b.iter().map(|x| x.len()).sum())
     }
 
     /// Deletes a file; returns whether it existed.

@@ -24,13 +24,19 @@ impl<T> DistributedCache<T> {
         T: Weighable,
     {
         let bytes = value.weight();
-        Self { value: Arc::new(value), bytes }
+        Self {
+            value: Arc::new(value),
+            bytes,
+        }
     }
 
     /// Wraps a value with an explicitly provided broadcast size
     /// (for types without a [`Weighable`] impl).
     pub fn with_size(value: T, bytes: usize) -> Self {
-        Self { value: Arc::new(value), bytes }
+        Self {
+            value: Arc::new(value),
+            bytes,
+        }
     }
 
     /// Shared access to the cached value.

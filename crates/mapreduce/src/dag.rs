@@ -1,0 +1,1140 @@
+//! A DAG scheduler for MapReduce jobs over materialized datasets.
+//!
+//! The paper decomposes P3C+ into a *sequence* of MR jobs, but many of
+//! those jobs are independent (per-attribute histogram shards, BoW's
+//! per-partition clusterings). This module schedules them as a
+//! dependency graph instead, Spark-style:
+//!
+//! * [`JobGraph`] — named nodes ([`JobNode`]), each an MR job (map-only,
+//!   map-reduce, or with-combiner) declaring the datasets it reads and
+//!   writes by [`DatasetHandle`].
+//! * [`DagScheduler`] — topologically sorts the graph, runs every ready
+//!   node concurrently (bounded by [`DagConfig::max_concurrent_jobs`]),
+//!   materializes outputs in a [`DatasetStore`], and retries failed
+//!   nodes up to [`DagConfig::max_node_attempts`].
+//! * **Lineage** — when a node finds an input evicted or lost, the
+//!   scheduler re-executes only the producing ancestors of that dataset
+//!   (never the whole run) before retrying the node.
+//! * **Metrics** — per-node timings, the concurrency high-water mark and
+//!   the store's cache/spill counters are recorded as a
+//!   [`DagMetrics`] entry in the engine's [`crate::ClusterMetrics`].
+
+use crate::dataset::{DatasetError, DatasetHandle, DatasetStore};
+use crate::engine::{Engine, MrError};
+use crate::fault::FaultPlan;
+use crate::metrics::{DagMetrics, DagNodeMetrics};
+use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which driver code path executes a pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SchedulerChoice {
+    /// Chain the jobs sequentially (the paper's literal structure).
+    #[default]
+    Serial,
+    /// Run the jobs as a dependency DAG with materialized datasets.
+    Dag,
+}
+
+impl SchedulerChoice {
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "serial" => Some(Self::Serial),
+            "dag" => Some(Self::Dag),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Serial => "serial",
+            Self::Dag => "dag",
+        }
+    }
+}
+
+/// What shape of MR job a node runs (metadata for metrics/reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobKind {
+    MapOnly,
+    MapReduce,
+    MapCombineReduce,
+}
+
+impl JobKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobKind::MapOnly => "map-only",
+            JobKind::MapReduce => "map-reduce",
+            JobKind::MapCombineReduce => "map-combine-reduce",
+        }
+    }
+}
+
+/// Errors of graph construction, scheduling and node execution.
+#[derive(Debug)]
+pub enum DagError {
+    /// An underlying MapReduce job failed.
+    Mr(MrError),
+    /// A dataset-store access failed.
+    Dataset(DatasetError),
+    /// A node exhausted its attempts; `source` is the last failure.
+    NodeFailed {
+        node: String,
+        attempts: u64,
+        source: Box<DagError>,
+    },
+    /// The DAG-level fault plan struck this node attempt.
+    Injected { node: String },
+    /// A node input has no producer and is not pre-seeded in the store.
+    MissingInput { node: String, dataset: String },
+    /// Two nodes declare the same output dataset.
+    DuplicateProducer { dataset: String },
+    /// Two nodes share a name.
+    DuplicateNode { name: String },
+    /// The graph is not acyclic; `nodes` are the unschedulable ones.
+    Cycle { nodes: Vec<String> },
+    /// A node reported success without materializing a declared output.
+    OutputNotMaterialized { node: String, dataset: String },
+}
+
+impl DagError {
+    /// Walks `NodeFailed` wrappers down to an engine error, if any.
+    pub fn root_mr(&self) -> Option<&MrError> {
+        match self {
+            DagError::Mr(e) => Some(e),
+            DagError::NodeFailed { source, .. } => source.root_mr(),
+            _ => None,
+        }
+    }
+
+    /// The failing node's name, when the error identifies one.
+    pub fn node_name(&self) -> Option<&str> {
+        match self {
+            DagError::NodeFailed { node, .. }
+            | DagError::Injected { node }
+            | DagError::MissingInput { node, .. }
+            | DagError::OutputNotMaterialized { node, .. } => Some(node),
+            _ => None,
+        }
+    }
+
+    /// Collapses the error onto [`MrError`] for drivers whose public
+    /// result type predates the DAG scheduler: engine failures pass
+    /// through untouched, scheduler-level failures keep the failing
+    /// node's name in [`MrError::Dag`].
+    pub fn into_mr(self) -> MrError {
+        match self.root_mr() {
+            Some(mr) => mr.clone(),
+            None => MrError::Dag {
+                node: self.node_name().unwrap_or("<graph>").to_string(),
+                message: self.to_string(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::Mr(e) => write!(f, "{e}"),
+            DagError::Dataset(e) => write!(f, "{e}"),
+            DagError::NodeFailed {
+                node,
+                attempts,
+                source,
+            } => {
+                write!(
+                    f,
+                    "DAG node '{node}' failed after {attempts} attempts: {source}"
+                )
+            }
+            DagError::Injected { node } => {
+                write!(f, "DAG node '{node}': injected fault")
+            }
+            DagError::MissingInput { node, dataset } => {
+                write!(f, "DAG node '{node}': input dataset '{dataset}' has no producer and is not materialized")
+            }
+            DagError::DuplicateProducer { dataset } => {
+                write!(f, "dataset '{dataset}' is produced by more than one node")
+            }
+            DagError::DuplicateNode { name } => {
+                write!(f, "duplicate node name '{name}'")
+            }
+            DagError::Cycle { nodes } => {
+                write!(f, "job graph has a cycle through: {}", nodes.join(", "))
+            }
+            DagError::OutputNotMaterialized { node, dataset } => {
+                write!(
+                    f,
+                    "DAG node '{node}' finished without materializing output '{dataset}'"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DagError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DagError::Mr(e) => Some(e),
+            DagError::Dataset(e) => Some(e),
+            DagError::NodeFailed { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<MrError> for DagError {
+    fn from(e: MrError) -> Self {
+        DagError::Mr(e)
+    }
+}
+
+impl From<DatasetError> for DagError {
+    fn from(e: DatasetError) -> Self {
+        DagError::Dataset(e)
+    }
+}
+
+/// Execution context handed to a node's body.
+pub struct NodeCtx<'a> {
+    /// The engine every MR job of this DAG runs on.
+    pub engine: &'a Engine,
+    store: &'a DatasetStore,
+    node_name: &'a str,
+}
+
+impl NodeCtx<'_> {
+    /// Reads an input dataset from the store.
+    pub fn fetch<T: Send + Sync + 'static>(
+        &self,
+        handle: &DatasetHandle<T>,
+    ) -> Result<Arc<T>, DagError> {
+        self.store.get(handle).map_err(DagError::from)
+    }
+
+    /// Materializes an output dataset. Node outputs are registered as
+    /// *recomputable*: under memory pressure the store may drop them,
+    /// and lineage re-executes this node to rebuild them.
+    pub fn put<T: Send + Sync + 'static>(&self, handle: &DatasetHandle<T>, value: T, bytes: usize) {
+        self.store.put_recomputable(handle, value, bytes);
+    }
+
+    /// Direct access to the dataset store (pinning, spillable puts).
+    pub fn store(&self) -> &DatasetStore {
+        self.store
+    }
+
+    /// The executing node's name.
+    pub fn node_name(&self) -> &str {
+        self.node_name
+    }
+}
+
+type NodeBody = Box<dyn Fn(&NodeCtx) -> Result<(), DagError> + Send + Sync>;
+
+/// One node of a [`JobGraph`]: an MR job with declared dataset I/O.
+pub struct JobNode {
+    name: String,
+    kind: JobKind,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    run: NodeBody,
+}
+
+impl JobNode {
+    pub fn new(
+        name: impl Into<String>,
+        kind: JobKind,
+        run: impl Fn(&NodeCtx) -> Result<(), DagError> + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            run: Box::new(run),
+        }
+    }
+
+    /// Declares a dataset this node reads (builder style).
+    pub fn input<T>(mut self, handle: &DatasetHandle<T>) -> Self {
+        self.inputs.push(handle.name().to_string());
+        self
+    }
+
+    /// Declares a dataset this node writes (builder style).
+    pub fn output<T>(mut self, handle: &DatasetHandle<T>) -> Self {
+        self.outputs.push(handle.name().to_string());
+        self
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn kind(&self) -> JobKind {
+        self.kind
+    }
+}
+
+impl fmt::Debug for JobNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobNode")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("inputs", &self.inputs)
+            .field("outputs", &self.outputs)
+            .finish()
+    }
+}
+
+/// A named DAG of [`JobNode`]s.
+#[derive(Debug, Default)]
+pub struct JobGraph {
+    name: String,
+    nodes: Vec<JobNode>,
+}
+
+impl JobGraph {
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Adds a node; declaration order breaks scheduling ties.
+    pub fn add(&mut self, node: JobNode) -> &mut Self {
+        self.nodes.push(node);
+        self
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn node_names(&self) -> Vec<&str> {
+        self.nodes.iter().map(|n| n.name.as_str()).collect()
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct DagConfig {
+    /// Upper bound on nodes executing at the same time. Each node still
+    /// runs its MR job on the engine's full thread pool, so a small
+    /// number (Hadoop-style "job slots") avoids oversubscription.
+    pub max_concurrent_jobs: usize,
+    /// Attempts per node before the run fails (node-level retry, on top
+    /// of the engine's per-task retries).
+    pub max_node_attempts: usize,
+    /// DAG-level fault injection: strikes whole node attempts, keyed by
+    /// node name / node index / attempt like the engine's plan.
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for DagConfig {
+    fn default() -> Self {
+        Self {
+            max_concurrent_jobs: 4,
+            max_node_attempts: 2,
+            fault: None,
+        }
+    }
+}
+
+/// Result of a successful DAG run.
+#[derive(Debug, Clone)]
+pub struct DagReport {
+    pub metrics: DagMetrics,
+}
+
+/// Executes a [`JobGraph`] on an [`Engine`] over a [`DatasetStore`].
+pub struct DagScheduler<'e> {
+    engine: &'e Engine,
+    config: DagConfig,
+}
+
+/// Per-node mutable counters during a run.
+#[derive(Default)]
+struct NodeRun {
+    attempts: u64,
+    executions: u64,
+    recoveries: u64,
+    wall: Duration,
+}
+
+/// Shared, read-mostly context of one `run` invocation.
+struct RunShared<'g> {
+    graph: &'g JobGraph,
+    store: &'g DatasetStore,
+    /// dataset name → producing node index.
+    producer: BTreeMap<&'g str, usize>,
+    node_runs: Vec<Mutex<NodeRun>>,
+    executions: AtomicU64,
+    recovered: AtomicU64,
+    failed_attempts: AtomicU64,
+    /// Serializes lineage recovery so concurrent consumers of a lost
+    /// dataset rebuild it once, not racing re-executions.
+    recovery: Mutex<()>,
+}
+
+/// Scheduler queue state, guarded by one mutex + condvar.
+struct QueueState {
+    ready: VecDeque<usize>,
+    indeg: Vec<usize>,
+    remaining: usize,
+    running: usize,
+    high_water: usize,
+    error: Option<DagError>,
+}
+
+impl<'e> DagScheduler<'e> {
+    pub fn new(engine: &'e Engine) -> Self {
+        Self::with_config(engine, DagConfig::default())
+    }
+
+    pub fn with_config(engine: &'e Engine, config: DagConfig) -> Self {
+        Self { engine, config }
+    }
+
+    pub fn config(&self) -> &DagConfig {
+        &self.config
+    }
+
+    /// Runs the graph to completion; on success every declared output is
+    /// materialized in `store`.
+    pub fn run(&self, graph: &JobGraph, store: &DatasetStore) -> Result<DagReport, DagError> {
+        let started = Instant::now();
+        let n = graph.nodes.len();
+        let store_before = store.stats();
+
+        // ---- validate: unique names, unique producers ----
+        let mut producer: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut names: BTreeSet<&str> = BTreeSet::new();
+        for (i, node) in graph.nodes.iter().enumerate() {
+            if !names.insert(node.name.as_str()) {
+                return Err(DagError::DuplicateNode {
+                    name: node.name.clone(),
+                });
+            }
+            for out in &node.outputs {
+                if producer.insert(out.as_str(), i).is_some() {
+                    return Err(DagError::DuplicateProducer {
+                        dataset: out.clone(),
+                    });
+                }
+            }
+        }
+
+        // ---- edges: producer → consumer; sourceless inputs must be
+        // pre-seeded in the store ----
+        let mut dependents: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        let mut indeg = vec![0usize; n];
+        for (i, node) in graph.nodes.iter().enumerate() {
+            for input in &node.inputs {
+                match producer.get(input.as_str()) {
+                    Some(&p) => {
+                        if dependents[p].insert(i) {
+                            indeg[i] += 1;
+                        }
+                    }
+                    None => {
+                        if !store.has(input) {
+                            return Err(DagError::MissingInput {
+                                node: node.name.clone(),
+                                dataset: input.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- Kahn pass: reject cycles before running anything ----
+        {
+            let mut deg = indeg.clone();
+            let mut queue: Vec<usize> = (0..n).filter(|&i| deg[i] == 0).collect();
+            let mut visited = 0usize;
+            while let Some(i) = queue.pop() {
+                visited += 1;
+                for &d in &dependents[i] {
+                    deg[d] -= 1;
+                    if deg[d] == 0 {
+                        queue.push(d);
+                    }
+                }
+            }
+            if visited < n {
+                let stuck = (0..n)
+                    .filter(|&i| deg[i] > 0)
+                    .map(|i| graph.nodes[i].name.clone())
+                    .collect();
+                return Err(DagError::Cycle { nodes: stuck });
+            }
+        }
+
+        let shared = RunShared {
+            graph,
+            store,
+            producer,
+            node_runs: (0..n).map(|_| Mutex::new(NodeRun::default())).collect(),
+            executions: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+            failed_attempts: AtomicU64::new(0),
+            recovery: Mutex::new(()),
+        };
+        let state = Mutex::new(QueueState {
+            ready: (0..n).filter(|&i| indeg[i] == 0).collect(),
+            indeg,
+            remaining: n,
+            running: 0,
+            high_water: 0,
+            error: None,
+        });
+        let cv = Condvar::new();
+
+        if n > 0 {
+            let workers = self.config.max_concurrent_jobs.max(1).min(n);
+            crossbeam::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|_| loop {
+                        // Claim a ready node (or quit). The high-water
+                        // mark is taken at claim time, under the lock.
+                        let idx = {
+                            let mut st = state.lock();
+                            loop {
+                                if st.error.is_some() || st.remaining == 0 {
+                                    return;
+                                }
+                                if let Some(i) = st.ready.pop_front() {
+                                    st.running += 1;
+                                    st.high_water = st.high_water.max(st.running);
+                                    break i;
+                                }
+                                if st.running == 0 {
+                                    // Unreachable after the Kahn pass;
+                                    // guard against hangs regardless.
+                                    st.error = Some(DagError::Cycle {
+                                        nodes: vec!["<stalled>".to_string()],
+                                    });
+                                    cv.notify_all();
+                                    return;
+                                }
+                                cv.wait(&mut st);
+                            }
+                        };
+                        let result = self.execute_node(&shared, idx);
+                        let mut st = state.lock();
+                        st.running -= 1;
+                        match result {
+                            Ok(()) => {
+                                st.remaining -= 1;
+                                for &d in &dependents[idx] {
+                                    st.indeg[d] -= 1;
+                                    if st.indeg[d] == 0 {
+                                        st.ready.push_back(d);
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                if st.error.is_none() {
+                                    st.error = Some(e);
+                                }
+                            }
+                        }
+                        drop(st);
+                        cv.notify_all();
+                    });
+                }
+            })
+            .expect("DAG worker panicked");
+        }
+
+        let final_state = state.into_inner();
+        let store_after = store.stats();
+        let nodes = graph
+            .nodes
+            .iter()
+            .zip(&shared.node_runs)
+            .map(|(node, run)| {
+                let run = run.lock();
+                DagNodeMetrics {
+                    node: node.name.clone(),
+                    kind: node.kind.as_str().to_string(),
+                    attempts: run.attempts,
+                    executions: run.executions,
+                    recoveries: run.recoveries,
+                    wall: run.wall,
+                }
+            })
+            .collect();
+        let metrics = DagMetrics {
+            dag_name: graph.name.clone(),
+            nodes,
+            concurrency_high_water: final_state.high_water as u64,
+            total_executions: shared.executions.load(Ordering::Relaxed),
+            recovered_executions: shared.recovered.load(Ordering::Relaxed),
+            failed_node_attempts: shared.failed_attempts.load(Ordering::Relaxed),
+            cache_hits: store_after.hits - store_before.hits,
+            cache_misses: store_after.misses - store_before.misses,
+            spills: store_after.spills - store_before.spills,
+            spill_bytes: store_after.spill_bytes - store_before.spill_bytes,
+            spill_loads: store_after.spill_loads - store_before.spill_loads,
+            evictions: store_after.evictions - store_before.evictions,
+            wall: started.elapsed(),
+        };
+        self.engine.record_dag(metrics.clone());
+        match final_state.error {
+            Some(e) => Err(e),
+            None => Ok(DagReport { metrics }),
+        }
+    }
+
+    /// Runs one node with retries; inputs are pinned for the duration of
+    /// each attempt and recovered through lineage when missing.
+    fn execute_node(&self, shared: &RunShared<'_>, idx: usize) -> Result<(), DagError> {
+        let node = &shared.graph.nodes[idx];
+        let max_attempts = self.config.max_node_attempts.max(1);
+        for attempt in 0..max_attempts {
+            self.ensure_inputs(shared, idx)?;
+            for input in &node.inputs {
+                shared.store.pin(input);
+            }
+            let t0 = Instant::now();
+            shared.executions.fetch_add(1, Ordering::Relaxed);
+            let injected = self
+                .config
+                .fault
+                .as_ref()
+                .is_some_and(|plan| plan.should_fail(&node.name, idx, attempt));
+            let result = if injected {
+                Err(DagError::Injected {
+                    node: node.name.clone(),
+                })
+            } else {
+                (node.run)(&NodeCtx {
+                    engine: self.engine,
+                    store: shared.store,
+                    node_name: &node.name,
+                })
+            };
+            for input in &node.inputs {
+                shared.store.unpin(input);
+            }
+            {
+                let mut run = shared.node_runs[idx].lock();
+                run.attempts += 1;
+                run.executions += 1;
+                run.wall += t0.elapsed();
+            }
+            match result {
+                Ok(()) => {
+                    for out in &node.outputs {
+                        if !shared.store.has(out) {
+                            return Err(DagError::OutputNotMaterialized {
+                                node: node.name.clone(),
+                                dataset: out.clone(),
+                            });
+                        }
+                    }
+                    return Ok(());
+                }
+                Err(e) => {
+                    shared.failed_attempts.fetch_add(1, Ordering::Relaxed);
+                    if attempt + 1 >= max_attempts {
+                        return Err(DagError::NodeFailed {
+                            node: node.name.clone(),
+                            attempts: attempt as u64 + 1,
+                            source: Box::new(e),
+                        });
+                    }
+                }
+            }
+        }
+        unreachable!("retry loop always returns")
+    }
+
+    /// Makes sure every input of `idx` is materialized, re-executing
+    /// lost producers (and transitively *their* lost inputs) — lineage
+    /// recovery à la RDDs.
+    fn ensure_inputs(&self, shared: &RunShared<'_>, idx: usize) -> Result<(), DagError> {
+        let node = &shared.graph.nodes[idx];
+        if node.inputs.iter().all(|i| shared.store.has(i)) {
+            return Ok(());
+        }
+        let _serialize_recovery = shared.recovery.lock();
+        for input in &node.inputs {
+            self.recover_dataset(shared, &node.name, input)?;
+        }
+        Ok(())
+    }
+
+    fn recover_dataset(
+        &self,
+        shared: &RunShared<'_>,
+        consumer: &str,
+        dataset: &str,
+    ) -> Result<(), DagError> {
+        if shared.store.has(dataset) {
+            return Ok(());
+        }
+        let Some(&p) = shared.producer.get(dataset) else {
+            return Err(DagError::MissingInput {
+                node: consumer.to_string(),
+                dataset: dataset.to_string(),
+            });
+        };
+        let pnode = &shared.graph.nodes[p];
+        for input in &pnode.inputs {
+            self.recover_dataset(shared, &pnode.name, input)?;
+        }
+        shared.executions.fetch_add(1, Ordering::Relaxed);
+        shared.recovered.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let result = (pnode.run)(&NodeCtx {
+            engine: self.engine,
+            store: shared.store,
+            node_name: &pnode.name,
+        });
+        {
+            let mut run = shared.node_runs[p].lock();
+            run.executions += 1;
+            run.recoveries += 1;
+            run.wall += t0.elapsed();
+        }
+        result.map_err(|e| DagError::NodeFailed {
+            node: pnode.name.clone(),
+            attempts: 1,
+            source: Box::new(e),
+        })?;
+        for out in &pnode.outputs {
+            if !shared.store.has(out) {
+                return Err(DagError::OutputNotMaterialized {
+                    node: pnode.name.clone(),
+                    dataset: out.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Emitter;
+    use crate::engine::MrConfig;
+    use std::sync::atomic::AtomicUsize;
+
+    fn engine() -> Engine {
+        Engine::new(MrConfig {
+            split_size: 4,
+            ..MrConfig::default()
+        })
+    }
+
+    fn nums() -> DatasetHandle<Vec<u64>> {
+        DatasetHandle::new("nums")
+    }
+
+    fn seed_nums(store: &DatasetStore, upto: u64) {
+        store.put(&nums(), (0..upto).collect::<Vec<u64>>(), 8 * upto as usize);
+    }
+
+    /// A node body: sums `nums` with an MR job into `out`.
+    fn sum_node(out: DatasetHandle<u64>) -> impl Fn(&NodeCtx) -> Result<(), DagError> {
+        move |ctx: &NodeCtx| {
+            let input = ctx.fetch(&nums())?;
+            let mapper = |r: &u64, em: &mut Emitter<(), u64>| em.emit((), *r);
+            let reducer = |_k: &(), vs: Vec<u64>, o: &mut Vec<u64>| {
+                o.push(vs.into_iter().sum());
+            };
+            let res = ctx.engine.run(ctx.node_name(), &input, &mapper, &reducer)?;
+            ctx.put(&out, res.output.into_iter().sum::<u64>(), 8);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn two_node_chain_runs_in_order() {
+        let eng = engine();
+        let store = DatasetStore::new();
+        seed_nums(&store, 10);
+        let total: DatasetHandle<u64> = DatasetHandle::new("total");
+        let doubled: DatasetHandle<u64> = DatasetHandle::new("doubled");
+        let mut graph = JobGraph::new("chain");
+        graph.add(
+            JobNode::new("sum", JobKind::MapReduce, sum_node(total.clone()))
+                .input(&nums())
+                .output(&total),
+        );
+        graph.add(
+            JobNode::new("double", JobKind::MapOnly, {
+                let total = total.clone();
+                let doubled = doubled.clone();
+                move |ctx: &NodeCtx| {
+                    let t = ctx.fetch(&total)?;
+                    ctx.put(&doubled, *t * 2, 8);
+                    Ok(())
+                }
+            })
+            .input(&total)
+            .output(&doubled),
+        );
+        let report = DagScheduler::new(&eng).run(&graph, &store).unwrap();
+        assert_eq!(*store.get(&doubled).unwrap(), 90);
+        assert_eq!(report.metrics.total_executions, 2);
+        assert_eq!(report.metrics.recovered_executions, 0);
+        assert_eq!(report.metrics.nodes.len(), 2);
+        assert_eq!(report.metrics.node("sum").unwrap().kind, "map-reduce");
+        // The run is recorded in the engine ledger next to its jobs.
+        let ledger = eng.cluster_metrics();
+        assert_eq!(ledger.dag_runs().len(), 1);
+        assert_eq!(ledger.dag_runs()[0].dag_name, "chain");
+        assert_eq!(ledger.jobs()[0].job_name, "sum");
+    }
+
+    #[test]
+    fn independent_nodes_run_concurrently() {
+        let eng = engine();
+        let store = DatasetStore::new();
+        seed_nums(&store, 8);
+        let mut graph = JobGraph::new("parallel");
+        let started = Arc::new(AtomicUsize::new(0));
+        for name in ["left", "right"] {
+            let out: DatasetHandle<u64> = DatasetHandle::new(format!("{name}-out"));
+            let started = Arc::clone(&started);
+            graph.add(
+                JobNode::new(name, JobKind::MapOnly, {
+                    let out = out.clone();
+                    move |ctx: &NodeCtx| {
+                        started.fetch_add(1, Ordering::SeqCst);
+                        // Rendezvous: wait (bounded) until both node
+                        // bodies have started, proving true overlap.
+                        let deadline = Instant::now() + Duration::from_secs(5);
+                        while started.load(Ordering::SeqCst) < 2 && Instant::now() < deadline {
+                            std::thread::yield_now();
+                        }
+                        let input = ctx.fetch(&nums())?;
+                        ctx.put(&out, input.iter().sum(), 8);
+                        Ok(())
+                    }
+                })
+                .input(&nums())
+                .output(&out),
+            );
+        }
+        let report = DagScheduler::new(&eng).run(&graph, &store).unwrap();
+        assert_eq!(started.load(Ordering::SeqCst), 2);
+        assert!(
+            report.metrics.concurrency_high_water >= 2,
+            "high water {}",
+            report.metrics.concurrency_high_water
+        );
+        // Both nodes read the shared input from cache: ≥ 2 hits.
+        assert!(
+            report.metrics.cache_hits >= 2,
+            "hits {}",
+            report.metrics.cache_hits
+        );
+    }
+
+    #[test]
+    fn diamond_respects_dependencies() {
+        let eng = engine();
+        let store = DatasetStore::new();
+        seed_nums(&store, 6);
+        let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        let a: DatasetHandle<u64> = DatasetHandle::new("a");
+        let b: DatasetHandle<u64> = DatasetHandle::new("b");
+        let c: DatasetHandle<u64> = DatasetHandle::new("c");
+        let d: DatasetHandle<u64> = DatasetHandle::new("d");
+        let mk = |name: &'static str,
+                  input: DatasetHandle<u64>,
+                  output: DatasetHandle<u64>,
+                  order: Arc<Mutex<Vec<&'static str>>>| {
+            let body = {
+                let (input, output) = (input.clone(), output.clone());
+                move |ctx: &NodeCtx| {
+                    order.lock().push(name);
+                    let v = ctx.fetch(&input)?;
+                    ctx.put(&output, *v + 1, 8);
+                    Ok(())
+                }
+            };
+            JobNode::new(name, JobKind::MapOnly, body)
+                .input(&input)
+                .output(&output)
+        };
+        let mut graph = JobGraph::new("diamond");
+        graph.add(
+            JobNode::new("root", JobKind::MapOnly, {
+                let a = a.clone();
+                let order = Arc::clone(&order);
+                move |ctx: &NodeCtx| {
+                    order.lock().push("root");
+                    ctx.put(&a, 1, 8);
+                    Ok(())
+                }
+            })
+            .output(&a),
+        );
+        graph.add(mk("left", a.clone(), b.clone(), Arc::clone(&order)));
+        graph.add(mk("right", a.clone(), c.clone(), Arc::clone(&order)));
+        graph.add(
+            JobNode::new("join", JobKind::MapOnly, {
+                let b = b.clone();
+                let c = c.clone();
+                let d = d.clone();
+                let order = Arc::clone(&order);
+                move |ctx: &NodeCtx| {
+                    order.lock().push("join");
+                    let vb = ctx.fetch(&b)?;
+                    let vc = ctx.fetch(&c)?;
+                    ctx.put(&d, *vb + *vc, 8);
+                    Ok(())
+                }
+            })
+            .input(&b)
+            .input(&c)
+            .output(&d),
+        );
+        DagScheduler::new(&eng).run(&graph, &store).unwrap();
+        assert_eq!(*store.get(&d).unwrap(), 4);
+        let order = order.lock();
+        assert_eq!(order.first(), Some(&"root"));
+        assert_eq!(order.last(), Some(&"join"));
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let eng = engine();
+        let store = DatasetStore::new();
+        let x: DatasetHandle<u64> = DatasetHandle::new("x");
+        let y: DatasetHandle<u64> = DatasetHandle::new("y");
+        let mut graph = JobGraph::new("cyclic");
+        graph.add(
+            JobNode::new("n1", JobKind::MapOnly, |_: &NodeCtx| Ok(()))
+                .input(&y)
+                .output(&x),
+        );
+        graph.add(
+            JobNode::new("n2", JobKind::MapOnly, |_: &NodeCtx| Ok(()))
+                .input(&x)
+                .output(&y),
+        );
+        let err = DagScheduler::new(&eng).run(&graph, &store).unwrap_err();
+        match err {
+            DagError::Cycle { nodes } => {
+                assert_eq!(nodes, vec!["n1".to_string(), "n2".to_string()])
+            }
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_input_and_duplicates_are_rejected() {
+        let eng = engine();
+        let store = DatasetStore::new();
+        let x: DatasetHandle<u64> = DatasetHandle::new("x");
+        let mut graph = JobGraph::new("bad-input");
+        graph.add(JobNode::new("n", JobKind::MapOnly, |_: &NodeCtx| Ok(())).input(&x));
+        let err = DagScheduler::new(&eng).run(&graph, &store).unwrap_err();
+        assert!(matches!(err, DagError::MissingInput { ref dataset, .. } if dataset == "x"));
+
+        let mut graph = JobGraph::new("dup-producer");
+        graph.add(JobNode::new("n1", JobKind::MapOnly, |_: &NodeCtx| Ok(())).output(&x));
+        graph.add(JobNode::new("n2", JobKind::MapOnly, |_: &NodeCtx| Ok(())).output(&x));
+        let err = DagScheduler::new(&eng).run(&graph, &store).unwrap_err();
+        assert!(matches!(err, DagError::DuplicateProducer { ref dataset } if dataset == "x"));
+
+        let mut graph = JobGraph::new("dup-node");
+        graph.add(JobNode::new("n", JobKind::MapOnly, |_: &NodeCtx| Ok(())));
+        graph.add(JobNode::new("n", JobKind::MapOnly, |_: &NodeCtx| Ok(())));
+        let err = DagScheduler::new(&eng).run(&graph, &store).unwrap_err();
+        assert!(matches!(err, DagError::DuplicateNode { ref name } if name == "n"));
+    }
+
+    #[test]
+    fn exhausted_node_surfaces_its_name_and_mr_error() {
+        // The node's engine job is doomed: certain fault, so every node
+        // attempt ends in MrError::TaskFailed. The scheduler must give
+        // up after max_node_attempts and name the failing node.
+        let eng = Engine::new(MrConfig {
+            split_size: 4,
+            fault: Some(FaultPlan::new(1.0, 7)),
+            max_attempts: 3,
+            ..MrConfig::default()
+        });
+        let store = DatasetStore::new();
+        seed_nums(&store, 10);
+        let out: DatasetHandle<u64> = DatasetHandle::new("out");
+        let mut graph = JobGraph::new("doomed");
+        graph.add(
+            JobNode::new("doomed-node", JobKind::MapReduce, sum_node(out.clone()))
+                .input(&nums())
+                .output(&out),
+        );
+        let err = DagScheduler::new(&eng).run(&graph, &store).unwrap_err();
+        assert_eq!(err.node_name(), Some("doomed-node"));
+        match &err {
+            DagError::NodeFailed { node, attempts, .. } => {
+                assert_eq!(node, "doomed-node");
+                assert_eq!(*attempts, 2);
+            }
+            other => panic!("expected NodeFailed, got {other:?}"),
+        }
+        assert!(
+            matches!(err.root_mr(), Some(MrError::TaskFailed { attempts: 3, .. })),
+            "root: {:?}",
+            err.root_mr()
+        );
+        // The failed run is still recorded, with its failure counters.
+        let dag_runs = eng.cluster_metrics();
+        assert_eq!(dag_runs.dag_runs().len(), 1);
+        assert_eq!(dag_runs.dag_runs()[0].failed_node_attempts, 2);
+    }
+
+    #[test]
+    fn dag_level_fault_injection_retries_and_recovers() {
+        let eng = engine();
+        let store = DatasetStore::new();
+        seed_nums(&store, 10);
+        let out: DatasetHandle<u64> = DatasetHandle::new("out");
+        let mut graph = JobGraph::new("flaky");
+        graph.add(
+            JobNode::new("sum", JobKind::MapReduce, sum_node(out.clone()))
+                .input(&nums())
+                .output(&out),
+        );
+        // Fault probability 0.5: with 20 attempts allowed, success is
+        // certain for the deterministic splitmix sequence in practice.
+        let config = DagConfig {
+            max_node_attempts: 20,
+            fault: Some(FaultPlan::new(0.5, 21)),
+            ..DagConfig::default()
+        };
+        let report = DagScheduler::with_config(&eng, config)
+            .run(&graph, &store)
+            .unwrap();
+        assert_eq!(*store.get(&out).unwrap(), 45);
+        let run = report.metrics.node("sum").unwrap();
+        assert_eq!(run.attempts, report.metrics.failed_node_attempts + 1);
+    }
+
+    #[test]
+    fn lineage_recovers_only_lost_ancestors() {
+        // Chain: produce "a" → derive "b" → consume in "c". The first
+        // attempt of "c" simulates losing "b" (evicted cache) and fails;
+        // recovery must re-execute *only* the producer of "b" — not the
+        // root — before the retry succeeds.
+        let eng = engine();
+        let store = DatasetStore::new();
+        let a: DatasetHandle<u64> = DatasetHandle::new("a");
+        let b: DatasetHandle<u64> = DatasetHandle::new("b");
+        let c: DatasetHandle<u64> = DatasetHandle::new("c");
+        let mut graph = JobGraph::new("lineage");
+        graph.add(
+            JobNode::new("make-a", JobKind::MapOnly, {
+                let a = a.clone();
+                move |ctx: &NodeCtx| {
+                    ctx.put(&a, 5, 8);
+                    Ok(())
+                }
+            })
+            .output(&a),
+        );
+        graph.add(
+            JobNode::new("make-b", JobKind::MapOnly, {
+                let a = a.clone();
+                let b = b.clone();
+                move |ctx: &NodeCtx| {
+                    let va = ctx.fetch(&a)?;
+                    ctx.put(&b, *va * 10, 8);
+                    Ok(())
+                }
+            })
+            .input(&a)
+            .output(&b),
+        );
+        let attempts = Arc::new(AtomicUsize::new(0));
+        graph.add(
+            JobNode::new("make-c", JobKind::MapOnly, {
+                let b = b.clone();
+                let c = c.clone();
+                let attempts = Arc::clone(&attempts);
+                move |ctx: &NodeCtx| {
+                    if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                        // Simulate a lost cached dataset, then fail.
+                        ctx.store().drop_cached(b.name());
+                        return Err(DagError::Injected {
+                            node: "make-c".into(),
+                        });
+                    }
+                    let vb = ctx.fetch(&b)?;
+                    ctx.put(&c, *vb + 1, 8);
+                    Ok(())
+                }
+            })
+            .input(&b)
+            .output(&c),
+        );
+        let report = DagScheduler::new(&eng).run(&graph, &store).unwrap();
+        assert_eq!(*store.get(&c).unwrap(), 51);
+        let m = &report.metrics;
+        // Only the lost ancestor re-executed: the re-execution counter
+        // stays below the total node count.
+        assert_eq!(m.recovered_executions, 1);
+        assert!(m.recovered_executions < graph.len() as u64);
+        assert_eq!(
+            m.node("make-a").unwrap().executions,
+            1,
+            "root must not re-run"
+        );
+        assert_eq!(m.node("make-b").unwrap().recoveries, 1);
+        assert_eq!(m.node("make-b").unwrap().executions, 2);
+        assert_eq!(m.node("make-c").unwrap().attempts, 2);
+        // 3 scheduled + 1 failed attempt + 1 recovery.
+        assert_eq!(m.total_executions, 5);
+    }
+
+    #[test]
+    fn empty_graph_is_a_noop() {
+        let eng = engine();
+        let store = DatasetStore::new();
+        let graph = JobGraph::new("empty");
+        let report = DagScheduler::new(&eng).run(&graph, &store).unwrap();
+        assert_eq!(report.metrics.total_executions, 0);
+        assert_eq!(report.metrics.concurrency_high_water, 0);
+    }
+
+    #[test]
+    fn output_must_be_materialized() {
+        let eng = engine();
+        let store = DatasetStore::new();
+        let x: DatasetHandle<u64> = DatasetHandle::new("x");
+        let mut graph = JobGraph::new("liar");
+        graph.add(JobNode::new("liar", JobKind::MapOnly, |_: &NodeCtx| Ok(())).output(&x));
+        let err = DagScheduler::new(&eng).run(&graph, &store).unwrap_err();
+        assert!(
+            matches!(err, DagError::OutputNotMaterialized { ref dataset, .. } if dataset == "x")
+        );
+    }
+}

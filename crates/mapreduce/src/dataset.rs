@@ -1,0 +1,616 @@
+//! Named, materialized datasets shared between the jobs of a DAG.
+//!
+//! A [`DatasetStore`] is the "distributed file system + block cache" of
+//! the DAG scheduler ([`crate::dag`]): every job node reads its inputs
+//! from the store and materializes its outputs back into it, so shared
+//! inputs (e.g. the normalized row set) are loaded **once per pipeline**
+//! instead of once per job. The store is in-memory first; under a byte
+//! budget it evicts least-recently-used entries, *spilling* entries that
+//! carry a [`DatasetCodec`] to the [`crate::BlockStore`] "HDFS-lite" and
+//! *dropping* entries marked recomputable (lineage re-executes their
+//! producer on the next read — Spark's RDD cache semantics).
+
+use crate::blockstore::BlockStore;
+use crate::engine::MrError;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// A typed, named reference to a dataset in a [`DatasetStore`].
+///
+/// Handles are cheap to clone and carry the element type as a phantom,
+/// so graph wiring stays type-checked while the store itself is
+/// type-erased.
+pub struct DatasetHandle<T> {
+    name: Arc<str>,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> DatasetHandle<T> {
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: Arc::from(name.into()),
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<T> Clone for DatasetHandle<T> {
+    fn clone(&self) -> Self {
+        Self {
+            name: Arc::clone(&self.name),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> fmt::Debug for DatasetHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DatasetHandle({})", self.name)
+    }
+}
+
+/// Serialization functions that let the store spill a dataset to the
+/// block store and load it back. Plain function pointers: codecs must
+/// not capture state, which keeps spilled bytes self-describing.
+pub struct DatasetCodec<T> {
+    pub encode: fn(&T) -> Vec<u8>,
+    pub decode: fn(&[u8]) -> T,
+}
+
+/// Takes a finished dataset out of the store after a DAG run, mapping a
+/// missing or mistyped entry onto [`MrError::Dag`] for drivers whose
+/// public result type is `Result<_, MrError>`.
+pub fn take_dataset<T: Clone + Send + Sync + 'static>(
+    store: &DatasetStore,
+    handle: &DatasetHandle<T>,
+) -> Result<T, MrError> {
+    store
+        .get(handle)
+        .map(|v| (*v).clone())
+        .map_err(|e| MrError::Dag {
+            node: "<driver>".to_string(),
+            message: e.to_string(),
+        })
+}
+
+/// Built-in codec for the row-set dataset shared by the pipelines.
+pub fn rows_codec() -> DatasetCodec<Vec<Vec<f64>>> {
+    // The codec's `fn(&T)` shape forces `&Vec`, not `&[_]`.
+    #[allow(clippy::ptr_arg)]
+    fn encode(rows: &Vec<Vec<f64>>) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+        for row in rows {
+            out.extend_from_slice(&(row.len() as u64).to_le_bytes());
+            for v in row {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+    fn decode(bytes: &[u8]) -> Vec<Vec<f64>> {
+        let mut at = 0usize;
+        let mut take8 = |buf: &[u8]| -> [u8; 8] {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&buf[at..at + 8]);
+            at += 8;
+            b
+        };
+        let n = u64::from_le_bytes(take8(bytes)) as usize;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let d = u64::from_le_bytes(take8(bytes)) as usize;
+            let mut row = Vec::with_capacity(d);
+            for _ in 0..d {
+                row.push(f64::from_le_bytes(take8(bytes)));
+            }
+            rows.push(row);
+        }
+        rows
+    }
+    DatasetCodec { encode, decode }
+}
+
+/// Store access errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// No dataset of this name is materialized (in memory or spilled).
+    Missing { name: String },
+    /// The dataset exists but was requested with the wrong element type.
+    WrongType { name: String },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Missing { name } => write!(f, "dataset '{name}' is not materialized"),
+            DatasetError::WrongType { name } => {
+                write!(f, "dataset '{name}' requested with the wrong type")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// Counters describing cache behaviour since the store was created.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetStoreStats {
+    /// `get` calls served from memory.
+    pub hits: u64,
+    /// `get` calls that found nothing in memory (missing or spilled).
+    pub misses: u64,
+    /// Datasets written to the block store by eviction.
+    pub spills: u64,
+    /// Encoded bytes written by spills.
+    pub spill_bytes: u64,
+    /// Spilled datasets decoded back into memory on demand.
+    pub spill_loads: u64,
+    /// Datasets removed from memory by the budget (spilled or dropped).
+    pub evictions: u64,
+}
+
+type AnyArc = Arc<dyn Any + Send + Sync>;
+
+struct ErasedCodec {
+    encode: Box<dyn Fn(&AnyArc) -> Vec<u8> + Send + Sync>,
+    decode: Box<dyn Fn(&[u8]) -> AnyArc + Send + Sync>,
+}
+
+struct Entry {
+    /// In-memory value; `None` when evicted (spilled or dropped).
+    value: Option<AnyArc>,
+    /// Caller-declared size estimate, used by the budget.
+    bytes: usize,
+    /// Pinned entries are never evicted.
+    pins: usize,
+    /// LRU clock value of the last touch.
+    seq: u64,
+    /// Lineage can rebuild this dataset by re-running its producer, so
+    /// the budget may drop it without spilling.
+    recomputable: bool,
+    codec: Option<ErasedCodec>,
+    /// The block store holds an up-to-date encoded copy.
+    spilled: bool,
+}
+
+struct Inner {
+    entries: BTreeMap<String, Entry>,
+    mem_bytes: usize,
+    clock: u64,
+    stats: DatasetStoreStats,
+}
+
+/// The materialized-dataset store shared by all nodes of a DAG run.
+pub struct DatasetStore {
+    blockstore: Arc<BlockStore>,
+    budget: Option<usize>,
+    inner: Mutex<Inner>,
+}
+
+impl Default for DatasetStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DatasetStore {
+    /// Unbounded in-memory store with a private spill block store.
+    pub fn new() -> Self {
+        Self::with_blockstore(Arc::new(BlockStore::new(1 << 20, 1)), None)
+    }
+
+    /// Store that evicts down to `budget` bytes of in-memory datasets.
+    pub fn with_budget(budget: usize) -> Self {
+        Self::with_blockstore(Arc::new(BlockStore::new(1 << 20, 1)), Some(budget))
+    }
+
+    /// Store spilling to an existing block store, optionally budgeted.
+    pub fn with_blockstore(blockstore: Arc<BlockStore>, budget: Option<usize>) -> Self {
+        Self {
+            blockstore,
+            budget,
+            inner: Mutex::new(Inner {
+                entries: BTreeMap::new(),
+                mem_bytes: 0,
+                clock: 0,
+                stats: DatasetStoreStats::default(),
+            }),
+        }
+    }
+
+    pub fn blockstore(&self) -> &Arc<BlockStore> {
+        &self.blockstore
+    }
+
+    /// Materializes a dataset. Overwrites any previous version (a
+    /// re-executed producer publishes fresh output).
+    pub fn put<T: Send + Sync + 'static>(&self, handle: &DatasetHandle<T>, value: T, bytes: usize) {
+        self.insert(handle.name(), Arc::new(value), bytes, false, None);
+    }
+
+    /// Materializes a dataset the budget may *drop* from memory: its DAG
+    /// producer can re-create it through lineage.
+    pub fn put_recomputable<T: Send + Sync + 'static>(
+        &self,
+        handle: &DatasetHandle<T>,
+        value: T,
+        bytes: usize,
+    ) {
+        self.insert(handle.name(), Arc::new(value), bytes, true, None);
+    }
+
+    /// Materializes a dataset the budget may *spill* to the block store.
+    pub fn put_spillable<T: Send + Sync + 'static>(
+        &self,
+        handle: &DatasetHandle<T>,
+        value: T,
+        bytes: usize,
+        codec: DatasetCodec<T>,
+    ) {
+        let DatasetCodec { encode, decode } = codec;
+        let erased = ErasedCodec {
+            encode: Box::new(move |any: &AnyArc| {
+                let typed = any
+                    .clone()
+                    .downcast::<T>()
+                    .expect("codec type matches entry");
+                encode(&typed)
+            }),
+            decode: Box::new(move |bytes: &[u8]| Arc::new(decode(bytes)) as AnyArc),
+        };
+        self.insert(handle.name(), Arc::new(value), bytes, false, Some(erased));
+    }
+
+    fn insert(
+        &self,
+        name: &str,
+        value: AnyArc,
+        bytes: usize,
+        recomputable: bool,
+        codec: Option<ErasedCodec>,
+    ) {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let seq = inner.clock;
+        if let Some(old) = inner.entries.remove(name) {
+            if old.value.is_some() {
+                inner.mem_bytes -= old.bytes;
+            }
+            if old.spilled {
+                self.blockstore.delete(&spill_file(name));
+            }
+        }
+        inner.entries.insert(
+            name.to_string(),
+            Entry {
+                value: Some(value),
+                bytes,
+                pins: 0,
+                seq,
+                recomputable,
+                codec,
+                spilled: false,
+            },
+        );
+        inner.mem_bytes += bytes;
+        self.enforce_budget(&mut inner, name);
+    }
+
+    /// Fetches a dataset, loading it back from spill if necessary.
+    pub fn get<T: Send + Sync + 'static>(
+        &self,
+        handle: &DatasetHandle<T>,
+    ) -> Result<Arc<T>, DatasetError> {
+        let any = self.get_any(handle.name())?;
+        any.downcast::<T>().map_err(|_| DatasetError::WrongType {
+            name: handle.name().to_string(),
+        })
+    }
+
+    fn get_any(&self, name: &str) -> Result<AnyArc, DatasetError> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let seq = inner.clock;
+        let missing = || DatasetError::Missing {
+            name: name.to_string(),
+        };
+        let Some(entry) = inner.entries.get_mut(name) else {
+            inner.stats.misses += 1;
+            return Err(missing());
+        };
+        entry.seq = seq;
+        if let Some(value) = &entry.value {
+            let value = Arc::clone(value);
+            inner.stats.hits += 1;
+            return Ok(value);
+        }
+        inner.stats.misses += 1;
+        if !entry.spilled {
+            return Err(missing());
+        }
+        // Reload the spilled copy. Entry bookkeeping first (the decode
+        // borrows the codec, so split the borrows carefully).
+        let bytes = self
+            .blockstore
+            .read(&spill_file(name))
+            .ok_or_else(missing)?;
+        let decoded = {
+            let codec = entry.codec.as_ref().expect("spilled entries carry a codec");
+            (codec.decode)(&bytes)
+        };
+        entry.value = Some(Arc::clone(&decoded));
+        let entry_bytes = entry.bytes;
+        inner.stats.spill_loads += 1;
+        inner.mem_bytes += entry_bytes;
+        self.enforce_budget(&mut inner, name);
+        Ok(decoded)
+    }
+
+    /// Whether the dataset is materialized (in memory or spilled).
+    pub fn has(&self, name: &str) -> bool {
+        let inner = self.inner.lock();
+        inner
+            .entries
+            .get(name)
+            .is_some_and(|e| e.value.is_some() || e.spilled)
+    }
+
+    /// Pins a dataset against eviction while a node consumes it.
+    pub fn pin(&self, name: &str) {
+        if let Some(e) = self.inner.lock().entries.get_mut(name) {
+            e.pins += 1;
+        }
+    }
+
+    pub fn unpin(&self, name: &str) {
+        if let Some(e) = self.inner.lock().entries.get_mut(name) {
+            e.pins = e.pins.saturating_sub(1);
+        }
+    }
+
+    /// Removes a dataset everywhere (memory and spill).
+    pub fn remove(&self, name: &str) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.entries.remove(name) {
+            Some(e) => {
+                if e.value.is_some() {
+                    inner.mem_bytes -= e.bytes;
+                }
+                if e.spilled {
+                    self.blockstore.delete(&spill_file(name));
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops the in-memory copy *and* any spilled copy, but keeps the
+    /// entry registered — the next `get` reports it missing. This models
+    /// losing a cached partition; the DAG scheduler's lineage recovery
+    /// re-executes the producer to rebuild it.
+    pub fn drop_cached(&self, name: &str) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.entries.get_mut(name) {
+            Some(e) => {
+                if e.value.take().is_some() {
+                    inner.mem_bytes -= e.bytes;
+                }
+                if e.spilled {
+                    e.spilled = false;
+                    self.blockstore.delete(&spill_file(name));
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Bytes of datasets currently held in memory.
+    pub fn mem_bytes(&self) -> usize {
+        self.inner.lock().mem_bytes
+    }
+
+    /// Names of all registered datasets.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.lock().entries.keys().cloned().collect()
+    }
+
+    pub fn stats(&self) -> DatasetStoreStats {
+        self.inner.lock().stats
+    }
+
+    /// Evicts LRU entries until the budget holds. `exempt` (the entry
+    /// just inserted or reloaded) is never evicted, so a single oversized
+    /// dataset still materializes.
+    fn enforce_budget(&self, inner: &mut Inner, exempt: &str) {
+        let Some(budget) = self.budget else { return };
+        while inner.mem_bytes > budget {
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(name, e)| {
+                    e.value.is_some()
+                        && e.pins == 0
+                        && name.as_str() != exempt
+                        && (e.codec.is_some() || e.recomputable)
+                })
+                .min_by_key(|(_, e)| e.seq)
+                .map(|(name, _)| name.clone());
+            let Some(name) = victim else { break };
+            let entry = inner.entries.get_mut(&name).expect("victim exists");
+            if let Some(codec) = &entry.codec {
+                if !entry.spilled {
+                    let value = entry.value.as_ref().expect("victim is in memory");
+                    let encoded = (codec.encode)(value);
+                    inner.stats.spills += 1;
+                    inner.stats.spill_bytes += encoded.len() as u64;
+                    self.blockstore.write(&spill_file(&name), &encoded);
+                    let entry = inner.entries.get_mut(&name).expect("victim exists");
+                    entry.spilled = true;
+                }
+            }
+            let entry = inner.entries.get_mut(&name).expect("victim exists");
+            entry.value = None;
+            inner.mem_bytes -= entry.bytes;
+            inner.stats.evictions += 1;
+        }
+    }
+}
+
+fn spill_file(name: &str) -> String {
+    format!("dataset/{name}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(name: &str) -> DatasetHandle<Vec<Vec<f64>>> {
+        DatasetHandle::new(name)
+    }
+
+    fn rows(k: usize) -> Vec<Vec<f64>> {
+        (0..4).map(|i| vec![i as f64 + k as f64, 0.5]).collect()
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_hits() {
+        let store = DatasetStore::new();
+        store.put(&h("a"), rows(0), 64);
+        let got = store.get(&h("a")).unwrap();
+        assert_eq!(*got, rows(0));
+        assert!(store.has("a"));
+        assert!(!store.has("b"));
+        let stats = store.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 0);
+    }
+
+    #[test]
+    fn missing_and_wrong_type_error() {
+        let store = DatasetStore::new();
+        assert_eq!(
+            store.get(&h("nope")).unwrap_err(),
+            DatasetError::Missing {
+                name: "nope".into()
+            }
+        );
+        store.put(&h("a"), rows(0), 64);
+        let wrong: DatasetHandle<Vec<u64>> = DatasetHandle::new("a");
+        assert_eq!(
+            store.get(&wrong).unwrap_err(),
+            DatasetError::WrongType { name: "a".into() }
+        );
+        assert_eq!(store.stats().misses, 1);
+    }
+
+    #[test]
+    fn budget_spills_lru_and_reloads() {
+        let store = DatasetStore::with_budget(100);
+        store.put_spillable(&h("old"), rows(1), 64, rows_codec());
+        store.put_spillable(&h("new"), rows(2), 64, rows_codec());
+        // 128 > 100: the LRU entry ("old") spills to the block store.
+        let stats = store.stats();
+        assert_eq!(stats.spills, 1);
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.spill_bytes > 0);
+        assert!(store.mem_bytes() <= 100);
+        assert!(store.has("old"), "spilled datasets stay materialized");
+        // Reading it back decodes the spilled copy (a miss + a load)...
+        assert_eq!(*store.get(&h("old")).unwrap(), rows(1));
+        let stats = store.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.spill_loads, 1);
+        // ...and pushes "new" out in turn (already-spilled page-out is
+        // counted as an eviction, not a second spill of "old").
+        assert!(store.mem_bytes() <= 100);
+        assert_eq!(*store.get(&h("new")).unwrap(), rows(2));
+    }
+
+    #[test]
+    fn budget_drops_recomputable_entries() {
+        let store = DatasetStore::with_budget(100);
+        store.put_recomputable(&h("derived"), rows(1), 64);
+        store.put(&h("pinnedless"), rows(2), 64);
+        // "derived" has no codec but is recomputable → dropped outright.
+        assert_eq!(store.stats().spills, 0);
+        assert_eq!(store.stats().evictions, 1);
+        assert!(!store.has("derived"), "dropped datasets report missing");
+        assert!(store.has("pinnedless"));
+    }
+
+    #[test]
+    fn non_spillable_non_recomputable_entries_survive_budget() {
+        let store = DatasetStore::with_budget(50);
+        store.put(&h("a"), rows(1), 64);
+        store.put(&h("b"), rows(2), 64);
+        // Neither entry can be spilled or recomputed: the budget is
+        // overshot rather than losing data.
+        assert!(store.has("a") && store.has("b"));
+        assert_eq!(store.stats().evictions, 0);
+    }
+
+    #[test]
+    fn pinned_entries_are_not_evicted() {
+        let store = DatasetStore::with_budget(100);
+        store.put_spillable(&h("hot"), rows(1), 64, rows_codec());
+        store.pin("hot");
+        store.put_spillable(&h("cold"), rows(2), 64, rows_codec());
+        // "hot" is older but pinned; nothing else is evictable ("cold"
+        // is exempt as the fresh insert), so memory stays over budget.
+        assert_eq!(store.stats().evictions, 0);
+        store.unpin("hot");
+        store.put_spillable(&h("third"), rows(3), 64, rows_codec());
+        assert!(store.stats().evictions > 0);
+    }
+
+    #[test]
+    fn drop_cached_loses_the_dataset() {
+        let store = DatasetStore::new();
+        store.put(&h("a"), rows(0), 64);
+        assert!(store.drop_cached("a"));
+        assert!(!store.has("a"));
+        assert!(store.get(&h("a")).is_err());
+        assert!(!store.drop_cached("ghost"));
+    }
+
+    #[test]
+    fn overwrite_replaces_value_and_spill() {
+        let store = DatasetStore::new();
+        store.put(&h("a"), rows(1), 64);
+        store.put(&h("a"), rows(9), 32);
+        assert_eq!(*store.get(&h("a")).unwrap(), rows(9));
+        assert_eq!(store.mem_bytes(), 32);
+    }
+
+    #[test]
+    fn rows_codec_roundtrip() {
+        let codec = rows_codec();
+        let data = vec![vec![0.25, -1.5, 3.0], vec![], vec![42.0]];
+        let encoded = (codec.encode)(&data);
+        assert_eq!((codec.decode)(&encoded), data);
+        let empty: Vec<Vec<f64>> = Vec::new();
+        assert_eq!((codec.decode)(&(codec.encode)(&empty)), empty);
+    }
+
+    #[test]
+    fn remove_deletes_everything() {
+        let store = DatasetStore::with_budget(60);
+        store.put_spillable(&h("a"), rows(1), 64, rows_codec());
+        store.put_spillable(&h("b"), rows(2), 64, rows_codec());
+        assert!(store.remove("a"));
+        assert!(!store.has("a"));
+        assert!(!store.remove("a"));
+    }
+}

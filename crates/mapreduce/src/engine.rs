@@ -2,7 +2,7 @@
 
 use crate::api::{Combiner, Emitter, Mapper, Reducer};
 use crate::fault::{FaultPlan, StragglerPlan};
-use crate::metrics::{ClusterMetrics, JobMetrics};
+use crate::metrics::{ClusterMetrics, DagMetrics, JobMetrics};
 use crate::weight::Weighable;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -52,7 +52,9 @@ impl MrConfig {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
         }
     }
 }
@@ -68,14 +70,31 @@ pub struct JobOutput<O> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MrError {
     /// A map task exhausted its attempts.
-    TaskFailed { job: String, task: usize, attempts: usize },
+    TaskFailed {
+        job: String,
+        task: usize,
+        attempts: usize,
+    },
+    /// A DAG-scheduled pipeline failed at the named node (see
+    /// [`crate::dag`]); `message` is the rendered scheduler error.
+    Dag { node: String, message: String },
 }
 
 impl fmt::Display for MrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MrError::TaskFailed { job, task, attempts } => {
-                write!(f, "job '{job}': map task {task} failed after {attempts} attempts")
+            MrError::TaskFailed {
+                job,
+                task,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "job '{job}': map task {task} failed after {attempts} attempts"
+                )
+            }
+            MrError::Dag { node, message } => {
+                write!(f, "DAG node '{node}': {message}")
             }
         }
     }
@@ -94,7 +113,10 @@ pub struct Engine {
 
 impl Engine {
     pub fn new(config: MrConfig) -> Self {
-        Self { config, ledger: Mutex::new(ClusterMetrics::new()) }
+        Self {
+            config,
+            ledger: Mutex::new(ClusterMetrics::new()),
+        }
     }
 
     /// Engine with default configuration.
@@ -114,6 +136,12 @@ impl Engine {
     /// Clears the metrics ledger.
     pub fn reset_metrics(&self) {
         self.ledger.lock().reset();
+    }
+
+    /// Records a DAG run's metrics in the ledger (called by
+    /// [`crate::dag::DagScheduler`]).
+    pub(crate) fn record_dag(&self, metrics: DagMetrics) {
+        self.ledger.lock().record_dag(metrics);
     }
 
     /// Charges broadcast bytes for side data shipped to every map task of
@@ -181,7 +209,14 @@ impl Engine {
         M: Mapper<I, K, V>,
         R: Reducer<K, V, O>,
     {
-        self.run_inner(name, input, mapper, None::<&NoCombiner>, reducer, cache_bytes)
+        self.run_inner(
+            name,
+            input,
+            mapper,
+            None::<&NoCombiner>,
+            reducer,
+            cache_bytes,
+        )
     }
 
     /// Runs a map-only job (Hadoop: zero reducers). The mapper's emitted
@@ -241,8 +276,11 @@ impl Engine {
             return Err(err);
         }
 
-        let output: Vec<O> =
-            outputs.into_inner().into_iter().flat_map(|o| o.unwrap_or_default()).collect();
+        let output: Vec<O> = outputs
+            .into_inner()
+            .into_iter()
+            .flat_map(|o| o.unwrap_or_default())
+            .collect();
         shared.fill_metrics(&mut metrics);
         metrics.output_records = output.len() as u64;
         metrics.map_wall = start.elapsed();
@@ -276,11 +314,22 @@ impl Engine {
         metrics.map_input_records = input.len() as u64;
         metrics.broadcast_bytes = self.broadcast_cost(cache_bytes, splits.len());
 
-        // Per-reducer partitions, filled by committing map tasks.
-        let partitions: Vec<Mutex<Vec<(K, V)>>> =
-            (0..num_reducers).map(|_| Mutex::new(Vec::new())).collect();
+        // Per-reducer, per-split partitions. Keeping one bucket per map
+        // task and concatenating in split order makes the value order a
+        // reducer sees independent of task *commit* order, so jobs with
+        // order-sensitive float accumulation are byte-deterministic run
+        // to run (and serial-vs-DAG driver comparisons stay exact).
+        let partitions: Vec<Mutex<Vec<Option<Vec<(K, V)>>>>> = (0..num_reducers)
+            .map(|_| {
+                let mut buckets = Vec::new();
+                buckets.resize_with(splits.len(), || None);
+                Mutex::new(buckets)
+            })
+            .collect();
         let shuffle_records = AtomicU64::new(0);
         let shuffle_bytes = AtomicU64::new(0);
+        let combine_in = AtomicU64::new(0);
+        let combine_out = AtomicU64::new(0);
 
         let shared = MapPhaseShared::new(splits.len());
         let task_error = run_map_phase(
@@ -288,7 +337,7 @@ impl Engine {
             name,
             &splits,
             &shared,
-            |_idx, pairs: Vec<(K, V)>| {
+            |idx, pairs: Vec<(K, V)>| {
                 // Partition by key hash; optionally combine per partition.
                 let mut parts: Vec<Vec<(K, V)>> = (0..num_reducers).map(|_| Vec::new()).collect();
                 for (k, v) in pairs {
@@ -300,7 +349,13 @@ impl Engine {
                         continue;
                     }
                     if let Some(c) = combiner {
+                        // The combiner runs before shuffle metering, so
+                        // shuffle_records/bytes below reflect what actually
+                        // crosses the network (post-combine).
+                        let before = part.len() as u64;
                         part = combine_part(part, c);
+                        combine_in.fetch_add(before, Ordering::Relaxed);
+                        combine_out.fetch_add(part.len() as u64, Ordering::Relaxed);
                     }
                     let mut recs = 0u64;
                     let mut bytes = 0u64;
@@ -310,7 +365,7 @@ impl Engine {
                     }
                     shuffle_records.fetch_add(recs, Ordering::Relaxed);
                     shuffle_bytes.fetch_add(bytes, Ordering::Relaxed);
-                    partitions[p].lock().extend(part);
+                    partitions[p].lock()[idx] = Some(part);
                 }
             },
             mapper,
@@ -319,6 +374,8 @@ impl Engine {
             return Err(err);
         }
         shared.fill_metrics(&mut metrics);
+        metrics.combine_input_records = combine_in.into_inner();
+        metrics.combine_output_records = combine_out.into_inner();
         metrics.shuffle_records = shuffle_records.into_inner();
         metrics.shuffle_bytes = shuffle_bytes.into_inner();
         metrics.map_wall = map_start.elapsed();
@@ -338,12 +395,14 @@ impl Engine {
                     if p >= num_reducers {
                         break;
                     }
-                    let mut pairs = std::mem::take(&mut *partitions[p].lock());
+                    let buckets = std::mem::take(&mut *partitions[p].lock());
+                    let mut pairs: Vec<(K, V)> = buckets.into_iter().flatten().flatten().collect();
                     if pairs.is_empty() {
                         continue;
                     }
                     active_parts.fetch_add(1, Ordering::Relaxed);
-                    // Sort-merge grouping, as Hadoop's shuffle does.
+                    // Sort-merge grouping, as Hadoop's shuffle does. The
+                    // stable sort keeps same-key values in split order.
                     pairs.sort_by(|a, b| a.0.cmp(&b.0));
                     let mut out = Vec::new();
                     let mut groups = 0u64;
@@ -479,7 +538,9 @@ impl MapPhaseShared {
         Self {
             num_splits,
             next: AtomicUsize::new(0),
-            task_done: (0..num_splits).map(|_| std::sync::atomic::AtomicBool::new(false)).collect(),
+            task_done: (0..num_splits)
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect(),
             done_count: AtomicUsize::new(0),
             out_records: AtomicU64::new(0),
             out_bytes: AtomicU64::new(0),
@@ -568,7 +629,9 @@ where
                             continue;
                         }
                         shared.speculative_attempts.fetch_add(1, Ordering::Relaxed);
-                        run_attempt(config, job_name, splits, shared, &commit, mapper, idx, false);
+                        run_attempt(
+                            config, job_name, splits, shared, &commit, mapper, idx, false,
+                        );
                         launched = true;
                     }
                     if !launched {
@@ -623,8 +686,7 @@ fn run_attempt<I, K, V, M, F>(
                 if plan.should_straggle(job_name, idx) {
                     // Cancellable slow-node delay: sleep in slices and bail
                     // out as soon as a backup commits the task.
-                    let deadline =
-                        Instant::now() + std::time::Duration::from_millis(plan.delay_ms);
+                    let deadline = Instant::now() + std::time::Duration::from_millis(plan.delay_ms);
                     while Instant::now() < deadline {
                         if shared.is_done(idx) {
                             return;
@@ -645,8 +707,12 @@ fn run_attempt<I, K, V, M, F>(
         if !primary {
             shared.speculative_wins.fetch_add(1, Ordering::Relaxed);
         }
-        shared.out_records.fetch_add(emitter.records(), Ordering::Relaxed);
-        shared.out_bytes.fetch_add(emitter.bytes(), Ordering::Relaxed);
+        shared
+            .out_records
+            .fetch_add(emitter.records(), Ordering::Relaxed);
+        shared
+            .out_bytes
+            .fetch_add(emitter.bytes(), Ordering::Relaxed);
         let (pairs, counters) = emitter.into_parts();
         if !counters.is_empty() {
             let mut ledger = shared.counters.lock();
@@ -709,8 +775,13 @@ mod tests {
 
     #[test]
     fn word_count_end_to_end() {
-        let engine = Engine::new(MrConfig { split_size: 1, ..MrConfig::default() });
-        let res = engine.run("wc", &lines(), &TokenMapper, &SumReducer).unwrap();
+        let engine = Engine::new(MrConfig {
+            split_size: 1,
+            ..MrConfig::default()
+        });
+        let res = engine
+            .run("wc", &lines(), &TokenMapper, &SumReducer)
+            .unwrap();
         let c = counts(res.output);
         assert_eq!(c["the"], 3);
         assert_eq!(c["quick"], 2);
@@ -724,10 +795,15 @@ mod tests {
 
     #[test]
     fn combiner_reduces_shuffle_volume_not_results() {
-        let cfg = MrConfig { split_size: 1, ..MrConfig::default() };
+        let cfg = MrConfig {
+            split_size: 1,
+            ..MrConfig::default()
+        };
         let plain = Engine::new(cfg.clone());
         let combined = Engine::new(cfg);
-        let a = plain.run("wc", &lines(), &TokenMapper, &SumReducer).unwrap();
+        let a = plain
+            .run("wc", &lines(), &TokenMapper, &SumReducer)
+            .unwrap();
         let b = combined
             .run_with_combiner("wc-c", &lines(), &TokenMapper, &SumCombiner, &SumReducer)
             .unwrap();
@@ -745,11 +821,24 @@ mod tests {
         assert_eq!(counts(r1.output), counts(r2.output));
         assert_eq!(r1.metrics.shuffle_records, 4);
         assert_eq!(r2.metrics.shuffle_records, 1);
+        // Shuffle bytes are metered *after* the combiner: one record of
+        // ("a": 4+1 bytes, u64: 8 bytes) = 13 bytes crosses the network,
+        // not the 4 × 13 = 52 pre-combine bytes.
+        assert_eq!(r1.metrics.shuffle_bytes, 52);
+        assert_eq!(r2.metrics.shuffle_bytes, 13);
+        // And the combine counters expose the 4 → 1 reduction.
+        assert_eq!(r1.metrics.combine_input_records, 0);
+        assert_eq!(r1.metrics.combine_output_records, 0);
+        assert_eq!(r2.metrics.combine_input_records, 4);
+        assert_eq!(r2.metrics.combine_output_records, 1);
     }
 
     #[test]
     fn map_only_preserves_split_order() {
-        let engine = Engine::new(MrConfig { split_size: 2, ..MrConfig::default() });
+        let engine = Engine::new(MrConfig {
+            split_size: 2,
+            ..MrConfig::default()
+        });
         let input: Vec<u64> = (0..10).collect();
         let mapper = |r: &u64, out: &mut Emitter<(), u64>| out.emit((), r * 2);
         let res = engine.run_map_only("double", &input, &mapper).unwrap();
@@ -762,7 +851,9 @@ mod tests {
     fn empty_input_is_fine() {
         let engine = Engine::with_defaults();
         let input: Vec<String> = vec![];
-        let res = engine.run("empty", &input, &TokenMapper, &SumReducer).unwrap();
+        let res = engine
+            .run("empty", &input, &TokenMapper, &SumReducer)
+            .unwrap();
         assert!(res.output.is_empty());
         assert_eq!(res.metrics.map_tasks, 0);
     }
@@ -782,7 +873,10 @@ mod tests {
             out.push((*k, vs.into_iter().sum()));
         };
         let res = engine.run("faulty", &input, &mapper, &reducer).unwrap();
-        assert!(res.metrics.failed_attempts > 0, "fault plan should have struck");
+        assert!(
+            res.metrics.failed_attempts > 0,
+            "fault plan should have struck"
+        );
         let total: u64 = res.output.iter().map(|&(_, s)| s).sum();
         assert_eq!(total, (0..200).sum::<u64>());
     }
@@ -805,7 +899,11 @@ mod tests {
     #[test]
     fn deterministic_output_across_runs() {
         let mk = || {
-            let engine = Engine::new(MrConfig { split_size: 3, threads: 4, ..MrConfig::default() });
+            let engine = Engine::new(MrConfig {
+                split_size: 3,
+                threads: 4,
+                ..MrConfig::default()
+            });
             let input: Vec<u64> = (0..100).collect();
             let mapper = |r: &u64, out: &mut Emitter<u64, u64>| out.emit(r % 10, *r);
             let reducer = |k: &u64, vs: Vec<u64>, out: &mut Vec<(u64, u64)>| {
@@ -834,17 +932,25 @@ mod tests {
 
     #[test]
     fn cache_bytes_charged_per_map_task() {
-        let engine = Engine::new(MrConfig { split_size: 5, ..MrConfig::default() });
+        let engine = Engine::new(MrConfig {
+            split_size: 5,
+            ..MrConfig::default()
+        });
         let input: Vec<u64> = (0..20).collect(); // 4 splits
         let mapper = |r: &u64, out: &mut Emitter<u64, u64>| out.emit(*r, 1);
         let reducer = |k: &u64, _v: Vec<u64>, out: &mut Vec<u64>| out.push(*k);
-        let res = engine.run_with_cache("cached", &input, 1000, &mapper, &reducer).unwrap();
+        let res = engine
+            .run_with_cache("cached", &input, 1000, &mapper, &reducer)
+            .unwrap();
         assert_eq!(res.metrics.broadcast_bytes, 4000);
     }
 
     #[test]
     fn user_counters_survive_to_metrics() {
-        let engine = Engine::new(MrConfig { split_size: 4, ..MrConfig::default() });
+        let engine = Engine::new(MrConfig {
+            split_size: 4,
+            ..MrConfig::default()
+        });
         let input: Vec<u64> = (0..16).collect();
         let mapper = |r: &u64, out: &mut Emitter<(), u64>| {
             if r.is_multiple_of(2) {
@@ -887,11 +993,18 @@ mod tests {
         assert_eq!(sorted(slow_res.output), sorted(fast_res.output));
         // Backups actually ran and won.
         assert!(fast_res.metrics.speculative_attempts > 0);
-        assert!(fast_res.metrics.speculative_wins > 0, "{:?}", fast_res.metrics);
+        assert!(
+            fast_res.metrics.speculative_wins > 0,
+            "{:?}",
+            fast_res.metrics
+        );
         // And the tail latency collapsed: without speculation the job
         // waits out the full 1.5s straggler delay; with it, the backups
         // commit in milliseconds and the cancellable sleep exits early.
-        assert!(slow_wall.as_millis() >= 1_400, "slow run took {slow_wall:?}");
+        assert!(
+            slow_wall.as_millis() >= 1_400,
+            "slow run took {slow_wall:?}"
+        );
         assert!(
             fast_wall < slow_wall / 2,
             "speculation did not help: {fast_wall:?} vs {slow_wall:?}"
@@ -910,7 +1023,9 @@ mod tests {
             speculative: true,
             ..MrConfig::default()
         });
-        let res = engine.run("no-straggle", &input, &mapper, &reducer).unwrap();
+        let res = engine
+            .run("no-straggle", &input, &mapper, &reducer)
+            .unwrap();
         let total: u64 = res.output.iter().map(|&(_, s)| s).sum();
         assert_eq!(total, (0..100).sum::<u64>());
         assert_eq!(res.metrics.speculative_wins, 0);
@@ -926,13 +1041,18 @@ mod tests {
             straggler: Some(StragglerPlan::new(1.0, 30, 2)),
             ..MrConfig::default()
         });
-        let res = engine.run_map_only("all-straggle", &input, &mapper).unwrap();
+        let res = engine
+            .run_map_only("all-straggle", &input, &mapper)
+            .unwrap();
         assert_eq!(res.output, input);
     }
 
     #[test]
     fn single_reducer_configuration() {
-        let engine = Engine::new(MrConfig { num_reducers: 1, ..MrConfig::default() });
+        let engine = Engine::new(MrConfig {
+            num_reducers: 1,
+            ..MrConfig::default()
+        });
         let input: Vec<u64> = (0..50).collect();
         let mapper = |r: &u64, out: &mut Emitter<u64, u64>| out.emit(r % 5, *r);
         let reducer = |k: &u64, vs: Vec<u64>, out: &mut Vec<(u64, usize)>| {

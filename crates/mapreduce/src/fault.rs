@@ -22,7 +22,10 @@ impl FaultPlan {
             (0.0..=1.0).contains(&failure_probability),
             "failure probability must be in [0,1]"
         );
-        Self { failure_probability, seed }
+        Self {
+            failure_probability,
+            seed,
+        }
     }
 
     /// Whether the given attempt of the given task in the given job fails.
@@ -65,7 +68,11 @@ impl StragglerPlan {
             (0.0..=1.0).contains(&probability),
             "straggle probability must be in [0,1]"
         );
-        Self { probability, delay_ms, seed }
+        Self {
+            probability,
+            delay_ms,
+            seed,
+        }
     }
 
     /// Whether the primary attempt of the given task straggles.
@@ -143,11 +150,10 @@ mod tests {
         let p = FaultPlan::new(0.5, 99);
         let mut saw_recovery = false;
         for t in 0..100 {
-            if p.should_fail("j", t, 0)
-                && (1..6).any(|a| !p.should_fail("j", t, a)) {
-                    saw_recovery = true;
-                    break;
-                }
+            if p.should_fail("j", t, 0) && (1..6).any(|a| !p.should_fail("j", t, a)) {
+                saw_recovery = true;
+                break;
+            }
         }
         assert!(saw_recovery);
     }
@@ -172,7 +178,9 @@ mod tests {
         for t in 0..20 {
             assert_eq!(p.should_straggle("j", t), p.should_straggle("j", t));
         }
-        let rate = (0..10_000).filter(|&t| p.should_straggle("rate", t)).count() as f64
+        let rate = (0..10_000)
+            .filter(|&t| p.should_straggle("rate", t))
+            .count() as f64
             / 10_000.0;
         assert!((rate - 0.25).abs() < 0.02, "observed {rate}");
         assert!(!StragglerPlan::new(0.0, 100, 1).should_straggle("j", 0));

@@ -21,16 +21,29 @@
 //!   ([`metrics`]); these drive the runtime/I/O figures of the evaluation.
 //! * **Block storage** — a tiny "HDFS-lite" ([`blockstore`]) used by the
 //!   examples to stage datasets as replicated blocks.
+//! * **DAG scheduling** — a [`JobGraph`] of MR jobs over named, cached
+//!   datasets ([`dag`], [`dataset`]): ready jobs run concurrently, shared
+//!   inputs load once, and lineage re-executes only lost ancestors after
+//!   a failure.
 //!
 //! # Example
 //!
+//! A two-node job graph: a map-reduce job counts word lengths into a
+//! `counts` dataset, and a downstream map-only job derives the most
+//! common length from it. The scheduler runs `count` first — `report`
+//! declares `counts` as an input — and materializes both datasets in the
+//! [`DatasetStore`].
+//!
 //! ```
-//! use p3c_mapreduce::{Engine, MrConfig, Mapper, Reducer, Emitter};
+//! use p3c_mapreduce::{
+//!     DagScheduler, DatasetHandle, DatasetStore, Emitter, Engine, JobGraph, JobKind, JobNode,
+//!     Mapper, MrConfig, NodeCtx, Reducer,
+//! };
 //!
 //! /// Classic word-length count: length -> how many words.
 //! struct LenMapper;
-//! impl Mapper<&'static str, usize, u64> for LenMapper {
-//!     fn map(&self, word: &&'static str, out: &mut Emitter<usize, u64>) {
+//! impl Mapper<String, usize, u64> for LenMapper {
+//!     fn map(&self, word: &String, out: &mut Emitter<usize, u64>) {
 //!         out.emit(word.len(), 1);
 //!     }
 //! }
@@ -42,16 +55,54 @@
 //! }
 //!
 //! let engine = Engine::new(MrConfig::default());
-//! let words = ["map", "reduce", "shuffle", "ox", "fox"];
-//! let result = engine.run("wordlen", &words, &LenMapper, &SumReducer).unwrap();
-//! let mut pairs = result.output;
-//! pairs.sort();
-//! assert_eq!(pairs, vec![(2, 1), (3, 2), (6, 1), (7, 1)]);
+//! let store = DatasetStore::new();
+//!
+//! // Input dataset, loaded into the store once for the whole pipeline.
+//! let words: DatasetHandle<Vec<String>> = DatasetHandle::new("words");
+//! let counts: DatasetHandle<Vec<(usize, u64)>> = DatasetHandle::new("counts");
+//! let top: DatasetHandle<usize> = DatasetHandle::new("top-length");
+//! let data: Vec<String> =
+//!     ["map", "reduce", "shuffle", "ox", "fox"].iter().map(|s| s.to_string()).collect();
+//! store.put(&words, data, 64);
+//!
+//! let mut graph = JobGraph::new("wordlen-pipeline");
+//! graph.add(
+//!     JobNode::new("count", JobKind::MapReduce, {
+//!         let (words, counts) = (words.clone(), counts.clone());
+//!         move |ctx: &NodeCtx| {
+//!             let input = ctx.fetch(&words)?;
+//!             let res = ctx.engine.run("wordlen", &input, &LenMapper, &SumReducer)?;
+//!             ctx.put(&counts, res.output, 16);
+//!             Ok(())
+//!         }
+//!     })
+//!     .input(&words)
+//!     .output(&counts),
+//! );
+//! graph.add(
+//!     JobNode::new("report", JobKind::MapOnly, {
+//!         let (counts, top) = (counts.clone(), top.clone());
+//!         move |ctx: &NodeCtx| {
+//!             let pairs = ctx.fetch(&counts)?;
+//!             let best = pairs.iter().max_by_key(|&&(len, n)| (n, len)).map(|p| p.0);
+//!             ctx.put(&top, best.unwrap_or(0), 8);
+//!             Ok(())
+//!         }
+//!     })
+//!     .input(&counts)
+//!     .output(&top),
+//! );
+//!
+//! let report = DagScheduler::new(&engine).run(&graph, &store).unwrap();
+//! assert_eq!(*store.get(&top).unwrap(), 3); // two words of length 3
+//! assert_eq!(report.metrics.total_executions, 2);
 //! ```
 
 pub mod api;
 pub mod blockstore;
 pub mod cache;
+pub mod dag;
+pub mod dataset;
 pub mod engine;
 pub mod fault;
 pub mod metrics;
@@ -60,7 +111,15 @@ pub mod weight;
 pub use api::{Combiner, Emitter, Mapper, Reducer};
 pub use blockstore::BlockStore;
 pub use cache::DistributedCache;
+pub use dag::{
+    DagConfig, DagError, DagReport, DagScheduler, JobGraph, JobKind, JobNode, NodeCtx,
+    SchedulerChoice,
+};
+pub use dataset::{
+    rows_codec, take_dataset, DatasetCodec, DatasetError, DatasetHandle, DatasetStore,
+    DatasetStoreStats,
+};
 pub use engine::{Engine, JobOutput, MrConfig, MrError};
 pub use fault::FaultPlan;
-pub use metrics::{ClusterMetrics, JobMetrics};
+pub use metrics::{ClusterMetrics, DagMetrics, DagNodeMetrics, JobMetrics};
 pub use weight::Weighable;

@@ -24,6 +24,10 @@ pub struct JobMetrics {
     pub map_output_records: u64,
     /// Bytes emitted by all map tasks (pre-combiner).
     pub map_output_bytes: u64,
+    /// Records fed into map-side combiners (0 for combinerless jobs).
+    pub combine_input_records: u64,
+    /// Records left after map-side combining (0 for combinerless jobs).
+    pub combine_output_records: u64,
     /// Records actually shuffled to reducers (post-combiner).
     pub shuffle_records: u64,
     /// Bytes actually shuffled to reducers (post-combiner).
@@ -50,12 +54,71 @@ pub struct JobMetrics {
 
 impl JobMetrics {
     pub fn new(name: &str) -> Self {
-        Self { job_name: name.to_string(), ..Self::default() }
+        Self {
+            job_name: name.to_string(),
+            ..Self::default()
+        }
     }
 
     /// Total wall-clock of the job.
     pub fn total_wall(&self) -> Duration {
         self.map_wall + self.reduce_wall
+    }
+}
+
+/// Per-node execution counters of one DAG run (see [`crate::dag`]).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DagNodeMetrics {
+    /// Node name as declared in the [`crate::dag::JobGraph`].
+    pub node: String,
+    /// The node's job kind ("map-only", "map-reduce", "map-combine-reduce").
+    pub kind: String,
+    /// Scheduled attempts (primary executions, incl. retried failures).
+    pub attempts: u64,
+    /// Total executions, including lineage-recovery re-runs.
+    pub executions: u64,
+    /// Executions triggered by lineage recovery of a lost output.
+    pub recoveries: u64,
+    /// Wall-clock spent executing this node (all attempts).
+    pub wall: Duration,
+}
+
+/// Metrics of one [`crate::dag::DagScheduler`] run, recorded into the
+/// engine ledger next to the per-job [`JobMetrics`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DagMetrics {
+    /// The graph's name.
+    pub dag_name: String,
+    /// Per-node counters, in graph declaration order.
+    pub nodes: Vec<DagNodeMetrics>,
+    /// Maximum number of nodes observed executing at the same time.
+    pub concurrency_high_water: u64,
+    /// Node executions of any kind (scheduled attempts + recoveries).
+    pub total_executions: u64,
+    /// Executions that were lineage-recovery re-runs.
+    pub recovered_executions: u64,
+    /// Node attempts that failed (injected faults or job errors).
+    pub failed_node_attempts: u64,
+    /// Dataset-store reads served from memory during this run.
+    pub cache_hits: u64,
+    /// Dataset-store reads that missed memory during this run.
+    pub cache_misses: u64,
+    /// Datasets spilled to the block store during this run.
+    pub spills: u64,
+    /// Encoded bytes written by those spills.
+    pub spill_bytes: u64,
+    /// Spilled datasets loaded back into memory during this run.
+    pub spill_loads: u64,
+    /// Datasets evicted from memory (spilled or dropped) during this run.
+    pub evictions: u64,
+    /// Wall-clock of the whole DAG run.
+    pub wall: Duration,
+}
+
+impl DagMetrics {
+    /// Looks up one node's counters by name.
+    pub fn node(&self, name: &str) -> Option<&DagNodeMetrics> {
+        self.nodes.iter().find(|n| n.node == name)
     }
 }
 
@@ -65,6 +128,8 @@ impl JobMetrics {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ClusterMetrics {
     jobs: Vec<JobMetrics>,
+    #[serde(default)]
+    dag_runs: Vec<DagMetrics>,
 }
 
 impl ClusterMetrics {
@@ -76,9 +141,18 @@ impl ClusterMetrics {
         self.jobs.push(job);
     }
 
+    pub(crate) fn record_dag(&mut self, dag: DagMetrics) {
+        self.dag_runs.push(dag);
+    }
+
     /// All executed jobs, in submission order.
     pub fn jobs(&self) -> &[JobMetrics] {
         &self.jobs
+    }
+
+    /// All recorded DAG runs, in submission order.
+    pub fn dag_runs(&self) -> &[DagMetrics] {
+        &self.dag_runs
     }
 
     /// Number of executed jobs.
@@ -109,6 +183,7 @@ impl ClusterMetrics {
     /// Clears the ledger (e.g. between benchmark repetitions).
     pub fn reset(&mut self) {
         self.jobs.clear();
+        self.dag_runs.clear();
     }
 }
 
@@ -148,7 +223,43 @@ mod tests {
     fn reset_clears() {
         let mut c = ClusterMetrics::new();
         c.record(JobMetrics::new("x"));
+        c.record_dag(DagMetrics {
+            dag_name: "d".into(),
+            ..DagMetrics::default()
+        });
+        assert_eq!(c.dag_runs().len(), 1);
         c.reset();
         assert_eq!(c.num_jobs(), 0);
+        assert!(c.dag_runs().is_empty());
+    }
+
+    #[test]
+    fn dag_metrics_node_lookup_and_json() {
+        let dag = DagMetrics {
+            dag_name: "pipeline".into(),
+            nodes: vec![DagNodeMetrics {
+                node: "histogram".into(),
+                kind: "map-reduce".into(),
+                attempts: 1,
+                executions: 1,
+                recoveries: 0,
+                wall: Duration::from_millis(5),
+            }],
+            concurrency_high_water: 2,
+            cache_hits: 3,
+            ..DagMetrics::default()
+        };
+        assert_eq!(dag.node("histogram").unwrap().attempts, 1);
+        assert!(dag.node("missing").is_none());
+        // The whole ledger (jobs + DAG runs) must round-trip as JSON for
+        // the CLI's --metrics-json dump.
+        let mut c = ClusterMetrics::new();
+        c.record(JobMetrics::new("j"));
+        c.record_dag(dag);
+        let json = serde_json::to_string(&c).expect("serializes");
+        let back: ClusterMetrics = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.num_jobs(), 1);
+        assert_eq!(back.dag_runs().len(), 1);
+        assert_eq!(back.dag_runs()[0].concurrency_high_water, 2);
     }
 }
