@@ -4,6 +4,9 @@
 # Tier 1 (must always pass, run first):
 #   cargo build --release
 #   cargo test -q
+# Then: the kernels microbenchmark at smoke scale, archiving
+# target/ci/BENCH_kernels.json (results/ keeps the committed
+# full-scale numbers; the smoke run must not overwrite them).
 # Tier 2 (lint + formatting):
 #   cargo clippy --all-targets -- -D warnings
 #   cargo fmt --check
@@ -15,6 +18,10 @@ cargo build --release
 
 echo "==> tier 1: cargo test -q"
 cargo test -q
+
+echo "==> kernels microbenchmark (smoke) -> target/ci/BENCH_kernels.json"
+./target/release/experiments --smoke --out target/ci kernels > /dev/null
+test -s target/ci/BENCH_kernels.json
 
 echo "==> tier 2: cargo clippy -- -D warnings"
 cargo clippy --all-targets -- -D warnings

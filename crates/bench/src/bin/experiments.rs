@@ -1,10 +1,11 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [--scale F] [--dims D] [--seed S] [--out DIR] [EXPERIMENT...]
+//! experiments [--scale F] [--dims D] [--seed S] [--smoke] [--out DIR]
+//!             [EXPERIMENT...]
 //!
 //! EXPERIMENT ∈ {fig1, fig4, fig5, fig6, fig7, huge, colon, bins, measures,
-//!               stragglers, dag, all}
+//!               stragglers, dag, kernels, all}
 //! ```
 //!
 //! Results are printed and written to `<out>/<id>.{json,md}`
@@ -25,6 +26,7 @@ fn main() -> ExitCode {
             "--scale" => scale.factor = parse_or_die(args.next(), "--scale"),
             "--dims" => scale.dims = parse_or_die(args.next(), "--dims"),
             "--seed" => scale.seed = parse_or_die(args.next(), "--seed"),
+            "--smoke" => scale = Scale::smoke(),
             "--out" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a value")))
             }
@@ -49,6 +51,7 @@ fn main() -> ExitCode {
             "measures",
             "stragglers",
             "dag",
+            "kernels",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -74,6 +77,7 @@ fn main() -> ExitCode {
             "measures" => experiments::measures(&scale),
             "stragglers" => experiments::stragglers(&scale),
             "dag" => experiments::dag(&scale),
+            "kernels" => experiments::kernels(&scale),
             other => die(&format!("unknown experiment {other}")),
         };
         println!("{}", report.to_markdown());
@@ -99,7 +103,7 @@ fn die(msg: &str) -> ! {
 
 fn print_help() {
     eprintln!(
-        "usage: experiments [--scale F] [--dims D] [--seed S] [--out DIR] [EXPERIMENT...]\n\
-         experiments: fig1 fig4 fig5 fig6 fig7 huge colon bins measures stragglers dag all (default: all)"
+        "usage: experiments [--scale F] [--dims D] [--seed S] [--smoke] [--out DIR] [EXPERIMENT...]\n\
+         experiments: fig1 fig4 fig5 fig6 fig7 huge colon bins measures stragglers dag kernels all (default: all)"
     );
 }

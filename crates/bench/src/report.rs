@@ -61,12 +61,62 @@ impl Report {
         out
     }
 
+    /// Renders the report as pretty-printed JSON. Hand-rolled (the
+    /// struct is strings all the way down) so file output does not
+    /// depend on a JSON library being available.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn str_list(items: &[String], indent: &str) -> String {
+            if items.is_empty() {
+                return "[]".to_string();
+            }
+            let inner = items
+                .iter()
+                .map(|s| format!("{indent}  \"{}\"", esc(s)))
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!("[\n{inner}\n{indent}]")
+        }
+        let rows = if self.rows.is_empty() {
+            "[]".to_string()
+        } else {
+            let inner = self
+                .rows
+                .iter()
+                .map(|r| format!("    {}", str_list(r, "    ")))
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!("[\n{inner}\n  ]")
+        };
+        format!(
+            "{{\n  \"id\": \"{}\",\n  \"title\": \"{}\",\n  \"columns\": {},\n  \"rows\": {},\n  \"notes\": {}\n}}",
+            esc(&self.id),
+            esc(&self.title),
+            str_list(&self.columns, "  "),
+            rows,
+            str_list(&self.notes, "  "),
+        )
+    }
+
     /// Writes `<dir>/<id>.json` and `<dir>/<id>.md`.
     pub fn write_to(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        let json = serde_json::to_string_pretty(self).expect("report serializes");
         std::fs::File::create(dir.join(format!("{}.json", self.id)))?
-            .write_all(json.as_bytes())?;
+            .write_all(self.to_json().as_bytes())?;
         std::fs::File::create(dir.join(format!("{}.md", self.id)))?
             .write_all(self.to_markdown().as_bytes())?;
         Ok(())

@@ -731,7 +731,7 @@ mod tests {
             (result, dag)
         };
         let (r1, dag) = run();
-        let (r2, _) = run();
+        let (r2, dag2) = run();
         assert_eq!(r1.clustering, r2.clustering);
         assert!(
             r1.clustering.num_clusters() >= 3,
@@ -742,13 +742,21 @@ mod tests {
         assert!(q > 0.4, "E4SC = {q}");
         assert!(r1.rectangles_after_merge <= r1.rectangles_before_merge);
         assert!(r1.rectangles_before_merge >= 3);
-        // The four per-partition clusterings overlapped, all reading the
-        // one materialized sample dataset.
-        assert!(
-            dag.concurrency_high_water >= 2,
-            "partition clustering never overlapped: {}",
-            dag.concurrency_high_water
-        );
+        // The four per-partition clusterings can overlap, all reading the
+        // one materialized sample dataset. Whether an overlap is actually
+        // observed in a single run depends on thread wake-up timing — the
+        // partition nodes only take a few hundred microseconds — so look
+        // across a bounded number of runs. (The scheduler's barrier-based
+        // unit test proves overlap deterministically; this checks it on a
+        // real workload.)
+        let mut high = dag.concurrency_high_water.max(dag2.concurrency_high_water);
+        for _ in 0..6 {
+            if high >= 2 {
+                break;
+            }
+            high = high.max(run().1.concurrency_high_water);
+        }
+        assert!(high >= 2, "partition clustering never overlapped: {high}");
         assert!(
             dag.cache_hits >= 4,
             "sample dataset not re-used: {} hits",

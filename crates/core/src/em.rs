@@ -63,25 +63,68 @@ impl DensityEvaluator {
         self.arel.iter().map(|&a| row[a]).collect()
     }
 
+    /// Projects into a caller-owned buffer (the allocation-free form of
+    /// [`DensityEvaluator::project`]).
+    pub fn project_into(&self, row: &[f64], x_sub: &mut Vec<f64>) {
+        x_sub.clear();
+        x_sub.extend(self.arel.iter().map(|&a| row[a]));
+    }
+
     /// Log of `π_k · N(x | μ_k, Σ_k)` for the projected point.
     pub fn log_weighted_density(&self, k: usize, x_sub: &[f64]) -> f64 {
+        let mut y = Vec::with_capacity(x_sub.len());
+        self.log_weighted_density_scratch(k, x_sub, &mut y)
+    }
+
+    /// Allocation-free [`DensityEvaluator::log_weighted_density`]: the
+    /// offset and forward substitution are fused over the caller-owned
+    /// scratch buffer, bit-identical to the allocating path.
+    pub fn log_weighted_density_scratch(&self, k: usize, x_sub: &[f64], y: &mut Vec<f64>) -> f64 {
         let (mean, chol, log_norm) = &self.comps[k];
-        let diff: Vec<f64> = x_sub.iter().zip(mean).map(|(a, b)| a - b).collect();
-        log_norm - 0.5 * chol.mahalanobis_sq(&diff)
+        log_norm - 0.5 * chol.mahalanobis_sq_scratch(x_sub, mean, y)
     }
 
     /// Squared Mahalanobis distance of the projected point to component k.
     pub fn mahalanobis_sq(&self, k: usize, x_sub: &[f64]) -> f64 {
+        let mut y = Vec::with_capacity(x_sub.len());
+        self.mahalanobis_sq_scratch(k, x_sub, &mut y)
+    }
+
+    /// Allocation-free [`DensityEvaluator::mahalanobis_sq`].
+    pub fn mahalanobis_sq_scratch(&self, k: usize, x_sub: &[f64], y: &mut Vec<f64>) -> f64 {
         let (mean, chol, _) = &self.comps[k];
-        let diff: Vec<f64> = x_sub.iter().zip(mean).map(|(a, b)| a - b).collect();
-        chol.mahalanobis_sq(&diff)
+        chol.mahalanobis_sq_scratch(x_sub, mean, y)
     }
 
     /// Responsibilities γ_k(x) (softmax over components) and the point's
     /// log-likelihood contribution.
     pub fn responsibilities(&self, x_sub: &[f64], out: &mut Vec<f64>) -> f64 {
+        let mut y = Vec::with_capacity(x_sub.len());
+        self.responsibilities_scratch(x_sub, out, &mut y)
+    }
+
+    /// Allocation-free [`DensityEvaluator::responsibilities`]: `y` is the
+    /// forward-substitution scratch, reused across calls.
+    pub fn responsibilities_scratch(
+        &self,
+        x_sub: &[f64],
+        out: &mut Vec<f64>,
+        y: &mut Vec<f64>,
+    ) -> f64 {
+        // One disjoint scratch region per component: the k forward
+        // substitutions are independent, and separate regions let the
+        // CPU overlap their latency chains instead of serializing on a
+        // shared buffer. Per-component operation order is unchanged, so
+        // densities are bit-identical to the shared-scratch path.
+        let d = x_sub.len().max(1);
+        y.clear();
+        y.resize(self.comps.len() * d, 0.0);
         out.clear();
-        out.extend((0..self.comps.len()).map(|k| self.log_weighted_density(k, x_sub)));
+        out.extend(self.comps.iter().zip(y.chunks_exact_mut(d)).map(
+            |((mean, chol, log_norm), ybuf)| {
+                log_norm - 0.5 * chol.mahalanobis_sq_slice(x_sub, mean, &mut ybuf[..x_sub.len()])
+            },
+        ));
         let max = out.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let mut sum = 0.0;
         for v in out.iter_mut() {
@@ -94,16 +137,81 @@ impl DensityEvaluator {
         max + sum.ln()
     }
 
+    /// Log weighted densities for a contiguous block of projected
+    /// points (`arel.len()` values per point, row-major):
+    /// `out[p * k + c] = log(pi_c N(x_p | mu_c, Sigma_c))`.
+    ///
+    /// Component-outer, point-inner iteration keeps each factor's
+    /// triangular matrix hot and gives every point in the block its own
+    /// scratch region in `y`, so the CPU can overlap the independent
+    /// forward-substitution chains instead of serializing on one
+    /// buffer. Each (point, component) density runs exactly the
+    /// per-point operation sequence, so values are bit-identical to
+    /// [`DensityEvaluator::log_weighted_density`].
+    pub fn log_densities_block(&self, block: &[f64], out: &mut Vec<f64>, y: &mut Vec<f64>) {
+        let d = self.arel.len();
+        let k = self.comps.len();
+        if d == 0 {
+            out.clear();
+            return;
+        }
+        let npts = block.len() / d;
+        assert_eq!(block.len(), npts * d, "block is not a whole number of points");
+        out.clear();
+        out.resize(npts * k, 0.0);
+        y.clear();
+        y.resize(npts * d, 0.0);
+        for (c, (mean, chol, log_norm)) in self.comps.iter().enumerate() {
+            for (p, (x, ybuf)) in
+                block.chunks_exact(d).zip(y.chunks_exact_mut(d)).enumerate()
+            {
+                out[p * k + c] = log_norm - 0.5 * chol.mahalanobis_sq_slice(x, mean, ybuf);
+            }
+        }
+    }
+
     /// Hard assignment: the component maximizing the weighted density.
     pub fn assign(&self, row: &[f64]) -> usize {
-        let x = self.project(row);
-        (0..self.comps.len())
-            .max_by(|&a, &b| {
-                self.log_weighted_density(a, &x)
-                    .total_cmp(&self.log_weighted_density(b, &x))
-            })
-            .expect("at least one component")
+        let mut x = Vec::with_capacity(self.arel.len());
+        let mut y = Vec::with_capacity(self.arel.len());
+        self.assign_scratch(row, &mut x, &mut y)
     }
+
+    /// Allocation-free [`DensityEvaluator::assign`]: `x` receives the
+    /// projected point, `y` is the forward-substitution scratch.
+    pub fn assign_scratch(&self, row: &[f64], x: &mut Vec<f64>, y: &mut Vec<f64>) -> usize {
+        self.project_into(row, x);
+        let mut best = 0;
+        let mut best_density = f64::NEG_INFINITY;
+        for k in 0..self.comps.len() {
+            let v = self.log_weighted_density_scratch(k, x, y);
+            // `>=` keeps the last maximum, matching `Iterator::max_by`.
+            if v.total_cmp(&best_density).is_ge() {
+                best = k;
+                best_density = v;
+            }
+        }
+        best
+    }
+}
+
+/// Converts one point's `k` log weighted densities (e.g. one row of
+/// [`DensityEvaluator::log_densities_block`] output) into
+/// responsibilities in place, returning the point's log-likelihood
+/// contribution. The operation sequence is exactly the second half of
+/// [`DensityEvaluator::responsibilities_scratch`], so results are
+/// bit-identical.
+pub fn softmax_in_place(logs: &mut [f64]) -> f64 {
+    let max = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in logs.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in logs.iter_mut() {
+        *v /= sum;
+    }
+    max + sum.ln()
 }
 
 /// Builds the initial mixture from cluster cores: the paper's two-round
@@ -116,17 +224,19 @@ pub fn initialize_from_cores(
     assert!(!cores.is_empty(), "EM initialization needs at least one core");
     let k = cores.len();
     let d = arel.len();
-    let project = |row: &[f64]| -> Vec<f64> { arel.iter().map(|&a| row[a]).collect() };
 
     // Round 1: accumulate over core support sets.
     let mut accs: Vec<CovarianceAccumulator> =
         (0..k).map(|_| CovarianceAccumulator::new(d)).collect();
     let mut uncovered: Vec<usize> = Vec::new();
+    let mut x = Vec::with_capacity(d);
     for (i, row) in rows.iter().enumerate() {
         let mut in_any = false;
         for (c, core) in cores.iter().enumerate() {
             if core.signature.contains(row) {
-                accs[c].push(&project(row), 1.0);
+                x.clear();
+                x.extend(arel.iter().map(|&a| row[a]));
+                accs[c].push(&x, 1.0);
                 in_any = true;
             }
         }
@@ -138,11 +248,19 @@ pub fn initialize_from_cores(
 
     // Round 2: attach uncovered points to the Mahalanobis-nearest core.
     let eval = MixtureModel { arel: arel.to_vec(), components: round1 }.evaluator();
+    let mut y = Vec::with_capacity(d);
     for &i in &uncovered {
-        let x = eval.project(rows[i]);
-        let nearest = (0..k)
-            .min_by(|&a, &b| eval.mahalanobis_sq(a, &x).total_cmp(&eval.mahalanobis_sq(b, &x)))
-            .expect("k >= 1");
+        eval.project_into(rows[i], &mut x);
+        let mut nearest = 0;
+        let mut best = f64::INFINITY;
+        for c in 0..k {
+            let dist = eval.mahalanobis_sq_scratch(c, &x, &mut y);
+            // Strict `<` keeps the first minimum, matching `Iterator::min_by`.
+            if dist.total_cmp(&best).is_lt() {
+                nearest = c;
+                best = dist;
+            }
+        }
         accs[nearest].push(&x, 1.0);
     }
     MixtureModel { arel: arel.to_vec(), components: finish_components(&accs) }
@@ -175,11 +293,22 @@ pub struct EmFit {
     pub iterations: usize,
 }
 
+/// Points per E-step block of [`em_fit`]: big enough to amortize
+/// dispatch and expose cross-point instruction parallelism, small
+/// enough that the block's solve scratch stays cache-resident.
+const EM_BLOCK_POINTS: usize = 128;
+
 /// Runs EM to convergence (or `max_iters`), serially.
 pub fn em_fit(init: MixtureModel, rows: &[&[f64]], max_iters: usize, tol: f64) -> EmFit {
     let mut model = init;
     let k = model.components.len();
     let d = model.arel.len();
+    // Project every row into A_rel once; the EM iterations then scan this
+    // contiguous sub-matrix instead of re-gathering per row per iteration.
+    let mut proj = Vec::with_capacity(rows.len() * d);
+    for row in rows {
+        proj.extend(model.arel.iter().map(|&a| row[a]));
+    }
     let mut history = Vec::new();
     let mut iterations = 0;
     for _ in 0..max_iters {
@@ -188,13 +317,17 @@ pub fn em_fit(init: MixtureModel, rows: &[&[f64]], max_iters: usize, tol: f64) -
         let mut accs: Vec<CovarianceAccumulator> =
             (0..k).map(|_| CovarianceAccumulator::new(d)).collect();
         let mut loglik = 0.0;
-        let mut resp = Vec::with_capacity(k);
-        for row in rows {
-            let x = eval.project(row);
-            loglik += eval.responsibilities(&x, &mut resp);
-            for (c, &r) in resp.iter().enumerate() {
-                if r > 1e-12 {
-                    accs[c].push(&x, r);
+        let mut dens = Vec::with_capacity(EM_BLOCK_POINTS * k);
+        let mut y = Vec::with_capacity(EM_BLOCK_POINTS * d);
+        let dd = d.max(1);
+        for chunk in proj.chunks(EM_BLOCK_POINTS * dd) {
+            eval.log_densities_block(chunk, &mut dens, &mut y);
+            for (x, resp) in chunk.chunks_exact(dd).zip(dens.chunks_exact_mut(k.max(1))) {
+                loglik += softmax_in_place(resp);
+                for (c, &r) in resp.iter().enumerate() {
+                    if r > 1e-12 {
+                        accs[c].push(x, r);
+                    }
                 }
             }
         }

@@ -65,10 +65,12 @@ impl<'a> Mapper<&'a [f64], usize, AccMsg> for CoreStatsMapper {
         let d = self.arel.len();
         let mut accs: Vec<CovarianceAccumulator> =
             (0..self.cores.len()).map(|_| CovarianceAccumulator::new(d)).collect();
+        let mut x = Vec::with_capacity(d);
         for row in split {
             for (c, core) in self.cores.iter().enumerate() {
                 if core.signature.contains(row) {
-                    let x: Vec<f64> = self.arel.iter().map(|&a| row[a]).collect();
+                    x.clear();
+                    x.extend(self.arel.iter().map(|&a| row[a]));
                     accs[c].push(&x, 1.0);
                 }
             }
@@ -98,16 +100,23 @@ impl<'a> Mapper<&'a [f64], usize, AccMsg> for AttachMapper {
         let k = self.eval.num_components();
         let mut accs: Vec<CovarianceAccumulator> =
             (0..k).map(|_| CovarianceAccumulator::new(d)).collect();
+        let mut x = Vec::with_capacity(d);
+        let mut y = Vec::with_capacity(d);
         for row in split {
             if self.cores.iter().any(|core| core.signature.contains(row)) {
                 continue;
             }
-            let x = self.eval.project(row);
-            let nearest = (0..k)
-                .min_by(|&a, &b| {
-                    self.eval.mahalanobis_sq(a, &x).total_cmp(&self.eval.mahalanobis_sq(b, &x))
-                })
-                .expect("k >= 1");
+            self.eval.project_into(row, &mut x);
+            let mut nearest = 0;
+            let mut best = f64::INFINITY;
+            for c in 0..k {
+                let dist = self.eval.mahalanobis_sq_scratch(c, &x, &mut y);
+                // Strict `<` keeps the first minimum, like `Iterator::min_by`.
+                if dist.total_cmp(&best).is_lt() {
+                    nearest = c;
+                    best = dist;
+                }
+            }
             accs[nearest].push(&x, 1.0);
         }
         for (c, acc) in accs.into_iter().enumerate() {
@@ -137,10 +146,12 @@ impl<'a> Mapper<&'a [f64], usize, (AccMsg, f64)> for EmStepMapper {
         let mut accs: Vec<CovarianceAccumulator> =
             (0..k).map(|_| CovarianceAccumulator::new(d)).collect();
         let mut resp = Vec::with_capacity(k);
+        let mut x = Vec::with_capacity(d);
+        let mut y = Vec::with_capacity(d);
         let mut loglik = 0.0;
         for row in split {
-            let x = self.eval.project(row);
-            loglik += self.eval.responsibilities(&x, &mut resp);
+            self.eval.project_into(row, &mut x);
+            loglik += self.eval.responsibilities_scratch(&x, &mut resp, &mut y);
             for (c, &r) in resp.iter().enumerate() {
                 if r > 1e-12 {
                     accs[c].push(&x, r);

@@ -11,10 +11,10 @@ use crate::mr::inspect::{ai_histogram_job, tighten_job};
 use crate::mr::outlier::{od_job_mcd, od_job_mvb, od_job_naive};
 use crate::p3cplus::{P3cResult, PipelineStats};
 use crate::relevance::relevant_intervals;
-use p3c_dataset::{AttrInterval, Clustering, Dataset, ProjectedCluster};
+use p3c_dataset::{AttrInterval, Clustering, Dataset, ProjectedCluster, RowBlock};
 use p3c_mapreduce::{
-    rows_codec, take_dataset, DagError, DagScheduler, DatasetHandle, DatasetStore, Emitter, Engine,
-    JobGraph, JobKind, JobNode, Mapper, MrError, NodeCtx, SchedulerChoice,
+    take_dataset, DagError, DagScheduler, DatasetHandle, DatasetStore, Emitter, Engine, JobGraph,
+    JobKind, JobNode, Mapper, MrError, NodeCtx, SchedulerChoice,
 };
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -194,7 +194,7 @@ impl<'e> P3cPlusMr<'e> {
                 move |ctx: &NodeCtx| {
                     let rows = ctx.fetch(&rows_ds)?;
                     let cores = ctx.fetch(&cores_ds)?;
-                    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                    let refs: Vec<&[f64]> = rows.row_refs();
                     let init = initialize_from_cores_mr(ctx.engine, &cores, &refs, &arel)?;
                     let fit = em_fit_mr(ctx.engine, init, &refs, max_iters, tol)?;
                     ctx.put(&fit_ds, fit, 1024);
@@ -214,7 +214,7 @@ impl<'e> P3cPlusMr<'e> {
                 move |ctx: &NodeCtx| {
                     let rows = ctx.fetch(&rows_ds)?;
                     let fit = ctx.fetch(&fit_ds)?;
-                    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                    let refs: Vec<&[f64]> = rows.row_refs();
                     let eval = Arc::new(fit.model.evaluator());
                     let assignment = match method {
                         OutlierMethod::Naive => {
@@ -247,7 +247,7 @@ impl<'e> P3cPlusMr<'e> {
                     let rows = ctx.fetch(&rows_ds)?;
                     let assignment = ctx.fetch(&assign_ds)?;
                     let cores = ctx.fetch(&cores_ds)?;
-                    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                    let refs: Vec<&[f64]> = rows.row_refs();
                     let k = cores.len();
                     let items: Vec<(i64, &[f64])> = assignment
                         .iter()
@@ -295,7 +295,7 @@ impl<'e> P3cPlusMr<'e> {
                     let rows = ctx.fetch(&rows_ds)?;
                     let assignment = ctx.fetch(&assign_ds)?;
                     let attrs = ctx.fetch(&attrs_ds)?;
-                    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                    let refs: Vec<&[f64]> = rows.row_refs();
                     let items: Vec<(i64, &[f64])> = assignment
                         .iter()
                         .copied()
@@ -509,7 +509,7 @@ impl<'e> P3cPlusMrLight<'e> {
                 move |ctx: &NodeCtx| {
                     let rows = ctx.fetch(&rows_ds)?;
                     let cores = ctx.fetch(&cores_ds)?;
-                    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                    let refs: Vec<&[f64]> = rows.row_refs();
                     let memberships = membership_job(ctx.engine, &cores, &refs)?;
                     let bytes = memberships.iter().map(|m| 8 + 4 * m.len()).sum();
                     ctx.put(&memberships_ds, memberships, bytes);
@@ -533,7 +533,7 @@ impl<'e> P3cPlusMrLight<'e> {
                     let rows = ctx.fetch(&rows_ds)?;
                     let memberships = ctx.fetch(&memberships_ds)?;
                     let cores = ctx.fetch(&cores_ds)?;
-                    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                    let refs: Vec<&[f64]> = rows.row_refs();
                     let k = cores.len();
                     let unique_label = unique_labels(&memberships);
                     let unique_items: Vec<(i64, &[f64])> = unique_label
@@ -577,7 +577,7 @@ impl<'e> P3cPlusMrLight<'e> {
                     let rows = ctx.fetch(&rows_ds)?;
                     let memberships = ctx.fetch(&memberships_ds)?;
                     let cores = ctx.fetch(&cores_ds)?;
-                    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                    let refs: Vec<&[f64]> = rows.row_refs();
                     let core_attrs: Vec<Vec<usize>> = cores
                         .iter()
                         .map(|c| c.signature.attributes().into_iter().collect())
@@ -616,7 +616,7 @@ impl<'e> P3cPlusMrLight<'e> {
                     let rows = ctx.fetch(&rows_ds)?;
                     let memberships = ctx.fetch(&memberships_ds)?;
                     let ai_attrs = ctx.fetch(&ai_attrs_ds)?;
-                    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                    let refs: Vec<&[f64]> = rows.row_refs();
                     let k = ai_attrs.len();
                     let any_ai = ai_attrs.iter().any(|a| !a.is_empty());
                     let intervals = if any_ai {
@@ -753,14 +753,48 @@ fn membership_job(
     Ok(result.output)
 }
 
+/// Codec for spilling a [`RowBlock`] to the block store: `u64` LE row and
+/// attribute counts, then the flat row-major values as `f64` LE.
+pub fn row_block_codec() -> p3c_mapreduce::DatasetCodec<RowBlock> {
+    fn encode(block: &RowBlock) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 8 * block.as_slice().len());
+        out.extend_from_slice(&(block.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(block.dim() as u64).to_le_bytes());
+        for v in block.as_slice() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+    fn decode(bytes: &[u8]) -> RowBlock {
+        let mut take8 = {
+            let mut at = 0usize;
+            move |buf: &[u8]| -> [u8; 8] {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&buf[at..at + 8]);
+                at += 8;
+                b
+            }
+        };
+        let n = u64::from_le_bytes(take8(bytes)) as usize;
+        let d = u64::from_le_bytes(take8(bytes)) as usize;
+        let mut data = Vec::with_capacity(n * d);
+        for _ in 0..n * d {
+            data.push(f64::from_le_bytes(take8(bytes)));
+        }
+        RowBlock::new(n, d, data)
+    }
+    p3c_mapreduce::DatasetCodec { encode, decode }
+}
+
 /// Loads the row set into the dataset store once for a whole DAG
-/// pipeline (the serial drivers re-ship it into every job); spillable so
-/// a memory-budgeted store can stage it to the block store and reload.
-fn seed_rows(store: &DatasetStore, data: &Dataset) -> DatasetHandle<Vec<Vec<f64>>> {
-    let handle: DatasetHandle<Vec<Vec<f64>>> = DatasetHandle::new("rows");
-    let owned: Vec<Vec<f64>> = data.row_refs().iter().map(|r| r.to_vec()).collect();
-    let bytes = owned.iter().map(|r| 8 * r.len() + 8).sum();
-    store.put_spillable(&handle, owned, bytes, rows_codec());
+/// pipeline (the serial drivers re-ship it into every job) as one
+/// contiguous [`RowBlock`]; spillable so a memory-budgeted store can
+/// stage it to the block store and reload.
+fn seed_rows(store: &DatasetStore, data: &Dataset) -> DatasetHandle<RowBlock> {
+    let handle: DatasetHandle<RowBlock> = DatasetHandle::new("rows");
+    let block = RowBlock::from(data.clone());
+    let bytes = 16 + 8 * block.as_slice().len();
+    store.put_spillable(&handle, block, bytes, row_block_codec());
     handle
 }
 
@@ -774,7 +808,7 @@ fn seed_rows(store: &DatasetStore, data: &Dataset) -> DatasetHandle<Vec<Vec<f64>
 fn core_phase_dag(
     engine: &Engine,
     store: &DatasetStore,
-    rows_ds: &DatasetHandle<Vec<Vec<f64>>>,
+    rows_ds: &DatasetHandle<RowBlock>,
     n: usize,
     d: usize,
     params: &P3cParams,
@@ -791,7 +825,7 @@ fn core_phase_dag(
                     let (rows_ds, bins_ds) = (rows_ds.clone(), bins_ds.clone());
                     move |ctx: &NodeCtx| {
                         let rows = ctx.fetch(&rows_ds)?;
-                        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                        let refs: Vec<&[f64]> = rows.row_refs();
                         let quartiles = iqr_job(ctx.engine, &refs)?;
                         let bins: Vec<usize> = quartiles
                             .into_iter()
@@ -830,7 +864,7 @@ fn core_phase_dag(
                 move |ctx: &NodeCtx| {
                     let rows = ctx.fetch(&rows_ds)?;
                     let bins = ctx.fetch(&bins_ds)?;
-                    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                    let refs: Vec<&[f64]> = rows.row_refs();
                     let parts =
                         histogram_shard_job(ctx.engine, &refs, &bins, lo..hi, ctx.node_name())?;
                     let bytes = parts.iter().map(|(_, c)| 16 + 8 * c.len()).sum();
@@ -863,7 +897,7 @@ fn core_phase_dag(
                     parts.extend(ctx.fetch(h)?.iter().cloned());
                 }
                 let hists = assemble_histograms(&bins, parts);
-                let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                let refs: Vec<&[f64]> = rows.row_refs();
                 let mut stats = PipelineStats {
                     bins: hists.bins,
                     ..PipelineStats::default()

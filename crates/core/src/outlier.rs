@@ -21,7 +21,9 @@ pub type Assignment = Vec<i64>;
 
 /// Hard-assigns every row to its maximum-density component.
 pub fn assign_clusters(eval: &DensityEvaluator, rows: &[&[f64]]) -> Vec<usize> {
-    rows.iter().map(|row| eval.assign(row)).collect()
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    rows.iter().map(|row| eval.assign_scratch(row, &mut x, &mut y)).collect()
 }
 
 /// Naive outlier detection: Mahalanobis against the EM parameters.
@@ -33,11 +35,13 @@ pub fn detect_outliers_naive(
     arel_len: usize,
 ) -> Assignment {
     let crit = ChiSquared::new(arel_len.max(1) as f64).critical_value(alpha);
+    let mut x = Vec::new();
+    let mut y = Vec::new();
     rows.iter()
         .zip(assignment)
         .map(|(row, &k)| {
-            let x = eval.project(row);
-            if eval.mahalanobis_sq(k, &x) > crit {
+            eval.project_into(row, &mut x);
+            if eval.mahalanobis_sq_scratch(k, &x, &mut y) > crit {
                 -1
             } else {
                 k as i64
@@ -135,13 +139,11 @@ pub fn mcd_estimate(
         cov.add_ridge(1e-9);
         let chol = Cholesky::new_regularized(&cov)?;
         // Order all cluster points by Mahalanobis distance; keep h.
+        let mut scratch = Vec::with_capacity(d);
         let mut dists: Vec<(f64, usize)> = points
             .iter()
             .enumerate()
-            .map(|(i, p)| {
-                let diff: Vec<f64> = p.iter().zip(&mean).map(|(a, b)| a - b).collect();
-                (chol.mahalanobis_sq(&diff), i)
-            })
+            .map(|(i, p)| (chol.mahalanobis_sq_scratch(p, &mean, &mut scratch), i))
             .collect();
         dists.sort_by(|a, b| a.0.total_cmp(&b.0));
         let next: Vec<usize> = dists.iter().take(h).map(|&(_, i)| i).collect();
@@ -188,14 +190,15 @@ pub fn detect_outliers_mcd(
     }
     let estimates: Vec<Option<(Vec<f64>, Cholesky)>> =
         members.iter().map(|pts| mcd_estimate(pts, 0.5, 4)).collect();
+    let mut x = Vec::new();
+    let mut y = Vec::new();
     rows.iter()
         .zip(assignment)
         .map(|(row, &c)| {
-            let x = eval.project(row);
+            eval.project_into(row, &mut x);
             match &estimates[c] {
                 Some((mean, chol)) => {
-                    let diff: Vec<f64> = x.iter().zip(mean).map(|(a, b)| a - b).collect();
-                    if chol.mahalanobis_sq(&diff) > crit {
+                    if chol.mahalanobis_sq_scratch(&x, mean, &mut y) > crit {
                         -1
                     } else {
                         c as i64
@@ -218,14 +221,15 @@ pub fn detect_outliers_mvb(
     let k = eval.num_components();
     let crit = ChiSquared::new(arel_len.max(1) as f64).critical_value(alpha);
     let estimates = robust_cluster_estimates(eval, rows, assignment, k);
+    let mut x = Vec::new();
+    let mut y = Vec::new();
     rows.iter()
         .zip(assignment)
         .map(|(row, &c)| {
-            let x = eval.project(row);
+            eval.project_into(row, &mut x);
             match &estimates[c] {
                 Some((mean, chol)) => {
-                    let diff: Vec<f64> = x.iter().zip(mean).map(|(a, b)| a - b).collect();
-                    if chol.mahalanobis_sq(&diff) > crit {
+                    if chol.mahalanobis_sq_scratch(&x, mean, &mut y) > crit {
                         -1
                     } else {
                         c as i64

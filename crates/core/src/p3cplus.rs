@@ -10,7 +10,7 @@ use crate::cores::{
     attach_expected_supports, generate_cluster_cores, ClusterCore, CoreGenStats,
 };
 use crate::em::{em_fit, initialize_from_cores};
-use crate::histogram::build_histograms_per_attr;
+use crate::histogram::build_histograms_columnar;
 use crate::inspect::{inspect_attributes, tighten_intervals};
 use crate::outlier::{
     assign_clusters, detect_outliers_mcd, detect_outliers_mvb, detect_outliers_naive,
@@ -71,7 +71,7 @@ impl P3cPlus {
     /// Clusters a normalized dataset.
     pub fn cluster(&self, data: &Dataset) -> P3cResult {
         let rows = data.row_refs();
-        let (cores, mut stats) = shared_core_phase(&rows, data.len(), &self.params);
+        let (cores, mut stats) = shared_core_phase(data, &rows, &self.params);
         if cores.is_empty() {
             return empty_result(data.len(), stats);
         }
@@ -128,7 +128,7 @@ impl P3cPlusLight {
 
     pub fn cluster(&self, data: &Dataset) -> P3cResult {
         let rows = data.row_refs();
-        let (cores, mut stats) = shared_core_phase(&rows, data.len(), &self.params);
+        let (cores, mut stats) = shared_core_phase(data, &rows, &self.params);
         if cores.is_empty() {
             return empty_result(data.len(), stats);
         }
@@ -188,15 +188,18 @@ impl P3cPlusLight {
 }
 
 /// Histogram → relevant intervals → cluster cores → redundancy filter:
-/// the part shared by every variant.
+/// the part shared by every variant. Binning and IQR estimation run as
+/// column scans over the dataset's flat row-major buffer; core
+/// generation still works on row views.
 fn shared_core_phase(
+    data: &Dataset,
     rows: &[&[f64]],
-    n: usize,
     params: &P3cParams,
 ) -> (Vec<ClusterCore>, PipelineStats) {
+    let n = data.len();
     let mut stats = PipelineStats::default();
-    let bins_per_attr = bins_per_attribute(rows, n, params);
-    let hists = build_histograms_per_attr(rows, &bins_per_attr);
+    let bins_per_attr = bins_per_attribute_columnar(data, params);
+    let hists = build_histograms_columnar(n, data.dim(), data.as_slice(), &bins_per_attr);
     stats.bins = hists.bins;
     let intervals = relevant_intervals(&hists.histograms, params.alpha_chi2);
     stats.relevant_intervals = intervals.len();
@@ -259,6 +262,30 @@ pub fn bins_per_attribute(rows: &[&[f64]], n: usize, params: &P3cParams) -> Vec<
                 .map(|j| {
                     column.clear();
                     column.extend(rows.iter().map(|r| r[j]));
+                    let iqr = p3c_stats::descriptive::iqr(&column).unwrap_or(0.5);
+                    iqr_bins(n, iqr)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Columnar twin of [`bins_per_attribute`]: the exact-IQR rule extracts
+/// each attribute by a strided column scan over the flat buffer instead
+/// of gathering across row views. Same values in the same order, so the
+/// bin counts are identical.
+pub fn bins_per_attribute_columnar(data: &Dataset, params: &P3cParams) -> Vec<usize> {
+    let (n, d) = (data.len(), data.dim());
+    match params.bin_rule {
+        BinRuleChoice::Sturges | BinRuleChoice::FreedmanDiaconis => {
+            vec![params.bin_rule.to_rule().num_bins(n).max(1); d]
+        }
+        BinRuleChoice::FreedmanDiaconisIqr => {
+            let mut column = Vec::with_capacity(n);
+            (0..d)
+                .map(|j| {
+                    column.clear();
+                    column.extend(data.column(j));
                     let iqr = p3c_stats::descriptive::iqr(&column).unwrap_or(0.5);
                     iqr_bins(n, iqr)
                 })

@@ -80,23 +80,34 @@ pub fn colon_like(spec: &ColonSpec) -> LabeledData {
     let c0 = 0.5 - spec.separation / 2.0;
     let c1 = 0.5 + spec.separation / 2.0;
 
-    let mut rows: Vec<(usize, Vec<f64>)> = Vec::with_capacity(n);
+    // Draw straight into one flat row-major buffer and shuffle a
+    // (class, source-row) permutation instead of owned row vectors; the
+    // RNG consumption is unchanged, so seeded output stays stable.
+    let d = spec.genes;
+    let mut drawn: Vec<f64> = Vec::with_capacity(n * d);
+    let mut order: Vec<(usize, usize)> = Vec::with_capacity(n);
     for class in [0usize, 1] {
         let count = if class == 0 { spec.class0 } else { spec.class1 };
         let center = if class == 0 { c0 } else { c1 };
         let gauss = Normal::new(center, spec.sigma).expect("valid normal");
         for _ in 0..count {
-            let mut p: Vec<f64> = (0..spec.genes).map(|_| rng.gen::<f64>()).collect();
+            let start = drawn.len();
+            order.push((class, order.len()));
+            drawn.extend((0..d).map(|_| rng.gen::<f64>()));
+            let row = &mut drawn[start..];
             for &g in &markers {
                 let v: f64 = gauss.sample(&mut rng);
-                p[g] = v.clamp(0.0, 1.0);
+                row[g] = v.clamp(0.0, 1.0);
             }
-            rows.push((class, p));
         }
     }
-    rows.shuffle(&mut rng);
-    let labels: Vec<usize> = rows.iter().map(|(c, _)| *c).collect();
-    let dataset = Dataset::from_rows(rows.into_iter().map(|(_, p)| p).collect());
+    order.shuffle(&mut rng);
+    let labels: Vec<usize> = order.iter().map(|(c, _)| *c).collect();
+    let mut data = Vec::with_capacity(n * d);
+    for &(_, src) in &order {
+        data.extend_from_slice(&drawn[src * d..(src + 1) * d]);
+    }
+    let dataset = Dataset::new(n, d, data);
     LabeledData { dataset, labels, discriminative_genes: markers }
 }
 

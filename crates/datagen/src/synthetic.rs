@@ -126,22 +126,33 @@ pub fn generate(spec: &SyntheticSpec) -> GeneratedData {
 
     let plans = plan_clusters(spec, cluster_total, &mut rng);
 
-    // Draw the points cluster-block by cluster-block, then shuffle rows so
-    // input splits do not align with clusters.
-    let mut rows: Vec<(i64, Vec<f64>)> = Vec::with_capacity(spec.n);
+    // Draw the points cluster-block by cluster-block straight into one
+    // flat row-major buffer (the columnar data plane's native layout),
+    // then shuffle a (label, source-row) permutation so input splits do
+    // not align with clusters. Shuffling indices instead of owned rows
+    // consumes the identical Fisher–Yates randomness, so the generated
+    // data is byte-for-byte what the row-vector path produced.
+    let d = spec.d;
+    let mut drawn: Vec<f64> = Vec::with_capacity(spec.n * d);
+    let mut order: Vec<(i64, usize)> = Vec::with_capacity(spec.n);
     for (ci, plan) in plans.iter().enumerate() {
         for _ in 0..plan.size {
-            rows.push((ci as i64, draw_member(plan, spec.d, &mut rng)));
+            order.push((ci as i64, order.len()));
+            draw_member_into(plan, d, &mut rng, &mut drawn);
         }
     }
     for _ in 0..noise_count {
-        let p: Vec<f64> = (0..spec.d).map(|_| rng.gen::<f64>()).collect();
-        rows.push((-1, p));
+        order.push((-1, order.len()));
+        drawn.extend((0..d).map(|_| rng.gen::<f64>()));
     }
-    rows.shuffle(&mut rng);
+    order.shuffle(&mut rng);
 
-    let labels: Vec<i64> = rows.iter().map(|(l, _)| *l).collect();
-    let dataset = Dataset::from_rows(rows.into_iter().map(|(_, p)| p).collect());
+    let labels: Vec<i64> = order.iter().map(|(l, _)| *l).collect();
+    let mut data = Vec::with_capacity(spec.n * d);
+    for &(_, src) in &order {
+        data.extend_from_slice(&drawn[src * d..(src + 1) * d]);
+    }
+    let dataset = Dataset::new(spec.n, d, data);
 
     // Ground truth: the *true signature* of each hidden cluster — the
     // tightest interval actually containing the drawn members.
@@ -208,18 +219,22 @@ fn plan_clusters(spec: &SyntheticSpec, cluster_total: usize, rng: &mut StdRng) -
     plans
 }
 
-/// Draws one member of a cluster: Gaussian inside relevant intervals
-/// (σ = width/6, clamped to the interval), uniform elsewhere.
-fn draw_member(plan: &ClusterPlan, d: usize, rng: &mut StdRng) -> Vec<f64> {
-    let mut p: Vec<f64> = (0..d).map(|_| rng.gen::<f64>()).collect();
+/// Draws one member of a cluster into the tail of a flat row-major
+/// buffer: Gaussian inside relevant intervals (σ = width/6, clamped to
+/// the interval), uniform elsewhere. The RNG call order — `d` uniforms
+/// first, then one Gaussian per relevant attribute — matches the old
+/// row-vector generator exactly, keeping seeded output stable.
+fn draw_member_into(plan: &ClusterPlan, d: usize, rng: &mut StdRng, out: &mut Vec<f64>) {
+    let start = out.len();
+    out.extend((0..d).map(|_| rng.gen::<f64>()));
+    let row = &mut out[start..];
     for (&a, &(lo, hi)) in plan.attrs.iter().zip(&plan.intervals) {
         let center = 0.5 * (lo + hi);
         let sigma = (hi - lo) / 6.0;
         let g = Normal::new(center, sigma).expect("valid normal");
         let v: f64 = g.sample(rng);
-        p[a] = v.clamp(lo, hi);
+        row[a] = v.clamp(lo, hi);
     }
-    p
 }
 
 #[cfg(test)]

@@ -88,6 +88,18 @@ impl Dataset {
         &self.data
     }
 
+    /// Strided iterator over attribute `j`'s values, in row order — the
+    /// column-scan access path of the histogram kernels.
+    pub fn column(&self, j: usize) -> impl Iterator<Item = f64> + '_ {
+        assert!(j < self.d, "attribute {j} out of range (d = {})", self.d);
+        self.data[j..].iter().step_by(self.d).copied()
+    }
+
+    /// Consumes the dataset, returning `(n, d, row-major buffer)`.
+    pub fn into_raw(self) -> (usize, usize, Vec<f64>) {
+        (self.n, self.d, self.data)
+    }
+
     /// Per-attribute minima and maxima; `None` on an empty dataset.
     pub fn attribute_ranges(&self) -> Option<(Vec<f64>, Vec<f64>)> {
         if self.n == 0 || self.d == 0 {

@@ -13,6 +13,8 @@
 pub mod data;
 pub mod model;
 pub mod persist;
+pub mod rowblock;
 
 pub use data::{Dataset, NormalizationMap};
 pub use model::{AttrInterval, Clustering, ProjectedCluster};
+pub use rowblock::{Columns, RowBlock};

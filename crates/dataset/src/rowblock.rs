@@ -1,0 +1,207 @@
+//! The columnar data plane's carrier type.
+//!
+//! A [`RowBlock`] is an `n × d` block of `f64` attributes in one
+//! contiguous row-major allocation — the unit the whole stack moves
+//! around: produced by `p3c-datagen`, seeded once into the MapReduce
+//! `DatasetStore`, scanned by the histogram and EM kernels. Row views
+//! are free (`&data[i*d..(i+1)*d]`), per-attribute scans are strided
+//! iterators, and [`RowBlock::columns`] materializes a column-major
+//! transpose when a kernel wants truly contiguous per-attribute slices.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Dataset;
+
+/// A contiguous row-major `n × d` block of attribute values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowBlock {
+    n: usize,
+    d: usize,
+    data: Vec<f64>,
+}
+
+impl RowBlock {
+    /// Wraps a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n * d`.
+    pub fn new(n: usize, d: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * d, "row-major buffer has wrong length");
+        Self { n, d, data }
+    }
+
+    /// Builds a block from row vectors (all of equal length).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n = rows.len();
+        let d = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n * d);
+        for row in rows {
+            assert_eq!(row.len(), d, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { n, d, data }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of attributes.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Row `i` as a slice view into the block.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.d..(i + 1) * self.d]
+    }
+
+    /// Iterator over all row views.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.d.max(1)).take(self.n)
+    }
+
+    /// Row views collected into a vector — the bridge to the MapReduce
+    /// engine's `&[&[f64]]` split inputs.
+    pub fn row_refs(&self) -> Vec<&[f64]> {
+        self.rows().collect()
+    }
+
+    /// The whole block as a flat row-major slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Strided iterator over attribute `j`'s values, in row order.
+    pub fn column(&self, j: usize) -> impl Iterator<Item = f64> + '_ {
+        assert!(j < self.d, "attribute {j} out of range (d = {})", self.d);
+        self.data[j..].iter().step_by(self.d).copied()
+    }
+
+    /// Materializes the column-major transpose, giving each attribute a
+    /// contiguous slice (see [`Columns::col`]).
+    pub fn columns(&self) -> Columns {
+        let (n, d) = (self.n, self.d);
+        let mut data = vec![0.0; n * d];
+        for (i, row) in self.rows().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                data[j * n + i] = v;
+            }
+        }
+        Columns { n, d, data }
+    }
+
+    /// Consumes the block, returning the flat row-major buffer.
+    pub fn into_raw(self) -> (usize, usize, Vec<f64>) {
+        (self.n, self.d, self.data)
+    }
+}
+
+impl From<Dataset> for RowBlock {
+    fn from(ds: Dataset) -> Self {
+        let (n, d, data) = ds.into_raw();
+        Self { n, d, data }
+    }
+}
+
+impl From<RowBlock> for Dataset {
+    fn from(block: RowBlock) -> Self {
+        Dataset::new(block.n, block.d, block.data)
+    }
+}
+
+/// A column-major `d × n` transpose of a [`RowBlock`]: attribute `j` is
+/// the contiguous slice `data[j*n..(j+1)*n]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Columns {
+    n: usize,
+    d: usize,
+    data: Vec<f64>,
+}
+
+impl Columns {
+    /// Number of rows in the originating block.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of attributes.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Attribute `j`'s values as one contiguous slice, in row order.
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.n..(j + 1) * self.n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_3x2() -> RowBlock {
+        RowBlock::new(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn row_views() {
+        let b = block_3x2();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.dim(), 2);
+        assert_eq!(b.row(1), &[3.0, 4.0]);
+        assert_eq!(b.rows().count(), 3);
+        assert_eq!(b.row_refs()[2], &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn column_iteration_matches_rows() {
+        let b = block_3x2();
+        let col0: Vec<f64> = b.column(0).collect();
+        let col1: Vec<f64> = b.column(1).collect();
+        assert_eq!(col0, vec![1.0, 3.0, 5.0]);
+        assert_eq!(col1, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_gives_contiguous_columns() {
+        let b = block_3x2();
+        let cols = b.columns();
+        assert_eq!(cols.col(0), &[1.0, 3.0, 5.0]);
+        assert_eq!(cols.col(1), &[2.0, 4.0, 6.0]);
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols.dim(), 2);
+    }
+
+    #[test]
+    fn dataset_round_trip() {
+        let ds = Dataset::from_rows(vec![vec![0.1, 0.2], vec![0.3, 0.4]]);
+        let block = RowBlock::from(ds.clone());
+        assert_eq!(block.as_slice(), ds.as_slice());
+        let back: Dataset = block.into();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn empty_block() {
+        let b = RowBlock::new(0, 0, vec![]);
+        assert!(b.is_empty());
+        assert_eq!(b.rows().count(), 0);
+        assert!(b.columns().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn length_mismatch_panics() {
+        RowBlock::new(2, 2, vec![0.0; 3]);
+    }
+}

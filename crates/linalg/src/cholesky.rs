@@ -108,6 +108,74 @@ impl Cholesky {
         y.iter().map(|v| v * v).sum()
     }
 
+    /// Forward-substitutes `L y = b` into a caller-owned buffer — the
+    /// allocation-free form of [`Cholesky::solve_lower`].
+    #[allow(clippy::needless_range_loop)] // indexed form mirrors the math
+    pub fn solve_lower_into(&self, b: &[f64], y: &mut Vec<f64>) {
+        assert_eq!(b.len(), self.n);
+        y.clear();
+        y.resize(self.n, 0.0);
+        for i in 0..self.n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[i * self.n + k] * y[k];
+            }
+            y[i] = sum / self.l[i * self.n + i];
+        }
+    }
+
+    /// Squared Mahalanobis distance of `x` from `mean`, fusing the offset
+    /// into the forward substitution: no `diff` vector, no allocation
+    /// beyond the caller's scratch. The floating-point operation order is
+    /// exactly that of `mahalanobis_sq(&(x - mean))`, so results are
+    /// bit-identical to the allocating path.
+    #[inline]
+    pub fn mahalanobis_sq_scratch(&self, x: &[f64], mean: &[f64], scratch: &mut Vec<f64>) -> f64 {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(mean.len(), self.n);
+        scratch.clear();
+        let mut dist = 0.0;
+        for i in 0..self.n {
+            let mut sum = x[i] - mean[i];
+            // Zip over the triangular row and the solved prefix — the
+            // same left-to-right subtraction sequence as the indexed
+            // loop, but with the bounds checks hoisted out.
+            let row = &self.l[i * self.n..i * self.n + i];
+            for (lik, yk) in row.iter().zip(scratch.iter()) {
+                sum -= lik * yk;
+            }
+            let yi = sum / self.l[i * self.n + i];
+            scratch.push(yi);
+            dist += yi * yi;
+        }
+        dist
+    }
+
+    /// [`Cholesky::mahalanobis_sq_scratch`] over a caller-owned slice of
+    /// exactly `n` elements. Taking a plain slice (instead of a `Vec`)
+    /// lets callers evaluating several factors against the same point
+    /// hand each factor a *disjoint* scratch region, so the CPU can
+    /// overlap the otherwise latency-bound forward substitutions.
+    /// Identical floating-point sequence; bit-identical results.
+    #[inline]
+    pub fn mahalanobis_sq_slice(&self, x: &[f64], mean: &[f64], y: &mut [f64]) -> f64 {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(mean.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        let mut dist = 0.0;
+        for i in 0..self.n {
+            let mut sum = x[i] - mean[i];
+            let row = &self.l[i * self.n..i * self.n + i];
+            for (lik, yk) in row.iter().zip(y[..i].iter()) {
+                sum -= lik * yk;
+            }
+            let yi = sum / self.l[i * self.n + i];
+            y[i] = yi;
+            dist += yi * yi;
+        }
+        dist
+    }
+
     /// `ln det A = 2 Σ ln L_ii` — needed by the Gaussian log-density in EM.
     pub fn log_det(&self) -> f64 {
         (0..self.n).map(|i| self.l[i * self.n + i].ln()).sum::<f64>() * 2.0
@@ -208,5 +276,28 @@ mod tests {
     fn mahalanobis_of_zero_vector_is_zero() {
         let c = Cholesky::new(&spd3()).unwrap();
         assert_eq!(c.mahalanobis_sq(&[0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn solve_lower_into_matches_allocating_solve() {
+        let c = Cholesky::new(&spd3()).unwrap();
+        let b = [0.3, -1.7, 2.9];
+        let mut y = Vec::new();
+        c.solve_lower_into(&b, &mut y);
+        assert_eq!(y, c.solve_lower(&b));
+        // The buffer is reusable across calls of different sizes.
+        c.solve_lower_into(&b, &mut y);
+        assert_eq!(y, c.solve_lower(&b));
+    }
+
+    #[test]
+    fn fused_mahalanobis_is_bit_identical() {
+        let c = Cholesky::new(&spd3()).unwrap();
+        let x = [0.9, -0.4, 1.3];
+        let mean = [0.1, 0.2, -0.5];
+        let diff: Vec<f64> = x.iter().zip(&mean).map(|(a, b)| a - b).collect();
+        let mut scratch = Vec::new();
+        let fused = c.mahalanobis_sq_scratch(&x, &mean, &mut scratch);
+        assert_eq!(fused.to_bits(), c.mahalanobis_sq(&diff).to_bits());
     }
 }

@@ -318,7 +318,8 @@ impl DatasetStore {
     }
 
     fn get_any(&self, name: &str) -> Result<AnyArc, DatasetError> {
-        let mut inner = self.inner.lock();
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
         inner.clock += 1;
         let seq = inner.clock;
         let missing = || DatasetError::Missing {
@@ -352,7 +353,7 @@ impl DatasetStore {
         let entry_bytes = entry.bytes;
         inner.stats.spill_loads += 1;
         inner.mem_bytes += entry_bytes;
-        self.enforce_budget(&mut inner, name);
+        self.enforce_budget(inner, name);
         Ok(decoded)
     }
 
@@ -400,7 +401,8 @@ impl DatasetStore {
     /// losing a cached partition; the DAG scheduler's lineage recovery
     /// re-executes the producer to rebuild it.
     pub fn drop_cached(&self, name: &str) -> bool {
-        let mut inner = self.inner.lock();
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
         match inner.entries.get_mut(name) {
             Some(e) => {
                 if e.value.take().is_some() {

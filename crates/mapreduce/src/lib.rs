@@ -119,7 +119,7 @@ pub use dataset::{
     rows_codec, take_dataset, DatasetCodec, DatasetError, DatasetHandle, DatasetStore,
     DatasetStoreStats,
 };
-pub use engine::{Engine, JobOutput, MrConfig, MrError};
+pub use engine::{stable_partition, Engine, JobOutput, MrConfig, MrError};
 pub use fault::FaultPlan;
 pub use metrics::{ClusterMetrics, DagMetrics, DagNodeMetrics, JobMetrics};
 pub use weight::Weighable;
