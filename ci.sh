@@ -4,9 +4,11 @@
 # Tier 1 (must always pass, run first):
 #   cargo build --release
 #   cargo test -q
-# Then: the kernels microbenchmark at smoke scale, archiving
-# target/ci/BENCH_kernels.json (results/ keeps the committed
-# full-scale numbers; the smoke run must not overwrite them).
+# Then: the kernels and codec microbenchmarks at smoke scale, archiving
+# target/ci/BENCH_{kernels,codec}.json (results/ keeps the committed
+# full-scale numbers; the smoke runs must not overwrite them), and a
+# rustdoc pass with warnings denied (missing docs on the data-plane
+# crates and broken intra-doc links fail the build).
 # Tier 2 (lint + formatting):
 #   cargo clippy --all-targets -- -D warnings
 #   cargo fmt --check
@@ -22,6 +24,13 @@ cargo test -q
 echo "==> kernels microbenchmark (smoke) -> target/ci/BENCH_kernels.json"
 ./target/release/experiments --smoke --out target/ci kernels > /dev/null
 test -s target/ci/BENCH_kernels.json
+
+echo "==> codec microbenchmark (smoke) -> target/ci/BENCH_codec.json"
+./target/release/experiments --smoke --out target/ci codec > /dev/null
+test -s target/ci/BENCH_codec.json
+
+echo "==> rustdoc (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "==> tier 2: cargo clippy -- -D warnings"
 cargo clippy --all-targets -- -D warnings

@@ -5,7 +5,7 @@
 //!             [EXPERIMENT...]
 //!
 //! EXPERIMENT ∈ {fig1, fig4, fig5, fig6, fig7, huge, colon, bins, measures,
-//!               stragglers, dag, kernels, all}
+//!               stragglers, dag, kernels, codec, all}
 //! ```
 //!
 //! Results are printed and written to `<out>/<id>.{json,md}`
@@ -52,6 +52,7 @@ fn main() -> ExitCode {
             "stragglers",
             "dag",
             "kernels",
+            "codec",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -78,6 +79,7 @@ fn main() -> ExitCode {
             "stragglers" => experiments::stragglers(&scale),
             "dag" => experiments::dag(&scale),
             "kernels" => experiments::kernels(&scale),
+            "codec" => experiments::codec(&scale),
             other => die(&format!("unknown experiment {other}")),
         };
         println!("{}", report.to_markdown());
@@ -104,6 +106,6 @@ fn die(msg: &str) -> ! {
 fn print_help() {
     eprintln!(
         "usage: experiments [--scale F] [--dims D] [--seed S] [--smoke] [--out DIR] [EXPERIMENT...]\n\
-         experiments: fig1 fig4 fig5 fig6 fig7 huge colon bins measures stragglers dag kernels all (default: all)"
+         experiments: fig1 fig4 fig5 fig6 fig7 huge colon bins measures stragglers dag kernels codec all (default: all)"
     );
 }

@@ -53,6 +53,45 @@ impl<'a> Mapper<&'a [f64], usize, Vec<f64>> for HistMapper {
     }
 }
 
+/// Mapper over *projected* rows: each split row holds only the shard's
+/// attribute slice (decoded from the columnar spill segments), and keys
+/// are rebased to global attribute indices, so the reduce output is
+/// identical to [`HistMapper`] scanning full-width rows.
+struct ProjectedHistMapper {
+    /// Per-attribute bin counts, indexed by *global* attribute.
+    bins: Arc<Vec<usize>>,
+    /// Global attribute index of the slice's first column.
+    attr_lo: usize,
+}
+
+impl<'a> Mapper<&'a [f64], usize, Vec<f64>> for ProjectedHistMapper {
+    fn map(&self, row: &&'a [f64], out: &mut Emitter<usize, Vec<f64>>) {
+        for (local, &v) in row.iter().enumerate() {
+            let attr = self.attr_lo + local;
+            let bins = self.bins[attr];
+            let mut counts = vec![0.0; bins];
+            counts[p3c_stats::histogram::bin_index(v, bins)] = 1.0;
+            out.emit(attr, counts);
+        }
+    }
+
+    fn map_split(&self, split: &[&'a [f64]], out: &mut Emitter<usize, Vec<f64>>) {
+        let w = split.first().map_or(0, |r| r.len());
+        let mut partials: Vec<Vec<f64>> = (0..w)
+            .map(|local| vec![0.0f64; self.bins[self.attr_lo + local]])
+            .collect();
+        for row in split {
+            for (local, &v) in row.iter().enumerate() {
+                partials[local]
+                    [p3c_stats::histogram::bin_index(v, self.bins[self.attr_lo + local])] += 1.0;
+            }
+        }
+        for (local, counts) in partials.into_iter().enumerate() {
+            out.emit(self.attr_lo + local, counts);
+        }
+    }
+}
+
 /// Reducer: element-wise sum of the partial histograms of one attribute.
 struct HistReducer;
 
@@ -136,6 +175,30 @@ pub fn assemble_histograms(
     }
     let bins = bins_per_attr.iter().copied().max().unwrap_or(1).max(1);
     AttributeHistograms { histograms, bins }
+}
+
+/// [`histogram_shard_job`] over rows already narrowed to the shard's
+/// attribute slice `attrs` (width `attrs.len()`), as produced by a
+/// projected columnar reload: the mapper rebases its keys by
+/// `attrs.start`, so the output is identical to the full-width shard job
+/// while only the shard's columns were ever decoded.
+pub fn histogram_shard_job_projected(
+    engine: &Engine,
+    projected_rows: &[&[f64]],
+    bins_per_attr: &[usize],
+    attrs: std::ops::Range<usize>,
+    job_name: &str,
+) -> Result<Vec<(usize, Vec<f64>)>, MrError> {
+    let result = engine.run(
+        job_name,
+        projected_rows,
+        &ProjectedHistMapper {
+            bins: Arc::new(bins_per_attr.to_vec()),
+            attr_lo: attrs.start,
+        },
+        &HistReducer,
+    )?;
+    Ok(result.output)
 }
 
 /// The IQR job of the exact-IQR Freedman–Diaconis extension: mappers
@@ -294,6 +357,28 @@ mod tests {
         let (pairs, _) = em.into_parts();
         assert_eq!(pairs.len(), 1);
         assert_eq!(pairs[0].0, 1);
+    }
+
+    #[test]
+    fn projected_shard_equals_full_width_shard() {
+        let data = sample_rows();
+        let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let bins = [8, 16, 4];
+        let engine = Engine::new(MrConfig {
+            split_size: 64,
+            ..MrConfig::default()
+        });
+        let full = histogram_shard_job(&engine, &rows, &bins, 1..3, "wide").unwrap();
+        // The same shard over rows narrowed to attributes 1..3.
+        let narrowed: Vec<Vec<f64>> = data.iter().map(|r| r[1..3].to_vec()).collect();
+        let narrow_refs: Vec<&[f64]> = narrowed.iter().map(|r| r.as_slice()).collect();
+        let engine2 = Engine::new(MrConfig {
+            split_size: 64,
+            ..MrConfig::default()
+        });
+        let projected =
+            histogram_shard_job_projected(&engine2, &narrow_refs, &bins, 1..3, "narrow").unwrap();
+        assert_eq!(projected, full);
     }
 
     #[test]

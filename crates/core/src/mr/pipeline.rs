@@ -6,15 +6,18 @@ use crate::cores::ClusterCore;
 use crate::inspect::inspect_from_histograms;
 use crate::mr::coregen::generate_cluster_cores_mr;
 use crate::mr::em::{em_fit_mr, initialize_from_cores_mr, MrEmFit};
-use crate::mr::histogram::{assemble_histograms, histogram_job, histogram_shard_job, iqr_job};
+use crate::mr::histogram::{
+    assemble_histograms, histogram_job, histogram_shard_job_projected, iqr_job,
+};
 use crate::mr::inspect::{ai_histogram_job, tighten_job};
 use crate::mr::outlier::{od_job_mcd, od_job_mvb, od_job_naive};
 use crate::p3cplus::{P3cResult, PipelineStats};
 use crate::relevance::relevant_intervals;
-use p3c_dataset::{AttrInterval, Clustering, Dataset, ProjectedCluster, RowBlock};
+use crate::types::{Interval, Signature};
+use p3c_dataset::{colseg, AttrInterval, Clustering, ColumnSet, Dataset, ProjectedCluster, RowBlock};
 use p3c_mapreduce::{
     take_dataset, DagError, DagScheduler, DatasetHandle, DatasetStore, Emitter, Engine, JobGraph,
-    JobKind, JobNode, Mapper, MrError, NodeCtx, SchedulerChoice,
+    JobKind, JobNode, Mapper, MrError, NodeCtx, SchedulerChoice, SegmentedCodec,
 };
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -753,8 +756,10 @@ fn membership_job(
     Ok(result.output)
 }
 
-/// Codec for spilling a [`RowBlock`] to the block store: `u64` LE row and
-/// attribute counts, then the flat row-major values as `f64` LE.
+/// Legacy whole-buffer codec for spilling a [`RowBlock`]: `u64` LE row
+/// and attribute counts, then the flat row-major values as `f64` LE. The
+/// pipelines seed rows with [`row_block_seg_codec`] instead; this is kept
+/// as the baseline the `experiments codec` microbench compares against.
 pub fn row_block_codec() -> p3c_mapreduce::DatasetCodec<RowBlock> {
     fn encode(block: &RowBlock) -> Vec<u8> {
         let mut out = Vec::with_capacity(16 + 8 * block.as_slice().len());
@@ -786,16 +791,96 @@ pub fn row_block_codec() -> p3c_mapreduce::DatasetCodec<RowBlock> {
     p3c_mapreduce::DatasetCodec { encode, decode }
 }
 
+/// Segmented columnar codec for spilling a [`RowBlock`]: a tiny `(n, d)`
+/// header plus one independently-encoded segment per attribute column
+/// (XOR-delta + byte-shuffle + zero-RLE, see `p3c_dataset::colseg`), so
+/// partially-relevant jobs can reload just the columns they scan as a
+/// [`ColumnSet`] through [`p3c_mapreduce::DatasetStore::get_columns`].
+pub fn row_block_seg_codec() -> SegmentedCodec<RowBlock, Vec<f64>, ColumnSet> {
+    fn decode_segment(bytes: &[u8], _j: usize, _header: &[u8]) -> Vec<f64> {
+        colseg::decode_column(bytes)
+    }
+    fn project(block: &RowBlock, attrs: &[usize]) -> ColumnSet {
+        ColumnSet::from_block(block, attrs)
+    }
+    SegmentedCodec {
+        num_segments: RowBlock::dim,
+        encode_header: colseg::block_header,
+        encode_segment: colseg::encode_block_column,
+        decode_segment,
+        assemble_view: colseg::assemble_column_set,
+        assemble_full: colseg::assemble_block,
+        project,
+    }
+}
+
 /// Loads the row set into the dataset store once for a whole DAG
 /// pipeline (the serial drivers re-ship it into every job) as one
 /// contiguous [`RowBlock`]; spillable so a memory-budgeted store can
-/// stage it to the block store and reload.
+/// stage it to the block store — in segmented columnar form, so
+/// partially-relevant nodes reload only their columns — and reload.
 fn seed_rows(store: &DatasetStore, data: &Dataset) -> DatasetHandle<RowBlock> {
     let handle: DatasetHandle<RowBlock> = DatasetHandle::new("rows");
     let block = RowBlock::from(data.clone());
     let bytes = 16 + 8 * block.as_slice().len();
-    store.put_spillable(&handle, block, bytes, row_block_codec());
+    store.put_segmented(&handle, block, bytes, row_block_seg_codec());
     handle
+}
+
+/// Row views over a projected [`ColumnSet`]: the flat buffer holds the
+/// `n × width` projection row-major; with zero width (an empty
+/// projection) every row is the empty slice, keeping record counts — and
+/// thus job metrics — identical to a full-width scan.
+fn projected_refs(flat: &[f64], width: usize, n: usize) -> Vec<&[f64]> {
+    if width == 0 {
+        vec![&[] as &[f64]; n]
+    } else {
+        flat.chunks_exact(width).collect()
+    }
+}
+
+/// Attributes constrained by at least one relevant interval, sorted —
+/// the projection the core-generation phase actually reads.
+fn relevant_attrs(intervals: &[Interval]) -> Vec<usize> {
+    intervals
+        .iter()
+        .map(|iv| iv.attr)
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect()
+}
+
+/// Rewrites interval attributes into positions within the sorted
+/// projection `attrs`. The remap is strictly monotone, so every ordering
+/// decision downstream (signature sorts, prefix buckets, joins) is
+/// preserved and the projected run is step-for-step identical.
+fn project_intervals(intervals: &[Interval], attrs: &[usize]) -> Vec<Interval> {
+    intervals
+        .iter()
+        .map(|iv| {
+            let attr = attrs
+                .binary_search(&iv.attr)
+                .expect("interval attr in projection");
+            Interval { attr, ..*iv }
+        })
+        .collect()
+}
+
+/// Maps core signatures back from projected positions to global
+/// attribute indices — the inverse of [`project_intervals`].
+fn unproject_cores(cores: &mut [ClusterCore], attrs: &[usize]) {
+    for core in cores.iter_mut() {
+        let intervals = core
+            .signature
+            .intervals()
+            .iter()
+            .map(|iv| Interval {
+                attr: attrs[iv.attr],
+                ..*iv
+            })
+            .collect();
+        core.signature = Signature::new(intervals);
+    }
 }
 
 /// The core-generation phase as a job graph named `p3c-core`: histogram
@@ -805,6 +890,9 @@ fn seed_rows(store: &DatasetStore, data: &Dataset) -> DatasetHandle<RowBlock> {
 /// reduced per split in split order, so the merge is bit-exact). The
 /// bin-count dataset is pre-seeded for uniform rules and produced by a
 /// quartile node under the exact-IQR rule.
+/// Partial histogram counts of one shard: `(attribute, bin counts)`.
+type HistParts = Vec<(usize, Vec<f64>)>;
+
 fn core_phase_dag(
     engine: &Engine,
     store: &DatasetStore,
@@ -851,22 +939,29 @@ fn core_phase_dag(
 
     let num_shards = d.clamp(1, 4);
     let chunk = d.div_ceil(num_shards).max(1);
-    let mut part_handles: Vec<DatasetHandle<Vec<(usize, Vec<f64>)>>> =
-        Vec::with_capacity(num_shards);
+    let mut part_handles: Vec<DatasetHandle<HistParts>> = Vec::with_capacity(num_shards);
     for s in 0..num_shards {
         let (lo, hi) = (s * chunk, ((s + 1) * chunk).min(d));
-        let parts_ds: DatasetHandle<Vec<(usize, Vec<f64>)>> =
-            DatasetHandle::new(format!("hist-parts-{s}"));
+        let parts_ds: DatasetHandle<HistParts> = DatasetHandle::new(format!("hist-parts-{s}"));
         graph.add(
             JobNode::new(format!("hist-shard-{s}"), JobKind::MapReduce, {
                 let (rows_ds, bins_ds, parts_ds) =
                     (rows_ds.clone(), bins_ds.clone(), parts_ds.clone());
                 move |ctx: &NodeCtx| {
-                    let rows = ctx.fetch(&rows_ds)?;
                     let bins = ctx.fetch(&bins_ds)?;
-                    let refs: Vec<&[f64]> = rows.row_refs();
-                    let parts =
-                        histogram_shard_job(ctx.engine, &refs, &bins, lo..hi, ctx.node_name())?;
+                    // Projection pushdown: decode only this shard's
+                    // attribute columns from the (possibly spilled) rows.
+                    let attrs: Vec<usize> = (lo..hi).collect();
+                    let cols: Arc<ColumnSet> = ctx.fetch_columns(&rows_ds, &attrs)?;
+                    let flat = cols.projected_rows();
+                    let refs = projected_refs(&flat, cols.width(), cols.len());
+                    let parts = histogram_shard_job_projected(
+                        ctx.engine,
+                        &refs,
+                        &bins,
+                        lo..hi,
+                        ctx.node_name(),
+                    )?;
                     let bytes = parts.iter().map(|(_, c)| 16 + 8 * c.len()).sum();
                     ctx.put(&parts_ds, parts, bytes);
                     Ok(())
@@ -890,23 +985,30 @@ fn core_phase_dag(
             let part_handles = part_handles.clone();
             let params = params.clone();
             move |ctx: &NodeCtx| {
-                let rows = ctx.fetch(&rows_ds)?;
                 let bins = ctx.fetch(&bins_ds)?;
-                let mut parts: Vec<(usize, Vec<f64>)> = Vec::new();
+                let mut parts: HistParts = Vec::new();
                 for h in &part_handles {
                     parts.extend(ctx.fetch(h)?.iter().cloned());
                 }
                 let hists = assemble_histograms(&bins, parts);
-                let refs: Vec<&[f64]> = rows.row_refs();
                 let mut stats = PipelineStats {
                     bins: hists.bins,
                     ..PipelineStats::default()
                 };
                 let intervals = relevant_intervals(&hists.histograms, params.alpha_chi2);
                 stats.relevant_intervals = intervals.len();
-                let gen = generate_cluster_cores_mr(ctx.engine, &intervals, &refs, &params)?;
+                // Projection pushdown: RSSC proving only ever tests the
+                // relevant attributes, so fetch just those columns and
+                // run core generation in the projected attribute space.
+                let arel = relevant_attrs(&intervals);
+                let cols: Arc<ColumnSet> = ctx.fetch_columns(&rows_ds, &arel)?;
+                let flat = cols.projected_rows();
+                let refs = projected_refs(&flat, cols.width(), cols.len());
+                let projected = project_intervals(&intervals, &arel);
+                let gen = generate_cluster_cores_mr(ctx.engine, &projected, &refs, &params)?;
                 stats.core_gen = gen.stats.clone();
                 let mut cores = gen.cores;
+                unproject_cores(&mut cores, &arel);
                 if params.use_redundancy_filter {
                     let (kept, removed) = crate::redundancy::filter_redundant(cores);
                     cores = kept;

@@ -69,8 +69,8 @@ pub struct Rssc {
 
 impl Rssc {
     /// Builds masks for a candidate batch. Each attribute's bin count is
-    /// read from the candidate intervals themselves (every [`Interval`]
-    /// carries its discretization).
+    /// read from the candidate intervals themselves (every
+    /// [`Interval`](crate::types::Interval) carries its discretization).
     ///
     /// # Panics
     /// Panics if two candidate intervals on the same attribute disagree

@@ -51,6 +51,7 @@ impl Dataset {
         self.n
     }
 
+    /// Whether the dataset has no points.
     pub fn is_empty(&self) -> bool {
         self.n == 0
     }

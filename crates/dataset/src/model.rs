@@ -7,12 +7,16 @@ use std::collections::BTreeSet;
 /// the paper's output signatures (Definition 1 / interval tightening step).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AttrInterval {
+    /// The attribute (dimension index) the interval constrains.
     pub attr: usize,
+    /// Lower bound (inclusive).
     pub lo: f64,
+    /// Upper bound (inclusive).
     pub hi: f64,
 }
 
 impl AttrInterval {
+    /// Creates `[lo, hi]` on `attr`; panics if the bounds are out of order.
     pub fn new(attr: usize, lo: f64, hi: f64) -> Self {
         assert!(lo <= hi, "interval bounds out of order: [{lo}, {hi}]");
         Self { attr, lo, hi }
@@ -99,18 +103,21 @@ impl ProjectedCluster {
 /// A complete clustering: clusters plus explicit outliers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct Clustering {
+    /// The projected clusters.
     pub clusters: Vec<ProjectedCluster>,
     /// Points assigned to no cluster.
     pub outliers: Vec<usize>,
 }
 
 impl Clustering {
+    /// Creates a clustering, sorting and deduplicating the outlier list.
     pub fn new(clusters: Vec<ProjectedCluster>, mut outliers: Vec<usize>) -> Self {
         outliers.sort_unstable();
         outliers.dedup();
         Self { clusters, outliers }
     }
 
+    /// Number of clusters.
     pub fn num_clusters(&self) -> usize {
         self.clusters.len()
     }

@@ -11,10 +11,25 @@ use std::fmt::Write as _;
 /// Errors when decoding persisted datasets.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
+    /// The text input had no `n d` header line.
     MissingHeader,
+    /// The header line did not parse as two integers.
     BadHeader(String),
-    BadValue { line: usize, token: String },
-    WrongCount { expected: usize, got: usize },
+    /// A value token failed to parse as `f64`.
+    BadValue {
+        /// 1-based line of the bad token.
+        line: usize,
+        /// The token that failed to parse.
+        token: String,
+    },
+    /// The input held a different number of values than the header claims.
+    WrongCount {
+        /// `n · d` per the header.
+        expected: usize,
+        /// Values actually present.
+        got: usize,
+    },
+    /// The binary input ended before the header or values were complete.
     TooShort,
 }
 

@@ -47,6 +47,7 @@ impl RowBlock {
         self.n
     }
 
+    /// Whether the block has no rows.
     pub fn is_empty(&self) -> bool {
         self.n == 0
     }
@@ -78,9 +79,15 @@ impl RowBlock {
     }
 
     /// Strided iterator over attribute `j`'s values, in row order.
+    /// Empty on an empty block.
     pub fn column(&self, j: usize) -> impl Iterator<Item = f64> + '_ {
         assert!(j < self.d, "attribute {j} out of range (d = {})", self.d);
-        self.data[j..].iter().step_by(self.d).copied()
+        self.data
+            .get(j..)
+            .unwrap_or(&[])
+            .iter()
+            .step_by(self.d)
+            .copied()
     }
 
     /// Materializes the column-major transpose, giving each attribute a
@@ -130,6 +137,7 @@ impl Columns {
         self.n
     }
 
+    /// Whether the originating block had no rows.
     pub fn is_empty(&self) -> bool {
         self.n == 0
     }

@@ -92,6 +92,7 @@ where
 /// A reduce task: receives one key with all its values (already grouped by
 /// the shuffle) and appends output records.
 pub trait Reducer<K, V, O>: Sync {
+    /// Folds one key's grouped values into output records.
     fn reduce(&self, key: &K, values: Vec<V>, out: &mut Vec<O>);
 }
 
@@ -99,6 +100,7 @@ pub trait Reducer<K, V, O>: Sync {
 /// task's output* before the shuffle, cutting shuffle bytes — semantics
 /// identical to Hadoop's combiner contract (must be associative).
 pub trait Combiner<K, V>: Sync {
+    /// Folds one key's local values into a single pre-shuffle value.
     fn combine(&self, key: &K, values: Vec<V>) -> V;
 }
 

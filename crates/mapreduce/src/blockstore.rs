@@ -44,10 +44,12 @@ impl BlockStore {
         }
     }
 
+    /// Block size files are chunked into.
     pub fn block_size(&self) -> usize {
         self.block_size
     }
 
+    /// Replication factor charged on writes.
     pub fn replication(&self) -> usize {
         self.replication
     }
@@ -62,6 +64,24 @@ impl BlockStore {
         self.bytes_written
             .fetch_add((data.len() * self.replication) as u64, Ordering::Relaxed);
         self.files.write().insert(name.to_string(), blocks);
+    }
+
+    /// Writes several files under a single lock acquisition, so a
+    /// multi-file artifact (e.g. a segmented dataset spill: one header
+    /// plus one file per column) appears atomically — readers see either
+    /// none or all of the files. Write bytes are charged with
+    /// replication, exactly as per-file [`BlockStore::write`] would.
+    pub fn write_many(&self, entries: &[(String, Vec<u8>)]) {
+        let mut files = self.files.write();
+        for (name, data) in entries {
+            let blocks: Vec<Bytes> = data
+                .chunks(self.block_size)
+                .map(Bytes::copy_from_slice)
+                .collect();
+            self.bytes_written
+                .fetch_add((data.len() * self.replication) as u64, Ordering::Relaxed);
+            files.insert(name.clone(), blocks);
+        }
     }
 
     /// Reads a whole file back; `None` if absent.
@@ -102,6 +122,22 @@ impl BlockStore {
     /// Deletes a file; returns whether it existed.
     pub fn delete(&self, name: &str) -> bool {
         self.files.write().remove(name).is_some()
+    }
+
+    /// Deletes every file whose name starts with `prefix` under a single
+    /// lock acquisition (the teardown counterpart of
+    /// [`BlockStore::write_many`]); returns how many were removed.
+    pub fn delete_prefix(&self, prefix: &str) -> usize {
+        let mut files = self.files.write();
+        let doomed: Vec<String> = files
+            .range(prefix.to_string()..)
+            .take_while(|(name, _)| name.starts_with(prefix))
+            .map(|(name, _)| name.clone())
+            .collect();
+        for name in &doomed {
+            files.remove(name);
+        }
+        doomed.len()
     }
 
     /// Lists file names.
@@ -168,6 +204,24 @@ mod tests {
         store.write("f", b"first");
         store.write("f", b"second!");
         assert_eq!(store.read("f").unwrap(), b"second!".to_vec());
+    }
+
+    #[test]
+    fn write_many_and_delete_prefix() {
+        let store = BlockStore::new(8, 2);
+        store.write_many(&[
+            ("ds/a/header".to_string(), vec![1u8; 4]),
+            ("ds/a/seg-0".to_string(), vec![2u8; 10]),
+            ("ds/a/seg-1".to_string(), vec![3u8; 10]),
+        ]);
+        store.write("ds/ab", b"sibling");
+        assert_eq!(store.bytes_written(), (4 + 10 + 10 + 7) * 2);
+        assert_eq!(store.read("ds/a/seg-1").unwrap(), vec![3u8; 10]);
+        // The trailing-slash prefix removes only the directory's files.
+        assert_eq!(store.delete_prefix("ds/a/"), 3);
+        assert!(store.read("ds/a/header").is_none());
+        assert_eq!(store.read("ds/ab").unwrap(), b"sibling".to_vec());
+        assert_eq!(store.delete_prefix("ds/a/"), 0);
     }
 
     #[test]

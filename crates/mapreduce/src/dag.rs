@@ -42,6 +42,7 @@ pub enum SchedulerChoice {
 }
 
 impl SchedulerChoice {
+    /// Parses a CLI-style scheduler name (`"serial"` / `"dag"`).
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_lowercase().as_str() {
             "serial" => Some(Self::Serial),
@@ -50,6 +51,7 @@ impl SchedulerChoice {
         }
     }
 
+    /// The canonical name, the inverse of [`SchedulerChoice::parse`].
     pub fn name(self) -> &'static str {
         match self {
             Self::Serial => "serial",
@@ -61,12 +63,16 @@ impl SchedulerChoice {
 /// What shape of MR job a node runs (metadata for metrics/reporting).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum JobKind {
+    /// Map tasks only; output comes straight from the mappers.
     MapOnly,
+    /// Map, shuffle, reduce.
     MapReduce,
+    /// Map, map-side combine, shuffle, reduce.
     MapCombineReduce,
 }
 
 impl JobKind {
+    /// Human-readable kind label used in metrics and reports.
     pub fn as_str(self) -> &'static str {
         match self {
             JobKind::MapOnly => "map-only",
@@ -85,22 +91,47 @@ pub enum DagError {
     Dataset(DatasetError),
     /// A node exhausted its attempts; `source` is the last failure.
     NodeFailed {
+        /// The failing node.
         node: String,
+        /// How many attempts were made.
         attempts: u64,
+        /// The last attempt's error.
         source: Box<DagError>,
     },
     /// The DAG-level fault plan struck this node attempt.
-    Injected { node: String },
+    Injected {
+        /// The node whose attempt was killed.
+        node: String,
+    },
     /// A node input has no producer and is not pre-seeded in the store.
-    MissingInput { node: String, dataset: String },
+    MissingInput {
+        /// The node declaring the input.
+        node: String,
+        /// The dataset nobody produces.
+        dataset: String,
+    },
     /// Two nodes declare the same output dataset.
-    DuplicateProducer { dataset: String },
+    DuplicateProducer {
+        /// The doubly-produced dataset.
+        dataset: String,
+    },
     /// Two nodes share a name.
-    DuplicateNode { name: String },
+    DuplicateNode {
+        /// The duplicated node name.
+        name: String,
+    },
     /// The graph is not acyclic; `nodes` are the unschedulable ones.
-    Cycle { nodes: Vec<String> },
+    Cycle {
+        /// Nodes left unschedulable by the cycle.
+        nodes: Vec<String>,
+    },
     /// A node reported success without materializing a declared output.
-    OutputNotMaterialized { node: String, dataset: String },
+    OutputNotMaterialized {
+        /// The node that under-delivered.
+        node: String,
+        /// The missing dataset.
+        dataset: String,
+    },
 }
 
 impl DagError {
@@ -219,6 +250,22 @@ impl NodeCtx<'_> {
         self.store.get(handle).map_err(DagError::from)
     }
 
+    /// Reads a projected view of a segmented input dataset, decoding
+    /// only the requested column segments when the dataset is spilled
+    /// (see [`DatasetStore::get_columns`]). `V` is the view type of the
+    /// codec the dataset was registered with.
+    pub fn fetch_columns<T, V>(
+        &self,
+        handle: &DatasetHandle<T>,
+        cols: &[usize],
+    ) -> Result<Arc<V>, DagError>
+    where
+        T: Send + Sync + 'static,
+        V: Send + Sync + 'static,
+    {
+        self.store.get_columns(handle, cols).map_err(DagError::from)
+    }
+
     /// Materializes an output dataset. Node outputs are registered as
     /// *recomputable*: under memory pressure the store may drop them,
     /// and lineage re-executes this node to rebuild them.
@@ -249,6 +296,8 @@ pub struct JobNode {
 }
 
 impl JobNode {
+    /// Creates a node from its name, kind and body. Dataset I/O is
+    /// declared afterwards with [`JobNode::input`] / [`JobNode::output`].
     pub fn new(
         name: impl Into<String>,
         kind: JobKind,
@@ -275,10 +324,12 @@ impl JobNode {
         self
     }
 
+    /// The node's name.
     pub fn name(&self) -> &str {
         &self.name
     }
 
+    /// The node's job kind.
     pub fn kind(&self) -> JobKind {
         self.kind
     }
@@ -296,6 +347,8 @@ impl fmt::Debug for JobNode {
 }
 
 /// A named DAG of [`JobNode`]s.
+/// A named set of [`JobNode`]s; edges are implied by matching dataset
+/// declarations (a node consuming `x` depends on the node producing `x`).
 #[derive(Debug, Default)]
 pub struct JobGraph {
     name: String,
@@ -303,6 +356,7 @@ pub struct JobGraph {
 }
 
 impl JobGraph {
+    /// Creates an empty graph with the given name.
     pub fn new(name: impl Into<String>) -> Self {
         Self {
             name: name.into(),
@@ -316,18 +370,22 @@ impl JobGraph {
         self
     }
 
+    /// The graph's name.
     pub fn name(&self) -> &str {
         &self.name
     }
 
+    /// Number of nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()
     }
 
+    /// Whether the graph has no nodes.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }
 
+    /// Node names in declaration order.
     pub fn node_names(&self) -> Vec<&str> {
         self.nodes.iter().map(|n| n.name.as_str()).collect()
     }
@@ -361,6 +419,7 @@ impl Default for DagConfig {
 /// Result of a successful DAG run.
 #[derive(Debug, Clone)]
 pub struct DagReport {
+    /// The run's execution counters (also recorded in the engine ledger).
     pub metrics: DagMetrics,
 }
 
@@ -405,14 +464,17 @@ struct QueueState {
 }
 
 impl<'e> DagScheduler<'e> {
+    /// Scheduler with the default [`DagConfig`].
     pub fn new(engine: &'e Engine) -> Self {
         Self::with_config(engine, DagConfig::default())
     }
 
+    /// Scheduler with an explicit configuration.
     pub fn with_config(engine: &'e Engine, config: DagConfig) -> Self {
         Self { engine, config }
     }
 
+    /// The scheduler's configuration.
     pub fn config(&self) -> &DagConfig {
         &self.config
     }
@@ -595,7 +657,12 @@ impl<'e> DagScheduler<'e> {
             cache_misses: store_after.misses - store_before.misses,
             spills: store_after.spills - store_before.spills,
             spill_bytes: store_after.spill_bytes - store_before.spill_bytes,
+            spill_raw_bytes: store_after.spill_raw_bytes - store_before.spill_raw_bytes,
             spill_loads: store_after.spill_loads - store_before.spill_loads,
+            segment_reads: store_after.segment_reads - store_before.segment_reads,
+            segment_bytes_read: store_after.segment_bytes_read - store_before.segment_bytes_read,
+            bytes_saved_by_projection: store_after.bytes_saved_by_projection
+                - store_before.bytes_saved_by_projection,
             evictions: store_after.evictions - store_before.evictions,
             wall: started.elapsed(),
         };

@@ -6,9 +6,24 @@
 //! inputs (e.g. the normalized row set) are loaded **once per pipeline**
 //! instead of once per job. The store is in-memory first; under a byte
 //! budget it evicts least-recently-used entries, *spilling* entries that
-//! carry a [`DatasetCodec`] to the [`crate::BlockStore`] "HDFS-lite" and
-//! *dropping* entries marked recomputable (lineage re-executes their
-//! producer on the next read — Spark's RDD cache semantics).
+//! carry a codec to the [`crate::BlockStore`] "HDFS-lite" and *dropping*
+//! entries marked recomputable (lineage re-executes their producer on
+//! the next read — Spark's RDD cache semantics).
+//!
+//! Spilling comes in two shapes:
+//!
+//! * **Whole-buffer** ([`DatasetCodec`], [`DatasetStore::put_spillable`])
+//!   — one opaque encoded file; a reload decodes everything.
+//! * **Segmented** ([`SegmentedCodec`], [`DatasetStore::put_segmented`])
+//!   — a small header plus one independently-encoded file per segment
+//!   (for a row block: per attribute column). A projection-aware read
+//!   ([`DatasetStore::get_columns`]) decodes *only the requested
+//!   segments* into a view, caches the decoded columns for later calls,
+//!   and a plain [`DatasetStore::get`] upgrades to the full value on
+//!   demand, reusing whatever columns are already cached. Per-segment
+//!   traffic is metered (`segment_reads`, `segment_bytes_read`,
+//!   `bytes_saved_by_projection` in [`DatasetStoreStats`]) so the DAG
+//!   metrics can show what projection pushdown saved.
 
 use crate::blockstore::BlockStore;
 use crate::engine::MrError;
@@ -31,6 +46,7 @@ pub struct DatasetHandle<T> {
 }
 
 impl<T> DatasetHandle<T> {
+    /// Creates a handle for the dataset of the given name.
     pub fn new(name: impl Into<String>) -> Self {
         Self {
             name: Arc::from(name.into()),
@@ -38,6 +54,7 @@ impl<T> DatasetHandle<T> {
         }
     }
 
+    /// The dataset name — the store's key and the spill file stem.
     pub fn name(&self) -> &str {
         &self.name
     }
@@ -59,11 +76,50 @@ impl<T> fmt::Debug for DatasetHandle<T> {
 }
 
 /// Serialization functions that let the store spill a dataset to the
-/// block store and load it back. Plain function pointers: codecs must
-/// not capture state, which keeps spilled bytes self-describing.
+/// block store as one opaque file and load it back. Plain function
+/// pointers: codecs must not capture state, which keeps spilled bytes
+/// self-describing.
 pub struct DatasetCodec<T> {
+    /// Encodes the whole value into one buffer.
     pub encode: fn(&T) -> Vec<u8>,
+    /// Decodes a buffer written by `encode` back into the value.
     pub decode: fn(&[u8]) -> T,
+}
+
+/// Decoded `(segment index, segment)` pairs handed to a
+/// [`SegmentedCodec`]'s `assemble_view`, in ascending index order.
+pub type SegmentCols<C> = Vec<(usize, Arc<C>)>;
+
+/// Serialization functions for the *segmented* spill format: the value
+/// splits into a small header plus independently-encoded segments (for
+/// a row block: one per attribute column), so a projection-aware reload
+/// can decode only the segments a job scans.
+///
+/// Type parameters: `T` is the stored value, `C` one decoded segment
+/// (e.g. a column `Vec<f64>`), `V` the projected view assembled from a
+/// subset of segments. Like [`DatasetCodec`], all functions are
+/// capture-free function pointers.
+pub struct SegmentedCodec<T, C, V> {
+    /// Number of independently-encoded segments of a value.
+    pub num_segments: fn(&T) -> usize,
+    /// Encodes the small shape header written alongside the segments.
+    pub encode_header: fn(&T) -> Vec<u8>,
+    /// Encodes segment `j` as a standalone buffer.
+    pub encode_segment: fn(&T, usize) -> Vec<u8>,
+    /// Decodes segment `j` (`(segment bytes, j, header bytes)`) back
+    /// into a column.
+    pub decode_segment: fn(&[u8], usize, &[u8]) -> C,
+    /// Builds the projected view from the header and the decoded
+    /// `(segment index, column)` pairs a caller requested.
+    pub assemble_view: fn(&[u8], SegmentCols<C>) -> V,
+    /// Reassembles the full value from the header and *all* segments in
+    /// index order — the spill-reload "upgrade" path. Must reproduce the
+    /// encoded value exactly (the DAG byte-identity guarantee).
+    pub assemble_full: fn(&[u8], Vec<Arc<C>>) -> T,
+    /// Projects the requested segments out of an in-memory value — the
+    /// cache-hit counterpart of decoding spilled segments. Must yield a
+    /// view indistinguishable from the spilled path's.
+    pub project: fn(&T, &[usize]) -> V,
 }
 
 /// Takes a finished dataset out of the store after a DAG run, mapping a
@@ -124,9 +180,21 @@ pub fn rows_codec() -> DatasetCodec<Vec<Vec<f64>>> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DatasetError {
     /// No dataset of this name is materialized (in memory or spilled).
-    Missing { name: String },
+    Missing {
+        /// The dataset name that was requested.
+        name: String,
+    },
     /// The dataset exists but was requested with the wrong element type.
-    WrongType { name: String },
+    WrongType {
+        /// The dataset name that was requested.
+        name: String,
+    },
+    /// A projected read was attempted on a dataset that did not register
+    /// a [`SegmentedCodec`].
+    NotSegmented {
+        /// The dataset name that was requested.
+        name: String,
+    },
 }
 
 impl fmt::Display for DatasetError {
@@ -135,6 +203,9 @@ impl fmt::Display for DatasetError {
             DatasetError::Missing { name } => write!(f, "dataset '{name}' is not materialized"),
             DatasetError::WrongType { name } => {
                 write!(f, "dataset '{name}' requested with the wrong type")
+            }
+            DatasetError::NotSegmented { name } => {
+                write!(f, "dataset '{name}' has no segmented codec for projected reads")
             }
         }
     }
@@ -145,25 +216,68 @@ impl std::error::Error for DatasetError {}
 /// Counters describing cache behaviour since the store was created.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DatasetStoreStats {
-    /// `get` calls served from memory.
+    /// `get`/`get_columns` calls served from memory (including projected
+    /// reads fully covered by the partial-column cache).
     pub hits: u64,
-    /// `get` calls that found nothing in memory (missing or spilled).
+    /// `get`/`get_columns` calls that had to touch the block store or
+    /// found nothing (missing or spilled).
     pub misses: u64,
     /// Datasets written to the block store by eviction.
     pub spills: u64,
-    /// Encoded bytes written by spills.
+    /// Encoded bytes written by spills (cumulative — never decremented).
     pub spill_bytes: u64,
+    /// Encoded bytes of spill files currently live in the block store:
+    /// incremented at spill time, decremented when a spilled entry is
+    /// overwritten, removed or dropped.
+    pub live_spill_bytes: u64,
+    /// In-memory (pre-encoding) bytes of the datasets spilled so far —
+    /// `spill_bytes / spill_raw_bytes` is the aggregate compression
+    /// ratio of the spill codecs.
+    pub spill_raw_bytes: u64,
     /// Spilled datasets decoded back into memory on demand.
     pub spill_loads: u64,
-    /// Datasets removed from memory by the budget (spilled or dropped).
+    /// Column segments read from the block store by projected reads and
+    /// segmented full reloads.
+    pub segment_reads: u64,
+    /// Encoded bytes of those segment reads.
+    pub segment_bytes_read: u64,
+    /// Encoded bytes that projected reads did *not* have to fetch
+    /// (total segment bytes of the dataset minus the bytes each
+    /// `get_columns` call actually read).
+    pub bytes_saved_by_projection: u64,
+    /// Datasets removed from memory by the budget (spilled or dropped;
+    /// clearing a partial-column cache counts too).
     pub evictions: u64,
 }
 
 type AnyArc = Arc<dyn Any + Send + Sync>;
+type EncodeFn = Box<dyn Fn(&AnyArc) -> Vec<u8> + Send + Sync>;
+type DecodeFn = Box<dyn Fn(&[u8]) -> AnyArc + Send + Sync>;
+type SegCountFn = Box<dyn Fn(&AnyArc) -> usize + Send + Sync>;
+type SegEncodeFn = Box<dyn Fn(&AnyArc, usize) -> Vec<u8> + Send + Sync>;
+type SegDecodeFn = Box<dyn Fn(&[u8], usize, &[u8]) -> AnyArc + Send + Sync>;
+type AssembleViewFn = Box<dyn Fn(&[u8], Vec<(usize, AnyArc)>) -> AnyArc + Send + Sync>;
+type AssembleFullFn = Box<dyn Fn(&[u8], Vec<AnyArc>) -> AnyArc + Send + Sync>;
+type ProjectFn = Box<dyn Fn(&AnyArc, &[usize]) -> AnyArc + Send + Sync>;
 
 struct ErasedCodec {
-    encode: Box<dyn Fn(&AnyArc) -> Vec<u8> + Send + Sync>,
-    decode: Box<dyn Fn(&[u8]) -> AnyArc + Send + Sync>,
+    encode: EncodeFn,
+    decode: DecodeFn,
+}
+
+struct ErasedSegCodec {
+    num_segments: SegCountFn,
+    encode_header: EncodeFn,
+    encode_segment: SegEncodeFn,
+    decode_segment: SegDecodeFn,
+    assemble_view: AssembleViewFn,
+    assemble_full: AssembleFullFn,
+    project: ProjectFn,
+}
+
+enum Codec {
+    Whole(ErasedCodec),
+    Segmented(ErasedSegCodec),
 }
 
 struct Entry {
@@ -178,9 +292,23 @@ struct Entry {
     /// Lineage can rebuild this dataset by re-running its producer, so
     /// the budget may drop it without spilling.
     recomputable: bool,
-    codec: Option<ErasedCodec>,
+    codec: Option<Codec>,
     /// The block store holds an up-to-date encoded copy.
     spilled: bool,
+    /// Total encoded bytes of the live spill (header + segments, or the
+    /// whole-buffer file); 0 when not spilled.
+    spilled_total: usize,
+    /// Encoded size of each segment, recorded at spill time (segmented
+    /// entries only).
+    seg_sizes: Vec<usize>,
+    /// Header bytes, cached at spill time so projected reads don't
+    /// re-fetch the (tiny) header file.
+    header: Option<Vec<u8>>,
+    /// Decoded columns of a spilled segmented entry, kept for reuse by
+    /// later projected reads and the full-reload upgrade.
+    partial: BTreeMap<usize, AnyArc>,
+    /// Estimated in-memory bytes of `partial` (counted in `mem_bytes`).
+    partial_bytes: usize,
 }
 
 struct Inner {
@@ -188,6 +316,14 @@ struct Inner {
     mem_bytes: usize,
     clock: u64,
     stats: DatasetStoreStats,
+}
+
+/// What `enforce_budget` decided to write out for a victim, computed
+/// while the entry is immutably borrowed and applied afterwards.
+enum SpillPlan {
+    Nothing,
+    Whole(Vec<u8>),
+    Segmented { header: Vec<u8>, segs: Vec<Vec<u8>> },
 }
 
 /// The materialized-dataset store shared by all nodes of a DAG run.
@@ -228,6 +364,7 @@ impl DatasetStore {
         }
     }
 
+    /// The block store spills land in.
     pub fn blockstore(&self) -> &Arc<BlockStore> {
         &self.blockstore
     }
@@ -249,7 +386,8 @@ impl DatasetStore {
         self.insert(handle.name(), Arc::new(value), bytes, true, None);
     }
 
-    /// Materializes a dataset the budget may *spill* to the block store.
+    /// Materializes a dataset the budget may *spill* to the block store
+    /// as one whole-buffer file.
     pub fn put_spillable<T: Send + Sync + 'static>(
         &self,
         handle: &DatasetHandle<T>,
@@ -268,7 +406,73 @@ impl DatasetStore {
             }),
             decode: Box::new(move |bytes: &[u8]| Arc::new(decode(bytes)) as AnyArc),
         };
-        self.insert(handle.name(), Arc::new(value), bytes, false, Some(erased));
+        self.insert(
+            handle.name(),
+            Arc::new(value),
+            bytes,
+            false,
+            Some(Codec::Whole(erased)),
+        );
+    }
+
+    /// Materializes a dataset the budget may spill in *segmented*
+    /// columnar form, enabling projected reads via
+    /// [`DatasetStore::get_columns`].
+    pub fn put_segmented<T, C, V>(
+        &self,
+        handle: &DatasetHandle<T>,
+        value: T,
+        bytes: usize,
+        codec: SegmentedCodec<T, C, V>,
+    ) where
+        T: Send + Sync + 'static,
+        C: Send + Sync + 'static,
+        V: Send + Sync + 'static,
+    {
+        fn typed<T: Send + Sync + 'static>(any: &AnyArc) -> Arc<T> {
+            any.clone()
+                .downcast::<T>()
+                .expect("codec type matches entry")
+        }
+        let SegmentedCodec {
+            num_segments,
+            encode_header,
+            encode_segment,
+            decode_segment,
+            assemble_view,
+            assemble_full,
+            project,
+        } = codec;
+        let erased = ErasedSegCodec {
+            num_segments: Box::new(move |any| num_segments(&typed::<T>(any))),
+            encode_header: Box::new(move |any| encode_header(&typed::<T>(any))),
+            encode_segment: Box::new(move |any, j| encode_segment(&typed::<T>(any), j)),
+            decode_segment: Box::new(move |bytes, j, header| {
+                Arc::new(decode_segment(bytes, j, header)) as AnyArc
+            }),
+            assemble_view: Box::new(move |header, cols| {
+                let cols = cols
+                    .into_iter()
+                    .map(|(j, c)| (j, c.downcast::<C>().expect("segment type matches codec")))
+                    .collect();
+                Arc::new(assemble_view(header, cols)) as AnyArc
+            }),
+            assemble_full: Box::new(move |header, cols| {
+                let cols = cols
+                    .into_iter()
+                    .map(|c| c.downcast::<C>().expect("segment type matches codec"))
+                    .collect();
+                Arc::new(assemble_full(header, cols)) as AnyArc
+            }),
+            project: Box::new(move |any, attrs| Arc::new(project(&typed::<T>(any), attrs)) as AnyArc),
+        };
+        self.insert(
+            handle.name(),
+            Arc::new(value),
+            bytes,
+            false,
+            Some(Codec::Segmented(erased)),
+        );
     }
 
     fn insert(
@@ -277,7 +481,7 @@ impl DatasetStore {
         value: AnyArc,
         bytes: usize,
         recomputable: bool,
-        codec: Option<ErasedCodec>,
+        codec: Option<Codec>,
     ) {
         let mut inner = self.inner.lock();
         inner.clock += 1;
@@ -286,8 +490,13 @@ impl DatasetStore {
             if old.value.is_some() {
                 inner.mem_bytes -= old.bytes;
             }
+            inner.mem_bytes -= old.partial_bytes;
             if old.spilled {
-                self.blockstore.delete(&spill_file(name));
+                self.delete_spill(name);
+                inner.stats.live_spill_bytes = inner
+                    .stats
+                    .live_spill_bytes
+                    .saturating_sub(old.spilled_total as u64);
             }
         }
         inner.entries.insert(
@@ -300,13 +509,20 @@ impl DatasetStore {
                 recomputable,
                 codec,
                 spilled: false,
+                spilled_total: 0,
+                seg_sizes: Vec::new(),
+                header: None,
+                partial: BTreeMap::new(),
+                partial_bytes: 0,
             },
         );
         inner.mem_bytes += bytes;
         self.enforce_budget(&mut inner, name);
     }
 
-    /// Fetches a dataset, loading it back from spill if necessary.
+    /// Fetches a dataset, loading it back from spill if necessary. A
+    /// segmented spill reload reuses columns already decoded by earlier
+    /// [`DatasetStore::get_columns`] calls and reads only the rest.
     pub fn get<T: Send + Sync + 'static>(
         &self,
         handle: &DatasetHandle<T>,
@@ -339,22 +555,169 @@ impl DatasetStore {
         if !entry.spilled {
             return Err(missing());
         }
-        // Reload the spilled copy. Entry bookkeeping first (the decode
-        // borrows the codec, so split the borrows carefully).
-        let bytes = self
-            .blockstore
-            .read(&spill_file(name))
-            .ok_or_else(missing)?;
+        // Reload the spilled copy. The decode borrows the codec (a field
+        // of the entry, itself borrowed from `inner.entries`), so all
+        // shared-state bookkeeping is deferred until the borrow ends.
+        let mut seg_reads = 0u64;
+        let mut seg_bytes = 0u64;
         let decoded = {
-            let codec = entry.codec.as_ref().expect("spilled entries carry a codec");
-            (codec.decode)(&bytes)
+            let Entry {
+                codec,
+                partial,
+                header,
+                seg_sizes,
+                ..
+            } = entry;
+            match codec.as_ref().expect("spilled entries carry a codec") {
+                Codec::Whole(codec) => {
+                    let bytes = self
+                        .blockstore
+                        .read(&spill_file(name))
+                        .ok_or_else(missing)?;
+                    (codec.decode)(&bytes)
+                }
+                Codec::Segmented(codec) => {
+                    let header = header.as_ref().expect("segmented spills cache their header");
+                    let d = seg_sizes.len();
+                    let mut cols = Vec::with_capacity(d);
+                    for j in 0..d {
+                        if let Some(col) = partial.get(&j) {
+                            cols.push(Arc::clone(col));
+                        } else {
+                            let bytes = self
+                                .blockstore
+                                .read(&seg_file(name, j))
+                                .ok_or_else(missing)?;
+                            seg_reads += 1;
+                            seg_bytes += bytes.len() as u64;
+                            cols.push((codec.decode_segment)(&bytes, j, header));
+                        }
+                    }
+                    (codec.assemble_full)(header, cols)
+                }
+            }
         };
         entry.value = Some(Arc::clone(&decoded));
+        entry.partial.clear();
+        let freed = std::mem::take(&mut entry.partial_bytes);
         let entry_bytes = entry.bytes;
         inner.stats.spill_loads += 1;
+        inner.stats.segment_reads += seg_reads;
+        inner.stats.segment_bytes_read += seg_bytes;
         inner.mem_bytes += entry_bytes;
+        inner.mem_bytes -= freed;
         self.enforce_budget(inner, name);
         Ok(decoded)
+    }
+
+    /// Fetches a projected view of a segmented dataset, decoding only
+    /// the requested columns when the dataset is spilled.
+    ///
+    /// `cols` must be distinct, in-range segment indices. `V` is the
+    /// codec's view type (for row blocks: `ColumnSet`). In-memory
+    /// entries are projected directly (a hit); spilled entries read only
+    /// the segments not already in the partial-column cache, and a call
+    /// fully covered by that cache counts as a hit too.
+    pub fn get_columns<T, V>(
+        &self,
+        handle: &DatasetHandle<T>,
+        cols: &[usize],
+    ) -> Result<Arc<V>, DatasetError>
+    where
+        T: Send + Sync + 'static,
+        V: Send + Sync + 'static,
+    {
+        let any = self.get_columns_any(handle.name(), cols)?;
+        any.downcast::<V>().map_err(|_| DatasetError::WrongType {
+            name: handle.name().to_string(),
+        })
+    }
+
+    fn get_columns_any(&self, name: &str, cols: &[usize]) -> Result<AnyArc, DatasetError> {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        inner.clock += 1;
+        let seq = inner.clock;
+        let missing = || DatasetError::Missing {
+            name: name.to_string(),
+        };
+        let Some(entry) = inner.entries.get_mut(name) else {
+            inner.stats.misses += 1;
+            return Err(missing());
+        };
+        entry.seq = seq;
+        if !matches!(entry.codec, Some(Codec::Segmented(_))) {
+            return Err(DatasetError::NotSegmented {
+                name: name.to_string(),
+            });
+        }
+        if entry.value.is_some() {
+            let Entry { value, codec, .. } = entry;
+            let Some(Codec::Segmented(codec)) = codec.as_ref() else {
+                unreachable!("checked above")
+            };
+            let view = (codec.project)(value.as_ref().expect("checked above"), cols);
+            inner.stats.hits += 1;
+            return Ok(view);
+        }
+        if !entry.spilled {
+            inner.stats.misses += 1;
+            return Err(missing());
+        }
+        // Spilled: decode the requested segments, reusing cached columns.
+        let mut fresh: Vec<(usize, AnyArc)> = Vec::new();
+        let mut read_bytes = 0u64;
+        let view = {
+            let Entry {
+                codec,
+                partial,
+                header,
+                seg_sizes,
+                ..
+            } = entry;
+            let Some(Codec::Segmented(codec)) = codec.as_ref() else {
+                unreachable!("checked above")
+            };
+            let header = header.as_ref().expect("segmented spills cache their header");
+            let mut pairs = Vec::with_capacity(cols.len());
+            for &j in cols {
+                assert!(
+                    j < seg_sizes.len(),
+                    "column {j} out of range ({} segments)",
+                    seg_sizes.len()
+                );
+                if let Some(col) = partial.get(&j) {
+                    pairs.push((j, Arc::clone(col)));
+                } else {
+                    let bytes = self.blockstore.read(&seg_file(name, j)).ok_or_else(missing)?;
+                    read_bytes += bytes.len() as u64;
+                    let col = (codec.decode_segment)(&bytes, j, header);
+                    fresh.push((j, Arc::clone(&col)));
+                    pairs.push((j, col));
+                }
+            }
+            (codec.assemble_view)(header, pairs)
+        };
+        let read_count = fresh.len() as u64;
+        let num_segments = entry.seg_sizes.len();
+        let per_col = entry.bytes / num_segments.max(1);
+        for (j, col) in fresh {
+            entry.partial.insert(j, col);
+            entry.partial_bytes += per_col;
+        }
+        let total_seg_bytes: u64 = entry.seg_sizes.iter().map(|&s| s as u64).sum();
+        if read_count == 0 {
+            inner.stats.hits += 1;
+        } else {
+            inner.stats.misses += 1;
+            inner.stats.segment_reads += read_count;
+            inner.stats.segment_bytes_read += read_bytes;
+            inner.stats.bytes_saved_by_projection +=
+                total_seg_bytes.saturating_sub(read_bytes);
+            inner.mem_bytes += per_col * read_count as usize;
+        }
+        self.enforce_budget(inner, name);
+        Ok(view)
     }
 
     /// Whether the dataset is materialized (in memory or spilled).
@@ -373,6 +736,7 @@ impl DatasetStore {
         }
     }
 
+    /// Releases one [`DatasetStore::pin`].
     pub fn unpin(&self, name: &str) {
         if let Some(e) = self.inner.lock().entries.get_mut(name) {
             e.pins = e.pins.saturating_sub(1);
@@ -387,8 +751,13 @@ impl DatasetStore {
                 if e.value.is_some() {
                     inner.mem_bytes -= e.bytes;
                 }
+                inner.mem_bytes -= e.partial_bytes;
                 if e.spilled {
-                    self.blockstore.delete(&spill_file(name));
+                    self.delete_spill(name);
+                    inner.stats.live_spill_bytes = inner
+                        .stats
+                        .live_spill_bytes
+                        .saturating_sub(e.spilled_total as u64);
                 }
                 true
             }
@@ -408,9 +777,16 @@ impl DatasetStore {
                 if e.value.take().is_some() {
                     inner.mem_bytes -= e.bytes;
                 }
+                e.partial.clear();
+                inner.mem_bytes -= std::mem::take(&mut e.partial_bytes);
                 if e.spilled {
                     e.spilled = false;
-                    self.blockstore.delete(&spill_file(name));
+                    let dead = std::mem::take(&mut e.spilled_total);
+                    e.seg_sizes.clear();
+                    e.header = None;
+                    self.delete_spill(name);
+                    inner.stats.live_spill_bytes =
+                        inner.stats.live_spill_bytes.saturating_sub(dead as u64);
                 }
                 true
             }
@@ -418,7 +794,8 @@ impl DatasetStore {
         }
     }
 
-    /// Bytes of datasets currently held in memory.
+    /// Bytes of datasets currently held in memory (partial-column caches
+    /// included).
     pub fn mem_bytes(&self) -> usize {
         self.inner.lock().mem_bytes
     }
@@ -428,13 +805,23 @@ impl DatasetStore {
         self.inner.lock().entries.keys().cloned().collect()
     }
 
+    /// A snapshot of the cache/spill counters.
     pub fn stats(&self) -> DatasetStoreStats {
         self.inner.lock().stats
     }
 
+    /// Deletes a dataset's spill artifacts in either layout (the
+    /// whole-buffer file and the segmented `<name>/` directory).
+    fn delete_spill(&self, name: &str) {
+        self.blockstore.delete(&spill_file(name));
+        self.blockstore.delete_prefix(&spill_dir(name));
+    }
+
     /// Evicts LRU entries until the budget holds. `exempt` (the entry
     /// just inserted or reloaded) is never evicted, so a single oversized
-    /// dataset still materializes.
+    /// dataset still materializes. Victims are in-memory entries that can
+    /// be spilled or recomputed, plus partial-column caches of spilled
+    /// entries (clearing one loses nothing — the segments stay on disk).
     fn enforce_budget(&self, inner: &mut Inner, exempt: &str) {
         let Some(budget) = self.budget else { return };
         while inner.mem_bytes > budget {
@@ -442,29 +829,76 @@ impl DatasetStore {
                 .entries
                 .iter()
                 .filter(|(name, e)| {
-                    e.value.is_some()
+                    name.as_str() != exempt
                         && e.pins == 0
-                        && name.as_str() != exempt
-                        && (e.codec.is_some() || e.recomputable)
+                        && ((e.value.is_some() && (e.codec.is_some() || e.recomputable))
+                            || (e.value.is_none() && e.partial_bytes > 0))
                 })
                 .min_by_key(|(_, e)| e.seq)
                 .map(|(name, _)| name.clone());
             let Some(name) = victim else { break };
-            let entry = inner.entries.get_mut(&name).expect("victim exists");
-            if let Some(codec) = &entry.codec {
-                if !entry.spilled {
-                    let value = entry.value.as_ref().expect("victim is in memory");
-                    let encoded = (codec.encode)(value);
-                    inner.stats.spills += 1;
-                    inner.stats.spill_bytes += encoded.len() as u64;
+            let plan = {
+                let entry = inner.entries.get(&name).expect("victim exists");
+                let value = if entry.spilled { &None } else { &entry.value };
+                match (value, &entry.codec) {
+                    (Some(value), Some(Codec::Whole(codec))) => {
+                        SpillPlan::Whole((codec.encode)(value))
+                    }
+                    (Some(value), Some(Codec::Segmented(codec))) => {
+                        let d = (codec.num_segments)(value);
+                        SpillPlan::Segmented {
+                            header: (codec.encode_header)(value),
+                            segs: (0..d).map(|j| (codec.encode_segment)(value, j)).collect(),
+                        }
+                    }
+                    // No codec (recomputable) or already spilled: drop
+                    // the in-memory copy outright.
+                    _ => SpillPlan::Nothing,
+                }
+            };
+            match plan {
+                SpillPlan::Nothing => {}
+                SpillPlan::Whole(encoded) => {
+                    let len = encoded.len();
                     self.blockstore.write(&spill_file(&name), &encoded);
                     let entry = inner.entries.get_mut(&name).expect("victim exists");
                     entry.spilled = true;
+                    entry.spilled_total = len;
+                    let raw = entry.bytes as u64;
+                    inner.stats.spills += 1;
+                    inner.stats.spill_bytes += len as u64;
+                    inner.stats.live_spill_bytes += len as u64;
+                    inner.stats.spill_raw_bytes += raw;
+                }
+                SpillPlan::Segmented { header, segs } => {
+                    let seg_sizes: Vec<usize> = segs.iter().map(Vec::len).collect();
+                    let total = header.len() + seg_sizes.iter().sum::<usize>();
+                    let mut files = Vec::with_capacity(segs.len() + 1);
+                    files.push((header_file(&name), header.clone()));
+                    for (j, seg) in segs.into_iter().enumerate() {
+                        files.push((seg_file(&name, j), seg));
+                    }
+                    self.blockstore.write_many(&files);
+                    let entry = inner.entries.get_mut(&name).expect("victim exists");
+                    entry.spilled = true;
+                    entry.spilled_total = total;
+                    entry.seg_sizes = seg_sizes;
+                    entry.header = Some(header);
+                    let raw = entry.bytes as u64;
+                    inner.stats.spills += 1;
+                    inner.stats.spill_bytes += total as u64;
+                    inner.stats.live_spill_bytes += total as u64;
+                    inner.stats.spill_raw_bytes += raw;
                 }
             }
             let entry = inner.entries.get_mut(&name).expect("victim exists");
-            entry.value = None;
-            inner.mem_bytes -= entry.bytes;
+            if entry.value.take().is_some() {
+                inner.mem_bytes -= entry.bytes;
+            } else {
+                // Partial-only victim: clear the decoded-column cache.
+                entry.partial.clear();
+                inner.mem_bytes -= std::mem::take(&mut entry.partial_bytes);
+            }
             inner.stats.evictions += 1;
         }
     }
@@ -472,6 +906,21 @@ impl DatasetStore {
 
 fn spill_file(name: &str) -> String {
     format!("dataset/{name}")
+}
+
+/// Directory prefix of a segmented spill. The trailing slash keeps
+/// `delete_prefix` from clipping sibling datasets whose names share a
+/// prefix (`rows` vs `rows2`).
+fn spill_dir(name: &str) -> String {
+    format!("dataset/{name}/")
+}
+
+fn header_file(name: &str) -> String {
+    format!("dataset/{name}/header")
+}
+
+fn seg_file(name: &str, j: usize) -> String {
+    format!("dataset/{name}/seg-{j}")
 }
 
 #[cfg(test)]
@@ -484,6 +933,50 @@ mod tests {
 
     fn rows(k: usize) -> Vec<Vec<f64>> {
         (0..4).map(|i| vec![i as f64 + k as f64, 0.5]).collect()
+    }
+
+    /// View type of the test segmented codec: `(attr, column)` pairs.
+    type ColsView = Vec<(usize, Vec<f64>)>;
+
+    /// A toy segmented codec over row vectors: one raw-LE segment per
+    /// column, an `(n, d)` header.
+    fn seg_codec() -> SegmentedCodec<Vec<Vec<f64>>, Vec<f64>, ColsView> {
+        #[allow(clippy::ptr_arg)]
+        fn header(rows: &Vec<Vec<f64>>) -> Vec<u8> {
+            let d = rows.first().map_or(0, Vec::len);
+            let mut out = (rows.len() as u64).to_le_bytes().to_vec();
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+            out
+        }
+        #[allow(clippy::ptr_arg)]
+        fn segment(rows: &Vec<Vec<f64>>, j: usize) -> Vec<u8> {
+            rows.iter().flat_map(|r| r[j].to_le_bytes()).collect()
+        }
+        fn decode(bytes: &[u8], _j: usize, _header: &[u8]) -> Vec<f64> {
+            bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect()
+        }
+        SegmentedCodec {
+            num_segments: |rows| rows.first().map_or(0, Vec::len),
+            encode_header: header,
+            encode_segment: segment,
+            decode_segment: decode,
+            assemble_view: |_h, cols| cols.into_iter().map(|(j, c)| (j, (*c).clone())).collect(),
+            assemble_full: |h, cols| {
+                let n = u64::from_le_bytes(h[..8].try_into().unwrap()) as usize;
+                (0..n)
+                    .map(|i| cols.iter().map(|c| c[i]).collect())
+                    .collect()
+            },
+            project: |rows, attrs| {
+                attrs
+                    .iter()
+                    .map(|&j| (j, rows.iter().map(|r| r[j]).collect()))
+                    .collect()
+            },
+        }
     }
 
     #[test]
@@ -527,6 +1020,8 @@ mod tests {
         assert_eq!(stats.spills, 1);
         assert_eq!(stats.evictions, 1);
         assert!(stats.spill_bytes > 0);
+        assert_eq!(stats.live_spill_bytes, stats.spill_bytes);
+        assert_eq!(stats.spill_raw_bytes, 64);
         assert!(store.mem_bytes() <= 100);
         assert!(store.has("old"), "spilled datasets stay materialized");
         // Reading it back decodes the spilled copy (a miss + a load)...
@@ -597,6 +1092,34 @@ mod tests {
     }
 
     #[test]
+    fn overwriting_a_spilled_entry_frees_its_live_spill_bytes() {
+        // The regression this pins down: replacing an already-spilled
+        // entry deletes the spill file but used to keep counting its
+        // bytes as live.
+        let store = DatasetStore::with_budget(100);
+        store.put_spillable(&h("a"), rows(1), 64, rows_codec());
+        store.put_spillable(&h("b"), rows(2), 64, rows_codec());
+        let spilled = store.stats();
+        assert!(spilled.live_spill_bytes > 0);
+        // Overwrite the spilled "a" with a small in-memory version.
+        store.put(&h("a"), rows(3), 8);
+        let stats = store.stats();
+        assert_eq!(stats.live_spill_bytes, 0, "dead spill bytes not freed");
+        assert_eq!(
+            stats.spill_bytes, spilled.spill_bytes,
+            "cumulative spill volume must not decrease"
+        );
+        assert!(store.blockstore().read(&spill_file("a")).is_none());
+        // remove() and drop_cached() free live bytes the same way.
+        let store = DatasetStore::with_budget(100);
+        store.put_spillable(&h("a"), rows(1), 64, rows_codec());
+        store.put_spillable(&h("b"), rows(2), 64, rows_codec());
+        assert!(store.stats().live_spill_bytes > 0);
+        store.remove("a");
+        assert_eq!(store.stats().live_spill_bytes, 0);
+    }
+
+    #[test]
     fn rows_codec_roundtrip() {
         let codec = rows_codec();
         let data = vec![vec![0.25, -1.5, 3.0], vec![], vec![42.0]];
@@ -614,5 +1137,120 @@ mod tests {
         assert!(store.remove("a"));
         assert!(!store.has("a"));
         assert!(!store.remove("a"));
+    }
+
+    #[test]
+    fn segmented_spill_reloads_byte_identically() {
+        let store = DatasetStore::with_budget(100);
+        store.put_segmented(&h("old"), rows(1), 64, seg_codec());
+        store.put(&h("filler"), rows(2), 64);
+        let stats = store.stats();
+        assert_eq!(stats.spills, 1);
+        assert!(stats.live_spill_bytes > 0);
+        // Header + 2 column segments exist in the block store.
+        assert!(store.blockstore().read("dataset/old/header").is_some());
+        assert!(store.blockstore().read("dataset/old/seg-0").is_some());
+        assert!(store.blockstore().read("dataset/old/seg-1").is_some());
+        // Full reload reassembles the exact value.
+        let back = store.get(&h("old")).unwrap();
+        assert_eq!(*back, rows(1));
+        let stats = store.stats();
+        assert_eq!(stats.spill_loads, 1);
+        assert_eq!(stats.segment_reads, 2);
+    }
+
+    #[test]
+    fn get_columns_projects_in_memory_values() {
+        let store = DatasetStore::new();
+        store.put_segmented(&h("a"), rows(0), 64, seg_codec());
+        let view: Arc<ColsView> = store.get_columns(&h("a"), &[1]).unwrap();
+        assert_eq!(*view, vec![(1, vec![0.5; 4])]);
+        let stats = store.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.segment_reads, 0, "no disk traffic for a hit");
+    }
+
+    #[test]
+    fn get_columns_from_spill_reads_only_requested_segments() {
+        let store = DatasetStore::with_budget(100);
+        store.put_segmented(&h("data"), rows(1), 64, seg_codec());
+        store.put(&h("filler"), rows(2), 64); // spills "data"
+        let before = store.blockstore().bytes_read();
+        let view: Arc<ColsView> = store.get_columns(&h("data"), &[0]).unwrap();
+        assert_eq!(*view, vec![(0, vec![1.0, 2.0, 3.0, 4.0])]);
+        let stats = store.stats();
+        assert_eq!(stats.segment_reads, 1, "only the requested segment");
+        assert_eq!(stats.segment_bytes_read, 32); // 4 rows × 8 bytes
+        assert!(stats.bytes_saved_by_projection >= 32, "skipped segment 1");
+        assert_eq!(store.blockstore().bytes_read() - before, 32);
+        // A second read of the same column is served from the partial
+        // cache: a hit, no extra segment reads.
+        let again: Arc<ColsView> = store.get_columns(&h("data"), &[0]).unwrap();
+        assert_eq!(*again, *view);
+        let stats2 = store.stats();
+        assert_eq!(stats2.segment_reads, 1);
+        assert_eq!(stats2.hits, 1);
+    }
+
+    #[test]
+    fn full_reload_reuses_partially_decoded_columns() {
+        let store = DatasetStore::with_budget(100);
+        store.put_segmented(&h("data"), rows(1), 64, seg_codec());
+        store.put(&h("filler"), rows(2), 64); // spills "data"
+        let _view: Arc<ColsView> = store.get_columns(&h("data"), &[0]).unwrap();
+        assert_eq!(store.stats().segment_reads, 1);
+        // Upgrading to the full value reads only the missing segment.
+        let back = store.get(&h("data")).unwrap();
+        assert_eq!(*back, rows(1));
+        let stats = store.stats();
+        assert_eq!(stats.segment_reads, 2, "cached column not re-read");
+        assert_eq!(stats.spill_loads, 1);
+    }
+
+    #[test]
+    fn partial_column_cache_is_evictable() {
+        // Budget sized so the partial column of "data" (32 = 64/2) must
+        // be cleared when "big" lands.
+        let store = DatasetStore::with_budget(100);
+        store.put_segmented(&h("data"), rows(1), 64, seg_codec());
+        store.put(&h("filler"), rows(2), 64); // spills "data"
+        let _view: Arc<ColsView> = store.get_columns(&h("data"), &[0]).unwrap();
+        let mem_with_partial = store.mem_bytes();
+        assert!(mem_with_partial > 64, "partial cache counts into memory");
+        store.put(&h("big"), rows(3), 90);
+        // The partial cache was the only evictable memory.
+        let evicted = store.stats();
+        assert!(evicted.evictions >= 2);
+        // The segments are still on disk, so the data is not lost.
+        let back = store.get(&h("data")).unwrap();
+        assert_eq!(*back, rows(1));
+    }
+
+    #[test]
+    fn get_columns_requires_a_segmented_codec() {
+        let store = DatasetStore::new();
+        store.put_spillable(&h("whole"), rows(1), 64, rows_codec());
+        let err = store
+            .get_columns::<Vec<Vec<f64>>, ColsView>(&h("whole"), &[0])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DatasetError::NotSegmented {
+                name: "whole".into()
+            }
+        );
+    }
+
+    #[test]
+    fn segmented_overwrite_deletes_all_segment_files() {
+        let store = DatasetStore::with_budget(100);
+        store.put_segmented(&h("data"), rows(1), 64, seg_codec());
+        store.put(&h("filler"), rows(2), 64); // spills "data"
+        assert!(store.blockstore().read("dataset/data/seg-0").is_some());
+        store.put(&h("data"), rows(9), 8);
+        assert!(store.blockstore().read("dataset/data/header").is_none());
+        assert!(store.blockstore().read("dataset/data/seg-0").is_none());
+        assert!(store.blockstore().read("dataset/data/seg-1").is_none());
+        assert_eq!(store.stats().live_spill_bytes, 0);
     }
 }

@@ -11,6 +11,10 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
+/// One reduce partition during the shuffle: a bucket per map task,
+/// committed in split order (see the comment in `run_inner`).
+type PartitionBuckets<K, V> = Mutex<Vec<Option<Vec<(K, V)>>>>;
+
 /// Engine configuration — the "cluster shape".
 #[derive(Debug, Clone)]
 pub struct MrConfig {
@@ -62,7 +66,9 @@ impl MrConfig {
 /// Result of one job: the reducer (or map-only) output plus metrics.
 #[derive(Debug)]
 pub struct JobOutput<O> {
+    /// Output records, in reducer key order (or map emission order).
     pub output: Vec<O>,
+    /// The job's execution counters.
     pub metrics: JobMetrics,
 }
 
@@ -71,13 +77,21 @@ pub struct JobOutput<O> {
 pub enum MrError {
     /// A map task exhausted its attempts.
     TaskFailed {
+        /// The job the task belonged to.
         job: String,
+        /// Index of the failing map task.
         task: usize,
+        /// How many attempts were made.
         attempts: usize,
     },
     /// A DAG-scheduled pipeline failed at the named node (see
     /// [`crate::dag`]); `message` is the rendered scheduler error.
-    Dag { node: String, message: String },
+    Dag {
+        /// The failing DAG node.
+        node: String,
+        /// The rendered scheduler error.
+        message: String,
+    },
 }
 
 impl fmt::Display for MrError {
@@ -112,6 +126,7 @@ pub struct Engine {
 }
 
 impl Engine {
+    /// Engine with an explicit configuration.
     pub fn new(config: MrConfig) -> Self {
         Self {
             config,
@@ -124,6 +139,7 @@ impl Engine {
         Self::new(MrConfig::default())
     }
 
+    /// The engine's configuration.
     pub fn config(&self) -> &MrConfig {
         &self.config
     }
@@ -319,7 +335,7 @@ impl Engine {
         // reducer sees independent of task *commit* order, so jobs with
         // order-sensitive float accumulation are byte-deterministic run
         // to run (and serial-vs-DAG driver comparisons stay exact).
-        let partitions: Vec<Mutex<Vec<Option<Vec<(K, V)>>>>> = (0..num_reducers)
+        let partitions: Vec<PartitionBuckets<K, V>> = (0..num_reducers)
             .map(|_| {
                 let mut buckets = Vec::new();
                 buckets.resize_with(splits.len(), || None);

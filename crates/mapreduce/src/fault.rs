@@ -17,6 +17,8 @@ pub struct FaultPlan {
 }
 
 impl FaultPlan {
+    /// Plan failing each attempt with `failure_probability`,
+    /// deterministically derived from `seed`.
     pub fn new(failure_probability: f64, seed: u64) -> Self {
         assert!(
             (0.0..=1.0).contains(&failure_probability),
@@ -63,6 +65,8 @@ pub struct StragglerPlan {
 }
 
 impl StragglerPlan {
+    /// Plan delaying each task by `delay_ms` with `probability`,
+    /// deterministically derived from `seed`.
     pub fn new(probability: f64, delay_ms: u64, seed: u64) -> Self {
         assert!(
             (0.0..=1.0).contains(&probability),

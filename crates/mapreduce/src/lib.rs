@@ -97,6 +97,7 @@
 //! assert_eq!(*store.get(&top).unwrap(), 3); // two words of length 3
 //! assert_eq!(report.metrics.total_executions, 2);
 //! ```
+#![warn(missing_docs)]
 
 pub mod api;
 pub mod blockstore;
@@ -117,7 +118,7 @@ pub use dag::{
 };
 pub use dataset::{
     rows_codec, take_dataset, DatasetCodec, DatasetError, DatasetHandle, DatasetStore,
-    DatasetStoreStats,
+    DatasetStoreStats, SegmentedCodec,
 };
 pub use engine::{stable_partition, Engine, JobOutput, MrConfig, MrError};
 pub use fault::FaultPlan;

@@ -53,6 +53,7 @@ pub struct JobMetrics {
 }
 
 impl JobMetrics {
+    /// Zeroed counters for a job of the given name.
     pub fn new(name: &str) -> Self {
         Self {
             job_name: name.to_string(),
@@ -107,8 +108,24 @@ pub struct DagMetrics {
     pub spills: u64,
     /// Encoded bytes written by those spills.
     pub spill_bytes: u64,
+    /// In-memory bytes of the datasets spilled during this run; with
+    /// [`DagMetrics::spill_bytes`] this gives the run's aggregate spill
+    /// compression ratio.
+    #[serde(default)]
+    pub spill_raw_bytes: u64,
     /// Spilled datasets loaded back into memory during this run.
     pub spill_loads: u64,
+    /// Column segments read from the block store during this run
+    /// (projected reads and segmented full reloads).
+    #[serde(default)]
+    pub segment_reads: u64,
+    /// Encoded bytes of those segment reads.
+    #[serde(default)]
+    pub segment_bytes_read: u64,
+    /// Encoded bytes that projected reads did not have to fetch during
+    /// this run — what column-projection pushdown saved.
+    #[serde(default)]
+    pub bytes_saved_by_projection: u64,
     /// Datasets evicted from memory (spilled or dropped) during this run.
     pub evictions: u64,
     /// Wall-clock of the whole DAG run.
@@ -133,6 +150,7 @@ pub struct ClusterMetrics {
 }
 
 impl ClusterMetrics {
+    /// An empty ledger.
     pub fn new() -> Self {
         Self::default()
     }

@@ -8,6 +8,7 @@
 
 /// Approximate serialized size of a value, in bytes.
 pub trait Weighable {
+    /// Approximate serialized size of `self`, in bytes.
     fn weight(&self) -> usize;
 }
 
