@@ -9,9 +9,12 @@
 # full-scale numbers; the smoke runs must not overwrite them), and a
 # rustdoc pass with warnings denied (missing docs on the data-plane
 # crates and broken intra-doc links fail the build).
-# Tier 2 (lint + formatting):
+# Tier 2 (lint + formatting + invariants):
 #   cargo clippy --all-targets -- -D warnings
 #   cargo fmt --check
+#   cargo run -p p3c-audit          (determinism/concurrency invariants)
+#   loom models                     (engine kernel, all interleavings)
+#   cargo +nightly miri             (dataset byte paths; skipped if absent)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -37,5 +40,24 @@ cargo clippy --all-targets -- -D warnings
 
 echo "==> tier 2: cargo fmt --check"
 cargo fmt --check
+
+echo "==> tier 2: determinism & concurrency audit"
+cargo run -q -p p3c-audit
+
+echo "==> tier 2: loom models (engine concurrency kernel)"
+RUSTFLAGS="--cfg loom" cargo test -q -p p3c-mapreduce --test loom_models
+
+# Miri catches UB on the codec/rowblock/dataset byte paths; it needs a
+# nightly toolchain with the miri component, which the pinned stable
+# container doesn't ship. Probe and skip gracefully rather than fail.
+if cargo +nightly miri --version > /dev/null 2>&1; then
+    echo "==> tier 2: cargo miri (dataset byte paths)"
+    cargo +nightly miri test -p p3c-dataset
+else
+    echo "==> tier 2: miri unavailable (no nightly toolchain) — skipped"
+fi
+
+# ThreadSanitizer would need nightly -Z build-std; the loom models above
+# cover the same interleavings deterministically, so TSan stays optional.
 
 echo "==> CI green"

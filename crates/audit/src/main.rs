@@ -1,0 +1,88 @@
+//! Workspace determinism auditor.
+//!
+//! Walks the workspace sources and enforces the invariant catalog of
+//! DESIGN.md §10: no hash-ordered iteration on emitted paths, no
+//! panics in error-propagating engine code, no wall-clock or entropy
+//! dependence in result-affecting code, disciplined atomic orderings,
+//! and order-exact float reductions. Violations can be waived inline
+//! with `// audit: <key> — <reason>`; stale or unjustified waivers are
+//! violations themselves.
+//!
+//! Run with `cargo run -p p3c-audit`. Exits 1 if any violation stands,
+//! so CI can gate on it (see ci.sh tier 2).
+
+mod lexer;
+mod rules;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directories under the repo root that contain audited sources.
+const ROOTS: &[&str] = &["crates", "src"];
+
+fn main() -> ExitCode {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("audit crate lives two levels under the repo root");
+
+    let mut files = Vec::new();
+    for root in ROOTS {
+        collect_rs_files(&repo_root.join(root), &mut files);
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut waivers_in_force = 0usize;
+    for path in &files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("p3c-audit: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let rel = path
+            .strip_prefix(&repo_root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let scan = lexer::scan(&source);
+        waivers_in_force += scan.waivers.len();
+        violations.extend(rules::check_file(&rel, &scan));
+    }
+
+    for v in &violations {
+        println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+    }
+    println!(
+        "p3c-audit: {} file(s) scanned, {} waiver(s), {} violation(s)",
+        files.len(),
+        waivers_in_force,
+        violations.len()
+    );
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}

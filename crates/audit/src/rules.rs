@@ -1,0 +1,444 @@
+//! The invariant catalog: five families of lexical rules over the
+//! production regions of scoped source files (see DESIGN.md §10).
+//!
+//! Each rule names the waiver key that can suppress it. A waiver only
+//! counts if it covers the flagged line, uses a known key, and carries
+//! a non-empty reason; unknown keys, missing reasons, and waivers that
+//! suppress nothing ("stale") are themselves violations, so the waiver
+//! inventory can never rot silently.
+
+use crate::lexer::FileScan;
+
+/// Names every waiver key the auditor understands.
+pub const KNOWN_KEYS: &[&str] = &[
+    "unordered-ok",
+    "panic-ok",
+    "time-ok",
+    "rng-ok",
+    "relaxed-ok",
+    "order-exact",
+];
+
+/// One audit finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule identifier, e.g. `hash-iteration`.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+struct Rule {
+    id: &'static str,
+    waiver_key: &'static str,
+    /// Path scopes: a file is in scope if its repo-relative path starts
+    /// with any of these prefixes (exact file paths work too).
+    scopes: &'static [&'static str],
+    /// Paths excluded even when a scope matches.
+    excludes: &'static [&'static str],
+    /// Returns a message if the code line violates the rule.
+    check: fn(&str) -> Option<String>,
+}
+
+/// Rule 1 — container iteration order. Hash containers iterate in a
+/// randomized (or at best unspecified) order; any use on paths that
+/// feed grouped, emitted, or persisted output risks run-to-run drift.
+/// The deterministic substitute is `BTreeMap`/`BTreeSet`.
+fn check_hash_container(code: &str) -> Option<String> {
+    for token in ["HashMap", "HashSet"] {
+        if has_token(code, token) {
+            return Some(format!(
+                "{token} on an order-sensitive path — use BTreeMap/BTreeSet \
+                 or waive with `audit: unordered-ok`"
+            ));
+        }
+    }
+    None
+}
+
+/// Rule 2 — panic freedom. The engine, DAG scheduler, dataset store and
+/// block store promise `MrError`/`DatasetError` propagation; a panic in
+/// a worker thread poisons locks and loses counter deltas.
+fn check_panic(code: &str) -> Option<String> {
+    for token in [
+        ".unwrap()",
+        ".expect(",
+        "panic!(",
+        "unreachable!(",
+        "todo!(",
+        "unimplemented!(",
+    ] {
+        if code.contains(token) {
+            let name = token.trim_start_matches('.').trim_end_matches('(');
+            return Some(format!(
+                "{name} in error-propagating code — route through the crate \
+                 error type or waive with `audit: panic-ok`"
+            ));
+        }
+    }
+    None
+}
+
+/// Rule 3a — wall-clock reads. `Instant`/`SystemTime` in result-
+/// affecting code makes output depend on scheduling and machine speed.
+/// Metrics-only reads are waived with `time-ok`.
+fn check_wall_clock(code: &str) -> Option<String> {
+    for token in ["Instant::now", "SystemTime::now"] {
+        if code.contains(token) {
+            return Some(format!(
+                "{token} in result-affecting code — timing may only feed \
+                 metrics (waive with `audit: time-ok`)"
+            ));
+        }
+    }
+    None
+}
+
+/// Rule 3b — nondeterministic randomness. Entropy-seeded RNGs make runs
+/// unreproducible; all randomness must flow from an explicit seed.
+fn check_rng(code: &str) -> Option<String> {
+    for token in ["thread_rng", "from_entropy", "rand::random"] {
+        if code.contains(token) {
+            return Some(format!(
+                "{token}: entropy-seeded RNG — derive from an explicit seed \
+                 or waive with `audit: rng-ok`"
+            ));
+        }
+    }
+    None
+}
+
+/// Rule 4 — atomic ordering discipline. `Relaxed` is fine for monotonic
+/// metric counters but unsound for flags that publish data written by
+/// another thread; each use must be waived with a reason saying which
+/// it is.
+fn check_relaxed(code: &str) -> Option<String> {
+    code.contains("Ordering::Relaxed").then(|| {
+        "Ordering::Relaxed — must not guard data visibility; if this is a \
+         plain counter, waive with `audit: relaxed-ok`"
+            .to_string()
+    })
+}
+
+/// Rule 5 — float reduction order. Float addition is not associative;
+/// `.sum()`/`.fold(..)` over values that originate from parallel
+/// partitions must be marked order-exact (fixed iteration order, or an
+/// order-insensitive op like min/max).
+fn check_float_reduction(code: &str) -> Option<String> {
+    let reduces = code.contains(".sum(") || code.contains(".fold(");
+    (reduces && code.contains("f64")).then(|| {
+        "f64 reduction — float addition is order-sensitive; fix the \
+         iteration order and mark with `audit: order-exact`"
+            .to_string()
+    })
+}
+
+/// True if `token` occurs delimited by non-identifier characters (so
+/// `HashMap` does not match `MyHashMapLike`).
+fn has_token(code: &str, token: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = code[at + token.len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + token.len();
+    }
+    false
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        id: "hash-iteration",
+        waiver_key: "unordered-ok",
+        scopes: &[
+            "crates/core/src/mr/",
+            "crates/mapreduce/src/engine.rs",
+            "crates/mapreduce/src/dag.rs",
+            "crates/mapreduce/src/dataset.rs",
+        ],
+        excludes: &[],
+        check: check_hash_container,
+    },
+    Rule {
+        id: "no-panic",
+        waiver_key: "panic-ok",
+        scopes: &[
+            "crates/mapreduce/src/engine.rs",
+            "crates/mapreduce/src/dag.rs",
+            "crates/mapreduce/src/dataset.rs",
+            "crates/mapreduce/src/blockstore.rs",
+        ],
+        excludes: &[],
+        check: check_panic,
+    },
+    Rule {
+        id: "wall-clock",
+        waiver_key: "time-ok",
+        scopes: &["crates/core/src/", "crates/mapreduce/src/"],
+        excludes: &["crates/mapreduce/src/metrics.rs"],
+        check: check_wall_clock,
+    },
+    Rule {
+        id: "nondeterministic-rng",
+        waiver_key: "rng-ok",
+        scopes: &["crates/core/src/", "crates/mapreduce/src/"],
+        excludes: &[],
+        check: check_rng,
+    },
+    Rule {
+        id: "relaxed-ordering",
+        waiver_key: "relaxed-ok",
+        scopes: &["crates/core/src/", "crates/mapreduce/src/"],
+        excludes: &[],
+        check: check_relaxed,
+    },
+    Rule {
+        id: "float-reduction",
+        waiver_key: "order-exact",
+        scopes: &["crates/core/src/"],
+        excludes: &[],
+        check: check_float_reduction,
+    },
+];
+
+fn in_scope(rule: &Rule, path: &str) -> bool {
+    rule.scopes.iter().any(|s| path.starts_with(s))
+        && !rule.excludes.iter().any(|e| path.starts_with(e))
+}
+
+/// Last line (1-based, inclusive) of the statement starting on `start`:
+/// rustfmt freely re-wraps statements, so a waiver must keep covering
+/// its statement however many lines the formatter spreads it over. The
+/// heuristic walks forward until a code line ends in `;`, `{`, `}`,
+/// or `,`, bounded so a miss cannot blanket a whole file.
+fn statement_end(scan: &FileScan, start: usize) -> usize {
+    const MAX_SPAN: usize = 12;
+    let mut line = start;
+    while line <= scan.code.len() && line < start + MAX_SPAN {
+        let code = scan.code[line - 1].trim_end();
+        // `,` terminates too: a struct-literal field or match arm is its
+        // own unit, and without it one waiver would blanket its siblings.
+        if code.ends_with(';') || code.ends_with('{') || code.ends_with('}') || code.ends_with(',')
+        {
+            return line;
+        }
+        line += 1;
+    }
+    line.min(scan.code.len())
+}
+
+/// Runs every rule over one lexed file. `path` is repo-relative with
+/// forward slashes.
+pub fn check_file(path: &str, scan: &FileScan) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    // Waiver bookkeeping: which waivers actually suppressed something.
+    let mut used = vec![false; scan.waivers.len()];
+
+    for rule in RULES {
+        if !in_scope(rule, path) {
+            continue;
+        }
+        for (idx, code) in scan.code.iter().enumerate() {
+            let line = idx + 1;
+            if !scan.is_production(line) {
+                break;
+            }
+            let Some(message) = (rule.check)(code) else {
+                continue;
+            };
+            let waiver = scan.waivers.iter().position(|w| {
+                w.key == rule.waiver_key
+                    && w.covers <= line
+                    && line <= statement_end(scan, w.covers)
+            });
+            match waiver {
+                Some(w) if !scan.waivers[w].reason.is_empty() => used[w] = true,
+                Some(w) => {
+                    used[w] = true;
+                    violations.push(Violation {
+                        file: path.to_string(),
+                        line: scan.waivers[w].line,
+                        rule: rule.id,
+                        message: format!(
+                            "waiver `{}` has no reason — every waiver must \
+                             justify itself",
+                            scan.waivers[w].key
+                        ),
+                    });
+                }
+                None => violations.push(Violation {
+                    file: path.to_string(),
+                    line,
+                    rule: rule.id,
+                    message,
+                }),
+            }
+        }
+    }
+
+    // Waiver hygiene applies to every scanned file, in or out of rule
+    // scope: unknown keys are typos, stale waivers are rot.
+    for (w, waiver) in scan.waivers.iter().enumerate() {
+        if !KNOWN_KEYS.contains(&waiver.key.as_str()) {
+            violations.push(Violation {
+                file: path.to_string(),
+                line: waiver.line,
+                rule: "waiver-hygiene",
+                message: format!(
+                    "unknown waiver key `{}` (known: {})",
+                    waiver.key,
+                    KNOWN_KEYS.join(", ")
+                ),
+            });
+        } else if !used[w] {
+            violations.push(Violation {
+                file: path.to_string(),
+                line: waiver.line,
+                rule: "waiver-hygiene",
+                message: format!(
+                    "stale waiver `{}` — covers line {} but suppresses \
+                     nothing; remove it",
+                    waiver.key, waiver.covers
+                ),
+            });
+        }
+    }
+
+    violations.sort();
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn check(path: &str, src: &str) -> Vec<Violation> {
+        check_file(path, &scan(src))
+    }
+
+    #[test]
+    fn hash_map_flagged_in_scoped_path_only() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(check("crates/core/src/mr/pipeline.rs", src).len(), 1);
+        assert_eq!(check("crates/eval/src/rnia.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn waiver_with_reason_suppresses() {
+        let src = "\
+// audit: unordered-ok — membership probes only; never iterated.
+use std::collections::HashSet;
+";
+        assert!(check("crates/core/src/mr/coregen.rs", src).is_empty());
+    }
+
+    #[test]
+    fn waiver_without_reason_is_a_violation() {
+        let src = "use std::collections::HashSet; // audit: unordered-ok\n";
+        let v = check("crates/core/src/mr/coregen.rs", src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("no reason"));
+    }
+
+    #[test]
+    fn waiver_covers_a_statement_rewrapped_over_two_lines() {
+        // rustfmt may split `counter.fetch_add(n, Ordering::Relaxed);`
+        // across lines; the waiver must still cover the whole statement.
+        let src = "\
+// audit: relaxed-ok — monotonic counter, read after joins.
+self.bytes_read
+    .fetch_add(out.len() as u64, Ordering::Relaxed);
+";
+        assert!(check("crates/mapreduce/src/blockstore.rs", src).is_empty());
+    }
+
+    #[test]
+    fn waiver_span_stops_at_a_struct_field_comma() {
+        // A struct-literal field ends in `,`; the first waiver must not
+        // blanket the next field, whose own waiver would then be stale.
+        let src = "\
+let m = Metrics {
+    // audit: relaxed-ok — read after joins.
+    total: shared.total.load(Ordering::Relaxed),
+    // audit: relaxed-ok — as above.
+    failed: shared.failed.load(Ordering::Relaxed),
+};
+";
+        assert!(check("crates/mapreduce/src/dag.rs", src).is_empty());
+    }
+
+    #[test]
+    fn stale_and_unknown_waivers_are_violations() {
+        let src = "\
+let x = 1; // audit: panic-ok — nothing here panics though
+let y = 2; // audit: no-such-key — typo
+";
+        let v = check("crates/mapreduce/src/engine.rs", src);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().any(|v| v.message.contains("stale waiver")));
+        assert!(v.iter().any(|v| v.message.contains("unknown waiver key")));
+    }
+
+    #[test]
+    fn panic_tokens_flagged_and_unwrap_or_is_not() {
+        let src = "\
+let a = x.unwrap();
+let b = x.unwrap_or(0);
+let c = x.unwrap_or_else(Vec::new);
+";
+        let v = check("crates/mapreduce/src/dataset.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn test_module_is_not_scanned() {
+        let src = "\
+fn prod() {}
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); panic!(); }
+}
+";
+        assert!(check("crates/mapreduce/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tokens_in_strings_and_comments_do_not_fire() {
+        let src = "\
+let m = \"HashMap here\"; // HashMap there
+/* Instant::now() */
+let s = r#\"panic!()\"#;
+";
+        assert!(check("crates/mapreduce/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_needs_waiver_and_float_reduction_detected() {
+        let relaxed = "c.fetch_add(1, Ordering::Relaxed);\n";
+        assert_eq!(check("crates/mapreduce/src/dag.rs", relaxed).len(), 1);
+        let float = "let s: f64 = xs.iter().sum();\n";
+        assert_eq!(check("crates/core/src/em.rs", float).len(), 1);
+        let int = "let s: u64 = xs.iter().sum();\n";
+        assert!(check("crates/core/src/em.rs", int).is_empty());
+    }
+
+    #[test]
+    fn identifier_boundaries_respected() {
+        let src = "struct MyHashMapLike;\n";
+        assert!(check("crates/core/src/mr/histogram.rs", src).is_empty());
+    }
+}

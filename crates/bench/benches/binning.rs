@@ -20,9 +20,10 @@ fn bench_binning(c: &mut Criterion) {
         });
         let rows = data.dataset.row_refs();
         group.throughput(Throughput::Elements(n as u64));
-        for (rule, name) in
-            [(BinRule::Sturges, "sturges"), (BinRule::FreedmanDiaconis, "fd")]
-        {
+        for (rule, name) in [
+            (BinRule::Sturges, "sturges"),
+            (BinRule::FreedmanDiaconis, "fd"),
+        ] {
             let bins = rule.num_bins(n);
             group.bench_with_input(BenchmarkId::new(name, n), &rows, |b, rows| {
                 b.iter(|| build_histograms_rows(rows, bins))

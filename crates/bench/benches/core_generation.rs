@@ -52,7 +52,10 @@ fn bench_core_generation(c: &mut Criterion) {
     let bins = BinRule::FreedmanDiaconis.num_bins(rows.len());
     let hists = build_histograms_rows(&rows, bins);
     let intervals = relevant_intervals(&hists.histograms, params.alpha_chi2);
-    let no_filter = P3cParams { use_redundancy_filter: false, ..params.clone() };
+    let no_filter = P3cParams {
+        use_redundancy_filter: false,
+        ..params.clone()
+    };
     let gen = generate_cluster_cores(&intervals, &rows, &no_filter);
     let mut cores = gen.cores;
     p3c_core::cores::attach_expected_supports(&mut cores, rows.len());

@@ -26,8 +26,11 @@ fn bench_mr_jobs(c: &mut Criterion) {
     group.throughput(Throughput::Elements(n));
 
     for &split_size in &[2_048usize, 16_384] {
-        let engine =
-            Engine::new(MrConfig { split_size, num_reducers: 8, ..MrConfig::default() });
+        let engine = Engine::new(MrConfig {
+            split_size,
+            num_reducers: 8,
+            ..MrConfig::default()
+        });
         group.bench_with_input(
             BenchmarkId::new("histogram_job", split_size),
             &engine,
@@ -43,7 +46,10 @@ fn bench_mr_jobs(c: &mut Criterion) {
             ])
         })
         .collect();
-    let engine = Engine::new(MrConfig { split_size: 8_192, ..MrConfig::default() });
+    let engine = Engine::new(MrConfig {
+        split_size: 8_192,
+        ..MrConfig::default()
+    });
     group.bench_function("proving_job_128_candidates", |b| {
         b.iter(|| proving_job(&engine, &candidates, &rows).unwrap())
     });
@@ -56,7 +62,11 @@ fn bench_mr_jobs(c: &mut Criterion) {
     };
     group.throughput(Throughput::Elements(ints.len() as u64));
     group.bench_function("shuffle_200k_records", |b| {
-        b.iter(|| engine.run("bench-shuffle", &ints, &mapper, &reducer).unwrap())
+        b.iter(|| {
+            engine
+                .run("bench-shuffle", &ints, &mapper, &reducer)
+                .unwrap()
+        })
     });
     group.finish();
 }

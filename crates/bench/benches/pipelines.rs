@@ -19,9 +19,13 @@ fn bench_pipelines(c: &mut Criterion) {
             ..SyntheticSpec::default()
         });
         group.throughput(Throughput::Elements(n as u64));
-        for algo in
-            [Algo::BowLight, Algo::BowMvb, Algo::MrLight, Algo::MrMvb, Algo::MrNaive]
-        {
+        for algo in [
+            Algo::BowLight,
+            Algo::BowMvb,
+            Algo::MrLight,
+            Algo::MrMvb,
+            Algo::MrNaive,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(algo.label().replace(' ', "_"), n),
                 &data.dataset,

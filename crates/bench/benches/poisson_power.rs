@@ -10,16 +10,12 @@ fn bench_poisson(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("exact_tail", lambda as u64),
             &lambda,
-            |b, &l| {
-                b.iter(|| PoissonTest::tail_prob_exact(black_box(1.01 * l), black_box(l)))
-            },
+            |b, &l| b.iter(|| PoissonTest::tail_prob_exact(black_box(1.01 * l), black_box(l))),
         );
         group.bench_with_input(
             BenchmarkId::new("gauss_tail", lambda as u64),
             &lambda,
-            |b, &l| {
-                b.iter(|| PoissonTest::tail_prob_gauss(black_box(1.01 * l), black_box(l)))
-            },
+            |b, &l| b.iter(|| PoissonTest::tail_prob_gauss(black_box(1.01 * l), black_box(l))),
         );
     }
     let test = PoissonTest::new(1e-10);

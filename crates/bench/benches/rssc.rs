@@ -34,8 +34,9 @@ fn make_candidates(count: usize, rng: &mut StdRng) -> Vec<Signature> {
 
 fn bench_rssc(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(42);
-    let data: Vec<Vec<f64>> =
-        (0..20_000).map(|_| (0..DIMS).map(|_| rng.gen::<f64>()).collect()).collect();
+    let data: Vec<Vec<f64>> = (0..20_000)
+        .map(|_| (0..DIMS).map(|_| rng.gen::<f64>()).collect())
+        .collect();
     let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
 
     let mut group = c.benchmark_group("support_counting");
@@ -49,11 +50,9 @@ fn bench_rssc(c: &mut Criterion) {
         // The naive oracle becomes unbearable past ~1k candidates; bench
         // it only where it finishes quickly, which is exactly the point.
         if count <= 512 {
-            group.bench_with_input(
-                BenchmarkId::new("naive", count),
-                &candidates,
-                |b, cands| b.iter(|| count_supports_naive(cands, &rows)),
-            );
+            group.bench_with_input(BenchmarkId::new("naive", count), &candidates, |b, cands| {
+                b.iter(|| count_supports_naive(cands, &rows))
+            });
         }
     }
     group.finish();

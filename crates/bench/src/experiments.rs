@@ -671,7 +671,6 @@ pub fn bins(scale: &Scale) -> Report {
     report
 }
 
-
 // --------------------------------------------------------------- kernels --
 
 /// Times one pass of `f` per repetition and returns the best wall time.
@@ -741,7 +740,10 @@ pub fn kernels(scale: &Scale) -> Report {
             weight: 1.0 / k as f64,
         })
         .collect();
-    let model = MixtureModel { arel: arel.clone(), components };
+    let model = MixtureModel {
+        arel: arel.clone(),
+        components,
+    };
     let eval = model.evaluator();
     // The baseline's per-component state, built from the same public
     // pieces the old `em_fit` used: it pays a `diff` collect plus the
@@ -752,8 +754,7 @@ pub fn kernels(scale: &Scale) -> Report {
         .map(|c| {
             let chol = p3c_linalg::Cholesky::new_regularized(&c.cov).expect("spd");
             let log_norm = c.weight.ln()
-                - 0.5
-                    * (arel.len() as f64 * (2.0 * std::f64::consts::PI).ln() + chol.log_det());
+                - 0.5 * (arel.len() as f64 * (2.0 * std::f64::consts::PI).ln() + chol.log_det());
             (c.mean.clone(), chol, log_norm)
         })
         .collect();
@@ -819,7 +820,12 @@ pub fn kernels(scale: &Scale) -> Report {
         black_box(build_histograms_per_attr(&refs, &bins_per_attr));
     });
     let opt = best_of(reps, || {
-        black_box(build_histograms_columnar(n, d, data.as_slice(), &bins_per_attr));
+        black_box(build_histograms_columnar(
+            n,
+            d,
+            data.as_slice(),
+            &bins_per_attr,
+        ));
     });
     assert_eq!(
         build_histograms_per_attr(&refs, &bins_per_attr),
@@ -869,9 +875,16 @@ pub fn kernels(scale: &Scale) -> Report {
     let reducer = |key: &u64, vs: Vec<u64>, out: &mut Vec<(u64, u64)>| {
         out.push((*key, vs.into_iter().sum()));
     };
-    let eng = Engine::new(MrConfig { split_size: 50_000, threads: 8, ..MrConfig::default() });
+    let eng = Engine::new(MrConfig {
+        split_size: 50_000,
+        threads: 8,
+        ..MrConfig::default()
+    });
     let wall = best_of(reps, || {
-        black_box(eng.run("kernels-shuffle", &records, &mapper, &reducer).expect("job"));
+        black_box(
+            eng.run("kernels-shuffle", &records, &mapper, &reducer)
+                .expect("job"),
+        );
     });
     report.push_row(vec![
         "engine map+shuffle+reduce".into(),
@@ -952,7 +965,9 @@ pub fn codec(scale: &Scale) -> Report {
         }
     });
     let seg_bytes = (seg.encode_header)(&block).len()
-        + (0..d).map(|j| (seg.encode_segment)(&block, j).len()).sum::<usize>();
+        + (0..d)
+            .map(|j| (seg.encode_segment)(&block, j).len())
+            .sum::<usize>();
 
     // Reload cost, measured as block-store read bytes through a
     // zero-budget store (every put spills immediately).

@@ -28,14 +28,22 @@ pub struct Scale {
 
 impl Default for Scale {
     fn default() -> Self {
-        Self { factor: 1.0, dims: 50, seed: 7 }
+        Self {
+            factor: 1.0,
+            dims: 50,
+            seed: 7,
+        }
     }
 }
 
 impl Scale {
     /// A fast configuration for CI and tests.
     pub fn smoke() -> Self {
-        Self { factor: 0.05, dims: 12, ..Self::default() }
+        Self {
+            factor: 0.05,
+            dims: 12,
+            ..Self::default()
+        }
     }
 
     /// Applies the factor to a base size (at least 500 points).

@@ -27,7 +27,10 @@ impl Rect {
     /// Builds a rectangle from attribute intervals.
     pub fn new(intervals: impl IntoIterator<Item = AttrInterval>) -> Self {
         Self {
-            intervals: intervals.into_iter().map(|iv| (iv.attr, (iv.lo, iv.hi))).collect(),
+            intervals: intervals
+                .into_iter()
+                .map(|iv| (iv.attr, (iv.lo, iv.hi)))
+                .collect(),
         }
     }
 
@@ -47,7 +50,9 @@ impl Rect {
 
     /// The interval on `attr`, if constrained.
     pub fn interval(&self, attr: usize) -> Option<AttrInterval> {
-        self.intervals.get(&attr).map(|&(lo, hi)| AttrInterval::new(attr, lo, hi))
+        self.intervals
+            .get(&attr)
+            .map(|&(lo, hi)| AttrInterval::new(attr, lo, hi))
     }
 
     /// The intervals as a sorted list.
@@ -68,7 +73,11 @@ impl Rect {
 
     /// Jaccard similarity of the attribute sets.
     pub fn attr_jaccard(&self, other: &Rect) -> f64 {
-        let shared = self.intervals.keys().filter(|a| other.intervals.contains_key(a)).count();
+        let shared = self
+            .intervals
+            .keys()
+            .filter(|a| other.intervals.contains_key(a))
+            .count();
         let union = self.dim() + other.dim() - shared;
         if union == 0 {
             1.0
@@ -80,10 +89,12 @@ impl Rect {
     /// Whether the intervals overlap on every shared attribute (vacuously
     /// true when no attribute is shared).
     pub fn overlaps_on_shared(&self, other: &Rect) -> bool {
-        self.intervals.iter().all(|(attr, &(lo, hi))| match other.intervals.get(attr) {
-            Some(&(olo, ohi)) => lo <= ohi && olo <= hi,
-            None => true,
-        })
+        self.intervals
+            .iter()
+            .all(|(attr, &(lo, hi))| match other.intervals.get(attr) {
+                Some(&(olo, ohi)) => lo <= ohi && olo <= hi,
+                None => true,
+            })
     }
 
     /// The BoW merge predicate (see module docs).
@@ -126,9 +137,7 @@ pub fn merge_rectangles(mut rects: Vec<Rect>, min_jaccard: f64) -> Vec<Rect> {
                 .iter()
                 .enumerate()
                 .filter(|(_, existing)| existing.should_merge(&rect, min_jaccard))
-                .max_by(|(_, a), (_, b)| {
-                    a.attr_jaccard(&rect).total_cmp(&b.attr_jaccard(&rect))
-                })
+                .max_by(|(_, a), (_, b)| a.attr_jaccard(&rect).total_cmp(&b.attr_jaccard(&rect)))
                 .map(|(i, _)| i);
             match best {
                 Some(i) => {

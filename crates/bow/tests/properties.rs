@@ -5,14 +5,12 @@ use p3c_dataset::AttrInterval;
 use proptest::prelude::*;
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
-    prop::collection::btree_map(0usize..6, (0.0f64..0.8, 0.01f64..0.2), 1..4).prop_map(
-        |m| {
-            Rect::new(
-                m.into_iter()
-                    .map(|(attr, (lo, w))| AttrInterval::new(attr, lo, (lo + w).min(1.0))),
-            )
-        },
-    )
+    prop::collection::btree_map(0usize..6, (0.0f64..0.8, 0.01f64..0.2), 1..4).prop_map(|m| {
+        Rect::new(
+            m.into_iter()
+                .map(|(attr, (lo, w))| AttrInterval::new(attr, lo, (lo + w).min(1.0))),
+        )
+    })
 }
 
 proptest! {

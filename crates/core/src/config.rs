@@ -141,14 +141,26 @@ impl P3cParams {
     /// The paper's Section 7.3 experiment settings (α_χ² = 0.001,
     /// α_poi = 0.01, θ_cc = 0.35) on top of the P3C+ defaults.
     pub fn paper_experiment() -> Self {
-        Self { alpha_poisson: 0.01, ..Self::default() }
+        Self {
+            alpha_poisson: 0.01,
+            ..Self::default()
+        }
     }
 
     /// Checks internal consistency; called by pipeline constructors.
     pub fn validate(&self) {
-        assert!(self.alpha_chi2 > 0.0 && self.alpha_chi2 < 1.0, "alpha_chi2 out of range");
-        assert!(self.alpha_poisson > 0.0 && self.alpha_poisson < 1.0, "alpha_poisson out of range");
-        assert!(self.alpha_outlier > 0.0 && self.alpha_outlier < 1.0, "alpha_outlier out of range");
+        assert!(
+            self.alpha_chi2 > 0.0 && self.alpha_chi2 < 1.0,
+            "alpha_chi2 out of range"
+        );
+        assert!(
+            self.alpha_poisson > 0.0 && self.alpha_poisson < 1.0,
+            "alpha_poisson out of range"
+        );
+        assert!(
+            self.alpha_outlier > 0.0 && self.alpha_outlier < 1.0,
+            "alpha_outlier out of range"
+        );
         assert!(self.theta_cc >= 0.0, "theta_cc must be nonnegative");
         assert!(self.max_levels >= 1, "max_levels must be at least 1");
     }
@@ -184,7 +196,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "alpha_poisson")]
     fn invalid_alpha_rejected() {
-        P3cParams { alpha_poisson: 0.0, ..P3cParams::default() }.validate();
+        P3cParams {
+            alpha_poisson: 0.0,
+            ..P3cParams::default()
+        }
+        .validate();
     }
 
     #[test]

@@ -247,8 +247,10 @@ pub fn generate_cluster_cores(
     let mut all_proven: Vec<(Signature, f64)> = Vec::new();
 
     // Level 1: singleton signatures from the relevant intervals.
-    let mut candidates: Vec<Signature> =
-        intervals.iter().map(|&iv| Signature::singleton(iv)).collect();
+    let mut candidates: Vec<Signature> = intervals
+        .iter()
+        .map(|&iv| Signature::singleton(iv))
+        .collect();
     candidates.sort();
     candidates.dedup();
 
@@ -270,8 +272,7 @@ pub fn generate_cluster_cores(
             .collect();
         stats.proven_per_level.push(proven.len());
 
-        let prev_proven_set: HashSet<Signature> =
-            proven.iter().map(|(s, _)| s.clone()).collect();
+        let prev_proven_set: HashSet<Signature> = proven.iter().map(|(s, _)| s.clone()).collect();
         let prev_level: Vec<Signature> = proven.iter().map(|(s, _)| s.clone()).collect();
         all_proven.extend(proven);
 
@@ -282,7 +283,12 @@ pub fn generate_cluster_cores(
     stats.total_proven = all_proven.len();
     let cores = filter_maximal(&all_proven);
     stats.maximal = cores.len();
-    CoreGenResult { cores, proven: all_proven, table, stats }
+    CoreGenResult {
+        cores,
+        proven: all_proven,
+        table,
+        stats,
+    }
 }
 
 /// Applies the `max_candidates_per_level` safety valve to one level.
@@ -383,7 +389,11 @@ mod tests {
 
     #[test]
     fn equation1_requires_all_leave_one_outs() {
-        let params = P3cParams { alpha_poisson: 0.01, use_effect_size: false, ..P3cParams::default() };
+        let params = P3cParams {
+            alpha_poisson: 0.01,
+            use_effect_size: false,
+            ..P3cParams::default()
+        };
         let tester = SupportTester::from_params(&params);
         let mut table = SupportTable::new();
         let a = Signature::singleton(iv(0, 0, 0));
@@ -415,7 +425,12 @@ mod tests {
         // plus a decoy on attr2 covering everything (width 1 → never
         // significant).
         let intervals = vec![iv(0, 1, 2), iv(1, 5, 6), iv(2, 0, 9)];
-        let params = P3cParams { alpha_poisson: 1e-6, use_effect_size: true, theta_cc: 0.35, ..P3cParams::default() };
+        let params = P3cParams {
+            alpha_poisson: 1e-6,
+            use_effect_size: true,
+            theta_cc: 0.35,
+            ..P3cParams::default()
+        };
         let result = generate_cluster_cores(&intervals, &rows, &params);
         // The maximal core must be the 2-signature on attrs {0,1}.
         assert!(
@@ -424,7 +439,11 @@ mod tests {
                 .iter()
                 .any(|c| c.signature.attributes().into_iter().collect::<Vec<_>>() == vec![0, 1]),
             "cores: {:?}",
-            result.cores.iter().map(|c| c.signature.to_string()).collect::<Vec<_>>()
+            result
+                .cores
+                .iter()
+                .map(|c| c.signature.to_string())
+                .collect::<Vec<_>>()
         );
         // The full-width decoy interval must not appear in any core.
         assert!(result
@@ -438,8 +457,7 @@ mod tests {
         let a = Signature::singleton(iv(0, 0, 1));
         let ab = Signature::new(vec![iv(0, 0, 1), iv(1, 2, 3)]);
         let c = Signature::singleton(iv(2, 4, 5));
-        let proven =
-            vec![(a.clone(), 100.0), (ab.clone(), 90.0), (c.clone(), 50.0)];
+        let proven = vec![(a.clone(), 100.0), (ab.clone(), 90.0), (c.clone(), 50.0)];
         let cores = filter_maximal(&proven);
         let sigs: Vec<&Signature> = cores.iter().map(|c| &c.signature).collect();
         assert_eq!(sigs.len(), 2);
@@ -456,8 +474,8 @@ mod tests {
         let proven: HashSet<Signature> = level.iter().cloned().collect();
         let cands = generate_candidates(&level, &proven);
         assert_eq!(cands.len(), 3); // ab, ac, bc
-        // Drop b from the level (an unproven signature never reaches the
-        // join): only the ac candidate remains.
+                                    // Drop b from the level (an unproven signature never reaches the
+                                    // join): only the ac candidate remains.
         let level2: Vec<Signature> = vec![a.clone(), c.clone()];
         let pruned: HashSet<Signature> = level2.iter().cloned().collect();
         let cands2 = generate_candidates(&level2, &pruned);
@@ -481,7 +499,10 @@ mod tests {
         assert_eq!(cands.len(), 1); // abc
         let without_bc: HashSet<Signature> = [ab.clone(), ac.clone()].into_iter().collect();
         let cands2 = generate_candidates(&[ab, ac], &without_bc);
-        assert!(cands2.is_empty(), "abc must be pruned without bc: {cands2:?}");
+        assert!(
+            cands2.is_empty(),
+            "abc must be pruned without bc: {cands2:?}"
+        );
     }
 
     #[test]
@@ -489,8 +510,7 @@ mod tests {
         let data = clustered_rows();
         let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
         let intervals = vec![iv(0, 1, 2), iv(1, 5, 6)];
-        let result =
-            generate_cluster_cores(&intervals, &rows, &P3cParams::default());
+        let result = generate_cluster_cores(&intervals, &rows, &P3cParams::default());
         assert!(!result.stats.candidates_per_level.is_empty());
         assert_eq!(result.stats.candidates_per_level[0], 2);
         assert_eq!(result.stats.total_proven, result.proven.len());

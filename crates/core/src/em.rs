@@ -42,14 +42,16 @@ impl MixtureModel {
             .components
             .iter()
             .map(|c| {
-                let chol = Cholesky::new_regularized(&c.cov)
-                    .expect("covariance not regularizable");
+                let chol = Cholesky::new_regularized(&c.cov).expect("covariance not regularizable");
                 let log_norm = c.weight.max(1e-300).ln()
                     - 0.5 * (d * (2.0 * std::f64::consts::PI).ln() + chol.log_det());
                 (c.mean.clone(), chol, log_norm)
             })
             .collect();
-        DensityEvaluator { comps, arel: self.arel.clone() }
+        DensityEvaluator {
+            comps,
+            arel: self.arel.clone(),
+        }
     }
 }
 
@@ -125,6 +127,8 @@ impl DensityEvaluator {
                 log_norm - 0.5 * chol.mahalanobis_sq_slice(x_sub, mean, &mut ybuf[..x_sub.len()])
             },
         ));
+        // audit: order-exact — f64::max is associative and commutative
+        // (no NaNs on this path), so fold order cannot change the result.
         let max = out.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let mut sum = 0.0;
         for v in out.iter_mut() {
@@ -156,15 +160,17 @@ impl DensityEvaluator {
             return;
         }
         let npts = block.len() / d;
-        assert_eq!(block.len(), npts * d, "block is not a whole number of points");
+        assert_eq!(
+            block.len(),
+            npts * d,
+            "block is not a whole number of points"
+        );
         out.clear();
         out.resize(npts * k, 0.0);
         y.clear();
         y.resize(npts * d, 0.0);
         for (c, (mean, chol, log_norm)) in self.comps.iter().enumerate() {
-            for (p, (x, ybuf)) in
-                block.chunks_exact(d).zip(y.chunks_exact_mut(d)).enumerate()
-            {
+            for (p, (x, ybuf)) in block.chunks_exact(d).zip(y.chunks_exact_mut(d)).enumerate() {
                 out[p * k + c] = log_norm - 0.5 * chol.mahalanobis_sq_slice(x, mean, ybuf);
             }
         }
@@ -202,6 +208,8 @@ impl DensityEvaluator {
 /// [`DensityEvaluator::responsibilities_scratch`], so results are
 /// bit-identical.
 pub fn softmax_in_place(logs: &mut [f64]) -> f64 {
+    // audit: order-exact — f64::max is associative and commutative
+    // (no NaNs on this path), so fold order cannot change the result.
     let max = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let mut sum = 0.0;
     for v in logs.iter_mut() {
@@ -221,7 +229,10 @@ pub fn initialize_from_cores(
     rows: &[&[f64]],
     arel: &[usize],
 ) -> MixtureModel {
-    assert!(!cores.is_empty(), "EM initialization needs at least one core");
+    assert!(
+        !cores.is_empty(),
+        "EM initialization needs at least one core"
+    );
     let k = cores.len();
     let d = arel.len();
 
@@ -247,7 +258,11 @@ pub fn initialize_from_cores(
     let round1 = finish_components(&accs);
 
     // Round 2: attach uncovered points to the Mahalanobis-nearest core.
-    let eval = MixtureModel { arel: arel.to_vec(), components: round1 }.evaluator();
+    let eval = MixtureModel {
+        arel: arel.to_vec(),
+        components: round1,
+    }
+    .evaluator();
     let mut y = Vec::with_capacity(d);
     for &i in &uncovered {
         eval.project_into(rows[i], &mut x);
@@ -263,7 +278,10 @@ pub fn initialize_from_cores(
         }
         accs[nearest].push(&x, 1.0);
     }
-    MixtureModel { arel: arel.to_vec(), components: finish_components(&accs) }
+    MixtureModel {
+        arel: arel.to_vec(),
+        components: finish_components(&accs),
+    }
 }
 
 /// Converts accumulators into components with safe fallbacks for
@@ -274,9 +292,7 @@ fn finish_components(accs: &[CovarianceAccumulator]) -> Vec<Component> {
     accs.iter()
         .map(|acc| {
             let mean = acc.mean().unwrap_or_else(|| vec![0.5; d]);
-            let mut cov = acc
-                .covariance_ml()
-                .unwrap_or_else(|| Matrix::identity(d));
+            let mut cov = acc.covariance_ml().unwrap_or_else(|| Matrix::identity(d));
             cov.add_ridge(1e-9);
             let weight = (acc.total_weight() / total).max(1e-12);
             Component { mean, cov, weight }
@@ -331,7 +347,10 @@ pub fn em_fit(init: MixtureModel, rows: &[&[f64]], max_iters: usize, tol: f64) -
                 }
             }
         }
-        model = MixtureModel { arel: model.arel, components: finish_components(&accs) };
+        model = MixtureModel {
+            arel: model.arel,
+            components: finish_components(&accs),
+        };
         let converged = history
             .last()
             .map(|&prev: &f64| (loglik - prev).abs() <= tol * prev.abs().max(1.0))
@@ -341,7 +360,11 @@ pub fn em_fit(init: MixtureModel, rows: &[&[f64]], max_iters: usize, tol: f64) -
             break;
         }
     }
-    EmFit { model, loglik_history: history, iterations }
+    EmFit {
+        model,
+        loglik_history: history,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -364,8 +387,16 @@ mod tests {
         let a = Signature::new(vec![Interval::new(0, 1, 2, 10), Interval::new(1, 1, 2, 10)]);
         let b = Signature::new(vec![Interval::new(0, 7, 8, 10), Interval::new(1, 7, 8, 10)]);
         vec![
-            ClusterCore { signature: a, support: 100.0, expected: 1.0 },
-            ClusterCore { signature: b, support: 100.0, expected: 1.0 },
+            ClusterCore {
+                signature: a,
+                support: 100.0,
+                expected: 1.0,
+            },
+            ClusterCore {
+                signature: b,
+                support: 100.0,
+                expected: 1.0,
+            },
         ]
     }
 
@@ -390,7 +421,11 @@ mod tests {
         let init = initialize_from_cores(&cores_for_blobs(), &rows, &[0, 1]);
         let fit = em_fit(init, &rows, 8, 0.0);
         for w in fit.loglik_history.windows(2) {
-            assert!(w[1] >= w[0] - 1e-6, "loglik decreased: {:?}", fit.loglik_history);
+            assert!(
+                w[1] >= w[0] - 1e-6,
+                "loglik decreased: {:?}",
+                fit.loglik_history
+            );
         }
     }
 

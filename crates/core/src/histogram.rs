@@ -34,7 +34,12 @@ pub fn build_histograms(data: &Dataset, rule: BinRule) -> AttributeHistograms {
 
 /// Builds per-attribute histograms with an explicit bin count.
 pub fn build_histograms_with_bins(data: &Dataset, bins: usize) -> AttributeHistograms {
-    build_histograms_columnar(data.len(), data.dim(), data.as_slice(), &vec![bins; data.dim()])
+    build_histograms_columnar(
+        data.len(),
+        data.dim(),
+        data.as_slice(),
+        &vec![bins; data.dim()],
+    )
 }
 
 /// Column-scan histogram kernel over a flat row-major buffer: within
@@ -53,8 +58,10 @@ pub fn build_histograms_columnar(
 ) -> AttributeHistograms {
     assert_eq!(data.len(), n * d, "row-major buffer has wrong length");
     assert_eq!(bins_per_attr.len(), d, "one bin count per attribute");
-    let mut histograms: Vec<Histogram> =
-        bins_per_attr.iter().map(|&b| Histogram::new(b.max(1))).collect();
+    let mut histograms: Vec<Histogram> = bins_per_attr
+        .iter()
+        .map(|&b| Histogram::new(b.max(1)))
+        .collect();
     // ~256 KiB of f64 per block, rounded to whole rows.
     let stride = d.max(1);
     let block = (32_768 / stride).max(1) * stride;
@@ -78,8 +85,10 @@ pub fn build_histograms_rows(rows: &[&[f64]], bins: usize) -> AttributeHistogram
 /// Builds histograms with a per-attribute bin count (the exact-IQR
 /// Freedman–Diaconis extension; see `config::BinRuleChoice`).
 pub fn build_histograms_per_attr(rows: &[&[f64]], bins_per_attr: &[usize]) -> AttributeHistograms {
-    let mut histograms: Vec<Histogram> =
-        bins_per_attr.iter().map(|&b| Histogram::new(b.max(1))).collect();
+    let mut histograms: Vec<Histogram> = bins_per_attr
+        .iter()
+        .map(|&b| Histogram::new(b.max(1)))
+        .collect();
     for row in rows {
         for (j, &v) in row.iter().enumerate() {
             histograms[j].add(v);
@@ -96,7 +105,9 @@ mod tests {
 
     fn grid_dataset(n: usize) -> Dataset {
         // Attribute 0: uniform grid; attribute 1: everything in one spot.
-        let rows = (0..n).map(|i| vec![(i as f64 + 0.5) / n as f64, 0.42]).collect();
+        let rows = (0..n)
+            .map(|i| vec![(i as f64 + 0.5) / n as f64, 0.42])
+            .collect();
         Dataset::from_rows(rows)
     }
 

@@ -63,8 +63,9 @@ pub fn inspect_from_histograms(
         let marked = mark_relevant_bins(hist, params.alpha_chi2);
         for interval in merge_marked_bins(attr, &marked, bins) {
             if params.use_ai_proving {
-                let support: f64 =
-                    (interval.bin_lo..=interval.bin_hi).map(|b| hist.count(b)).sum();
+                let support: f64 = (interval.bin_lo..=interval.bin_hi)
+                    .map(|b| hist.count(b))
+                    .sum();
                 let expected = n_members as f64 * interval.width();
                 if !tester.accepts(support, expected) {
                     continue;

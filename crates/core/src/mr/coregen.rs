@@ -21,7 +21,10 @@ use crate::mr::SigMsg;
 use crate::support::{Rssc, SupportTable};
 use crate::types::{Interval, Signature};
 use p3c_mapreduce::{Emitter, Engine, Mapper, MrError, Reducer};
-use std::collections::HashSet;
+// audit: unordered-ok — HashSet here backs membership probes only
+// (Apriori prune checks); every iterated/emitted collection below is a
+// BTreeSet or explicitly sorted Vec.
+use std::collections::{BTreeSet, HashSet};
 use std::sync::Arc;
 
 // ------------------------------------------------------------- proving --
@@ -97,6 +100,7 @@ pub fn proving_job(
 struct CandGenMapper {
     /// Sorted signature list.
     level: Arc<Vec<Signature>>,
+    // audit: unordered-ok — membership probes only, never iterated.
     prune: Arc<HashSet<Signature>>,
 }
 
@@ -123,6 +127,7 @@ impl Mapper<(usize, usize), (), SigMsg> for CandGenMapper {
 pub fn generate_candidates_mr(
     engine: &Engine,
     level: &[Signature],
+    // audit: unordered-ok — membership probes only, never iterated.
     prune_against: &HashSet<Signature>,
     t_gen: usize,
 ) -> Result<Vec<Signature>, MrError> {
@@ -131,14 +136,19 @@ pub fn generate_candidates_mr(
     sorted.sort();
     sorted.dedup();
     let mut buckets = crate::cores::prefix_buckets(&sorted);
-    let join_pairs: usize =
-        buckets.iter().map(|(s, e)| (e - s) * (e - s).saturating_sub(1) / 2).sum();
+    let join_pairs: usize = buckets
+        .iter()
+        .map(|(s, e)| (e - s) * (e - s).saturating_sub(1) / 2)
+        .sum();
     if join_pairs <= t_gen {
         return Ok(crate::cores::generate_candidates(level, prune_against));
     }
     // One record per bucket row: (i, end) means "join sorted[i] with
     // sorted[i+1..end]" — exact pair coverage with balanced tasks.
-    buckets = buckets.into_iter().flat_map(|(s, e)| (s..e).map(move |i| (i, e))).collect();
+    buckets = buckets
+        .into_iter()
+        .flat_map(|(s, e)| (s..e).map(move |i| (i, e)))
+        .collect();
     let level_arc = Arc::new(sorted);
     let prune_arc = Arc::new(prune_against.clone());
     let cache_bytes: usize = level.iter().map(|s| 4 + s.len() * 32).sum();
@@ -146,15 +156,18 @@ pub fn generate_candidates_mr(
         "p3c-candidate-generation",
         &buckets,
         cache_bytes,
-        &CandGenMapper { level: level_arc, prune: prune_arc },
+        &CandGenMapper {
+            level: level_arc,
+            prune: prune_arc,
+        },
     )?;
-    let mut set: HashSet<Signature> = HashSet::with_capacity(result.output.len());
+    // BTreeSet: dedup and the output's sorted order in one structure —
+    // this collection IS the emitted result, so its order must be fixed.
+    let mut set: BTreeSet<Signature> = BTreeSet::new();
     for SigMsg(sig) in result.output {
         set.insert(sig);
     }
-    let mut v: Vec<Signature> = set.into_iter().collect();
-    v.sort();
-    Ok(v)
+    Ok(set.into_iter().collect())
 }
 
 // ------------------------------------------- multi-level orchestration --
@@ -185,11 +198,20 @@ pub fn generate_cluster_cores_mr(
     let mut table = SupportTable::new();
     let mut stats = CoreGenStats::default();
     let mut all_proven: Vec<(Signature, f64)> = Vec::new();
+    // Every signature proven so far, across batches. Threading this set
+    // through proving keeps the downward-closure check exact: re-deriving
+    // provenness from the support table is wrong, because Equation 1
+    // alone is not recursive — a signature can pass it while one of its
+    // own subsignatures failed validation.
+    // audit: unordered-ok — membership probes only, never iterated.
+    let mut proven_set: HashSet<Signature> = HashSet::new();
     let mut proving_jobs = 0usize;
 
     // Level-1 candidates.
-    let mut level1: Vec<Signature> =
-        intervals.iter().map(|&iv| Signature::singleton(iv)).collect();
+    let mut level1: Vec<Signature> = intervals
+        .iter()
+        .map(|&iv| Signature::singleton(iv))
+        .collect();
     level1.sort();
     level1.dedup();
 
@@ -207,7 +229,14 @@ pub fn generate_cluster_cores_mr(
             // Close any open batch.
             if !batch.is_empty() {
                 let proven_now = prove_batch(
-                    engine, &batch, rows, n, &tester, &mut table, &mut stats,
+                    engine,
+                    &batch,
+                    rows,
+                    n,
+                    &tester,
+                    &mut table,
+                    &mut proven_set,
+                    &mut stats,
                 )?;
                 proving_jobs += 1;
                 all_proven.extend(proven_now);
@@ -231,7 +260,14 @@ pub fn generate_cluster_cores_mr(
 
         if close_batch {
             let proven_now = prove_batch(
-                engine, &batch, rows, n, &tester, &mut table, &mut stats,
+                engine,
+                &batch,
+                rows,
+                n,
+                &tester,
+                &mut table,
+                &mut proven_set,
+                &mut stats,
             )?;
             proving_jobs += 1;
             // Next generation chains off the just-proven top level.
@@ -248,6 +284,7 @@ pub fn generate_cluster_cores_mr(
             generation_basis = current.clone();
         }
 
+        // audit: unordered-ok — membership probes only, never iterated.
         let prune: HashSet<Signature> = generation_basis.iter().cloned().collect();
         current = generate_candidates_mr(engine, &generation_basis, &prune, params.t_gen)?;
         level += 1;
@@ -257,7 +294,13 @@ pub fn generate_cluster_cores_mr(
     let mut cores = filter_maximal(&all_proven);
     crate::cores::attach_expected_supports(&mut cores, n);
     stats.maximal = cores.len();
-    Ok(MrCoreGenResult { cores, proven: all_proven, table, stats, proving_jobs })
+    Ok(MrCoreGenResult {
+        cores,
+        proven: all_proven,
+        table,
+        stats,
+        proving_jobs,
+    })
 }
 
 /// Proves a batch of levels with one MR support-counting job, evaluating
@@ -271,6 +314,8 @@ fn prove_batch(
     n: usize,
     tester: &SupportTester,
     table: &mut SupportTable,
+    // audit: unordered-ok — membership probes only, never iterated.
+    proven_set: &mut HashSet<Signature>,
     stats: &mut CoreGenStats,
 ) -> Result<Vec<(Signature, f64)>, MrError> {
     let flat: Vec<Signature> = batch.iter().flatten().cloned().collect();
@@ -280,8 +325,12 @@ fn prove_batch(
     }
     // Validate ascending by level; a signature is proven iff Equation 1
     // holds AND all its subsignatures are proven (matching the serial
-    // per-level semantics).
-    let mut proven_set: HashSet<Signature> = HashSet::new();
+    // per-level semantics). `proven_set` persists across batches, so the
+    // downward-closure check is exact for subsignatures proved in earlier
+    // batches too. It must NOT be re-derived from the support table: the
+    // table already holds this batch's counts, and Equation 1 in
+    // isolation can accept a signature whose validation failed the
+    // closure check one level down.
     let mut proven: Vec<(Signature, f64)> = Vec::new();
     let mut by_level: Vec<Vec<(&Signature, f64)>> = Vec::new();
     for level_sigs in batch {
@@ -295,10 +344,8 @@ fn prove_batch(
     for level_sigs in by_level {
         let mut proven_this_level = 0usize;
         for (sig, support) in level_sigs {
-            let subs_ok = sig.len() == 1
-                || sig
-                    .subsignatures()
-                    .all(|sub| proven_set.contains(&sub) || was_previously_proven(table, &sub, tester, n));
+            let subs_ok =
+                sig.len() == 1 || sig.subsignatures().all(|sub| proven_set.contains(&sub));
             if subs_ok && tester.passes_equation1(sig, support, n, table) {
                 proven_set.insert(sig.clone());
                 proven.push((sig.clone(), support));
@@ -308,22 +355,6 @@ fn prove_batch(
         stats.proven_per_level.push(proven_this_level);
     }
     Ok(proven)
-}
-
-/// A subsignature from an *earlier batch* is proven iff it passed then;
-/// we re-derive that from the support table (its support is recorded) by
-/// re-running Equation 1 — cheap, exact, and avoids threading the proven
-/// set through batches.
-fn was_previously_proven(
-    table: &SupportTable,
-    sig: &Signature,
-    tester: &SupportTester,
-    n: usize,
-) -> bool {
-    match table.get(sig) {
-        Some(support) => tester.passes_equation1(sig, support, n, table),
-        None => false,
-    }
 }
 
 #[cfg(test)]
@@ -363,7 +394,10 @@ mod tests {
             })
             .collect();
         let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
-        let engine = Engine::new(MrConfig { split_size: 37, ..MrConfig::default() });
+        let engine = Engine::new(MrConfig {
+            split_size: 37,
+            ..MrConfig::default()
+        });
         let mr = proving_job(&engine, &candidates, &rows).unwrap();
         let serial = crate::support::count_supports_naive(&candidates, &rows);
         assert_eq!(mr, serial);
@@ -387,8 +421,14 @@ mod tests {
         }
         let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
         let intervals = vec![iv(0, 1, 2), iv(1, 5, 6), iv(2, 0, 9)];
-        let params = P3cParams { alpha_poisson: 1e-6, ..P3cParams::default() };
-        let engine = Engine::new(MrConfig { split_size: 100, ..MrConfig::default() });
+        let params = P3cParams {
+            alpha_poisson: 1e-6,
+            ..P3cParams::default()
+        };
+        let engine = Engine::new(MrConfig {
+            split_size: 100,
+            ..MrConfig::default()
+        });
         let mr = generate_cluster_cores_mr(&engine, &intervals, &rows, &params).unwrap();
         let serial = crate::cores::generate_cluster_cores(&intervals, &rows, &params);
         let mut mr_proven = mr.proven.clone();
@@ -397,8 +437,7 @@ mod tests {
         serial_proven.sort_by(|a, b| a.0.cmp(&b.0));
         assert_eq!(mr_proven, serial_proven);
         let mr_sigs: Vec<&Signature> = mr.cores.iter().map(|c| &c.signature).collect();
-        let serial_sigs: Vec<&Signature> =
-            serial.cores.iter().map(|c| &c.signature).collect();
+        let serial_sigs: Vec<&Signature> = serial.cores.iter().map(|c| &c.signature).collect();
         assert_eq!(mr_sigs, serial_sigs);
         assert!(mr.proving_jobs >= 1);
     }
@@ -418,13 +457,14 @@ mod tests {
         }
         let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
         let intervals = vec![iv(0, 1, 1), iv(1, 3, 4)];
-        let params =
-            P3cParams { t_c: 0, alpha_poisson: 1e-6, ..P3cParams::default() };
+        let params = P3cParams {
+            t_c: 0,
+            alpha_poisson: 1e-6,
+            ..P3cParams::default()
+        };
         let engine = Engine::with_defaults();
-        let result =
-            generate_cluster_cores_mr(&engine, &intervals, &rows, &params).unwrap();
-        let serial =
-            crate::cores::generate_cluster_cores(&intervals, &rows, &params);
+        let result = generate_cluster_cores_mr(&engine, &intervals, &rows, &params).unwrap();
+        let serial = crate::cores::generate_cluster_cores(&intervals, &rows, &params);
         assert_eq!(result.proven.len(), serial.proven.len());
     }
 
@@ -432,8 +472,7 @@ mod tests {
     fn empty_intervals() {
         let rows: Vec<&[f64]> = vec![];
         let engine = Engine::with_defaults();
-        let result =
-            generate_cluster_cores_mr(&engine, &[], &rows, &P3cParams::default()).unwrap();
+        let result = generate_cluster_cores_mr(&engine, &[], &rows, &P3cParams::default()).unwrap();
         assert!(result.cores.is_empty());
         assert_eq!(result.proving_jobs, 0);
     }

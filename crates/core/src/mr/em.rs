@@ -33,12 +33,7 @@ impl Reducer<usize, AccMsg, (usize, AccMsg)> for AccReducer {
 /// log-likelihood contributions riding along in the value tuples.
 struct EmStepReducer;
 impl Reducer<usize, (AccMsg, f64), (usize, AccMsg, f64)> for EmStepReducer {
-    fn reduce(
-        &self,
-        key: &usize,
-        values: Vec<(AccMsg, f64)>,
-        out: &mut Vec<(usize, AccMsg, f64)>,
-    ) {
+    fn reduce(&self, key: &usize, values: Vec<(AccMsg, f64)>, out: &mut Vec<(usize, AccMsg, f64)>) {
         let mut iter = values.into_iter();
         let (AccMsg(mut first), mut loglik) = iter.next().expect("group nonempty");
         for (AccMsg(acc), ll) in iter {
@@ -63,8 +58,9 @@ impl<'a> Mapper<&'a [f64], usize, AccMsg> for CoreStatsMapper {
 
     fn map_split(&self, split: &[&'a [f64]], out: &mut Emitter<usize, AccMsg>) {
         let d = self.arel.len();
-        let mut accs: Vec<CovarianceAccumulator> =
-            (0..self.cores.len()).map(|_| CovarianceAccumulator::new(d)).collect();
+        let mut accs: Vec<CovarianceAccumulator> = (0..self.cores.len())
+            .map(|_| CovarianceAccumulator::new(d))
+            .collect();
         let mut x = Vec::with_capacity(d);
         for row in split {
             for (c, core) in self.cores.iter().enumerate() {
@@ -96,7 +92,10 @@ impl<'a> Mapper<&'a [f64], usize, AccMsg> for AttachMapper {
     }
 
     fn map_split(&self, split: &[&'a [f64]], out: &mut Emitter<usize, AccMsg>) {
-        let d = self.eval.project(split.first().map_or(&[][..], |r| r)).len();
+        let d = self
+            .eval
+            .project(split.first().map_or(&[][..], |r| r))
+            .len();
         let k = self.eval.num_components();
         let mut accs: Vec<CovarianceAccumulator> =
             (0..k).map(|_| CovarianceAccumulator::new(d)).collect();
@@ -142,7 +141,10 @@ impl<'a> Mapper<&'a [f64], usize, (AccMsg, f64)> for EmStepMapper {
 
     fn map_split(&self, split: &[&'a [f64]], out: &mut Emitter<usize, (AccMsg, f64)>) {
         let k = self.eval.num_components();
-        let d = self.eval.project(split.first().map_or(&[][..], |r| r)).len();
+        let d = self
+            .eval
+            .project(split.first().map_or(&[][..], |r| r))
+            .len();
         let mut accs: Vec<CovarianceAccumulator> =
             (0..k).map(|_| CovarianceAccumulator::new(d)).collect();
         let mut resp = Vec::with_capacity(k);
@@ -178,19 +180,28 @@ pub fn initialize_from_cores_mr(
     rows: &[&[f64]],
     arel: &[usize],
 ) -> Result<MixtureModel, MrError> {
-    assert!(!cores.is_empty(), "EM initialization needs at least one core");
+    assert!(
+        !cores.is_empty(),
+        "EM initialization needs at least one core"
+    );
     let k = cores.len();
     let d = arel.len();
     let cores_arc = Arc::new(cores.to_vec());
     let arel_arc = Arc::new(arel.to_vec());
-    let cache = cores.iter().map(|c| 4 + c.signature.len() * 32).sum::<usize>();
+    let cache = cores
+        .iter()
+        .map(|c| 4 + c.signature.len() * 32)
+        .sum::<usize>();
 
     // Round 1: support-set statistics.
     let round1 = engine.run_with_cache(
         "p3c-em-init-support-stats",
         rows,
         cache,
-        &CoreStatsMapper { cores: Arc::clone(&cores_arc), arel: Arc::clone(&arel_arc) },
+        &CoreStatsMapper {
+            cores: Arc::clone(&cores_arc),
+            arel: Arc::clone(&arel_arc),
+        },
         &AccReducer,
     )?;
     let mut accs: Vec<CovarianceAccumulator> =
@@ -209,13 +220,19 @@ pub fn initialize_from_cores_mr(
         "p3c-em-init-attach-outliers",
         rows,
         cache + d * d * 8 * k,
-        &AttachMapper { cores: cores_arc, eval },
+        &AttachMapper {
+            cores: cores_arc,
+            eval,
+        },
         &AccReducer,
     )?;
     for (c, AccMsg(acc)) in round2.output {
         accs[c].merge(&acc);
     }
-    Ok(MixtureModel { arel: arel.to_vec(), components: components_from_accs(&accs, d) })
+    Ok(MixtureModel {
+        arel: arel.to_vec(),
+        components: components_from_accs(&accs, d),
+    })
 }
 
 /// Result of the MR EM loop.
@@ -272,7 +289,10 @@ pub fn em_fit_mr(
                 loglik += ll;
             }
         }
-        model = MixtureModel { arel: model.arel, components: components_from_accs(&accs, d) };
+        model = MixtureModel {
+            arel: model.arel,
+            components: components_from_accs(&accs, d),
+        };
         let converged = history
             .last()
             .map(|&prev| (loglik - prev).abs() <= tol * prev.abs().max(1.0))
@@ -282,7 +302,11 @@ pub fn em_fit_mr(
             break;
         }
     }
-    Ok(MrEmFit { model, loglik_history: history, iterations })
+    Ok(MrEmFit {
+        model,
+        loglik_history: history,
+        iterations,
+    })
 }
 
 /// Accumulators → components (ML covariance, ridge, normalized weights).
@@ -320,8 +344,16 @@ mod tests {
         let a = Signature::new(vec![Interval::new(0, 1, 2, 10), Interval::new(1, 1, 2, 10)]);
         let b = Signature::new(vec![Interval::new(0, 7, 8, 10), Interval::new(1, 7, 8, 10)]);
         vec![
-            ClusterCore { signature: a, support: 150.0, expected: 1.0 },
-            ClusterCore { signature: b, support: 150.0, expected: 1.0 },
+            ClusterCore {
+                signature: a,
+                support: 150.0,
+                expected: 1.0,
+            },
+            ClusterCore {
+                signature: b,
+                support: 150.0,
+                expected: 1.0,
+            },
         ]
     }
 
@@ -329,7 +361,10 @@ mod tests {
     fn mr_initialization_matches_serial() {
         let data = two_blob_rows();
         let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
-        let engine = Engine::new(MrConfig { split_size: 41, ..MrConfig::default() });
+        let engine = Engine::new(MrConfig {
+            split_size: 41,
+            ..MrConfig::default()
+        });
         let mr = initialize_from_cores_mr(&engine, &blob_cores(), &rows, &[0, 1]).unwrap();
         let serial = initialize_from_cores(&blob_cores(), &rows, &[0, 1]);
         for (cm, cs) in mr.components.iter().zip(&serial.components) {
@@ -350,13 +385,19 @@ mod tests {
     fn mr_em_converges_like_serial() {
         let data = two_blob_rows();
         let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
-        let engine = Engine::new(MrConfig { split_size: 50, ..MrConfig::default() });
+        let engine = Engine::new(MrConfig {
+            split_size: 50,
+            ..MrConfig::default()
+        });
         let init_mr = initialize_from_cores_mr(&engine, &blob_cores(), &rows, &[0, 1]).unwrap();
         let init_serial = initialize_from_cores(&blob_cores(), &rows, &[0, 1]);
         let fit_mr = em_fit_mr(&engine, init_mr, &rows, 5, 1e-8).unwrap();
         let fit_serial = em_fit(init_serial, &rows, 5, 1e-8);
-        for (cm, cs) in
-            fit_mr.model.components.iter().zip(&fit_serial.model.components)
+        for (cm, cs) in fit_mr
+            .model
+            .components
+            .iter()
+            .zip(&fit_serial.model.components)
         {
             for (a, b) in cm.mean.iter().zip(&cs.mean) {
                 assert!((a - b).abs() < 1e-6, "EM means diverge: {a} vs {b}");

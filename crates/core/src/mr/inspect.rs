@@ -19,13 +19,11 @@ impl<'a> Mapper<(i64, &'a [f64]), (usize, usize), Vec<f64>> for AiHistMapper {
         self.map_split(std::slice::from_ref(record), out);
     }
 
-    fn map_split(
-        &self,
-        split: &[(i64, &'a [f64])],
-        out: &mut Emitter<(usize, usize), Vec<f64>>,
-    ) {
-        use std::collections::HashMap;
-        let mut partials: HashMap<(usize, usize), Vec<f64>> = HashMap::new();
+    fn map_split(&self, split: &[(i64, &'a [f64])], out: &mut Emitter<(usize, usize), Vec<f64>>) {
+        // BTreeMap so emission is key-sorted by construction — the
+        // emitted order feeds the shuffle and must not vary run-to-run.
+        use std::collections::BTreeMap;
+        let mut partials: BTreeMap<(usize, usize), Vec<f64>> = BTreeMap::new();
         for (label, row) in split {
             if *label < 0 {
                 continue;
@@ -33,16 +31,11 @@ impl<'a> Mapper<(i64, &'a [f64]), (usize, usize), Vec<f64>> for AiHistMapper {
             let c = *label as usize;
             let bins = self.bins[c];
             for (attr, &v) in row.iter().enumerate() {
-                let counts = partials
-                    .entry((c, attr))
-                    .or_insert_with(|| vec![0.0; bins]);
+                let counts = partials.entry((c, attr)).or_insert_with(|| vec![0.0; bins]);
                 counts[p3c_stats::histogram::bin_index(v, bins)] += 1.0;
             }
         }
-        let mut keys: Vec<(usize, usize)> = partials.keys().copied().collect();
-        keys.sort_unstable();
-        for key in keys {
-            let counts = partials.remove(&key).expect("present");
+        for (key, counts) in partials {
             out.emit(key, counts);
         }
     }
@@ -81,7 +74,9 @@ pub fn ai_histogram_job(
     let result = engine.run(
         "p3c-attribute-inspection",
         items,
-        &AiHistMapper { bins: Arc::new(bins_per_cluster.to_vec()) },
+        &AiHistMapper {
+            bins: Arc::new(bins_per_cluster.to_vec()),
+        },
         &VecSumReducer,
     )?;
     let mut hists: Vec<Vec<Histogram>> = (0..k)
@@ -113,13 +108,10 @@ impl<'a> Mapper<(i64, &'a [f64]), (usize, usize), (f64, f64)> for TightenMapper 
         self.map_split(std::slice::from_ref(record), out);
     }
 
-    fn map_split(
-        &self,
-        split: &[(i64, &'a [f64])],
-        out: &mut Emitter<(usize, usize), (f64, f64)>,
-    ) {
-        use std::collections::HashMap;
-        let mut extrema: HashMap<(usize, usize), (f64, f64)> = HashMap::new();
+    fn map_split(&self, split: &[(i64, &'a [f64])], out: &mut Emitter<(usize, usize), (f64, f64)>) {
+        // BTreeMap: key-sorted emission without an explicit sort pass.
+        use std::collections::BTreeMap;
+        let mut extrema: BTreeMap<(usize, usize), (f64, f64)> = BTreeMap::new();
         for (label, row) in split {
             if *label < 0 {
                 continue;
@@ -132,10 +124,7 @@ impl<'a> Mapper<(i64, &'a [f64]), (usize, usize), (f64, f64)> for TightenMapper 
                 e.1 = e.1.max(v);
             }
         }
-        let mut keys: Vec<(usize, usize)> = extrema.keys().copied().collect();
-        keys.sort_unstable();
-        for key in keys {
-            let (lo, hi) = extrema[&key];
+        for (key, (lo, hi)) in extrema {
             out.emit(key, (lo, hi));
         }
     }
@@ -170,7 +159,9 @@ pub fn tighten_job(
     let result = engine.run(
         name,
         items,
-        &TightenMapper { attrs: Arc::new(attrs_per_cluster.to_vec()) },
+        &TightenMapper {
+            attrs: Arc::new(attrs_per_cluster.to_vec()),
+        },
         &MinMaxReducer,
     )?;
     let mut intervals: Vec<Vec<AttrInterval>> = vec![Vec::new(); k];
@@ -209,14 +200,21 @@ mod tests {
     }
 
     fn items<'a>(rows: &'a [Vec<f64>], labels: &[i64]) -> Vec<(i64, &'a [f64])> {
-        labels.iter().copied().zip(rows.iter().map(|r| r.as_slice())).collect()
+        labels
+            .iter()
+            .copied()
+            .zip(rows.iter().map(|r| r.as_slice()))
+            .collect()
     }
 
     #[test]
     fn ai_histograms_match_manual_counts() {
         let (rows, labels) = labelled_rows();
         let it = items(&rows, &labels);
-        let engine = Engine::new(MrConfig { split_size: 37, ..MrConfig::default() });
+        let engine = Engine::new(MrConfig {
+            split_size: 37,
+            ..MrConfig::default()
+        });
         let hists = ai_histogram_job(&engine, &it, &[5, 5]).unwrap();
         // Manual: cluster 0 members.
         let mut manual = Histogram::new(5);
@@ -238,7 +236,10 @@ mod tests {
     fn tighten_job_matches_serial_minmax() {
         let (rows, labels) = labelled_rows();
         let it = items(&rows, &labels);
-        let engine = Engine::new(MrConfig { split_size: 23, ..MrConfig::default() });
+        let engine = Engine::new(MrConfig {
+            split_size: 23,
+            ..MrConfig::default()
+        });
         let attrs = vec![vec![1], vec![0, 1]];
         let tightened = tighten_job(&engine, "tighten", &it, &attrs).unwrap();
         // Serial reference.

@@ -62,10 +62,7 @@ mod tests {
 
     #[test]
     fn message_weights() {
-        let sig = Signature::new(vec![
-            Interval::new(0, 0, 1, 10),
-            Interval::new(1, 2, 3, 10),
-        ]);
+        let sig = Signature::new(vec![Interval::new(0, 0, 1, 10), Interval::new(1, 2, 3, 10)]);
         assert_eq!(SigMsg(sig).weight(), 4 + 64);
         let acc = CovarianceAccumulator::new(3);
         assert_eq!(AccMsg(acc).weight(), 8 * 12 + 24);

@@ -53,12 +53,8 @@ pub fn od_job_naive(
 ) -> Result<Vec<i64>, MrError> {
     let crit = ChiSquared::new(arel_len.max(1) as f64).critical_value(alpha);
     let cache = eval_cache_bytes(&eval, arel_len);
-    let result = engine.run_map_only_with_cache(
-        "p3c-od-naive",
-        rows,
-        cache,
-        &OdMapper { eval, crit },
-    )?;
+    let result =
+        engine.run_map_only_with_cache("p3c-od-naive", rows, cache, &OdMapper { eval, crit })?;
     Ok(result.output)
 }
 
@@ -89,8 +85,7 @@ impl<'a> Mapper<&'a [f64], usize, (Vec<f64>, f64)> for MvbStatsMapper {
             }
             let refs: Vec<&[f64]> = pts.iter().map(|p| p.as_slice()).collect();
             let center = dimensionwise_median(&refs).expect("nonempty");
-            let mut dists: Vec<f64> =
-                refs.iter().map(|p| p3c_linalg::dist(p, &center)).collect();
+            let mut dists: Vec<f64> = refs.iter().map(|p| p3c_linalg::dist(p, &center)).collect();
             let radius = median_in_place(&mut dists);
             out.emit(c, (center, radius));
         }
@@ -130,7 +125,10 @@ impl<'a> Mapper<&'a [f64], usize, AccMsg> for BallStatsMapper {
 
     fn map_split(&self, split: &[&'a [f64]], out: &mut Emitter<usize, AccMsg>) {
         let k = self.eval.num_components();
-        let d = self.eval.project(split.first().map_or(&[][..], |r| r)).len();
+        let d = self
+            .eval
+            .project(split.first().map_or(&[][..], |r| r))
+            .len();
         let mut accs: Vec<CovarianceAccumulator> =
             (0..k).map(|_| CovarianceAccumulator::new(d)).collect();
         for row in split {
@@ -205,7 +203,9 @@ pub fn od_job_mvb(
         "p3c-mvb-ball-stats",
         rows,
         cache,
-        &MvbStatsMapper { eval: Arc::clone(&eval) },
+        &MvbStatsMapper {
+            eval: Arc::clone(&eval),
+        },
         &MvbStatsReducer,
     )?;
     let mut balls: Vec<Option<(Vec<f64>, f64)>> = vec![None; k];
@@ -220,7 +220,10 @@ pub fn od_job_mvb(
         "p3c-mvb-ball-means",
         rows,
         cache + k * (d + 1) * 8,
-        &BallStatsMapper { eval: Arc::clone(&eval), balls: Arc::clone(&balls) },
+        &BallStatsMapper {
+            eval: Arc::clone(&eval),
+            balls: Arc::clone(&balls),
+        },
         &AccReducer,
     )?;
     engine.run_map_only(
@@ -245,7 +248,11 @@ pub fn od_job_mvb(
         "p3c-od-mvb",
         rows,
         cache + k * (d * d + d) * 8,
-        &RobustOdMapper { eval, estimates: Arc::new(estimates), crit },
+        &RobustOdMapper {
+            eval,
+            estimates: Arc::new(estimates),
+            crit,
+        },
     )?;
     Ok(result.output)
 }
@@ -323,12 +330,17 @@ impl<'a> Mapper<&'a [f64], usize, AccMsg> for McdMomentsMapper {
 
     fn map_split(&self, split: &[&'a [f64]], out: &mut Emitter<usize, AccMsg>) {
         let k = self.eval.num_components();
-        let d = self.eval.project(split.first().map_or(&[][..], |r| r)).len();
+        let d = self
+            .eval
+            .project(split.first().map_or(&[][..], |r| r))
+            .len();
         let mut accs: Vec<CovarianceAccumulator> =
             (0..k).map(|_| CovarianceAccumulator::new(d)).collect();
         for row in split {
             let c = self.eval.assign(row);
-            let Some(threshold) = self.thresholds[c] else { continue };
+            let Some(threshold) = self.thresholds[c] else {
+                continue;
+            };
             let x = self.eval.project(row);
             if robust_mahalanobis_sq(&self.eval, &self.estimates, c, &x) <= threshold {
                 accs[c].push(&x, 1.0);
@@ -366,7 +378,10 @@ pub fn od_job_mcd(
             "p3c-mcd-threshold",
             rows,
             cache + k * (d * d + d) * 8,
-            &McdThresholdMapper { eval: Arc::clone(&eval), estimates: Arc::clone(&estimates) },
+            &McdThresholdMapper {
+                eval: Arc::clone(&eval),
+                estimates: Arc::clone(&estimates),
+            },
             &MedianReducer,
         )?;
         let mut thresholds: Vec<Option<f64>> = vec![None; k];
@@ -402,7 +417,11 @@ pub fn od_job_mcd(
         "p3c-od-mcd",
         rows,
         cache + k * (d * d + d) * 8,
-        &RobustOdMapper { eval, estimates, crit },
+        &RobustOdMapper {
+            eval,
+            estimates,
+            crit,
+        },
     )?;
     Ok(result.output)
 }
@@ -434,7 +453,11 @@ mod tests {
         cov[(1, 1)] = 0.001;
         MixtureModel {
             arel: vec![0, 1],
-            components: vec![Component { mean: vec![0.5, 0.5], cov, weight: 1.0 }],
+            components: vec![Component {
+                mean: vec![0.5, 0.5],
+                cov,
+                weight: 1.0,
+            }],
         }
     }
 
@@ -443,7 +466,10 @@ mod tests {
         let data = rows_with_outliers();
         let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
         let eval = Arc::new(model().evaluator());
-        let engine = Engine::new(MrConfig { split_size: 33, ..MrConfig::default() });
+        let engine = Engine::new(MrConfig {
+            split_size: 33,
+            ..MrConfig::default()
+        });
         let mr = od_job_naive(&engine, Arc::clone(&eval), &rows, 0.001, 2).unwrap();
         let assignment = assign_clusters(&eval, &rows);
         let serial = detect_outliers_naive(&eval, &rows, &assignment, 0.001, 2);
@@ -460,7 +486,10 @@ mod tests {
         // Serial MVB computes exact global medians; the MR version medians
         // the split-local medians (the paper's approximation). With a
         // single split both coincide exactly.
-        let engine = Engine::new(MrConfig { split_size: 100_000, ..MrConfig::default() });
+        let engine = Engine::new(MrConfig {
+            split_size: 100_000,
+            ..MrConfig::default()
+        });
         let mr = od_job_mvb(&engine, Arc::clone(&eval), &rows, 0.001, 2).unwrap();
         let assignment = assign_clusters(&eval, &rows);
         let serial = detect_outliers_mvb(&eval, &rows, &assignment, 0.001, 2);
@@ -472,7 +501,10 @@ mod tests {
         let data = rows_with_outliers();
         let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
         let eval = Arc::new(model().evaluator());
-        let engine = Engine::new(MrConfig { split_size: 50, ..MrConfig::default() });
+        let engine = Engine::new(MrConfig {
+            split_size: 50,
+            ..MrConfig::default()
+        });
         let mr = od_job_mcd(&engine, Arc::clone(&eval), &rows, 0.001, 2, 2).unwrap();
         assert_eq!(mr[200], -1);
         assert_eq!(mr[201], -1);
@@ -490,7 +522,10 @@ mod tests {
         // One split: the median-of-medians quantile is the exact median,
         // and serial MCD with h = 50% converges to the same subset after
         // enough steps; compare the final verdicts.
-        let engine = Engine::new(MrConfig { split_size: 100_000, ..MrConfig::default() });
+        let engine = Engine::new(MrConfig {
+            split_size: 100_000,
+            ..MrConfig::default()
+        });
         let mr = od_job_mcd(&engine, Arc::clone(&eval), &rows, 0.001, 2, 4).unwrap();
         let assignment = assign_clusters(&eval, &rows);
         let serial = detect_outliers_mcd(&eval, &rows, &assignment, 0.001, 2);
@@ -500,7 +535,11 @@ mod tests {
         assert_eq!(mr[200], serial[200]);
         assert_eq!(mr[201], serial[201]);
         let agree = mr.iter().zip(&serial).filter(|(a, b)| a == b).count();
-        assert!(agree * 100 >= mr.len() * 95, "only {agree}/{} agree", mr.len());
+        assert!(
+            agree * 100 >= mr.len() * 95,
+            "only {agree}/{} agree",
+            mr.len()
+        );
     }
 
     #[test]
@@ -512,11 +551,12 @@ mod tests {
         let n = ordered.len();
         let data: Vec<Vec<f64>> = (0..n).map(|i| ordered[(i * 67) % n].clone()).collect();
         let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
-        let planted_outliers: Vec<usize> = (0..n)
-            .filter(|i| (i * 67) % n >= 200)
-            .collect();
+        let planted_outliers: Vec<usize> = (0..n).filter(|i| (i * 67) % n >= 200).collect();
         let eval = Arc::new(model().evaluator());
-        let engine = Engine::new(MrConfig { split_size: 20, ..MrConfig::default() });
+        let engine = Engine::new(MrConfig {
+            split_size: 20,
+            ..MrConfig::default()
+        });
         let mr = od_job_mvb(&engine, eval, &rows, 0.001, 2).unwrap();
         for &o in &planted_outliers {
             assert_eq!(mr[o], -1, "planted outlier {o} survived");

@@ -14,7 +14,9 @@ use crate::mr::outlier::{od_job_mcd, od_job_mvb, od_job_naive};
 use crate::p3cplus::{P3cResult, PipelineStats};
 use crate::relevance::relevant_intervals;
 use crate::types::{Interval, Signature};
-use p3c_dataset::{colseg, AttrInterval, Clustering, ColumnSet, Dataset, ProjectedCluster, RowBlock};
+use p3c_dataset::{
+    colseg, AttrInterval, Clustering, ColumnSet, Dataset, ProjectedCluster, RowBlock,
+};
 use p3c_mapreduce::{
     take_dataset, DagError, DagScheduler, DatasetHandle, DatasetStore, Emitter, Engine, JobGraph,
     JobKind, JobNode, Mapper, MrError, NodeCtx, SchedulerChoice, SegmentedCodec,

@@ -23,7 +23,9 @@ pub type Assignment = Vec<i64>;
 pub fn assign_clusters(eval: &DensityEvaluator, rows: &[&[f64]]) -> Vec<usize> {
     let mut x = Vec::new();
     let mut y = Vec::new();
-    rows.iter().map(|row| eval.assign_scratch(row, &mut x, &mut y)).collect()
+    rows.iter()
+        .map(|row| eval.assign_scratch(row, &mut x, &mut y))
+        .collect()
 }
 
 /// Naive outlier detection: Mahalanobis against the EM parameters.
@@ -66,8 +68,7 @@ pub fn mvb_of(points: &[Vec<f64>]) -> Option<MvbStats> {
     }
     let refs: Vec<&[f64]> = points.iter().map(|p| p.as_slice()).collect();
     let center = dimensionwise_median(&refs)?;
-    let mut dists: Vec<f64> =
-        refs.iter().map(|p| p3c_linalg::dist(p, &center)).collect();
+    let mut dists: Vec<f64> = refs.iter().map(|p| p3c_linalg::dist(p, &center)).collect();
     let radius = median_in_place(&mut dists);
     Some(MvbStats { center, radius })
 }
@@ -188,8 +189,10 @@ pub fn detect_outliers_mcd(
     for (row, &c) in rows.iter().zip(assignment) {
         members[c].push(eval.project(row));
     }
-    let estimates: Vec<Option<(Vec<f64>, Cholesky)>> =
-        members.iter().map(|pts| mcd_estimate(pts, 0.5, 4)).collect();
+    let estimates: Vec<Option<(Vec<f64>, Cholesky)>> = members
+        .iter()
+        .map(|pts| mcd_estimate(pts, 0.5, 4))
+        .collect();
     let mut x = Vec::new();
     let mut y = Vec::new();
     rows.iter()
@@ -266,7 +269,11 @@ mod tests {
         cov[(1, 1)] = 0.001;
         MixtureModel {
             arel: vec![0, 1],
-            components: vec![Component { mean: vec![0.5, 0.5], cov, weight: 1.0 }],
+            components: vec![Component {
+                mean: vec![0.5, 0.5],
+                cov,
+                weight: 1.0,
+            }],
         }
     }
 
@@ -381,7 +388,10 @@ mod tests {
         let mcd = detect_outliers_mcd(&eval, &rows, &assignment, 0.001, 2);
         let naive_caught = naive[140..].iter().filter(|&&a| a == -1).count();
         let mcd_caught = mcd[140..].iter().filter(|&&a| a == -1).count();
-        assert!(mcd_caught > naive_caught, "MCD {mcd_caught} vs naive {naive_caught}");
+        assert!(
+            mcd_caught > naive_caught,
+            "MCD {mcd_caught} vs naive {naive_caught}"
+        );
         assert!(mcd_caught >= 55, "MCD caught only {mcd_caught}/60");
     }
 

@@ -21,8 +21,13 @@ impl P3c {
     /// Original P3C with its default configuration; only the Poisson
     /// significance level is tunable (the paper's single P3C parameter).
     pub fn new(alpha_poisson: f64) -> Self {
-        let params = P3cParams { alpha_poisson, ..P3cParams::original_p3c() };
-        Self { inner: P3cPlus::new(params) }
+        let params = P3cParams {
+            alpha_poisson,
+            ..P3cParams::original_p3c()
+        };
+        Self {
+            inner: P3cPlus::new(params),
+        }
     }
 
     /// Original P3C with full parameter control (must keep the original
@@ -32,7 +37,9 @@ impl P3c {
             !params.use_effect_size && !params.use_redundancy_filter && !params.use_ai_proving,
             "P3C wrapper requires the original feature switches; use P3cPlus for the improved model"
         );
-        Self { inner: P3cPlus::new(params) }
+        Self {
+            inner: P3cPlus::new(params),
+        }
     }
 
     pub fn params(&self) -> &P3cParams {

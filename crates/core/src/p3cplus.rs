@@ -6,9 +6,7 @@
 //! the BoW baseline.
 
 use crate::config::{BinRuleChoice, OutlierMethod, P3cParams};
-use crate::cores::{
-    attach_expected_supports, generate_cluster_cores, ClusterCore, CoreGenStats,
-};
+use crate::cores::{attach_expected_supports, generate_cluster_cores, ClusterCore, CoreGenStats};
 use crate::em::{em_fit, initialize_from_cores};
 use crate::histogram::build_histograms_columnar;
 use crate::inspect::{inspect_attributes, tighten_intervals};
@@ -77,10 +75,12 @@ impl P3cPlus {
         }
 
         // EM in the relevant subspace.
-        let arel: Vec<usize> =
-            cores.iter().flat_map(|c| c.signature.attributes()).collect::<BTreeSet<_>>()
-                .into_iter()
-                .collect();
+        let arel: Vec<usize> = cores
+            .iter()
+            .flat_map(|c| c.signature.attributes())
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
         let init = initialize_from_cores(&cores, &rows, &arel);
         let fit = em_fit(init, &rows, self.params.em_max_iters, self.params.em_tol);
         stats.em_iterations = fit.iterations;
@@ -102,9 +102,12 @@ impl P3cPlus {
         stats.outliers = assignment.iter().filter(|&&a| a == -1).count();
 
         // Attribute inspection + interval tightening per cluster.
-        let clustering =
-            finalize_partitioned(&rows, &assignment, &cores, &self.params);
-        P3cResult { clustering, cores, stats }
+        let clustering = finalize_partitioned(&rows, &assignment, &cores, &self.params);
+        P3cResult {
+            clustering,
+            cores,
+            stats,
+        }
     }
 }
 
@@ -163,8 +166,7 @@ impl P3cPlusLight {
         let mut clusters = Vec::with_capacity(k);
         for (c, core) in cores.iter().enumerate() {
             let member_rows: Vec<&[f64]> = members[c].iter().map(|&i| rows[i]).collect();
-            let unique_rows: Vec<&[f64]> =
-                unique_members[c].iter().map(|&i| rows[i]).collect();
+            let unique_rows: Vec<&[f64]> = unique_members[c].iter().map(|&i| rows[i]).collect();
             let core_attrs = core.signature.attributes();
             // AI over unique-membership points only (the Light histogram
             // of Section 6).
@@ -335,7 +337,12 @@ mod tests {
     fn p3cplus_recovers_planted_clusters() {
         let data = generate(&spec(3000, 3, 0.05, 11));
         let result = P3cPlus::new(P3cParams::default()).cluster(&data.dataset);
-        assert_eq!(result.clustering.num_clusters(), 3, "stats: {:?}", result.stats);
+        assert_eq!(
+            result.clustering.num_clusters(),
+            3,
+            "stats: {:?}",
+            result.stats
+        );
         let q = e4sc(&result.clustering, &data.ground_truth);
         assert!(q > 0.6, "E4SC = {q}");
     }
@@ -344,7 +351,12 @@ mod tests {
     fn light_recovers_planted_clusters_cleanly() {
         let data = generate(&spec(3000, 3, 0.1, 5));
         let result = P3cPlusLight::new(P3cParams::default()).cluster(&data.dataset);
-        assert_eq!(result.clustering.num_clusters(), 3, "stats: {:?}", result.stats);
+        assert_eq!(
+            result.clustering.num_clusters(),
+            3,
+            "stats: {:?}",
+            result.stats
+        );
         let q = e4sc(&result.clustering, &data.ground_truth);
         assert!(q > 0.7, "E4SC = {q}");
     }
@@ -363,7 +375,11 @@ mod tests {
         .cluster(&data.dataset);
         assert!(with.stats.cores <= without.stats.cores);
         assert_eq!(with.stats.cores, 5, "with filter: {:?}", with.stats);
-        assert!(without.stats.cores > 5, "without filter: {:?}", without.stats);
+        assert!(
+            without.stats.cores > 5,
+            "without filter: {:?}",
+            without.stats
+        );
     }
 
     #[test]
@@ -382,7 +398,12 @@ mod tests {
             .collect();
         let ds = Dataset::from_rows(rows);
         let result = P3cPlus::new(P3cParams::default()).cluster(&ds);
-        assert_eq!(result.clustering.num_clusters(), 0, "stats: {:?}", result.stats);
+        assert_eq!(
+            result.clustering.num_clusters(),
+            0,
+            "stats: {:?}",
+            result.stats
+        );
         assert_eq!(result.clustering.outliers.len(), 2000);
     }
 
@@ -438,7 +459,12 @@ mod tests {
             ..P3cParams::default()
         })
         .cluster(&data.dataset);
-        assert_eq!(result.clustering.num_clusters(), 3, "stats: {:?}", result.stats);
+        assert_eq!(
+            result.clustering.num_clusters(),
+            3,
+            "stats: {:?}",
+            result.stats
+        );
         let q = e4sc(&result.clustering, &data.ground_truth);
         assert!(q > 0.6, "E4SC = {q}");
         // Clustered attributes have small IQRs → more bins than the

@@ -33,8 +33,10 @@ pub fn filter_redundant(cores: Vec<ClusterCore>) -> (Vec<ClusterCore>, usize) {
         .iter()
         .map(|core| {
             let ratio = core.interest_ratio();
-            let better: Vec<&ClusterCore> =
-                cores.iter().filter(|c| c.interest_ratio() > ratio).collect();
+            let better: Vec<&ClusterCore> = cores
+                .iter()
+                .filter(|c| c.interest_ratio() > ratio)
+                .collect();
             if better.is_empty() {
                 return true;
             }
@@ -59,7 +61,11 @@ mod tests {
     fn core(intervals: Vec<Interval>, support: f64, n: usize) -> ClusterCore {
         let signature = Signature::new(intervals);
         let expected = signature.expected_support(n);
-        ClusterCore { signature, support, expected }
+        ClusterCore {
+            signature,
+            support,
+            expected,
+        }
     }
 
     fn iv(attr: usize, lo: usize, hi: usize) -> Interval {

@@ -14,8 +14,7 @@ use p3c_stats::Histogram;
 /// the highest support, removes it, and repeats as long as the remaining
 /// bins reject uniformity at `alpha` — exactly the paper's procedure.
 pub fn mark_relevant_bins(hist: &Histogram, alpha: f64) -> Vec<usize> {
-    let mut remaining: Vec<(usize, f64)> =
-        hist.counts().iter().copied().enumerate().collect();
+    let mut remaining: Vec<(usize, f64)> = hist.counts().iter().copied().enumerate().collect();
     let mut marked = Vec::new();
     loop {
         let counts: Vec<f64> = remaining.iter().map(|&(_, c)| c).collect();
@@ -72,7 +71,9 @@ pub fn relevant_intervals(histograms: &[Histogram], alpha: f64) -> Vec<Interval>
 
 /// Support of an interval directly from its histogram (sum of bin counts).
 pub fn interval_support(hist: &Histogram, interval: &Interval) -> f64 {
-    (interval.bin_lo..=interval.bin_hi).map(|b| hist.count(b)).sum()
+    (interval.bin_lo..=interval.bin_hi)
+        .map(|b| hist.count(b))
+        .sum()
 }
 
 #[cfg(test)]

@@ -79,8 +79,7 @@ impl Rssc {
         let num_candidates = candidates.len();
         let words = num_candidates.div_ceil(64).max(1);
         // Which attributes are constrained at all, and with how many bins?
-        let mut attr_set: Vec<usize> =
-            candidates.iter().flat_map(|s| s.attributes()).collect();
+        let mut attr_set: Vec<usize> = candidates.iter().flat_map(|s| s.attributes()).collect();
         attr_set.sort_unstable();
         attr_set.dedup();
         let mut bins_of = vec![0usize; attr_set.len()];
@@ -124,7 +123,14 @@ impl Rssc {
                 }
             }
         }
-        Self { attrs: attr_set, bins_of, masks, num_candidates, words, full }
+        Self {
+            attrs: attr_set,
+            bins_of,
+            masks,
+            num_candidates,
+            words,
+            full,
+        }
     }
 
     pub fn num_candidates(&self) -> usize {
@@ -258,7 +264,10 @@ mod tests {
             vec![0.25, 0.95],
         ];
         let r = rows(&data);
-        assert_eq!(count_supports_rssc(&candidates, &r), count_supports_naive(&candidates, &r));
+        assert_eq!(
+            count_supports_rssc(&candidates, &r),
+            count_supports_naive(&candidates, &r)
+        );
     }
 
     #[test]
@@ -278,7 +287,11 @@ mod tests {
             .map(|j| Signature::new(vec![Interval::new(j % 5, (j / 5) % 10, (j / 5) % 10, 10)]))
             .collect();
         let data: Vec<Vec<f64>> = (0..50)
-            .map(|i| (0..5).map(|j| ((i * 7 + j * 3) % 100) as f64 / 100.0).collect())
+            .map(|i| {
+                (0..5)
+                    .map(|j| ((i * 7 + j * 3) % 100) as f64 / 100.0)
+                    .collect()
+            })
             .collect();
         let r = rows(&data);
         assert_eq!(
@@ -308,8 +321,9 @@ mod tests {
     #[test]
     fn byte_size_is_positive_and_scales() {
         let small = Rssc::build(&[Signature::new(vec![iv(0, 0, 1)])]);
-        let big_cands: Vec<Signature> =
-            (0..200).map(|j| Signature::new(vec![Interval::new(j % 3, 0, 1, 10)])).collect();
+        let big_cands: Vec<Signature> = (0..200)
+            .map(|j| Signature::new(vec![Interval::new(j % 3, 0, 1, 10)]))
+            .collect();
         let big = Rssc::build(&big_cands);
         assert!(small.byte_size() > 0);
         assert!(big.byte_size() > small.byte_size());
@@ -324,12 +338,15 @@ mod tests {
             Signature::new(vec![Interval::new(1, 0, 3, 16)]),
         ];
         let data = vec![
-            vec![0.3, 0.6],  // in cand 0 (bin0 attr0 ∈ [0,1]; attr1 bin 9)
-            vec![0.3, 0.1],  // in cand 1 only
-            vec![0.9, 0.6],  // attr0 bin 3 → outside cand 0
+            vec![0.3, 0.6], // in cand 0 (bin0 attr0 ∈ [0,1]; attr1 bin 9)
+            vec![0.3, 0.1], // in cand 1 only
+            vec![0.9, 0.6], // attr0 bin 3 → outside cand 0
         ];
         let r: Vec<&[f64]> = data.iter().map(|x| x.as_slice()).collect();
-        assert_eq!(count_supports_rssc(&candidates, &r), count_supports_naive(&candidates, &r));
+        assert_eq!(
+            count_supports_rssc(&candidates, &r),
+            count_supports_naive(&candidates, &r)
+        );
         assert_eq!(count_supports_rssc(&candidates, &r), vec![1, 1]);
     }
 

@@ -27,7 +27,12 @@ impl Interval {
     pub fn new(attr: usize, bin_lo: usize, bin_hi: usize, bins: usize) -> Self {
         assert!(bin_lo <= bin_hi, "bin range out of order");
         assert!(bin_hi < bins, "bin range exceeds bin count");
-        Self { attr, bin_lo, bin_hi, bins }
+        Self {
+            attr,
+            bin_lo,
+            bin_hi,
+            bins,
+        }
     }
 
     /// Lower value bound.
@@ -88,7 +93,9 @@ impl Signature {
 
     /// Single-interval signature.
     pub fn singleton(interval: Interval) -> Self {
-        Self { intervals: vec![interval] }
+        Self {
+            intervals: vec![interval],
+        }
     }
 
     /// The signature's dimensionality `p`.
@@ -275,7 +282,10 @@ mod tests {
         let b = Signature::new(vec![iv(0, 0, 1), iv(2, 4, 5)]);
         let joined = a.join(&b).expect("joinable");
         assert_eq!(joined.len(), 3);
-        assert_eq!(joined.attributes().into_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            joined.attributes().into_iter().collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         // Join is symmetric.
         assert_eq!(a.join(&b), b.join(&a));
     }
@@ -285,7 +295,10 @@ mod tests {
         let a = Signature::new(vec![iv(0, 0, 1), iv(1, 2, 3)]);
         let c = Signature::new(vec![iv(2, 0, 1), iv(3, 2, 3)]);
         assert!(a.join(&c).is_none(), "no shared intervals");
-        assert!(a.join(&a).is_none(), "identical signatures share p intervals");
+        assert!(
+            a.join(&a).is_none(),
+            "identical signatures share p intervals"
+        );
     }
 
     #[test]

@@ -108,7 +108,11 @@ pub fn colon_like(spec: &ColonSpec) -> LabeledData {
         data.extend_from_slice(&drawn[src * d..(src + 1) * d]);
     }
     let dataset = Dataset::new(n, d, data);
-    LabeledData { dataset, labels, discriminative_genes: markers }
+    LabeledData {
+        dataset,
+        labels,
+        discriminative_genes: markers,
+    }
 }
 
 #[cfg(test)]
@@ -182,7 +186,13 @@ mod tests {
 
     #[test]
     fn custom_spec() {
-        let spec = ColonSpec { class0: 5, class1: 5, genes: 50, discriminative: 10, ..ColonSpec::default() };
+        let spec = ColonSpec {
+            class0: 5,
+            class1: 5,
+            genes: 50,
+            discriminative: 10,
+            ..ColonSpec::default()
+        };
         let g = colon_like(&spec);
         assert_eq!(g.dataset.len(), 10);
         assert_eq!(g.dataset.dim(), 50);

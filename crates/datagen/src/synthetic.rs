@@ -70,7 +70,13 @@ impl SyntheticSpec {
     /// Convenience constructor for the paper's main grid: size, cluster
     /// count, noise level.
     pub fn grid(n: usize, num_clusters: usize, noise_fraction: f64, seed: u64) -> Self {
-        Self { n, num_clusters, noise_fraction, seed, ..Self::default() }
+        Self {
+            n,
+            num_clusters,
+            noise_fraction,
+            seed,
+            ..Self::default()
+        }
     }
 }
 
@@ -115,9 +121,15 @@ struct ClusterPlan {
 pub fn generate(spec: &SyntheticSpec) -> GeneratedData {
     assert!(spec.d >= 1, "need at least one dimension");
     assert!(spec.num_clusters >= 1, "need at least one cluster");
-    assert!((0.0..=1.0).contains(&spec.noise_fraction), "noise fraction in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&spec.noise_fraction),
+        "noise fraction in [0,1]"
+    );
     assert!(spec.min_cluster_dims >= 1 && spec.min_cluster_dims <= spec.max_cluster_dims);
-    assert!(spec.max_cluster_dims <= spec.d, "cluster dims exceed data dims");
+    assert!(
+        spec.max_cluster_dims <= spec.d,
+        "cluster dims exceed data dims"
+    );
     assert!(spec.min_width > 0.0 && spec.max_width <= 1.0 && spec.min_width <= spec.max_width);
 
     let mut rng = StdRng::seed_from_u64(spec.seed);
@@ -158,8 +170,12 @@ pub fn generate(spec: &SyntheticSpec) -> GeneratedData {
     // tightest interval actually containing the drawn members.
     let mut clusters = Vec::with_capacity(plans.len());
     for (ci, plan) in plans.iter().enumerate() {
-        let ids: Vec<usize> =
-            labels.iter().enumerate().filter(|(_, &l)| l == ci as i64).map(|(i, _)| i).collect();
+        let ids: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == ci as i64)
+            .map(|(i, _)| i)
+            .collect();
         let mut intervals = Vec::with_capacity(plan.attrs.len());
         for &a in &plan.attrs {
             let mut lo = f64::INFINITY;
@@ -178,10 +194,18 @@ pub fn generate(spec: &SyntheticSpec) -> GeneratedData {
         let attrs: BTreeSet<usize> = plan.attrs.iter().copied().collect();
         clusters.push(ProjectedCluster::new(ids, attrs, intervals));
     }
-    let outliers: Vec<usize> =
-        labels.iter().enumerate().filter(|(_, &l)| l == -1).map(|(i, _)| i).collect();
+    let outliers: Vec<usize> = labels
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l == -1)
+        .map(|(i, _)| i)
+        .collect();
 
-    GeneratedData { dataset, ground_truth: Clustering::new(clusters, outliers), labels }
+    GeneratedData {
+        dataset,
+        ground_truth: Clustering::new(clusters, outliers),
+        labels,
+    }
 }
 
 /// Decides attribute subsets, interval geometry and sizes for all clusters.
@@ -214,7 +238,11 @@ fn plan_clusters(spec: &SyntheticSpec, cluster_total: usize, rng: &mut StdRng) -
             intervals.push((lo, lo + width));
         }
         let size = base + usize::from(ci < extra);
-        plans.push(ClusterPlan { attrs, intervals, size });
+        plans.push(ClusterPlan {
+            attrs,
+            intervals,
+            size,
+        });
     }
     plans
 }
@@ -242,7 +270,15 @@ mod tests {
     use super::*;
 
     fn small_spec() -> SyntheticSpec {
-        SyntheticSpec { n: 1000, d: 12, num_clusters: 3, noise_fraction: 0.1, max_cluster_dims: 6, seed: 7, ..SyntheticSpec::default() }
+        SyntheticSpec {
+            n: 1000,
+            d: 12,
+            num_clusters: 3,
+            noise_fraction: 0.1,
+            max_cluster_dims: 6,
+            seed: 7,
+            ..SyntheticSpec::default()
+        }
     }
 
     #[test]
@@ -270,7 +306,10 @@ mod tests {
         let g = generate(&small_spec());
         for cluster in &g.ground_truth.clusters {
             for &id in &cluster.points {
-                assert!(cluster.covers(g.dataset.row(id)), "point {id} escapes its signature");
+                assert!(
+                    cluster.covers(g.dataset.row(id)),
+                    "point {id} escapes its signature"
+                );
             }
         }
     }
@@ -324,7 +363,11 @@ mod tests {
         let g = generate(&small_spec());
         let c0 = &g.ground_truth.clusters[0];
         let c1 = &g.ground_truth.clusters[1];
-        let shared: Vec<usize> = c0.attributes.intersection(&c1.attributes).copied().collect();
+        let shared: Vec<usize> = c0
+            .attributes
+            .intersection(&c1.attributes)
+            .copied()
+            .collect();
         assert!(!shared.is_empty(), "overlap clusters share no attribute");
         let any_overlap = shared.iter().any(|&a| {
             let i0 = c0.interval_on(a).unwrap();
@@ -347,7 +390,10 @@ mod tests {
 
     #[test]
     fn zero_noise() {
-        let spec = SyntheticSpec { noise_fraction: 0.0, ..small_spec() };
+        let spec = SyntheticSpec {
+            noise_fraction: 0.0,
+            ..small_spec()
+        };
         let g = generate(&spec);
         assert!(g.ground_truth.outliers.is_empty());
         assert!(g.labels.iter().all(|&l| l >= 0));
@@ -369,7 +415,10 @@ mod tests {
     #[test]
     fn rows_are_shuffled() {
         // The first points should not all belong to cluster 0.
-        let g = generate(&SyntheticSpec { n: 3000, ..small_spec() });
+        let g = generate(&SyntheticSpec {
+            n: 3000,
+            ..small_spec()
+        });
         let first: BTreeSet<i64> = g.labels.iter().take(100).copied().collect();
         assert!(first.len() > 1, "rows appear unshuffled");
     }

@@ -4,8 +4,14 @@ use p3c_datagen::{generate, SyntheticSpec};
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = SyntheticSpec> {
-    (1usize..5, 200usize..800, 0.0f64..0.3, 4usize..12, 0u64..1000).prop_map(
-        |(k, n, noise, d, seed)| SyntheticSpec {
+    (
+        1usize..5,
+        200usize..800,
+        0.0f64..0.3,
+        4usize..12,
+        0u64..1000,
+    )
+        .prop_map(|(k, n, noise, d, seed)| SyntheticSpec {
             n,
             d,
             num_clusters: k,
@@ -14,8 +20,7 @@ fn arb_spec() -> impl Strategy<Value = SyntheticSpec> {
             max_cluster_dims: 4.min(d),
             seed,
             ..SyntheticSpec::default()
-        },
-    )
+        })
 }
 
 proptest! {

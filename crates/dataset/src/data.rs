@@ -131,12 +131,18 @@ impl Dataset {
             None => {
                 return (
                     self.clone(),
-                    NormalizationMap { mins: vec![], scales: vec![] },
+                    NormalizationMap {
+                        mins: vec![],
+                        scales: vec![],
+                    },
                 )
             }
         };
-        let scales: Vec<f64> =
-            mins.iter().zip(&maxs).map(|(&lo, &hi)| if hi > lo { hi - lo } else { 0.0 }).collect();
+        let scales: Vec<f64> = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| if hi > lo { hi - lo } else { 0.0 })
+            .collect();
         let mut data = Vec::with_capacity(self.data.len());
         for row in self.rows() {
             for (j, &v) in row.iter().enumerate() {
@@ -147,7 +153,10 @@ impl Dataset {
                 }
             }
         }
-        (Dataset::new(self.n, self.d, data), NormalizationMap { mins, scales })
+        (
+            Dataset::new(self.n, self.d, data),
+            NormalizationMap { mins, scales },
+        )
     }
 
     /// Extracts the sub-dataset of the given point ids (in the given order).
@@ -189,11 +198,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Dataset {
-        Dataset::from_rows(vec![
-            vec![0.0, 10.0],
-            vec![5.0, 20.0],
-            vec![10.0, 40.0],
-        ])
+        Dataset::from_rows(vec![vec![0.0, 10.0], vec![5.0, 20.0], vec![10.0, 40.0]])
     }
 
     #[test]

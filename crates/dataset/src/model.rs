@@ -41,7 +41,10 @@ impl AttrInterval {
 
     /// Smallest interval covering both (same attribute only).
     pub fn union(&self, other: &AttrInterval) -> AttrInterval {
-        assert_eq!(self.attr, other.attr, "union of intervals on different attributes");
+        assert_eq!(
+            self.attr, other.attr,
+            "union of intervals on different attributes"
+        );
         AttrInterval::new(self.attr, self.lo.min(other.lo), self.hi.max(other.hi))
     }
 }
@@ -70,7 +73,11 @@ impl ProjectedCluster {
         points.sort_unstable();
         points.dedup();
         intervals.sort_by_key(|iv| iv.attr);
-        Self { points, attributes, intervals }
+        Self {
+            points,
+            attributes,
+            intervals,
+        }
     }
 
     /// Number of member points.
@@ -124,13 +131,19 @@ impl Clustering {
 
     /// Total subobjects over all clusters.
     pub fn total_subobjects(&self) -> usize {
-        self.clusters.iter().map(ProjectedCluster::num_subobjects).sum()
+        self.clusters
+            .iter()
+            .map(ProjectedCluster::num_subobjects)
+            .sum()
     }
 
     /// The union of all attributes relevant to at least one cluster —
     /// the paper's `A_rel` (Equation 3).
     pub fn relevant_attributes(&self) -> BTreeSet<usize> {
-        self.clusters.iter().flat_map(|c| c.attributes.iter().copied()).collect()
+        self.clusters
+            .iter()
+            .flat_map(|c| c.attributes.iter().copied())
+            .collect()
     }
 }
 

@@ -73,21 +73,26 @@ pub fn from_text(text: &str) -> Result<Dataset, DecodeError> {
     let (_, header) = lines.next().ok_or(DecodeError::MissingHeader)?;
     let mut parts = header.split_whitespace();
     let parse_dim = |s: Option<&str>| -> Result<usize, DecodeError> {
-        s.and_then(|t| t.parse().ok()).ok_or_else(|| DecodeError::BadHeader(header.to_string()))
+        s.and_then(|t| t.parse().ok())
+            .ok_or_else(|| DecodeError::BadHeader(header.to_string()))
     };
     let n = parse_dim(parts.next())?;
     let d = parse_dim(parts.next())?;
     let mut data = Vec::with_capacity(n * d);
     for (lineno, line) in lines {
         for token in line.split_whitespace() {
-            let v: f64 = token
-                .parse()
-                .map_err(|_| DecodeError::BadValue { line: lineno + 1, token: token.to_string() })?;
+            let v: f64 = token.parse().map_err(|_| DecodeError::BadValue {
+                line: lineno + 1,
+                token: token.to_string(),
+            })?;
             data.push(v);
         }
     }
     if data.len() != n * d {
-        return Err(DecodeError::WrongCount { expected: n * d, got: data.len() });
+        return Err(DecodeError::WrongCount {
+            expected: n * d,
+            got: data.len(),
+        });
     }
     Ok(Dataset::new(n, d, data))
 }
@@ -149,14 +154,20 @@ mod tests {
     #[test]
     fn text_errors() {
         assert_eq!(from_text("").unwrap_err(), DecodeError::MissingHeader);
-        assert!(matches!(from_text("x y\n").unwrap_err(), DecodeError::BadHeader(_)));
+        assert!(matches!(
+            from_text("x y\n").unwrap_err(),
+            DecodeError::BadHeader(_)
+        ));
         assert!(matches!(
             from_text("1 2\n0.5 oops\n").unwrap_err(),
             DecodeError::BadValue { .. }
         ));
         assert!(matches!(
             from_text("2 2\n0.5 0.5\n").unwrap_err(),
-            DecodeError::WrongCount { expected: 4, got: 2 }
+            DecodeError::WrongCount {
+                expected: 4,
+                got: 2
+            }
         ));
     }
 

@@ -26,8 +26,7 @@ pub fn label_accuracy(clustering: &Clustering, labels: &[usize]) -> f64 {
     };
 
     // Majority class per cluster cell and for the outlier cell.
-    let mut votes: Vec<HashMap<usize, usize>> =
-        vec![HashMap::new(); clustering.clusters.len() + 1];
+    let mut votes: Vec<HashMap<usize, usize>> = vec![HashMap::new(); clustering.clusters.len() + 1];
     for (p, &label) in labels.iter().enumerate() {
         let cell = cell_of(p).unwrap_or(clustering.clusters.len());
         *votes[cell].entry(label).or_insert(0) += 1;

@@ -23,7 +23,13 @@ pub fn ce(found: &Clustering, hidden: &Clustering) -> f64 {
     let weights: Vec<Vec<f64>> = found
         .clusters
         .iter()
-        .map(|f| hidden.clusters.iter().map(|h| subobject_intersection(f, h) as f64).collect())
+        .map(|f| {
+            hidden
+                .clusters
+                .iter()
+                .map(|h| subobject_intersection(f, h) as f64)
+                .collect()
+        })
         .collect();
     let (_, d_max) = max_weight_matching(&weights);
 
@@ -58,7 +64,11 @@ mod tests {
     use std::collections::BTreeSet;
 
     fn cluster(points: Vec<usize>, attrs: &[usize]) -> ProjectedCluster {
-        ProjectedCluster::new(points, attrs.iter().copied().collect::<BTreeSet<_>>(), vec![])
+        ProjectedCluster::new(
+            points,
+            attrs.iter().copied().collect::<BTreeSet<_>>(),
+            vec![],
+        )
     }
 
     fn clustering(clusters: Vec<ProjectedCluster>) -> Clustering {
@@ -97,8 +107,8 @@ mod tests {
         // Found cluster A overlaps both hidden clusters; matching must give
         // it to the one maximizing total mass.
         let found = clustering(vec![
-            cluster((5..15).collect(), &[0]),   // 5 with h0, 5 with h1
-            cluster((15..30).collect(), &[0]),  // 15 with h1
+            cluster((5..15).collect(), &[0]),  // 5 with h0, 5 with h1
+            cluster((15..30).collect(), &[0]), // 15 with h1
         ]);
         // Best: f0→h0 (5) + f1→h1 (15) = 20. U = 30 distinct subobjects... plus f covers 5..30 = 25, union = 30.
         let s = ce(&found, &hidden);

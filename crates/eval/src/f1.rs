@@ -15,13 +15,25 @@ pub fn f1_object(found: &Clustering, hidden: &Clustering) -> f64 {
     let coverage: f64 = hidden
         .clusters
         .iter()
-        .map(|h| found.clusters.iter().map(|f| pairwise_f1_objects(f, h)).fold(0.0f64, f64::max))
+        .map(|h| {
+            found
+                .clusters
+                .iter()
+                .map(|f| pairwise_f1_objects(f, h))
+                .fold(0.0f64, f64::max)
+        })
         .sum::<f64>()
         / hidden.clusters.len() as f64;
     let precision: f64 = found
         .clusters
         .iter()
-        .map(|f| hidden.clusters.iter().map(|h| pairwise_f1_objects(f, h)).fold(0.0f64, f64::max))
+        .map(|f| {
+            hidden
+                .clusters
+                .iter()
+                .map(|h| pairwise_f1_objects(f, h))
+                .fold(0.0f64, f64::max)
+        })
         .sum::<f64>()
         / found.clusters.len() as f64;
     if coverage + precision == 0.0 {
@@ -38,7 +50,11 @@ mod tests {
     use std::collections::BTreeSet;
 
     fn cluster(points: Vec<usize>, attrs: &[usize]) -> ProjectedCluster {
-        ProjectedCluster::new(points, attrs.iter().copied().collect::<BTreeSet<_>>(), vec![])
+        ProjectedCluster::new(
+            points,
+            attrs.iter().copied().collect::<BTreeSet<_>>(),
+            vec![],
+        )
     }
 
     fn clustering(clusters: Vec<ProjectedCluster>) -> Clustering {

@@ -59,7 +59,11 @@ mod tests {
     use std::collections::BTreeSet;
 
     fn cluster(points: Vec<usize>, attrs: &[usize]) -> ProjectedCluster {
-        ProjectedCluster::new(points, attrs.iter().copied().collect::<BTreeSet<_>>(), vec![])
+        ProjectedCluster::new(
+            points,
+            attrs.iter().copied().collect::<BTreeSet<_>>(),
+            vec![],
+        )
     }
 
     #[test]

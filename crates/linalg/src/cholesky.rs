@@ -51,7 +51,10 @@ impl Cholesky {
         if let Some(c) = Self::new(a) {
             return Some(c);
         }
-        let max_diag = (0..a.rows()).map(|i| a[(i, i)].abs()).fold(0.0f64, f64::max).max(1e-12);
+        let max_diag = (0..a.rows())
+            .map(|i| a[(i, i)].abs())
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
         let mut ridge = max_diag * 1e-9;
         while ridge <= max_diag {
             let mut reg = a.clone();
@@ -178,7 +181,10 @@ impl Cholesky {
 
     /// `ln det A = 2 Σ ln L_ii` — needed by the Gaussian log-density in EM.
     pub fn log_det(&self) -> f64 {
-        (0..self.n).map(|i| self.l[i * self.n + i].ln()).sum::<f64>() * 2.0
+        (0..self.n)
+            .map(|i| self.l[i * self.n + i].ln())
+            .sum::<f64>()
+            * 2.0
     }
 
     /// Explicit inverse of the factorized matrix (rarely needed; prefer

@@ -79,7 +79,10 @@ impl CovarianceAccumulator {
 
     /// Merges a partial accumulator from another split.
     pub fn merge(&mut self, other: &CovarianceAccumulator) {
-        assert_eq!(self.dim, other.dim, "merging accumulators of different dims");
+        assert_eq!(
+            self.dim, other.dim,
+            "merging accumulators of different dims"
+        );
         for (a, b) in self.linear.iter_mut().zip(&other.linear) {
             *a += b;
         }

@@ -19,7 +19,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -49,7 +53,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Diagonal matrix with the given entries.
@@ -98,7 +106,9 @@ impl Matrix {
     /// Matrix-vector product.
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "matvec shape mismatch");
-        (0..self.rows).map(|i| crate::vector::dot(self.row(i), v)).collect()
+        (0..self.rows)
+            .map(|i| crate::vector::dot(self.row(i), v))
+            .collect()
     }
 
     /// Adds `lambda` to every diagonal entry (ridge regularization).
@@ -233,7 +243,12 @@ impl Add<&Matrix> for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 }
@@ -242,7 +257,12 @@ impl Sub<&Matrix> for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 }
@@ -270,7 +290,11 @@ impl Mul<&Matrix> for &Matrix {
 impl Mul<f64> for &Matrix {
     type Output = Matrix;
     fn mul(self, s: f64) -> Matrix {
-        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|x| x * s).collect())
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|x| x * s).collect(),
+        )
     }
 }
 
@@ -321,11 +345,7 @@ mod tests {
 
     #[test]
     fn inverse_times_original_is_identity() {
-        let a = Matrix::from_rows(&[
-            &[2.0, -1.0, 0.0],
-            &[-1.0, 2.0, -1.0],
-            &[0.0, -1.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]]);
         let inv = a.inverse().unwrap();
         let prod = &a * &inv;
         let id = Matrix::identity(3);

@@ -1,0 +1,214 @@
+//! A minimal exhaustive-interleaving model checker — an offline,
+//! dependency-free stand-in for the `loom` crate, built for the engine's
+//! concurrency kernels (see `p3c-mapreduce`'s `kernel` module).
+//!
+//! [`model`] runs a closure repeatedly, exploring **every** schedule of
+//! the model threads it spawns via depth-first search with replay:
+//! exactly one thread runs at a time, the scheduler inserts a decision
+//! point before every visible operation (atomic access, mutex acquire,
+//! spawn, join), and each execution's decision trace is backtracked to
+//! produce the next unexplored schedule. Deadlocks (no runnable thread)
+//! and assertion failures abort the search and report the failing
+//! schedule.
+//!
+//! Scope, honestly stated:
+//!
+//! * Exploration is **sequentially consistent** — `Ordering` arguments
+//!   are accepted but not modelled, so this checker proves interleaving
+//!   properties (RMW atomicity, mutual exclusion, exactly-once hand-off),
+//!   not weak-memory reordering properties.
+//! * Model closures must be deterministic given the schedule (no I/O,
+//!   wall-clock or ambient randomness), or replay diverges.
+//! * Every spawned thread must be joined before the closure returns.
+//!
+//! # Example
+//!
+//! ```
+//! use p3c_loom::{model, sync::atomic::{AtomicUsize, Ordering}, thread};
+//! use std::sync::Arc;
+//!
+//! model(|| {
+//!     let counter = Arc::new(AtomicUsize::new(0));
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let c = Arc::clone(&counter);
+//!             thread::spawn(move || c.fetch_add(1, Ordering::Relaxed))
+//!         })
+//!         .collect();
+//!     for h in handles {
+//!         h.join_unwrap();
+//!     }
+//!     // Holds under every interleaving:
+//!     assert_eq!(counter.load(Ordering::Relaxed), 2);
+//! });
+//! ```
+#![warn(missing_docs)]
+
+mod sched;
+pub mod sync;
+pub mod thread;
+
+use std::panic::resume_unwind;
+
+/// Default backstop on explored executions; override with the
+/// `P3C_LOOM_MAX_EXECUTIONS` environment variable.
+const DEFAULT_MAX_EXECUTIONS: usize = 2_000_000;
+
+/// Checks `f` under every schedule of its model threads. Panics on the
+/// first failing execution (assertion failure, deadlock, or leaked
+/// thread), reporting the failing schedule. Returns the number of
+/// executions explored.
+pub fn model<F: Fn()>(f: F) -> usize {
+    let max_executions = std::env::var("P3C_LOOM_MAX_EXECUTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_MAX_EXECUTIONS);
+    let mut schedule: Vec<usize> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= max_executions,
+            "p3c-loom: exceeded {max_executions} executions without exhausting \
+             the schedule space; shrink the model or raise P3C_LOOM_MAX_EXECUTIONS"
+        );
+        let (trace, failure, outcome) = thread::run_one(&f, schedule.clone());
+        if let Err(payload) = outcome {
+            let choices: Vec<usize> = trace.iter().map(|&(c, _)| c).collect();
+            eprintln!(
+                "p3c-loom: failure on execution {executions}, schedule {choices:?}: {}",
+                failure
+                    .clone()
+                    .unwrap_or_else(|| thread::payload_str(payload.as_ref()).to_string())
+            );
+            if thread::is_abort(payload.as_ref()) {
+                // The marker panic carries no context; the recorded
+                // failure note (deadlock report, stray panic) does.
+                panic!(
+                    "{}",
+                    failure.unwrap_or_else(|| "p3c-loom: execution aborted".to_string())
+                );
+            }
+            resume_unwind(payload);
+        }
+        // Backtrack: bump the deepest decision that still has an
+        // unexplored alternative, drop everything below it.
+        let mut next = trace;
+        loop {
+            match next.last().copied() {
+                None => return executions,
+                Some((c, n)) if c + 1 < n => {
+                    let last = next.len() - 1;
+                    next[last].0 = c + 1;
+                    break;
+                }
+                Some(_) => {
+                    next.pop();
+                }
+            }
+        }
+        schedule = next.into_iter().map(|(c, _)| c).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Mutex;
+    use super::{model, thread};
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn rmw_is_atomic_under_all_schedules() {
+        let executions = model(|| {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&counter);
+                    thread::spawn(move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join_unwrap();
+            }
+            assert_eq!(counter.load(Ordering::Relaxed), 2);
+        });
+        assert!(
+            executions > 1,
+            "expected multiple schedules, got {executions}"
+        );
+    }
+
+    #[test]
+    fn explores_both_lock_orders() {
+        let observed: StdMutex<BTreeSet<Vec<usize>>> = StdMutex::new(BTreeSet::new());
+        model(|| {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let handles: Vec<_> = (1..=2)
+                .map(|id| {
+                    let log = Arc::clone(&log);
+                    thread::spawn(move || log.lock().push(id))
+                })
+                .collect();
+            for h in handles {
+                h.join_unwrap();
+            }
+            let order = log.lock().clone();
+            observed.lock().unwrap().insert(order);
+        });
+        let seen = observed.into_inner().unwrap();
+        assert!(seen.contains(&vec![1, 2]), "missing order 1,2: {seen:?}");
+        assert!(seen.contains(&vec![2, 1]), "missing order 2,1: {seen:?}");
+    }
+
+    #[test]
+    fn load_store_race_shows_both_outcomes() {
+        let outcomes: StdMutex<BTreeSet<usize>> = StdMutex::new(BTreeSet::new());
+        model(|| {
+            let cell = Arc::new(AtomicUsize::new(0));
+            let writer = {
+                let c = Arc::clone(&cell);
+                thread::spawn(move || c.store(7, Ordering::Relaxed))
+            };
+            let seen = cell.load(Ordering::Relaxed);
+            writer.join_unwrap();
+            outcomes.lock().unwrap().insert(seen);
+        });
+        let seen = outcomes.into_inner().unwrap();
+        assert_eq!(seen, BTreeSet::from([0, 7]), "expected both race outcomes");
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn abba_deadlock_is_detected() {
+        model(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let t = {
+                let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+                thread::spawn(move || {
+                    let _ga = a.lock();
+                    let _gb = b.lock();
+                })
+            };
+            {
+                let _gb = b.lock();
+                let _ga = a.lock();
+            }
+            t.join_unwrap();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "join them")]
+    fn leaked_thread_is_reported() {
+        model(|| {
+            let _ = thread::spawn(|| ());
+            // Returning without joining is a model bug.
+        });
+    }
+}

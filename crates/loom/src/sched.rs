@@ -1,0 +1,345 @@
+//! The cooperative scheduler behind [`crate::model`].
+//!
+//! Exactly one model thread runs at a time; the token is handed over at
+//! *decision points* (one before every visible operation — an atomic
+//! access, a mutex acquire, a spawn, a join). At each decision point the
+//! running thread consults the replay schedule (or defaults to the
+//! lowest-numbered runnable thread), records the choice and the number of
+//! alternatives into the trace, wakes the chosen thread and parks itself.
+//! [`crate::model`] backtracks over the recorded traces to enumerate every
+//! schedule.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Message used when an execution is torn down (deadlock or a panic in
+/// another model thread). [`crate::model`] recognises it and reports the
+/// registry's recorded failure instead.
+pub(crate) const ABORT_MSG: &str = "p3c-loom: execution aborted";
+
+/// Scheduling state of one model thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Parked until the mutex with this id is released.
+    BlockedOnMutex(usize),
+    /// Parked until the thread with this id finishes.
+    BlockedOnJoin(usize),
+    /// Ran to completion.
+    Finished,
+}
+
+/// Shared state of one execution.
+pub(crate) struct SchedState {
+    pub statuses: Vec<Status>,
+    /// The thread currently holding the run token.
+    pub active: usize,
+    /// Replay prefix: decision point `i` picks the `schedule[i]`-th
+    /// runnable thread. Past the prefix the lowest index is chosen.
+    pub schedule: Vec<usize>,
+    pub step: usize,
+    /// `(chosen index, number of runnable alternatives)` per decision.
+    pub trace: Vec<(usize, usize)>,
+    /// `Some(tid)` while the mutex with that table index is held.
+    pub mutex_owner: Vec<Option<usize>>,
+    /// Set when the execution is being torn down; parked threads wake up
+    /// and unwind instead of continuing.
+    pub poisoned: bool,
+    /// Human-readable reason for the teardown (deadlock, stray panic).
+    pub failure: Option<String>,
+}
+
+/// One execution's scheduler: shared state plus the wake-up channel.
+pub(crate) struct Registry {
+    pub state: Mutex<SchedState>,
+    pub cv: Condvar,
+}
+
+thread_local! {
+    static CONTEXT: RefCell<Option<(Arc<Registry>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set_context(reg: Arc<Registry>, tid: usize) {
+    CONTEXT.with(|c| *c.borrow_mut() = Some((reg, tid)));
+}
+
+pub(crate) fn clear_context() {
+    CONTEXT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Runs `f` with the current thread's registry and thread id. Panics if
+/// called outside [`crate::model`] — the shim primitives only work under
+/// the model checker.
+pub(crate) fn with_context<R>(f: impl FnOnce(&Arc<Registry>, usize) -> R) -> R {
+    CONTEXT.with(|c| {
+        let borrow = c.borrow();
+        let (reg, tid) = borrow
+            .as_ref()
+            .expect("p3c-loom primitive used outside model()");
+        f(reg, *tid)
+    })
+}
+
+impl Registry {
+    /// A fresh execution with the model closure registered as thread 0.
+    pub fn new(schedule: Vec<usize>) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(SchedState {
+                statuses: vec![Status::Runnable],
+                active: 0,
+                schedule,
+                step: 0,
+                trace: Vec::new(),
+                mutex_owner: Vec::new(),
+                poisoned: false,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn locked(&self) -> MutexGuard<'_, SchedState> {
+        // The scheduler never panics while holding this lock except to
+        // abort the whole execution, so poisoning is unrecoverable anyway.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        }
+    }
+
+    fn abort_if_poisoned(&self, st: &SchedState) {
+        if st.poisoned {
+            panic!("{ABORT_MSG}");
+        }
+    }
+
+    /// Picks the next thread among the runnable ones (minus `exclude`),
+    /// recording the decision. Returns `false` if nothing is runnable.
+    fn pick_next(&self, st: &mut SchedState, exclude: Option<usize>) -> bool {
+        let runnable: Vec<usize> = st
+            .statuses
+            .iter()
+            .enumerate()
+            .filter(|&(i, s)| *s == Status::Runnable && Some(i) != exclude)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            return false;
+        }
+        let choice = if st.step < st.schedule.len() {
+            st.schedule[st.step]
+        } else {
+            0
+        };
+        st.trace.push((choice, runnable.len()));
+        st.step += 1;
+        st.active = runnable[choice];
+        self.cv.notify_all();
+        true
+    }
+
+    /// Tears the execution down: every parked thread wakes and unwinds.
+    fn poison(&self, st: &mut SchedState, why: String) {
+        st.poisoned = true;
+        if st.failure.is_none() {
+            st.failure = Some(why);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Parks until this thread holds the run token again.
+    fn park_until_active<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, SchedState>,
+        me: usize,
+    ) -> MutexGuard<'a, SchedState> {
+        loop {
+            if st.poisoned {
+                drop(st);
+                panic!("{ABORT_MSG}");
+            }
+            if st.active == me && st.statuses[me] == Status::Runnable {
+                return st;
+            }
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(e) => e.into_inner(),
+            };
+        }
+    }
+
+    /// Decision point before a visible operation of thread `me`.
+    pub fn switch(&self, me: usize) {
+        let mut st = self.locked();
+        self.abort_if_poisoned(&st);
+        debug_assert_eq!(st.active, me, "switch by a thread without the token");
+        // The runnable set always contains `me`, so this cannot fail.
+        self.pick_next(&mut st, None);
+        let _st = self.park_until_active(st, me);
+    }
+
+    /// Registers a freshly spawned thread and returns its id.
+    pub fn register_thread(&self, me: usize) -> usize {
+        // Spawning is a visible operation: decision point first.
+        self.switch(me);
+        let mut st = self.locked();
+        st.statuses.push(Status::Runnable);
+        st.statuses.len() - 1
+    }
+
+    /// First park of a spawned thread, before its closure runs.
+    pub fn wait_first_schedule(&self, me: usize) {
+        let st = self.locked();
+        let _st = self.park_until_active(st, me);
+    }
+
+    /// Registers a mutex for the current execution and returns its id.
+    pub fn register_mutex(&self) -> usize {
+        let mut st = self.locked();
+        st.mutex_owner.push(None);
+        st.mutex_owner.len() - 1
+    }
+
+    /// Blocking mutex acquire with a decision point before the attempt.
+    pub fn mutex_lock(&self, me: usize, id: usize) {
+        let mut st = self.locked();
+        self.abort_if_poisoned(&st);
+        self.pick_next(&mut st, None);
+        st = self.park_until_active(st, me);
+        loop {
+            if st.mutex_owner[id].is_none() {
+                st.mutex_owner[id] = Some(me);
+                return;
+            }
+            // Contended: park until the owner releases, then retry.
+            st.statuses[me] = Status::BlockedOnMutex(id);
+            if !self.pick_next(&mut st, Some(me)) {
+                let why = self.describe_deadlock(&st);
+                self.poison(&mut st, why);
+                drop(st);
+                panic!("{ABORT_MSG}");
+            }
+            st = self.park_until_active(st, me);
+        }
+    }
+
+    /// Releases a mutex and wakes its waiters. Never panics — it runs
+    /// from guard drops, possibly during unwinding.
+    pub fn mutex_unlock(&self, me: usize, id: usize) {
+        let mut st = self.locked();
+        debug_assert_eq!(st.mutex_owner[id], Some(me), "unlock by non-owner");
+        st.mutex_owner[id] = None;
+        for s in &mut st.statuses {
+            if *s == Status::BlockedOnMutex(id) {
+                *s = Status::Runnable;
+            }
+        }
+        // No decision point here: the caller's next visible operation
+        // provides one, and the release is already observable then.
+    }
+
+    /// Parks until `target` finishes (with a decision point first).
+    pub fn join_wait(&self, me: usize, target: usize) {
+        let mut st = self.locked();
+        self.abort_if_poisoned(&st);
+        self.pick_next(&mut st, None);
+        st = self.park_until_active(st, me);
+        while st.statuses[target] != Status::Finished {
+            st.statuses[me] = Status::BlockedOnJoin(target);
+            if !self.pick_next(&mut st, Some(me)) {
+                let why = self.describe_deadlock(&st);
+                self.poison(&mut st, why);
+                drop(st);
+                panic!("{ABORT_MSG}");
+            }
+            st = self.park_until_active(st, me);
+        }
+    }
+
+    /// Marks a thread finished, wakes joiners, hands the token on.
+    ///
+    /// With `unwinding` set the thread died from a panic: if a joiner is
+    /// waiting it is woken so `join` can propagate the payload; otherwise
+    /// the execution is poisoned so the failure surfaces in `model`.
+    pub fn thread_finished(&self, me: usize, unwinding: bool, detail: Option<String>) {
+        let mut st = self.locked();
+        st.statuses[me] = Status::Finished;
+        let mut had_joiner = false;
+        for s in &mut st.statuses {
+            if *s == Status::BlockedOnJoin(me) {
+                *s = Status::Runnable;
+                had_joiner = true;
+            }
+        }
+        if st.poisoned {
+            self.cv.notify_all();
+            return;
+        }
+        if unwinding && !had_joiner {
+            let why = detail.unwrap_or_else(|| "a model thread panicked".to_string());
+            self.poison(&mut st, why);
+            return;
+        }
+        if !self.pick_next(&mut st, Some(me)) {
+            // Nothing runnable. If every other thread has finished the
+            // execution is simply over (the model closure is about to
+            // observe that); otherwise the remaining threads are parked
+            // forever — a deadlock.
+            if st.statuses.iter().any(|s| !matches!(s, Status::Finished)) {
+                let why = self.describe_deadlock(&st);
+                self.poison(&mut st, why);
+            }
+        }
+    }
+
+    /// Called by `model` when the closure returns: every spawned thread
+    /// must have been joined.
+    pub fn check_quiescent(&self) -> Result<(), String> {
+        let mut st = self.locked();
+        let stray: Vec<usize> = st
+            .statuses
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, s)| !matches!(s, Status::Finished))
+            .map(|(i, _)| i)
+            .collect();
+        if stray.is_empty() {
+            return Ok(());
+        }
+        let why = format!("model closure returned with running threads {stray:?}; join them");
+        self.poison(&mut st, why.clone());
+        Err(why)
+    }
+
+    /// Poisons the execution from the outside (model-closure panic) so
+    /// parked threads unwind instead of leaking.
+    pub fn teardown(&self, why: String) {
+        let mut st = self.locked();
+        if !st.poisoned {
+            self.poison(&mut st, why);
+        }
+    }
+
+    /// The completed trace and failure note of this execution.
+    pub fn outcome(&self) -> (Vec<(usize, usize)>, Option<String>) {
+        let st = self.locked();
+        (st.trace.clone(), st.failure.clone())
+    }
+
+    fn describe_deadlock(&self, st: &SchedState) -> String {
+        let parked: Vec<String> = st
+            .statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Status::BlockedOnMutex(_) | Status::BlockedOnJoin(_)))
+            .map(|(i, s)| format!("thread {i} {s:?}"))
+            .collect();
+        format!(
+            "deadlock: no runnable thread ({}); schedule so far: {:?}",
+            parked.join(", "),
+            st.trace.iter().map(|&(c, _)| c).collect::<Vec<_>>()
+        )
+    }
+}

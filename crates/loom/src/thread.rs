@@ -1,0 +1,126 @@
+//! Model-checked thread spawning and joining.
+
+use crate::sched::{clear_context, set_context, with_context, Registry, ABORT_MSG};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+type ThreadResult<T> = std::thread::Result<T>;
+
+/// Handle to a model thread; joining yields the closure's return value.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<StdMutex<Option<ThreadResult<T>>>>,
+    os: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Spawns a model thread running `f`. Must be called inside
+/// [`crate::model`]; the new thread only runs when the scheduler hands it
+/// the token. Every spawned thread must be joined before the model
+/// closure returns.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (registry, tid) = with_context(|reg, me| (Arc::clone(reg), reg.register_thread(me)));
+    let result: Arc<StdMutex<Option<ThreadResult<T>>>> = Arc::new(StdMutex::new(None));
+    let slot = Arc::clone(&result);
+    let reg = Arc::clone(&registry);
+    let os = std::thread::Builder::new()
+        .name(format!("p3c-loom-{tid}"))
+        .spawn(move || {
+            set_context(Arc::clone(&reg), tid);
+            // If the execution was torn down before this thread ever ran,
+            // the first park panics with ABORT_MSG; swallow it quietly.
+            if catch_unwind(AssertUnwindSafe(|| reg.wait_first_schedule(tid))).is_err() {
+                clear_context();
+                return;
+            }
+            let out = catch_unwind(AssertUnwindSafe(f));
+            let unwinding = out.is_err();
+            let detail = match &out {
+                Err(p) => Some(format!("model thread {tid} panicked: {}", payload_str(p))),
+                Ok(_) => None,
+            };
+            match slot.lock() {
+                Ok(mut s) => *s = Some(out),
+                Err(e) => *e.into_inner() = Some(out),
+            }
+            reg.thread_finished(tid, unwinding, detail);
+            clear_context();
+        })
+        .expect("spawn model thread");
+    JoinHandle {
+        tid,
+        result,
+        os: Some(os),
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Parks until the thread finishes, then returns its result. A panic
+    /// in the thread's closure is resumed here, as with `std` join.
+    pub fn join(mut self) -> ThreadResult<T> {
+        with_context(|reg, me| reg.join_wait(me, self.tid));
+        if let Some(os) = self.os.take() {
+            // The model thread has already run `thread_finished`; the OS
+            // thread is exiting, so this join is prompt and safe.
+            let _ = os.join();
+        }
+        let out = match self.result.lock() {
+            Ok(mut s) => s.take(),
+            Err(e) => e.into_inner().take(),
+        };
+        out.expect("finished model thread left no result")
+    }
+
+    /// Like [`JoinHandle::join`] but unwraps, resuming the thread's panic.
+    pub fn join_unwrap(self) -> T {
+        match self.join() {
+            Ok(v) => v,
+            Err(p) => resume_unwind(p),
+        }
+    }
+}
+
+pub(crate) fn payload_str(p: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+/// True when the payload is the scheduler's teardown marker rather than a
+/// genuine model failure.
+pub(crate) fn is_abort(p: &(dyn std::any::Any + Send)) -> bool {
+    payload_str(p) == ABORT_MSG
+}
+
+/// One execution's result: the recorded `(thread, choice)` trace, the
+/// scheduler's failure note, and the model closure's outcome.
+pub(crate) type ExecutionResult = (
+    Vec<(usize, usize)>,
+    Option<String>,
+    Result<(), Box<dyn std::any::Any + Send>>,
+);
+
+/// Runs one execution of `f` under the given replay schedule.
+pub(crate) fn run_one<F: Fn()>(f: &F, schedule: Vec<usize>) -> ExecutionResult {
+    let registry = Registry::new(schedule);
+    set_context(Arc::clone(&registry), 0);
+    let mut outcome: Result<(), Box<dyn std::any::Any + Send>> = catch_unwind(AssertUnwindSafe(f));
+    if outcome.is_ok() {
+        if let Err(why) = registry.check_quiescent() {
+            outcome = Err(Box::new(why) as Box<dyn std::any::Any + Send>);
+        }
+    } else {
+        // Wake parked threads so they unwind instead of leaking.
+        registry.teardown("model closure panicked".to_string());
+    }
+    clear_context();
+    let (trace, failure) = registry.outcome();
+    (trace, failure, outcome)
+}

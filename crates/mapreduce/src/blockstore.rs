@@ -32,12 +32,12 @@ impl Default for BlockStore {
 
 impl BlockStore {
     /// Creates a store with the given block size and replication factor.
+    /// Zero values are clamped to 1 (a zero block size cannot chunk, and
+    /// replication below 1 would drop data in a real DFS).
     pub fn new(block_size: usize, replication: usize) -> Self {
-        assert!(block_size > 0, "block size must be positive");
-        assert!(replication >= 1, "replication factor must be at least 1");
         Self {
-            block_size,
-            replication,
+            block_size: block_size.max(1),
+            replication: replication.max(1),
             files: RwLock::new(BTreeMap::new()),
             bytes_written: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
@@ -61,8 +61,10 @@ impl BlockStore {
             .chunks(self.block_size)
             .map(Bytes::copy_from_slice)
             .collect();
-        self.bytes_written
-            .fetch_add((data.len() * self.replication) as u64, Ordering::Relaxed);
+        let charged = (data.len() * self.replication) as u64;
+        // audit: relaxed-ok — monotonic byte counter; read via
+        // bytes_written() after jobs join.
+        self.bytes_written.fetch_add(charged, Ordering::Relaxed);
         self.files.write().insert(name.to_string(), blocks);
     }
 
@@ -78,8 +80,9 @@ impl BlockStore {
                 .chunks(self.block_size)
                 .map(Bytes::copy_from_slice)
                 .collect();
-            self.bytes_written
-                .fetch_add((data.len() * self.replication) as u64, Ordering::Relaxed);
+            let charged = (data.len() * self.replication) as u64;
+            // audit: relaxed-ok — monotonic byte counter.
+            self.bytes_written.fetch_add(charged, Ordering::Relaxed);
             files.insert(name.clone(), blocks);
         }
     }
@@ -92,6 +95,7 @@ impl BlockStore {
         for b in blocks {
             out.extend_from_slice(b);
         }
+        // audit: relaxed-ok — monotonic byte counter.
         self.bytes_read
             .fetch_add(out.len() as u64, Ordering::Relaxed);
         Some(out)
@@ -101,6 +105,7 @@ impl BlockStore {
     pub fn read_block(&self, name: &str, index: usize) -> Option<Bytes> {
         let files = self.files.read();
         let block = files.get(name)?.get(index)?.clone();
+        // audit: relaxed-ok — monotonic byte counter.
         self.bytes_read
             .fetch_add(block.len() as u64, Ordering::Relaxed);
         Some(block)
@@ -147,11 +152,13 @@ impl BlockStore {
 
     /// Total bytes written (replication included).
     pub fn bytes_written(&self) -> u64 {
+        // audit: relaxed-ok — metric read; callers sample after joins.
         self.bytes_written.load(Ordering::Relaxed)
     }
 
     /// Total bytes read.
     pub fn bytes_read(&self) -> u64 {
+        // audit: relaxed-ok — metric read; callers sample after joins.
         self.bytes_read.load(Ordering::Relaxed)
     }
 }

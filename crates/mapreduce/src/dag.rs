@@ -132,6 +132,11 @@ pub enum DagError {
         /// The missing dataset.
         dataset: String,
     },
+    /// A scheduler worker thread panicked in node user code.
+    WorkerPanicked {
+        /// The DAG whose run was torn down.
+        dag: String,
+    },
 }
 
 impl DagError {
@@ -205,6 +210,9 @@ impl fmt::Display for DagError {
                     f,
                     "DAG node '{node}' finished without materializing output '{dataset}'"
                 )
+            }
+            DagError::WorkerPanicked { dag } => {
+                write!(f, "DAG '{dag}': a worker thread panicked in node code")
             }
         }
     }
@@ -482,6 +490,7 @@ impl<'e> DagScheduler<'e> {
     /// Runs the graph to completion; on success every declared output is
     /// materialized in `store`.
     pub fn run(&self, graph: &JobGraph, store: &DatasetStore) -> Result<DagReport, DagError> {
+        // audit: time-ok — wall time feeds DagMetrics only, never results.
         let started = Instant::now();
         let n = graph.nodes.len();
         let store_before = store.stats();
@@ -573,7 +582,7 @@ impl<'e> DagScheduler<'e> {
 
         if n > 0 {
             let workers = self.config.max_concurrent_jobs.max(1).min(n);
-            crossbeam::thread::scope(|s| {
+            let scope_result = crossbeam::thread::scope(|s| {
                 for _ in 0..workers {
                     s.spawn(|_| loop {
                         // Claim a ready node (or quit). The high-water
@@ -624,8 +633,18 @@ impl<'e> DagScheduler<'e> {
                         cv.notify_all();
                     });
                 }
-            })
-            .expect("DAG worker panicked");
+            });
+            if scope_result.is_err() {
+                // A worker died mid-run (node closure panicked outside
+                // the engine's own catch). Surface it as a DAG error
+                // rather than poisoning the caller with a panic.
+                let mut st = state.lock();
+                if st.error.is_none() {
+                    st.error = Some(DagError::WorkerPanicked {
+                        dag: graph.name.clone(),
+                    });
+                }
+            }
         }
 
         let final_state = state.into_inner();
@@ -650,8 +669,12 @@ impl<'e> DagScheduler<'e> {
             dag_name: graph.name.clone(),
             nodes,
             concurrency_high_water: final_state.high_water as u64,
+            // audit: relaxed-ok — metric reads after every worker joined
+            // (crossbeam scope exit is the synchronization point).
             total_executions: shared.executions.load(Ordering::Relaxed),
+            // audit: relaxed-ok — as above.
             recovered_executions: shared.recovered.load(Ordering::Relaxed),
+            // audit: relaxed-ok — as above.
             failed_node_attempts: shared.failed_attempts.load(Ordering::Relaxed),
             cache_hits: store_after.hits - store_before.hits,
             cache_misses: store_after.misses - store_before.misses,
@@ -678,12 +701,15 @@ impl<'e> DagScheduler<'e> {
     fn execute_node(&self, shared: &RunShared<'_>, idx: usize) -> Result<(), DagError> {
         let node = &shared.graph.nodes[idx];
         let max_attempts = self.config.max_node_attempts.max(1);
-        for attempt in 0..max_attempts {
+        let mut attempt = 0;
+        loop {
             self.ensure_inputs(shared, idx)?;
             for input in &node.inputs {
                 shared.store.pin(input);
             }
+            // audit: time-ok — per-node wall time feeds metrics only.
             let t0 = Instant::now();
+            // audit: relaxed-ok — monotonic metric counter.
             shared.executions.fetch_add(1, Ordering::Relaxed);
             let injected = self
                 .config
@@ -723,18 +749,19 @@ impl<'e> DagScheduler<'e> {
                     return Ok(());
                 }
                 Err(e) => {
+                    // audit: relaxed-ok — monotonic metric counter.
                     shared.failed_attempts.fetch_add(1, Ordering::Relaxed);
-                    if attempt + 1 >= max_attempts {
+                    attempt += 1;
+                    if attempt >= max_attempts {
                         return Err(DagError::NodeFailed {
                             node: node.name.clone(),
-                            attempts: attempt as u64 + 1,
+                            attempts: attempt as u64,
                             source: Box::new(e),
                         });
                     }
                 }
             }
         }
-        unreachable!("retry loop always returns")
     }
 
     /// Makes sure every input of `idx` is materialized, re-executing
@@ -771,8 +798,11 @@ impl<'e> DagScheduler<'e> {
         for input in &pnode.inputs {
             self.recover_dataset(shared, &pnode.name, input)?;
         }
+        // audit: relaxed-ok — monotonic metric counters.
         shared.executions.fetch_add(1, Ordering::Relaxed);
+        // audit: relaxed-ok — monotonic metric counter.
         shared.recovered.fetch_add(1, Ordering::Relaxed);
+        // audit: time-ok — recovery wall time feeds metrics only.
         let t0 = Instant::now();
         let result = (pnode.run)(&NodeCtx {
             engine: self.engine,
@@ -1180,6 +1210,76 @@ mod tests {
         assert_eq!(m.node("make-c").unwrap().attempts, 2);
         // 3 scheduled + 1 failed attempt + 1 recovery.
         assert_eq!(m.total_executions, 5);
+    }
+
+    #[test]
+    fn dag_metrics_totals_exact_under_max_contention() {
+        // Counter-ledger stress: 24 independent nodes, a third of which
+        // fail their first attempt, all racing with every job slot open.
+        // Whatever interleaving the scheduler picks, the merged
+        // DagMetrics totals must come out exact — lost updates in the
+        // metric merge would show up as off-by-N here.
+        const NODES: u64 = 24;
+        const FLAKY_EVERY: u64 = 3; // node 0, 3, 6, ... fail once
+        for round in 0..3u64 {
+            let eng = engine();
+            let store = DatasetStore::new();
+            seed_nums(&store, 16);
+            let mut graph = JobGraph::new(format!("contended-{round}"));
+            for i in 0..NODES {
+                let out: DatasetHandle<u64> = DatasetHandle::new(format!("out-{i}"));
+                let tries = Arc::new(AtomicUsize::new(0));
+                graph.add(
+                    JobNode::new(format!("n{i}"), JobKind::MapOnly, {
+                        let out = out.clone();
+                        move |ctx: &NodeCtx| {
+                            if i % FLAKY_EVERY == 0 && tries.fetch_add(1, Ordering::SeqCst) == 0 {
+                                return Err(DagError::Injected {
+                                    node: ctx.node_name().to_string(),
+                                });
+                            }
+                            let input = ctx.fetch(&nums())?;
+                            let mapper = |r: &u64, em: &mut Emitter<(), u64>| em.emit((), r * 3);
+                            let res = ctx.engine.run_map_only(ctx.node_name(), &input, &mapper)?;
+                            ctx.put(&out, res.output.iter().sum(), 8);
+                            Ok(())
+                        }
+                    })
+                    .input(&nums())
+                    .output(&out),
+                );
+            }
+            let cfg = DagConfig {
+                max_concurrent_jobs: NODES as usize,
+                max_node_attempts: 2,
+                ..DagConfig::default()
+            };
+            let report = DagScheduler::with_config(&eng, cfg)
+                .run(&graph, &store)
+                .unwrap();
+            let m = &report.metrics;
+            let flaky = NODES.div_ceil(FLAKY_EVERY);
+            assert_eq!(m.failed_node_attempts, flaky, "round {round}");
+            assert_eq!(m.total_executions, NODES + flaky, "round {round}");
+            assert_eq!(m.recovered_executions, 0, "round {round}");
+            assert_eq!(m.nodes.len(), NODES as usize, "round {round}");
+            let attempt_sum: u64 = m.nodes.iter().map(|n| n.attempts).sum();
+            assert_eq!(attempt_sum, NODES + flaky, "round {round}");
+            for i in 0..NODES {
+                let node = m.node(&format!("n{i}")).unwrap();
+                let want = if i % FLAKY_EVERY == 0 { 2 } else { 1 };
+                assert_eq!(node.attempts, want, "round {round} node {i}");
+                assert_eq!(node.executions, want, "round {round} node {i}");
+                // Every node's output survived the stampede.
+                let out: DatasetHandle<u64> = DatasetHandle::new(format!("out-{i}"));
+                assert_eq!(*store.get(&out).unwrap(), (0..16).map(|x| x * 3).sum());
+            }
+            assert!(
+                m.concurrency_high_water >= 1 && m.concurrency_high_water <= NODES,
+                "round {round}: high water {}",
+                m.concurrency_high_water
+            );
+        }
     }
 
     #[test]

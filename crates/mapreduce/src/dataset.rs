@@ -195,6 +195,15 @@ pub enum DatasetError {
         /// The dataset name that was requested.
         name: String,
     },
+    /// Store bookkeeping for this entry is inconsistent (e.g. a spilled
+    /// entry with no codec or no cached header). Indicates a store bug,
+    /// reported as an error instead of a worker panic.
+    Corrupt {
+        /// The dataset whose entry is inconsistent.
+        name: String,
+        /// What was expected and missing.
+        detail: &'static str,
+    },
 }
 
 impl fmt::Display for DatasetError {
@@ -205,7 +214,13 @@ impl fmt::Display for DatasetError {
                 write!(f, "dataset '{name}' requested with the wrong type")
             }
             DatasetError::NotSegmented { name } => {
-                write!(f, "dataset '{name}' has no segmented codec for projected reads")
+                write!(
+                    f,
+                    "dataset '{name}' has no segmented codec for projected reads"
+                )
+            }
+            DatasetError::Corrupt { name, detail } => {
+                write!(f, "dataset '{name}': inconsistent store entry — {detail}")
             }
         }
     }
@@ -398,6 +413,9 @@ impl DatasetStore {
         let DatasetCodec { encode, decode } = codec;
         let erased = ErasedCodec {
             encode: Box::new(move |any: &AnyArc| {
+                // audit: panic-ok — the value and this codec are
+                // installed by the same put call, so the downcast
+                // cannot fail; the closure signature has no Result.
                 let typed = any
                     .clone()
                     .downcast::<T>()
@@ -430,6 +448,9 @@ impl DatasetStore {
         V: Send + Sync + 'static,
     {
         fn typed<T: Send + Sync + 'static>(any: &AnyArc) -> Arc<T> {
+            // audit: panic-ok — value and codec are installed together
+            // by put_segmented, so the downcast cannot fail; the erased
+            // codec signatures have no Result.
             any.clone()
                 .downcast::<T>()
                 .expect("codec type matches entry")
@@ -453,6 +474,8 @@ impl DatasetStore {
             assemble_view: Box::new(move |header, cols| {
                 let cols = cols
                     .into_iter()
+                    // audit: panic-ok — segments were decoded by this
+                    // same codec's decode_segment, so C always matches.
                     .map(|(j, c)| (j, c.downcast::<C>().expect("segment type matches codec")))
                     .collect();
                 Arc::new(assemble_view(header, cols)) as AnyArc
@@ -460,11 +483,15 @@ impl DatasetStore {
             assemble_full: Box::new(move |header, cols| {
                 let cols = cols
                     .into_iter()
+                    // audit: panic-ok — segments were decoded by this
+                    // same codec's decode_segment, so C always matches.
                     .map(|c| c.downcast::<C>().expect("segment type matches codec"))
                     .collect();
                 Arc::new(assemble_full(header, cols)) as AnyArc
             }),
-            project: Box::new(move |any, attrs| Arc::new(project(&typed::<T>(any), attrs)) as AnyArc),
+            project: Box::new(move |any, attrs| {
+                Arc::new(project(&typed::<T>(any), attrs)) as AnyArc
+            }),
         };
         self.insert(
             handle.name(),
@@ -568,7 +595,13 @@ impl DatasetStore {
                 seg_sizes,
                 ..
             } = entry;
-            match codec.as_ref().expect("spilled entries carry a codec") {
+            let Some(codec) = codec.as_ref() else {
+                return Err(DatasetError::Corrupt {
+                    name: name.to_string(),
+                    detail: "spilled entry has no codec to decode with",
+                });
+            };
+            match codec {
                 Codec::Whole(codec) => {
                     let bytes = self
                         .blockstore
@@ -577,7 +610,12 @@ impl DatasetStore {
                     (codec.decode)(&bytes)
                 }
                 Codec::Segmented(codec) => {
-                    let header = header.as_ref().expect("segmented spills cache their header");
+                    let Some(header) = header.as_ref() else {
+                        return Err(DatasetError::Corrupt {
+                            name: name.to_string(),
+                            detail: "segmented spill is missing its cached header",
+                        });
+                    };
                     let d = seg_sizes.len();
                     let mut cols = Vec::with_capacity(d);
                     for j in 0..d {
@@ -651,12 +689,17 @@ impl DatasetStore {
                 name: name.to_string(),
             });
         }
-        if entry.value.is_some() {
-            let Entry { value, codec, .. } = entry;
-            let Some(Codec::Segmented(codec)) = codec.as_ref() else {
-                unreachable!("checked above")
+        if let Some(value) = entry.value.as_ref() {
+            // The `matches!` check above guarantees a segmented codec;
+            // re-match instead of unwrapping so a bookkeeping bug
+            // surfaces as an error, not a worker panic.
+            let Some(Codec::Segmented(codec)) = entry.codec.as_ref() else {
+                return Err(DatasetError::Corrupt {
+                    name: name.to_string(),
+                    detail: "segmented codec vanished between checks",
+                });
             };
-            let view = (codec.project)(value.as_ref().expect("checked above"), cols);
+            let view = (codec.project)(value, cols);
             inner.stats.hits += 1;
             return Ok(view);
         }
@@ -676,9 +719,17 @@ impl DatasetStore {
                 ..
             } = entry;
             let Some(Codec::Segmented(codec)) = codec.as_ref() else {
-                unreachable!("checked above")
+                return Err(DatasetError::Corrupt {
+                    name: name.to_string(),
+                    detail: "segmented codec vanished between checks",
+                });
             };
-            let header = header.as_ref().expect("segmented spills cache their header");
+            let Some(header) = header.as_ref() else {
+                return Err(DatasetError::Corrupt {
+                    name: name.to_string(),
+                    detail: "segmented spill is missing its cached header",
+                });
+            };
             let mut pairs = Vec::with_capacity(cols.len());
             for &j in cols {
                 assert!(
@@ -689,7 +740,10 @@ impl DatasetStore {
                 if let Some(col) = partial.get(&j) {
                     pairs.push((j, Arc::clone(col)));
                 } else {
-                    let bytes = self.blockstore.read(&seg_file(name, j)).ok_or_else(missing)?;
+                    let bytes = self
+                        .blockstore
+                        .read(&seg_file(name, j))
+                        .ok_or_else(missing)?;
                     read_bytes += bytes.len() as u64;
                     let col = (codec.decode_segment)(&bytes, j, header);
                     fresh.push((j, Arc::clone(&col)));
@@ -712,8 +766,7 @@ impl DatasetStore {
             inner.stats.misses += 1;
             inner.stats.segment_reads += read_count;
             inner.stats.segment_bytes_read += read_bytes;
-            inner.stats.bytes_saved_by_projection +=
-                total_seg_bytes.saturating_sub(read_bytes);
+            inner.stats.bytes_saved_by_projection += total_seg_bytes.saturating_sub(read_bytes);
             inner.mem_bytes += per_col * read_count as usize;
         }
         self.enforce_budget(inner, name);
@@ -837,8 +890,22 @@ impl DatasetStore {
                 .min_by_key(|(_, e)| e.seq)
                 .map(|(name, _)| name.clone());
             let Some(name) = victim else { break };
+            // Split the Inner borrow so the victim entry can stay
+            // borrowed across stats/accounting updates — one lookup for
+            // the whole eviction instead of expect()-laden re-lookups.
+            let Inner {
+                entries,
+                mem_bytes,
+                stats,
+                ..
+            } = &mut *inner;
+            let Some(entry) = entries.get_mut(&name) else {
+                // The victim name was selected from this same map under
+                // the same lock, so this cannot happen; stop evicting
+                // rather than panic a worker if it ever does.
+                break;
+            };
             let plan = {
-                let entry = inner.entries.get(&name).expect("victim exists");
                 let value = if entry.spilled { &None } else { &entry.value };
                 match (value, &entry.codec) {
                     (Some(value), Some(Codec::Whole(codec))) => {
@@ -861,14 +928,12 @@ impl DatasetStore {
                 SpillPlan::Whole(encoded) => {
                     let len = encoded.len();
                     self.blockstore.write(&spill_file(&name), &encoded);
-                    let entry = inner.entries.get_mut(&name).expect("victim exists");
                     entry.spilled = true;
                     entry.spilled_total = len;
-                    let raw = entry.bytes as u64;
-                    inner.stats.spills += 1;
-                    inner.stats.spill_bytes += len as u64;
-                    inner.stats.live_spill_bytes += len as u64;
-                    inner.stats.spill_raw_bytes += raw;
+                    stats.spills += 1;
+                    stats.spill_bytes += len as u64;
+                    stats.live_spill_bytes += len as u64;
+                    stats.spill_raw_bytes += entry.bytes as u64;
                 }
                 SpillPlan::Segmented { header, segs } => {
                     let seg_sizes: Vec<usize> = segs.iter().map(Vec::len).collect();
@@ -879,27 +944,24 @@ impl DatasetStore {
                         files.push((seg_file(&name, j), seg));
                     }
                     self.blockstore.write_many(&files);
-                    let entry = inner.entries.get_mut(&name).expect("victim exists");
                     entry.spilled = true;
                     entry.spilled_total = total;
                     entry.seg_sizes = seg_sizes;
                     entry.header = Some(header);
-                    let raw = entry.bytes as u64;
-                    inner.stats.spills += 1;
-                    inner.stats.spill_bytes += total as u64;
-                    inner.stats.live_spill_bytes += total as u64;
-                    inner.stats.spill_raw_bytes += raw;
+                    stats.spills += 1;
+                    stats.spill_bytes += total as u64;
+                    stats.live_spill_bytes += total as u64;
+                    stats.spill_raw_bytes += entry.bytes as u64;
                 }
             }
-            let entry = inner.entries.get_mut(&name).expect("victim exists");
             if entry.value.take().is_some() {
-                inner.mem_bytes -= entry.bytes;
+                *mem_bytes -= entry.bytes;
             } else {
                 // Partial-only victim: clear the decoded-column cache.
                 entry.partial.clear();
-                inner.mem_bytes -= std::mem::take(&mut entry.partial_bytes);
+                *mem_bytes -= std::mem::take(&mut entry.partial_bytes);
             }
-            inner.stats.evictions += 1;
+            stats.evictions += 1;
         }
     }
 }

@@ -2,18 +2,14 @@
 
 use crate::api::{Combiner, Emitter, Mapper, Reducer};
 use crate::fault::{FaultPlan, StragglerPlan};
+use crate::kernel::{CommitBoard, CounterLedger, ShuffleBuckets, WorkQueue};
 use crate::metrics::{ClusterMetrics, DagMetrics, JobMetrics};
 use crate::weight::Weighable;
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
-
-/// One reduce partition during the shuffle: a bucket per map task,
-/// committed in split order (see the comment in `run_inner`).
-type PartitionBuckets<K, V> = Mutex<Vec<Option<Vec<(K, V)>>>>;
 
 /// Engine configuration — the "cluster shape".
 #[derive(Debug, Clone)]
@@ -92,6 +88,14 @@ pub enum MrError {
         /// The rendered scheduler error.
         message: String,
     },
+    /// A worker thread panicked inside user map or reduce code; the job
+    /// is aborted rather than crashing the whole process.
+    Panicked {
+        /// The job being executed.
+        job: String,
+        /// The phase whose user code panicked (`"map"` or `"reduce"`).
+        phase: String,
+    },
 }
 
 impl fmt::Display for MrError {
@@ -109,6 +113,9 @@ impl fmt::Display for MrError {
             }
             MrError::Dag { node, message } => {
                 write!(f, "DAG node '{node}': {message}")
+            }
+            MrError::Panicked { job, phase } => {
+                write!(f, "job '{job}': {phase} phase panicked in user code")
             }
         }
     }
@@ -265,6 +272,7 @@ impl Engine {
         O: Send + Weighable,
         M: Mapper<I, (), O>,
     {
+        // audit: time-ok — wall-clock feeds the map_wall metric only.
         let start = Instant::now();
         let mut metrics = JobMetrics::new(name);
         let splits: Vec<&[I]> = split_input(input, self.config.split_size);
@@ -273,9 +281,7 @@ impl Engine {
         metrics.broadcast_bytes = self.broadcast_cost(cache_bytes, splits.len());
 
         let shared = MapPhaseShared::new(splits.len());
-        let mut outputs: Vec<Option<Vec<O>>> = Vec::new();
-        outputs.resize_with(splits.len(), || None);
-        let outputs = Mutex::new(outputs);
+        let outputs: ShuffleBuckets<O> = ShuffleBuckets::new(splits.len());
 
         let task_error = run_map_phase(
             &self.config,
@@ -284,7 +290,7 @@ impl Engine {
             &shared,
             |idx, emitter_pairs: Vec<((), O)>| {
                 let values: Vec<O> = emitter_pairs.into_iter().map(|(_, v)| v).collect();
-                outputs.lock()[idx] = Some(values);
+                outputs.commit(idx, values);
             },
             mapper,
         );
@@ -292,11 +298,7 @@ impl Engine {
             return Err(err);
         }
 
-        let output: Vec<O> = outputs
-            .into_inner()
-            .into_iter()
-            .flat_map(|o| o.unwrap_or_default())
-            .collect();
+        let output: Vec<O> = outputs.take_ordered();
         shared.fill_metrics(&mut metrics);
         metrics.output_records = output.len() as u64;
         metrics.map_wall = start.elapsed();
@@ -322,6 +324,7 @@ impl Engine {
         C: Combiner<K, V>,
         R: Reducer<K, V, O>,
     {
+        // audit: time-ok — wall-clock feeds the map_wall metric only.
         let map_start = Instant::now();
         let mut metrics = JobMetrics::new(name);
         let num_reducers = self.config.num_reducers.max(1);
@@ -334,13 +337,11 @@ impl Engine {
         // task and concatenating in split order makes the value order a
         // reducer sees independent of task *commit* order, so jobs with
         // order-sensitive float accumulation are byte-deterministic run
-        // to run (and serial-vs-DAG driver comparisons stay exact).
-        let partitions: Vec<PartitionBuckets<K, V>> = (0..num_reducers)
-            .map(|_| {
-                let mut buckets = Vec::new();
-                buckets.resize_with(splits.len(), || None);
-                Mutex::new(buckets)
-            })
+        // to run (and serial-vs-DAG driver comparisons stay exact). The
+        // property is model-checked on [`ShuffleBuckets`] itself (see
+        // `crate::kernel` and the `loom_models` test).
+        let partitions: Vec<ShuffleBuckets<(K, V)>> = (0..num_reducers)
+            .map(|_| ShuffleBuckets::new(splits.len()))
             .collect();
         let shuffle_records = AtomicU64::new(0);
         let shuffle_bytes = AtomicU64::new(0);
@@ -357,8 +358,10 @@ impl Engine {
                 // Partition by key hash; optionally combine per partition.
                 // Two passes: hash every key once and count, then move
                 // pairs into exactly-sized buckets (no per-push growth).
-                let assigned: Vec<u32> =
-                    pairs.iter().map(|(k, _)| stable_partition(k, num_reducers) as u32).collect();
+                let assigned: Vec<u32> = pairs
+                    .iter()
+                    .map(|(k, _)| stable_partition(k, num_reducers) as u32)
+                    .collect();
                 let mut counts = vec![0usize; num_reducers];
                 for &p in &assigned {
                     counts[p as usize] += 1;
@@ -378,7 +381,9 @@ impl Engine {
                         // crosses the network (post-combine).
                         let before = part.len() as u64;
                         part = combine_part(part, c);
+                        // audit: relaxed-ok — monotonic metric counters.
                         combine_in.fetch_add(before, Ordering::Relaxed);
+                        // audit: relaxed-ok — monotonic metric counter.
                         combine_out.fetch_add(part.len() as u64, Ordering::Relaxed);
                     }
                     let mut recs = 0u64;
@@ -387,9 +392,11 @@ impl Engine {
                         recs += 1;
                         bytes += (k.weight() + v.weight()) as u64;
                     }
+                    // audit: relaxed-ok — monotonic metric counter.
                     shuffle_records.fetch_add(recs, Ordering::Relaxed);
+                    // audit: relaxed-ok — monotonic metric counter.
                     shuffle_bytes.fetch_add(bytes, Ordering::Relaxed);
-                    partitions[p].lock()[idx] = Some(part);
+                    partitions[p].commit(idx, part);
                 }
             },
             mapper,
@@ -405,64 +412,70 @@ impl Engine {
         metrics.map_wall = map_start.elapsed();
 
         // ------------------------------------------------------- reduce --
+        // audit: time-ok — wall-clock feeds the reduce_wall metric only.
         let reduce_start = Instant::now();
         let groups_total = AtomicU64::new(0);
         let reduce_outputs: Vec<Mutex<Vec<O>>> =
             (0..num_reducers).map(|_| Mutex::new(Vec::new())).collect();
-        let next_part = AtomicUsize::new(0);
+        let part_queue = WorkQueue::new(num_reducers);
         let active_parts = AtomicU64::new(0);
         let threads = self.config.effective_threads().min(num_reducers).max(1);
-        crossbeam::thread::scope(|s| {
+        let scope_result = crossbeam::thread::scope(|s| {
             for _ in 0..threads {
-                s.spawn(|_| loop {
-                    let p = next_part.fetch_add(1, Ordering::Relaxed);
-                    if p >= num_reducers {
-                        break;
-                    }
-                    let buckets = std::mem::take(&mut *partitions[p].lock());
-                    let total: usize =
-                        buckets.iter().map(|b| b.as_ref().map_or(0, Vec::len)).sum();
-                    if total == 0 {
-                        continue;
-                    }
-                    let mut pairs: Vec<(K, V)> = Vec::with_capacity(total);
-                    for bucket in buckets.into_iter().flatten() {
-                        pairs.extend(bucket);
-                    }
-                    active_parts.fetch_add(1, Ordering::Relaxed);
-                    // Sort-merge grouping, as Hadoop's shuffle does. The
-                    // stable sort keeps same-key values in split order.
-                    pairs.sort_by(|a, b| a.0.cmp(&b.0));
-                    // Run-length grouping: measure each key's run on the
-                    // sorted slice, then hand the reducer exactly-sized
-                    // value buffers instead of growing one per group.
-                    let mut runs: Vec<usize> = Vec::new();
-                    let mut start = 0;
-                    for i in 1..pairs.len() {
-                        if pairs[i].0 != pairs[start].0 {
-                            runs.push(i - start);
-                            start = i;
+                s.spawn(|_| {
+                    while let Some(p) = part_queue.claim() {
+                        let mut pairs = partitions[p].take_ordered();
+                        if pairs.is_empty() {
+                            continue;
                         }
-                    }
-                    runs.push(pairs.len() - start);
-                    let mut out = Vec::new();
-                    let mut iter = pairs.into_iter();
-                    for &run in &runs {
-                        let mut vs = Vec::with_capacity(run);
-                        let mut key: Option<K> = None;
-                        for (k, v) in iter.by_ref().take(run) {
-                            key.get_or_insert(k);
-                            vs.push(v);
+                        // audit: relaxed-ok — monotonic metric counter.
+                        active_parts.fetch_add(1, Ordering::Relaxed);
+                        // Sort-merge grouping, as Hadoop's shuffle does. The
+                        // stable sort keeps same-key values in split order.
+                        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                        // Run-length grouping: measure each key's run on the
+                        // sorted slice, then hand the reducer exactly-sized
+                        // value buffers instead of growing one per group.
+                        let mut runs: Vec<usize> = Vec::new();
+                        let mut start = 0;
+                        for i in 1..pairs.len() {
+                            if pairs[i].0 != pairs[start].0 {
+                                runs.push(i - start);
+                                start = i;
+                            }
                         }
-                        let key = key.expect("non-empty run");
-                        reducer.reduce(&key, vs, &mut out);
+                        runs.push(pairs.len() - start);
+                        let mut out = Vec::new();
+                        let mut iter = pairs.into_iter();
+                        for &run in &runs {
+                            let mut vs = Vec::with_capacity(run);
+                            let mut key: Option<K> = None;
+                            for (k, v) in iter.by_ref().take(run) {
+                                key.get_or_insert(k);
+                                vs.push(v);
+                            }
+                            // Runs have length >= 1 by construction, so the
+                            // key is always present; an (impossible) empty
+                            // run simply has nothing to reduce.
+                            if let Some(key) = key {
+                                reducer.reduce(&key, vs, &mut out);
+                            }
+                        }
+                        // audit: relaxed-ok — monotonic metric counter.
+                        groups_total.fetch_add(runs.len() as u64, Ordering::Relaxed);
+                        *reduce_outputs[p].lock() = out;
                     }
-                    groups_total.fetch_add(runs.len() as u64, Ordering::Relaxed);
-                    *reduce_outputs[p].lock() = out;
                 });
             }
-        })
-        .expect("reduce phase panicked");
+        });
+        if scope_result.is_err() {
+            // A reducer panicked; surface it as a job failure instead of
+            // tearing down the process.
+            return Err(MrError::Panicked {
+                job: name.to_string(),
+                phase: "reduce".to_string(),
+            });
+        }
 
         let mut output = Vec::new();
         for m in reduce_outputs {
@@ -481,7 +494,8 @@ impl Engine {
 enum NoCombiner {}
 impl<K, V> Combiner<K, V> for NoCombiner {
     fn combine(&self, _: &K, _: Vec<V>) -> V {
-        unreachable!("NoCombiner is never instantiated")
+        // An uninhabited receiver proves statically this is never called.
+        match *self {}
     }
 }
 
@@ -538,7 +552,9 @@ impl Hasher for FxStyleHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in chunks.by_ref() {
-            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_word(u64::from_le_bytes(word));
         }
         let tail = chunks.remainder();
         if !tail.is_empty() {
@@ -599,65 +615,68 @@ where
 
 // ---------------------------------------------------------------- map ---
 
-/// Counters shared by all map tasks of one phase.
+/// Counters shared by all map tasks of one phase. The concurrency-bearing
+/// pieces — task claiming, exactly-once commit, counter aggregation — are
+/// the model-checked kernels of [`crate::kernel`].
 struct MapPhaseShared {
-    num_splits: usize,
-    next: AtomicUsize,
+    /// Ticket queue handing each split index to exactly one primary.
+    queue: WorkQueue,
     /// One flag per task: set exactly once by the committing attempt.
-    task_done: Vec<std::sync::atomic::AtomicBool>,
-    done_count: AtomicUsize,
+    board: CommitBoard,
     out_records: AtomicU64,
     out_bytes: AtomicU64,
     failed_attempts: AtomicU64,
     speculative_attempts: AtomicU64,
     speculative_wins: AtomicU64,
-    counters: Mutex<BTreeMap<String, u64>>,
+    counters: CounterLedger,
     error: Mutex<Option<MrError>>,
 }
 
 impl MapPhaseShared {
     fn new(num_splits: usize) -> Self {
         Self {
-            num_splits,
-            next: AtomicUsize::new(0),
-            task_done: (0..num_splits)
-                .map(|_| std::sync::atomic::AtomicBool::new(false))
-                .collect(),
-            done_count: AtomicUsize::new(0),
+            queue: WorkQueue::new(num_splits),
+            board: CommitBoard::new(num_splits),
             out_records: AtomicU64::new(0),
             out_bytes: AtomicU64::new(0),
             failed_attempts: AtomicU64::new(0),
             speculative_attempts: AtomicU64::new(0),
             speculative_wins: AtomicU64::new(0),
-            counters: Mutex::new(BTreeMap::new()),
+            counters: CounterLedger::new(),
             error: Mutex::new(None),
         }
     }
 
+    fn num_splits(&self) -> usize {
+        self.board.len()
+    }
+
     /// Claims the commit right for a task; the first attempt wins.
     fn try_commit(&self, idx: usize) -> bool {
-        let won = !self.task_done[idx].swap(true, Ordering::AcqRel);
-        if won {
-            self.done_count.fetch_add(1, Ordering::AcqRel);
-        }
-        won
+        self.board.try_commit(idx)
     }
 
     fn is_done(&self, idx: usize) -> bool {
-        self.task_done[idx].load(Ordering::Acquire)
+        self.board.is_done(idx)
     }
 
     fn all_done(&self) -> bool {
-        self.done_count.load(Ordering::Acquire) >= self.num_splits
+        self.board.all_done()
     }
 
     fn fill_metrics(&self, m: &mut JobMetrics) {
+        // audit: relaxed-ok — single-threaded metric reads after the
+        // phase's worker threads have been joined.
         m.map_output_records = self.out_records.load(Ordering::Relaxed);
+        // audit: relaxed-ok — as above.
         m.map_output_bytes = self.out_bytes.load(Ordering::Relaxed);
+        // audit: relaxed-ok — as above.
         m.failed_attempts = self.failed_attempts.load(Ordering::Relaxed);
+        // audit: relaxed-ok — as above.
         m.speculative_attempts = self.speculative_attempts.load(Ordering::Relaxed);
+        // audit: relaxed-ok — as above.
         m.speculative_wins = self.speculative_wins.load(Ordering::Relaxed);
-        m.counters = self.counters.lock().clone();
+        m.counters = self.counters.snapshot();
     }
 }
 
@@ -683,7 +702,7 @@ where
         return None;
     }
     let threads = config.effective_threads().min(splits.len()).max(1);
-    crossbeam::thread::scope(|s| {
+    let scope_result = crossbeam::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|_| {
                 // Primary pass: pull tasks off the queue.
@@ -691,10 +710,9 @@ where
                     if shared.error.lock().is_some() {
                         return;
                     }
-                    let idx = shared.next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= shared.num_splits {
+                    let Some(idx) = shared.queue.claim() else {
                         break;
-                    }
+                    };
                     run_attempt(config, job_name, splits, shared, &commit, mapper, idx, true);
                 }
                 // Speculative pass: back up still-running tasks.
@@ -706,10 +724,11 @@ where
                         return;
                     }
                     let mut launched = false;
-                    for idx in 0..shared.num_splits {
+                    for idx in 0..shared.num_splits() {
                         if shared.is_done(idx) {
                             continue;
                         }
+                        // audit: relaxed-ok — monotonic metric counter.
                         shared.speculative_attempts.fetch_add(1, Ordering::Relaxed);
                         run_attempt(
                             config, job_name, splits, shared, &commit, mapper, idx, false,
@@ -724,8 +743,14 @@ where
                 }
             });
         }
-    })
-    .expect("map phase panicked");
+    });
+    if scope_result.is_err() {
+        // A mapper panicked; fail the job rather than the process.
+        return Some(MrError::Panicked {
+            job: job_name.to_string(),
+            phase: "map".to_string(),
+        });
+    }
     shared.error.lock().clone()
 }
 
@@ -760,6 +785,7 @@ fn run_attempt<I, K, V, M, F>(
         if primary {
             if let Some(plan) = &config.fault {
                 if plan.should_fail(job_name, idx, attempt) {
+                    // audit: relaxed-ok — monotonic metric counter.
                     shared.failed_attempts.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
@@ -768,7 +794,10 @@ fn run_attempt<I, K, V, M, F>(
                 if plan.should_straggle(job_name, idx) {
                     // Cancellable slow-node delay: sleep in slices and bail
                     // out as soon as a backup commits the task.
+                    // audit: time-ok — injected test delay; task *output* is
+                    // unaffected, only which attempt commits first.
                     let deadline = Instant::now() + std::time::Duration::from_millis(plan.delay_ms);
+                    // audit: time-ok — as above.
                     while Instant::now() < deadline {
                         if shared.is_done(idx) {
                             return;
@@ -787,21 +816,19 @@ fn run_attempt<I, K, V, M, F>(
             return;
         }
         if !primary {
+            // audit: relaxed-ok — monotonic metric counter.
             shared.speculative_wins.fetch_add(1, Ordering::Relaxed);
         }
+        // audit: relaxed-ok — monotonic metric counter.
         shared
             .out_records
             .fetch_add(emitter.records(), Ordering::Relaxed);
+        // audit: relaxed-ok — monotonic metric counter.
         shared
             .out_bytes
             .fetch_add(emitter.bytes(), Ordering::Relaxed);
         let (pairs, counters) = emitter.into_parts();
-        if !counters.is_empty() {
-            let mut ledger = shared.counters.lock();
-            for (name, delta) in counters {
-                *ledger.entry(name.to_string()).or_insert(0) += delta;
-            }
-        }
+        shared.counters.merge(counters);
         commit(idx, pairs);
         return;
     }
@@ -819,6 +846,7 @@ fn run_attempt<I, K, V, M, F>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeMap;
 
     struct TokenMapper;
     impl Mapper<String, String, u64> for TokenMapper {
@@ -927,6 +955,62 @@ mod tests {
         assert_eq!(res.output, (0..10).map(|x| x * 2).collect::<Vec<_>>());
         assert_eq!(res.metrics.map_tasks, 5);
         assert_eq!(res.metrics.output_records, 10);
+    }
+
+    #[test]
+    fn grouped_key_emission_order_is_pinned() {
+        // The determinism contract: reduce output lists grouped keys in
+        // partition-slot order, key-sorted within each partition — never
+        // in mapper emission order, and never varying with the worker
+        // count. With one reducer that collapses to "globally
+        // key-sorted", which this test pins exactly.
+        let scrambled = vec![
+            "zeta alpha".to_string(),
+            "mu zeta omega".to_string(),
+            "alpha mu beta".to_string(),
+        ];
+        let expected: Vec<(String, u64)> = vec![
+            ("alpha".to_string(), 2),
+            ("beta".to_string(), 1),
+            ("mu".to_string(), 2),
+            ("omega".to_string(), 1),
+            ("zeta".to_string(), 2),
+        ];
+        for threads in [1, 2, 8] {
+            let engine = Engine::new(MrConfig {
+                num_reducers: 1,
+                split_size: 1,
+                threads,
+                ..MrConfig::default()
+            });
+            let res = engine
+                .run("order-pin", &scrambled, &TokenMapper, &SumReducer)
+                .unwrap();
+            assert_eq!(res.output, expected, "threads={threads}");
+        }
+        // Multi-partition runs must agree with each other byte-for-byte
+        // regardless of scheduling (key→partition assignment is a pure
+        // function of the key).
+        let reference = Engine::new(MrConfig {
+            num_reducers: 4,
+            split_size: 1,
+            threads: 1,
+            ..MrConfig::default()
+        })
+        .run("order-pin-4", &scrambled, &TokenMapper, &SumReducer)
+        .unwrap()
+        .output;
+        for threads in [2, 8] {
+            let res = Engine::new(MrConfig {
+                num_reducers: 4,
+                split_size: 1,
+                threads,
+                ..MrConfig::default()
+            })
+            .run("order-pin-4", &scrambled, &TokenMapper, &SumReducer)
+            .unwrap();
+            assert_eq!(res.output, reference, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! The engine's concurrency kernels, extracted behind small testable
+//! abstractions.
+//!
+//! Everything the map/reduce phases do concurrently funnels through the
+//! four types in this module: ticket-based work claiming ([`WorkQueue`]),
+//! exactly-once task commit ([`CommitBoard`]), split-ordered shuffle
+//! hand-off ([`ShuffleBuckets`]), and user-counter aggregation
+//! ([`CounterLedger`]). Keeping them here serves two purposes:
+//!
+//! * The **order-determinism argument** of the engine (DESIGN.md §5)
+//!   reduces to properties of these types — claims are unique, commits
+//!   are exactly-once, bucket drain order is split order regardless of
+//!   commit order, counter totals are exact — instead of properties of
+//!   the whole engine.
+//! * Each property is **model-checked**: under `--cfg loom` the module
+//!   swaps its primitives for the `p3c-loom` shim and the
+//!   `loom_models` integration test explores every interleaving of the
+//!   operations (`RUSTFLAGS="--cfg loom" cargo test -p p3c-mapreduce
+//!   --test loom_models`).
+
+#[cfg(loom)]
+use p3c_loom::sync::{
+    atomic::{AtomicBool, AtomicUsize, Ordering},
+    Mutex,
+};
+#[cfg(not(loom))]
+use parking_lot::Mutex;
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use std::collections::BTreeMap;
+
+/// Ticket-dispensing work queue: `claim` hands out `0..limit` with each
+/// index claimed by exactly one caller.
+#[derive(Debug)]
+pub struct WorkQueue {
+    next: AtomicUsize,
+    limit: usize,
+}
+
+impl WorkQueue {
+    /// A queue over work items `0..limit`.
+    pub fn new(limit: usize) -> Self {
+        Self {
+            next: AtomicUsize::new(0),
+            limit,
+        }
+    }
+
+    /// Claims the next unclaimed item, or `None` once all are taken.
+    ///
+    /// Exactly-once hand-out needs only the atomicity of the
+    /// read-modify-write — two claimants can never see the same ticket —
+    /// so no ordering stronger than `Relaxed` is required: the claimed
+    /// index is data the caller already owns, and the *results* of the
+    /// work are handed off through [`ShuffleBuckets`]' mutex, which
+    /// provides the synchronization.
+    pub fn claim(&self) -> Option<usize> {
+        // audit: relaxed-ok — ticket counter; uniqueness needs only RMW
+        // atomicity, and result hand-off synchronizes via ShuffleBuckets.
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        (ticket < self.limit).then_some(ticket)
+    }
+
+    /// Number of work items this queue dispenses.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+}
+
+/// Exactly-once task-commit board: racing attempts of the same task call
+/// [`CommitBoard::try_commit`], and precisely one wins (the engine's
+/// speculative-execution commit protocol).
+#[derive(Debug)]
+pub struct CommitBoard {
+    done: Vec<AtomicBool>,
+    done_count: AtomicUsize,
+}
+
+impl CommitBoard {
+    /// A board tracking `n` tasks, all initially uncommitted.
+    pub fn new(n: usize) -> Self {
+        Self {
+            done: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            done_count: AtomicUsize::new(0),
+        }
+    }
+
+    /// Claims the commit right for task `idx`; the first caller wins.
+    /// `AcqRel` makes the winner's task output visible to whoever
+    /// observes the flag (the speculative pass polls it to skip
+    /// completed tasks).
+    pub fn try_commit(&self, idx: usize) -> bool {
+        let won = !self.done[idx].swap(true, Ordering::AcqRel);
+        if won {
+            self.done_count.fetch_add(1, Ordering::AcqRel);
+        }
+        won
+    }
+
+    /// Whether task `idx` has committed.
+    pub fn is_done(&self, idx: usize) -> bool {
+        self.done[idx].load(Ordering::Acquire)
+    }
+
+    /// Whether every task has committed.
+    pub fn all_done(&self) -> bool {
+        self.done_count.load(Ordering::Acquire) >= self.done.len()
+    }
+
+    /// Number of tasks tracked by this board.
+    pub fn len(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Whether the board tracks zero tasks.
+    pub fn is_empty(&self) -> bool {
+        self.done.is_empty()
+    }
+}
+
+/// Split-ordered shuffle hand-off: one slot per map task, committed in
+/// any order, drained in *split* order.
+///
+/// This is the engine's order-determinism keystone (DESIGN.md §5): the
+/// sequence a reducer sees must not depend on which map task finished
+/// first, so each task commits its output into its own slot and
+/// [`ShuffleBuckets::take_ordered`] concatenates the slots by split
+/// index.
+#[derive(Debug)]
+pub struct ShuffleBuckets<T> {
+    slots: Mutex<Vec<Option<Vec<T>>>>,
+}
+
+impl<T> ShuffleBuckets<T> {
+    /// Buckets for `num_slots` producers, all initially empty.
+    pub fn new(num_slots: usize) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(num_slots, || None);
+        Self {
+            slots: Mutex::new(slots),
+        }
+    }
+
+    /// Commits `items` as the output of producer `slot`. Later commits
+    /// to the same slot replace earlier ones (the exactly-once commit
+    /// protocol in [`CommitBoard`] prevents that from happening in the
+    /// engine).
+    pub fn commit(&self, slot: usize, items: Vec<T>) {
+        self.slots.lock()[slot] = Some(items);
+    }
+
+    /// Drains all buckets, concatenated in slot order — independent of
+    /// commit order. Empty and uncommitted slots contribute nothing.
+    pub fn take_ordered(&self) -> Vec<T> {
+        let buckets = std::mem::take(&mut *self.slots.lock());
+        let total: usize = buckets.iter().map(|b| b.as_ref().map_or(0, Vec::len)).sum();
+        let mut out = Vec::with_capacity(total);
+        for bucket in buckets.into_iter().flatten() {
+            out.extend(bucket);
+        }
+        out
+    }
+}
+
+/// Aggregates user counters from concurrently finishing tasks; totals
+/// are exact because every merge happens under one lock, and iteration
+/// order is stable because the ledger is a `BTreeMap`.
+#[derive(Debug)]
+pub struct CounterLedger {
+    counters: Mutex<BTreeMap<String, u64>>,
+}
+
+impl Default for CounterLedger {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CounterLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self {
+            counters: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Adds a batch of counter deltas atomically.
+    pub fn merge<'a, I>(&self, deltas: I)
+    where
+        I: IntoIterator<Item = (&'a str, u64)>,
+    {
+        let mut iter = deltas.into_iter().peekable();
+        if iter.peek().is_none() {
+            return;
+        }
+        let mut counters = self.counters.lock();
+        for (name, delta) in iter {
+            *counters.entry(name.to_string()).or_insert(0) += delta;
+        }
+    }
+
+    /// Snapshot of all counter totals.
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        self.counters.lock().clone()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_queue_dispenses_each_index_once() {
+        let q = WorkQueue::new(3);
+        assert_eq!(q.claim(), Some(0));
+        assert_eq!(q.claim(), Some(1));
+        assert_eq!(q.claim(), Some(2));
+        assert_eq!(q.claim(), None);
+        assert_eq!(q.claim(), None);
+        assert_eq!(q.limit(), 3);
+    }
+
+    #[test]
+    fn commit_board_first_attempt_wins() {
+        let b = CommitBoard::new(2);
+        assert!(!b.is_done(0));
+        assert!(b.try_commit(0));
+        assert!(!b.try_commit(0));
+        assert!(b.is_done(0));
+        assert!(!b.all_done());
+        assert!(b.try_commit(1));
+        assert!(b.all_done());
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn shuffle_buckets_drain_in_slot_order() {
+        let buckets = ShuffleBuckets::new(3);
+        buckets.commit(2, vec![30]);
+        buckets.commit(0, vec![10, 11]);
+        // Slot 1 never commits.
+        assert_eq!(buckets.take_ordered(), vec![10, 11, 30]);
+        // Drained: a second take is empty.
+        assert_eq!(buckets.take_ordered(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn counter_ledger_totals_exact() {
+        let ledger = CounterLedger::new();
+        ledger.merge([("a", 1), ("b", 2)]);
+        ledger.merge([("a", 3)]);
+        ledger.merge([]);
+        let snap = ledger.snapshot();
+        assert_eq!(snap["a"], 4);
+        assert_eq!(snap["b"], 2);
+        assert_eq!(snap.len(), 2);
+    }
+}

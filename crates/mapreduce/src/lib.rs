@@ -106,6 +106,7 @@ pub mod dag;
 pub mod dataset;
 pub mod engine;
 pub mod fault;
+pub mod kernel;
 pub mod metrics;
 pub mod weight;
 

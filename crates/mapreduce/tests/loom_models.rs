@@ -1,0 +1,161 @@
+//! Exhaustive interleaving models for the engine's concurrency kernels.
+//!
+//! Compiled and run only under the model-checking configuration:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p p3c-mapreduce --test loom_models
+//! ```
+//!
+//! In that configuration `p3c_mapreduce::kernel` swaps its primitives
+//! for the `p3c-loom` shims, and each `model(..)` call below explores
+//! *every* schedule of the closure's threads (sequentially consistent
+//! interleavings; see the p3c-loom crate docs for scope). These are the
+//! kernel properties the engine's determinism argument (DESIGN.md §5,
+//! §10) rests on:
+//!
+//! * [`WorkQueue`] hands each ticket to exactly one claimant.
+//! * [`CommitBoard`] commits each task exactly once even under racing
+//!   speculative attempts.
+//! * [`ShuffleBuckets`] drains in split order no matter which producer
+//!   commits first — the order-determinism keystone.
+//! * [`CounterLedger`] totals are exact under concurrent merges.
+#![cfg(loom)]
+
+use p3c_loom::{model, thread};
+use p3c_mapreduce::kernel::{CommitBoard, CounterLedger, ShuffleBuckets, WorkQueue};
+use std::sync::Arc;
+
+/// Two workers race to drain a three-item queue: across every schedule,
+/// each index is claimed exactly once and nothing is claimed after the
+/// queue reports empty.
+#[test]
+fn work_queue_claims_are_exactly_once() {
+    let executions = model(|| {
+        let queue = Arc::new(WorkQueue::new(3));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                thread::spawn(move || {
+                    let mut mine = Vec::new();
+                    while let Some(idx) = queue.claim() {
+                        mine.push(idx);
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = workers.into_iter().flat_map(|w| w.join_unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2], "each ticket claimed exactly once");
+        assert_eq!(queue.claim(), None, "drained queue stays drained");
+    });
+    assert!(executions > 1, "model explored more than one schedule");
+}
+
+/// A primary and a speculative backup race to commit the same task:
+/// exactly one attempt wins in every schedule.
+#[test]
+fn commit_board_single_winner_per_task() {
+    model(|| {
+        let board = Arc::new(CommitBoard::new(1));
+        let attempts: Vec<_> = (0..2)
+            .map(|_| {
+                let board = Arc::clone(&board);
+                thread::spawn(move || board.try_commit(0))
+            })
+            .collect();
+        let wins = attempts
+            .into_iter()
+            .map(|a| a.join_unwrap())
+            .filter(|&won| won)
+            .count();
+        assert_eq!(wins, 1, "exactly one attempt commits");
+        assert!(board.is_done(0));
+        assert!(board.all_done());
+    });
+}
+
+/// Two map tasks commit their shuffle output concurrently; whichever
+/// finishes first, the drained sequence is always split order. This is
+/// the invariant that makes reducer input — and therefore final output —
+/// independent of scheduling.
+#[test]
+fn shuffle_buckets_drain_order_is_schedule_independent() {
+    model(|| {
+        let buckets = Arc::new(ShuffleBuckets::new(2));
+        let producers: Vec<_> = [(0usize, vec![10, 11]), (1usize, vec![20])]
+            .into_iter()
+            .map(|(slot, items)| {
+                let buckets = Arc::clone(&buckets);
+                thread::spawn(move || buckets.commit(slot, items))
+            })
+            .collect();
+        for p in producers {
+            p.join_unwrap();
+        }
+        assert_eq!(
+            buckets.take_ordered(),
+            vec![10, 11, 20],
+            "drain order is slot order in every schedule"
+        );
+    });
+}
+
+/// Two finishing tasks merge counter deltas concurrently: totals are
+/// exact (no lost updates) in every schedule.
+#[test]
+fn counter_ledger_merges_are_exact() {
+    model(|| {
+        let ledger = Arc::new(CounterLedger::new());
+        let tasks: Vec<_> = [
+            vec![("records", 2u64), ("bytes", 16u64)],
+            vec![("records", 3u64)],
+        ]
+        .into_iter()
+        .map(|deltas| {
+            let ledger = Arc::clone(&ledger);
+            thread::spawn(move || {
+                ledger.merge(deltas.iter().map(|&(name, delta)| (name, delta)));
+            })
+        })
+        .collect();
+        for t in tasks {
+            t.join_unwrap();
+        }
+        let snapshot = ledger.snapshot();
+        assert_eq!(snapshot["records"], 5);
+        assert_eq!(snapshot["bytes"], 16);
+    });
+}
+
+/// The full map-commit protocol in miniature: workers claim splits from
+/// the queue, race a speculative duplicate on split 0, and only commit
+/// winners write shuffle output. Output must equal the serial result in
+/// every schedule.
+#[test]
+fn claim_commit_shuffle_composition_is_deterministic() {
+    model(|| {
+        let queue = Arc::new(WorkQueue::new(2));
+        let board = Arc::new(CommitBoard::new(2));
+        let buckets = Arc::new(ShuffleBuckets::new(2));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let board = Arc::clone(&board);
+                let buckets = Arc::clone(&buckets);
+                thread::spawn(move || {
+                    while let Some(split) = queue.claim() {
+                        if board.try_commit(split) {
+                            buckets.commit(split, vec![split * 10, split * 10 + 1]);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join_unwrap();
+        }
+        assert!(board.all_done());
+        assert_eq!(buckets.take_ordered(), vec![0, 1, 10, 11]);
+    });
+}

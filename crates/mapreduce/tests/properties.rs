@@ -20,7 +20,12 @@ fn run_engine(items: &[(u32, u32)], cfg: MrConfig) -> BTreeMap<u32, u64> {
     let reducer = |k: &u32, vs: Vec<u64>, out: &mut Vec<(u32, u64)>| {
         out.push((*k, vs.into_iter().sum()));
     };
-    engine.run("prop", items, &mapper, &reducer).unwrap().output.into_iter().collect()
+    engine
+        .run("prop", items, &mapper, &reducer)
+        .unwrap()
+        .output
+        .into_iter()
+        .collect()
 }
 
 proptest! {

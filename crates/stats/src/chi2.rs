@@ -53,7 +53,10 @@ impl ChiSquared {
     /// Solved by bisection on the monotone survival function; accuracy
     /// ~1e-10, plenty for threshold comparisons.
     pub fn critical_value(&self, alpha: f64) -> f64 {
-        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "alpha must be in (0,1), got {alpha}"
+        );
         // Bracket the root. sf is decreasing in x.
         let mut lo = 0.0f64;
         let mut hi = self.k.max(1.0);
@@ -111,10 +114,17 @@ pub fn chi2_uniformity_test(counts: &[f64]) -> Option<UniformityTest> {
         return None;
     }
     let expected = total / counts.len() as f64;
-    let statistic: f64 = counts.iter().map(|&c| (c - expected) * (c - expected) / expected).sum();
+    let statistic: f64 = counts
+        .iter()
+        .map(|&c| (c - expected) * (c - expected) / expected)
+        .sum();
     let dof = counts.len() - 1;
     let p_value = ChiSquared::new(dof as f64).sf(statistic);
-    Some(UniformityTest { statistic, dof, p_value })
+    Some(UniformityTest {
+        statistic,
+        dof,
+        p_value,
+    })
 }
 
 #[cfg(test)]
@@ -177,7 +187,9 @@ mod tests {
 
     #[test]
     fn small_fluctuations_not_rejected() {
-        let counts = vec![98.0, 103.0, 99.0, 101.0, 97.0, 102.0, 100.0, 100.0, 99.0, 101.0];
+        let counts = vec![
+            98.0, 103.0, 99.0, 101.0, 97.0, 102.0, 100.0, 100.0, 99.0, 101.0,
+        ];
         let t = chi2_uniformity_test(&counts).unwrap();
         assert!(!t.is_non_uniform(0.001), "p={}", t.p_value);
     }

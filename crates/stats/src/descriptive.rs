@@ -152,8 +152,7 @@ mod tests {
 
     #[test]
     fn dimensionwise_median_example() {
-        let pts: Vec<Vec<f64>> =
-            vec![vec![0.0, 10.0], vec![1.0, 20.0], vec![2.0, 0.0]];
+        let pts: Vec<Vec<f64>> = vec![vec![0.0, 10.0], vec![1.0, 20.0], vec![2.0, 0.0]];
         let refs: Vec<&[f64]> = pts.iter().map(|p| p.as_slice()).collect();
         let m = dimensionwise_median(&refs).unwrap();
         assert_eq!(m, vec![1.0, 10.0]);

@@ -29,7 +29,9 @@ impl Histogram {
     /// Empty histogram with `m ≥ 1` bins.
     pub fn new(m: usize) -> Self {
         assert!(m >= 1, "histogram needs at least one bin");
-        Self { counts: vec![0.0; m] }
+        Self {
+            counts: vec![0.0; m],
+        }
     }
 
     /// Builds a histogram directly from values.
@@ -77,7 +79,11 @@ impl Histogram {
     /// Merges another histogram (same bin count) into this one —
     /// the reducer side of the histogram-building MapReduce job.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.counts.len(), other.counts.len(), "merging histograms of different bin counts");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "merging histograms of different bin counts"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }

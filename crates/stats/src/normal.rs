@@ -99,7 +99,10 @@ impl Normal {
     /// would collapse; instead we use the symmetric identity
     /// `isf(α) = -inv_cdf(α)`, which stays accurate down to `1e-300`.
     pub fn isf(alpha: f64) -> f64 {
-        assert!(alpha > 0.0 && alpha < 1.0, "isf requires alpha in (0,1), got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "isf requires alpha in (0,1), got {alpha}"
+        );
         -Self::inv_cdf(alpha)
     }
 }

@@ -50,8 +50,14 @@ pub struct PoissonTest {
 impl PoissonTest {
     /// Creates the test; α may be as small as `1e-300`.
     pub fn new(alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
-        Self { alpha, z_alpha: Normal::isf(alpha) }
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "alpha must be in (0,1), got {alpha}"
+        );
+        Self {
+            alpha,
+            z_alpha: Normal::isf(alpha),
+        }
     }
 
     /// The significance level.
@@ -195,7 +201,10 @@ mod tests {
         let exact = PoissonTest::tail_prob_exact(observed, lambda);
         let gauss = PoissonTest::tail_prob_gauss(observed, lambda);
         // Within 15% relative for a 3σ event at λ=1e4.
-        assert!((exact - gauss).abs() / exact < 0.15, "exact={exact} gauss={gauss}");
+        assert!(
+            (exact - gauss).abs() / exact < 0.15,
+            "exact={exact} gauss={gauss}"
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// Uses the series expansion for `x < a + 1` and the continued fraction for
 /// the complement otherwise.
 pub fn gamma_p(a: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && x >= 0.0, "gamma_p domain: a>0, x>=0 (a={a}, x={x})");
+    assert!(
+        a > 0.0 && x >= 0.0,
+        "gamma_p domain: a>0, x>=0 (a={a}, x={x})"
+    );
     if x == 0.0 {
         return 0.0;
     }
@@ -53,7 +56,10 @@ pub fn gamma_p(a: f64, x: f64) -> f64 {
 
 /// Regularized upper incomplete gamma `Q(a, x) = 1 − P(a, x)`.
 pub fn gamma_q(a: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && x >= 0.0, "gamma_q domain: a>0, x>=0 (a={a}, x={x})");
+    assert!(
+        a > 0.0 && x >= 0.0,
+        "gamma_q domain: a>0, x>=0 (a={a}, x={x})"
+    );
     if x == 0.0 {
         return 1.0;
     }
@@ -152,7 +158,13 @@ mod tests {
 
     #[test]
     fn gamma_p_q_sum_to_one() {
-        for &(a, x) in &[(0.5, 0.3), (2.0, 1.0), (5.0, 10.0), (30.0, 25.0), (100.0, 120.0)] {
+        for &(a, x) in &[
+            (0.5, 0.3),
+            (2.0, 1.0),
+            (5.0, 10.0),
+            (30.0, 25.0),
+            (100.0, 120.0),
+        ] {
             let s = gamma_p(a, x) + gamma_q(a, x);
             assert!((s - 1.0).abs() < 1e-12, "a={a} x={x} sum={s}");
         }

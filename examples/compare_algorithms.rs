@@ -62,7 +62,10 @@ fn main() {
         );
     };
 
-    let params = P3cParams { em_max_iters: 5, ..P3cParams::default() };
+    let params = P3cParams {
+        em_max_iters: 5,
+        ..P3cParams::default()
+    };
     let sample = (n / 10).max(1_000);
 
     run("BoW (Light)", &|eng| {
@@ -73,7 +76,10 @@ fn main() {
             params: params.clone(),
             ..BowConfig::default()
         };
-        Bow::new(eng, config).cluster(&data.dataset).unwrap().clustering
+        Bow::new(eng, config)
+            .cluster(&data.dataset)
+            .unwrap()
+            .clustering
     });
     run("BoW (MVB)", &|eng| {
         let config = BowConfig {
@@ -83,22 +89,40 @@ fn main() {
             params: params.clone(),
             ..BowConfig::default()
         };
-        Bow::new(eng, config).cluster(&data.dataset).unwrap().clustering
+        Bow::new(eng, config)
+            .cluster(&data.dataset)
+            .unwrap()
+            .clustering
     });
     run("MR (Light)", &|eng| {
-        P3cPlusMrLight::new(eng, params.clone()).cluster(&data.dataset).unwrap().clustering
+        P3cPlusMrLight::new(eng, params.clone())
+            .cluster(&data.dataset)
+            .unwrap()
+            .clustering
     });
     run("MR (MVB)", &|eng| {
-        P3cPlusMr::new(eng, P3cParams { outlier: OutlierMethod::Mvb, ..params.clone() })
-            .cluster(&data.dataset)
-            .unwrap()
-            .clustering
+        P3cPlusMr::new(
+            eng,
+            P3cParams {
+                outlier: OutlierMethod::Mvb,
+                ..params.clone()
+            },
+        )
+        .cluster(&data.dataset)
+        .unwrap()
+        .clustering
     });
     run("MR (Naive)", &|eng| {
-        P3cPlusMr::new(eng, P3cParams { outlier: OutlierMethod::Naive, ..params.clone() })
-            .cluster(&data.dataset)
-            .unwrap()
-            .clustering
+        P3cPlusMr::new(
+            eng,
+            P3cParams {
+                outlier: OutlierMethod::Naive,
+                ..params.clone()
+            },
+        )
+        .cluster(&data.dataset)
+        .unwrap()
+        .clustering
     });
 
     println!(

@@ -13,8 +13,8 @@ use p3c_core::config::P3cParams;
 use p3c_core::mr::P3cPlusMrLight;
 use p3c_datagen::{generate, SyntheticSpec};
 use p3c_dataset::persist;
-use p3c_mapreduce::{BlockStore, Engine, FaultPlan, MrConfig};
 use p3c_mapreduce::fault::StragglerPlan;
+use p3c_mapreduce::{BlockStore, Engine, FaultPlan, MrConfig};
 use std::time::Instant;
 
 fn main() {
@@ -44,7 +44,11 @@ fn main() {
     let configs: [(&str, MrConfig); 3] = [
         (
             "healthy cluster",
-            MrConfig { split_size: 1024, threads: 8, ..MrConfig::default() },
+            MrConfig {
+                split_size: 1024,
+                threads: 8,
+                ..MrConfig::default()
+            },
         ),
         (
             "15% task failure rate (retries)",
@@ -78,8 +82,7 @@ fn main() {
         let elapsed = start.elapsed();
         let metrics = engine.cluster_metrics();
         let failed: u64 = metrics.jobs().iter().map(|j| j.failed_attempts).sum();
-        let spec_attempts: u64 =
-            metrics.jobs().iter().map(|j| j.speculative_attempts).sum();
+        let spec_attempts: u64 = metrics.jobs().iter().map(|j| j.speculative_attempts).sum();
         let spec_wins: u64 = metrics.jobs().iter().map(|j| j.speculative_wins).sum();
         println!(
             "\n{label}:\n  {} clusters in {:.2}s over {} jobs \

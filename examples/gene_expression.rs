@@ -36,8 +36,11 @@ fn main() {
         acc_p3c * 100.0
     );
 
-    let p3cplus = P3cPlus::new(P3cParams { alpha_poisson: 1e-4, ..P3cParams::default() })
-        .cluster(&data.dataset);
+    let p3cplus = P3cPlus::new(P3cParams {
+        alpha_poisson: 1e-4,
+        ..P3cParams::default()
+    })
+    .cluster(&data.dataset);
     let acc_plus = label_accuracy(&p3cplus.clustering, &data.labels);
     println!(
         "P3C+         : {} clusters, accuracy {:.1}%",
@@ -61,7 +64,5 @@ fn main() {
         hits,
         truth.len()
     );
-    println!(
-        "\npaper reference (real UCI data): P3C 67% vs P3C+ 71% accuracy"
-    );
+    println!("\npaper reference (real UCI data): P3C 67% vs P3C+ 71% accuracy");
 }

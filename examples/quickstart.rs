@@ -37,10 +37,12 @@ fn main() {
     // detection, AI proving.
     let result = P3cPlus::new(P3cParams::default()).cluster(&data.dataset);
 
-    println!("\nfound {} projected clusters:", result.clustering.num_clusters());
+    println!(
+        "\nfound {} projected clusters:",
+        result.clustering.num_clusters()
+    );
     for (i, cluster) in result.clustering.clusters.iter().enumerate() {
-        let attrs: Vec<String> =
-            cluster.attributes.iter().map(|a| format!("a{a}")).collect();
+        let attrs: Vec<String> = cluster.attributes.iter().map(|a| format!("a{a}")).collect();
         println!(
             "  cluster {i}: {} points, subspace {{{}}}",
             cluster.size(),

@@ -22,7 +22,11 @@ fn spec(n: usize, k: usize, noise: f64, seed: u64) -> SyntheticSpec {
 }
 
 fn engine() -> Engine {
-    Engine::new(MrConfig { num_reducers: 4, split_size: 1024, ..MrConfig::default() })
+    Engine::new(MrConfig {
+        num_reducers: 4,
+        split_size: 1024,
+        ..MrConfig::default()
+    })
 }
 
 #[test]
@@ -33,8 +37,12 @@ fn all_variants_find_easy_clusters_with_good_quality() {
     let serial_full = P3cPlus::new(params.clone()).cluster(&data.dataset);
     let serial_light = P3cPlusLight::new(params.clone()).cluster(&data.dataset);
     let eng = engine();
-    let mr_full = P3cPlusMr::new(&eng, params.clone()).cluster(&data.dataset).unwrap();
-    let mr_light = P3cPlusMrLight::new(&eng, params).cluster(&data.dataset).unwrap();
+    let mr_full = P3cPlusMr::new(&eng, params.clone())
+        .cluster(&data.dataset)
+        .unwrap();
+    let mr_light = P3cPlusMrLight::new(&eng, params)
+        .cluster(&data.dataset)
+        .unwrap();
 
     for (name, result) in [
         ("serial full", &serial_full),
@@ -54,9 +62,14 @@ fn mr_and_serial_produce_identical_cluster_cores() {
     let params = P3cParams::default();
     let serial = P3cPlusLight::new(params.clone()).cluster(&data.dataset);
     let eng = engine();
-    let mr = P3cPlusMrLight::new(&eng, params).cluster(&data.dataset).unwrap();
-    let serial_sigs: Vec<String> =
-        serial.cores.iter().map(|c| c.signature.to_string()).collect();
+    let mr = P3cPlusMrLight::new(&eng, params)
+        .cluster(&data.dataset)
+        .unwrap();
+    let serial_sigs: Vec<String> = serial
+        .cores
+        .iter()
+        .map(|c| c.signature.to_string())
+        .collect();
     let mr_sigs: Vec<String> = mr.cores.iter().map(|c| c.signature.to_string()).collect();
     assert_eq!(serial_sigs, mr_sigs);
 }
@@ -65,7 +78,9 @@ fn mr_and_serial_produce_identical_cluster_cores() {
 fn quality_measures_agree_on_orderings() {
     // A good clustering must dominate a bad one under every measure.
     let data = generate(&spec(3000, 3, 0.1, 3));
-    let good = P3cPlusLight::new(P3cParams::default()).cluster(&data.dataset).clustering;
+    let good = P3cPlusLight::new(P3cParams::default())
+        .cluster(&data.dataset)
+        .clustering;
     // "Bad": original P3C with a loose threshold and no filtering.
     let bad = P3c::new(0.05).cluster(&data.dataset).clustering;
     type Measure = fn(&p3c_suite::dataset::Clustering, &p3c_suite::dataset::Clustering) -> f64;
@@ -99,7 +114,10 @@ fn p3cplus_beats_original_p3c_on_noisy_overlapping_data() {
 #[test]
 fn mcd_extension_runs_end_to_end_serial_and_mr() {
     let data = generate(&spec(2500, 3, 0.1, 8));
-    let params = P3cParams { outlier: OutlierMethod::Mcd, ..P3cParams::default() };
+    let params = P3cParams {
+        outlier: OutlierMethod::Mcd,
+        ..P3cParams::default()
+    };
     let serial = P3cPlus::new(params.clone()).cluster(&data.dataset);
     assert_eq!(serial.clustering.num_clusters(), 3);
     assert!(e4sc(&serial.clustering, &data.ground_truth) > 0.6);
@@ -175,7 +193,10 @@ fn normalization_roundtrip_preserves_clustering() {
             let lo = map.denormalize(iv.attr, iv.lo);
             let hi = map.denormalize(iv.attr, iv.hi);
             assert!(lo <= hi);
-            assert!((-100.0..=150.0).contains(&lo), "lo {lo} out of original range");
+            assert!(
+                (-100.0..=150.0).contains(&lo),
+                "lo {lo} out of original range"
+            );
         }
     }
 }

@@ -42,8 +42,16 @@ fn full_pipeline_survives_aggressive_fault_injection() {
         .cluster(&d.dataset)
         .unwrap();
     // Same cores, same point partition — retries must be invisible.
-    assert_eq!(clean.clustering.clusters.len(), faulty.clustering.clusters.len());
-    for (a, b) in clean.clustering.clusters.iter().zip(&faulty.clustering.clusters) {
+    assert_eq!(
+        clean.clustering.clusters.len(),
+        faulty.clustering.clusters.len()
+    );
+    for (a, b) in clean
+        .clustering
+        .clusters
+        .iter()
+        .zip(&faulty.clustering.clusters)
+    {
         assert_eq!(a.points, b.points);
         assert_eq!(a.attributes, b.attributes);
     }
@@ -64,7 +72,9 @@ fn job_ledger_reflects_pipeline_structure() {
         split_size: 512,
         ..MrConfig::default()
     });
-    P3cPlusMr::new(&engine, P3cParams::default()).cluster(&d.dataset).unwrap();
+    P3cPlusMr::new(&engine, P3cParams::default())
+        .cluster(&d.dataset)
+        .unwrap();
     let metrics = engine.cluster_metrics();
     let names: Vec<&str> = metrics.jobs().iter().map(|j| j.job_name.as_str()).collect();
     // Structural expectations from the paper's Section 5.
@@ -72,9 +82,15 @@ fn job_ledger_reflects_pipeline_structure() {
     assert!(names.iter().any(|n| n.starts_with("p3c-prove-candidates")));
     assert!(names.iter().any(|n| n.starts_with("p3c-em-init")));
     assert!(names.iter().any(|n| n.starts_with("p3c-em-step")));
-    assert!(names.iter().any(|n| n.starts_with("p3c-mvb") || n.starts_with("p3c-od")));
-    assert!(names.iter().any(|n| n.starts_with("p3c-attribute-inspection")));
-    assert!(names.iter().any(|n| n.starts_with("p3c-interval-tightening")));
+    assert!(names
+        .iter()
+        .any(|n| n.starts_with("p3c-mvb") || n.starts_with("p3c-od")));
+    assert!(names
+        .iter()
+        .any(|n| n.starts_with("p3c-attribute-inspection")));
+    assert!(names
+        .iter()
+        .any(|n| n.starts_with("p3c-interval-tightening")));
     // Every job consumed data or was an explicit bookkeeping marker.
     for job in metrics.jobs() {
         assert!(
@@ -93,10 +109,20 @@ fn job_ledger_reflects_pipeline_structure() {
 #[test]
 fn light_pipeline_moves_less_data_than_full() {
     let d = data();
-    let eng_full = Engine::new(MrConfig { split_size: 512, ..MrConfig::default() });
-    let eng_light = Engine::new(MrConfig { split_size: 512, ..MrConfig::default() });
-    P3cPlusMr::new(&eng_full, P3cParams::default()).cluster(&d.dataset).unwrap();
-    P3cPlusMrLight::new(&eng_light, P3cParams::default()).cluster(&d.dataset).unwrap();
+    let eng_full = Engine::new(MrConfig {
+        split_size: 512,
+        ..MrConfig::default()
+    });
+    let eng_light = Engine::new(MrConfig {
+        split_size: 512,
+        ..MrConfig::default()
+    });
+    P3cPlusMr::new(&eng_full, P3cParams::default())
+        .cluster(&d.dataset)
+        .unwrap();
+    P3cPlusMrLight::new(&eng_light, P3cParams::default())
+        .cluster(&d.dataset)
+        .unwrap();
     let full = eng_full.cluster_metrics();
     let light = eng_light.cluster_metrics();
     assert!(light.num_jobs() < full.num_jobs());

@@ -13,8 +13,8 @@ use p3c_suite::eval::e4sc;
 use proptest::prelude::*;
 
 fn small_spec() -> impl Strategy<Value = SyntheticSpec> {
-    (2usize..4, 0.0f64..0.15, 0u64..50, 1500usize..3000).prop_map(
-        |(k, noise, seed, n)| SyntheticSpec {
+    (2usize..4, 0.0f64..0.15, 0u64..50, 1500usize..3000).prop_map(|(k, noise, seed, n)| {
+        SyntheticSpec {
             n,
             d: 10,
             num_clusters: k,
@@ -22,8 +22,8 @@ fn small_spec() -> impl Strategy<Value = SyntheticSpec> {
             max_cluster_dims: 4,
             seed,
             ..SyntheticSpec::default()
-        },
-    )
+        }
+    })
 }
 
 proptest! {
