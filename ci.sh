@@ -4,7 +4,8 @@
 # Tier 1 (must always pass, run first):
 #   cargo build --release
 #   cargo test -q
-# Then: the kernels and codec microbenchmarks at smoke scale, archiving
+# Then: the parallel-kernel bit-identity tests swept over P3C_THREADS,
+# the kernels and codec microbenchmarks at smoke scale, archiving
 # target/ci/BENCH_{kernels,codec}.json (results/ keeps the committed
 # full-scale numbers; the smoke runs must not overwrite them), and a
 # rustdoc pass with warnings denied (missing docs on the data-plane
@@ -23,6 +24,14 @@ cargo build --release
 
 echo "==> tier 1: cargo test -q"
 cargo test -q
+
+# The parallel kernels must be bit-identical across thread counts
+# (DESIGN.md §11). The tests sweep threads {1, 2, 8} internally; the
+# env sweep additionally pins the P3C_THREADS-driven default path.
+echo "==> thread matrix: parallel kernel bit-identity under P3C_THREADS"
+for t in 1 2 8; do
+    P3C_THREADS=$t cargo test -q --test parallel_kernels > /dev/null
+done
 
 echo "==> kernels microbenchmark (smoke) -> target/ci/BENCH_kernels.json"
 ./target/release/experiments --smoke --out target/ci kernels > /dev/null

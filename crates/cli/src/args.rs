@@ -97,6 +97,11 @@ pub enum Command {
         /// Dump the engine's `ClusterMetrics` (jobs + DAG runs) as JSON
         /// to this path after clustering.
         metrics_json: Option<String>,
+        /// Worker threads for the engine and the serial-path kernels
+        /// (0 = all cores). `None` keeps the defaults (`P3C_THREADS`
+        /// env or 1 for kernels; all cores for the engine). Results
+        /// are bit-identical for every value.
+        threads: Option<usize>,
     },
     /// Generate a synthetic dataset to a file.
     Generate {
@@ -168,6 +173,7 @@ fn parse_cluster<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, 
     let mut evaluate = false;
     let mut scheduler = SchedulerChoice::Serial;
     let mut metrics_json = None;
+    let mut threads = None;
     while let Some(arg) = it.next() {
         match arg {
             "--input" | "-i" => input = Some(next_value(it, arg)?.to_string()),
@@ -218,6 +224,13 @@ fn parse_cluster<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, 
                 })?;
             }
             "--metrics-json" => metrics_json = Some(next_value(it, arg)?.to_string()),
+            "--threads" | "-t" => {
+                threads = Some(
+                    next_value(it, arg)?
+                        .parse()
+                        .map_err(|_| ParseError("bad --threads value".into()))?,
+                );
+            }
             other => return Err(ParseError(format!("unknown flag '{other}'"))),
         }
     }
@@ -251,6 +264,7 @@ fn parse_cluster<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, 
         evaluate,
         scheduler,
         metrics_json,
+        threads,
     })
 }
 
@@ -318,6 +332,8 @@ CLUSTER OPTIONS:
   -e, --evaluate         report E4SC against the synthetic truth
       --scheduler S      serial | dag (mr / mr-light / bow only)    [serial]
       --metrics-json F   dump job + DAG metrics as JSON to file F
+  -t, --threads N        worker threads for the engine and kernels
+                         (0 = all cores; results are bit-identical)
 
 GENERATE OPTIONS:
   -k, --clusters K / --noise FRAC / --seed SEED as above
@@ -439,6 +455,23 @@ mod tests {
         }
         let err = parse(&args("cluster --synthetic 1000x10 --scheduler turbo")).unwrap_err();
         assert!(err.0.contains("unknown scheduler"));
+    }
+
+    #[test]
+    fn threads_flag() {
+        let parsed = parse(&args("cluster --synthetic 1000x10 --threads 8")).unwrap();
+        match parsed.command {
+            Command::Cluster { threads, .. } => assert_eq!(threads, Some(8)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Default: unset, so pipeline/engine defaults apply.
+        let parsed = parse(&args("cluster --synthetic 1000x10")).unwrap();
+        match parsed.command {
+            Command::Cluster { threads, .. } => assert_eq!(threads, None),
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse(&args("cluster --synthetic 1000x10 -t nope")).unwrap_err();
+        assert!(err.0.contains("bad --threads"));
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub fn execute(parsed: &ParsedArgs) -> Result<String, ExecError> {
             evaluate,
             scheduler,
             metrics_json,
+            threads,
         } => {
             let (dataset, truth) = match (input, synthetic) {
                 (Some(path), None) => {
@@ -107,11 +108,15 @@ pub fn execute(parsed: &ParsedArgs) -> Result<String, ExecError> {
                 }
                 _ => unreachable!("validated at parse time"),
             };
-            let params = P3cParams {
+            let mut params = P3cParams {
                 alpha_poisson: *alpha,
                 ..P3cParams::default()
             };
-            let (clustering, metrics) = run_algorithm(*algorithm, &params, &dataset, *scheduler)?;
+            if let Some(t) = threads {
+                params.threads = *t;
+            }
+            let (clustering, metrics) =
+                run_algorithm(*algorithm, &params, &dataset, *scheduler, *threads)?;
             let mut text = render(&clustering, *output, *algorithm);
             if *evaluate {
                 if let Some(truth) = &truth {
@@ -142,10 +147,14 @@ fn run_algorithm(
     params: &P3cParams,
     dataset: &Dataset,
     scheduler: SchedulerChoice,
+    threads: Option<usize>,
 ) -> Result<(Clustering, p3c_mapreduce::ClusterMetrics), ExecError> {
     let mr_err = |e: p3c_mapreduce::MrError| ExecError::Mr(e.to_string());
     // The serial algorithms run no jobs; their metrics ledger stays empty.
-    let engine = Engine::new(MrConfig::default());
+    let engine = Engine::new(MrConfig {
+        threads: threads.unwrap_or(0),
+        ..MrConfig::default()
+    });
     let clustering = match algorithm {
         Algorithm::P3c => P3c::new(params.alpha_poisson).cluster(dataset).clustering,
         Algorithm::P3cPlus => P3cPlus::new(params.clone()).cluster(dataset).clustering,

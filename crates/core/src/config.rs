@@ -97,6 +97,23 @@ pub struct P3cParams {
     /// truncated to the lexicographically first this-many (recorded in
     /// `CoreGenStats::truncated_levels`). `0` disables the cap.
     pub max_candidates_per_level: usize,
+    /// Worker threads for the serial-path kernels (the EM E-step and the
+    /// columnar binning scan, block-parallelized over the engine worker
+    /// pool). Results are **bit-identical for every value** (DESIGN.md
+    /// §11), so this is purely a speed knob. `0` means all available
+    /// cores. Defaults to the `P3C_THREADS` environment variable when
+    /// set, else `1`.
+    #[serde(default = "default_threads")]
+    pub threads: usize,
+}
+
+/// Serde/`Default` source for [`P3cParams::threads`]: the `P3C_THREADS`
+/// environment variable, or `1`.
+fn default_threads() -> usize {
+    std::env::var("P3C_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
 }
 
 impl Default for P3cParams {
@@ -119,6 +136,7 @@ impl Default for P3cParams {
             t_c: 30_000,
             max_levels: 12,
             max_candidates_per_level: 100_000,
+            threads: default_threads(),
         }
     }
 }

@@ -311,13 +311,110 @@ pub struct EmFit {
 
 /// Points per E-step block of [`em_fit`]: big enough to amortize
 /// dispatch and expose cross-point instruction parallelism, small
-/// enough that the block's solve scratch stays cache-resident.
+/// enough that the block's solve scratch stays cache-resident. Also the
+/// work-unit granularity of the parallel E-step — see [`estep_blocked`].
 const EM_BLOCK_POINTS: usize = 128;
 
-/// Runs EM to convergence (or `max_iters`), serially.
+/// One E-step over the pre-projected sub-matrix `proj` (row-major,
+/// `arel.len()` values per point): responsibility-weighted covariance
+/// accumulators per component, plus the total log-likelihood under the
+/// evaluator's model.
+///
+/// The scan is blocked at `EM_BLOCK_POINTS` (128-point) granularity
+/// and runs on
+/// the engine worker pool
+/// ([`p3c_mapreduce::parallel_for_blocks_with`]): each worker owns
+/// private density/solve scratch, produces one `(accumulators, loglik)`
+/// partial per claimed block, and the partials merge in **fixed
+/// block-index order**. The block structure and merge order are
+/// identical for every `threads` value — including the inline
+/// `threads == 1` path — so the result is bit-identical across thread
+/// counts (DESIGN.md §11).
+pub fn estep_blocked(
+    eval: &DensityEvaluator,
+    proj: &[f64],
+    threads: usize,
+) -> (Vec<CovarianceAccumulator>, f64) {
+    let k = eval.num_components();
+    let d = eval.arel.len();
+    let dd = d.max(1);
+    let npts = proj.len() / dd;
+    let num_blocks = npts.div_ceil(EM_BLOCK_POINTS);
+    let partials = p3c_mapreduce::parallel_for_blocks_with(
+        threads,
+        num_blocks,
+        // Per-worker scratch: the block's log-densities and the fused
+        // forward-substitution buffer, reused across claimed blocks.
+        || {
+            (
+                Vec::with_capacity(EM_BLOCK_POINTS * k),
+                Vec::with_capacity(EM_BLOCK_POINTS * dd),
+            )
+        },
+        |(dens, y), block| {
+            let start = block * EM_BLOCK_POINTS * dd;
+            let end = (start + EM_BLOCK_POINTS * dd).min(proj.len());
+            let chunk = &proj[start..end];
+            let mut accs: Vec<CovarianceAccumulator> =
+                (0..k).map(|_| CovarianceAccumulator::new(d)).collect();
+            let mut loglik = 0.0;
+            eval.log_densities_block(chunk, dens, y);
+            for resp in dens.chunks_exact_mut(k.max(1)) {
+                loglik += softmax_in_place(resp);
+            }
+            // Component-outer accumulation: each accumulator receives
+            // its pushes in block point order — the same per-entry add
+            // sequence as a point-outer loop (bit-identical) — while
+            // its moment buffers stay hot across the whole block.
+            for (c, acc) in accs.iter_mut().enumerate() {
+                for (x, resp) in chunk.chunks_exact(dd).zip(dens.chunks_exact(k.max(1))) {
+                    let r = resp[c];
+                    if r > 1e-12 {
+                        acc.push(x, r);
+                    }
+                }
+            }
+            (accs, loglik)
+        },
+    );
+    let mut accs: Vec<CovarianceAccumulator> =
+        (0..k).map(|_| CovarianceAccumulator::new(d)).collect();
+    let mut loglik = 0.0;
+    for (block_accs, block_loglik) in &partials {
+        for (total, part) in accs.iter_mut().zip(block_accs) {
+            total.merge(part);
+        }
+        loglik += block_loglik;
+    }
+    (accs, loglik)
+}
+
+/// Runs EM to convergence (or `max_iters`) on the calling thread; the
+/// E-step uses the same blocked kernel as [`em_fit_threads`] with one
+/// worker, so results are bit-identical to every thread count.
 pub fn em_fit(init: MixtureModel, rows: &[&[f64]], max_iters: usize, tol: f64) -> EmFit {
+    em_fit_threads(init, rows, max_iters, tol, 1)
+}
+
+/// Runs EM to convergence (or `max_iters`) with the E-step
+/// block-parallelized over `threads` workers ([`estep_blocked`]).
+///
+/// Iteration semantics: each iteration evaluates the current model's
+/// log-likelihood (E-step), records it in `loglik_history`, and — only
+/// if not converged — applies the M-step. On convergence the loop stops
+/// *before* the redundant M-step, so the returned model is exactly the
+/// one whose log-likelihood is `loglik_history.last()`. `iterations`
+/// equals `loglik_history.len()`; on budget exhaustion the model has
+/// had `max_iters` M-steps and the history records the likelihood
+/// before each of them.
+pub fn em_fit_threads(
+    init: MixtureModel,
+    rows: &[&[f64]],
+    max_iters: usize,
+    tol: f64,
+    threads: usize,
+) -> EmFit {
     let mut model = init;
-    let k = model.components.len();
     let d = model.arel.len();
     // Project every row into A_rel once; the EM iterations then scan this
     // contiguous sub-matrix instead of re-gathering per row per iteration.
@@ -325,40 +422,24 @@ pub fn em_fit(init: MixtureModel, rows: &[&[f64]], max_iters: usize, tol: f64) -
     for row in rows {
         proj.extend(model.arel.iter().map(|&a| row[a]));
     }
-    let mut history = Vec::new();
+    let mut history: Vec<f64> = Vec::new();
     let mut iterations = 0;
     for _ in 0..max_iters {
         iterations += 1;
         let eval = model.evaluator();
-        let mut accs: Vec<CovarianceAccumulator> =
-            (0..k).map(|_| CovarianceAccumulator::new(d)).collect();
-        let mut loglik = 0.0;
-        let mut dens = Vec::with_capacity(EM_BLOCK_POINTS * k);
-        let mut y = Vec::with_capacity(EM_BLOCK_POINTS * d);
-        let dd = d.max(1);
-        for chunk in proj.chunks(EM_BLOCK_POINTS * dd) {
-            eval.log_densities_block(chunk, &mut dens, &mut y);
-            for (x, resp) in chunk.chunks_exact(dd).zip(dens.chunks_exact_mut(k.max(1))) {
-                loglik += softmax_in_place(resp);
-                for (c, &r) in resp.iter().enumerate() {
-                    if r > 1e-12 {
-                        accs[c].push(x, r);
-                    }
-                }
-            }
-        }
-        model = MixtureModel {
-            arel: model.arel,
-            components: finish_components(&accs),
-        };
+        let (accs, loglik) = estep_blocked(&eval, &proj, threads);
         let converged = history
             .last()
-            .map(|&prev: &f64| (loglik - prev).abs() <= tol * prev.abs().max(1.0))
+            .map(|&prev| (loglik - prev).abs() <= tol * prev.abs().max(1.0))
             .unwrap_or(false);
         history.push(loglik);
         if converged {
             break;
         }
+        model = MixtureModel {
+            arel: model.arel,
+            components: finish_components(&accs),
+        };
     }
     EmFit {
         model,
@@ -427,6 +508,28 @@ mod tests {
                 fit.loglik_history
             );
         }
+    }
+
+    #[test]
+    fn converged_model_loglik_matches_history_tail() {
+        let data = two_blob_rows();
+        let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let init = initialize_from_cores(&cores_for_blobs(), &rows, &[0, 1]);
+        let fit = em_fit(init, &rows, 50, 1e-6);
+        assert!(fit.iterations < 50, "should converge before the budget");
+        assert_eq!(fit.iterations, fit.loglik_history.len());
+        // On convergence the loop stops before the redundant M-step, so
+        // the returned model is exactly the one whose log-likelihood was
+        // recorded last; re-evaluating it reproduces the tail bit-for-bit.
+        let mut proj = Vec::new();
+        for row in &rows {
+            proj.extend(fit.model.arel.iter().map(|&a| row[a]));
+        }
+        let (_, loglik) = estep_blocked(&fit.model.evaluator(), &proj, 1);
+        assert_eq!(
+            loglik.to_bits(),
+            fit.loglik_history.last().unwrap().to_bits()
+        );
     }
 
     #[test]

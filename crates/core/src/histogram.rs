@@ -56,20 +56,50 @@ pub fn build_histograms_columnar(
     data: &[f64],
     bins_per_attr: &[usize],
 ) -> AttributeHistograms {
+    build_histograms_columnar_threads(n, d, data, bins_per_attr, 1)
+}
+
+/// [`build_histograms_columnar`] with the block scan parallelized over
+/// `threads` workers on the engine worker pool
+/// ([`p3c_mapreduce::parallel_for_blocks`]). Each worker bins its
+/// claimed blocks into private per-attribute histograms; the per-block
+/// partials merge in fixed block-index order. Counts are exact `+1.0`
+/// sums (far below 2^53), so every merge order — and every thread
+/// count, including the inline serial path — yields bit-identical
+/// histograms (DESIGN.md §11).
+pub fn build_histograms_columnar_threads(
+    n: usize,
+    d: usize,
+    data: &[f64],
+    bins_per_attr: &[usize],
+    threads: usize,
+) -> AttributeHistograms {
     assert_eq!(data.len(), n * d, "row-major buffer has wrong length");
     assert_eq!(bins_per_attr.len(), d, "one bin count per attribute");
-    let mut histograms: Vec<Histogram> = bins_per_attr
-        .iter()
-        .map(|&b| Histogram::new(b.max(1)))
-        .collect();
+    let fresh = || -> Vec<Histogram> {
+        bins_per_attr
+            .iter()
+            .map(|&b| Histogram::new(b.max(1)))
+            .collect()
+    };
     // ~256 KiB of f64 per block, rounded to whole rows.
     let stride = d.max(1);
     let block = (32_768 / stride).max(1) * stride;
-    for chunk in data.chunks(block) {
-        for (j, hist) in histograms.iter_mut().enumerate() {
+    let num_blocks = data.len().div_ceil(block);
+    let partials = p3c_mapreduce::parallel_for_blocks(threads, num_blocks, |b| {
+        let chunk = &data[b * block..(b * block + block).min(data.len())];
+        let mut hists = fresh();
+        for (j, hist) in hists.iter_mut().enumerate() {
             for &v in chunk[j..].iter().step_by(stride) {
                 hist.add(v);
             }
+        }
+        hists
+    });
+    let mut histograms = fresh();
+    for part in &partials {
+        for (hist, partial) in histograms.iter_mut().zip(part) {
+            hist.merge(partial);
         }
     }
     let bins = bins_per_attr.iter().copied().max().unwrap_or(1).max(1);

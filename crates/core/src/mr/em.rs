@@ -289,10 +289,11 @@ pub fn em_fit_mr(
                 loglik += ll;
             }
         }
-        model = MixtureModel {
-            arel: model.arel,
-            components: components_from_accs(&accs, d),
-        };
+        // Convergence is checked *before* the M-step (matching
+        // [`crate::em::em_fit_threads`]): on convergence the returned
+        // model is the one whose log-likelihood is `history.last()`,
+        // with no trailing M-step applied. The step's two jobs already
+        // ran, so the job ledger still charges two per iteration.
         let converged = history
             .last()
             .map(|&prev| (loglik - prev).abs() <= tol * prev.abs().max(1.0))
@@ -301,6 +302,10 @@ pub fn em_fit_mr(
         if converged {
             break;
         }
+        model = MixtureModel {
+            arel: model.arel,
+            components: components_from_accs(&accs, d),
+        };
     }
     Ok(MrEmFit {
         model,

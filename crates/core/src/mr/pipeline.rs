@@ -714,11 +714,15 @@ fn core_phase_mr(
     stats.relevant_intervals = intervals.len();
     let gen = generate_cluster_cores_mr(engine, &intervals, rows, params)?;
     stats.core_gen = gen.stats.clone();
+    // Same proven-set redundancy filter as the serial pipeline, fed
+    // from the MR coregen's (identically ordered) proven list and
+    // support table, so MR cores stay byte-identical to serial.
     let mut cores = gen.cores;
     if params.use_redundancy_filter {
-        let (kept, removed) = crate::redundancy::filter_redundant(cores);
+        let mut kept = crate::redundancy::filter_redundant_proven(&gen.proven, &gen.table, n);
+        crate::cores::attach_expected_supports(&mut kept, n);
+        stats.redundancy_removed = cores.len().saturating_sub(kept.len());
         cores = kept;
-        stats.redundancy_removed = removed;
     }
     stats.cores = cores.len();
     Ok((cores, stats))
@@ -1009,13 +1013,21 @@ fn core_phase_dag(
                 let projected = project_intervals(&intervals, &arel);
                 let gen = generate_cluster_cores_mr(ctx.engine, &projected, &refs, &params)?;
                 stats.core_gen = gen.stats.clone();
+                // The proven list and support table are keyed by
+                // projected-space signatures, so the redundancy filter
+                // runs *before* the cores are unprojected back to
+                // dataset attribute ids. (Eq. 7 expected supports are
+                // width-only and unaffected by the attribute remap.)
                 let mut cores = gen.cores;
-                unproject_cores(&mut cores, &arel);
                 if params.use_redundancy_filter {
-                    let (kept, removed) = crate::redundancy::filter_redundant(cores);
+                    let n_rows = refs.len();
+                    let mut kept =
+                        crate::redundancy::filter_redundant_proven(&gen.proven, &gen.table, n_rows);
+                    crate::cores::attach_expected_supports(&mut kept, n_rows);
+                    stats.redundancy_removed = cores.len().saturating_sub(kept.len());
                     cores = kept;
-                    stats.redundancy_removed = removed;
                 }
+                unproject_cores(&mut cores, &arel);
                 stats.cores = cores.len();
                 let bytes = 64 + 128 * cores.len();
                 ctx.put(&cores_ds, cores, bytes);

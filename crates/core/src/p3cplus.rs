@@ -7,13 +7,13 @@
 
 use crate::config::{BinRuleChoice, OutlierMethod, P3cParams};
 use crate::cores::{attach_expected_supports, generate_cluster_cores, ClusterCore, CoreGenStats};
-use crate::em::{em_fit, initialize_from_cores};
-use crate::histogram::build_histograms_columnar;
+use crate::em::{em_fit_threads, initialize_from_cores};
+use crate::histogram::build_histograms_columnar_threads;
 use crate::inspect::{inspect_attributes, tighten_intervals};
 use crate::outlier::{
     assign_clusters, detect_outliers_mcd, detect_outliers_mvb, detect_outliers_naive,
 };
-use crate::redundancy::filter_redundant;
+use crate::redundancy::filter_redundant_proven;
 use crate::relevance::relevant_intervals;
 use p3c_dataset::{Clustering, Dataset, ProjectedCluster};
 use serde::{Deserialize, Serialize};
@@ -82,7 +82,13 @@ impl P3cPlus {
             .into_iter()
             .collect();
         let init = initialize_from_cores(&cores, &rows, &arel);
-        let fit = em_fit(init, &rows, self.params.em_max_iters, self.params.em_tol);
+        let fit = em_fit_threads(
+            init,
+            &rows,
+            self.params.em_max_iters,
+            self.params.em_tol,
+            self.params.threads,
+        );
         stats.em_iterations = fit.iterations;
         let eval = fit.model.evaluator();
         let hard = assign_clusters(&eval, &rows);
@@ -201,19 +207,31 @@ fn shared_core_phase(
     let n = data.len();
     let mut stats = PipelineStats::default();
     let bins_per_attr = bins_per_attribute_columnar(data, params);
-    let hists = build_histograms_columnar(n, data.dim(), data.as_slice(), &bins_per_attr);
+    let hists = build_histograms_columnar_threads(
+        n,
+        data.dim(),
+        data.as_slice(),
+        &bins_per_attr,
+        params.threads,
+    );
     stats.bins = hists.bins;
     let intervals = relevant_intervals(&hists.histograms, params.alpha_chi2);
     stats.relevant_intervals = intervals.len();
     let gen = generate_cluster_cores(&intervals, rows, params);
     stats.core_gen = gen.stats.clone();
-    let mut cores = gen.cores;
+    // With the filter on, redundancy runs over the full proven set
+    // against the attribute-independence null *before* maximality —
+    // overlap-region artifacts are removed and the true cores they
+    // eclipsed resurface (DESIGN.md §11). With it off, the raw maximal
+    // set is reported, as Figure 5's unfiltered columns require.
+    let mut cores = if params.use_redundancy_filter {
+        let kept = filter_redundant_proven(&gen.proven, &gen.table, n);
+        stats.redundancy_removed = gen.cores.len().saturating_sub(kept.len());
+        kept
+    } else {
+        gen.cores
+    };
     attach_expected_supports(&mut cores, n);
-    if params.use_redundancy_filter {
-        let (kept, removed) = filter_redundant(cores);
-        cores = kept;
-        stats.redundancy_removed = removed;
-    }
     stats.cores = cores.len();
     (cores, stats)
 }

@@ -12,8 +12,18 @@
 //! Containment `S ⊆ ∪ Sᵢ` is interval coverage: every interval of `S` is
 //! covered (same attribute, enclosing bin range) by an interval of some
 //! strictly-more-interesting signature.
+//!
+//! [`filter_redundant`] applies Eq. 5/6 verbatim with the width-based
+//! Eq. 7 expected supports. [`filter_redundant_proven`] is the variant
+//! the pipelines use: it scores signatures against the
+//! attribute-independence null (observed singleton supports instead of
+//! interval widths), runs Eq. 5 over the *full* proven set, and only
+//! then keeps the maximal survivors — see the module tests and
+//! DESIGN.md §11 for why the order matters.
 
 use crate::cores::ClusterCore;
+use crate::support::SupportTable;
+use crate::types::Signature;
 
 /// Whether `core`'s signature is covered by the union of the given
 /// (more interesting) signatures.
@@ -51,6 +61,105 @@ pub fn filter_redundant(cores: Vec<ClusterCore>) -> (Vec<ClusterCore>, usize) {
         .collect();
     let removed = n - survivors.len();
     (survivors, removed)
+}
+
+/// Expected support of `sig` under the attribute-independence null:
+/// `n · ∏ᵢ Supp(Iᵢ)/n`, with the observed singleton supports taken from
+/// the support table (falling back to the width-based Eq. 7 term when a
+/// singleton is missing, which cannot happen for Apriori-generated
+/// signatures — every level-1 candidate is counted).
+///
+/// Unlike Eq. 7's width product, this null absorbs the marginal
+/// densities: a signature scores above 1 only through genuine
+/// *cross-attribute* correlation, so the interest ordering no longer
+/// systematically favors higher-dimensional signatures.
+pub fn independence_expected(sig: &Signature, table: &SupportTable, n: usize) -> f64 {
+    let nf = n as f64;
+    let mut expected = nf;
+    for iv in sig.intervals() {
+        let single = Signature::new(vec![*iv]);
+        let supp = table.get(&single).unwrap_or_else(|| iv.width() * nf);
+        expected *= supp / nf;
+    }
+    expected
+}
+
+/// Redundancy filter over the **full proven set** (paper Eq. 5, with the
+/// interest ordering of Eq. 6 evaluated against the
+/// attribute-independence null of [`independence_expected`]), followed
+/// by a maximality pass over the survivors.
+///
+/// Running Eq. 5 before maximality is what fixes the overlap-region
+/// artifact failure: a statistically proven signature describing only
+/// the intersection of two true clusters can be *higher-dimensional*
+/// than the true cluster cores it overlaps, so a maximality-first order
+/// discards the true cores in its favor. Under the independence null the
+/// artifact's interest collapses to ≈ 1 (its support is what independent
+/// marginals already predict), every one of its intervals is covered by
+/// a strictly-more-interesting true core, and Eq. 5 removes it — after
+/// which the true cores are maximal among the survivors.
+///
+/// The survivor set of Eq. 5 is **not** downward closed, so the
+/// immediate-subsignature marking of `cores::filter_maximal` is invalid
+/// here; maximality is decided by general strict-subsignature
+/// containment instead. Returned cores keep the proven order
+/// (level-major, sorted within level) and carry `expected = 0.0`; the
+/// caller attaches the Eq. 7 expected supports.
+pub fn filter_redundant_proven(
+    proven: &[(Signature, f64)],
+    table: &SupportTable,
+    n: usize,
+) -> Vec<ClusterCore> {
+    let ratios: Vec<f64> = proven
+        .iter()
+        .map(|(sig, supp)| {
+            let expected = independence_expected(sig, table, n);
+            if expected <= 0.0 {
+                f64::INFINITY
+            } else {
+                supp / expected
+            }
+        })
+        .collect();
+    // Eq. 5: S is redundant iff every interval of S is covered by the
+    // union of the strictly-more-interesting signatures.
+    let survivors: Vec<usize> = (0..proven.len())
+        .filter(|&i| {
+            let better: Vec<&Signature> = (0..proven.len())
+                .filter(|&j| ratios[j] > ratios[i])
+                .map(|j| &proven[j].0)
+                .collect();
+            better.is_empty()
+                || !proven[i].0.intervals().iter().all(|iv| {
+                    better
+                        .iter()
+                        .any(|b| b.intervals().iter().any(|biv| biv.covers(iv)))
+                })
+        })
+        .collect();
+    // Maximality among the survivors (Definition 5), by general strict
+    // subsignature containment. Apriori-joined signatures share the
+    // exact `Interval` values of the relevant-interval list, so interval
+    // equality decides membership.
+    survivors
+        .iter()
+        .filter(|&&i| {
+            let (sig, _) = &proven[i];
+            !survivors.iter().any(|&j| {
+                let (sup, _) = &proven[j];
+                sup.len() > sig.len()
+                    && sig
+                        .intervals()
+                        .iter()
+                        .all(|iv| sup.intervals().iter().any(|siv| siv == iv))
+            })
+        })
+        .map(|&i| ClusterCore {
+            signature: proven[i].0.clone(),
+            support: proven[i].1,
+            expected: 0.0,
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -142,6 +251,112 @@ mod tests {
         let (kept, removed) = filter_redundant(vec![]);
         assert!(kept.is_empty());
         assert_eq!(removed, 0);
+    }
+
+    /// Builds a support table holding the given (signature, support)
+    /// pairs — the shape `filter_redundant_proven` reads singletons from.
+    fn table_of(entries: &[(&Signature, f64)]) -> crate::support::SupportTable {
+        let mut table = crate::support::SupportTable::default();
+        for (sig, supp) in entries {
+            table.insert((*sig).clone(), *supp);
+        }
+        table
+    }
+
+    /// The overlap-artifact scenario behind the RNIA ordering failure:
+    /// two true clusters A = {a0,a1} and B = {a0,a2} share their a0
+    /// interval, and their intersection region proves both a spurious
+    /// {a1,a2} and a spurious {a0,a1,a2}. Maximality-first filtering
+    /// would keep only the 3-dim artifact and discard both true cores;
+    /// the independence-null proven-set filter keeps exactly A and B.
+    #[test]
+    fn overlap_artifacts_removed_and_true_cores_resurrected() {
+        let n = 1000;
+        let s0 = Signature::new(vec![iv(0, 0, 0)]);
+        let s1 = Signature::new(vec![iv(1, 2, 2)]);
+        let s2 = Signature::new(vec![iv(2, 4, 4)]);
+        let a = Signature::new(vec![iv(0, 0, 0), iv(1, 2, 2)]);
+        let b = Signature::new(vec![iv(0, 0, 0), iv(2, 4, 4)]);
+        let artifact2 = Signature::new(vec![iv(1, 2, 2), iv(2, 4, 4)]);
+        let artifact3 = Signature::new(vec![iv(0, 0, 0), iv(1, 2, 2), iv(2, 4, 4)]);
+        let table = table_of(&[(&s0, 800.0), (&s1, 450.0), (&s2, 450.0)]);
+        // Interest under independence: A = B = 400/360 ≈ 1.11;
+        // singletons = 1.0; artifacts = 150/202.5 ≈ 0.74 and
+        // 150/162 ≈ 0.93 — both below the true cores covering them.
+        let proven = vec![
+            (s0, 800.0),
+            (s1, 450.0),
+            (s2, 450.0),
+            (a.clone(), 400.0),
+            (b.clone(), 400.0),
+            (artifact2, 150.0),
+            (artifact3, 150.0),
+        ];
+        let kept = filter_redundant_proven(&proven, &table, n);
+        let sigs: Vec<&Signature> = kept.iter().map(|c| &c.signature).collect();
+        assert_eq!(sigs, vec![&a, &b], "kept {sigs:?}");
+    }
+
+    /// A singleton on an attribute no better signature touches is a
+    /// legitimate 1-dim core and must survive both passes.
+    #[test]
+    fn standalone_singleton_survives_proven_filter() {
+        let n = 1000;
+        let s0 = Signature::new(vec![iv(0, 0, 0)]);
+        let s7 = Signature::new(vec![iv(7, 3, 3)]);
+        let pair = Signature::new(vec![iv(0, 0, 0), iv(1, 2, 2)]);
+        let s1 = Signature::new(vec![iv(1, 2, 2)]);
+        let table = table_of(&[(&s0, 500.0), (&s1, 400.0), (&s7, 300.0)]);
+        let proven = vec![(s0, 500.0), (s7.clone(), 300.0), (pair.clone(), 350.0)];
+        let kept = filter_redundant_proven(&proven, &table, n);
+        let sigs: Vec<&Signature> = kept.iter().map(|c| &c.signature).collect();
+        // s0 is covered by the more interesting pair (ratio 1.75);
+        // s7's attribute appears nowhere better, so it stays.
+        assert_eq!(sigs, vec![&s7, &pair]);
+    }
+
+    /// Equal interest never triggers Eq. 5 (strict ordering), but the
+    /// maximality pass still drops a strict subsignature of another
+    /// survivor — the case where `cores::filter_maximal`'s
+    /// immediate-subsignature marking would be unsound on the
+    /// non-downward-closed survivor set.
+    #[test]
+    fn maximality_over_survivors_uses_general_containment() {
+        let n = 1000;
+        let s0 = Signature::new(vec![iv(0, 0, 0)]);
+        let s1 = Signature::new(vec![iv(1, 2, 2)]);
+        let s3 = Signature::new(vec![iv(3, 5, 5)]);
+        let triple = Signature::new(vec![iv(0, 0, 0), iv(1, 2, 2), iv(3, 5, 5)]);
+        let table = table_of(&[(&s0, 500.0), (&s1, 400.0), (&s3, 300.0)]);
+        // triple's support equals the independence prediction
+        // (1000·0.5·0.4·0.3 = 60), so its ratio ties the singletons at
+        // 1.0 and Eq. 5 removes nothing; without the intermediate pairs
+        // in the survivor set, only general containment can see that the
+        // singletons sit inside the triple.
+        let proven = vec![
+            (s0, 500.0),
+            (s1, 400.0),
+            (s3, 300.0),
+            (triple.clone(), 60.0),
+        ];
+        let kept = filter_redundant_proven(&proven, &table, n);
+        let sigs: Vec<&Signature> = kept.iter().map(|c| &c.signature).collect();
+        assert_eq!(sigs, vec![&triple]);
+    }
+
+    #[test]
+    fn independence_expected_multiplies_singleton_fractions() {
+        let n = 200;
+        let s0 = Signature::new(vec![iv(0, 0, 0)]);
+        let s1 = Signature::new(vec![iv(1, 2, 2)]);
+        let pair = Signature::new(vec![iv(0, 0, 0), iv(1, 2, 2)]);
+        let table = table_of(&[(&s0, 100.0), (&s1, 50.0)]);
+        let expected = independence_expected(&pair, &table, n);
+        assert!((expected - 200.0 * 0.5 * 0.25).abs() < 1e-12);
+        // A missing singleton falls back to the Eq. 7 width term.
+        let s9 = Signature::new(vec![iv(9, 0, 1)]);
+        let width_only = independence_expected(&s9, &table, n);
+        assert!((width_only - 200.0 * 0.2).abs() < 1e-12);
     }
 
     #[test]

@@ -13,6 +13,11 @@ pub struct Cholesky {
     n: usize,
     /// Row-major lower-triangular factor (upper part is zero).
     l: Vec<f64>,
+    /// `1 / L_ii`, precomputed once so the solve paths — which run per
+    /// point per component in the EM E-step — multiply instead of
+    /// divide. Every solve variant uses the same reciprocal, so they
+    /// all stay bit-identical to each other.
+    inv_diag: Vec<f64>,
 }
 
 impl Cholesky {
@@ -39,7 +44,8 @@ impl Cholesky {
                 }
             }
         }
-        Some(Self { n, l })
+        let inv_diag = (0..n).map(|i| 1.0 / l[i * n + i]).collect();
+        Some(Self { n, l, inv_diag })
     }
 
     /// Factorizes after adding an escalating ridge to the diagonal.
@@ -82,7 +88,7 @@ impl Cholesky {
             for k in 0..i {
                 sum -= self.l[i * self.n + k] * y[k];
             }
-            y[i] = sum / self.l[i * self.n + i];
+            y[i] = sum * self.inv_diag[i];
         }
         y
     }
@@ -98,7 +104,7 @@ impl Cholesky {
             for k in (i + 1)..self.n {
                 sum -= self.l[k * self.n + i] * x[k];
             }
-            x[i] = sum / self.l[i * self.n + i];
+            x[i] = sum * self.inv_diag[i];
         }
         x
     }
@@ -123,7 +129,7 @@ impl Cholesky {
             for k in 0..i {
                 sum -= self.l[i * self.n + k] * y[k];
             }
-            y[i] = sum / self.l[i * self.n + i];
+            y[i] = sum * self.inv_diag[i];
         }
     }
 
@@ -147,7 +153,7 @@ impl Cholesky {
             for (lik, yk) in row.iter().zip(scratch.iter()) {
                 sum -= lik * yk;
             }
-            let yi = sum / self.l[i * self.n + i];
+            let yi = sum * self.inv_diag[i];
             scratch.push(yi);
             dist += yi * yi;
         }
@@ -172,7 +178,7 @@ impl Cholesky {
             for (lik, yk) in row.iter().zip(y[..i].iter()) {
                 sum -= lik * yk;
             }
-            let yi = sum / self.l[i * self.n + i];
+            let yi = sum * self.inv_diag[i];
             y[i] = yi;
             dist += yi * yi;
         }

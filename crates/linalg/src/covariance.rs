@@ -57,7 +57,16 @@ impl CovarianceAccumulator {
 
     /// Adds one observation with weight `w` (weights are EM
     /// responsibilities; pass `1.0` for hard assignments).
-    #[allow(clippy::needless_range_loop)] // indexed form mirrors the math
+    ///
+    /// The scatter update walks row slices with iterators — the same
+    /// `scatter[i][j] += (w·x_i)·x_j` arithmetic in the same order as
+    /// the indexed form (bit-identical), with bounds checks hoisted so
+    /// the fixed-length inner loop vectorizes. (A packed-triangle
+    /// variant halves the multiply-adds but benchmarks ~2x slower: the
+    /// ragged row lengths defeat vectorization.) `#[inline]` because
+    /// the workspace builds without cross-crate LTO and this is the
+    /// hottest call in `p3c_core::em::estep_blocked`.
+    #[inline]
     pub fn push(&mut self, x: &[f64], w: f64) {
         debug_assert_eq!(x.len(), self.dim);
         if w == 0.0 {
@@ -66,10 +75,10 @@ impl CovarianceAccumulator {
         for (li, &xi) in self.linear.iter_mut().zip(x) {
             *li += w * xi;
         }
-        for i in 0..self.dim {
-            let wxi = w * x[i];
-            for j in 0..self.dim {
-                self.scatter[i * self.dim + j] += wxi * x[j];
+        for (row, &xi) in self.scatter.chunks_exact_mut(self.dim.max(1)).zip(x) {
+            let wxi = w * xi;
+            for (s, &xj) in row.iter_mut().zip(x) {
+                *s += wxi * xj;
             }
         }
         self.weight += w;

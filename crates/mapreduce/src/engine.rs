@@ -2,7 +2,7 @@
 
 use crate::api::{Combiner, Emitter, Mapper, Reducer};
 use crate::fault::{FaultPlan, StragglerPlan};
-use crate::kernel::{CommitBoard, CounterLedger, ShuffleBuckets, WorkQueue};
+use crate::kernel::{BlockPartials, CommitBoard, CounterLedger, ShuffleBuckets, WorkQueue};
 use crate::metrics::{ClusterMetrics, DagMetrics, JobMetrics};
 use crate::weight::Weighable;
 use parking_lot::Mutex;
@@ -49,13 +49,7 @@ impl Default for MrConfig {
 
 impl MrConfig {
     fn effective_threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        }
+        crate::pool::resolve_threads(self.threads)
     }
 }
 
@@ -414,61 +408,55 @@ impl Engine {
         // ------------------------------------------------------- reduce --
         // audit: time-ok — wall-clock feeds the reduce_wall metric only.
         let reduce_start = Instant::now();
-        let groups_total = AtomicU64::new(0);
-        let reduce_outputs: Vec<Mutex<Vec<O>>> =
-            (0..num_reducers).map(|_| Mutex::new(Vec::new())).collect();
+        // Pool-of-workers over partitions: each worker claims partition
+        // indices and commits (output, group count) partials that are
+        // merged in partition order below — the metric totals are plain
+        // sums over the ordered partials, so no shared counters needed.
         let part_queue = WorkQueue::new(num_reducers);
-        let active_parts = AtomicU64::new(0);
+        let partials: BlockPartials<(Vec<O>, u64)> = BlockPartials::new(num_reducers);
         let threads = self.config.effective_threads().min(num_reducers).max(1);
-        let scope_result = crossbeam::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|_| {
-                    while let Some(p) = part_queue.claim() {
-                        let mut pairs = partitions[p].take_ordered();
-                        if pairs.is_empty() {
-                            continue;
-                        }
-                        // audit: relaxed-ok — monotonic metric counter.
-                        active_parts.fetch_add(1, Ordering::Relaxed);
-                        // Sort-merge grouping, as Hadoop's shuffle does. The
-                        // stable sort keeps same-key values in split order.
-                        pairs.sort_by(|a, b| a.0.cmp(&b.0));
-                        // Run-length grouping: measure each key's run on the
-                        // sorted slice, then hand the reducer exactly-sized
-                        // value buffers instead of growing one per group.
-                        let mut runs: Vec<usize> = Vec::new();
-                        let mut start = 0;
-                        for i in 1..pairs.len() {
-                            if pairs[i].0 != pairs[start].0 {
-                                runs.push(i - start);
-                                start = i;
-                            }
-                        }
-                        runs.push(pairs.len() - start);
-                        let mut out = Vec::new();
-                        let mut iter = pairs.into_iter();
-                        for &run in &runs {
-                            let mut vs = Vec::with_capacity(run);
-                            let mut key: Option<K> = None;
-                            for (k, v) in iter.by_ref().take(run) {
-                                key.get_or_insert(k);
-                                vs.push(v);
-                            }
-                            // Runs have length >= 1 by construction, so the
-                            // key is always present; an (impossible) empty
-                            // run simply has nothing to reduce.
-                            if let Some(key) = key {
-                                reducer.reduce(&key, vs, &mut out);
-                            }
-                        }
-                        // audit: relaxed-ok — monotonic metric counter.
-                        groups_total.fetch_add(runs.len() as u64, Ordering::Relaxed);
-                        *reduce_outputs[p].lock() = out;
+        let pool_result = crate::pool::run_workers(threads, |_| {
+            while let Some(p) = part_queue.claim() {
+                let mut pairs = partitions[p].take_ordered();
+                if pairs.is_empty() {
+                    partials.commit(p, (Vec::new(), 0));
+                    continue;
+                }
+                // Sort-merge grouping, as Hadoop's shuffle does. The
+                // stable sort keeps same-key values in split order.
+                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                // Run-length grouping: measure each key's run on the
+                // sorted slice, then hand the reducer exactly-sized
+                // value buffers instead of growing one per group.
+                let mut runs: Vec<usize> = Vec::new();
+                let mut start = 0;
+                for i in 1..pairs.len() {
+                    if pairs[i].0 != pairs[start].0 {
+                        runs.push(i - start);
+                        start = i;
                     }
-                });
+                }
+                runs.push(pairs.len() - start);
+                let mut out = Vec::new();
+                let mut iter = pairs.into_iter();
+                for &run in &runs {
+                    let mut vs = Vec::with_capacity(run);
+                    let mut key: Option<K> = None;
+                    for (k, v) in iter.by_ref().take(run) {
+                        key.get_or_insert(k);
+                        vs.push(v);
+                    }
+                    // Runs have length >= 1 by construction, so the
+                    // key is always present; an (impossible) empty
+                    // run simply has nothing to reduce.
+                    if let Some(key) = key {
+                        reducer.reduce(&key, vs, &mut out);
+                    }
+                }
+                partials.commit(p, (out, runs.len() as u64));
             }
         });
-        if scope_result.is_err() {
+        if pool_result.is_err() {
             // A reducer panicked; surface it as a job failure instead of
             // tearing down the process.
             return Err(MrError::Panicked {
@@ -478,11 +466,17 @@ impl Engine {
         }
 
         let mut output = Vec::new();
-        for m in reduce_outputs {
-            output.append(&mut m.into_inner());
+        let mut groups_total = 0u64;
+        let mut active_parts = 0u64;
+        for (mut part_out, groups) in partials.into_ordered() {
+            if groups > 0 {
+                active_parts += 1;
+            }
+            groups_total += groups;
+            output.append(&mut part_out);
         }
-        metrics.reduce_tasks = active_parts.into_inner();
-        metrics.reduce_input_groups = groups_total.into_inner();
+        metrics.reduce_tasks = active_parts;
+        metrics.reduce_input_groups = groups_total;
         metrics.output_records = output.len() as u64;
         metrics.reduce_wall = reduce_start.elapsed();
         self.ledger.lock().record(metrics.clone());
@@ -702,49 +696,45 @@ where
         return None;
     }
     let threads = config.effective_threads().min(splits.len()).max(1);
-    let scope_result = crossbeam::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| {
-                // Primary pass: pull tasks off the queue.
-                loop {
-                    if shared.error.lock().is_some() {
-                        return;
-                    }
-                    let Some(idx) = shared.queue.claim() else {
-                        break;
-                    };
-                    run_attempt(config, job_name, splits, shared, &commit, mapper, idx, true);
+    let pool_result = crate::pool::run_workers(threads, |_| {
+        // Primary pass: pull tasks off the queue.
+        loop {
+            if shared.error.lock().is_some() {
+                return;
+            }
+            let Some(idx) = shared.queue.claim() else {
+                break;
+            };
+            run_attempt(config, job_name, splits, shared, &commit, mapper, idx, true);
+        }
+        // Speculative pass: back up still-running tasks.
+        if !config.speculative {
+            return;
+        }
+        loop {
+            if shared.all_done() || shared.error.lock().is_some() {
+                return;
+            }
+            let mut launched = false;
+            for idx in 0..shared.num_splits() {
+                if shared.is_done(idx) {
+                    continue;
                 }
-                // Speculative pass: back up still-running tasks.
-                if !config.speculative {
-                    return;
-                }
-                loop {
-                    if shared.all_done() || shared.error.lock().is_some() {
-                        return;
-                    }
-                    let mut launched = false;
-                    for idx in 0..shared.num_splits() {
-                        if shared.is_done(idx) {
-                            continue;
-                        }
-                        // audit: relaxed-ok — monotonic metric counter.
-                        shared.speculative_attempts.fetch_add(1, Ordering::Relaxed);
-                        run_attempt(
-                            config, job_name, splits, shared, &commit, mapper, idx, false,
-                        );
-                        launched = true;
-                    }
-                    if !launched {
-                        // Everything is claimed but not yet flagged done;
-                        // yield briefly.
-                        std::thread::yield_now();
-                    }
-                }
-            });
+                // audit: relaxed-ok — monotonic metric counter.
+                shared.speculative_attempts.fetch_add(1, Ordering::Relaxed);
+                run_attempt(
+                    config, job_name, splits, shared, &commit, mapper, idx, false,
+                );
+                launched = true;
+            }
+            if !launched {
+                // Everything is claimed but not yet flagged done;
+                // yield briefly.
+                std::thread::yield_now();
+            }
         }
     });
-    if scope_result.is_err() {
+    if pool_result.is_err() {
         // A mapper panicked; fail the job rather than the process.
         return Some(MrError::Panicked {
             job: job_name.to_string(),

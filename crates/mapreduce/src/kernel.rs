@@ -163,6 +163,54 @@ impl<T> ShuffleBuckets<T> {
     }
 }
 
+/// Per-block partial-result board for the worker pool: one slot per
+/// block, committed in any order by whichever worker claimed the block,
+/// merged by the caller in **fixed block-index order**.
+///
+/// This is the kernel behind [`crate::pool::parallel_for_blocks`] and
+/// the engine's reduce phase: combined with [`WorkQueue`]'s unique
+/// claims it guarantees that every block's partial is produced exactly
+/// once and that the merge order — and therefore any f64 reduction over
+/// the partials — is independent of scheduling (DESIGN.md §11).
+#[derive(Debug)]
+pub struct BlockPartials<T> {
+    slots: Mutex<Vec<Option<T>>>,
+}
+
+impl<T> BlockPartials<T> {
+    /// A board with `num_blocks` empty slots.
+    pub fn new(num_blocks: usize) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(num_blocks, || None);
+        Self {
+            slots: Mutex::new(slots),
+        }
+    }
+
+    /// Commits the partial of `block`. Each block must be committed at
+    /// most once ([`WorkQueue`] hands every index to exactly one
+    /// worker); a double commit panics.
+    pub fn commit(&self, block: usize, value: T) {
+        let mut slots = self.slots.lock();
+        assert!(
+            slots[block].is_none(),
+            "block {block} committed twice — claims must be unique"
+        );
+        slots[block] = Some(value);
+    }
+
+    /// Consumes the board, returning the partials in block-index order.
+    /// Panics if any block never committed.
+    pub fn into_ordered(self) -> Vec<T> {
+        let slots = self.slots.into_inner();
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| slot.unwrap_or_else(|| panic!("block {i} never committed")))
+            .collect()
+    }
+}
+
 /// Aggregates user counters from concurrently finishing tasks; totals
 /// are exact because every merge happens under one lock, and iteration
 /// order is stable because the ledger is a `BTreeMap`.
@@ -243,6 +291,31 @@ mod tests {
         assert_eq!(buckets.take_ordered(), vec![10, 11, 30]);
         // Drained: a second take is empty.
         assert_eq!(buckets.take_ordered(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn block_partials_merge_in_block_order() {
+        let partials = BlockPartials::new(3);
+        partials.commit(2, "c");
+        partials.commit(0, "a");
+        partials.commit(1, "b");
+        assert_eq!(partials.into_ordered(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "committed twice")]
+    fn block_partials_reject_double_commit() {
+        let partials = BlockPartials::new(2);
+        partials.commit(0, 1);
+        partials.commit(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "never committed")]
+    fn block_partials_require_every_block() {
+        let partials = BlockPartials::new(2);
+        partials.commit(0, 1);
+        let _ = partials.into_ordered();
     }
 
     #[test]

@@ -108,6 +108,7 @@ pub mod engine;
 pub mod fault;
 pub mod kernel;
 pub mod metrics;
+pub mod pool;
 pub mod weight;
 
 pub use api::{Combiner, Emitter, Mapper, Reducer};
@@ -124,4 +125,5 @@ pub use dataset::{
 pub use engine::{stable_partition, Engine, JobOutput, MrConfig, MrError};
 pub use fault::FaultPlan;
 pub use metrics::{ClusterMetrics, DagMetrics, DagNodeMetrics, JobMetrics};
+pub use pool::{parallel_for_blocks, parallel_for_blocks_with, resolve_threads, run_workers};
 pub use weight::Weighable;

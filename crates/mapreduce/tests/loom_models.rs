@@ -19,10 +19,13 @@
 //! * [`ShuffleBuckets`] drains in split order no matter which producer
 //!   commits first — the order-determinism keystone.
 //! * [`CounterLedger`] totals are exact under concurrent merges.
+//! * [`BlockPartials`] + [`WorkQueue`] — the worker-pool kernel behind
+//!   `parallel_for_blocks` (DESIGN.md §11) — merges per-block partials
+//!   in block order regardless of which worker claims which block.
 #![cfg(loom)]
 
 use p3c_loom::{model, thread};
-use p3c_mapreduce::kernel::{CommitBoard, CounterLedger, ShuffleBuckets, WorkQueue};
+use p3c_mapreduce::kernel::{BlockPartials, CommitBoard, CounterLedger, ShuffleBuckets, WorkQueue};
 use std::sync::Arc;
 
 /// Two workers race to drain a three-item queue: across every schedule,
@@ -126,6 +129,42 @@ fn counter_ledger_merges_are_exact() {
         assert_eq!(snapshot["records"], 5);
         assert_eq!(snapshot["bytes"], 16);
     });
+}
+
+/// The worker-pool block kernel in miniature — the claim/commit/merge
+/// discipline of `parallel_for_blocks` (DESIGN.md §11): two workers
+/// drain a three-block queue, each committing a per-block partial
+/// (here `block * 10`, standing in for a per-block f64 reduction). In
+/// every schedule each block is claimed and committed exactly once,
+/// and the merged sequence comes back in block-index order — so the
+/// caller's fold over the partials cannot depend on scheduling.
+#[test]
+fn block_partials_merge_order_is_schedule_independent() {
+    let executions = model(|| {
+        let queue = Arc::new(WorkQueue::new(3));
+        let partials = Arc::new(BlockPartials::new(3));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let partials = Arc::clone(&partials);
+                thread::spawn(move || {
+                    while let Some(block) = queue.claim() {
+                        partials.commit(block, block * 10);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join_unwrap();
+        }
+        let partials = Arc::into_inner(partials).expect("all workers joined");
+        assert_eq!(
+            partials.into_ordered(),
+            vec![0, 10, 20],
+            "partials merge in block order in every schedule"
+        );
+    });
+    assert!(executions > 1, "model explored more than one schedule");
 }
 
 /// The full map-commit protocol in miniature: workers claim splits from

@@ -68,7 +68,9 @@ pub fn quartiles(values: &[f64]) -> Option<(f64, f64)> {
     Some((q(0.25), q(0.75)))
 }
 
-/// Interquartile range (Q3 − Q1) using the nearest-rank quartile estimate.
+/// Interquartile range (Q3 − Q1) using the linearly interpolated
+/// quartiles of [`quartiles`] (the "R-7" estimate at p·(n−1); not
+/// nearest-rank, which would snap to sample values).
 pub fn iqr(values: &[f64]) -> Option<f64> {
     quartiles(values).map(|(q1, q3)| q3 - q1)
 }
@@ -176,6 +178,19 @@ mod tests {
         assert!(iqr(&[1.0]).is_none());
         assert!(iqr(&[]).is_none());
         assert!(quartiles(&[1.0]).is_none());
+    }
+
+    #[test]
+    fn quartiles_interpolate_between_order_statistics() {
+        // Three points: quartile indices fall at 0.25·2 = 0.5 and
+        // 0.75·2 = 1.5, *between* order statistics. Nearest-rank would
+        // return sample values (10 or 20 / 20 or 40); linear
+        // interpolation gives 15 and 30, so IQR = 15.
+        let v = [10.0, 20.0, 40.0];
+        let (q1, q3) = quartiles(&v).unwrap();
+        assert!((q1 - 15.0).abs() < 1e-12, "q1 = {q1}");
+        assert!((q3 - 30.0).abs() < 1e-12, "q3 = {q3}");
+        assert!((iqr(&v).unwrap() - 15.0).abs() < 1e-12);
     }
 
     #[test]

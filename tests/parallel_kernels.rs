@@ -1,0 +1,184 @@
+//! Bit-identity of the block-parallel serial-path kernels (DESIGN.md
+//! §11): the EM E-step ([`estep_blocked`]) and the columnar binning
+//! scan ([`build_histograms_columnar_threads`]) must produce outputs
+//! that are **bit-for-bit identical for every thread count**, because
+//! both use the same block structure and merge per-block partials in
+//! fixed block-index order regardless of scheduling.
+//!
+//! Sizes are chosen to exercise arbitrary block boundaries: below one
+//! block, exactly one block, one-past-a-boundary, and many blocks with
+//! a ragged tail.
+
+use p3c_suite::core::em::{
+    em_fit, em_fit_threads, estep_blocked, initialize_from_cores, Component, MixtureModel,
+};
+use p3c_suite::core::histogram::{build_histograms_columnar, build_histograms_columnar_threads};
+use p3c_suite::core::{Interval, Signature};
+use p3c_suite::linalg::{CovarianceAccumulator, Matrix};
+
+/// Cheap deterministic value stream (xorshift64*) — no RNG crate needed
+/// and stable across platforms.
+fn stream(seed: u64) -> impl FnMut() -> f64 {
+    let mut s = seed.wrapping_mul(2685821657736338717).max(1);
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn accs_bits(accs: &[CovarianceAccumulator]) -> Vec<(u64, Vec<u64>, Vec<u64>)> {
+    accs.iter()
+        .map(|a| {
+            let mean: Vec<u64> = a
+                .mean()
+                .unwrap_or_default()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let cov = a.covariance_ml();
+            let d = a.dim();
+            let mut cov_bits = Vec::new();
+            if let Some(cov) = cov {
+                for i in 0..d {
+                    for j in 0..d {
+                        cov_bits.push(cov[(i, j)].to_bits());
+                    }
+                }
+            }
+            (a.total_weight().to_bits(), mean, cov_bits)
+        })
+        .collect()
+}
+
+/// A 3-component mixture over 2 of 4 attributes, away from the trivial
+/// identity layout, so projection and per-component solves all matter.
+fn test_model() -> MixtureModel {
+    let comps = [(0.2, 0.3, 0.45), (0.7, 0.6, 0.35), (0.4, 0.8, 0.2)]
+        .iter()
+        .map(|&(mx, my, w)| {
+            let mut cov = Matrix::identity(2);
+            cov[(0, 0)] = 0.02;
+            cov[(1, 1)] = 0.03;
+            cov[(0, 1)] = 0.005;
+            cov[(1, 0)] = 0.005;
+            Component {
+                mean: vec![mx, my],
+                cov,
+                weight: w,
+            }
+        })
+        .collect();
+    MixtureModel {
+        arel: vec![1, 3],
+        components: comps,
+    }
+}
+
+#[test]
+fn estep_is_bit_identical_across_thread_counts() {
+    let model = test_model();
+    let eval = model.evaluator();
+    // Block size is 128 points: cover sub-block, exact-block, ragged
+    // multi-block, and larger ragged cases.
+    for n in [1usize, 127, 128, 129, 1000, 2500] {
+        let mut next = stream(n as u64 + 7);
+        let proj: Vec<f64> = (0..n * 2).map(|_| next()).collect();
+        let (base_accs, base_ll) = estep_blocked(&eval, &proj, 1);
+        for threads in [2usize, 8] {
+            let (accs, ll) = estep_blocked(&eval, &proj, threads);
+            assert_eq!(
+                ll.to_bits(),
+                base_ll.to_bits(),
+                "loglik differs at n={n}, threads={threads}"
+            );
+            assert_eq!(
+                accs_bits(&accs),
+                accs_bits(&base_accs),
+                "accumulators differ at n={n}, threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn em_fit_is_bit_identical_across_thread_counts() {
+    // Two separable blobs in attributes {1, 3} of a 4-dim dataset.
+    let mut next = stream(42);
+    let mut data: Vec<Vec<f64>> = Vec::new();
+    for i in 0..600 {
+        let (cx, cy) = if i % 2 == 0 { (0.2, 0.25) } else { (0.75, 0.8) };
+        data.push(vec![
+            next(),
+            cx + (next() - 0.5) * 0.1,
+            next(),
+            cy + (next() - 0.5) * 0.1,
+        ]);
+    }
+    let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+    let sig = |a_lo: usize| {
+        Signature::new(vec![
+            Interval::new(1, a_lo, a_lo + 2, 10),
+            Interval::new(3, a_lo, a_lo + 2, 10),
+        ])
+    };
+    let cores = vec![
+        p3c_suite::core::cores::ClusterCore {
+            signature: sig(1),
+            support: 300.0,
+            expected: 1.0,
+        },
+        p3c_suite::core::cores::ClusterCore {
+            signature: sig(7),
+            support: 300.0,
+            expected: 1.0,
+        },
+    ];
+    let init = initialize_from_cores(&cores, &rows, &[1, 3]);
+    let base = em_fit(init.clone(), &rows, 10, 1e-6);
+    for threads in [2usize, 8] {
+        let fit = em_fit_threads(init.clone(), &rows, 10, 1e-6, threads);
+        assert_eq!(fit.iterations, base.iterations, "threads={threads}");
+        let base_bits: Vec<u64> = base.loglik_history.iter().map(|v| v.to_bits()).collect();
+        let bits: Vec<u64> = fit.loglik_history.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            bits, base_bits,
+            "loglik history differs at threads={threads}"
+        );
+        for (a, b) in fit.model.components.iter().zip(&base.model.components) {
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+            let mean_a: Vec<u64> = a.mean.iter().map(|v| v.to_bits()).collect();
+            let mean_b: Vec<u64> = b.mean.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(mean_a, mean_b, "means differ at threads={threads}");
+            for i in 0..2 {
+                for j in 0..2 {
+                    assert_eq!(
+                        a.cov[(i, j)].to_bits(),
+                        b.cov[(i, j)].to_bits(),
+                        "cov differs at threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn columnar_histograms_are_bit_identical_across_thread_counts() {
+    // d=4 → 8192 rows per scan block: cover sub-block, multi-block with
+    // a ragged tail, and a block-boundary-exact size.
+    for (n, d) in [(100usize, 4usize), (8192, 4), (20000, 4), (3000, 7)] {
+        let mut next = stream((n + d) as u64);
+        let data: Vec<f64> = (0..n * d).map(|_| next()).collect();
+        let bins: Vec<usize> = (0..d).map(|j| 5 + j).collect();
+        let base = build_histograms_columnar(n, d, &data, &bins);
+        for threads in [2usize, 8] {
+            let par = build_histograms_columnar_threads(n, d, &data, &bins, threads);
+            assert_eq!(
+                par, base,
+                "histograms differ at n={n}, d={d}, threads={threads}"
+            );
+        }
+    }
+}
