@@ -4,12 +4,13 @@
 # Tier 1 (must always pass, run first):
 #   cargo build --release
 #   cargo test -q
-# Then: the parallel-kernel bit-identity tests swept over P3C_THREADS,
-# the kernels and codec microbenchmarks at smoke scale, archiving
-# target/ci/BENCH_{kernels,codec}.json (results/ keeps the committed
-# full-scale numbers; the smoke runs must not overwrite them), and a
-# rustdoc pass with warnings denied (missing docs on the data-plane
-# crates and broken intra-doc links fail the build).
+# Then: the tier-1 suite re-run under the multi-process shuffle backend
+# (P3C_BACKEND=process:2), the parallel-kernel bit-identity tests swept
+# over P3C_THREADS, the kernels/codec/backend benchmarks at smoke scale,
+# archiving target/ci/BENCH_{kernels,codec,backend}.json (results/ keeps
+# the committed full-scale numbers; the smoke runs must not overwrite
+# them), and a rustdoc pass with warnings denied (missing docs on the
+# data-plane crates and broken intra-doc links fail the build).
 # Tier 2 (lint + formatting + invariants):
 #   cargo clippy --all-targets -- -D warnings
 #   cargo fmt --check
@@ -19,11 +20,30 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# Offline bootstrap: stage the committed dependency stubs (no-op when
+# the build environment already provides /tmp/stubs) and keep the cargo
+# registry off the network-less home directory.
+./scripts/stage-stubs.sh
+export CARGO_HOME="${CARGO_HOME:-/tmp/carghome}"
+
 echo "==> tier 1: cargo build --release"
 cargo build --release
 
 echo "==> tier 1: cargo test -q"
 cargo test -q
+
+# Workspace binaries the later legs invoke (experiments, the p3c CLI
+# that hosts the worker subcommand, the audit tool) are not part of the
+# root package; build them all explicitly.
+echo "==> workspace binaries: cargo build --release --workspace"
+cargo build --release --workspace
+
+# The whole tier-1 suite again, but with every engine defaulting to the
+# multi-process backend: two worker subprocesses per engine holding the
+# shuffle behind the length-prefixed TCP protocol (DESIGN.md §12). The
+# suite's byte-identity assertions then hold across the real data plane.
+echo "==> process backend (2 workers): tier-1 suite over the TCP shuffle"
+P3C_BACKEND=process:2 P3C_WORKER_BIN="$PWD/target/release/p3c" cargo test -q
 
 # The parallel kernels must be bit-identical across thread counts
 # (DESIGN.md §11). The tests sweep threads {1, 2, 8} internally; the
@@ -40,6 +60,11 @@ test -s target/ci/BENCH_kernels.json
 echo "==> codec microbenchmark (smoke) -> target/ci/BENCH_codec.json"
 ./target/release/experiments --smoke --out target/ci codec > /dev/null
 test -s target/ci/BENCH_codec.json
+
+echo "==> backend benchmark (smoke) -> target/ci/BENCH_backend.json"
+P3C_WORKER_BIN="$PWD/target/release/p3c" \
+    ./target/release/experiments --smoke --out target/ci backend > /dev/null
+test -s target/ci/BENCH_backend.json
 
 echo "==> rustdoc (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

@@ -5,7 +5,7 @@
 //!             [EXPERIMENT...]
 //!
 //! EXPERIMENT ∈ {fig1, fig4, fig5, fig6, fig7, huge, colon, bins, measures,
-//!               stragglers, dag, kernels, codec, all}
+//!               stragglers, dag, kernels, codec, backend, all}
 //! ```
 //!
 //! Results are printed and written to `<out>/<id>.{json,md}`
@@ -53,6 +53,7 @@ fn main() -> ExitCode {
             "dag",
             "kernels",
             "codec",
+            "backend",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -80,6 +81,7 @@ fn main() -> ExitCode {
             "dag" => experiments::dag(&scale),
             "kernels" => experiments::kernels(&scale),
             "codec" => experiments::codec(&scale),
+            "backend" => experiments::backend(&scale),
             other => die(&format!("unknown experiment {other}")),
         };
         println!("{}", report.to_markdown());
@@ -106,6 +108,6 @@ fn die(msg: &str) -> ! {
 fn print_help() {
     eprintln!(
         "usage: experiments [--scale F] [--dims D] [--seed S] [--smoke] [--out DIR] [EXPERIMENT...]\n\
-         experiments: fig1 fig4 fig5 fig6 fig7 huge colon bins measures stragglers dag kernels codec all (default: all)"
+         experiments: fig1 fig4 fig5 fig6 fig7 huge colon bins measures stragglers dag kernels codec backend all (default: all)"
     );
 }

@@ -1241,6 +1241,100 @@ pub fn codec(scale: &Scale) -> Report {
     report
 }
 
+// ---------------------------------------------------------------- backend --
+
+/// Shuffle-backend comparison (DESIGN.md §12): the same MR-Light
+/// clustering over the in-process passthrough, the in-process shuffle
+/// service, and worker subprocesses behind the length-prefixed TCP
+/// protocol. Reports wall clock and the data-plane counters, and checks
+/// every backend's clustering byte-for-byte against the local baseline.
+/// Emits `BENCH_backend.json`.
+///
+/// The `process:N` rows need the `p3c` binary that hosts the worker
+/// subcommand (a `target/release` sibling of `experiments`, or
+/// `P3C_WORKER_BIN`); when it is missing they degrade to a note instead
+/// of failing the suite.
+pub fn backend(scale: &Scale) -> Report {
+    use p3c_mapreduce::distrib::BackendChoice;
+
+    let mut report = Report::new(
+        "BENCH_backend",
+        "Shuffle backends: in-memory passthrough vs shuffle service vs worker subprocesses",
+        &[
+            "backend",
+            "wall",
+            "shuffle fetches",
+            "shuffle MB moved",
+            "worker restarts",
+            "identical to local",
+        ],
+    );
+    let data = generate(&spec(scale, scale.size(50_000), 5, 0.10, 77)).dataset;
+    let params = experiment_params();
+    let choices = [
+        ("local", BackendChoice::Local),
+        ("local-shuffle", BackendChoice::LocalShuffle),
+        (
+            "process:2",
+            BackendChoice::Process {
+                workers: 2,
+                kill: None,
+            },
+        ),
+        (
+            "process:4",
+            BackendChoice::Process {
+                workers: 4,
+                kill: None,
+            },
+        ),
+    ];
+    let mut baseline: Option<Clustering> = None;
+    for (label, choice) in choices {
+        let eng = Engine::new(MrConfig {
+            num_reducers: 8,
+            split_size: 8192,
+            backend: choice,
+            ..MrConfig::default()
+        });
+        let start = Instant::now();
+        let result = P3cPlusMrLight::new(&eng, params.clone()).cluster(&data);
+        let wall = start.elapsed();
+        match result {
+            Ok(res) => {
+                let jobs = eng.cluster_metrics();
+                let sum = |f: fn(&p3c_mapreduce::JobMetrics) -> u64| -> u64 {
+                    jobs.jobs().iter().map(f).sum()
+                };
+                let identical = match &baseline {
+                    None => {
+                        baseline = Some(res.clustering.clone());
+                        "baseline".to_string()
+                    }
+                    Some(b) => (res.clustering == *b).to_string(),
+                };
+                report.push_row(vec![
+                    label.to_string(),
+                    secs(wall),
+                    sum(|j| j.shuffle_fetches).to_string(),
+                    f3(sum(|j| j.shuffle_bytes_moved) as f64 / 1e6),
+                    sum(|j| j.worker_restarts).to_string(),
+                    identical,
+                ]);
+            }
+            Err(e) => {
+                report.push_note(format!("{label}: unavailable ({e})"));
+            }
+        }
+    }
+    report.push_note(
+        "Every backend must reproduce the local clustering byte-for-byte; \
+         the process rows additionally exercise worker spawn, the TCP \
+         frame protocol, and checksum-verified fetches.",
+    );
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,7 +1,7 @@
 //! Argument parsing for the `p3c` binary (hand-rolled: the workspace's
 //! dependency budget has no CLI framework, and the grammar is small).
 
-use p3c_mapreduce::SchedulerChoice;
+use p3c_mapreduce::{BackendChoice, SchedulerChoice};
 use std::fmt;
 
 /// Which algorithm to run.
@@ -102,6 +102,11 @@ pub enum Command {
         /// env or 1 for kernels; all cores for the engine). Results
         /// are bit-identical for every value.
         threads: Option<usize>,
+        /// Execution backend for the MR algorithms (`local`,
+        /// `local-shuffle`, `process[:N]`). `None` keeps the default
+        /// (`P3C_BACKEND` env or the in-process engine). Results are
+        /// byte-identical across backends and worker counts.
+        backend: Option<BackendChoice>,
     },
     /// Generate a synthetic dataset to a file.
     Generate {
@@ -110,6 +115,14 @@ pub enum Command {
         noise: f64,
         seed: u64,
         out: String,
+    },
+    /// Run as a shuffle worker subprocess (spawned by the process
+    /// backend, not invoked by hand).
+    Worker {
+        /// Master address to dial back (`host:port`).
+        connect: String,
+        /// Worker id assigned by the master.
+        id: u64,
     },
     /// Print usage.
     Help,
@@ -144,9 +157,10 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ParseError> {
         }
         Some("cluster") => parse_cluster(&mut it)?,
         Some("generate") => parse_generate(&mut it)?,
+        Some("worker") => parse_worker(&mut it)?,
         Some(other) => {
             return Err(ParseError(format!(
-                "unknown command '{other}' (expected cluster | generate | help)"
+                "unknown command '{other}' (expected cluster | generate | worker | help)"
             )))
         }
     };
@@ -174,6 +188,7 @@ fn parse_cluster<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, 
     let mut scheduler = SchedulerChoice::Serial;
     let mut metrics_json = None;
     let mut threads = None;
+    let mut backend = None;
     while let Some(arg) = it.next() {
         match arg {
             "--input" | "-i" => input = Some(next_value(it, arg)?.to_string()),
@@ -231,6 +246,9 @@ fn parse_cluster<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, 
                         .map_err(|_| ParseError("bad --threads value".into()))?,
                 );
             }
+            "--backend" => {
+                backend = Some(BackendChoice::parse(next_value(it, arg)?).map_err(ParseError)?);
+            }
             other => return Err(ParseError(format!("unknown flag '{other}'"))),
         }
     }
@@ -265,6 +283,30 @@ fn parse_cluster<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, 
         scheduler,
         metrics_json,
         threads,
+        backend,
+    })
+}
+
+fn parse_worker<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, ParseError> {
+    let mut connect = None;
+    let mut id = None;
+    while let Some(arg) = it.next() {
+        match arg {
+            "--connect" => connect = Some(next_value(it, arg)?.to_string()),
+            "--id" => {
+                id = Some(
+                    next_value(it, arg)?
+                        .parse()
+                        .map_err(|_| ParseError("bad --id value".into()))?,
+                );
+            }
+            other => return Err(ParseError(format!("unknown flag '{other}'"))),
+        }
+    }
+    let connect = connect.ok_or_else(|| ParseError("worker needs --connect HOST:PORT".into()))?;
+    Ok(Command::Worker {
+        connect,
+        id: id.unwrap_or(0),
     })
 }
 
@@ -320,6 +362,7 @@ p3c — projected clustering (P3C / P3C+ / P3C+-MR / BoW)
 USAGE:
   p3c cluster (--input FILE | --synthetic NxD) [OPTIONS]
   p3c generate --synthetic NxD --out FILE [OPTIONS]
+  p3c worker --connect HOST:PORT [--id N]
   p3c help
 
 CLUSTER OPTIONS:
@@ -334,10 +377,17 @@ CLUSTER OPTIONS:
       --metrics-json F   dump job + DAG metrics as JSON to file F
   -t, --threads N        worker threads for the engine and kernels
                          (0 = all cores; results are bit-identical)
+      --backend B        local | local-shuffle | process[:N] — MR
+                         execution backend (byte-identical results;
+                         default honours P3C_BACKEND)
 
 GENERATE OPTIONS:
   -k, --clusters K / --noise FRAC / --seed SEED as above
       --out FILE         destination (text format)
+
+WORKER OPTIONS (spawned by the process backend, not run by hand):
+      --connect ADDR     master address to dial back
+      --id N             worker id assigned by the master         [0]
 ";
 
 #[cfg(test)]
@@ -455,6 +505,56 @@ mod tests {
         }
         let err = parse(&args("cluster --synthetic 1000x10 --scheduler turbo")).unwrap_err();
         assert!(err.0.contains("unknown scheduler"));
+    }
+
+    #[test]
+    fn backend_flag() {
+        let parsed = parse(&args(
+            "cluster --synthetic 1000x10 -a mr --backend process:3",
+        ))
+        .unwrap();
+        match parsed.command {
+            Command::Cluster { backend, .. } => {
+                assert_eq!(
+                    backend,
+                    Some(BackendChoice::Process {
+                        workers: 3,
+                        kill: None
+                    })
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let parsed = parse(&args("cluster --synthetic 1000x10")).unwrap();
+        match parsed.command {
+            Command::Cluster { backend, .. } => assert_eq!(backend, None),
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse(&args("cluster --synthetic 1000x10 --backend warp")).unwrap_err();
+        assert!(err.0.contains("unknown backend"));
+    }
+
+    #[test]
+    fn worker_command() {
+        let parsed = parse(&args("worker --connect 127.0.0.1:9999 --id 3")).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Worker {
+                connect: "127.0.0.1:9999".to_string(),
+                id: 3
+            }
+        );
+        // id defaults to 0; --connect is mandatory.
+        let parsed = parse(&args("worker --connect h:1")).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Worker {
+                connect: "h:1".to_string(),
+                id: 0
+            }
+        );
+        let err = parse(&args("worker --id 1")).unwrap_err();
+        assert!(err.0.contains("--connect"));
     }
 
     #[test]

@@ -9,7 +9,7 @@ use p3c_core::p3cplus::{P3cPlus, P3cPlusLight};
 use p3c_datagen::{generate, SyntheticSpec};
 use p3c_dataset::{persist, Clustering, Dataset};
 use p3c_eval::e4sc;
-use p3c_mapreduce::{Engine, MrConfig, SchedulerChoice};
+use p3c_mapreduce::{BackendChoice, Engine, MrConfig, SchedulerChoice};
 use std::fmt;
 
 /// Execution errors (I/O, decoding, clustering failures).
@@ -42,6 +42,10 @@ impl From<std::io::Error> for ExecError {
 pub fn execute(parsed: &ParsedArgs) -> Result<String, ExecError> {
     match &parsed.command {
         Command::Help => Ok(crate::args::USAGE.to_string()),
+        Command::Worker { connect, id } => {
+            p3c_mapreduce::distrib::run_worker(connect, *id)?;
+            Ok(String::new())
+        }
         Command::Generate {
             synthetic,
             clusters,
@@ -81,6 +85,7 @@ pub fn execute(parsed: &ParsedArgs) -> Result<String, ExecError> {
             scheduler,
             metrics_json,
             threads,
+            backend,
         } => {
             let (dataset, truth) = match (input, synthetic) {
                 (Some(path), None) => {
@@ -115,8 +120,14 @@ pub fn execute(parsed: &ParsedArgs) -> Result<String, ExecError> {
             if let Some(t) = threads {
                 params.threads = *t;
             }
-            let (clustering, metrics) =
-                run_algorithm(*algorithm, &params, &dataset, *scheduler, *threads)?;
+            let (clustering, metrics) = run_algorithm(
+                *algorithm,
+                &params,
+                &dataset,
+                *scheduler,
+                *threads,
+                backend.clone(),
+            )?;
             let mut text = render(&clustering, *output, *algorithm);
             if *evaluate {
                 if let Some(truth) = &truth {
@@ -148,11 +159,13 @@ fn run_algorithm(
     dataset: &Dataset,
     scheduler: SchedulerChoice,
     threads: Option<usize>,
+    backend: Option<BackendChoice>,
 ) -> Result<(Clustering, p3c_mapreduce::ClusterMetrics), ExecError> {
     let mr_err = |e: p3c_mapreduce::MrError| ExecError::Mr(e.to_string());
     // The serial algorithms run no jobs; their metrics ledger stays empty.
     let engine = Engine::new(MrConfig {
         threads: threads.unwrap_or(0),
+        backend: backend.unwrap_or_default(),
         ..MrConfig::default()
     });
     let clustering = match algorithm {

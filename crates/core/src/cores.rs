@@ -241,6 +241,7 @@ pub fn generate_cluster_cores(
     params: &P3cParams,
 ) -> CoreGenResult {
     let n = rows.len();
+    let threads = params.threads;
     let tester = SupportTester::from_params(params);
     let mut table = SupportTable::new();
     let mut stats = CoreGenStats::default();
@@ -263,12 +264,17 @@ pub fn generate_cluster_cores(
         for (sig, &c) in candidates.iter().zip(&counts) {
             table.insert(sig.clone(), c as f64);
         }
-        // Prove.
+        // Prove: the per-candidate Equation-1 verdicts are independent
+        // reads of the (now frozen) support table, so they run blocked
+        // on the worker pool; assembly stays in candidate order, making
+        // the proven list identical for every thread count.
+        let verdicts = prove_level_blocked(&tester, &candidates, &counts, n, &table, threads);
         let proven: Vec<(Signature, f64)> = candidates
             .iter()
             .zip(&counts)
-            .filter(|(sig, &c)| tester.passes_equation1(sig, c as f64, n, &table))
-            .map(|(sig, &c)| (sig.clone(), c as f64))
+            .zip(&verdicts)
+            .filter(|(_, &ok)| ok)
+            .map(|((sig, &c), _)| (sig.clone(), c as f64))
             .collect();
         stats.proven_per_level.push(proven.len());
 
@@ -289,6 +295,34 @@ pub fn generate_cluster_cores(
         table,
         stats,
     }
+}
+
+/// Candidates per proving block: the Poisson test is cheap per
+/// candidate, so blocks are sized to amortize pool dispatch.
+const PROVE_BLOCK: usize = 64;
+
+/// Runs the Equation-1 test over one level's candidates, blocked at
+/// [`PROVE_BLOCK`] granularity on the engine worker pool. Each block
+/// yields its verdicts in candidate order and blocks are concatenated
+/// in block-index order, so the result is the exact boolean sequence of
+/// the serial scan for every `threads` value (DESIGN.md §11).
+fn prove_level_blocked(
+    tester: &SupportTester,
+    candidates: &[Signature],
+    counts: &[u64],
+    n: usize,
+    table: &SupportTable,
+    threads: usize,
+) -> Vec<bool> {
+    let num_blocks = candidates.len().div_ceil(PROVE_BLOCK);
+    let blocks = p3c_mapreduce::parallel_for_blocks(threads, num_blocks, |b| {
+        let start = b * PROVE_BLOCK;
+        let end = (start + PROVE_BLOCK).min(candidates.len());
+        (start..end)
+            .map(|i| tester.passes_equation1(&candidates[i], counts[i] as f64, n, table))
+            .collect::<Vec<bool>>()
+    });
+    blocks.concat()
 }
 
 /// Applies the `max_candidates_per_level` safety valve to one level.

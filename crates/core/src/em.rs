@@ -389,6 +389,34 @@ pub fn estep_blocked(
     (accs, loglik)
 }
 
+/// Rows per projection-scan block: pure data movement, so blocks are
+/// large to amortize pool dispatch against memory bandwidth.
+const PROJECT_BLOCK_ROWS: usize = 1024;
+
+/// Gathers every row's `arel` attributes into one contiguous row-major
+/// sub-matrix, blocked at `PROJECT_BLOCK_ROWS` granularity on the
+/// engine worker pool. Each block produces its slice of the sub-matrix
+/// and the slices concatenate in block-index order — pure copying, so
+/// the output is byte-identical for every `threads` value.
+pub fn project_rows_blocked(rows: &[&[f64]], arel: &[usize], threads: usize) -> Vec<f64> {
+    let d = arel.len();
+    let num_blocks = rows.len().div_ceil(PROJECT_BLOCK_ROWS);
+    let blocks = p3c_mapreduce::parallel_for_blocks(threads, num_blocks, |b| {
+        let start = b * PROJECT_BLOCK_ROWS;
+        let end = (start + PROJECT_BLOCK_ROWS).min(rows.len());
+        let mut chunk = Vec::with_capacity((end - start) * d);
+        for row in &rows[start..end] {
+            chunk.extend(arel.iter().map(|&a| row[a]));
+        }
+        chunk
+    });
+    let mut proj = Vec::with_capacity(rows.len() * d);
+    for chunk in blocks {
+        proj.extend(chunk);
+    }
+    proj
+}
+
 /// Runs EM to convergence (or `max_iters`) on the calling thread; the
 /// E-step uses the same blocked kernel as [`em_fit_threads`] with one
 /// worker, so results are bit-identical to every thread count.
@@ -415,13 +443,9 @@ pub fn em_fit_threads(
     threads: usize,
 ) -> EmFit {
     let mut model = init;
-    let d = model.arel.len();
     // Project every row into A_rel once; the EM iterations then scan this
     // contiguous sub-matrix instead of re-gathering per row per iteration.
-    let mut proj = Vec::with_capacity(rows.len() * d);
-    for row in rows {
-        proj.extend(model.arel.iter().map(|&a| row[a]));
-    }
+    let proj = project_rows_blocked(rows, &model.arel, threads);
     let mut history: Vec<f64> = Vec::new();
     let mut iterations = 0;
     for _ in 0..max_iters {

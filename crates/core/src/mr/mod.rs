@@ -28,8 +28,9 @@ pub mod pipeline;
 
 pub use pipeline::{P3cPlusMr, P3cPlusMrLight};
 
-use crate::types::Signature;
+use crate::types::{Interval, Signature};
 use p3c_linalg::CovarianceAccumulator;
+use p3c_mapreduce::distrib::{Wire, WireError, WireReader};
 use p3c_mapreduce::Weighable;
 
 /// A signature as a shuffle message (candidate generation output).
@@ -55,10 +56,68 @@ impl Weighable for AccMsg {
     }
 }
 
+impl Wire for SigMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.0.len() as u32).to_le_bytes());
+        for iv in self.0.intervals() {
+            iv.attr.encode(buf);
+            iv.bin_lo.encode(buf);
+            iv.bin_hi.encode(buf);
+            iv.bins.encode(buf);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = r.u32()? as usize;
+        if n > r.remaining() {
+            return Err(WireError::Malformed("signature length exceeds payload"));
+        }
+        let mut intervals = Vec::with_capacity(n);
+        for _ in 0..n {
+            let attr = usize::decode(r)?;
+            let bin_lo = usize::decode(r)?;
+            let bin_hi = usize::decode(r)?;
+            let bins = usize::decode(r)?;
+            intervals.push(Interval::new(attr, bin_lo, bin_hi, bins));
+        }
+        Ok(SigMsg(Signature::new(intervals)))
+    }
+}
+
+impl Wire for AccMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let (dim, linear, scatter, weight, weight_sq, count) = self.0.to_parts();
+        dim.encode(buf);
+        for seq in [linear, scatter] {
+            buf.extend_from_slice(&(seq.len() as u32).to_le_bytes());
+            for v in seq {
+                v.encode(buf);
+            }
+        }
+        weight.encode(buf);
+        weight_sq.encode(buf);
+        count.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let dim = usize::decode(r)?;
+        let linear = Vec::<f64>::decode(r)?;
+        let scatter = Vec::<f64>::decode(r)?;
+        let weight = f64::decode(r)?;
+        let weight_sq = f64::decode(r)?;
+        let count = u64::decode(r)?;
+        if linear.len() != dim || scatter.len() != dim * dim {
+            return Err(WireError::Malformed("accumulator shape mismatch"));
+        }
+        Ok(AccMsg(CovarianceAccumulator::from_parts(
+            dim, linear, scatter, weight, weight_sq, count,
+        )))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::types::Interval;
+    use p3c_mapreduce::distrib::{decode_from_slice, encode_to_vec};
 
     #[test]
     fn message_weights() {
@@ -66,5 +125,33 @@ mod tests {
         assert_eq!(SigMsg(sig).weight(), 4 + 64);
         let acc = CovarianceAccumulator::new(3);
         assert_eq!(AccMsg(acc).weight(), 8 * 12 + 24);
+    }
+
+    #[test]
+    fn sig_msg_wire_roundtrip() {
+        let sig = SigMsg(Signature::new(vec![
+            Interval::new(0, 0, 1, 10),
+            Interval::new(3, 2, 7, 12),
+        ]));
+        let back: SigMsg = decode_from_slice(&encode_to_vec(&sig)).unwrap();
+        assert_eq!(back, sig);
+    }
+
+    #[test]
+    fn acc_msg_wire_roundtrip_bit_identical() {
+        let mut acc = CovarianceAccumulator::new(2);
+        acc.push(&[1.5, -2.25], 0.3);
+        acc.push(&[0.1, 4.0], 1.7);
+        let back: AccMsg = decode_from_slice(&encode_to_vec(&AccMsg(acc.clone()))).unwrap();
+        let (d0, l0, s0, w0, q0, c0) = acc.to_parts();
+        let (d1, l1, s1, w1, q1, c1) = back.0.to_parts();
+        assert_eq!(d0, d1);
+        assert_eq!(c0, c1);
+        // f64 state must survive the wire bit-for-bit.
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(l0), bits(l1));
+        assert_eq!(bits(s0), bits(s1));
+        assert_eq!(w0.to_bits(), w1.to_bits());
+        assert_eq!(q0.to_bits(), q1.to_bits());
     }
 }

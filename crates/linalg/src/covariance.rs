@@ -158,6 +158,48 @@ impl CovarianceAccumulator {
         }
         Some(cov)
     }
+
+    /// Decomposes the accumulator into its raw sums
+    /// `(dim, linear, scatter, weight, weight_sq, count)` — the exact
+    /// state [`CovarianceAccumulator::from_parts`] rebuilds. Used by the
+    /// distributed shuffle codec, which must round-trip accumulators
+    /// bit-identically.
+    pub fn to_parts(&self) -> (usize, &[f64], &[f64], f64, f64, u64) {
+        (
+            self.dim,
+            &self.linear,
+            &self.scatter,
+            self.weight,
+            self.weight_sq,
+            self.count,
+        )
+    }
+
+    /// Rebuilds an accumulator from raw sums produced by
+    /// [`CovarianceAccumulator::to_parts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the vector lengths are inconsistent with `dim`.
+    pub fn from_parts(
+        dim: usize,
+        linear: Vec<f64>,
+        scatter: Vec<f64>,
+        weight: f64,
+        weight_sq: f64,
+        count: u64,
+    ) -> Self {
+        assert_eq!(linear.len(), dim, "linear sum length mismatch");
+        assert_eq!(scatter.len(), dim * dim, "scatter matrix length mismatch");
+        Self {
+            dim,
+            linear,
+            scatter,
+            weight,
+            weight_sq,
+            count,
+        }
+    }
 }
 
 #[cfg(test)]

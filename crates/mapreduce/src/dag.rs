@@ -494,6 +494,7 @@ impl<'e> DagScheduler<'e> {
         let started = Instant::now();
         let n = graph.nodes.len();
         let store_before = store.stats();
+        let jobs_before = self.engine.cluster_metrics().num_jobs();
 
         // ---- validate: unique names, unique producers ----
         let mut producer: BTreeMap<&str, usize> = BTreeMap::new();
@@ -687,8 +688,23 @@ impl<'e> DagScheduler<'e> {
             bytes_saved_by_projection: store_after.bytes_saved_by_projection
                 - store_before.bytes_saved_by_projection,
             evictions: store_after.evictions - store_before.evictions,
+            shuffle_fetches: 0,
+            fetch_retries: 0,
+            worker_restarts: 0,
+            shuffle_bytes_moved: 0,
             wall: started.elapsed(),
         };
+        // Shuffle-backend data-plane totals: sum the per-job counters of
+        // exactly the jobs this run executed (the ledger grows append-only,
+        // so everything past the pre-run snapshot belongs to this run).
+        let mut metrics = metrics;
+        for job in &self.engine.cluster_metrics().jobs()[jobs_before..] {
+            metrics.shuffle_fetches += job.shuffle_fetches;
+            metrics.fetch_retries += job.fetch_retries;
+            metrics.worker_restarts += job.worker_restarts;
+            metrics.shuffle_bytes_moved += job.shuffle_bytes_moved;
+        }
+        let metrics = metrics;
         self.engine.record_dag(metrics.clone());
         match final_state.error {
             Some(e) => Err(e),

@@ -195,6 +195,15 @@ pub enum DatasetError {
         /// The dataset name that was requested.
         name: String,
     },
+    /// A projected read asked for a column the dataset does not have.
+    ColumnOutOfRange {
+        /// The dataset name that was requested.
+        name: String,
+        /// The out-of-range column index.
+        column: usize,
+        /// How many column segments the dataset actually has.
+        segments: usize,
+    },
     /// Store bookkeeping for this entry is inconsistent (e.g. a spilled
     /// entry with no codec or no cached header). Indicates a store bug,
     /// reported as an error instead of a worker panic.
@@ -217,6 +226,16 @@ impl fmt::Display for DatasetError {
                 write!(
                     f,
                     "dataset '{name}' has no segmented codec for projected reads"
+                )
+            }
+            DatasetError::ColumnOutOfRange {
+                name,
+                column,
+                segments,
+            } => {
+                write!(
+                    f,
+                    "dataset '{name}': column {column} out of range ({segments} segments)"
                 )
             }
             DatasetError::Corrupt { name, detail } => {
@@ -689,6 +708,18 @@ impl DatasetStore {
                 name: name.to_string(),
             });
         }
+        // `seg_sizes` is only recorded at spill time, so the range check
+        // applies to spilled entries; in-memory projection delegates to
+        // the codec, which sees the live value's true segment count.
+        if entry.spilled {
+            if let Some(&column) = cols.iter().find(|&&j| j >= entry.seg_sizes.len()) {
+                return Err(DatasetError::ColumnOutOfRange {
+                    name: name.to_string(),
+                    column,
+                    segments: entry.seg_sizes.len(),
+                });
+            }
+        }
         if let Some(value) = entry.value.as_ref() {
             // The `matches!` check above guarantees a segmented codec;
             // re-match instead of unwrapping so a bookkeeping bug
@@ -715,7 +746,6 @@ impl DatasetStore {
                 codec,
                 partial,
                 header,
-                seg_sizes,
                 ..
             } = entry;
             let Some(Codec::Segmented(codec)) = codec.as_ref() else {
@@ -731,12 +761,8 @@ impl DatasetStore {
                 });
             };
             let mut pairs = Vec::with_capacity(cols.len());
+            // Column range was validated against `seg_sizes` up front.
             for &j in cols {
-                assert!(
-                    j < seg_sizes.len(),
-                    "column {j} out of range ({} segments)",
-                    seg_sizes.len()
-                );
                 if let Some(col) = partial.get(&j) {
                     pairs.push((j, Arc::clone(col)));
                 } else {
@@ -1252,6 +1278,25 @@ mod tests {
         let stats2 = store.stats();
         assert_eq!(stats2.segment_reads, 1);
         assert_eq!(stats2.hits, 1);
+    }
+
+    #[test]
+    fn out_of_range_column_is_an_error_not_a_panic() {
+        let store = DatasetStore::with_budget(100);
+        store.put_segmented(&h("data"), rows(1), 64, seg_codec());
+        store.put(&h("filler"), rows(2), 64); // spills "data"
+        let err = store
+            .get_columns::<Vec<Vec<f64>>, ColsView>(&h("data"), &[7])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DatasetError::ColumnOutOfRange {
+                name: "data".to_string(),
+                column: 7,
+                segments: 2,
+            }
+        );
+        assert!(err.to_string().contains("column 7 out of range"));
     }
 
     #[test]

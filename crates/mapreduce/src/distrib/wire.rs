@@ -1,0 +1,512 @@
+//! Binary codec and frame protocol for the distributed backend.
+//!
+//! Shuffle payloads cross a process boundary, so keys and values need a
+//! real serialized form (the in-process engine only ever *estimates*
+//! bytes via [`crate::weight::Weighable`]). [`Wire`] is that form: a
+//! tiny, hand-rolled, little-endian binary codec with one non-negotiable
+//! property — **exact round-trips**. Floats travel as raw IEEE-754 bits
+//! (`to_bits`/`from_bits`), never through text, so a value decoded on
+//! the reducer side is bit-identical to what the mapper emitted. That is
+//! what lets the distributed path keep the engine's byte-determinism
+//! contract (DESIGN.md §5, §12).
+//!
+//! The module also defines the framing used on the master↔worker socket:
+//! `[u32 length][u8 opcode][payload]`, little-endian, with an FNV-1a
+//! checksum over every shuffle partition (see [`fnv1a64`]).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame's payload; anything larger is treated
+/// as a corrupt stream rather than an allocation request.
+pub const MAX_FRAME_LEN: usize = 1 << 30;
+
+// ------------------------------------------------------------ opcodes ---
+
+/// Worker → master greeting carrying the worker id.
+pub const OP_HELLO: u8 = 1;
+/// Master → worker: store one shuffle partition.
+pub const OP_STORE: u8 = 2;
+/// Worker → master: partition stored and checksum verified.
+pub const OP_STORE_OK: u8 = 3;
+/// Master → worker: fetch one shuffle partition.
+pub const OP_FETCH: u8 = 4;
+/// Worker → master: partition bytes plus checksum.
+pub const OP_FETCH_OK: u8 = 5;
+/// Either direction: request failed; payload is `(code, message)`.
+pub const OP_ERR: u8 = 6;
+/// Master → worker: liveness probe.
+pub const OP_PING: u8 = 7;
+/// Worker → master: liveness reply.
+pub const OP_PONG: u8 = 8;
+/// Master → worker: delete every partition of one shuffle id.
+pub const OP_DELETE_SID: u8 = 9;
+/// Master → worker: exit cleanly.
+pub const OP_SHUTDOWN: u8 = 10;
+/// Master → worker (tests only): drop all stored partitions and die
+/// without replying — the injected "node crash".
+pub const OP_KILL: u8 = 11;
+
+/// `OP_ERR` code: the requested partition is not on this worker.
+pub const ERR_NOT_FOUND: u64 = 1;
+/// `OP_ERR` code: stored bytes no longer match their checksum.
+pub const ERR_CORRUPT: u64 = 2;
+/// `OP_ERR` code: the request frame itself could not be decoded.
+pub const ERR_MALFORMED: u64 = 3;
+
+// ------------------------------------------------------------- errors ---
+
+/// Decoding failures of the [`Wire`] codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    Truncated,
+    /// The bytes decoded to an invalid value (bad tag, bad length, or
+    /// trailing garbage).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire payload truncated"),
+            WireError::Malformed(what) => write!(f, "malformed wire payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// -------------------------------------------------------------- codec ---
+
+/// Bounded cursor over a received payload.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over the whole buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next `n` bytes, or errors if the buffer is short.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let mut a = [0u8; N];
+        a.copy_from_slice(self.take(N)?);
+        Ok(a)
+    }
+
+    /// Reads one `u8`.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take_array::<1>()?[0])
+    }
+
+    /// Reads one little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take_array()?))
+    }
+
+    /// Reads one little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take_array()?))
+    }
+
+    /// Reads a `u32` length prefix, bounds-checked against the bytes
+    /// actually remaining so corrupt prefixes cannot drive allocation.
+    pub fn len_prefix(&mut self) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(WireError::Malformed("length prefix exceeds payload"));
+        }
+        Ok(n)
+    }
+}
+
+/// Exact binary serialization for values that cross the wire.
+///
+/// Mirrors the [`crate::weight::Weighable`] family: every key/value type
+/// a job shuffles implements it, compositionally. The contract is exact
+/// round-tripping — `decode(encode(x)) == x` bit-for-bit, floats
+/// included.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+    /// Decodes one value from the reader.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+}
+
+/// Encodes a value into a fresh buffer.
+pub fn encode_to_vec<T: Wire>(value: &T) -> Vec<u8> {
+    let mut buf = Vec::new();
+    value.encode(&mut buf);
+    buf
+}
+
+/// Decodes exactly one value from `buf`; trailing bytes are an error.
+pub fn decode_from_slice<T: Wire>(buf: &[u8]) -> Result<T, WireError> {
+    let mut r = WireReader::new(buf);
+    let value = T::decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(WireError::Malformed("trailing bytes after value"));
+    }
+    Ok(value)
+}
+
+macro_rules! int_wire {
+    ($($t:ty => $u:ty),* $(,)?) => {
+        $(impl Wire for $t {
+            #[inline]
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&(*self as $u).to_le_bytes());
+            }
+            #[inline]
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                Ok(<$u>::from_le_bytes(r.take_array()?) as $t)
+            }
+        })*
+    };
+}
+
+int_wire!(
+    u8 => u8, i8 => u8,
+    u16 => u16, i16 => u16,
+    u32 => u32, i32 => u32,
+    u64 => u64, i64 => u64,
+    // usize travels as 8 bytes so layouts agree across platforms.
+    usize => u64, isize => u64,
+);
+
+impl Wire for f64 {
+    #[inline]
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    #[inline]
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(f64::from_bits(u64::from_le_bytes(r.take_array()?)))
+    }
+}
+
+impl Wire for f32 {
+    #[inline]
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    #[inline]
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(f32::from_bits(u32::from_le_bytes(r.take_array()?)))
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self as u8);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("bool tag")),
+        }
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+    fn decode(_r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = r.len_prefix()?;
+        String::from_utf8(r.take(n)?.to_vec()).map_err(|_| WireError::Malformed("utf-8 string"))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = r.u32()? as usize;
+        // Elements are at least one byte each; reject prefixes that the
+        // remaining payload can't possibly satisfy before allocating.
+        if n > r.remaining() && std::mem::size_of::<T>() > 0 {
+            return Err(WireError::Malformed("vec length exceeds payload"));
+        }
+        let mut out = Vec::with_capacity(n.min(r.remaining().max(1)));
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(WireError::Malformed("option tag")),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Box<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (**self).encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Box::new(T::decode(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+        self.3.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?, D::decode(r)?))
+    }
+}
+
+// ----------------------------------------------------------- checksum ---
+
+/// FNV-1a over a byte slice — the partition checksum recorded by the
+/// `MapOutputTracker` and verified on every store and fetch.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+// ------------------------------------------------------------- frames ---
+
+/// Writes one `[u32 len][u8 opcode][payload]` frame.
+pub fn write_frame(w: &mut impl Write, opcode: u8, payload: &[u8]) -> io::Result<()> {
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&[opcode])?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame; errors on EOF, short reads, or oversized lengths.
+pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
+    let mut head = [0u8; 5];
+    r.read_exact(&mut head)?;
+    let len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap"),
+        ));
+    }
+    let opcode = head[4];
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok((opcode, payload))
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let buf = encode_to_vec(&v);
+        assert_eq!(decode_from_slice::<T>(&buf).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(-5i8);
+        roundtrip(u16::MAX);
+        roundtrip(-12345i16);
+        roundtrip(u32::MAX);
+        roundtrip(i32::MIN);
+        roundtrip(u64::MAX);
+        roundtrip(i64::MIN);
+        roundtrip(usize::MAX);
+        roundtrip(-1isize);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(());
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exact() {
+        for v in [
+            0.0f64,
+            -0.0,
+            1.5,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1.0 / 3.0,
+            f64::EPSILON,
+        ] {
+            let buf = encode_to_vec(&v);
+            let back = decode_from_slice::<f64>(&buf).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+        // NaN payload bits survive too.
+        let nan = f64::from_bits(0x7ff8_dead_beef_0001);
+        let back = decode_from_slice::<f64>(&encode_to_vec(&nan)).unwrap();
+        assert_eq!(back.to_bits(), nan.to_bits());
+        let f = 1.0f32 / 3.0;
+        assert_eq!(
+            decode_from_slice::<f32>(&encode_to_vec(&f))
+                .unwrap()
+                .to_bits(),
+            f.to_bits()
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(String::from("héllo wörld"));
+        roundtrip(String::new());
+        roundtrip(vec![1.5f64, -2.5, 3.25]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(vec![vec![1u32, 2], vec![], vec![3]]);
+        roundtrip(Some(7u64));
+        roundtrip(None::<String>);
+        roundtrip(Box::new(42i64));
+        roundtrip((1usize, 2.5f64));
+        roundtrip((1u8, String::from("k"), vec![0.5f64]));
+        roundtrip((1u8, 2u16, 3u32, 4u64));
+    }
+
+    #[test]
+    fn shuffle_shaped_payloads_roundtrip() {
+        // The shapes the pipelines actually shuffle.
+        roundtrip(vec![(3usize, vec![1.0f64, 2.0]), (9, vec![])]);
+        roundtrip(vec![((1usize, 2usize), (0.25f64, 0.75f64))]);
+        roundtrip(vec![(0usize, (vec![1.0f64], 2.0f64))]);
+    }
+
+    #[test]
+    fn malformed_payloads_are_errors_not_panics() {
+        assert_eq!(
+            decode_from_slice::<u64>(&[1, 2, 3]),
+            Err(WireError::Truncated)
+        );
+        assert!(matches!(
+            decode_from_slice::<bool>(&[9]),
+            Err(WireError::Malformed(_))
+        ));
+        // Truncated string body.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_le_bytes());
+        buf.extend_from_slice(b"ab");
+        assert!(decode_from_slice::<String>(&buf).is_err());
+        // Hostile vec length prefix must not allocate or panic.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_from_slice::<Vec<u64>>(&buf).is_err());
+        // Trailing garbage rejected.
+        let mut buf = encode_to_vec(&1u64);
+        buf.push(0);
+        assert!(matches!(
+            decode_from_slice::<u64>(&buf),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, OP_STORE, b"payload").unwrap();
+        write_frame(&mut buf, OP_PING, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let (op, payload) = read_frame(&mut cursor).unwrap();
+        assert_eq!((op, payload.as_slice()), (OP_STORE, b"payload".as_slice()));
+        let (op, payload) = read_frame(&mut cursor).unwrap();
+        assert_eq!((op, payload.as_slice()), (OP_PING, b"".as_slice()));
+        assert!(read_frame(&mut cursor).is_err(), "EOF is an error");
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.push(OP_STORE);
+        let mut cursor = std::io::Cursor::new(buf);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn fnv_checksum_is_stable_and_sensitive() {
+        // Pinned value: the tracker persists checksums, so the function
+        // must never drift.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+}

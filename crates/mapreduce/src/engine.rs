@@ -1,6 +1,8 @@
 //! The job runner: split → map (thread pool, retries) → shuffle → reduce.
 
 use crate::api::{Combiner, Emitter, Mapper, Reducer};
+use crate::distrib::backend::{Backend, BackendChoice, BackendError, MapOutput, StageSpec};
+use crate::distrib::wire::{decode_from_slice, encode_to_vec, Wire};
 use crate::fault::{FaultPlan, StragglerPlan};
 use crate::kernel::{BlockPartials, CommitBoard, CounterLedger, ShuffleBuckets, WorkQueue};
 use crate::metrics::{ClusterMetrics, DagMetrics, JobMetrics};
@@ -9,6 +11,7 @@ use parking_lot::Mutex;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Engine configuration — the "cluster shape".
@@ -31,6 +34,10 @@ pub struct MrConfig {
     pub speculative: bool,
     /// Maximum attempts per map task before the job aborts (Hadoop default: 4).
     pub max_attempts: usize,
+    /// Where shuffle bytes live between map and reduce (see
+    /// [`crate::distrib`]). The default honours the `P3C_BACKEND`
+    /// environment variable and falls back to the in-process engine.
+    pub backend: BackendChoice,
 }
 
 impl Default for MrConfig {
@@ -43,6 +50,7 @@ impl Default for MrConfig {
             straggler: None,
             speculative: false,
             max_attempts: 4,
+            backend: BackendChoice::default(),
         }
     }
 }
@@ -90,6 +98,14 @@ pub enum MrError {
         /// The phase whose user code panicked (`"map"` or `"reduce"`).
         phase: String,
     },
+    /// The shuffle backend failed in a way recovery could not fix
+    /// (spawn failure, protocol break, or exhausted re-executions).
+    Backend {
+        /// The job being executed.
+        job: String,
+        /// The rendered backend error.
+        message: String,
+    },
 }
 
 impl fmt::Display for MrError {
@@ -111,6 +127,9 @@ impl fmt::Display for MrError {
             MrError::Panicked { job, phase } => {
                 write!(f, "job '{job}': {phase} phase panicked in user code")
             }
+            MrError::Backend { job, message } => {
+                write!(f, "job '{job}': shuffle backend failed: {message}")
+            }
         }
     }
 }
@@ -124,15 +143,39 @@ impl std::error::Error for MrError {}
 pub struct Engine {
     config: MrConfig,
     ledger: Mutex<ClusterMetrics>,
+    backend: Arc<dyn Backend>,
+    /// Engine-unique shuffle-stage ids for the distributed data plane.
+    next_shuffle: AtomicU64,
 }
 
 impl Engine {
     /// Engine with an explicit configuration.
     pub fn new(config: MrConfig) -> Self {
+        let backend = config.backend.build();
         Self {
             config,
             ledger: Mutex::new(ClusterMetrics::new()),
+            backend,
+            next_shuffle: AtomicU64::new(0),
         }
+    }
+
+    /// Engine over an explicit backend instance, bypassing
+    /// [`MrConfig::backend`] — for tests and embedders that construct
+    /// backends directly (e.g. a shuffle service with an injected loss
+    /// plan).
+    pub fn with_backend(config: MrConfig, backend: Arc<dyn Backend>) -> Self {
+        Self {
+            config,
+            ledger: Mutex::new(ClusterMetrics::new()),
+            backend,
+            next_shuffle: AtomicU64::new(0),
+        }
+    }
+
+    /// The engine's shuffle backend.
+    pub fn backend(&self) -> &Arc<dyn Backend> {
+        &self.backend
     }
 
     /// Engine with default configuration.
@@ -178,8 +221,8 @@ impl Engine {
     ) -> Result<JobOutput<O>, MrError>
     where
         I: Sync,
-        K: Ord + Hash + Clone + Send + Weighable,
-        V: Send + Weighable,
+        K: Ord + Hash + Clone + Send + Weighable + Wire,
+        V: Send + Weighable + Wire,
         O: Send,
         M: Mapper<I, K, V>,
         R: Reducer<K, V, O>,
@@ -198,8 +241,8 @@ impl Engine {
     ) -> Result<JobOutput<O>, MrError>
     where
         I: Sync,
-        K: Ord + Hash + Clone + Send + Weighable,
-        V: Send + Weighable,
+        K: Ord + Hash + Clone + Send + Weighable + Wire,
+        V: Send + Weighable + Wire,
         O: Send,
         M: Mapper<I, K, V>,
         C: Combiner<K, V>,
@@ -220,8 +263,8 @@ impl Engine {
     ) -> Result<JobOutput<O>, MrError>
     where
         I: Sync,
-        K: Ord + Hash + Clone + Send + Weighable,
-        V: Send + Weighable,
+        K: Ord + Hash + Clone + Send + Weighable + Wire,
+        V: Send + Weighable + Wire,
         O: Send,
         M: Mapper<I, K, V>,
         R: Reducer<K, V, O>,
@@ -311,8 +354,8 @@ impl Engine {
     ) -> Result<JobOutput<O>, MrError>
     where
         I: Sync,
-        K: Ord + Hash + Clone + Send + Weighable,
-        V: Send + Weighable,
+        K: Ord + Hash + Clone + Send + Weighable + Wire,
+        V: Send + Weighable + Wire,
         O: Send,
         M: Mapper<I, K, V>,
         C: Combiner<K, V>,
@@ -349,36 +392,22 @@ impl Engine {
             &splits,
             &shared,
             |idx, pairs: Vec<(K, V)>| {
-                // Partition by key hash; optionally combine per partition.
-                // Two passes: hash every key once and count, then move
-                // pairs into exactly-sized buckets (no per-push growth).
-                let assigned: Vec<u32> = pairs
-                    .iter()
-                    .map(|(k, _)| stable_partition(k, num_reducers) as u32)
-                    .collect();
-                let mut counts = vec![0usize; num_reducers];
-                for &p in &assigned {
-                    counts[p as usize] += 1;
+                // Partition by key hash; optionally combine per partition
+                // (shared with lost-output recovery on the distributed
+                // path, which must rebuild identical partitions).
+                let (parts, c_in, c_out) = partition_and_combine(pairs, num_reducers, combiner);
+                if c_in > 0 {
+                    // The combiner runs before shuffle metering, so
+                    // shuffle_records/bytes below reflect what actually
+                    // crosses the network (post-combine).
+                    // audit: relaxed-ok — monotonic metric counter.
+                    combine_in.fetch_add(c_in, Ordering::Relaxed);
+                    // audit: relaxed-ok — monotonic metric counter.
+                    combine_out.fetch_add(c_out, Ordering::Relaxed);
                 }
-                let mut parts: Vec<Vec<(K, V)>> =
-                    counts.iter().map(|&c| Vec::with_capacity(c)).collect();
-                for ((k, v), &p) in pairs.into_iter().zip(&assigned) {
-                    parts[p as usize].push((k, v));
-                }
-                for (p, mut part) in parts.into_iter().enumerate() {
+                for (p, part) in parts.into_iter().enumerate() {
                     if part.is_empty() {
                         continue;
-                    }
-                    if let Some(c) = combiner {
-                        // The combiner runs before shuffle metering, so
-                        // shuffle_records/bytes below reflect what actually
-                        // crosses the network (post-combine).
-                        let before = part.len() as u64;
-                        part = combine_part(part, c);
-                        // audit: relaxed-ok — monotonic metric counters.
-                        combine_in.fetch_add(before, Ordering::Relaxed);
-                        // audit: relaxed-ok — monotonic metric counter.
-                        combine_out.fetch_add(part.len() as u64, Ordering::Relaxed);
                     }
                     let mut recs = 0u64;
                     let mut bytes = 0u64;
@@ -408,16 +437,167 @@ impl Engine {
         // ------------------------------------------------------- reduce --
         // audit: time-ok — wall-clock feeds the reduce_wall metric only.
         let reduce_start = Instant::now();
+        let reduce_result = if self.backend.is_distributed() {
+            // Distributed data plane: encode each map task's partitions
+            // with the exact-round-trip Wire codec, submit them to the
+            // backend, and gather each reducer's input by fetching the
+            // blobs back in map order — the same slot order
+            // `take_ordered` concatenates in, so the pairs a reducer
+            // sees are identical to the in-memory path's.
+            // audit: relaxed-ok — monotonic id counter; uniqueness only.
+            let shuffle_id = self.next_shuffle.fetch_add(1, Ordering::Relaxed);
+            let spec = StageSpec {
+                shuffle_id,
+                job: name.to_string(),
+                num_maps: splits.len(),
+                num_reducers,
+            };
+            let mut per_reducer: Vec<Vec<Vec<(K, V)>>> =
+                partitions.iter().map(|b| b.take_slots()).collect();
+            let mut map_outputs: Vec<MapOutput> = Vec::with_capacity(splits.len());
+            for m in 0..splits.len() {
+                let parts: Vec<Vec<u8>> = per_reducer
+                    .iter_mut()
+                    .map(|slots| encode_to_vec(&std::mem::take(&mut slots[m])))
+                    .collect();
+                map_outputs.push(MapOutput {
+                    map_id: m,
+                    partitions: parts,
+                });
+            }
+            drop(per_reducer);
+            let backend_err = |e: &BackendError| MrError::Backend {
+                job: name.to_string(),
+                message: e.to_string(),
+            };
+            if let Err(e) = self.backend.submit_stage(&spec, map_outputs) {
+                return Err(backend_err(&e));
+            }
+            // Serializes lost-map re-executions. Mappers and the
+            // partitioner are deterministic, so a duplicate recovery of
+            // the same map would rebuild identical bytes; one at a time
+            // is still cheaper and keeps retry accounting readable.
+            let recovery = Mutex::new(());
+            let result = self.reduce_partitions(name, num_reducers, reducer, |p| {
+                let mut pairs: Vec<(K, V)> = Vec::new();
+                for m in 0..spec.num_maps {
+                    let mut recoveries = 0usize;
+                    let bytes = loop {
+                        match self.backend.fetch_shuffle(&spec, m, p) {
+                            Ok(bytes) => break bytes,
+                            Err(BackendError::Lost { map_id }) => {
+                                recoveries += 1;
+                                if recoveries > self.config.max_attempts {
+                                    return Err(MrError::Backend {
+                                        job: name.to_string(),
+                                        message: format!(
+                                            "map {map_id} output lost and re-execution \
+                                             exhausted {} attempts",
+                                            self.config.max_attempts
+                                        ),
+                                    });
+                                }
+                                let _one_at_a_time = recovery.lock();
+                                // Re-execute the lost map task; the
+                                // deterministic pipeline rebuilds the
+                                // exact partitions the worker lost.
+                                let mut emitter = Emitter::new();
+                                mapper.map_split(splits[map_id], &mut emitter);
+                                let (emitted, _counters) = emitter.into_parts();
+                                let (parts, _, _) =
+                                    partition_and_combine(emitted, num_reducers, combiner);
+                                let rebuilt = MapOutput {
+                                    map_id,
+                                    partitions: parts.iter().map(encode_to_vec).collect(),
+                                };
+                                self.backend
+                                    .restore_map(&spec, rebuilt)
+                                    .map_err(|e| backend_err(&e))?;
+                            }
+                            Err(e) => return Err(backend_err(&e)),
+                        }
+                    };
+                    let part: Vec<(K, V)> =
+                        decode_from_slice(&bytes).map_err(|e| MrError::Backend {
+                            job: name.to_string(),
+                            message: format!(
+                                "shuffle partition (map {m}, reduce {p}) undecodable: {e}"
+                            ),
+                        })?;
+                    pairs.extend(part);
+                }
+                Ok(pairs)
+            });
+            // Stage cleanup runs on success *and* failure; its stats
+            // feed the job's data-plane metrics.
+            let stats = self.backend.finish_stage(&spec);
+            metrics.shuffle_fetches = stats.fetches;
+            metrics.fetch_retries = stats.retries;
+            metrics.worker_restarts = stats.worker_restarts;
+            metrics.shuffle_bytes_moved = stats.bytes_stored + stats.bytes_fetched;
+            result
+        } else {
+            // In-memory passthrough: drain each partition's buckets
+            // directly, zero copies.
+            self.reduce_partitions(name, num_reducers, reducer, |p| {
+                Ok(partitions[p].take_ordered())
+            })
+        };
+        let (output, groups_total, active_parts) = reduce_result?;
+        metrics.reduce_tasks = active_parts;
+        metrics.reduce_input_groups = groups_total;
+        metrics.output_records = output.len() as u64;
+        metrics.reduce_wall = reduce_start.elapsed();
+        self.ledger.lock().record(metrics.clone());
+        Ok(JobOutput { output, metrics })
+    }
+
+    /// Runs the reduce phase on the worker pool. `gather` produces
+    /// partition `p`'s pairs in split order — from the in-memory shuffle
+    /// or from backend fetches — and the sort-merge grouping plus the
+    /// user reducer run identically either way, which is what keeps the
+    /// backends byte-identical. Returns `(output, groups, active_parts)`.
+    fn reduce_partitions<K, V, O, R, G>(
+        &self,
+        name: &str,
+        num_reducers: usize,
+        reducer: &R,
+        gather: G,
+    ) -> Result<(Vec<O>, u64, u64), MrError>
+    where
+        K: Ord + Send,
+        V: Send,
+        O: Send,
+        R: Reducer<K, V, O>,
+        G: Fn(usize) -> Result<Vec<(K, V)>, MrError> + Sync,
+    {
         // Pool-of-workers over partitions: each worker claims partition
         // indices and commits (output, group count) partials that are
         // merged in partition order below — the metric totals are plain
         // sums over the ordered partials, so no shared counters needed.
         let part_queue = WorkQueue::new(num_reducers);
         let partials: BlockPartials<(Vec<O>, u64)> = BlockPartials::new(num_reducers);
+        // First gather error wins; later partitions commit empty so the
+        // partial board still completes.
+        let gather_error: Mutex<Option<MrError>> = Mutex::new(None);
         let threads = self.config.effective_threads().min(num_reducers).max(1);
         let pool_result = crate::pool::run_workers(threads, |_| {
             while let Some(p) = part_queue.claim() {
-                let mut pairs = partitions[p].take_ordered();
+                if gather_error.lock().is_some() {
+                    partials.commit(p, (Vec::new(), 0));
+                    continue;
+                }
+                let mut pairs = match gather(p) {
+                    Ok(pairs) => pairs,
+                    Err(e) => {
+                        let mut slot = gather_error.lock();
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                        partials.commit(p, (Vec::new(), 0));
+                        continue;
+                    }
+                };
                 if pairs.is_empty() {
                     partials.commit(p, (Vec::new(), 0));
                     continue;
@@ -464,6 +644,9 @@ impl Engine {
                 phase: "reduce".to_string(),
             });
         }
+        if let Some(err) = gather_error.into_inner() {
+            return Err(err);
+        }
 
         let mut output = Vec::new();
         let mut groups_total = 0u64;
@@ -475,13 +658,59 @@ impl Engine {
             groups_total += groups;
             output.append(&mut part_out);
         }
-        metrics.reduce_tasks = active_parts;
-        metrics.reduce_input_groups = groups_total;
-        metrics.output_records = output.len() as u64;
-        metrics.reduce_wall = reduce_start.elapsed();
-        self.ledger.lock().record(metrics.clone());
-        Ok(JobOutput { output, metrics })
+        Ok((output, groups_total, active_parts))
     }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Tears down spawned worker processes (no-op on local backends).
+        self.backend.shutdown();
+    }
+}
+
+/// Hash-partitions `pairs` into `num_reducers` exactly-sized buckets and
+/// optionally combines each bucket. Shared by the map-task commit path
+/// and the distributed backend's lost-output recovery, which must
+/// rebuild partitions byte-identical to the originals. Returns the
+/// buckets plus the combiner's (input, output) record counts.
+fn partition_and_combine<K, V, C>(
+    pairs: Vec<(K, V)>,
+    num_reducers: usize,
+    combiner: Option<&C>,
+) -> (Vec<Vec<(K, V)>>, u64, u64)
+where
+    K: Ord + Hash,
+    C: Combiner<K, V> + ?Sized,
+{
+    // Two passes: hash every key once and count, then move pairs into
+    // exactly-sized buckets (no per-push growth).
+    let assigned: Vec<u32> = pairs
+        .iter()
+        .map(|(k, _)| stable_partition(k, num_reducers) as u32)
+        .collect();
+    let mut counts = vec![0usize; num_reducers];
+    for &p in &assigned {
+        counts[p as usize] += 1;
+    }
+    let mut parts: Vec<Vec<(K, V)>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for ((k, v), &p) in pairs.into_iter().zip(&assigned) {
+        parts[p as usize].push((k, v));
+    }
+    let mut combine_in = 0u64;
+    let mut combine_out = 0u64;
+    if let Some(c) = combiner {
+        for part in parts.iter_mut() {
+            if part.is_empty() {
+                continue;
+            }
+            combine_in += part.len() as u64;
+            let combined = combine_part(std::mem::take(part), c);
+            combine_out += combined.len() as u64;
+            *part = combined;
+        }
+    }
+    (parts, combine_in, combine_out)
 }
 
 /// Placeholder combiner type for jobs without one.
@@ -1242,5 +1471,65 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn shuffle_service_backend_is_byte_identical_and_metered() {
+        use crate::distrib::BackendChoice;
+        let local = Engine::new(MrConfig {
+            split_size: 1,
+            ..MrConfig::default()
+        });
+        let shuffled = Engine::new(MrConfig {
+            split_size: 1,
+            backend: BackendChoice::LocalShuffle,
+            ..MrConfig::default()
+        });
+        let a = local
+            .run("wc", &lines(), &TokenMapper, &SumReducer)
+            .unwrap();
+        let b = shuffled
+            .run("wc", &lines(), &TokenMapper, &SumReducer)
+            .unwrap();
+        // Not just the same multiset: the exact same output order.
+        assert_eq!(a.output, b.output);
+        // The distributed plane was used and metered; the passthrough
+        // path records no fetches.
+        assert_eq!(a.metrics.shuffle_fetches, 0);
+        assert!(b.metrics.shuffle_fetches > 0);
+        assert!(b.metrics.shuffle_bytes_moved > 0);
+    }
+
+    #[test]
+    fn lost_map_outputs_are_reexecuted_transparently() {
+        use crate::distrib::LocalBackend;
+        use crate::fault::FaultPlan;
+        let baseline = Engine::new(MrConfig {
+            split_size: 1,
+            ..MrConfig::default()
+        })
+        .run("wc", &lines(), &TokenMapper, &SumReducer)
+        .unwrap();
+        // Probability 1 ⇒ every map output is dropped at store time;
+        // every first fetch reports it lost and the engine re-executes
+        // the map task through `restore_map`.
+        let lossy = Engine::with_backend(
+            MrConfig {
+                split_size: 1,
+                ..MrConfig::default()
+            },
+            Arc::new(LocalBackend::shuffle_service_with_loss(FaultPlan::new(
+                1.0, 9,
+            ))),
+        );
+        let res = lossy
+            .run("wc", &lines(), &TokenMapper, &SumReducer)
+            .unwrap();
+        assert_eq!(res.output, baseline.output, "loss recovery changed output");
+        assert!(
+            res.metrics.fetch_retries >= 3,
+            "all three map outputs were lost once: {}",
+            res.metrics.fetch_retries
+        );
     }
 }

@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 /// A plan describing which task attempts fail.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Probability in `[0,1]` that any given task *attempt* fails.
     pub failure_probability: f64,

@@ -150,6 +150,16 @@ impl<T> ShuffleBuckets<T> {
         self.slots.lock()[slot] = Some(items);
     }
 
+    /// Drains all buckets as per-slot vectors, in slot order;
+    /// uncommitted slots come back empty. The distributed engine path
+    /// uses this to keep each map task's contribution separate while
+    /// preserving the same slot ordering [`ShuffleBuckets::take_ordered`]
+    /// guarantees.
+    pub fn take_slots(&self) -> Vec<Vec<T>> {
+        let buckets = std::mem::take(&mut *self.slots.lock());
+        buckets.into_iter().map(Option::unwrap_or_default).collect()
+    }
+
     /// Drains all buckets, concatenated in slot order — independent of
     /// commit order. Empty and uncommitted slots contribute nothing.
     pub fn take_ordered(&self) -> Vec<T> {
@@ -291,6 +301,21 @@ mod tests {
         assert_eq!(buckets.take_ordered(), vec![10, 11, 30]);
         // Drained: a second take is empty.
         assert_eq!(buckets.take_ordered(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn shuffle_buckets_take_slots_preserves_slot_identity() {
+        let buckets = ShuffleBuckets::new(3);
+        buckets.commit(2, vec![30]);
+        buckets.commit(0, vec![10, 11]);
+        // Slot 1 never commits — it drains as an empty (not absent) slot.
+        assert_eq!(buckets.take_slots(), vec![vec![10, 11], vec![], vec![30]]);
+        // Drained: a second take yields all-empty slots.
+        assert_eq!(
+            buckets.take_slots(),
+            Vec::<Vec<i32>>::new(),
+            "mem::take leaves no slots behind"
+        );
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //!   datasets ([`dag`], [`dataset`]): ready jobs run concurrently, shared
 //!   inputs load once, and lineage re-executes only lost ancestors after
 //!   a failure.
+//! * **Distributed backends** — a [`Backend`] seam over the shuffle data
+//!   plane ([`distrib`]): the in-process engine, an in-process shuffle
+//!   service, and a multi-process backend whose spawned workers serve
+//!   partitions over a checksummed TCP frame protocol with worker
+//!   respawn and map re-execution on loss.
 //!
 //! # Example
 //!
@@ -104,6 +109,7 @@ pub mod blockstore;
 pub mod cache;
 pub mod dag;
 pub mod dataset;
+pub mod distrib;
 pub mod engine;
 pub mod fault;
 pub mod kernel;
@@ -121,6 +127,10 @@ pub use dag::{
 pub use dataset::{
     rows_codec, take_dataset, DatasetCodec, DatasetError, DatasetHandle, DatasetStore,
     DatasetStoreStats, SegmentedCodec,
+};
+pub use distrib::{
+    Backend, BackendChoice, BackendError, LocalBackend, MapOutputTracker, ProcessBackend,
+    ShuffleManager, Wire,
 };
 pub use engine::{stable_partition, Engine, JobOutput, MrConfig, MrError};
 pub use fault::FaultPlan;

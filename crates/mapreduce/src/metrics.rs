@@ -48,6 +48,21 @@ pub struct JobMetrics {
     pub map_wall: Duration,
     /// Wall-clock time of the shuffle+reduce phase.
     pub reduce_wall: Duration,
+    /// Partition fetches reducers issued against the shuffle backend
+    /// (0 on the passthrough in-memory path).
+    #[serde(default)]
+    pub shuffle_fetches: u64,
+    /// Fetch attempts retried after timeouts, dead workers, or
+    /// checksum failures.
+    #[serde(default)]
+    pub fetch_retries: u64,
+    /// Worker processes (re)started while this job ran.
+    #[serde(default)]
+    pub worker_restarts: u64,
+    /// Bytes that physically moved through the shuffle backend
+    /// (stored by maps + fetched by reducers).
+    #[serde(default)]
+    pub shuffle_bytes_moved: u64,
     /// User counters accumulated across all tasks.
     pub counters: BTreeMap<String, u64>,
 }
@@ -128,6 +143,19 @@ pub struct DagMetrics {
     pub bytes_saved_by_projection: u64,
     /// Datasets evicted from memory (spilled or dropped) during this run.
     pub evictions: u64,
+    /// Shuffle-backend partition fetches across the run's jobs.
+    #[serde(default)]
+    pub shuffle_fetches: u64,
+    /// Shuffle-backend fetch retries across the run's jobs.
+    #[serde(default)]
+    pub fetch_retries: u64,
+    /// Worker processes (re)started across the run's jobs.
+    #[serde(default)]
+    pub worker_restarts: u64,
+    /// Bytes that physically moved through the shuffle backend across
+    /// the run's jobs.
+    #[serde(default)]
+    pub shuffle_bytes_moved: u64,
     /// Wall-clock of the whole DAG run.
     pub wall: Duration,
 }

@@ -22,9 +22,13 @@
 //! * [`BlockPartials`] + [`WorkQueue`] — the worker-pool kernel behind
 //!   `parallel_for_blocks` (DESIGN.md §11) — merges per-block partials
 //!   in block order regardless of which worker claims which block.
+//! * [`MapOutputTracker`] — the distributed data plane's location
+//!   registry (DESIGN.md §12) — stays consistent when re-registrations
+//!   and lookups race worker deaths.
 #![cfg(loom)]
 
 use p3c_loom::{model, thread};
+use p3c_mapreduce::distrib::{BlockLocation, MapOutputTracker};
 use p3c_mapreduce::kernel::{BlockPartials, CommitBoard, CounterLedger, ShuffleBuckets, WorkQueue};
 use std::sync::Arc;
 
@@ -196,5 +200,80 @@ fn claim_commit_shuffle_composition_is_deterministic() {
         }
         assert!(board.all_done());
         assert_eq!(buckets.take_ordered(), vec![0, 1, 10, 11]);
+    });
+}
+
+/// The distributed data plane's location registry (DESIGN.md §12): a
+/// re-executed map registering its fresh copy on worker 1 races the
+/// death of worker 0 that held the stale copy. In both orders the entry
+/// must end up pointing at worker 1 — register-then-invalidate removes
+/// nothing (the entry already moved off worker 0), invalidate-then-
+/// register re-adds it — and the invalidation epoch advances exactly
+/// once.
+#[test]
+fn tracker_reregistration_races_worker_death_consistently() {
+    let executions = model(|| {
+        let tracker = Arc::new(MapOutputTracker::new());
+        let stale = BlockLocation {
+            worker: 0,
+            len: 4,
+            checksum: 0xaa,
+        };
+        let fresh = BlockLocation {
+            worker: 1,
+            len: 4,
+            checksum: 0xbb,
+        };
+        tracker.register(1, 0, 0, stale);
+        let rereg = {
+            let tracker = Arc::clone(&tracker);
+            thread::spawn(move || tracker.register(1, 0, 0, fresh))
+        };
+        let death = {
+            let tracker = Arc::clone(&tracker);
+            thread::spawn(move || tracker.invalidate_worker(0))
+        };
+        rereg.join_unwrap();
+        death.join_unwrap();
+        assert_eq!(
+            tracker.lookup(1, 0, 0),
+            Some(fresh),
+            "entry points at the re-registered copy in every schedule"
+        );
+        assert_eq!(tracker.epoch(), 1, "one death, one epoch bump");
+    });
+    assert!(executions > 1, "model explored more than one schedule");
+}
+
+/// A reducer's lookup racing a worker death never observes torn state:
+/// it sees the intact pre-death location or `None`, nothing else — and
+/// after the death the entry is gone for every later reader.
+#[test]
+fn tracker_lookup_during_worker_death_sees_all_or_nothing() {
+    model(|| {
+        let tracker = Arc::new(MapOutputTracker::new());
+        let loc = BlockLocation {
+            worker: 0,
+            len: 8,
+            checksum: 0xcc,
+        };
+        tracker.register(1, 0, 0, loc);
+        let reader = {
+            let tracker = Arc::clone(&tracker);
+            thread::spawn(move || tracker.lookup(1, 0, 0))
+        };
+        let death = {
+            let tracker = Arc::clone(&tracker);
+            thread::spawn(move || tracker.invalidate_worker(0))
+        };
+        let seen = reader.join_unwrap();
+        let lost = death.join_unwrap();
+        assert!(
+            seen == Some(loc) || seen.is_none(),
+            "lookup saw a torn location: {seen:?}"
+        );
+        assert_eq!(lost, 1, "the death dropped exactly the one entry");
+        assert_eq!(tracker.lookup(1, 0, 0), None);
+        assert_eq!(tracker.epoch(), 1);
     });
 }

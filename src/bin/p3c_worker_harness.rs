@@ -1,0 +1,44 @@
+//! Worker host for the integration tests.
+//!
+//! Speaks the same argv contract as `p3c worker` (`worker --connect
+//! HOST:PORT --id N`) but lives in the umbrella package, so `cargo test`
+//! builds it automatically and the `tests/distributed_backend.rs` suite
+//! can point `P3C_WORKER_BIN` at `CARGO_BIN_EXE_p3c_worker_harness`
+//! without requiring a separately built CLI.
+
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    if it.next().map(String::as_str) != Some("worker") {
+        eprintln!("usage: p3c_worker_harness worker --connect HOST:PORT [--id N]");
+        exit(2);
+    }
+    let mut connect: Option<String> = None;
+    let mut id = 0u64;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => connect = it.next().cloned(),
+            "--id" => {
+                id = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--id needs an integer"))
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    let Some(addr) = connect else {
+        die("worker needs --connect HOST:PORT");
+    };
+    if let Err(e) = p3c_suite::mapreduce::distrib::run_worker(&addr, id) {
+        eprintln!("worker {id}: {e}");
+        exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("p3c_worker_harness: {msg}");
+    exit(2)
+}

@@ -1,16 +1,21 @@
 //! Bit-identity of the block-parallel serial-path kernels (DESIGN.md
-//! §11): the EM E-step ([`estep_blocked`]) and the columnar binning
-//! scan ([`build_histograms_columnar_threads`]) must produce outputs
-//! that are **bit-for-bit identical for every thread count**, because
-//! both use the same block structure and merge per-block partials in
-//! fixed block-index order regardless of scheduling.
+//! §11): the EM E-step ([`estep_blocked`]), the columnar binning scan
+//! ([`build_histograms_columnar_threads`]), the EM projection scan
+//! ([`project_rows_blocked`]), and the signature-proving pass inside
+//! [`generate_cluster_cores`] must produce outputs that are
+//! **bit-for-bit identical for every thread count**, because all use
+//! the same block structure and merge per-block partials in fixed
+//! block-index order regardless of scheduling.
 //!
 //! Sizes are chosen to exercise arbitrary block boundaries: below one
 //! block, exactly one block, one-past-a-boundary, and many blocks with
 //! a ragged tail.
 
+use p3c_suite::core::config::P3cParams;
+use p3c_suite::core::cores::generate_cluster_cores;
 use p3c_suite::core::em::{
-    em_fit, em_fit_threads, estep_blocked, initialize_from_cores, Component, MixtureModel,
+    em_fit, em_fit_threads, estep_blocked, initialize_from_cores, project_rows_blocked, Component,
+    MixtureModel,
 };
 use p3c_suite::core::histogram::{build_histograms_columnar, build_histograms_columnar_threads};
 use p3c_suite::core::{Interval, Signature};
@@ -161,6 +166,92 @@ fn em_fit_is_bit_identical_across_thread_counts() {
                 }
             }
         }
+    }
+}
+
+#[test]
+fn projection_scan_is_bit_identical_across_thread_counts() {
+    // Block size is 1024 rows: cover sub-block, exact-block, ragged
+    // multi-block, and a larger ragged case.
+    for n in [1usize, 1023, 1024, 1025, 5000] {
+        let mut next = stream(n as u64 + 3);
+        let data: Vec<Vec<f64>> = (0..n).map(|_| (0..5).map(|_| next()).collect()).collect();
+        let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let arel = [3usize, 0, 4];
+        let base = project_rows_blocked(&rows, &arel, 1);
+        for threads in [2usize, 8] {
+            let par = project_rows_blocked(&rows, &arel, threads);
+            let base_bits: Vec<u64> = base.iter().map(|v| v.to_bits()).collect();
+            let par_bits: Vec<u64> = par.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                par_bits, base_bits,
+                "projection differs at n={n}, {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn core_proving_is_bit_identical_across_thread_counts() {
+    // Two planted boxes over attributes {0,1,2} of a 4-dim dataset plus
+    // uniform background: enough candidates per level that the proving
+    // pass spans several 64-candidate blocks at level 1 boundaries.
+    let mut next = stream(99);
+    let mut data: Vec<Vec<f64>> = Vec::new();
+    for i in 0..3000 {
+        let row = match i % 3 {
+            0 => vec![
+                0.15 + next() * 0.15,
+                0.15 + next() * 0.15,
+                0.15 + next() * 0.15,
+                next(),
+            ],
+            1 => vec![
+                0.65 + next() * 0.15,
+                0.65 + next() * 0.15,
+                0.65 + next() * 0.15,
+                next(),
+            ],
+            _ => vec![next(), next(), next(), next()],
+        };
+        data.push(row);
+    }
+    let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+    let mut intervals = Vec::new();
+    for attr in 0..3 {
+        for lo in 0..9 {
+            intervals.push(Interval::new(attr, lo, lo + 1, 10));
+        }
+    }
+    let base = generate_cluster_cores(
+        &intervals,
+        &rows,
+        &P3cParams {
+            threads: 1,
+            ..P3cParams::default()
+        },
+    );
+    assert!(base.stats.total_proven > 0, "stats: {:?}", base.stats);
+    for threads in [2usize, 8] {
+        let par = generate_cluster_cores(
+            &intervals,
+            &rows,
+            &P3cParams {
+                threads,
+                ..P3cParams::default()
+            },
+        );
+        assert_eq!(par.cores, base.cores, "cores differ at threads={threads}");
+        let base_proven: Vec<(&Signature, u64)> =
+            base.proven.iter().map(|(s, c)| (s, c.to_bits())).collect();
+        let par_proven: Vec<(&Signature, u64)> =
+            par.proven.iter().map(|(s, c)| (s, c.to_bits())).collect();
+        assert_eq!(par_proven, base_proven, "proven differ at {threads}");
+        assert_eq!(
+            format!("{:?}", par.stats),
+            format!("{:?}", base.stats),
+            "stats differ at threads={threads}"
+        );
     }
 }
 

@@ -1,0 +1,157 @@
+//! Offline stub of `criterion` 0.5: enough API for the workspace's
+//! bench targets to compile (and run each bench body exactly once when
+//! invoked via `cargo bench`, as a smoke check — no statistics).
+
+use std::fmt::Display;
+
+/// Re-export shape of criterion's `black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        Self {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation (ignored by the stub).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    _private: (),
+}
+
+impl Bencher {
+    /// Runs the routine (once, in the stub).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (ignored).
+    pub fn measurement_time(&mut self, _dur: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput annotation (ignored).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        eprintln!("bench(stub) {}/{id}: running once", self.name);
+        f(&mut Bencher { _private: () });
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        eprintln!("bench(stub) {}/{id}: running once", self.name);
+        f(&mut Bencher { _private: () }, input);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        eprintln!("bench(stub) {id}: running once");
+        f(&mut Bencher { _private: () });
+        self
+    }
+}
+
+/// Declares a group-runner function calling each bench target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,85 @@
+//! Offline stub of `crossbeam` 0.8: the `thread::scope` subset this
+//! workspace uses, implemented over `std::thread::scope` (Rust ≥ 1.63).
+
+/// Scoped threads (crossbeam-utils API shape over std scoped threads).
+pub mod thread {
+    use std::panic::AssertUnwindSafe;
+
+    /// A scope for spawning borrowing threads; handed to the closure of
+    /// [`scope`] and to every spawned thread.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope
+        /// (crossbeam's signature), so threads may spawn more threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Handle to a scoped thread; joining returns the thread's result.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its value or the
+        /// panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope: all threads spawned inside are joined before it
+    /// returns. Returns `Err` with the first panic payload if the
+    /// closure or an unjoined child panicked (crossbeam's contract).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_spawn_join() {
+        let data = vec![1, 2, 3];
+        let sum = crate::thread::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn scope_reports_panics_as_err() {
+        let r = crate::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let r = crate::thread::scope(|s| {
+            let h = s.spawn(|s2| s2.spawn(|_| 7).join().unwrap());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 7);
+    }
+}

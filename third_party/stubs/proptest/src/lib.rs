@@ -1,0 +1,299 @@
+//! Offline stub of `proptest`: the `proptest!` macro expands each
+//! property into an ordinary `#[test]` whose body is wrapped in
+//! `if false { ... }` — everything *typechecks* (so strategy helpers
+//! and imports used only inside the macro stay "used" for lint
+//! purposes) but no strategy is ever sampled and no property body ever
+//! executes. Offline builds therefore do not run property tests; they
+//! only compile them.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Expands properties into never-executing `#[test]`s (see crate docs).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        const _: fn() = || {
+            let _ = $cfg;
+        };
+        $crate::proptest! { $($rest)* }
+    };
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat in $s:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_variables, unreachable_code, clippy::all)]
+                if false {
+                    $(let $p = $crate::sample(&$s);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Typechecking aid for the `proptest!` expansion: names the value type
+/// of a strategy. Only reachable from `if false` blocks.
+pub fn sample<S: strategy::Strategy>(_strategy: &S) -> S::Value {
+    panic!("offline stub: proptest strategies are never sampled")
+}
+
+/// Offline `prop_assert!`: plain `assert!` (never executed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => {
+        assert!($($args)*)
+    };
+}
+
+/// Offline `prop_assert_eq!`: plain `assert_eq!` (never executed).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => {
+        assert_eq!($($args)*)
+    };
+}
+
+/// Offline `prop_assert_ne!`: plain `assert_ne!` (never executed).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => {
+        assert_ne!($($args)*)
+    };
+}
+
+/// Offline `prop_assume!`: early-returns when the assumption fails
+/// (never executed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Runner configuration; only typechecked, never consulted.
+#[derive(Clone, Debug, Default)]
+pub struct ProptestConfig {
+    /// Requested number of test cases (ignored offline).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config requesting `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Marker strategy producing any value of `T`.
+pub struct Any<T>(PhantomData<T>);
+
+/// Matches `proptest::prelude::any::<T>()`.
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Value-producing strategy markers.
+pub mod strategy {
+    use super::*;
+
+    /// Marker version of proptest's `Strategy`: carries only the value
+    /// type and the combinator signatures, so `impl Strategy<Value = T>`
+    /// return types typecheck. Nothing is ever generated.
+    pub trait Strategy: Sized {
+        /// The type of value this strategy describes.
+        type Value;
+
+        /// Maps produced values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, map: F) -> Map<Self, F> {
+            Map { source: self, map }
+        }
+
+        /// Chains into a dependent strategy produced by `f`.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, map: F) -> FlatMap<Self, F> {
+            FlatMap { source: self, map }
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        #[allow(dead_code)]
+        source: S,
+        #[allow(dead_code)]
+        map: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+    }
+
+    /// Result of [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        #[allow(dead_code)]
+        source: S,
+        #[allow(dead_code)]
+        map: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+    }
+
+    /// Strategy producing exactly one value.
+    pub struct Just<T>(pub T);
+
+    impl<T> Strategy for Just<T> {
+        type Value = T;
+    }
+
+    impl<T> Strategy for Any<T> {
+        type Value = T;
+    }
+
+    impl<T> Strategy for Range<T> {
+        type Value = T;
+    }
+
+    impl<T> Strategy for RangeInclusive<T> {
+        type Value = T;
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+            }
+        };
+    }
+
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F2);
+}
+
+/// Collection size specifications accepted by [`collection`] functions.
+pub struct SizeRange;
+
+impl From<usize> for SizeRange {
+    fn from(_: usize) -> Self {
+        SizeRange
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(_: Range<usize>) -> Self {
+        SizeRange
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(_: RangeInclusive<usize>) -> Self {
+        SizeRange
+    }
+}
+
+/// Collection strategy markers (`prop::collection::*`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Strategy for `Vec<S::Value>`.
+    pub struct VecStrategy<S>(#[allow(dead_code)] S);
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+    }
+
+    /// Vector of values from `element`, with `size` elements.
+    pub fn vec<S: Strategy>(element: S, _size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy(element)
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    pub struct BTreeMapStrategy<K, V>(#[allow(dead_code)] K, #[allow(dead_code)] V);
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+    }
+
+    /// Map with keys from `key` and values from `value`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        _size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy(key, value)
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S>(#[allow(dead_code)] S);
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+    }
+
+    /// Set of values from `element`.
+    pub fn btree_set<S: Strategy>(element: S, _size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy(element)
+    }
+}
+
+/// Prelude matching `proptest::prelude::*` imports.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{any, ProptestConfig};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn composed() -> impl Strategy<Value = Vec<(usize, f64)>> {
+        prop::collection::vec((0usize..4, 0.0f64..1.0), 1..8)
+    }
+
+    #[test]
+    fn strategies_typecheck() {
+        let _ = composed().prop_map(|v| v.len());
+        let _ = (0usize..3).prop_flat_map(|n| prop::collection::vec(0.0f64..1.0, n));
+        let _ = ProptestConfig::with_cases(4);
+        let _ = any::<u64>();
+        let _ = Just(1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(2))]
+
+        /// Compiles but never executes its body.
+        #[test]
+        fn never_runs(x in 0usize..10, (a, b) in (0.0f64..1.0, 0u64..4)) {
+            prop_assume!(x > 0);
+            prop_assert!(a < 2.0, "a was {a}");
+            prop_assert_eq!(b.min(4), b);
+            prop_assert_ne!(x, usize::MAX);
+            unreachable!("proptest stub must not run bodies");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Offline stub of `serde_derive`: emits *empty* `Serialize` /
+//! `Deserialize` marker impls (the paired `serde` stub's traits have no
+//! methods). Handles non-generic structs and enums, which covers every
+//! derive site in this workspace; a generic target fails to compile
+//! loudly rather than silently misbehaving.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the name of the struct/enum a derive was applied to.
+/// Returns `(name, has_generics)`.
+fn target_name(input: TokenStream) -> (String, bool) {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    let generic = matches!(
+                        iter.peek(),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                    );
+                    return (name.to_string(), generic);
+                }
+            }
+        }
+    }
+    panic!("serde_derive stub: no struct/enum name found in derive input");
+}
+
+fn emit(input: TokenStream, which: &str) -> TokenStream {
+    let (name, generic) = target_name(input);
+    if generic {
+        // Real serde_derive handles generics; this stub deliberately
+        // does not (no generic type in this workspace derives serde).
+        return format!(
+            "compile_error!(\"serde_derive stub cannot derive {which} for generic type {name}\");"
+        )
+        .parse()
+        .expect("valid compile_error tokens");
+    }
+    let imp = match which {
+        "Serialize" => format!("impl ::serde::Serialize for {name} {{}}"),
+        _ => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}"),
+    };
+    imp.parse().expect("valid impl tokens")
+}
+
+/// Derives the `Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, "Serialize")
+}
+
+/// Derives the `Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, "Deserialize")
+}

@@ -1,0 +1,86 @@
+//! Offline stub of `serde_json`: serialization succeeds with the
+//! constant `"{}"`, deserialization always fails with an error whose
+//! message contains `offline stub` (tests in this workspace match on
+//! that marker to distinguish the stub from a real serde_json).
+
+use std::fmt;
+
+/// Error type of the stub: every deserialization returns one.
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn stub(what: &str) -> Self {
+        Self {
+            msg: format!("offline stub: serde_json cannot {what}"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({})", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching the real crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes any value as the constant `"{}"`.
+pub fn to_string<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Ok("{}".to_string())
+}
+
+/// Pretty variant of [`to_string`]; also `"{}"`.
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Ok("{}".to_string())
+}
+
+/// Serializes to a writer (writes `{}`).
+pub fn to_writer<W: std::io::Write, T: ?Sized + serde::Serialize>(
+    mut writer: W,
+    _value: &T,
+) -> Result<()> {
+    writer
+        .write_all(b"{}")
+        .map_err(|_| Error::stub("write serialized output"))
+}
+
+/// Deserialization is unavailable offline; always errors.
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    Err(Error::stub("deserialize from a string"))
+}
+
+/// Deserialization is unavailable offline; always errors.
+pub fn from_slice<'a, T: serde::Deserialize<'a>>(_v: &'a [u8]) -> Result<T> {
+    Err(Error::stub("deserialize from bytes"))
+}
+
+/// Deserialization is unavailable offline; always errors.
+pub fn from_reader<R: std::io::Read, T: serde::de::DeserializeOwned>(_rdr: R) -> Result<T> {
+    Err(Error::stub("deserialize from a reader"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn serializes_to_empty_object() {
+        assert_eq!(crate::to_string(&1u32).unwrap(), "{}");
+        assert_eq!(crate::to_string_pretty(&"x".len()).unwrap(), "{}");
+    }
+
+    #[test]
+    fn deserialize_error_names_the_stub() {
+        let e = crate::from_str::<u32>("1").unwrap_err();
+        assert!(e.to_string().contains("offline stub"));
+    }
+}
