@@ -129,7 +129,7 @@ fn check_relaxed(code: &str) -> Option<String> {
 /// partitions must be marked order-exact (fixed iteration order, or an
 /// order-insensitive op like min/max).
 fn check_float_reduction(code: &str) -> Option<String> {
-    let reduces = code.contains(".sum(") || code.contains(".fold(");
+    let reduces = code.contains(".sum(") || code.contains(".sum::<") || code.contains(".fold(");
     (reduces && code.contains("f64")).then(|| {
         "f64 reduction — float addition is order-sensitive; fix the \
          iteration order and mark with `audit: order-exact`"
@@ -207,7 +207,9 @@ const RULES: &[Rule] = &[
     Rule {
         id: "float-reduction",
         waiver_key: "order-exact",
-        scopes: &["crates/core/src/"],
+        // cholesky.rs hosts the lane-batched density kernels whose
+        // reductions back the bit-identity contract of DESIGN.md §13.
+        scopes: &["crates/core/src/", "crates/linalg/src/cholesky.rs"],
         excludes: &[],
         check: check_float_reduction,
     },
@@ -434,6 +436,9 @@ let s = r#\"panic!()\"#;
         assert_eq!(check("crates/core/src/em.rs", float).len(), 1);
         let int = "let s: u64 = xs.iter().sum();\n";
         assert!(check("crates/core/src/em.rs", int).is_empty());
+        // The density-kernel host in p3c-linalg is in scope too.
+        assert_eq!(check("crates/linalg/src/cholesky.rs", float).len(), 1);
+        assert!(check("crates/linalg/src/matrix.rs", float).is_empty());
     }
 
     #[test]

@@ -8,7 +8,72 @@
 //! Mahalanobis-nearest core and the statistics recomputed.
 
 use crate::cores::ClusterCore;
-use p3c_linalg::{Cholesky, CovarianceAccumulator, Matrix};
+use p3c_linalg::cholesky::transpose_lane_group;
+use p3c_linalg::{Cholesky, CovarianceAccumulator, LaneScratch, Matrix, LANES};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Process-global lane-kernel selector: `0` follows the `P3C_LANES`
+/// environment variable (default on), `1` forces the scalar kernels,
+/// `2` forces the lane-batched kernels. Written only by
+/// [`set_lane_mode`]; both kernel families are bit-identical
+/// (DESIGN.md §13), so the flag never changes results — only which
+/// code path computes them.
+static LANE_MODE: AtomicU8 = AtomicU8::new(0);
+static LANE_ENV: OnceLock<bool> = OnceLock::new();
+
+/// Overrides the lane-kernel selection process-wide: `Some(true)`
+/// forces the 8-lane kernels, `Some(false)` forces the scalar kernels,
+/// `None` restores the `P3C_LANES` environment default. Exists so
+/// in-process test matrices can flip kernels without the data race of
+/// mutating the environment after threads have started.
+pub fn set_lane_mode(force: Option<bool>) {
+    let v = match force {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    // audit: relaxed-ok — the flag selects between bit-identical kernel
+    // implementations and publishes no data; any interleaving of the
+    // store with concurrent loads yields the same numerical results.
+    LANE_MODE.store(v, Ordering::Relaxed);
+}
+
+/// Whether the lane-batched (8-wide) E-step kernels are selected: the
+/// [`set_lane_mode`] override if set, else `P3C_LANES` (any value but
+/// `"0"` enables; unset enables).
+pub fn lanes_enabled() -> bool {
+    // audit: relaxed-ok — see `set_lane_mode`: the flag only selects
+    // between bit-identical kernels, so load ordering cannot affect
+    // results.
+    match LANE_MODE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => *LANE_ENV.get_or_init(|| std::env::var("P3C_LANES").map_or(true, |v| v != "0")),
+    }
+}
+
+/// Per-worker scratch for the E-step kernels: the lane transpose /
+/// forward-substitution buffers, the k×[`LANES`] point-major density
+/// tile of one lane group, and the scalar-path scratch.
+#[derive(Debug, Default)]
+pub struct EstepScratch {
+    lanes: LaneScratch,
+    tile: Vec<f64>,
+    dens: Vec<f64>,
+    y: Vec<f64>,
+    /// Gathered significant points / weights for one component's
+    /// [`CovarianceAccumulator::push_block`] call.
+    xs: Vec<f64>,
+    ws: Vec<f64>,
+}
+
+impl EstepScratch {
+    /// An empty scratch; buffers grow on first use and are reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// One Gaussian component in `A_rel` coordinates.
 #[derive(Debug, Clone)]
@@ -60,6 +125,11 @@ impl DensityEvaluator {
         self.comps.len()
     }
 
+    /// Number of relevant attributes (the projected dimensionality).
+    pub fn arel_len(&self) -> usize {
+        self.arel.len()
+    }
+
     /// Projects a full-dimensional row into `A_rel` coordinates.
     pub fn project(&self, row: &[f64]) -> Vec<f64> {
         self.arel.iter().map(|&a| row[a]).collect()
@@ -70,6 +140,12 @@ impl DensityEvaluator {
     pub fn project_into(&self, row: &[f64], x_sub: &mut Vec<f64>) {
         x_sub.clear();
         x_sub.extend(self.arel.iter().map(|&a| row[a]));
+    }
+
+    /// Appends the row's `A_rel` attributes to `buf` without clearing —
+    /// the block-gather form of [`DensityEvaluator::project_into`].
+    pub fn project_append(&self, row: &[f64], buf: &mut Vec<f64>) {
+        buf.extend(self.arel.iter().map(|&a| row[a]));
     }
 
     /// Log of `π_k · N(x | μ_k, Σ_k)` for the projected point.
@@ -96,6 +172,21 @@ impl DensityEvaluator {
     pub fn mahalanobis_sq_scratch(&self, k: usize, x_sub: &[f64], y: &mut Vec<f64>) -> f64 {
         let (mean, chol, _) = &self.comps[k];
         chol.mahalanobis_sq_scratch(x_sub, mean, y)
+    }
+
+    /// Squared Mahalanobis distances of a contiguous block of projected
+    /// points to component `k`, through the lane-batched block kernel
+    /// ([`Cholesky::mahalanobis_sq_block`]) — bit-identical per point to
+    /// [`DensityEvaluator::mahalanobis_sq_scratch`].
+    pub fn mahalanobis_sq_component_block(
+        &self,
+        k: usize,
+        block: &[f64],
+        scratch: &mut LaneScratch,
+        out: &mut Vec<f64>,
+    ) {
+        let (mean, chol, _) = &self.comps[k];
+        chol.mahalanobis_sq_block(block, mean, scratch, out);
     }
 
     /// Responsibilities γ_k(x) (softmax over components) and the point's
@@ -174,6 +265,175 @@ impl DensityEvaluator {
                 out[p * k + c] = log_norm - 0.5 * chol.mahalanobis_sq_slice(x, mean, ybuf);
             }
         }
+    }
+
+    /// Lane-batched [`DensityEvaluator::log_densities_block`]: the same
+    /// `out[p * k + c]` log weighted densities, computed 8 points per
+    /// triangular-solve step with a scalar tail for ragged blocks —
+    /// bit-identical to the scalar kernel (DESIGN.md §13).
+    pub fn log_densities_block_lanes(
+        &self,
+        block: &[f64],
+        out: &mut Vec<f64>,
+        scratch: &mut EstepScratch,
+    ) {
+        let d = self.arel.len();
+        let k = self.comps.len();
+        if d == 0 {
+            out.clear();
+            return;
+        }
+        let npts = block.len() / d;
+        assert_eq!(
+            block.len(),
+            npts * d,
+            "block is not a whole number of points"
+        );
+        out.clear();
+        out.resize(npts * k, 0.0);
+        let (xt, y) = scratch.lanes.for_order(d);
+        let full = npts / LANES * LANES;
+        for (g, group) in block[..full * d].chunks_exact(d * LANES).enumerate() {
+            transpose_lane_group(group, d, xt);
+            let base = g * LANES;
+            for (c, (mean, chol, log_norm)) in self.comps.iter().enumerate() {
+                let dists = chol.mahalanobis_sq_lanes(xt, mean, y);
+                for (lane, &dist) in dists.iter().enumerate() {
+                    out[(base + lane) * k + c] = log_norm - 0.5 * dist;
+                }
+            }
+        }
+        for (t, x) in block[full * d..].chunks_exact(d).enumerate() {
+            let p = full + t;
+            for (c, (mean, chol, log_norm)) in self.comps.iter().enumerate() {
+                out[p * k + c] = log_norm - 0.5 * chol.mahalanobis_sq_slice(x, mean, &mut y[..d]);
+            }
+        }
+    }
+
+    /// Lane-batched hard assignment of a contiguous block of projected
+    /// points: densities through
+    /// [`DensityEvaluator::log_densities_block_lanes`], then per point
+    /// the same `total_cmp`-based keep-last argmax over ascending
+    /// components as [`DensityEvaluator::assign_scratch`] — so the
+    /// assignments are bit-identical to the per-point path.
+    pub fn assign_block_lanes(
+        &self,
+        block: &[f64],
+        scratch: &mut EstepScratch,
+        out: &mut Vec<usize>,
+    ) {
+        let k = self.comps.len();
+        let mut dens = std::mem::take(&mut scratch.dens);
+        self.log_densities_block_lanes(block, &mut dens, scratch);
+        out.clear();
+        for row in dens.chunks_exact(k.max(1)) {
+            let mut best = 0;
+            let mut best_density = f64::NEG_INFINITY;
+            for (c, v) in row.iter().enumerate() {
+                // `>=` keeps the last maximum, matching `assign_scratch`.
+                if v.total_cmp(&best_density).is_ge() {
+                    best = c;
+                    best_density = *v;
+                }
+            }
+            out.push(best);
+        }
+        scratch.dens = dens;
+    }
+
+    /// Lane-batched fused E-step kernel: responsibilities and the
+    /// block's log-likelihood for a contiguous block of projected
+    /// points, 8 points per step (DESIGN.md §13).
+    ///
+    /// Full lane groups are transposed point-major once per group
+    /// (shared by every component's solve), each component's
+    /// triangular solve runs [`LANES`] independent points per
+    /// recurrence step, and the softmax reduces lane-parallel over the
+    /// group's k×[`LANES`] density tile. Ragged tails (`npts` not a
+    /// multiple of [`LANES`]) fall back to the exact scalar per-point
+    /// kernels. Every per-point float operation sequence — offset,
+    /// ascending-k subtraction, reciprocal multiply, ascending-i
+    /// squared-sum, ascending-c max/exp-sum/divide, point-ascending
+    /// log-likelihood addition — matches the scalar path, so `out` and
+    /// the returned log-likelihood are bit-identical to
+    /// [`DensityEvaluator::log_densities_block`] + [`softmax_in_place`]
+    /// per point.
+    pub fn responsibilities_block_lanes(
+        &self,
+        block: &[f64],
+        out: &mut Vec<f64>,
+        scratch: &mut EstepScratch,
+    ) -> f64 {
+        let d = self.arel.len();
+        let k = self.comps.len();
+        if d == 0 {
+            out.clear();
+            return 0.0;
+        }
+        let npts = block.len() / d;
+        assert_eq!(
+            block.len(),
+            npts * d,
+            "block is not a whole number of points"
+        );
+        out.clear();
+        out.resize(npts * k, 0.0);
+        let mut loglik = 0.0;
+        let (xt, y) = scratch.lanes.for_order(d);
+        scratch.tile.clear();
+        scratch.tile.resize(k * LANES, 0.0);
+        let tile = &mut scratch.tile[..];
+        let full = npts / LANES * LANES;
+        for (g, group) in block[..full * d].chunks_exact(d * LANES).enumerate() {
+            transpose_lane_group(group, d, xt);
+            for (c, (mean, chol, log_norm)) in self.comps.iter().enumerate() {
+                let dists = chol.mahalanobis_sq_lanes(xt, mean, y);
+                for (lane, &dist) in dists.iter().enumerate() {
+                    tile[c * LANES + lane] = log_norm - 0.5 * dist;
+                }
+            }
+            // Fused softmax over the tile: per lane, the component loop
+            // runs in ascending-c order — the same reduction order as
+            // [`softmax_in_place`] on that point's density row.
+            let mut maxv = [f64::NEG_INFINITY; LANES];
+            for c in 0..k {
+                let row = &tile[c * LANES..(c + 1) * LANES];
+                for lane in 0..LANES {
+                    maxv[lane] = maxv[lane].max(row[lane]);
+                }
+            }
+            let mut sum = [0.0f64; LANES];
+            for c in 0..k {
+                let row = &mut tile[c * LANES..(c + 1) * LANES];
+                for lane in 0..LANES {
+                    let e = (row[lane] - maxv[lane]).exp();
+                    row[lane] = e;
+                    sum[lane] += e;
+                }
+            }
+            let base = g * LANES;
+            for c in 0..k {
+                let row = &tile[c * LANES..(c + 1) * LANES];
+                for lane in 0..LANES {
+                    out[(base + lane) * k + c] = row[lane] / sum[lane];
+                }
+            }
+            // Lane order within the group is point order, so this adds
+            // the group's log-likelihoods point-ascending.
+            for lane in 0..LANES {
+                loglik += maxv[lane] + sum[lane].ln();
+            }
+        }
+        for (t, x) in block[full * d..].chunks_exact(d).enumerate() {
+            let p = full + t;
+            let resp = &mut out[p * k..(p + 1) * k];
+            for (c, (mean, chol, log_norm)) in self.comps.iter().enumerate() {
+                resp[c] = log_norm - 0.5 * chol.mahalanobis_sq_slice(x, mean, &mut y[..d]);
+            }
+            loglik += softmax_in_place(resp);
+        }
+        loglik
     }
 
     /// Hard assignment: the component maximizing the weighted density.
@@ -288,6 +548,8 @@ pub fn initialize_from_cores(
 /// degenerate (empty / single-point) cores.
 fn finish_components(accs: &[CovarianceAccumulator]) -> Vec<Component> {
     let d = accs.first().map_or(0, |a| a.dim());
+    // audit: order-exact — ascending component index over the merged
+    // accumulators, the same order on every path.
     let total: f64 = accs.iter().map(|a| a.total_weight()).sum::<f64>().max(1.0);
     accs.iter()
         .map(|acc| {
@@ -310,19 +572,19 @@ pub struct EmFit {
 }
 
 /// Points per E-step block of [`em_fit`]: big enough to amortize
-/// dispatch and expose cross-point instruction parallelism, small
-/// enough that the block's solve scratch stays cache-resident. Also the
+/// dispatch, the per-block accumulator allocations, and the row-outer
+/// [`CovarianceAccumulator::push_block`] setup, small enough that the
+/// block's density/solve scratch stays cache-resident. Also the
 /// work-unit granularity of the parallel E-step — see [`estep_blocked`].
-const EM_BLOCK_POINTS: usize = 128;
+const EM_BLOCK_POINTS: usize = 512;
 
 /// One E-step over the pre-projected sub-matrix `proj` (row-major,
 /// `arel.len()` values per point): responsibility-weighted covariance
 /// accumulators per component, plus the total log-likelihood under the
 /// evaluator's model.
 ///
-/// The scan is blocked at `EM_BLOCK_POINTS` (128-point) granularity
-/// and runs on
-/// the engine worker pool
+/// The scan is blocked at `EM_BLOCK_POINTS` (512-point) granularity
+/// and runs on the engine worker pool
 /// ([`p3c_mapreduce::parallel_for_blocks_with`]): each worker owns
 /// private density/solve scratch, produces one `(accumulators, loglik)`
 /// partial per claimed block, and the partials merge in **fixed
@@ -335,6 +597,22 @@ pub fn estep_blocked(
     proj: &[f64],
     threads: usize,
 ) -> (Vec<CovarianceAccumulator>, f64) {
+    estep_blocked_with_lanes(eval, proj, threads, lanes_enabled())
+}
+
+/// [`estep_blocked`] with the kernel family chosen explicitly: `lanes`
+/// selects the 8-wide fused kernel
+/// ([`DensityEvaluator::responsibilities_block_lanes`]) or the scalar
+/// blocked kernel ([`DensityEvaluator::log_densities_block`] +
+/// [`softmax_in_place`]). The two families are bit-identical
+/// (DESIGN.md §13); this entry point exists so tests and benchmarks
+/// can pin a family regardless of `P3C_LANES`.
+pub fn estep_blocked_with_lanes(
+    eval: &DensityEvaluator,
+    proj: &[f64],
+    threads: usize,
+    lanes: bool,
+) -> (Vec<CovarianceAccumulator>, f64) {
     let k = eval.num_components();
     let d = eval.arel.len();
     let dd = d.max(1);
@@ -343,35 +621,53 @@ pub fn estep_blocked(
     let partials = p3c_mapreduce::parallel_for_blocks_with(
         threads,
         num_blocks,
-        // Per-worker scratch: the block's log-densities and the fused
-        // forward-substitution buffer, reused across claimed blocks.
-        || {
-            (
-                Vec::with_capacity(EM_BLOCK_POINTS * k),
-                Vec::with_capacity(EM_BLOCK_POINTS * dd),
-            )
-        },
-        |(dens, y), block| {
+        // Per-worker scratch: the block's density/responsibility buffer
+        // and the kernel scratch, reused across claimed blocks.
+        || (Vec::with_capacity(EM_BLOCK_POINTS * k), EstepScratch::new()),
+        |(dens, scratch), block| {
             let start = block * EM_BLOCK_POINTS * dd;
             let end = (start + EM_BLOCK_POINTS * dd).min(proj.len());
             let chunk = &proj[start..end];
             let mut accs: Vec<CovarianceAccumulator> =
                 (0..k).map(|_| CovarianceAccumulator::new(d)).collect();
-            let mut loglik = 0.0;
-            eval.log_densities_block(chunk, dens, y);
-            for resp in dens.chunks_exact_mut(k.max(1)) {
-                loglik += softmax_in_place(resp);
-            }
+            let loglik = if lanes {
+                eval.responsibilities_block_lanes(chunk, dens, scratch)
+            } else {
+                let mut ll = 0.0;
+                eval.log_densities_block(chunk, dens, &mut scratch.y);
+                for resp in dens.chunks_exact_mut(k.max(1)) {
+                    ll += softmax_in_place(resp);
+                }
+                ll
+            };
             // Component-outer accumulation: each accumulator receives
             // its pushes in block point order — the same per-entry add
-            // sequence as a point-outer loop (bit-identical) — while
-            // its moment buffers stay hot across the whole block.
+            // sequence as a point-outer loop (bit-identical). The
+            // significant points are gathered densely so the whole
+            // block folds in with one `push_block` per component,
+            // whose row-outer scatter update keeps each triangular
+            // row's partial sums in registers across the block.
+            let block_pts = chunk.len() / dd;
             for (c, acc) in accs.iter_mut().enumerate() {
-                for (x, resp) in chunk.chunks_exact(dd).zip(dens.chunks_exact(k.max(1))) {
+                scratch.ws.clear();
+                for resp in dens.chunks_exact(k.max(1)) {
                     let r = resp[c];
                     if r > 1e-12 {
-                        acc.push(x, r);
+                        scratch.ws.push(r);
                     }
+                }
+                if d > 0 && scratch.ws.len() == block_pts {
+                    // Every point significant (the common case): fold
+                    // the chunk in directly, no gather copy.
+                    acc.push_block(chunk, &scratch.ws);
+                } else {
+                    scratch.xs.clear();
+                    for (x, resp) in chunk.chunks_exact(dd).zip(dens.chunks_exact(k.max(1))) {
+                        if resp[c] > 1e-12 {
+                            scratch.xs.extend_from_slice(&x[..d]);
+                        }
+                    }
+                    acc.push_block(&scratch.xs, &scratch.ws);
                 }
             }
             (accs, loglik)
@@ -605,6 +901,69 @@ mod tests {
         };
         let eval = model.evaluator();
         assert_eq!(eval.project(&[9.0, 0.1, 9.0, 0.7]), vec![0.1, 0.7]);
+    }
+
+    #[test]
+    fn lane_estep_is_bit_identical_to_scalar() {
+        let data = two_blob_rows();
+        let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let model = initialize_from_cores(&cores_for_blobs(), &rows, &[0, 1]);
+        let eval = model.evaluator();
+        // Cover sub-lane-group, exact-group and ragged-group sizes.
+        for npts in [1usize, 5, 8, 9, 24, 200] {
+            let proj: Vec<f64> = rows[..npts]
+                .iter()
+                .flat_map(|r| r.iter().copied())
+                .collect();
+            let (acc_s, ll_s) = estep_blocked_with_lanes(&eval, &proj, 1, false);
+            let (acc_l, ll_l) = estep_blocked_with_lanes(&eval, &proj, 1, true);
+            assert_eq!(ll_l.to_bits(), ll_s.to_bits(), "loglik at npts={npts}");
+            for (a, b) in acc_l.iter().zip(&acc_s) {
+                assert_eq!(a.total_weight().to_bits(), b.total_weight().to_bits());
+                let ma: Vec<u64> = a
+                    .mean()
+                    .unwrap_or_default()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                let mb: Vec<u64> = b
+                    .mean()
+                    .unwrap_or_default()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                assert_eq!(ma, mb, "means at npts={npts}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_responsibilities_match_scalar_softmax() {
+        let data = two_blob_rows();
+        let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let model = initialize_from_cores(&cores_for_blobs(), &rows, &[0, 1]);
+        let eval = model.evaluator();
+        let k = eval.num_components();
+        for npts in [3usize, 8, 11, 40] {
+            let proj: Vec<f64> = rows[..npts]
+                .iter()
+                .flat_map(|r| r.iter().copied())
+                .collect();
+            let mut dens = Vec::new();
+            let mut y = Vec::new();
+            eval.log_densities_block(&proj, &mut dens, &mut y);
+            let mut ll_s = 0.0;
+            for resp in dens.chunks_exact_mut(k) {
+                ll_s += softmax_in_place(resp);
+            }
+            let mut out = Vec::new();
+            let mut scratch = EstepScratch::new();
+            let ll_l = eval.responsibilities_block_lanes(&proj, &mut out, &mut scratch);
+            assert_eq!(ll_l.to_bits(), ll_s.to_bits(), "loglik at npts={npts}");
+            let bits_s: Vec<u64> = dens.iter().map(|v| v.to_bits()).collect();
+            let bits_l: Vec<u64> = out.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits_l, bits_s, "responsibilities at npts={npts}");
+        }
     }
 
     #[test]

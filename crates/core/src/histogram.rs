@@ -42,14 +42,13 @@ pub fn build_histograms_with_bins(data: &Dataset, bins: usize) -> AttributeHisto
     )
 }
 
-/// Column-scan histogram kernel over a flat row-major buffer: within
-/// each cache-sized block of rows, every attribute is binned in one
-/// strided pass, touching a single histogram at a time instead of
-/// dispatching across all `d` histograms per value. The blocking keeps
-/// the `d` passes inside a chunk that stays cache-resident, so the
-/// buffer streams from memory once. Counts are exact `+1.0`
-/// increments, so the result is bit-identical to the per-row path
-/// regardless of scan order.
+/// Flat-buffer histogram kernel over a row-major buffer: each block of
+/// rows is binned in one streaming pass ([`p3c_stats::bin_rows`]) with
+/// the bin-index conversion state hoisted per attribute, reading every
+/// cache line exactly once (a per-attribute strided re-scan was tried
+/// and re-reads each line `d` times, losing to per-row dispatch).
+/// Counts are exact `+1.0` increments, so the result is bit-identical
+/// to the per-row path regardless of scan order.
 pub fn build_histograms_columnar(
     n: usize,
     d: usize,
@@ -89,11 +88,7 @@ pub fn build_histograms_columnar_threads(
     let partials = p3c_mapreduce::parallel_for_blocks(threads, num_blocks, |b| {
         let chunk = &data[b * block..(b * block + block).min(data.len())];
         let mut hists = fresh();
-        for (j, hist) in hists.iter_mut().enumerate() {
-            for &v in chunk[j..].iter().step_by(stride) {
-                hist.add(v);
-            }
-        }
+        p3c_stats::bin_rows(&mut hists, stride, chunk);
         hists
     });
     let mut histograms = fresh();

@@ -9,9 +9,9 @@
 //!   split estimates; (2)+(3) mean and covariance over the points inside
 //!   each cluster's ball, as in the EM initialization.
 
-use crate::em::DensityEvaluator;
+use crate::em::{lanes_enabled, DensityEvaluator, EstepScratch};
 use crate::mr::AccMsg;
-use p3c_linalg::{Cholesky, CovarianceAccumulator};
+use p3c_linalg::{Cholesky, CovarianceAccumulator, LaneScratch};
 use p3c_mapreduce::{Emitter, Engine, Mapper, MrError, Reducer};
 use p3c_stats::descriptive::{dimensionwise_median, median_in_place};
 use p3c_stats::ChiSquared;
@@ -41,6 +41,104 @@ impl<'a> Mapper<&'a [f64], (), i64> for OdMapper {
             out.emit((), k as i64);
         }
     }
+
+    fn map_split(&self, split: &[&'a [f64]], out: &mut Emitter<(), i64>) {
+        let d = self.eval.arel_len();
+        if !lanes_enabled() || d == 0 {
+            for row in split {
+                self.map(row, out);
+            }
+            return;
+        }
+        // Lane path: assign the whole split through the 8-wide density
+        // kernel, then score each cluster's members as one contiguous
+        // block. Distances and argmax comparisons are bit-identical to
+        // the per-row path, and verdicts are emitted in row order, so
+        // the map output is byte-identical.
+        let (proj, assignment) = assign_split_lanes(&self.eval, split);
+        let verdicts = split_cluster_distances(&self.eval, &proj, &assignment, |c| {
+            DistanceSource::Component(c)
+        });
+        for (&c, &d2) in assignment.iter().zip(&verdicts) {
+            if d2 > self.crit {
+                out.emit((), -1);
+            } else {
+                out.emit((), c as i64);
+            }
+        }
+    }
+}
+
+/// Lane-batched split assignment: projects every row into one
+/// contiguous buffer and hard-assigns each point via
+/// [`DensityEvaluator::assign_block_lanes`] — bit-identical to per-row
+/// [`DensityEvaluator::assign`].
+fn assign_split_lanes(eval: &DensityEvaluator, split: &[&[f64]]) -> (Vec<f64>, Vec<usize>) {
+    let mut proj = Vec::with_capacity(split.len() * eval.arel_len());
+    for row in split {
+        eval.project_append(row, &mut proj);
+    }
+    let mut scratch = EstepScratch::new();
+    let mut assignment = Vec::new();
+    eval.assign_block_lanes(&proj, &mut scratch, &mut assignment);
+    (proj, assignment)
+}
+
+/// Which geometry scores a cluster's points in the grouped scans.
+enum DistanceSource<'e> {
+    /// The EM component's own parameters.
+    Component(usize),
+    /// A robust `(mean, Cholesky)` estimate.
+    Robust(&'e (Vec<f64>, Cholesky)),
+    /// No estimate: the points are never outliers.
+    Keep,
+}
+
+/// Squared Mahalanobis distance of every projected point to its
+/// cluster's geometry (chosen by `source`), computed per cluster
+/// through the lane-batched block kernel and scattered back to row
+/// order. `Keep` clusters score `NEG_INFINITY` (never above a
+/// threshold).
+fn split_cluster_distances<'e>(
+    eval: &DensityEvaluator,
+    proj: &[f64],
+    assignment: &[usize],
+    source: impl Fn(usize) -> DistanceSource<'e>,
+) -> Vec<f64> {
+    let d = eval.arel_len();
+    let npts = assignment.len();
+    let mut dists = vec![f64::NEG_INFINITY; npts];
+    let mut buf = Vec::new();
+    let mut idx = Vec::new();
+    let mut scratch = LaneScratch::new();
+    let mut out = Vec::new();
+    for c in 0..eval.num_components() {
+        let src = source(c);
+        if matches!(src, DistanceSource::Keep) {
+            continue;
+        }
+        buf.clear();
+        idx.clear();
+        for (i, (x, &a)) in proj.chunks_exact(d).zip(assignment).enumerate() {
+            if a == c {
+                buf.extend_from_slice(x);
+                idx.push(i);
+            }
+        }
+        match src {
+            DistanceSource::Component(k) => {
+                eval.mahalanobis_sq_component_block(k, &buf, &mut scratch, &mut out);
+            }
+            DistanceSource::Robust((mean, chol)) => {
+                chol.mahalanobis_sq_block(&buf, mean, &mut scratch, &mut out);
+            }
+            DistanceSource::Keep => unreachable!(),
+        }
+        for (&i, &d2) in idx.iter().zip(&out) {
+            dists[i] = d2;
+        }
+    }
+    dists
 }
 
 /// Runs the naive OD job; output is ordered like `rows`.
@@ -181,6 +279,36 @@ impl<'a> Mapper<&'a [f64], (), i64> for RobustOdMapper {
                 }
             }
             None => out.emit((), c as i64),
+        }
+    }
+
+    fn map_split(&self, split: &[&'a [f64]], out: &mut Emitter<(), i64>) {
+        let d = self.eval.arel_len();
+        if !lanes_enabled() || d == 0 {
+            for row in split {
+                self.map(row, out);
+            }
+            return;
+        }
+        // Lane path: grouped per-cluster block scans under the robust
+        // estimates; degenerate clusters keep their points. The fused
+        // block kernel's offset-into-substitution sequence is
+        // bit-identical to the per-row `diff` + `mahalanobis_sq` path
+        // (see `Cholesky::mahalanobis_sq_scratch`), and verdicts are
+        // emitted in row order — byte-identical map output.
+        let (proj, assignment) = assign_split_lanes(&self.eval, split);
+        let verdicts = split_cluster_distances(&self.eval, &proj, &assignment, |c| {
+            match &self.estimates[c] {
+                Some(est) => DistanceSource::Robust(est),
+                None => DistanceSource::Keep,
+            }
+        });
+        for (&c, &d2) in assignment.iter().zip(&verdicts) {
+            if d2 > self.crit {
+                out.emit((), -1);
+            } else {
+                out.emit((), c as i64);
+            }
         }
     }
 }

@@ -11,8 +11,8 @@
 //!   then computed from the points *inside the ball* only (the paper's
 //!   tractable approximation of the minimum-volume-ellipsoid estimator).
 
-use crate::em::DensityEvaluator;
-use p3c_linalg::{Cholesky, CovarianceAccumulator};
+use crate::em::{lanes_enabled, DensityEvaluator, EstepScratch};
+use p3c_linalg::{Cholesky, CovarianceAccumulator, LaneScratch};
 use p3c_stats::descriptive::{dimensionwise_median, median_in_place};
 use p3c_stats::ChiSquared;
 
@@ -21,6 +21,16 @@ pub type Assignment = Vec<i64>;
 
 /// Hard-assigns every row to its maximum-density component.
 pub fn assign_clusters(eval: &DensityEvaluator, rows: &[&[f64]]) -> Vec<usize> {
+    if lanes_enabled() && eval.arel_len() > 0 {
+        let mut proj = Vec::with_capacity(rows.len() * eval.arel_len());
+        for row in rows {
+            eval.project_append(row, &mut proj);
+        }
+        let mut scratch = EstepScratch::new();
+        let mut out = Vec::new();
+        eval.assign_block_lanes(&proj, &mut scratch, &mut out);
+        return out;
+    }
     let mut x = Vec::new();
     let mut y = Vec::new();
     rows.iter()
@@ -37,6 +47,34 @@ pub fn detect_outliers_naive(
     arel_len: usize,
 ) -> Assignment {
     let crit = ChiSquared::new(arel_len.max(1) as f64).critical_value(alpha);
+    if lanes_enabled() {
+        // Lane path: group each cluster's projected members (in row
+        // order) into one contiguous block, score the block through the
+        // 8-wide kernel, and scatter the distances back to row order.
+        // Per point the kernel runs the exact scalar operation
+        // sequence, so the verdicts are bit-identical to the per-point
+        // loop below.
+        let mut dists = vec![0.0; rows.len()];
+        let mut gather = ClusterGather::default();
+        for c in 0..eval.num_components() {
+            gather.collect(rows, assignment, c, |row, buf| {
+                eval.project_append(row, buf);
+            });
+            eval.mahalanobis_sq_component_block(
+                c,
+                &gather.buf,
+                &mut gather.scratch,
+                &mut gather.out,
+            );
+            gather.scatter(&mut dists);
+        }
+        return rows
+            .iter()
+            .zip(assignment)
+            .zip(&dists)
+            .map(|((_, &k), &d2)| if d2 > crit { -1 } else { k as i64 })
+            .collect();
+    }
     let mut x = Vec::new();
     let mut y = Vec::new();
     rows.iter()
@@ -50,6 +88,44 @@ pub fn detect_outliers_naive(
             }
         })
         .collect()
+}
+
+/// Gather/scatter state for the grouped lane-batched cluster scans: one
+/// cluster's projected members packed contiguously (`buf`), their row
+/// indices (`idx`), the kernel scratch, and the distances (`out`).
+#[derive(Default)]
+struct ClusterGather {
+    buf: Vec<f64>,
+    idx: Vec<usize>,
+    scratch: LaneScratch,
+    out: Vec<f64>,
+}
+
+impl ClusterGather {
+    /// Packs cluster `c`'s rows (in row order) via `project`.
+    fn collect(
+        &mut self,
+        rows: &[&[f64]],
+        assignment: &[usize],
+        c: usize,
+        mut project: impl FnMut(&[f64], &mut Vec<f64>),
+    ) {
+        self.buf.clear();
+        self.idx.clear();
+        for (i, (row, &a)) in rows.iter().zip(assignment).enumerate() {
+            if a == c {
+                project(row, &mut self.buf);
+                self.idx.push(i);
+            }
+        }
+    }
+
+    /// Writes the block kernel's distances back to row positions.
+    fn scatter(&self, dists: &mut [f64]) {
+        for (&i, &d2) in self.idx.iter().zip(&self.out) {
+            dists[i] = d2;
+        }
+    }
 }
 
 /// The MVB (minimum volume ball) statistics of one cluster, in `A_rel`
@@ -140,12 +216,26 @@ pub fn mcd_estimate(
         cov.add_ridge(1e-9);
         let chol = Cholesky::new_regularized(&cov)?;
         // Order all cluster points by Mahalanobis distance; keep h.
-        let mut scratch = Vec::with_capacity(d);
-        let mut dists: Vec<(f64, usize)> = points
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (chol.mahalanobis_sq_scratch(p, &mean, &mut scratch), i))
-            .collect();
+        let mut dists: Vec<(f64, usize)> = if lanes_enabled() {
+            // Lane path: score the whole cluster through the 8-wide
+            // block kernel (bit-identical per point to the scalar
+            // scratch loop below).
+            let mut flat = Vec::with_capacity(n * d);
+            for p in points {
+                flat.extend_from_slice(p);
+            }
+            let mut lane_scratch = LaneScratch::new();
+            let mut out = Vec::new();
+            chol.mahalanobis_sq_block(&flat, &mean, &mut lane_scratch, &mut out);
+            out.iter().copied().zip(0..n).collect()
+        } else {
+            let mut scratch = Vec::with_capacity(d);
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (chol.mahalanobis_sq_scratch(p, &mean, &mut scratch), i))
+                .collect()
+        };
         dists.sort_by(|a, b| a.0.total_cmp(&b.0));
         let next: Vec<usize> = dists.iter().take(h).map(|&(_, i)| i).collect();
         let converged = {
@@ -175,55 +265,38 @@ pub fn mcd_estimate(
     }
 }
 
-/// MCD-based outlier detection (extension; see [`mcd_estimate`]).
-pub fn detect_outliers_mcd(
+/// Scores every row against its cluster's robust `(mean, Cholesky)`
+/// estimate and flags outliers above `crit`; clusters with `None`
+/// estimates (degenerate) keep all their points. Dispatches between
+/// the grouped lane-batched block scan and the per-point scalar loop —
+/// bit-identical verdicts either way (each point's distance runs the
+/// same float operation sequence).
+fn detect_with_estimates(
     eval: &DensityEvaluator,
     rows: &[&[f64]],
     assignment: &[usize],
-    alpha: f64,
-    arel_len: usize,
+    estimates: &[Option<(Vec<f64>, Cholesky)>],
+    crit: f64,
 ) -> Assignment {
-    let k = eval.num_components();
-    let crit = ChiSquared::new(arel_len.max(1) as f64).critical_value(alpha);
-    let mut members: Vec<Vec<Vec<f64>>> = vec![Vec::new(); k];
-    for (row, &c) in rows.iter().zip(assignment) {
-        members[c].push(eval.project(row));
+    if lanes_enabled() {
+        // NEG_INFINITY never exceeds `crit`, so rows of degenerate
+        // clusters (no estimate, hence never scattered) stay members.
+        let mut dists = vec![f64::NEG_INFINITY; rows.len()];
+        let mut gather = ClusterGather::default();
+        for (c, est) in estimates.iter().enumerate() {
+            let Some((mean, chol)) = est else { continue };
+            gather.collect(rows, assignment, c, |row, buf| {
+                eval.project_append(row, buf);
+            });
+            chol.mahalanobis_sq_block(&gather.buf, mean, &mut gather.scratch, &mut gather.out);
+            gather.scatter(&mut dists);
+        }
+        return assignment
+            .iter()
+            .zip(&dists)
+            .map(|(&c, &d2)| if d2 > crit { -1 } else { c as i64 })
+            .collect();
     }
-    let estimates: Vec<Option<(Vec<f64>, Cholesky)>> = members
-        .iter()
-        .map(|pts| mcd_estimate(pts, 0.5, 4))
-        .collect();
-    let mut x = Vec::new();
-    let mut y = Vec::new();
-    rows.iter()
-        .zip(assignment)
-        .map(|(row, &c)| {
-            eval.project_into(row, &mut x);
-            match &estimates[c] {
-                Some((mean, chol)) => {
-                    if chol.mahalanobis_sq_scratch(&x, mean, &mut y) > crit {
-                        -1
-                    } else {
-                        c as i64
-                    }
-                }
-                None => c as i64,
-            }
-        })
-        .collect()
-}
-
-/// MVB-based outlier detection.
-pub fn detect_outliers_mvb(
-    eval: &DensityEvaluator,
-    rows: &[&[f64]],
-    assignment: &[usize],
-    alpha: f64,
-    arel_len: usize,
-) -> Assignment {
-    let k = eval.num_components();
-    let crit = ChiSquared::new(arel_len.max(1) as f64).critical_value(alpha);
-    let estimates = robust_cluster_estimates(eval, rows, assignment, k);
     let mut x = Vec::new();
     let mut y = Vec::new();
     rows.iter()
@@ -242,6 +315,41 @@ pub fn detect_outliers_mvb(
             }
         })
         .collect()
+}
+
+/// MCD-based outlier detection (extension; see [`mcd_estimate`]).
+pub fn detect_outliers_mcd(
+    eval: &DensityEvaluator,
+    rows: &[&[f64]],
+    assignment: &[usize],
+    alpha: f64,
+    arel_len: usize,
+) -> Assignment {
+    let k = eval.num_components();
+    let crit = ChiSquared::new(arel_len.max(1) as f64).critical_value(alpha);
+    let mut members: Vec<Vec<Vec<f64>>> = vec![Vec::new(); k];
+    for (row, &c) in rows.iter().zip(assignment) {
+        members[c].push(eval.project(row));
+    }
+    let estimates: Vec<Option<(Vec<f64>, Cholesky)>> = members
+        .iter()
+        .map(|pts| mcd_estimate(pts, 0.5, 4))
+        .collect();
+    detect_with_estimates(eval, rows, assignment, &estimates, crit)
+}
+
+/// MVB-based outlier detection.
+pub fn detect_outliers_mvb(
+    eval: &DensityEvaluator,
+    rows: &[&[f64]],
+    assignment: &[usize],
+    alpha: f64,
+    arel_len: usize,
+) -> Assignment {
+    let k = eval.num_components();
+    let crit = ChiSquared::new(arel_len.max(1) as f64).critical_value(alpha);
+    let estimates = robust_cluster_estimates(eval, rows, assignment, k);
+    detect_with_estimates(eval, rows, assignment, &estimates, crit)
 }
 
 #[cfg(test)]
@@ -435,6 +543,28 @@ mod tests {
     #[test]
     fn mvb_of_empty_is_none() {
         assert!(mvb_of(&[]).is_none());
+    }
+
+    #[test]
+    fn lane_and_scalar_outlier_scans_agree() {
+        let data = rows_with_outliers();
+        let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let eval = single_component_model().evaluator();
+        let assignment = assign_clusters(&eval, &rows);
+        type Detect = fn(&DensityEvaluator, &[&[f64]], &[usize], f64, usize) -> Assignment;
+        let detectors: [Detect; 3] = [
+            detect_outliers_naive,
+            detect_outliers_mvb,
+            detect_outliers_mcd,
+        ];
+        for detect in detectors {
+            crate::em::set_lane_mode(Some(false));
+            let scalar = detect(&eval, &rows, &assignment, 0.001, 2);
+            crate::em::set_lane_mode(Some(true));
+            let lanes = detect(&eval, &rows, &assignment, 0.001, 2);
+            crate::em::set_lane_mode(None);
+            assert_eq!(scalar, lanes);
+        }
     }
 
     #[test]

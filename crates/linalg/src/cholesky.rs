@@ -7,6 +7,54 @@
 
 use crate::matrix::Matrix;
 
+/// Lane width of the batched solve kernels: 8 points advance through the
+/// forward substitution together. The width is a compile-time constant so
+/// the per-step inner loops are fixed-length `[f64; LANES]` updates the
+/// compiler unrolls and vectorizes on stable Rust (no `std::simd`).
+pub const LANES: usize = 8;
+
+/// Reusable scratch for the lane-batched kernels: the transposed
+/// lane-group (`xt`) and the point-major solve coefficients (`y`), both
+/// laid out coordinate-major (`buf[i * LANES + lane]`) so every step of
+/// the triangular recurrence reads and writes one contiguous lane-group.
+#[derive(Debug, Default)]
+pub struct LaneScratch {
+    /// Transposed lane-group: `xt[i * LANES + lane] = x_lane[i]`.
+    pub xt: Vec<f64>,
+    /// Solve coefficients, same layout as `xt`.
+    pub y: Vec<f64>,
+}
+
+impl LaneScratch {
+    /// Empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resizes both buffers for an order-`n` solve and returns them.
+    pub fn for_order(&mut self, n: usize) -> (&mut [f64], &mut [f64]) {
+        self.xt.clear();
+        self.xt.resize(n * LANES, 0.0);
+        self.y.clear();
+        self.y.resize(n * LANES, 0.0);
+        (&mut self.xt, &mut self.y)
+    }
+}
+
+/// Transposes a full lane-group of `LANES` points (row-major, `n` values
+/// per point) into the coordinate-major layout the lane kernels consume:
+/// `xt[i * LANES + lane] = group[lane * n + i]`.
+#[inline]
+pub fn transpose_lane_group(group: &[f64], n: usize, xt: &mut [f64]) {
+    debug_assert_eq!(group.len(), n * LANES);
+    debug_assert_eq!(xt.len(), n * LANES);
+    for (lane, point) in group.chunks_exact(n).enumerate() {
+        for (i, &v) in point.iter().enumerate() {
+            xt[i * LANES + lane] = v;
+        }
+    }
+}
+
 /// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
 #[derive(Debug, Clone)]
 pub struct Cholesky {
@@ -57,6 +105,7 @@ impl Cholesky {
         if let Some(c) = Self::new(a) {
             return Some(c);
         }
+        // audit: order-exact — f64::max is associative and commutative
         let max_diag = (0..a.rows())
             .map(|i| a[(i, i)].abs())
             .fold(0.0f64, f64::max)
@@ -114,7 +163,9 @@ impl Cholesky {
     /// Uses `‖L⁻¹ diff‖²`, avoiding an explicit inverse.
     pub fn mahalanobis_sq(&self, diff: &[f64]) -> f64 {
         let y = self.solve_lower(diff);
-        y.iter().map(|v| v * v).sum()
+        // audit: order-exact — ascending-index sum; the lane kernel
+        // (`mahalanobis_sq_block`) replays this exact per-lane order.
+        y.iter().map(|v| v * v).sum::<f64>()
     }
 
     /// Forward-substitutes `L y = b` into a caller-owned buffer — the
@@ -185,8 +236,116 @@ impl Cholesky {
         dist
     }
 
+    /// Forward-substitutes `L y = b` for [`LANES`] right-hand sides at
+    /// once. `bt` and `y` are coordinate-major lane-groups
+    /// (`buf[i * LANES + lane]`, see [`transpose_lane_group`]): at step
+    /// `i` the recurrence subtracts `L_ik · y_k` from all lanes with one
+    /// broadcast load of `L_ik`, so the otherwise latency-bound scalar
+    /// chain becomes [`LANES`] independent chains the CPU overlaps and
+    /// vectorizes. Each lane runs exactly the floating-point sequence of
+    /// [`Cholesky::solve_lower`], so per-lane results are bit-identical
+    /// to the scalar path.
+    pub fn solve_lower_lanes(&self, bt: &[f64], y: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(bt.len(), n * LANES);
+        assert_eq!(y.len(), n * LANES);
+        for i in 0..n {
+            let mut sum = [0.0f64; LANES];
+            sum.copy_from_slice(&bt[i * LANES..(i + 1) * LANES]);
+            let row = &self.l[i * n..i * n + i];
+            // `split_at_mut` + `chunks_exact` prove the lane-group
+            // bounds once, keeping the recurrence free of per-step
+            // bounds checks so it vectorizes cleanly.
+            let (done, rest) = y.split_at_mut(i * LANES);
+            for (yk, &lik) in done.chunks_exact(LANES).zip(row) {
+                for lane in 0..LANES {
+                    sum[lane] -= lik * yk[lane];
+                }
+            }
+            let inv = self.inv_diag[i];
+            for (yi, s) in rest[..LANES].iter_mut().zip(sum) {
+                *yi = s * inv;
+            }
+        }
+    }
+
+    /// Squared Mahalanobis distances of a full lane-group of [`LANES`]
+    /// points, fusing the mean offset into the batched forward
+    /// substitution. `xt` and `y` are coordinate-major lane-groups
+    /// (`scratch.for_order` layouts); returns one squared distance per
+    /// lane. Per lane, the operation sequence — offset, ascending-`k`
+    /// subtractions, reciprocal multiply, `dist += y_i²` in ascending
+    /// `i` — is exactly that of [`Cholesky::mahalanobis_sq_slice`], so
+    /// every lane is bit-identical to the scalar kernel.
+    pub fn mahalanobis_sq_lanes(&self, xt: &[f64], mean: &[f64], y: &mut [f64]) -> [f64; LANES] {
+        let n = self.n;
+        assert_eq!(xt.len(), n * LANES);
+        assert_eq!(mean.len(), n);
+        assert_eq!(y.len(), n * LANES);
+        let mut dist = [0.0f64; LANES];
+        for i in 0..n {
+            let mut sum = [0.0f64; LANES];
+            let xi = &xt[i * LANES..(i + 1) * LANES];
+            let mi = mean[i];
+            for lane in 0..LANES {
+                sum[lane] = xi[lane] - mi;
+            }
+            let row = &self.l[i * n..i * n + i];
+            // Same bounds-check-free shape as `solve_lower_lanes`.
+            let (done, rest) = y.split_at_mut(i * LANES);
+            for (yk, &lik) in done.chunks_exact(LANES).zip(row) {
+                for lane in 0..LANES {
+                    sum[lane] -= lik * yk[lane];
+                }
+            }
+            let inv = self.inv_diag[i];
+            for (lane, (yi, s)) in rest[..LANES].iter_mut().zip(sum).enumerate() {
+                let v = s * inv;
+                *yi = v;
+                dist[lane] += v * v;
+            }
+        }
+        dist
+    }
+
+    /// Squared Mahalanobis distances of a contiguous block of points
+    /// (row-major, `n` values per point) to one `(mean, L)` geometry:
+    /// full lane-groups of [`LANES`] points run the batched kernel, the
+    /// ragged tail runs the scalar [`Cholesky::mahalanobis_sq_slice`]
+    /// path point by point. Both produce the per-point scalar operation
+    /// sequence, so `out` is bit-identical to a plain per-point loop for
+    /// every block length (including blocks shorter than one lane-group).
+    pub fn mahalanobis_sq_block(
+        &self,
+        block: &[f64],
+        mean: &[f64],
+        scratch: &mut LaneScratch,
+        out: &mut Vec<f64>,
+    ) {
+        let n = self.n;
+        assert_eq!(mean.len(), n);
+        let npts = block.len().checked_div(n).unwrap_or(0);
+        assert_eq!(block.len(), npts * n, "block is not whole points");
+        out.clear();
+        if n == 0 {
+            out.resize(npts, 0.0);
+            return;
+        }
+        let (xt, y) = scratch.for_order(n);
+        let full = npts / LANES * LANES;
+        for group in block[..full * n].chunks_exact(n * LANES) {
+            transpose_lane_group(group, n, xt);
+            out.extend(self.mahalanobis_sq_lanes(xt, mean, y));
+        }
+        for point in block[full * n..].chunks_exact(n) {
+            out.push(self.mahalanobis_sq_slice(point, mean, &mut y[..n]));
+        }
+    }
+
     /// `ln det A = 2 Σ ln L_ii` — needed by the Gaussian log-density in EM.
     pub fn log_det(&self) -> f64 {
+        // audit: order-exact — ascending-diagonal sum, the same order
+        // every caller (serial or lane-batched) observes.
         (0..self.n)
             .map(|i| self.l[i * self.n + i].ln())
             .sum::<f64>()
@@ -311,5 +470,104 @@ mod tests {
         let mut scratch = Vec::new();
         let fused = c.mahalanobis_sq_scratch(&x, &mean, &mut scratch);
         assert_eq!(fused.to_bits(), c.mahalanobis_sq(&diff).to_bits());
+    }
+
+    /// Deterministic value stream for the lane tests (xorshift64*).
+    fn stream(seed: u64) -> impl FnMut() -> f64 {
+        let mut s = seed.wrapping_mul(2685821657736338717).max(1);
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// A well-conditioned SPD matrix of order `n` with off-diagonal mass.
+    fn spd(n: usize, seed: u64) -> Matrix {
+        let mut next = stream(seed);
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = (next() - 0.5) * 0.2;
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+            a[(i, i)] = 1.0 + next();
+        }
+        a
+    }
+
+    #[test]
+    fn lane_solve_is_bit_identical_to_scalar() {
+        for n in [1usize, 2, 3, 5, 10, 13] {
+            let c = Cholesky::new(&spd(n, n as u64 + 1)).unwrap();
+            let mut next = stream(7 * n as u64 + 3);
+            let points: Vec<Vec<f64>> = (0..LANES)
+                .map(|_| (0..n).map(|_| next() * 4.0 - 2.0).collect())
+                .collect();
+            let mut bt = vec![0.0; n * LANES];
+            for (lane, p) in points.iter().enumerate() {
+                for (i, &v) in p.iter().enumerate() {
+                    bt[i * LANES + lane] = v;
+                }
+            }
+            let mut y = vec![0.0; n * LANES];
+            c.solve_lower_lanes(&bt, &mut y);
+            for (lane, p) in points.iter().enumerate() {
+                let scalar = c.solve_lower(p);
+                for i in 0..n {
+                    assert_eq!(
+                        y[i * LANES + lane].to_bits(),
+                        scalar[i].to_bits(),
+                        "n={n}, lane={lane}, i={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_mahalanobis_is_bit_identical_to_scalar() {
+        for n in [1usize, 2, 4, 10] {
+            let c = Cholesky::new(&spd(n, 31 + n as u64)).unwrap();
+            let mut next = stream(n as u64 + 11);
+            let mean: Vec<f64> = (0..n).map(|_| next()).collect();
+            let group: Vec<f64> = (0..n * LANES).map(|_| next() * 3.0).collect();
+            let mut scratch = LaneScratch::new();
+            let (xt, y) = scratch.for_order(n);
+            transpose_lane_group(&group, n, xt);
+            let dists = c.mahalanobis_sq_lanes(xt, &mean, y);
+            let mut ys = vec![0.0; n];
+            for (lane, point) in group.chunks_exact(n).enumerate() {
+                let scalar = c.mahalanobis_sq_slice(point, &mean, &mut ys);
+                assert_eq!(
+                    dists[lane].to_bits(),
+                    scalar.to_bits(),
+                    "n={n}, lane={lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_mahalanobis_handles_tails_bit_identically() {
+        let n = 6;
+        let c = Cholesky::new(&spd(n, 5)).unwrap();
+        let mut next = stream(77);
+        let mean: Vec<f64> = (0..n).map(|_| next()).collect();
+        let mut scratch = LaneScratch::new();
+        let mut out = Vec::new();
+        // Below one lane-group, exactly one, ragged multi-group.
+        for npts in [0usize, 1, 3, 7, 8, 9, 16, 23] {
+            let block: Vec<f64> = (0..npts * n).map(|_| next() * 2.0).collect();
+            c.mahalanobis_sq_block(&block, &mean, &mut scratch, &mut out);
+            assert_eq!(out.len(), npts);
+            let mut ys = vec![0.0; n];
+            for (p, point) in block.chunks_exact(n).enumerate() {
+                let scalar = c.mahalanobis_sq_slice(point, &mean, &mut ys);
+                assert_eq!(out[p].to_bits(), scalar.to_bits(), "npts={npts}, p={p}");
+            }
+        }
     }
 }

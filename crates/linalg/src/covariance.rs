@@ -27,7 +27,12 @@ pub struct CovarianceAccumulator {
     dim: usize,
     /// Σ w_i x_i
     linear: Vec<f64>,
-    /// Σ w_i x_i x_iᵀ (row-major, symmetric)
+    /// Σ w_i x_i x_iᵀ (row-major). Only the lower triangle is
+    /// maintained — [`CovarianceAccumulator::push`] stops each row's
+    /// update just past the diagonal, so entries above it hold
+    /// deterministic but meaningless partial sums. Covariance
+    /// extraction mirrors the lower triangle; nothing reads the upper
+    /// entries numerically.
     scatter: Vec<f64>,
     /// Σ w_i
     weight: f64,
@@ -60,12 +65,14 @@ impl CovarianceAccumulator {
     ///
     /// The scatter update walks row slices with iterators — the same
     /// `scatter[i][j] += (w·x_i)·x_j` arithmetic in the same order as
-    /// the indexed form (bit-identical), with bounds checks hoisted so
-    /// the fixed-length inner loop vectorizes. (A packed-triangle
-    /// variant halves the multiply-adds but benchmarks ~2x slower: the
-    /// ragged row lengths defeat vectorization.) `#[inline]` because
-    /// the workspace builds without cross-crate LTO and this is the
-    /// hottest call in `p3c_core::em::estep_blocked`.
+    /// the indexed form (bit-identical), with bounds checks hoisted.
+    /// Each row's update stops at the diagonal: the matrix is
+    /// symmetric, so only the lower triangle is maintained (see the
+    /// field docs) and extraction mirrors it. Hot loops should prefer
+    /// [`CovarianceAccumulator::push_block`], which runs the same
+    /// per-entry add sequences row-outer/point-inner so the short
+    /// triangular rows stop throttling vectorization. `#[inline]`
+    /// because the workspace builds without cross-crate LTO.
     #[inline]
     pub fn push(&mut self, x: &[f64], w: f64) {
         debug_assert_eq!(x.len(), self.dim);
@@ -75,15 +82,85 @@ impl CovarianceAccumulator {
         for (li, &xi) in self.linear.iter_mut().zip(x) {
             *li += w * xi;
         }
-        for (row, &xi) in self.scatter.chunks_exact_mut(self.dim.max(1)).zip(x) {
+        let dim = self.dim.max(1);
+        for (i, (row, &xi)) in self.scatter.chunks_exact_mut(dim).zip(x).enumerate() {
             let wxi = w * xi;
-            for (s, &xj) in row.iter_mut().zip(x) {
+            for (s, &xj) in row[..i + 1].iter_mut().zip(x) {
                 *s += wxi * xj;
             }
         }
         self.weight += w;
         self.weight_sq += w * w;
         self.count += 1;
+    }
+
+    /// Folds a whole block of observations in at once — bit-identical
+    /// to pushing `(xs[p], ws[p])` sequentially for every `p` (weights
+    /// must be non-zero; [`CovarianceAccumulator::push`] would skip
+    /// zero-weight points, so callers filter them out first, exactly
+    /// like the E-step's responsibility gate does).
+    ///
+    /// Every accumulator field is a per-entry sum over points, and
+    /// points only interact *within* one entry, so looping points
+    /// inside entries (here: scatter row-outer, point-inner) replays
+    /// the exact per-entry add chains of sequential pushes while each
+    /// triangular row's partial sums stay in registers for the whole
+    /// block — the fixed-length inner loop vectorizes and the row's
+    /// loads/stores amortize over `ws.len()` points instead of one.
+    pub fn push_block(&mut self, xs: &[f64], ws: &[f64]) {
+        let d = self.dim;
+        assert_eq!(xs.len(), ws.len() * d, "block is not ws.len() points");
+        if d == 0 {
+            for &w in ws {
+                debug_assert!(w != 0.0, "push_block requires non-zero weights");
+                self.weight += w;
+                self.weight_sq += w * w;
+            }
+            self.count += ws.len() as u64;
+            return;
+        }
+        for (x, &w) in xs.chunks_exact(d).zip(ws) {
+            debug_assert!(w != 0.0, "push_block requires non-zero weights");
+            for (li, &xi) in self.linear.iter_mut().zip(x) {
+                *li += w * xi;
+            }
+            self.weight += w;
+            self.weight_sq += w * w;
+        }
+        self.count += ws.len() as u64;
+        // Rows are processed in adjacent pairs: both rows share the
+        // `x[..i+1]` loads, so each streamed point feeds two triangular
+        // rows per pass (entries never interact across rows, so the
+        // per-entry point-ascending add chains are unchanged).
+        let mut i = 0;
+        while i + 1 < d {
+            let (head, tail) = self.scatter.split_at_mut((i + 1) * d);
+            let row0 = &mut head[i * d..i * d + i + 1];
+            let row1 = &mut tail[..i + 2];
+            for (x, &w) in xs.chunks_exact(d).zip(ws) {
+                let wxi0 = w * x[i];
+                let wxi1 = w * x[i + 1];
+                for ((s0, s1), &xj) in row0
+                    .iter_mut()
+                    .zip(row1[..i + 1].iter_mut())
+                    .zip(&x[..i + 1])
+                {
+                    *s0 += wxi0 * xj;
+                    *s1 += wxi1 * xj;
+                }
+                row1[i + 1] += wxi1 * x[i + 1];
+            }
+            i += 2;
+        }
+        if i < d {
+            let row = &mut self.scatter[i * d..i * d + i + 1];
+            for (x, &w) in xs.chunks_exact(d).zip(ws) {
+                let wxi = w * x[i];
+                for (s, &xj) in row.iter_mut().zip(x) {
+                    *s += wxi * xj;
+                }
+            }
+        }
     }
 
     /// Merges a partial accumulator from another split.
@@ -133,10 +210,14 @@ impl CovarianceAccumulator {
         let norm = self.weight / denom;
         let mut cov = Matrix::zeros(self.dim, self.dim);
         // Σ w (x−μ)(x−μ)ᵀ = scatter − w_C μ μᵀ  (since Σ w x = w_C μ).
+        // Only the lower triangle of `scatter` is maintained (see
+        // `push`); mirror it into the upper half of the result.
         for i in 0..self.dim {
-            for j in 0..self.dim {
+            for j in 0..=i {
                 let centered = self.scatter[i * self.dim + j] - self.weight * mean[i] * mean[j];
-                cov[(i, j)] = norm * centered;
+                let c = norm * centered;
+                cov[(i, j)] = c;
+                cov[(j, i)] = c;
             }
         }
         Some(cov)
@@ -150,10 +231,13 @@ impl CovarianceAccumulator {
             return None;
         }
         let mut cov = Matrix::zeros(self.dim, self.dim);
+        // Lower triangle mirrored, as in `covariance`.
         for i in 0..self.dim {
-            for j in 0..self.dim {
+            for j in 0..=i {
                 let centered = self.scatter[i * self.dim + j] - self.weight * mean[i] * mean[j];
-                cov[(i, j)] = centered / self.weight;
+                let c = centered / self.weight;
+                cov[(i, j)] = c;
+                cov[(j, i)] = c;
             }
         }
         Some(cov)
@@ -320,6 +404,41 @@ mod tests {
         for i in 0..2 {
             for j in 0..2 {
                 assert!((ml[(i, j)] - unbiased[(i, j)] * ratio).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn push_block_is_bit_identical_to_sequential_pushes() {
+        let mut s = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            (s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for d in [0usize, 1, 2, 3, 7, 10] {
+            for npts in [0usize, 1, 5, 23] {
+                let xs: Vec<f64> = (0..npts * d).map(|_| rng()).collect();
+                let ws: Vec<f64> = (0..npts).map(|_| rng() + 1e-3).collect();
+                let mut seq = CovarianceAccumulator::new(d);
+                for (p, &w) in ws.iter().enumerate() {
+                    seq.push(&xs[p * d..(p + 1) * d], w);
+                }
+                let mut blk = CovarianceAccumulator::new(d);
+                blk.push_block(&xs, &ws);
+                let (d0, l0, s0, w0, q0, c0) = seq.to_parts();
+                let (d1, l1, s1, w1, q1, c1) = blk.to_parts();
+                assert_eq!(d0, d1);
+                assert_eq!(c0, c1, "d={d}, npts={npts}");
+                assert_eq!(w0.to_bits(), w1.to_bits(), "d={d}, npts={npts}");
+                assert_eq!(q0.to_bits(), q1.to_bits(), "d={d}, npts={npts}");
+                for (a, b) in l0.iter().zip(l1) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "d={d}, npts={npts}");
+                }
+                for (a, b) in s0.iter().zip(s1) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "d={d}, npts={npts}");
+                }
             }
         }
     }

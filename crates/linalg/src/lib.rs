@@ -20,7 +20,7 @@ pub mod covariance;
 pub mod matrix;
 pub mod vector;
 
-pub use cholesky::Cholesky;
+pub use cholesky::{Cholesky, LaneScratch, LANES};
 pub use covariance::CovarianceAccumulator;
 pub use matrix::Matrix;
 pub use vector::{add, dist, dist_sq, dot, norm, scale, sub};

@@ -11,10 +11,87 @@ use serde::{Deserialize, Serialize};
 /// bin `i-1`, and `x = 0` in bin 0). Values outside `[0,1]` are clamped.
 #[inline]
 pub fn bin_index(x: f64, m: usize) -> usize {
-    debug_assert!(m >= 1);
-    let raw = (m as f64 * x).ceil();
-    let one_based = raw.max(1.0).min(m as f64);
-    one_based as usize - 1
+    BinIndexer::new(m).index(x)
+}
+
+/// Precomputed state for repeated [`bin_index`] calls over one histogram
+/// geometry: the scan-loop form with the `m → f64` conversions hoisted
+/// out of the per-value loop and a branchless index conversion (clamp +
+/// truncating cast + bool bump emulating `ceil`, instead of the `ceil`
+/// libm call — semantics are identical, including NaN and out-of-range
+/// clamping, see the unit tests).
+#[derive(Debug, Clone, Copy)]
+pub struct BinIndexer {
+    /// Bin count as f64 (the inverse bin width on `[0,1]`).
+    mf: f64,
+}
+
+impl BinIndexer {
+    /// Indexer for an `m ≥ 1` bin histogram.
+    #[inline]
+    pub fn new(m: usize) -> Self {
+        debug_assert!(m >= 1);
+        Self { mf: m as f64 }
+    }
+
+    /// Branchless [`bin_index`] of `x` (same clamping semantics).
+    #[inline]
+    pub fn index(&self, x: f64) -> usize {
+        // Clamp the scaled value into [0, m] first (f64::max/min compile
+        // to maxsd/minsd and also squash NaN to 0), then emulate ceil:
+        // floor via the truncating cast, plus one when fractional.
+        let t = (self.mf * x).max(0.0).min(self.mf);
+        let i = t as usize;
+        let one_based = i + ((i as f64) < t) as usize;
+        // max(1) maps both the x ≤ 0 clamp (t = 0) and exact zero into
+        // bin 1 (1-based), per the paper's max(1, ⌈m·x⌉).
+        one_based.max(1) - 1
+    }
+
+    /// The scan-kernel form of [`BinIndexer::index`]: identical result
+    /// for every `f64` input (pinned by a unit test), one conversion
+    /// instead of two. `max(1, ⌈t⌉) − 1` maps `t ∈ (k, k+1] → k` and
+    /// `t = 0 → 0`; stepping a positive `t` one ulp down and flooring
+    /// computes the same map directly — clamped `t` is finite and
+    /// non-negative, so the bit decrement is exactly `nextafter(t, -∞)`
+    /// (it also crosses from `k` into `(k−1, k)` at exact bin edges,
+    /// which is what sends edges to the lower bin), and the truncating
+    /// cast is a floor for non-negative values. Used by [`bin_rows`],
+    /// where the back-conversion's latency dominates the per-value
+    /// chain; [`BinIndexer::index`] stays the readable reference.
+    #[inline]
+    pub fn index_scan(&self, x: f64) -> usize {
+        let t = (self.mf * x).max(0.0).min(self.mf);
+        f64::from_bits(t.to_bits() - ((t > 0.0) as u64)) as usize
+    }
+}
+
+/// Bins a row-major block of values into one histogram per attribute in
+/// a single streaming pass: `data` holds rows of `stride` values, and
+/// value `j` of each row lands in `hists[j]` (rows must be at least as
+/// wide as `hists`; `stride ≥ hists.len()`). The [`BinIndexer`] state is
+/// hoisted per attribute, the row is read once (each cache line is
+/// touched a single time, unlike a per-attribute strided re-scan), and
+/// consecutive increments hit different histograms so the
+/// store-to-load chains of repeated bins interleave. Counts are exact
+/// `+1.0` increments — bit-identical to calling [`Histogram::add`]
+/// value by value in any order.
+pub fn bin_rows(hists: &mut [Histogram], stride: usize, data: &[f64]) {
+    assert!(stride >= hists.len(), "rows narrower than histogram set");
+    assert_eq!(data.len() % stride.max(1), 0, "partial trailing row");
+    let indexers: Vec<BinIndexer> = hists
+        .iter()
+        .map(|h| BinIndexer::new(h.num_bins()))
+        .collect();
+    for row in data.chunks_exact(stride.max(1)) {
+        for ((hist, indexer), &v) in hists.iter_mut().zip(&indexers).zip(row) {
+            // `index_scan` already returns < num_bins; the redundant
+            // clamp makes that provable so the increment needs no
+            // bounds check (a cmov instead of a cmp+branch per value).
+            let last = hist.counts.len() - 1;
+            hist.counts[indexer.index_scan(v).min(last)] += 1.0;
+        }
+    }
 }
 
 /// A histogram over `[0,1]` with `m` equal-width bins and f64 counts
@@ -59,6 +136,16 @@ impl Histogram {
     pub fn add_weighted(&mut self, x: f64, w: f64) {
         let i = bin_index(x, self.counts.len());
         self.counts[i] += w;
+    }
+
+    /// Adds every value with weight 1 — the scan-kernel form of
+    /// [`Histogram::add`], with the [`BinIndexer`] state hoisted out of
+    /// the per-value loop. Counts are bit-identical to repeated `add`.
+    pub fn add_all(&mut self, values: impl IntoIterator<Item = f64>) {
+        let indexer = BinIndexer::new(self.counts.len());
+        for v in values {
+            self.counts[indexer.index(v)] += 1.0;
+        }
     }
 
     /// Per-bin counts.
@@ -128,6 +215,63 @@ mod tests {
         assert_eq!(bin_index(0.100_000_1, 10), 1);
         assert_eq!(bin_index(0.95, 10), 9);
         assert_eq!(bin_index(1.0, 10), 9);
+    }
+
+    #[test]
+    fn branchless_index_matches_ceil_formula() {
+        // The previous implementation, kept as the semantic reference.
+        let ceil_form = |x: f64, m: usize| -> usize {
+            let raw = (m as f64 * x).ceil();
+            let one_based = raw.max(1.0).min(m as f64);
+            one_based as usize - 1
+        };
+        for m in [1usize, 2, 7, 10, 64, 1000] {
+            let indexer = BinIndexer::new(m);
+            for i in -50..2050 {
+                let x = i as f64 / 1000.0;
+                assert_eq!(bin_index(x, m), ceil_form(x, m), "x={x}, m={m}");
+                assert_eq!(indexer.index_scan(x), ceil_form(x, m), "x={x}, m={m}");
+            }
+            // Exact bin edges and one-ulp neighbours.
+            for b in 0..=m {
+                let edge = b as f64 / m as f64;
+                for x in [
+                    edge,
+                    f64::from_bits(edge.to_bits() + 1),
+                    f64::from_bits(edge.to_bits().saturating_sub(1)),
+                ] {
+                    assert_eq!(bin_index(x, m), ceil_form(x, m), "x={x}, m={m}");
+                    assert_eq!(indexer.index_scan(x), ceil_form(x, m), "x={x}, m={m}");
+                }
+            }
+            for x in [
+                f64::NAN,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::MIN_POSITIVE,
+                f64::from_bits(1), // smallest subnormal
+                -0.0,
+            ] {
+                assert_eq!(bin_index(x, m), ceil_form(x, m), "x={x}, m={m}");
+                assert_eq!(indexer.index_scan(x), ceil_form(x, m), "x={x}, m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn bin_rows_matches_per_value_adds() {
+        let data: Vec<f64> = (0..60).map(|i| (i as f64 * 0.37).fract()).collect();
+        for (nhist, stride) in [(3usize, 3usize), (2, 3), (0, 2)] {
+            let mut scanned: Vec<Histogram> = (0..nhist).map(|j| Histogram::new(4 + j)).collect();
+            bin_rows(&mut scanned, stride, &data);
+            let mut reference: Vec<Histogram> = (0..nhist).map(|j| Histogram::new(4 + j)).collect();
+            for row in data.chunks_exact(stride) {
+                for (hist, &v) in reference.iter_mut().zip(row) {
+                    hist.add(v);
+                }
+            }
+            assert_eq!(scanned, reference, "nhist={nhist}, stride={stride}");
+        }
     }
 
     #[test]

@@ -34,6 +34,6 @@ pub mod special;
 pub use binning::{freedman_diaconis_bins, sturges_bins, BinRule};
 pub use chi2::ChiSquared;
 pub use effect::cohens_d_cc;
-pub use histogram::{bin_index, Histogram};
+pub use histogram::{bin_index, bin_rows, BinIndexer, Histogram};
 pub use normal::Normal;
 pub use poisson::PoissonTest;

@@ -1,0 +1,316 @@
+//! Bit-identity of the lane-batched (8-wide) E-step kernels against
+//! the scalar blocked kernels (DESIGN.md §13): for every kernel family
+//! × thread count, the serial E-step, the MR EM pipeline, and the MR
+//! outlier pipelines must produce **bit-for-bit identical** outputs.
+//! Both families bin points into the same lane groups and merge
+//! per-block partials in fixed block-index order, and the lane kernels
+//! keep each lane's accumulation chain in the scalar order, so neither
+//! the kernel choice nor the scheduling may change a single bit.
+//!
+//! Sizes exercise the tail contract: fewer points than one lane group
+//! (`npts < 8`), ragged lane groups (`npts % 8 != 0`), and E-step block
+//! boundaries (the 512-point block: one-under, exact, one-over).
+
+use p3c_suite::core::cores::ClusterCore;
+use p3c_suite::core::em::{estep_blocked_with_lanes, set_lane_mode, Component, MixtureModel};
+use p3c_suite::core::mr::em::{em_fit_mr, initialize_from_cores_mr};
+use p3c_suite::core::mr::outlier::{od_job_mvb, od_job_naive};
+use p3c_suite::core::outlier::{assign_clusters, detect_outliers_naive};
+use p3c_suite::core::{Interval, Signature};
+use p3c_suite::linalg::{CovarianceAccumulator, Matrix};
+use p3c_suite::mapreduce::{Engine, MrConfig};
+use std::sync::{Arc, Mutex};
+
+/// Cheap deterministic value stream (xorshift64*) — no RNG crate needed
+/// and stable across platforms.
+fn stream(seed: u64) -> impl FnMut() -> f64 {
+    let mut s = seed.wrapping_mul(2685821657736338717).max(1);
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn accs_bits(accs: &[CovarianceAccumulator]) -> Vec<(u64, Vec<u64>, Vec<u64>)> {
+    accs.iter()
+        .map(|a| {
+            let mean: Vec<u64> = a
+                .mean()
+                .unwrap_or_default()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let cov = a.covariance_ml();
+            let d = a.dim();
+            let mut cov_bits = Vec::new();
+            if let Some(cov) = cov {
+                for i in 0..d {
+                    for j in 0..d {
+                        cov_bits.push(cov[(i, j)].to_bits());
+                    }
+                }
+            }
+            (a.total_weight().to_bits(), mean, cov_bits)
+        })
+        .collect()
+}
+
+/// A 3-component mixture over 2 of 4 attributes, away from the trivial
+/// identity layout, so projection and per-component solves all matter.
+fn test_model() -> MixtureModel {
+    let comps = [(0.2, 0.3, 0.45), (0.7, 0.6, 0.35), (0.4, 0.8, 0.2)]
+        .iter()
+        .map(|&(mx, my, w)| {
+            let mut cov = Matrix::identity(2);
+            cov[(0, 0)] = 0.02;
+            cov[(1, 1)] = 0.03;
+            cov[(0, 1)] = 0.005;
+            cov[(1, 0)] = 0.005;
+            Component {
+                mean: vec![mx, my],
+                cov,
+                weight: w,
+            }
+        })
+        .collect();
+    MixtureModel {
+        arel: vec![1, 3],
+        components: comps,
+    }
+}
+
+/// The lane-mode override is process-global ([`set_lane_mode`]); tests
+/// that flip it must not interleave. The guard also restores the
+/// environment default on drop, so a panicking assertion cannot leak a
+/// forced mode into unrelated tests.
+static LANE_MODE_LOCK: Mutex<()> = Mutex::new(());
+
+struct LaneModeGuard<'a>(#[allow(dead_code)] std::sync::MutexGuard<'a, ()>);
+
+impl<'a> LaneModeGuard<'a> {
+    fn lock() -> Self {
+        // A poisoned lock only means another lane test failed; the
+        // guard below still restores the mode, so proceed.
+        Self(
+            LANE_MODE_LOCK
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner()),
+        )
+    }
+}
+
+impl Drop for LaneModeGuard<'_> {
+    fn drop(&mut self) {
+        set_lane_mode(None);
+    }
+}
+
+#[test]
+fn serial_estep_matrix_is_bit_identical_across_lanes_and_threads() {
+    let model = test_model();
+    let eval = model.evaluator();
+    // Lane groups are 8 points, E-step blocks 512: cover sub-lane-group,
+    // ragged lane groups, block boundaries, and a large ragged case.
+    for n in [1usize, 7, 8, 9, 511, 512, 513, 2500] {
+        let mut next = stream(n as u64 + 7);
+        let proj: Vec<f64> = (0..n * 2).map(|_| next()).collect();
+        let (base_accs, base_ll) = estep_blocked_with_lanes(&eval, &proj, 1, false);
+        let base_bits = accs_bits(&base_accs);
+        for lanes in [false, true] {
+            for threads in [1usize, 2, 8] {
+                let (accs, ll) = estep_blocked_with_lanes(&eval, &proj, threads, lanes);
+                assert_eq!(
+                    ll.to_bits(),
+                    base_ll.to_bits(),
+                    "loglik differs at n={n}, lanes={lanes}, threads={threads}"
+                );
+                assert_eq!(
+                    accs_bits(&accs),
+                    base_bits,
+                    "accumulators differ at n={n}, lanes={lanes}, threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lane_tail_blocks_match_scalar_at_every_size() {
+    // Property sweep over every residue class mod 8 (several times
+    // over), including all sizes below one lane group: the masked tail
+    // path must agree with the scalar kernel point for point.
+    let model = test_model();
+    let eval = model.evaluator();
+    for n in 1usize..=33 {
+        let mut next = stream(0xC0FFEE + n as u64);
+        let proj: Vec<f64> = (0..n * 2).map(|_| next()).collect();
+        let (scalar_accs, scalar_ll) = estep_blocked_with_lanes(&eval, &proj, 1, false);
+        let (lane_accs, lane_ll) = estep_blocked_with_lanes(&eval, &proj, 1, true);
+        assert_eq!(
+            lane_ll.to_bits(),
+            scalar_ll.to_bits(),
+            "tail loglik differs at n={n}"
+        );
+        assert_eq!(
+            accs_bits(&lane_accs),
+            accs_bits(&scalar_accs),
+            "tail accumulators differ at n={n}"
+        );
+    }
+}
+
+/// Two separable blobs in attributes {1, 3} of a 4-dim dataset, plus
+/// the cores that seed EM on them (same layout as the thread-count
+/// matrix in `parallel_kernels.rs`).
+fn blob_rows() -> Vec<Vec<f64>> {
+    let mut next = stream(42);
+    (0..600)
+        .map(|i| {
+            let (cx, cy) = if i % 2 == 0 { (0.2, 0.25) } else { (0.75, 0.8) };
+            vec![
+                next(),
+                cx + (next() - 0.5) * 0.1,
+                next(),
+                cy + (next() - 0.5) * 0.1,
+            ]
+        })
+        .collect()
+}
+
+fn blob_cores() -> Vec<ClusterCore> {
+    let sig = |a_lo: usize| {
+        Signature::new(vec![
+            Interval::new(1, a_lo, a_lo + 2, 10),
+            Interval::new(3, a_lo, a_lo + 2, 10),
+        ])
+    };
+    vec![
+        ClusterCore {
+            signature: sig(1),
+            support: 300.0,
+            expected: 1.0,
+        },
+        ClusterCore {
+            signature: sig(7),
+            support: 300.0,
+            expected: 1.0,
+        },
+    ]
+}
+
+/// `(weight, mean, cov)` bit patterns of one component.
+type ComponentBits = (u64, Vec<u64>, Vec<u64>);
+
+fn model_bits(model: &MixtureModel) -> Vec<ComponentBits> {
+    model
+        .components
+        .iter()
+        .map(|c| {
+            let mean: Vec<u64> = c.mean.iter().map(|v| v.to_bits()).collect();
+            let d = c.mean.len();
+            let mut cov = Vec::new();
+            for i in 0..d {
+                for j in 0..d {
+                    cov.push(c.cov[(i, j)].to_bits());
+                }
+            }
+            (c.weight.to_bits(), mean, cov)
+        })
+        .collect()
+}
+
+#[test]
+fn mr_em_pipeline_is_bit_identical_across_lanes_and_threads() {
+    let _guard = LaneModeGuard::lock();
+    let data = blob_rows();
+    let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+
+    let mut baseline: Option<(Vec<u64>, Vec<ComponentBits>)> = None;
+    for lanes in [false, true] {
+        set_lane_mode(Some(lanes));
+        for threads in [1usize, 2, 8] {
+            // split_size 71: ragged splits whose point counts are not
+            // lane-group multiples, so the mapper tail path runs.
+            let engine = Engine::new(MrConfig {
+                split_size: 71,
+                threads,
+                ..MrConfig::default()
+            });
+            let init = initialize_from_cores_mr(&engine, &blob_cores(), &rows, &[1, 3]).unwrap();
+            let fit = em_fit_mr(&engine, init, &rows, 5, 1e-8).unwrap();
+            let ll_bits: Vec<u64> = fit.loglik_history.iter().map(|v| v.to_bits()).collect();
+            let bits = (ll_bits, model_bits(&fit.model));
+            match &baseline {
+                None => baseline = Some(bits),
+                Some(base) => assert_eq!(
+                    &bits, base,
+                    "MR EM differs at lanes={lanes}, threads={threads}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn mr_outlier_pipelines_are_bit_identical_across_lanes_and_threads() {
+    let _guard = LaneModeGuard::lock();
+    let model = test_model();
+    let mut next = stream(1337);
+    // Mixture samples live near the component means; plant a few far
+    // points so the χ² gate actually fires in both directions.
+    let mut data: Vec<Vec<f64>> = (0..300)
+        .map(|i| {
+            let c = &model.components[i % 3];
+            vec![
+                next(),
+                c.mean[0] + (next() - 0.5) * 0.2,
+                next(),
+                c.mean[1] + (next() - 0.5) * 0.2,
+            ]
+        })
+        .collect();
+    data.push(vec![0.5, 60.0, 0.5, -60.0]);
+    data.push(vec![0.5, -45.0, 0.5, 45.0]);
+    let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+    let eval = Arc::new(model.evaluator());
+
+    // Serial scalar reference, computed once with the mode pinned off.
+    set_lane_mode(Some(false));
+    let assignment = assign_clusters(&eval, &rows);
+    let serial = detect_outliers_naive(&eval, &rows, &assignment, 0.001, 2);
+
+    let mut mvb_base: Option<Vec<i64>> = None;
+    for lanes in [false, true] {
+        set_lane_mode(Some(lanes));
+        for threads in [1usize, 2, 8] {
+            // 47-record splits: ragged lane-group tails in every mapper.
+            let engine = Engine::new(MrConfig {
+                split_size: 47,
+                threads,
+                ..MrConfig::default()
+            });
+            let naive = od_job_naive(&engine, Arc::clone(&eval), &rows, 0.001, 2).unwrap();
+            assert_eq!(
+                naive, serial,
+                "naive OD differs at lanes={lanes}, threads={threads}"
+            );
+            // MVB medians split-local medians, so it is only pinned
+            // against itself across the matrix, not against serial.
+            let single = Engine::new(MrConfig {
+                split_size: 100_000,
+                threads,
+                ..MrConfig::default()
+            });
+            let mvb: Vec<i64> = od_job_mvb(&single, Arc::clone(&eval), &rows, 0.001, 2).unwrap();
+            match &mvb_base {
+                None => mvb_base = Some(mvb),
+                Some(base) => assert_eq!(
+                    &mvb, base,
+                    "MVB OD differs at lanes={lanes}, threads={threads}"
+                ),
+            }
+        }
+    }
+}
