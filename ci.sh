@@ -7,11 +7,13 @@
 # Then: the tier-1 suite re-run under the multi-process shuffle backend
 # (P3C_BACKEND=process:2), the parallel-kernel bit-identity tests swept
 # over P3C_THREADS, the lane-kernel bit-identity tests swept over
-# P3C_LANES, the kernels/codec/backend benchmarks at smoke scale,
-# archiving target/ci/BENCH_{kernels,codec,backend}.json (results/ keeps
-# the committed full-scale numbers; the smoke runs must not overwrite
-# them), and a rustdoc pass with warnings denied (missing docs on the
-# data-plane crates and broken intra-doc links fail the build).
+# P3C_LANES, the kernels/codec/backend/service benchmarks at smoke
+# scale, archiving target/ci/BENCH_{kernels,codec,backend,service}.json
+# (results/ keeps the committed full-scale numbers; the smoke runs must
+# not overwrite them), a stdin-scripted `p3c serve` session exercising
+# the service line protocol under a tight LRU cache budget, and a
+# rustdoc pass with warnings denied (missing docs on the data-plane
+# crates and broken intra-doc links fail the build).
 # Tier 2 (lint + formatting + invariants):
 #   cargo clippy --all-targets -- -D warnings
 #   cargo fmt --check
@@ -79,6 +81,32 @@ echo "==> backend benchmark (smoke) -> target/ci/BENCH_backend.json"
 P3C_WORKER_BIN="$PWD/target/release/p3c" \
     ./target/release/experiments --smoke --out target/ci backend > /dev/null
 test -s target/ci/BENCH_backend.json
+
+echo "==> service benchmark (smoke) -> target/ci/BENCH_service.json"
+./target/release/experiments --smoke --out target/ci service > /dev/null
+test -s target/ci/BENCH_service.json
+
+# The clustering service end to end through the line protocol: two
+# appends and re-clusters on a stdin-scripted `p3c serve` under a cache
+# budget small enough to force LRU evictions, then the in-process
+# incremental-vs-batch identity check. The greps pin the contract:
+# clusters come back, the models are byte-identical, and the store
+# actually evicted and reloaded spilled blocks.
+echo "==> service smoke: p3c serve line protocol + LRU eviction"
+./target/release/p3c serve --cache-budget 64k > target/ci/serve-smoke.log <<'EOF'
+create demo
+append demo --synthetic 1200x8 --clusters 3 --seed 7
+recluster demo
+append demo --synthetic 900x8 --clusters 3 --seed 8
+recluster demo
+verify demo
+stats
+quit
+EOF
+grep -q "clusters" target/ci/serve-smoke.log
+grep -q "incremental and batch models identical" target/ci/serve-smoke.log
+grep -Eq "evictions=[1-9]" target/ci/serve-smoke.log
+grep -Eq "spill_loads=[1-9]" target/ci/serve-smoke.log
 
 echo "==> rustdoc (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

@@ -5,7 +5,7 @@
 //!             [EXPERIMENT...]
 //!
 //! EXPERIMENT ∈ {fig1, fig4, fig5, fig6, fig7, huge, colon, bins, measures,
-//!               stragglers, dag, kernels, codec, backend, all}
+//!               stragglers, dag, kernels, codec, backend, service, all}
 //! ```
 //!
 //! Results are printed and written to `<out>/<id>.{json,md}`
@@ -54,6 +54,7 @@ fn main() -> ExitCode {
             "kernels",
             "codec",
             "backend",
+            "service",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -82,6 +83,7 @@ fn main() -> ExitCode {
             "kernels" => experiments::kernels(&scale),
             "codec" => experiments::codec(&scale),
             "backend" => experiments::backend(&scale),
+            "service" => experiments::service(&scale),
             other => die(&format!("unknown experiment {other}")),
         };
         println!("{}", report.to_markdown());
@@ -108,6 +110,6 @@ fn die(msg: &str) -> ! {
 fn print_help() {
     eprintln!(
         "usage: experiments [--scale F] [--dims D] [--seed S] [--smoke] [--out DIR] [EXPERIMENT...]\n\
-         experiments: fig1 fig4 fig5 fig6 fig7 huge colon bins measures stragglers dag kernels codec backend all (default: all)"
+         experiments: fig1 fig4 fig5 fig6 fig7 huge colon bins measures stragglers dag kernels codec backend service all (default: all)"
     );
 }

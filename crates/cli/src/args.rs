@@ -116,6 +116,25 @@ pub enum Command {
         seed: u64,
         out: String,
     },
+    /// Run the incremental multi-tenant clustering service (stdin
+    /// protocol by default, TCP with `--listen`).
+    Serve {
+        /// TCP address to listen on; `None` = stdin mode.
+        listen: Option<String>,
+        /// Byte budget of the shared dataset cache (LRU spill).
+        cache_budget: Option<usize>,
+        /// Byte budget for concurrently admitted re-cluster jobs.
+        job_budget: Option<usize>,
+        /// Worker threads for the clustering kernels.
+        threads: Option<usize>,
+    },
+    /// Send one command to a running `serve --listen` instance.
+    Ctl {
+        /// Server address (`host:port`).
+        connect: String,
+        /// The protocol command words to send.
+        words: Vec<String>,
+    },
     /// Run as a shuffle worker subprocess (spawned by the process
     /// backend, not invoked by hand).
     Worker {
@@ -157,11 +176,13 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ParseError> {
         }
         Some("cluster") => parse_cluster(&mut it)?,
         Some("generate") => parse_generate(&mut it)?,
+        Some("serve") => parse_serve(&mut it)?,
+        Some("ctl") => parse_ctl(&mut it)?,
         Some("worker") => parse_worker(&mut it)?,
         Some(other) => {
             return Err(ParseError(format!(
-                "unknown command '{other}' (expected cluster | generate | worker | help)"
-            )))
+            "unknown command '{other}' (expected cluster | generate | serve | ctl | worker | help)"
+        )))
         }
     };
     Ok(ParsedArgs { command })
@@ -287,6 +308,85 @@ fn parse_cluster<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, 
     })
 }
 
+/// Parses a byte count with an optional `k`/`m`/`g` suffix (powers of
+/// 1024), e.g. `4m` = 4 MiB.
+fn parse_bytes(s: &str) -> Option<usize> {
+    let (digits, factor) = match s.to_ascii_lowercase().strip_suffix(['k', 'm', 'g']) {
+        Some(head) => {
+            let factor = match s.as_bytes()[s.len() - 1].to_ascii_lowercase() {
+                b'k' => 1usize << 10,
+                b'm' => 1 << 20,
+                _ => 1 << 30,
+            };
+            (head.to_string(), factor)
+        }
+        None => (s.to_string(), 1),
+    };
+    digits.parse::<usize>().ok()?.checked_mul(factor)
+}
+
+fn parse_serve<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, ParseError> {
+    let mut listen = None;
+    let mut cache_budget = None;
+    let mut job_budget = None;
+    let mut threads = None;
+    while let Some(arg) = it.next() {
+        match arg {
+            "--listen" => listen = Some(next_value(it, arg)?.to_string()),
+            "--cache-budget" => {
+                let v = next_value(it, arg)?;
+                cache_budget = Some(parse_bytes(v).ok_or_else(|| {
+                    ParseError(format!("bad --cache-budget '{v}' (want BYTES[k|m|g])"))
+                })?);
+            }
+            "--job-budget" => {
+                let v = next_value(it, arg)?;
+                job_budget = Some(parse_bytes(v).ok_or_else(|| {
+                    ParseError(format!("bad --job-budget '{v}' (want BYTES[k|m|g])"))
+                })?);
+            }
+            "--threads" | "-t" => {
+                threads = Some(
+                    next_value(it, arg)?
+                        .parse()
+                        .map_err(|_| ParseError("bad --threads value".into()))?,
+                );
+            }
+            other => return Err(ParseError(format!("unknown flag '{other}'"))),
+        }
+    }
+    Ok(Command::Serve {
+        listen,
+        cache_budget,
+        job_budget,
+        threads,
+    })
+}
+
+fn parse_ctl<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, ParseError> {
+    let mut connect = None;
+    let mut words = Vec::new();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--connect" => connect = Some(next_value(it, arg)?.to_string()),
+            "--" => {
+                words.extend(it.by_ref().map(String::from));
+            }
+            other if words.is_empty() && other.starts_with('-') => {
+                return Err(ParseError(format!("unknown flag '{other}'")))
+            }
+            other => words.push(other.to_string()),
+        }
+    }
+    let connect = connect.ok_or_else(|| ParseError("ctl needs --connect HOST:PORT".into()))?;
+    if words.is_empty() {
+        return Err(ParseError(
+            "ctl needs a command to send (try `help`)".into(),
+        ));
+    }
+    Ok(Command::Ctl { connect, words })
+}
+
 fn parse_worker<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, ParseError> {
     let mut connect = None;
     let mut id = None;
@@ -362,6 +462,8 @@ p3c — projected clustering (P3C / P3C+ / P3C+-MR / BoW)
 USAGE:
   p3c cluster (--input FILE | --synthetic NxD) [OPTIONS]
   p3c generate --synthetic NxD --out FILE [OPTIONS]
+  p3c serve [--listen ADDR] [--cache-budget B] [--job-budget B] [-t N]
+  p3c ctl --connect ADDR -- COMMAND...
   p3c worker --connect HOST:PORT [--id N]
   p3c help
 
@@ -384,6 +486,18 @@ CLUSTER OPTIONS:
 GENERATE OPTIONS:
   -k, --clusters K / --noise FRAC / --seed SEED as above
       --out FILE         destination (text format)
+
+SERVE OPTIONS (incremental multi-tenant clustering service):
+      --listen ADDR      TCP mode; default reads commands from stdin
+      --cache-budget B   dataset-cache byte budget, LRU spill below it
+                         (suffixes k/m/g; default unbounded)
+      --job-budget B     byte budget for concurrent re-cluster jobs
+  -t, --threads N        worker threads for the clustering kernels
+  protocol: create | append | retract | recluster | verify | stats |
+            drop | quit | shutdown  (send `help` for details)
+
+CTL OPTIONS (one-shot client for serve --listen):
+      --connect ADDR     server address; words after -- are sent verbatim
 
 WORKER OPTIONS (spawned by the process backend, not run by hand):
       --connect ADDR     master address to dial back
@@ -610,6 +724,68 @@ mod tests {
         assert!(parse(&args("cluster --synthetic 10x2 --algorithm nope")).is_err());
         assert!(parse(&args("cluster --synthetic 10x2 --output xml")).is_err());
         assert!(parse(&args("generate --synthetic 10x2")).is_err());
+    }
+
+    #[test]
+    fn serve_command() {
+        let parsed = parse(&args("serve")).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Serve {
+                listen: None,
+                cache_budget: None,
+                job_budget: None,
+                threads: None
+            }
+        );
+        let parsed = parse(&args(
+            "serve --listen 127.0.0.1:7070 --cache-budget 4m --job-budget 512k -t 2",
+        ))
+        .unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Serve {
+                listen: Some("127.0.0.1:7070".into()),
+                cache_budget: Some(4 << 20),
+                job_budget: Some(512 << 10),
+                threads: Some(2)
+            }
+        );
+        let err = parse(&args("serve --cache-budget huge")).unwrap_err();
+        assert!(err.0.contains("bad --cache-budget"));
+    }
+
+    #[test]
+    fn ctl_command() {
+        let parsed = parse(&args("ctl --connect h:1 -- append t --synthetic 10x2")).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Ctl {
+                connect: "h:1".into(),
+                words: args("append t --synthetic 10x2"),
+            }
+        );
+        // Bare words also work without the -- separator.
+        let parsed = parse(&args("ctl --connect h:1 stats")).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Ctl {
+                connect: "h:1".into(),
+                words: vec!["stats".to_string()],
+            }
+        );
+        assert!(parse(&args("ctl stats")).is_err(), "missing --connect");
+        assert!(parse(&args("ctl --connect h:1")).is_err(), "no command");
+    }
+
+    #[test]
+    fn byte_suffixes() {
+        assert_eq!(parse_bytes("1024"), Some(1024));
+        assert_eq!(parse_bytes("2k"), Some(2048));
+        assert_eq!(parse_bytes("3M"), Some(3 << 20));
+        assert_eq!(parse_bytes("1g"), Some(1 << 30));
+        assert_eq!(parse_bytes("x"), None);
+        assert_eq!(parse_bytes("m"), None);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 pub mod args;
 pub mod run;
+pub mod serve;
 
 pub use args::{Algorithm, Command, OutputFormat, ParsedArgs};
 pub use run::{execute, ExecError};

@@ -46,6 +46,25 @@ pub fn execute(parsed: &ParsedArgs) -> Result<String, ExecError> {
             p3c_mapreduce::distrib::run_worker(connect, *id)?;
             Ok(String::new())
         }
+        Command::Serve {
+            listen,
+            cache_budget,
+            job_budget,
+            threads,
+        } => {
+            let opts = crate::serve::ServeOptions {
+                listen: listen.clone(),
+                cache_budget: *cache_budget,
+                job_budget: *job_budget,
+                threads: *threads,
+            };
+            match listen {
+                Some(addr) => crate::serve::serve_tcp(&opts, addr)?,
+                None => crate::serve::serve_stdin(&opts)?,
+            }
+            Ok(String::new())
+        }
+        Command::Ctl { connect, words } => Ok(crate::serve::ctl_send(connect, words)?),
         Command::Generate {
             synthetic,
             clusters,

@@ -1,0 +1,541 @@
+//! `p3c serve` — the incremental clustering service behind a line
+//! protocol, plus `p3c ctl`, its one-shot TCP client.
+//!
+//! The server hosts a [`ClusterService`] of [`IncrementalLight`]
+//! tenants over one shared, optionally budgeted [`DatasetStore`]. Two
+//! transports speak the same protocol:
+//!
+//! * **stdin mode** (default): one command per line on stdin, one
+//!   response block on stdout — scriptable with a heredoc, which is how
+//!   the CI smoke leg drives it.
+//! * **TCP mode** (`--listen ADDR`): each connection sends command
+//!   lines and reads response blocks terminated by a lone `.` line;
+//!   `p3c ctl --connect ADDR -- <command…>` wraps one round trip.
+//!
+//! Commands: `create`, `append`, `retract`, `recluster`, `verify`,
+//! `stats`, `drop`, `quit`, `shutdown` — see [`PROTOCOL_HELP`].
+
+use p3c_core::config::P3cParams;
+use p3c_core::incremental::IncrementalLight;
+use p3c_core::p3cplus::P3cPlusLight;
+use p3c_datagen::{generate, SyntheticSpec};
+use p3c_dataset::{persist, Clustering, Dataset, RowBlock};
+use p3c_mapreduce::{ClusterService, DatasetStore};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Options of the `serve` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServeOptions {
+    /// TCP address to listen on; `None` = stdin mode.
+    pub listen: Option<String>,
+    /// Byte budget of the shared dataset store (LRU spill below it).
+    pub cache_budget: Option<usize>,
+    /// Byte budget admission imposes on concurrent re-cluster jobs.
+    pub job_budget: Option<usize>,
+    /// Worker threads for the clustering kernels.
+    pub threads: Option<usize>,
+}
+
+/// Protocol summary printed by the `help` command.
+pub const PROTOCOL_HELP: &str = "\
+commands:
+  create NAME [--alpha A]        host a new dataset
+  append NAME --synthetic NxD [--clusters K] [--noise F] [--seed S]
+  append NAME --file PATH        append a normalized text dataset
+  retract NAME ID                retract an appended block by id
+  recluster NAME                 re-cluster incrementally
+  verify NAME                    recluster + from-scratch batch, compare
+  stats [NAME]                   service/store or per-dataset counters
+  drop NAME                      remove a dataset and its blocks
+  quit                           end this session
+  shutdown                       stop the server (TCP mode)";
+
+/// What the session loop should do after one command.
+enum Reply {
+    /// Print/send this response and continue.
+    Text(String),
+    /// End this session (stdin: stop reading; TCP: close connection).
+    Quit,
+    /// Stop the whole server.
+    Shutdown,
+}
+
+/// The service with the base parameters tenants are created from.
+struct ServerState {
+    service: ClusterService<IncrementalLight>,
+    base_params: P3cParams,
+}
+
+impl ServerState {
+    fn new(opts: &ServeOptions) -> Self {
+        let store = Arc::new(match opts.cache_budget {
+            Some(budget) => DatasetStore::with_budget(budget),
+            None => DatasetStore::new(),
+        });
+        let mut base_params = P3cParams::default();
+        if let Some(t) = opts.threads {
+            base_params.threads = t;
+        }
+        Self {
+            service: ClusterService::new(store, opts.job_budget),
+            base_params,
+        }
+    }
+}
+
+fn parse_usize(v: &str, what: &str) -> Result<usize, String> {
+    v.parse().map_err(|_| format!("bad {what} '{v}'"))
+}
+
+fn next_val<'a>(it: &mut std::slice::Iter<'_, &'a str>, flag: &str) -> Result<&'a str, String> {
+    it.next()
+        .copied()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_shape(v: &str) -> Result<(usize, usize), String> {
+    let (n, d) = v
+        .split_once(['x', 'X'])
+        .ok_or_else(|| format!("bad shape '{v}' (want NxD)"))?;
+    Ok((parse_usize(n, "shape")?, parse_usize(d, "shape")?))
+}
+
+/// FNV-1a over a canonical byte rendering of a clustering — a compact
+/// fingerprint two shells can compare for the byte-identity contract.
+fn fingerprint(clustering: &Clustering) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for cluster in &clustering.clusters {
+        for &p in &cluster.points {
+            eat(&(p as u64).to_le_bytes());
+        }
+        for &a in &cluster.attributes {
+            eat(&(a as u64).to_le_bytes());
+        }
+        for iv in &cluster.intervals {
+            eat(&(iv.attr as u64).to_le_bytes());
+            eat(&iv.lo.to_bits().to_le_bytes());
+            eat(&iv.hi.to_bits().to_le_bytes());
+        }
+        eat(b"|");
+    }
+    for &o in &clustering.outliers {
+        eat(&(o as u64).to_le_bytes());
+    }
+    hash
+}
+
+fn cmd_create(state: &ServerState, name: &str, rest: &[&str]) -> Result<String, String> {
+    let mut params = state.base_params.clone();
+    let mut it = rest.iter();
+    while let Some(&flag) = it.next() {
+        match flag {
+            "--alpha" => {
+                let v = it.next().ok_or("--alpha needs a value")?;
+                params.alpha_poisson = v.parse().map_err(|_| format!("bad --alpha '{v}'"))?;
+            }
+            other => return Err(format!("unknown create flag '{other}'")),
+        }
+    }
+    state
+        .service
+        .create(name, IncrementalLight::new(name, params))
+        .map_err(|e| e.to_string())?;
+    Ok(format!("created {name}"))
+}
+
+fn cmd_append(state: &ServerState, name: &str, rest: &[&str]) -> Result<String, String> {
+    let mut synthetic = None;
+    let mut file = None;
+    let mut clusters = 3usize;
+    let mut noise = 0.1f64;
+    let mut seed = 0u64;
+    let mut it = rest.iter();
+    while let Some(&flag) = it.next() {
+        match flag {
+            "--synthetic" => synthetic = Some(parse_shape(next_val(&mut it, flag)?)?),
+            "--file" => file = Some(next_val(&mut it, flag)?.to_string()),
+            "--clusters" | "-k" => clusters = parse_usize(next_val(&mut it, flag)?, "--clusters")?,
+            "--noise" => {
+                let v = next_val(&mut it, flag)?;
+                noise = v.parse().map_err(|_| format!("bad --noise '{v}'"))?;
+            }
+            "--seed" => {
+                let v = next_val(&mut it, flag)?;
+                seed = v.parse().map_err(|_| format!("bad --seed '{v}'"))?;
+            }
+            other => return Err(format!("unknown append flag '{other}'")),
+        }
+    }
+    let block = match (synthetic, file) {
+        (Some((n, d)), None) => {
+            let data = generate(&SyntheticSpec {
+                n,
+                d,
+                num_clusters: clusters,
+                noise_fraction: noise,
+                max_cluster_dims: 10.min(d),
+                seed,
+                ..SyntheticSpec::default()
+            });
+            RowBlock::from(data.dataset)
+        }
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            let ds = persist::from_text(&text).map_err(|e| e.to_string())?;
+            if !ds.is_normalized() {
+                return Err(format!(
+                    "{path}: values outside [0,1] — appends must share one \
+                     normalization, so pre-normalize the whole stream"
+                ));
+            }
+            RowBlock::from(ds)
+        }
+        _ => return Err("append needs exactly one of --synthetic NxD or --file PATH".into()),
+    };
+    let rows = block.len();
+    let id = state
+        .service
+        .append(name, block)
+        .map_err(|e| e.to_string())?;
+    Ok(format!("appended block {id} ({rows} rows) to {name}"))
+}
+
+fn cmd_recluster(state: &ServerState, name: &str) -> Result<String, String> {
+    let outcome = state.service.recluster(name).map_err(|e| e.to_string())?;
+    let n = state
+        .service
+        .with_tenant(name, |t| t.total_rows())
+        .map_err(|e| e.to_string())?;
+    let clustering = &outcome.result.clustering;
+    Ok(format!(
+        "{name}: {} clusters, {} outliers, n={n} path={} fingerprint={:016x}",
+        clustering.num_clusters(),
+        clustering.outliers.len(),
+        outcome.path.label(),
+        fingerprint(clustering)
+    ))
+}
+
+fn cmd_verify(state: &ServerState, name: &str) -> Result<String, String> {
+    let outcome = state.service.recluster(name).map_err(|e| e.to_string())?;
+    let (params, cumulative) = state
+        .service
+        .with_tenant(name, |t| {
+            (t.params().clone(), t.materialize(state.service.store()))
+        })
+        .map_err(|e| e.to_string())?;
+    let cumulative = cumulative?;
+    let batch = P3cPlusLight::new(params).cluster(&Dataset::from(cumulative));
+    let identical =
+        outcome.result.clustering == batch.clustering && outcome.result.cores == batch.cores;
+    if identical {
+        Ok(format!(
+            "{name}: incremental and batch models identical (fingerprint {:016x}, path={})",
+            fingerprint(&batch.clustering),
+            outcome.path.label()
+        ))
+    } else {
+        Err(format!(
+            "{name}: MISMATCH — incremental {:016x} vs batch {:016x}",
+            fingerprint(&outcome.result.clustering),
+            fingerprint(&batch.clustering)
+        ))
+    }
+}
+
+fn cmd_stats(state: &ServerState, name: Option<&str>) -> Result<String, String> {
+    match name {
+        Some(name) => state
+            .service
+            .with_tenant(name, |t| {
+                let s = t.stats();
+                format!(
+                    "{name}: n={} blocks={} state_bytes={} appends={} retracts={} \
+                     reclusters={} fast={} full={} hist_rebuilds={} \
+                     support_scans={} cached_levels={}",
+                    t.total_rows(),
+                    t.block_ids().len(),
+                    t.mem_bytes(),
+                    s.appends,
+                    s.retracts,
+                    s.reclusters,
+                    s.fast_reclusters,
+                    s.full_reclusters,
+                    s.hist_rebuilds,
+                    s.support_scans,
+                    s.cached_levels
+                )
+            })
+            .map_err(|e| e.to_string()),
+        None => {
+            let m = state.service.metrics();
+            let s = state.service.store().stats();
+            Ok(format!(
+                "service: datasets={} appends={} retracts={} reclusters={} admission_waits={}\n\
+                 store: mem_bytes={} hits={} misses={} spills={} spill_loads={} evictions={}",
+                state.service.names().len(),
+                m.appends,
+                m.retracts,
+                m.reclusters,
+                m.admission_waits,
+                state.service.store().mem_bytes(),
+                s.hits,
+                s.misses,
+                s.spills,
+                s.spill_loads,
+                s.evictions
+            ))
+        }
+    }
+}
+
+/// Executes one protocol line against the service.
+fn handle_line(state: &ServerState, line: &str) -> Reply {
+    let words: Vec<&str> = line.split_whitespace().collect();
+    let result = match words.as_slice() {
+        [] | ["#", ..] => return Reply::Text(String::new()),
+        ["quit"] | ["exit"] => return Reply::Quit,
+        ["shutdown"] => return Reply::Shutdown,
+        ["help"] => Ok(PROTOCOL_HELP.to_string()),
+        ["create", name, rest @ ..] => cmd_create(state, name, rest),
+        ["append", name, rest @ ..] => cmd_append(state, name, rest),
+        ["retract", name, id] => parse_usize(id, "block id").and_then(|id| {
+            match state.service.retract(name, id as u64) {
+                Ok(true) => Ok(format!("retracted block {id} from {name}")),
+                Ok(false) => Err(format!("no live block {id} in {name}")),
+                Err(e) => Err(e.to_string()),
+            }
+        }),
+        ["recluster", name] => cmd_recluster(state, name),
+        ["verify", name] => cmd_verify(state, name),
+        ["stats"] => cmd_stats(state, None),
+        ["stats", name] => cmd_stats(state, Some(name)),
+        ["drop", name] => state
+            .service
+            .drop_dataset(name)
+            .map(|()| format!("dropped {name}"))
+            .map_err(|e| e.to_string()),
+        [cmd, ..] => Err(format!("unknown command '{cmd}' (try `help`)")),
+    };
+    match result {
+        Ok(text) => Reply::Text(text),
+        Err(msg) => Reply::Text(format!("error: {msg}")),
+    }
+}
+
+/// Runs the service in stdin mode until EOF or `quit`; responses go
+/// straight to stdout so heredoc scripting sees them in order.
+pub fn serve_stdin(opts: &ServeOptions) -> std::io::Result<()> {
+    let state = ServerState::new(opts);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        match handle_line(&state, &line) {
+            Reply::Text(text) if text.is_empty() => {}
+            Reply::Text(text) => {
+                let mut out = stdout.lock();
+                writeln!(out, "{text}")?;
+                out.flush()?;
+            }
+            Reply::Quit | Reply::Shutdown => break,
+        }
+    }
+    Ok(())
+}
+
+/// Runs the service on an already-bound listener until a `shutdown`
+/// command arrives. Each response block is terminated by a lone `.`.
+pub fn serve_listener(opts: &ServeOptions, listener: TcpListener) -> std::io::Result<()> {
+    let state = Arc::new(ServerState::new(opts));
+    let stop = Arc::new(AtomicBool::new(false));
+    let addr = listener.local_addr()?;
+    let mut sessions = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = stream?;
+        let session_state = Arc::clone(&state);
+        let session_stop = Arc::clone(&stop);
+        sessions.push(std::thread::spawn(move || {
+            let _ = serve_connection(&session_state, &session_stop, stream, addr);
+        }));
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    for session in sessions {
+        let _ = session.join();
+    }
+    Ok(())
+}
+
+fn serve_connection(
+    state: &ServerState,
+    stop: &AtomicBool,
+    stream: TcpStream,
+    addr: std::net::SocketAddr,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        match handle_line(state, &line) {
+            Reply::Text(text) => {
+                if text.is_empty() {
+                    writeln!(writer, ".")?;
+                } else {
+                    writeln!(writer, "{text}\n.")?;
+                }
+                writer.flush()?;
+            }
+            Reply::Quit => break,
+            Reply::Shutdown => {
+                writeln!(writer, "shutting down\n.")?;
+                writer.flush()?;
+                stop.store(true, Ordering::SeqCst);
+                // Unblock the accept loop.
+                let _ = TcpStream::connect(addr);
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Binds `addr` and serves until shutdown (the `serve --listen` path).
+pub fn serve_tcp(opts: &ServeOptions, addr: &str) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    eprintln!("p3c serve: listening on {}", listener.local_addr()?);
+    serve_listener(opts, listener)
+}
+
+/// One `ctl` round trip: sends `words` as a single command line and
+/// returns the response block (without the `.` terminator).
+pub fn ctl_send(connect: &str, words: &[String]) -> std::io::Result<String> {
+    let stream = TcpStream::connect(connect)?;
+    let mut writer = stream.try_clone()?;
+    writeln!(writer, "{}", words.join(" "))?;
+    writer.flush()?;
+    let reader = BufReader::new(stream);
+    let mut response = String::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line == "." {
+            break;
+        }
+        response.push_str(&line);
+        response.push('\n');
+    }
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> ServerState {
+        ServerState::new(&ServeOptions::default())
+    }
+
+    fn text(state: &ServerState, line: &str) -> String {
+        match handle_line(state, line) {
+            Reply::Text(t) => t,
+            _ => panic!("expected text reply for {line:?}"),
+        }
+    }
+
+    #[test]
+    fn create_append_recluster_verify_roundtrip() {
+        let state = state();
+        assert_eq!(text(&state, "create t"), "created t");
+        assert!(text(&state, "create t").contains("already exists"));
+        let out = text(&state, "append t --synthetic 1200x8 --seed 3 --clusters 2");
+        assert!(out.contains("appended block 0 (1200 rows) to t"), "{out}");
+        let out = text(&state, "recluster t");
+        assert!(out.contains("clusters") && out.contains("n=1200"), "{out}");
+        assert!(out.contains("path=full"), "{out}");
+        let out = text(&state, "append t --synthetic 600x8 --seed 4 --clusters 2");
+        assert!(out.contains("appended block 1"), "{out}");
+        let out = text(&state, "verify t");
+        assert!(out.contains("identical"), "{out}");
+        let out = text(&state, "retract t 0");
+        assert!(out.contains("retracted block 0"), "{out}");
+        let out = text(&state, "verify t");
+        assert!(out.contains("identical"), "{out}");
+        let out = text(&state, "stats t");
+        assert!(out.contains("n=600") && out.contains("retracts=1"), "{out}");
+        let out = text(&state, "stats");
+        assert!(out.contains("service: datasets=1"), "{out}");
+        assert_eq!(text(&state, "drop t"), "dropped t");
+        assert!(text(&state, "recluster t").contains("unknown dataset"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let state = state();
+        assert!(text(&state, "recluster nope").starts_with("error:"));
+        assert!(text(&state, "append nope --synthetic 10x2").starts_with("error:"));
+        assert!(text(&state, "frobnicate").contains("unknown command"));
+        assert!(text(&state, "create t --alpha banana").starts_with("error:"));
+        text(&state, "create t");
+        assert!(text(&state, "retract t 7").contains("no live block"));
+        assert!(text(&state, "append t --synthetic 10x2 --file x").starts_with("error:"));
+    }
+
+    #[test]
+    fn quit_and_shutdown_replies() {
+        let state = state();
+        assert!(matches!(handle_line(&state, "quit"), Reply::Quit));
+        assert!(matches!(handle_line(&state, "exit"), Reply::Quit));
+        assert!(matches!(handle_line(&state, "shutdown"), Reply::Shutdown));
+        assert!(matches!(handle_line(&state, ""), Reply::Text(t) if t.is_empty()));
+        assert!(matches!(handle_line(&state, "# comment"), Reply::Text(t) if t.is_empty()));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_clusterings() {
+        let a = Clustering::new(Vec::new(), vec![0, 1, 2]);
+        let b = Clustering::new(Vec::new(), vec![0, 1, 3]);
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_eq!(fingerprint(&a), fingerprint(&a.clone()));
+    }
+
+    #[test]
+    fn tcp_server_round_trips_and_shuts_down() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let opts = ServeOptions {
+            cache_budget: Some(200_000),
+            ..ServeOptions::default()
+        };
+        let server = std::thread::spawn(move || serve_listener(&opts, listener));
+        let send = |words: &[&str]| {
+            let words: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+            ctl_send(&addr, &words).unwrap()
+        };
+        assert_eq!(send(&["create", "a"]), "created a\n");
+        assert_eq!(send(&["create", "b"]), "created b\n");
+        let out = send(&["append", "a", "--synthetic", "900x6", "--seed", "1"]);
+        assert!(out.contains("appended block 0"), "{out}");
+        let out = send(&["append", "b", "--synthetic", "900x6", "--seed", "2"]);
+        assert!(out.contains("appended block 0"), "{out}");
+        let out = send(&["verify", "a"]);
+        assert!(out.contains("identical"), "{out}");
+        let out = send(&["stats"]);
+        assert!(out.contains("datasets=2"), "{out}");
+        let out = send(&["shutdown"]);
+        assert!(out.contains("shutting down"), "{out}");
+        server.join().unwrap().unwrap();
+    }
+}

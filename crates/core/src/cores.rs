@@ -26,7 +26,9 @@ use std::collections::HashSet;
 /// A proven, maximal signature with its support bookkeeping.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterCore {
+    /// The core's interval signature.
     pub signature: Signature,
+    /// Observed support (rows contained in the signature).
     pub support: f64,
     /// Expected support under global uniformity (Equation 7).
     pub expected: f64,
@@ -68,6 +70,7 @@ pub struct SupportTester {
 }
 
 impl SupportTester {
+    /// Tester configured from the pipeline parameters.
     pub fn from_params(params: &P3cParams) -> Self {
         Self {
             poisson: PoissonTest::new(params.alpha_poisson),
@@ -126,6 +129,7 @@ pub struct CoreGenResult {
     pub proven: Vec<(Signature, f64)>,
     /// Support table over all counted signatures.
     pub table: SupportTable,
+    /// Per-level generation statistics.
     pub stats: CoreGenStats,
 }
 
@@ -231,6 +235,37 @@ pub(crate) fn join_in_bucket(
     Some(cand)
 }
 
+/// Resolves the supports of one level's candidates over the whole
+/// database — the seam between Algorithm 1's control flow and *how*
+/// supports are obtained. The batch pipelines scan the full row set per
+/// level ([`ScanCounter`]); the incremental service answers from its
+/// maintained support cache and scans only for candidates the cache has
+/// never seen (which may require fetching spilled data, hence the
+/// `Result`).
+pub trait LevelCounter {
+    /// Supports of `candidates`, in candidate order.
+    fn count_level(&mut self, candidates: &[Signature]) -> Result<Vec<u64>, String>;
+}
+
+/// The batch [`LevelCounter`]: one RSSC pass over the full row set per
+/// level (paper Section 5.3). Infallible.
+pub struct ScanCounter<'a> {
+    rows: &'a [&'a [f64]],
+}
+
+impl<'a> ScanCounter<'a> {
+    /// Counter over the full row set.
+    pub fn new(rows: &'a [&'a [f64]]) -> Self {
+        Self { rows }
+    }
+}
+
+impl LevelCounter for ScanCounter<'_> {
+    fn count_level(&mut self, candidates: &[Signature]) -> Result<Vec<u64>, String> {
+        Ok(count_supports_rssc(candidates, self.rows))
+    }
+}
+
 /// Runs the full serial generation (Algorithm 1) over the given rows.
 ///
 /// `intervals` are the relevant intervals `Î` (each carrying its
@@ -240,7 +275,23 @@ pub fn generate_cluster_cores(
     rows: &[&[f64]],
     params: &P3cParams,
 ) -> CoreGenResult {
-    let n = rows.len();
+    let mut counter = ScanCounter::new(rows);
+    generate_cluster_cores_with(intervals, rows.len(), params, &mut counter)
+        .expect("scan counter is infallible")
+}
+
+/// Algorithm 1 with the support-counting step abstracted behind a
+/// [`LevelCounter`]. For equal counter answers the result is identical
+/// to [`generate_cluster_cores`] — every downstream step (proving,
+/// candidate generation, maximality) is a pure function of the counts —
+/// which is the byte-identity lever the incremental service's cached
+/// counter relies on.
+pub fn generate_cluster_cores_with(
+    intervals: &[crate::types::Interval],
+    n: usize,
+    params: &P3cParams,
+    counter: &mut dyn LevelCounter,
+) -> Result<CoreGenResult, String> {
     let threads = params.threads;
     let tester = SupportTester::from_params(params);
     let mut table = SupportTable::new();
@@ -259,8 +310,9 @@ pub fn generate_cluster_cores(
     while !candidates.is_empty() && level <= params.max_levels {
         truncate_level(&mut candidates, params, &mut stats);
         stats.candidates_per_level.push(candidates.len());
-        // Count supports of this level's candidates in one data pass.
-        let counts = count_supports_rssc(&candidates, rows);
+        // Resolve supports of this level's candidates (one data pass in
+        // the batch path).
+        let counts = counter.count_level(&candidates)?;
         for (sig, &c) in candidates.iter().zip(&counts) {
             table.insert(sig.clone(), c as f64);
         }
@@ -289,12 +341,12 @@ pub fn generate_cluster_cores(
     stats.total_proven = all_proven.len();
     let cores = filter_maximal(&all_proven);
     stats.maximal = cores.len();
-    CoreGenResult {
+    Ok(CoreGenResult {
         cores,
         proven: all_proven,
         table,
         stats,
-    }
+    })
 }
 
 /// Candidates per proving block: the Poisson test is cheap per

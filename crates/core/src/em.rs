@@ -78,7 +78,9 @@ impl EstepScratch {
 /// One Gaussian component in `A_rel` coordinates.
 #[derive(Debug, Clone)]
 pub struct Component {
+    /// Mean in `A_rel` coordinates.
     pub mean: Vec<f64>,
+    /// Covariance in `A_rel` coordinates.
     pub cov: Matrix,
     /// Mixture weight π_k (sums to 1 across components).
     pub weight: f64,
@@ -90,6 +92,7 @@ pub struct MixtureModel {
     /// The relevant attributes, in ascending order; component coordinates
     /// index into this list.
     pub arel: Vec<usize>,
+    /// The mixture's components.
     pub components: Vec<Component>,
 }
 
@@ -121,6 +124,7 @@ impl MixtureModel {
 }
 
 impl DensityEvaluator {
+    /// Number of mixture components.
     pub fn num_components(&self) -> usize {
         self.comps.len()
     }
@@ -565,9 +569,11 @@ fn finish_components(accs: &[CovarianceAccumulator]) -> Vec<Component> {
 /// Result of an EM fit.
 #[derive(Debug, Clone)]
 pub struct EmFit {
+    /// The fitted mixture.
     pub model: MixtureModel,
     /// Log-likelihood after each iteration.
     pub loglik_history: Vec<f64>,
+    /// Iterations run before convergence or the cap.
     pub iterations: usize,
 }
 

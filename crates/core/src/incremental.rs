@@ -1,0 +1,1024 @@
+//! Incremental P3C+-Light over an append/retract block log — the
+//! engine behind the multi-tenant clustering service (DESIGN.md §14).
+//!
+//! Every statistic the paper decomposes into MapReduce jobs is in
+//! summation form, which makes histogram bin supports and signature
+//! supports *mergeable deltas*: the statistic over the cumulative
+//! dataset is the exact sum of per-block contributions. The engine
+//! exploits this to keep re-cluster latency sublinear in the total
+//! `n` for steady append streams, while staying **byte-identical** to a
+//! from-scratch [`P3cPlusLight`](crate::p3cplus::P3cPlusLight) run on
+//! the cumulative data:
+//!
+//! * **Maintained histograms** — an appended block's values are folded
+//!   into the per-attribute histograms with exact `+1.0` increments; a
+//!   retract subtracts the block's partial histogram. Counts are
+//!   integer-valued f64s far below 2⁵³, so the maintained counts equal
+//!   a from-scratch scan bit-for-bit. When the bin rule steps (bin
+//!   count is a function of `n`), the histograms are rebuilt from the
+//!   cumulative data at the next recluster — an amortized-rare O(n)
+//!   event.
+//! * **Maintained signature supports** — a [`SupportCache`] holds every
+//!   signature support ever counted at the current discretization and
+//!   folds each delta block in with one RSSC pass over the *delta*
+//!   (exact `u64` adds/subtracts). At recluster, Algorithm 1 runs with
+//!   a cached [`LevelCounter`]: levels whose candidates are all cached
+//!   touch no data at all; only never-seen candidates trigger a scan.
+//! * **Maintained memberships** — appends only add rows at the end, so
+//!   while the core set is unchanged the Light membership mapping grows
+//!   monotonically in id order. The engine classifies each appended row
+//!   against the current cores and maintains per-core min/max bounds
+//!   and unique-member histograms, from which the finalization
+//!   (attribute inspection + interval tightening) is recomputed without
+//!   reading any old row.
+//!
+//! Re-execution is **lineage-dirty**: each recluster re-runs only the
+//! pipeline stages whose maintained inputs were invalidated. The cheap
+//! guards are checked from maintained state — bin-rule step dirties the
+//! histogram stage, a cache miss dirties one support-count level, a
+//! retract or a changed core set dirties the finalization stage — and
+//! any stage that is *not* dirty is answered from summation-form state.
+//! When everything is dirty the engine degrades to exactly the batch
+//! pipeline over the cumulative rows (trivially byte-identical); when
+//! nothing is, a recluster costs `O(result)` instead of `O(n · d)`.
+//!
+//! The full-EM pipeline is deliberately *not* maintained here: an EM
+//! parameter trajectory depends on every point in every iteration, so
+//! an exact incremental variant is Ω(n) by the byte-identity contract.
+//! The Light pipeline (no EM, Section 6) is the service path.
+
+use crate::config::{BinRuleChoice, P3cParams};
+use crate::cores::{ClusterCore, LevelCounter};
+use crate::histogram::{build_histograms_columnar_threads, AttributeHistograms};
+use crate::inspect::inspect_from_histograms;
+use crate::mr::pipeline::row_block_seg_codec;
+use crate::p3cplus::{
+    core_phase_from_histograms, empty_result, light_finalize, light_membership, LightMembership,
+    P3cResult,
+};
+use crate::support::SupportCache;
+use crate::types::Signature;
+use p3c_dataset::{AttrInterval, BlockLog, Clustering, ProjectedCluster, RowBlock};
+use p3c_mapreduce::{DatasetHandle, DatasetStore};
+use p3c_stats::{bin_rows, Histogram};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Which lineage path a recluster took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReclusterPath {
+    /// No live rows: the empty clustering, no stage executed.
+    Empty,
+    /// Append-only since the last recluster and the core set came out
+    /// unchanged: the finalization was answered entirely from
+    /// maintained per-core state — no old row was read.
+    Fast,
+    /// Some stage's lineage was dirty (first run, retract, bin-rule
+    /// step, or a changed core set): membership and finalization were
+    /// re-executed over the cumulative rows.
+    Full,
+}
+
+impl ReclusterPath {
+    /// Stable lowercase label (CLI/bench output).
+    pub fn label(self) -> &'static str {
+        match self {
+            ReclusterPath::Empty => "empty",
+            ReclusterPath::Fast => "fast",
+            ReclusterPath::Full => "full",
+        }
+    }
+}
+
+/// A recluster's result plus the lineage path that produced it.
+#[derive(Debug, Clone)]
+pub struct ReclusterOutcome {
+    /// The clustering — byte-identical to a from-scratch
+    /// `P3cPlusLight` run on the cumulative dataset.
+    pub result: P3cResult,
+    /// Which path produced it.
+    pub path: ReclusterPath,
+}
+
+/// Lifetime counters of one incremental engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IncrementalStats {
+    /// Blocks appended.
+    pub appends: u64,
+    /// Blocks retracted.
+    pub retracts: u64,
+    /// Rows folded into maintained statistics via delta passes.
+    pub delta_rows: u64,
+    /// Reclusters served.
+    pub reclusters: u64,
+    /// Reclusters that finalized from maintained state only.
+    pub fast_reclusters: u64,
+    /// Reclusters that re-executed membership over the cumulative rows.
+    pub full_reclusters: u64,
+    /// Histogram rebuilds forced by bin-rule steps.
+    pub hist_rebuilds: u64,
+    /// Core-generation levels answered with a data scan (cache miss).
+    pub support_scans: u64,
+    /// Core-generation levels answered from the support cache alone.
+    pub cached_levels: u64,
+}
+
+/// Per-core maintained finalization state: exact min/max bounds over
+/// members and unique members (all `d` attributes — which attributes
+/// inspection will pick is not known until recluster) and the
+/// unique-member histograms that drive attribute inspection.
+#[derive(Debug, Clone)]
+struct CoreFinalizeState {
+    member_min: Vec<f64>,
+    member_max: Vec<f64>,
+    unique_min: Vec<f64>,
+    unique_max: Vec<f64>,
+    /// Per-attribute histograms over the unique members, at bin count
+    /// `rule(|unique|)` — exactly what batch attribute inspection
+    /// builds.
+    unique_hists: Vec<Histogram>,
+    /// Set when `rule(|unique|)` stepped past the maintained bin count;
+    /// the histograms are rebuilt from the rows at the next recluster.
+    unique_hists_stale: bool,
+}
+
+impl CoreFinalizeState {
+    fn empty(d: usize) -> Self {
+        Self {
+            member_min: vec![f64::INFINITY; d],
+            member_max: vec![f64::NEG_INFINITY; d],
+            unique_min: vec![f64::INFINITY; d],
+            unique_max: vec![f64::NEG_INFINITY; d],
+            unique_hists: Vec::new(),
+            unique_hists_stale: false,
+        }
+    }
+
+    fn absorb_member(&mut self, row: &[f64]) {
+        for (j, &v) in row.iter().enumerate() {
+            self.member_min[j] = self.member_min[j].min(v);
+            self.member_max[j] = self.member_max[j].max(v);
+        }
+    }
+
+    fn absorb_unique(&mut self, row: &[f64], unique_len_after: usize, params: &P3cParams) {
+        for (j, &v) in row.iter().enumerate() {
+            self.unique_min[j] = self.unique_min[j].min(v);
+            self.unique_max[j] = self.unique_max[j].max(v);
+        }
+        if self.unique_hists_stale {
+            return;
+        }
+        let target = params.bin_rule.to_rule().num_bins(unique_len_after).max(1);
+        let current = self.unique_hists.first().map(Histogram::num_bins);
+        if current == Some(target) {
+            for (j, &v) in row.iter().enumerate() {
+                self.unique_hists[j].add(v);
+            }
+        } else {
+            // Bin rule stepped (or the histograms were never built):
+            // rebuild lazily at the next recluster.
+            self.unique_hists_stale = true;
+        }
+    }
+}
+
+/// The maintained model: the cores of the last recluster, the Light
+/// membership mapping kept current under appends, and the per-core
+/// finalization state.
+#[derive(Debug, Clone)]
+struct ModelState {
+    cores: Vec<ClusterCore>,
+    membership: LightMembership,
+    per_core: Vec<CoreFinalizeState>,
+}
+
+/// Incremental P3C+-Light over one named dataset's block log.
+///
+/// Row payloads live in a [`DatasetStore`] (one segmented-codec entry
+/// per appended block, named `incr/<name>/block-<id>`), so a budgeted
+/// store can spill cold blocks through the columnar codec and the
+/// engine's resident state stays `O(maintained statistics + model)`.
+/// Every method that touches rows takes the store explicitly — the
+/// service owns one shared budgeted store across tenants.
+#[derive(Debug)]
+pub struct IncrementalLight {
+    name: String,
+    params: P3cParams,
+    log: BlockLog,
+    /// Maintained per-attribute histograms at the current uniform
+    /// discretization; meaningless while `hists_valid` is false.
+    hists: AttributeHistograms,
+    hists_valid: bool,
+    /// The current uniform bin count `rule(n)` the maintained
+    /// histograms and support cache are stated at.
+    bins: usize,
+    supports: SupportCache,
+    model: Option<ModelState>,
+    /// Set by retracts: maintained memberships are id-shifted and the
+    /// next recluster must re-execute the membership stage.
+    dirty_full: bool,
+    stats: IncrementalStats,
+}
+
+impl IncrementalLight {
+    /// New engine for the named dataset.
+    ///
+    /// # Panics
+    /// Panics on invalid params or on the exact-IQR bin rule: per-
+    /// attribute data-dependent bin counts change with every block, so
+    /// there is no stable discretization to maintain deltas against —
+    /// the service restricts itself to the uniform rules.
+    pub fn new(name: impl Into<String>, params: P3cParams) -> Self {
+        params.validate();
+        assert!(
+            params.bin_rule != BinRuleChoice::FreedmanDiaconisIqr,
+            "incremental maintenance requires a uniform bin rule"
+        );
+        Self {
+            name: name.into(),
+            params,
+            log: BlockLog::new(),
+            hists: AttributeHistograms {
+                histograms: Vec::new(),
+                bins: 0,
+            },
+            hists_valid: false,
+            bins: 0,
+            supports: SupportCache::new(),
+            model: None,
+            dirty_full: false,
+            stats: IncrementalStats::default(),
+        }
+    }
+
+    /// The engine's parameters.
+    pub fn params(&self) -> &P3cParams {
+        &self.params
+    }
+
+    /// The dataset name this engine maintains.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cumulative live rows.
+    pub fn total_rows(&self) -> usize {
+        self.log.total_rows()
+    }
+
+    /// Live block ids in log order.
+    pub fn block_ids(&self) -> Vec<u64> {
+        self.log.entries().iter().map(|e| e.id).collect()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    fn block_name(&self, id: u64) -> String {
+        format!("incr/{}/block-{id}", self.name)
+    }
+
+    fn rule_bins(&self, n: usize) -> usize {
+        self.params.bin_rule.to_rule().num_bins(n).max(1)
+    }
+
+    /// Drops maintained histogram/support state (bin-rule step); the
+    /// next recluster rebuilds both from the cumulative rows.
+    fn invalidate_stats(&mut self, new_bins: usize) {
+        self.hists_valid = false;
+        self.supports.clear();
+        self.bins = new_bins;
+    }
+
+    /// Appends a block of rows and folds it into every maintained
+    /// statistic; returns the block's id. Cost is `O(|block| · (d +
+    /// cached signatures + cores))` — independent of the cumulative
+    /// dataset size.
+    pub fn append(&mut self, store: &DatasetStore, block: RowBlock) -> Result<u64, String> {
+        let old_n = self.log.total_rows();
+        let id = self.log.append(block.len(), block.dim())?;
+        self.stats.appends += 1;
+        if block.is_empty() {
+            return Ok(id);
+        }
+        let d = block.dim();
+        let new_bins = self.rule_bins(old_n + block.len());
+
+        // Maintained histograms + signature supports (summation form).
+        if self.hists.histograms.is_empty() && !self.hists_valid && self.bins == 0 {
+            // First rows ever: start maintaining from scratch at the
+            // fresh discretization instead of forcing a rebuild.
+            self.bins = new_bins;
+            self.hists = AttributeHistograms {
+                histograms: vec![Histogram::new(new_bins); d],
+                bins: new_bins,
+            };
+            self.hists_valid = true;
+        }
+        if new_bins != self.bins {
+            self.invalidate_stats(new_bins);
+        } else if self.hists_valid {
+            bin_rows(&mut self.hists.histograms, d, block.as_slice());
+            self.supports.apply_delta(&block.row_refs(), false);
+            self.stats.delta_rows += block.len() as u64;
+        }
+
+        // Maintained memberships: classify each appended row against
+        // the current cores. Valid only while no retract intervened;
+        // whether the cores themselves survived is checked at
+        // recluster.
+        if !self.dirty_full {
+            if let Some(model) = &mut self.model {
+                for (l, row) in block.rows().enumerate() {
+                    let id = old_n + l;
+                    let mut containing: Vec<usize> = Vec::new();
+                    for (c, core) in model.cores.iter().enumerate() {
+                        if core.signature.contains(row) {
+                            containing.push(c);
+                        }
+                    }
+                    match containing.as_slice() {
+                        [] => model.membership.outliers.push(id),
+                        cs => {
+                            for &c in cs {
+                                model.membership.members[c].push(id);
+                                model.per_core[c].absorb_member(row);
+                            }
+                            if let [only] = cs {
+                                let c = *only;
+                                model.membership.unique_members[c].push(id);
+                                let len = model.membership.unique_members[c].len();
+                                model.per_core[c].absorb_unique(row, len, &self.params);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let bytes = 16 + 8 * block.as_slice().len();
+        let handle: DatasetHandle<RowBlock> = DatasetHandle::new(self.block_name(id));
+        store.put_segmented(&handle, block, bytes, row_block_seg_codec());
+        Ok(id)
+    }
+
+    /// Retracts block `id`, subtracting it from the maintained
+    /// histograms and signature supports (exact — integer-valued f64
+    /// and u64 arithmetic). Returns `false` if no live block has that
+    /// id. Retraction shifts the ids of every later row, so the next
+    /// recluster re-executes the membership stage.
+    pub fn retract(&mut self, store: &DatasetStore, id: u64) -> Result<bool, String> {
+        if !self.log.contains(id) {
+            return Ok(false);
+        }
+        let handle: DatasetHandle<RowBlock> = DatasetHandle::new(self.block_name(id));
+        let entry_rows = self
+            .log
+            .entries()
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| e.rows);
+        let block = match entry_rows {
+            Some(0) => None,
+            _ => Some(store.get(&handle).map_err(|e| e.to_string())?),
+        };
+        self.log.retract(id);
+        self.stats.retracts += 1;
+        if let Some(block) = block {
+            let d = block.dim();
+            let new_bins = self.rule_bins(self.log.total_rows());
+            if new_bins != self.bins {
+                self.invalidate_stats(new_bins);
+            } else if self.hists_valid {
+                let mut delta = vec![Histogram::new(self.bins); d];
+                bin_rows(&mut delta, d, block.as_slice());
+                for (h, dh) in self.hists.histograms.iter_mut().zip(&delta) {
+                    h.subtract(dh);
+                }
+                self.supports.apply_delta(&block.row_refs(), true);
+                self.stats.delta_rows += block.len() as u64;
+            }
+            store.remove(handle.name());
+        }
+        self.dirty_full = true;
+        Ok(true)
+    }
+
+    /// Materializes the cumulative dataset (live blocks in log order) —
+    /// the exact row sequence a from-scratch batch run would see.
+    pub fn materialize(&self, store: &DatasetStore) -> Result<RowBlock, String> {
+        let mut blocks = Vec::new();
+        for e in self.log.entries() {
+            if e.rows == 0 {
+                continue;
+            }
+            let handle: DatasetHandle<RowBlock> = DatasetHandle::new(self.block_name(e.id));
+            blocks.push(store.get(&handle).map_err(|e| e.to_string())?);
+        }
+        let refs: Vec<&RowBlock> = blocks.iter().map(|b| b.as_ref()).collect();
+        Ok(RowBlock::concat(&refs))
+    }
+
+    /// Removes every stored block of this dataset from the store.
+    pub fn drop_data(&mut self, store: &DatasetStore) {
+        for e in self.log.entries() {
+            store.remove(&self.block_name(e.id));
+        }
+        self.log = BlockLog::new();
+        self.invalidate_stats(0);
+        self.hists.histograms.clear();
+        self.hists.bins = 0;
+        self.model = None;
+        self.dirty_full = false;
+    }
+
+    /// Estimated resident bytes of the maintained state (admission
+    /// accounting; block payloads are accounted by the store itself).
+    pub fn mem_bytes(&self) -> usize {
+        let hist_bytes = self.hists.histograms.len() * self.bins * 8;
+        let model_bytes = self.model.as_ref().map_or(0, |m| {
+            let ids: usize = m
+                .membership
+                .members
+                .iter()
+                .chain(m.membership.unique_members.iter())
+                .map(Vec::len)
+                .sum::<usize>()
+                + m.membership.outliers.len();
+            let per_core: usize = m
+                .per_core
+                .iter()
+                .map(|cs| {
+                    (cs.member_min.len() * 4
+                        + cs.unique_hists
+                            .iter()
+                            .map(Histogram::num_bins)
+                            .sum::<usize>())
+                        * 8
+                })
+                .sum();
+            ids * 8 + per_core
+        });
+        hist_bytes + self.supports.mem_bytes() + model_bytes
+    }
+
+    /// Rough working-set bytes of a recluster job (admission
+    /// accounting): the cumulative rows a fallback path would
+    /// materialize, plus the resident state.
+    pub fn recluster_estimate(&self) -> usize {
+        self.log.total_rows() * self.log.dim().unwrap_or(0) * 8 + self.mem_bytes()
+    }
+
+    /// Re-clusters the cumulative dataset, re-executing only the
+    /// lineage-dirty stages. The returned model is byte-identical to
+    /// `P3cPlusLight::new(params).cluster(&cumulative)`.
+    pub fn recluster(&mut self, store: &DatasetStore) -> Result<ReclusterOutcome, String> {
+        self.stats.reclusters += 1;
+        let n = self.log.total_rows();
+        let threads = self.params.threads;
+        if n == 0 {
+            // A 0-row dataset has dimension 0; run the same (empty)
+            // pure functions batch would.
+            let hists = build_histograms_columnar_threads(0, 0, &[], &[], threads);
+            let mut counter = NoRowsCounter;
+            let (cores, stats) = core_phase_from_histograms(&hists, 0, &self.params, &mut counter)?;
+            debug_assert!(cores.is_empty());
+            self.model = Some(ModelState {
+                cores: Vec::new(),
+                membership: LightMembership::default(),
+                per_core: Vec::new(),
+            });
+            self.dirty_full = false;
+            return Ok(ReclusterOutcome {
+                result: empty_result(0, stats),
+                path: ReclusterPath::Empty,
+            });
+        }
+        let d = self.log.dim().expect("n > 0 implies known dimension");
+
+        let cum = CumulativeRows::new(self, store);
+
+        // Stage 1: histograms — from maintained counts, or rebuilt over
+        // the cumulative rows if the bin rule stepped.
+        if !self.hists_valid {
+            let block = cum.fetch()?;
+            let bins_per_attr = vec![self.bins; d];
+            self.hists =
+                build_histograms_columnar_threads(n, d, block.as_slice(), &bins_per_attr, threads);
+            self.hists_valid = true;
+            self.stats.hist_rebuilds += 1;
+        }
+
+        // Stages 2–4: relevant intervals, core generation (cached
+        // supports), redundancy filter. Pure functions of the
+        // histograms and the support counts.
+        let mut counter = CachedCounter {
+            cache: &mut self.supports,
+            cum: &cum,
+            scans: 0,
+            cached_levels: 0,
+        };
+        let (cores, mut stats) =
+            core_phase_from_histograms(&self.hists, n, &self.params, &mut counter)?;
+        self.stats.support_scans += counter.scans;
+        self.stats.cached_levels += counter.cached_levels;
+
+        // Stage 5: membership + finalization — from maintained state
+        // when its lineage is clean (append-only and the core set came
+        // out unchanged), else re-executed over the cumulative rows.
+        // Supports (and expected supports) legitimately grow with every
+        // append; membership and finalization depend only on the core
+        // *signatures*, so the guard compares those — in order, since
+        // maintained per-core state is indexed by core position.
+        let fast = !self.dirty_full
+            && self.model.as_ref().is_some_and(|m| {
+                m.cores.len() == cores.len()
+                    && m.cores
+                        .iter()
+                        .zip(&cores)
+                        .all(|(a, b)| a.signature == b.signature)
+            });
+        let outcome = if cores.is_empty() {
+            // Batch's empty path: every point an outlier, stats.outliers
+            // left untouched. Maintain the (trivial) model so future
+            // appends keep classifying rows.
+            self.model = Some(ModelState {
+                cores: Vec::new(),
+                membership: LightMembership {
+                    members: Vec::new(),
+                    unique_members: Vec::new(),
+                    outliers: (0..n).collect(),
+                },
+                per_core: Vec::new(),
+            });
+            ReclusterOutcome {
+                result: empty_result(n, stats),
+                path: if fast {
+                    ReclusterPath::Fast
+                } else {
+                    ReclusterPath::Full
+                },
+            }
+        } else if fast {
+            self.stats.fast_reclusters += 1;
+            let model = self.model.as_mut().expect("fast implies model");
+            // Same signatures, fresher supports: keep the stored cores
+            // current so the next guard compares against this run.
+            model.cores = cores.clone();
+            refresh_stale_unique_hists(model, &cum, &self.params)?;
+            stats.outliers = model.membership.outliers.len();
+            let clustering = finalize_from_state(model, &self.params);
+            ReclusterOutcome {
+                result: P3cResult {
+                    clustering,
+                    cores,
+                    stats,
+                },
+                path: ReclusterPath::Fast,
+            }
+        } else {
+            self.stats.full_reclusters += 1;
+            let block = cum.fetch()?;
+            let rows = block.row_refs();
+            let membership = light_membership(&rows, &cores);
+            stats.outliers = membership.outliers.len();
+            let clustering = light_finalize(&rows, &cores, &membership, &self.params);
+            let per_core = build_finalize_state(&rows, d, &membership, &self.params);
+            self.model = Some(ModelState {
+                cores: cores.clone(),
+                membership,
+                per_core,
+            });
+            ReclusterOutcome {
+                result: P3cResult {
+                    clustering,
+                    cores,
+                    stats,
+                },
+                path: ReclusterPath::Full,
+            }
+        };
+        self.dirty_full = false;
+        Ok(outcome)
+    }
+}
+
+/// [`IncrementalLight`] is the P3C+ tenant of the generic clustering
+/// service: blocks are [`RowBlock`]s and a re-cluster yields the
+/// [`ReclusterOutcome`] (model + lineage path).
+impl p3c_mapreduce::service::Tenant for IncrementalLight {
+    type Block = RowBlock;
+    type Model = ReclusterOutcome;
+
+    fn append(&mut self, store: &DatasetStore, block: RowBlock) -> Result<u64, String> {
+        IncrementalLight::append(self, store, block)
+    }
+
+    fn retract(&mut self, store: &DatasetStore, id: u64) -> Result<bool, String> {
+        IncrementalLight::retract(self, store, id)
+    }
+
+    fn recluster(&mut self, store: &DatasetStore) -> Result<ReclusterOutcome, String> {
+        IncrementalLight::recluster(self, store)
+    }
+
+    fn mem_bytes(&self) -> usize {
+        IncrementalLight::mem_bytes(self)
+    }
+
+    fn recluster_estimate(&self) -> usize {
+        IncrementalLight::recluster_estimate(self)
+    }
+
+    fn drop_data(&mut self, store: &DatasetStore) {
+        IncrementalLight::drop_data(self, store)
+    }
+}
+
+/// Lazily-materialized cumulative row block, fetched at most once per
+/// recluster and shared by every stage that falls back to raw rows.
+struct CumulativeRows<'a> {
+    block_names: Vec<String>,
+    store: &'a DatasetStore,
+    cached: RefCell<Option<Arc<RowBlock>>>,
+}
+
+impl<'a> CumulativeRows<'a> {
+    fn new(engine: &IncrementalLight, store: &'a DatasetStore) -> Self {
+        let block_names = engine
+            .log
+            .entries()
+            .iter()
+            .filter(|e| e.rows > 0)
+            .map(|e| engine.block_name(e.id))
+            .collect();
+        Self {
+            block_names,
+            store,
+            cached: RefCell::new(None),
+        }
+    }
+
+    fn fetch(&self) -> Result<Arc<RowBlock>, String> {
+        let mut cached = self.cached.borrow_mut();
+        if let Some(block) = cached.as_ref() {
+            return Ok(Arc::clone(block));
+        }
+        let mut blocks = Vec::with_capacity(self.block_names.len());
+        for name in &self.block_names {
+            let handle: DatasetHandle<RowBlock> = DatasetHandle::new(name.clone());
+            blocks.push(self.store.get(&handle).map_err(|e| e.to_string())?);
+        }
+        let refs: Vec<&RowBlock> = blocks.iter().map(|b| b.as_ref()).collect();
+        let block = Arc::new(RowBlock::concat(&refs));
+        *cached = Some(Arc::clone(&block));
+        Ok(block)
+    }
+}
+
+/// [`LevelCounter`] answering from the maintained [`SupportCache`];
+/// only candidates the cache has never seen trigger a pass over the
+/// cumulative rows (fetched lazily, at most once per recluster).
+struct CachedCounter<'a, 'b> {
+    cache: &'a mut SupportCache,
+    cum: &'a CumulativeRows<'b>,
+    scans: u64,
+    cached_levels: u64,
+}
+
+impl LevelCounter for CachedCounter<'_, '_> {
+    fn count_level(&mut self, candidates: &[Signature]) -> Result<Vec<u64>, String> {
+        let mut counts = vec![0u64; candidates.len()];
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, sig) in candidates.iter().enumerate() {
+            match self.cache.get(sig) {
+                Some(c) => counts[i] = c,
+                None => missing.push(i),
+            }
+        }
+        if missing.is_empty() {
+            if !candidates.is_empty() {
+                self.cached_levels += 1;
+            }
+            return Ok(counts);
+        }
+        let block = self.cum.fetch()?;
+        let rows = block.row_refs();
+        let miss_sigs: Vec<Signature> = missing.iter().map(|&i| candidates[i].clone()).collect();
+        let fresh = crate::support::count_supports_rssc(&miss_sigs, &rows);
+        for (&i, (sig, c)) in missing.iter().zip(miss_sigs.iter().zip(fresh)) {
+            counts[i] = c;
+            self.cache.insert(sig.clone(), c);
+        }
+        self.scans += 1;
+        Ok(counts)
+    }
+}
+
+/// Counter for the 0-row path: there are no relevant intervals, so no
+/// level is ever counted.
+struct NoRowsCounter;
+
+impl LevelCounter for NoRowsCounter {
+    fn count_level(&mut self, candidates: &[Signature]) -> Result<Vec<u64>, String> {
+        Ok(vec![0; candidates.len()])
+    }
+}
+
+/// Rebuilds any per-core unique-member histograms whose bin rule
+/// stepped since they were last built, from the unique members' rows.
+fn refresh_stale_unique_hists(
+    model: &mut ModelState,
+    cum: &CumulativeRows<'_>,
+    params: &P3cParams,
+) -> Result<(), String> {
+    if model
+        .per_core
+        .iter()
+        .all(|cs| !cs.unique_hists_stale && !cs.unique_hists.is_empty())
+    {
+        // Also fine: empty unique sets never consult the histograms.
+        if model
+            .per_core
+            .iter()
+            .zip(&model.membership.unique_members)
+            .all(|(cs, u)| u.is_empty() || !cs.unique_hists.is_empty())
+        {
+            return Ok(());
+        }
+    }
+    let needs_rebuild: Vec<usize> = model
+        .per_core
+        .iter()
+        .zip(&model.membership.unique_members)
+        .enumerate()
+        .filter(|(_, (cs, u))| {
+            !u.is_empty() && (cs.unique_hists_stale || cs.unique_hists.is_empty())
+        })
+        .map(|(c, _)| c)
+        .collect();
+    if needs_rebuild.is_empty() {
+        return Ok(());
+    }
+    let block = cum.fetch()?;
+    for c in needs_rebuild {
+        let ids = &model.membership.unique_members[c];
+        let cs = &mut model.per_core[c];
+        cs.unique_hists = unique_histograms(ids, &block, params);
+        cs.unique_hists_stale = false;
+    }
+    Ok(())
+}
+
+/// Builds the per-attribute histograms over one core's unique members,
+/// exactly as batch attribute inspection does: bin count
+/// `rule(|unique|)`, rows added in ascending id order.
+fn unique_histograms(ids: &[usize], block: &RowBlock, params: &P3cParams) -> Vec<Histogram> {
+    let d = block.dim();
+    let bins = params.bin_rule.to_rule().num_bins(ids.len()).max(1);
+    let mut hists = vec![Histogram::new(bins); d];
+    for &i in ids {
+        for (j, h) in hists.iter_mut().enumerate() {
+            h.add(block.row(i)[j]);
+        }
+    }
+    hists
+}
+
+/// The Light finalization answered entirely from maintained state —
+/// mirrors [`light_finalize`] stage by stage, with each row scan
+/// replaced by its maintained summary:
+/// `inspect_attributes(unique_rows)` becomes
+/// [`inspect_from_histograms`] over the maintained unique histograms,
+/// and `tighten_intervals` reads the maintained min/max bounds.
+fn finalize_from_state(model: &ModelState, params: &P3cParams) -> Clustering {
+    let mut clusters = Vec::with_capacity(model.cores.len());
+    for (c, core) in model.cores.iter().enumerate() {
+        let cs = &model.per_core[c];
+        let members = &model.membership.members[c];
+        let unique = &model.membership.unique_members[c];
+        let core_attrs = core.signature.attributes();
+        let extra = if unique.is_empty() {
+            Vec::new()
+        } else {
+            inspect_from_histograms(&cs.unique_hists, unique.len(), &core_attrs, params)
+        };
+        let mut attrs = core_attrs.clone();
+        attrs.extend(extra.iter().map(|iv| iv.attr));
+        let mut intervals = tighten_from_bounds(
+            &core_attrs,
+            &cs.member_min,
+            &cs.member_max,
+            members.is_empty(),
+        );
+        let ai_attrs: BTreeSet<usize> = extra.iter().map(|iv| iv.attr).collect();
+        intervals.extend(tighten_from_bounds(
+            &ai_attrs,
+            &cs.unique_min,
+            &cs.unique_max,
+            unique.is_empty(),
+        ));
+        clusters.push(ProjectedCluster::new(members.clone(), attrs, intervals));
+    }
+    Clustering::new(clusters, model.membership.outliers.clone())
+}
+
+/// `tighten_intervals` from maintained bounds: identical output, since
+/// min/max over a set of (non-NaN) values is order-free. An empty
+/// member set maps to `[0, 0]`, matching the batch helper.
+fn tighten_from_bounds(
+    attrs: &BTreeSet<usize>,
+    min: &[f64],
+    max: &[f64],
+    empty: bool,
+) -> Vec<AttrInterval> {
+    attrs
+        .iter()
+        .map(|&attr| {
+            if empty {
+                AttrInterval::new(attr, 0.0, 0.0)
+            } else {
+                AttrInterval::new(attr, min[attr], max[attr])
+            }
+        })
+        .collect()
+}
+
+/// Builds the per-core finalization state from the cumulative rows —
+/// the full-path twin of the append-time maintenance.
+fn build_finalize_state(
+    rows: &[&[f64]],
+    d: usize,
+    membership: &LightMembership,
+    params: &P3cParams,
+) -> Vec<CoreFinalizeState> {
+    let k = membership.members.len();
+    let mut out = Vec::with_capacity(k);
+    for c in 0..k {
+        let mut cs = CoreFinalizeState::empty(d);
+        for &i in &membership.members[c] {
+            cs.absorb_member(rows[i]);
+        }
+        let unique = &membership.unique_members[c];
+        for &i in unique {
+            for (j, &v) in rows[i].iter().enumerate() {
+                cs.unique_min[j] = cs.unique_min[j].min(v);
+                cs.unique_max[j] = cs.unique_max[j].max(v);
+            }
+        }
+        if !unique.is_empty() {
+            let bins = params.bin_rule.to_rule().num_bins(unique.len()).max(1);
+            let mut hists = vec![Histogram::new(bins); d];
+            for &i in unique {
+                for (j, h) in hists.iter_mut().enumerate() {
+                    h.add(rows[i][j]);
+                }
+            }
+            cs.unique_hists = hists;
+        }
+        out.push(cs);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3c_datagen::{generate, SyntheticSpec};
+    use p3c_dataset::Dataset;
+
+    fn spec(n: usize, seed: u64) -> SyntheticSpec {
+        SyntheticSpec {
+            n,
+            d: 8,
+            num_clusters: 3,
+            noise_fraction: 0.1,
+            max_cluster_dims: 4,
+            seed,
+            ..SyntheticSpec::default()
+        }
+    }
+
+    fn chunk(block: &RowBlock, start: usize, len: usize) -> RowBlock {
+        let rows: Vec<Vec<f64>> = (start..start + len)
+            .map(|i| block.row(i).to_vec())
+            .collect();
+        RowBlock::from_rows(&rows)
+    }
+
+    fn batch(cumulative: &RowBlock, params: &P3cParams) -> P3cResult {
+        let ds = Dataset::from(cumulative.clone());
+        crate::p3cplus::P3cPlusLight::new(params.clone()).cluster(&ds)
+    }
+
+    fn assert_identical(inc: &P3cResult, bat: &P3cResult) {
+        assert_eq!(inc.clustering, bat.clustering);
+        assert_eq!(inc.cores, bat.cores);
+        assert_eq!(inc.stats.bins, bat.stats.bins);
+        assert_eq!(inc.stats.relevant_intervals, bat.stats.relevant_intervals);
+        assert_eq!(inc.stats.cores, bat.stats.cores);
+        assert_eq!(inc.stats.outliers, bat.stats.outliers);
+        assert_eq!(
+            inc.stats.core_gen.candidates_per_level,
+            bat.stats.core_gen.candidates_per_level
+        );
+        assert_eq!(
+            inc.stats.core_gen.proven_per_level,
+            bat.stats.core_gen.proven_per_level
+        );
+        assert_eq!(inc.stats.redundancy_removed, bat.stats.redundancy_removed);
+    }
+
+    #[test]
+    fn append_stream_matches_batch_and_goes_fast() {
+        let data = generate(&spec(4000, 7));
+        let all = RowBlock::from(data.dataset.clone());
+        let store = DatasetStore::new();
+        let params = P3cParams::default();
+        let mut eng = IncrementalLight::new("t", params.clone());
+        let mut fed = 0usize;
+        let mut saw_fast = false;
+        for step in [1000usize, 1000, 500, 500, 500, 500] {
+            eng.append(&store, chunk(&all, fed, step)).unwrap();
+            fed += step;
+            let outcome = eng.recluster(&store).unwrap();
+            let cumulative = chunk(&all, 0, fed);
+            assert_identical(&outcome.result, &batch(&cumulative, &params));
+            saw_fast |= outcome.path == ReclusterPath::Fast;
+        }
+        assert!(saw_fast, "append-only stream never took the fast path");
+        assert!(eng.stats().cached_levels > 0, "{:?}", eng.stats());
+    }
+
+    #[test]
+    fn retract_falls_back_but_stays_identical() {
+        let data = generate(&spec(3000, 13));
+        let all = RowBlock::from(data.dataset.clone());
+        let store = DatasetStore::new();
+        let params = P3cParams::default();
+        let mut eng = IncrementalLight::new("t", params.clone());
+        let a = eng.append(&store, chunk(&all, 0, 1000)).unwrap();
+        let _b = eng.append(&store, chunk(&all, 1000, 1000)).unwrap();
+        let c = eng.append(&store, chunk(&all, 2000, 1000)).unwrap();
+        eng.recluster(&store).unwrap();
+        assert!(eng.retract(&store, a).unwrap());
+        assert!(!eng.retract(&store, a).unwrap(), "double retract");
+        let outcome = eng.recluster(&store).unwrap();
+        assert_eq!(outcome.path, ReclusterPath::Full);
+        // Cumulative is now blocks b then c.
+        let mut rows: Vec<Vec<f64>> = (1000..3000).map(|i| all.row(i).to_vec()).collect();
+        let cumulative = RowBlock::from_rows(&rows);
+        assert_identical(&outcome.result, &batch(&cumulative, &params));
+        // Retract down to one block, then to nothing.
+        assert!(eng.retract(&store, c).unwrap());
+        rows.truncate(1000);
+        let outcome = eng.recluster(&store).unwrap();
+        assert_identical(
+            &outcome.result,
+            &batch(&RowBlock::from_rows(&rows), &params),
+        );
+    }
+
+    #[test]
+    fn empty_and_trivial_cases() {
+        let store = DatasetStore::new();
+        let mut eng = IncrementalLight::new("t", P3cParams::default());
+        let outcome = eng.recluster(&store).unwrap();
+        assert_eq!(outcome.path, ReclusterPath::Empty);
+        assert_eq!(outcome.result.clustering.num_clusters(), 0);
+        // Append everything, retract everything: back to empty.
+        let block = RowBlock::from_rows(&[vec![0.5, 0.5], vec![0.2, 0.8]]);
+        let id = eng.append(&store, block).unwrap();
+        assert!(eng.retract(&store, id).unwrap());
+        let outcome = eng.recluster(&store).unwrap();
+        assert_eq!(outcome.path, ReclusterPath::Empty);
+        assert!(eng.materialize(&store).unwrap().is_empty());
+    }
+
+    #[test]
+    fn width_mismatch_is_an_error() {
+        let store = DatasetStore::new();
+        let mut eng = IncrementalLight::new("t", P3cParams::default());
+        eng.append(&store, RowBlock::from_rows(&[vec![0.1, 0.2]]))
+            .unwrap();
+        assert!(eng
+            .append(&store, RowBlock::from_rows(&[vec![0.1, 0.2, 0.3]]))
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform bin rule")]
+    fn exact_iqr_rule_rejected() {
+        IncrementalLight::new(
+            "t",
+            P3cParams {
+                bin_rule: BinRuleChoice::FreedmanDiaconisIqr,
+                ..P3cParams::default()
+            },
+        );
+    }
+}

@@ -36,10 +36,13 @@
 //! assert!(!result.clustering.clusters.is_empty());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod cores;
 pub mod em;
 pub mod histogram;
+pub mod incremental;
 pub mod inspect;
 pub mod mr;
 pub mod outlier;

@@ -175,9 +175,13 @@ pub fn generate_candidates_mr(
 /// Result of the MapReduce core-generation phase.
 #[derive(Debug, Clone)]
 pub struct MrCoreGenResult {
+    /// The maximal proven cores.
     pub cores: Vec<ClusterCore>,
+    /// All proven signatures with their supports (pre-maximality).
     pub proven: Vec<(Signature, f64)>,
+    /// Support table over all counted signatures.
     pub table: SupportTable,
+    /// Per-level generation statistics.
     pub stats: CoreGenStats,
     /// Proving jobs actually executed (multi-level collection batches).
     pub proving_jobs: usize,

@@ -318,8 +318,11 @@ pub fn initialize_from_cores_mr(
 
 /// Result of the MR EM loop.
 pub struct MrEmFit {
+    /// The fitted mixture.
     pub model: MixtureModel,
+    /// Log-likelihood after each iteration.
     pub loglik_history: Vec<f64>,
+    /// Iterations run before convergence or the cap.
     pub iterations: usize,
 }
 

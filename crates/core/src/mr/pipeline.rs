@@ -33,11 +33,13 @@ pub struct P3cPlusMr<'e> {
 }
 
 impl<'e> P3cPlusMr<'e> {
+    /// New MR pipeline over `engine` with validated parameters.
     pub fn new(engine: &'e Engine, params: P3cParams) -> Self {
         params.validate();
         Self { engine, params }
     }
 
+    /// The pipeline's parameters.
     pub fn params(&self) -> &P3cParams {
         &self.params
     }
@@ -370,15 +372,18 @@ pub struct P3cPlusMrLight<'e> {
 }
 
 impl<'e> P3cPlusMrLight<'e> {
+    /// New MR-Light pipeline over `engine` with validated parameters.
     pub fn new(engine: &'e Engine, params: P3cParams) -> Self {
         params.validate();
         Self { engine, params }
     }
 
+    /// The pipeline's parameters.
     pub fn params(&self) -> &P3cParams {
         &self.params
     }
 
+    /// Runs the MR-Light pipeline (no EM refinement) on `data`.
     pub fn cluster(&self, data: &Dataset) -> Result<P3cResult, MrError> {
         let rows = data.row_refs();
         let (cores, mut stats) = core_phase_mr(self.engine, &rows, data.len(), &self.params)?;

@@ -132,7 +132,9 @@ impl ClusterGather {
 /// coordinates.
 #[derive(Debug, Clone)]
 pub struct MvbStats {
+    /// Ball center in `A_rel` coordinates.
     pub center: Vec<f64>,
+    /// Ball radius.
     pub radius: f64,
 }
 

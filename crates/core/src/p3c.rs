@@ -42,6 +42,7 @@ impl P3c {
         }
     }
 
+    /// The baseline's parameters.
     pub fn params(&self) -> &P3cParams {
         self.inner.params()
     }

@@ -6,7 +6,10 @@
 //! the BoW baseline.
 
 use crate::config::{BinRuleChoice, OutlierMethod, P3cParams};
-use crate::cores::{attach_expected_supports, generate_cluster_cores, ClusterCore, CoreGenStats};
+use crate::cores::{
+    attach_expected_supports, generate_cluster_cores_with, ClusterCore, CoreGenStats, LevelCounter,
+    ScanCounter,
+};
 use crate::em::{em_fit_threads, initialize_from_cores};
 use crate::histogram::build_histograms_columnar_threads;
 use crate::inspect::{inspect_attributes, tighten_intervals};
@@ -41,10 +44,12 @@ pub struct PipelineStats {
 /// Result of a P3C-family run.
 #[derive(Debug, Clone)]
 pub struct P3cResult {
+    /// The projected clusters and outliers.
     pub clustering: Clustering,
     /// The cluster cores behind the clusters (parallel to
     /// `clustering.clusters` — core i produced cluster i).
     pub cores: Vec<ClusterCore>,
+    /// Per-stage pipeline statistics.
     pub stats: PipelineStats,
 }
 
@@ -57,11 +62,13 @@ pub struct P3cPlus {
 }
 
 impl P3cPlus {
+    /// New pipeline with validated parameters.
     pub fn new(params: P3cParams) -> Self {
         params.validate();
         Self { params }
     }
 
+    /// The pipeline's parameters.
     pub fn params(&self) -> &P3cParams {
         &self.params
     }
@@ -126,15 +133,18 @@ pub struct P3cPlusLight {
 }
 
 impl P3cPlusLight {
+    /// New pipeline with validated parameters.
     pub fn new(params: P3cParams) -> Self {
         params.validate();
         Self { params }
     }
 
+    /// The pipeline's parameters.
     pub fn params(&self) -> &P3cParams {
         &self.params
     }
 
+    /// Runs the Light pipeline (no EM refinement) on `data`.
     pub fn cluster(&self, data: &Dataset) -> P3cResult {
         let rows = data.row_refs();
         let (cores, mut stats) = shared_core_phase(data, &rows, &self.params);
@@ -142,57 +152,101 @@ impl P3cPlusLight {
             return empty_result(data.len(), stats);
         }
 
-        // Membership mapping m′: point → set of cores whose support set
-        // contains it (Section 6).
-        let k = cores.len();
-        let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
-        let mut unique_members: Vec<Vec<usize>> = vec![Vec::new(); k];
-        let mut outliers = Vec::new();
-        for (i, row) in rows.iter().enumerate() {
-            let mut containing: Vec<usize> = Vec::new();
-            for (c, core) in cores.iter().enumerate() {
-                if core.signature.contains(row) {
-                    containing.push(c);
-                }
-            }
-            match containing.as_slice() {
-                [] => outliers.push(i),
-                cs => {
-                    for &c in cs {
-                        members[c].push(i);
-                    }
-                    if let [only] = cs {
-                        unique_members[*only].push(i);
-                    }
-                }
-            }
-        }
-        stats.outliers = outliers.len();
-
-        let mut clusters = Vec::with_capacity(k);
-        for (c, core) in cores.iter().enumerate() {
-            let member_rows: Vec<&[f64]> = members[c].iter().map(|&i| rows[i]).collect();
-            let unique_rows: Vec<&[f64]> = unique_members[c].iter().map(|&i| rows[i]).collect();
-            let core_attrs = core.signature.attributes();
-            // AI over unique-membership points only (the Light histogram
-            // of Section 6).
-            let extra = inspect_attributes(&unique_rows, &core_attrs, &self.params);
-            let mut attrs = core_attrs.clone();
-            attrs.extend(extra.iter().map(|iv| iv.attr));
-            // Tighten: core attributes over the full support set; AI
-            // attributes over the unique members (shared points would blur
-            // exactly the way Section 6 warns about).
-            let mut intervals = tighten_intervals(&member_rows, &core_attrs);
-            let ai_attrs: BTreeSet<usize> = extra.iter().map(|iv| iv.attr).collect();
-            intervals.extend(tighten_intervals(&unique_rows, &ai_attrs));
-            clusters.push(ProjectedCluster::new(members[c].clone(), attrs, intervals));
-        }
+        let membership = light_membership(&rows, &cores);
+        stats.outliers = membership.outliers.len();
+        let clustering = light_finalize(&rows, &cores, &membership, &self.params);
         P3cResult {
-            clustering: Clustering::new(clusters, outliers),
+            clustering,
             cores,
             stats,
         }
     }
+}
+
+/// The Light pipeline's membership mapping `m′` (Section 6): per core,
+/// its member point ids, the ids belonging to *only* that core, and the
+/// ids in no core at all — each list in ascending id order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct LightMembership {
+    pub members: Vec<Vec<usize>>,
+    pub unique_members: Vec<Vec<usize>>,
+    pub outliers: Vec<usize>,
+}
+
+/// Computes the Light membership mapping by one scan over the rows.
+/// Extracted from `P3cPlusLight::cluster` so the incremental service's
+/// fallback path runs literally the same code (byte-identity by
+/// construction).
+pub(crate) fn light_membership(rows: &[&[f64]], cores: &[ClusterCore]) -> LightMembership {
+    let k = cores.len();
+    let mut m = LightMembership {
+        members: vec![Vec::new(); k],
+        unique_members: vec![Vec::new(); k],
+        outliers: Vec::new(),
+    };
+    for (i, row) in rows.iter().enumerate() {
+        light_classify(row, i, cores, &mut m);
+    }
+    m
+}
+
+/// Classifies one row into the membership mapping — the per-point step
+/// of [`light_membership`], also used by the incremental engine to fold
+/// an appended delta block into maintained memberships.
+pub(crate) fn light_classify(
+    row: &[f64],
+    id: usize,
+    cores: &[ClusterCore],
+    m: &mut LightMembership,
+) {
+    let mut containing: Vec<usize> = Vec::new();
+    for (c, core) in cores.iter().enumerate() {
+        if core.signature.contains(row) {
+            containing.push(c);
+        }
+    }
+    match containing.as_slice() {
+        [] => m.outliers.push(id),
+        cs => {
+            for &c in cs {
+                m.members[c].push(id);
+            }
+            if let [only] = cs {
+                m.unique_members[*only].push(id);
+            }
+        }
+    }
+}
+
+/// The Light pipeline's finalization: per core, attribute inspection
+/// over the unique members (the Light histogram of Section 6) and
+/// interval tightening — core attributes over the full support set, AI
+/// attributes over the unique members (shared points would blur exactly
+/// the way Section 6 warns about).
+pub(crate) fn light_finalize(
+    rows: &[&[f64]],
+    cores: &[ClusterCore],
+    m: &LightMembership,
+    params: &P3cParams,
+) -> Clustering {
+    let mut clusters = Vec::with_capacity(cores.len());
+    for (c, core) in cores.iter().enumerate() {
+        let member_rows: Vec<&[f64]> = m.members[c].iter().map(|&i| rows[i]).collect();
+        let unique_rows: Vec<&[f64]> = m.unique_members[c].iter().map(|&i| rows[i]).collect();
+        let core_attrs = core.signature.attributes();
+        let extra = inspect_attributes(&unique_rows, &core_attrs, params);
+        let mut attrs = core_attrs.clone();
+        attrs.extend(extra.iter().map(|iv| iv.attr));
+        let mut intervals = tighten_intervals(&member_rows, &core_attrs);
+        let ai_attrs: BTreeSet<usize> = extra.iter().map(|iv| iv.attr).collect();
+        intervals.extend(tighten_intervals(&unique_rows, &ai_attrs));
+        clusters.push(ProjectedCluster::new(
+            m.members[c].clone(),
+            attrs,
+            intervals,
+        ));
+    }
+    Clustering::new(clusters, m.outliers.clone())
 }
 
 /// Histogram → relevant intervals → cluster cores → redundancy filter:
@@ -205,7 +259,6 @@ fn shared_core_phase(
     params: &P3cParams,
 ) -> (Vec<ClusterCore>, PipelineStats) {
     let n = data.len();
-    let mut stats = PipelineStats::default();
     let bins_per_attr = bins_per_attribute_columnar(data, params);
     let hists = build_histograms_columnar_threads(
         n,
@@ -214,10 +267,31 @@ fn shared_core_phase(
         &bins_per_attr,
         params.threads,
     );
-    stats.bins = hists.bins;
+    let mut counter = ScanCounter::new(rows);
+    core_phase_from_histograms(&hists, n, params, &mut counter).expect("scan counter is infallible")
+}
+
+/// Relevant intervals → cluster cores → redundancy filter → expected
+/// supports, starting from already-built histograms and a
+/// [`LevelCounter`]. Shared by the batch pipelines (scan counter over
+/// the full row set) and the incremental service engine (cached
+/// counter over maintained supports): for equal histograms and equal
+/// counter answers, every step below is a pure function, so the
+/// returned cores are identical — the byte-identity contract of
+/// DESIGN.md §14.
+pub(crate) fn core_phase_from_histograms(
+    hists: &crate::histogram::AttributeHistograms,
+    n: usize,
+    params: &P3cParams,
+    counter: &mut dyn LevelCounter,
+) -> Result<(Vec<ClusterCore>, PipelineStats), String> {
+    let mut stats = PipelineStats {
+        bins: hists.bins,
+        ..PipelineStats::default()
+    };
     let intervals = relevant_intervals(&hists.histograms, params.alpha_chi2);
     stats.relevant_intervals = intervals.len();
-    let gen = generate_cluster_cores(&intervals, rows, params);
+    let gen = generate_cluster_cores_with(&intervals, n, params, counter)?;
     stats.core_gen = gen.stats.clone();
     // With the filter on, redundancy runs over the full proven set
     // against the attribute-independence null *before* maximality —
@@ -233,7 +307,7 @@ fn shared_core_phase(
     };
     attach_expected_supports(&mut cores, n);
     stats.cores = cores.len();
-    (cores, stats)
+    Ok((cores, stats))
 }
 
 /// Builds the final clustering from a hard partition (EM + OD output):
@@ -325,7 +399,10 @@ pub fn iqr_bins(n: usize, iqr: f64) -> usize {
     p3c_stats::binning::freedman_diaconis_bins_with_iqr(n, iqr, 1.0).clamp(2, cap)
 }
 
-fn empty_result(n: usize, stats: PipelineStats) -> P3cResult {
+/// The no-cores result: every point an outlier, zero clusters. Shared
+/// with the incremental engine so its empty path matches batch exactly
+/// (including the untouched `stats.outliers` field).
+pub(crate) fn empty_result(n: usize, stats: PipelineStats) -> P3cResult {
     P3cResult {
         clustering: Clustering::new(Vec::new(), (0..n).collect()),
         cores: Vec::new(),

@@ -15,7 +15,7 @@
 //! those endpoints *are* bin edges here.)
 
 use crate::types::Signature;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A table of counted signature supports.
 ///
@@ -27,24 +27,113 @@ pub struct SupportTable {
 }
 
 impl SupportTable {
+    /// Empty table.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Records `sig`'s counted support.
     pub fn insert(&mut self, sig: Signature, support: f64) {
         self.map.insert(sig, support);
     }
 
+    /// Looks up a previously counted support.
     pub fn get(&self, sig: &Signature) -> Option<f64> {
         self.map.get(sig).copied()
     }
 
+    /// Number of recorded signatures.
     pub fn len(&self) -> usize {
         self.map.len()
     }
 
+    /// Whether no signature has been recorded.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+}
+
+/// Maintained signature supports in summation form — the incremental
+/// service's delta-maintenance state (DESIGN.md §14).
+///
+/// Signature supports are per-point indicator sums, so the support over
+/// the cumulative dataset equals the support over the previous state
+/// plus the support over an appended delta block (or minus, for a
+/// retract). Counts are exact `u64`s, making the maintained values
+/// *equal*, not approximately equal, to a from-scratch count — the
+/// foundation of the service's byte-identity contract.
+///
+/// Invariant: every cached signature is stated against the *current*
+/// histogram discretization. When the bin rule steps (the bin count is
+/// a function of `n`), callers must [`SupportCache::clear`] — stale
+/// discretizations would make [`SupportCache::apply_delta`]'s RSSC pass
+/// disagree with the histograms.
+#[derive(Debug, Clone, Default)]
+pub struct SupportCache {
+    // BTreeMap: apply_delta iterates the cache; deterministic order
+    // keeps every downstream count sequence reproducible.
+    counts: BTreeMap<Signature, u64>,
+}
+
+impl SupportCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached support of `sig`, if the cache has seen it.
+    pub fn get(&self, sig: &Signature) -> Option<u64> {
+        self.counts.get(sig).copied()
+    }
+
+    /// Records a freshly counted support.
+    pub fn insert(&mut self, sig: Signature, support: u64) {
+        self.counts.insert(sig, support);
+    }
+
+    /// Number of cached signatures.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Drops every entry (bin-rule step or full invalidation).
+    pub fn clear(&mut self) {
+        self.counts.clear();
+    }
+
+    /// Folds a delta block into every cached support: one RSSC pass
+    /// over the delta rows, then an exact add (append) or subtract
+    /// (retract) per signature. Cost is `O(|delta| · cached)` bit-ops —
+    /// independent of the cumulative dataset size.
+    pub fn apply_delta(&mut self, delta_rows: &[&[f64]], retract: bool) {
+        if self.counts.is_empty() || delta_rows.is_empty() {
+            return;
+        }
+        let sigs: Vec<Signature> = self.counts.keys().cloned().collect();
+        let delta = count_supports_rssc(&sigs, delta_rows);
+        for (sig, d) in sigs.iter().zip(delta) {
+            let entry = self.counts.get_mut(sig).expect("cached signature");
+            if retract {
+                *entry = entry
+                    .checked_sub(d)
+                    .expect("retract of rows never appended");
+            } else {
+                *entry += d;
+            }
+        }
+    }
+
+    /// Estimated resident bytes (admission accounting).
+    pub fn mem_bytes(&self) -> usize {
+        // A signature holds a handful of intervals (4 usizes each); 256
+        // bytes is a generous flat estimate per entry including the
+        // tree node.
+        self.counts.len() * 256
     }
 }
 
@@ -133,6 +222,7 @@ impl Rssc {
         }
     }
 
+    /// Number of candidate signatures this plan covers.
     pub fn num_candidates(&self) -> usize {
         self.num_candidates
     }
@@ -348,6 +438,32 @@ mod tests {
             count_supports_naive(&candidates, &r)
         );
         assert_eq!(count_supports_rssc(&candidates, &r), vec![1, 1]);
+    }
+
+    #[test]
+    fn support_cache_delta_matches_full_recount() {
+        let sigs = vec![
+            Signature::new(vec![iv(0, 0, 2)]),
+            Signature::new(vec![iv(0, 0, 2), iv(1, 5, 9)]),
+        ];
+        let first = vec![vec![0.15, 0.75], vec![0.15, 0.25], vec![0.95, 0.15]];
+        let second = vec![vec![0.25, 0.95], vec![0.05, 0.55]];
+        let mut cache = SupportCache::new();
+        for (sig, c) in sigs.iter().zip(count_supports_rssc(&sigs, &rows(&first))) {
+            cache.insert(sig.clone(), c);
+        }
+        cache.apply_delta(&rows(&second), false);
+        let mut cumulative = first.clone();
+        cumulative.extend(second.iter().cloned());
+        let full = count_supports_rssc(&sigs, &rows(&cumulative));
+        for (sig, c) in sigs.iter().zip(full) {
+            assert_eq!(cache.get(sig), Some(c));
+        }
+        // Retracting the delta restores the original counts exactly.
+        cache.apply_delta(&rows(&second), true);
+        for (sig, c) in sigs.iter().zip(count_supports_rssc(&sigs, &rows(&first))) {
+            assert_eq!(cache.get(sig), Some(c));
+        }
     }
 
     #[test]

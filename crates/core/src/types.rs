@@ -16,14 +16,21 @@ use std::fmt;
 /// `bins` total equi-width bins on `[0,1]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Interval {
+    /// Attribute (dimension) index the interval lives on.
     pub attr: usize,
+    /// First bin of the run (inclusive).
     pub bin_lo: usize,
+    /// Last bin of the run (inclusive).
     pub bin_hi: usize,
     /// Total bins of the discretization this interval belongs to.
     pub bins: usize,
 }
 
 impl Interval {
+    /// New interval `[bin_lo, bin_hi]` out of `bins` total bins.
+    ///
+    /// # Panics
+    /// Panics on an out-of-order or out-of-range bin run.
     pub fn new(attr: usize, bin_lo: usize, bin_hi: usize, bins: usize) -> Self {
         assert!(bin_lo <= bin_hi, "bin range out of order");
         assert!(bin_hi < bins, "bin range exceeds bin count");
@@ -103,6 +110,7 @@ impl Signature {
         self.intervals.len()
     }
 
+    /// Whether the signature spans no attribute at all.
     pub fn is_empty(&self) -> bool {
         self.intervals.is_empty()
     }

@@ -1,0 +1,153 @@
+//! Append/retract metadata log for incrementally maintained datasets.
+//!
+//! The incremental clustering service stores a dataset not as one
+//! mutable buffer but as an ordered log of immutable row blocks: an
+//! `append` adds a block at the end, a `retract` removes a block by id.
+//! The cumulative dataset at any instant is the concatenation of the
+//! live blocks in log order — the exact dataset a from-scratch batch
+//! run would see, which is what the service's byte-identity contract is
+//! stated against. [`BlockLog`] tracks only metadata (ids, row counts,
+//! dimensionality); the row payloads live in a `DatasetStore` so a
+//! memory-budgeted cache can spill them independently.
+
+use serde::{Deserialize, Serialize};
+
+/// One live block of the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockEntry {
+    /// The block's id, assigned at append time and never reused.
+    pub id: u64,
+    /// Rows in the block.
+    pub rows: usize,
+}
+
+/// Ordered metadata log of the live blocks of one dataset.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BlockLog {
+    entries: Vec<BlockEntry>,
+    next_id: u64,
+    dim: Option<usize>,
+}
+
+impl BlockLog {
+    /// Empty log; the dimensionality is fixed by the first non-empty
+    /// append.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an appended block of `rows × dim` and returns its id.
+    ///
+    /// # Errors
+    /// Rejects a block whose width disagrees with the log's established
+    /// dimensionality.
+    pub fn append(&mut self, rows: usize, dim: usize) -> Result<u64, String> {
+        match self.dim {
+            Some(d) if rows > 0 && d != dim => {
+                return Err(format!(
+                    "block width {dim} does not match dataset width {d}"
+                ));
+            }
+            None if rows > 0 => self.dim = Some(dim),
+            _ => {}
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.entries.push(BlockEntry { id, rows });
+        Ok(id)
+    }
+
+    /// Removes block `id` from the log, returning its row count;
+    /// `None` if no live block has that id.
+    pub fn retract(&mut self, id: u64) -> Option<usize> {
+        let pos = self.entries.iter().position(|e| e.id == id)?;
+        Some(self.entries.remove(pos).rows)
+    }
+
+    /// Total rows across live blocks — the cumulative `n`.
+    pub fn total_rows(&self) -> usize {
+        self.entries.iter().map(|e| e.rows).sum()
+    }
+
+    /// The dataset's dimensionality, once established.
+    pub fn dim(&self) -> Option<usize> {
+        self.dim
+    }
+
+    /// Number of live blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The live blocks in log (row-id) order.
+    pub fn entries(&self) -> &[BlockEntry] {
+        &self.entries
+    }
+
+    /// Whether block `id` is live.
+    pub fn contains(&self, id: u64) -> bool {
+        self.entries.iter().any(|e| e.id == id)
+    }
+
+    /// Global row offset of block `id` in the cumulative dataset —
+    /// the sum of the row counts of the blocks before it in log order.
+    pub fn offset_of(&self, id: u64) -> Option<usize> {
+        let mut offset = 0;
+        for e in &self.entries {
+            if e.id == id {
+                return Some(offset);
+            }
+            offset += e.rows;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_assigns_monotonic_ids_and_tracks_rows() {
+        let mut log = BlockLog::new();
+        let a = log.append(10, 3).unwrap();
+        let b = log.append(5, 3).unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(log.total_rows(), 15);
+        assert_eq!(log.dim(), Some(3));
+        assert_eq!(log.num_blocks(), 2);
+        assert_eq!(log.offset_of(b), Some(10));
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut log = BlockLog::new();
+        log.append(10, 3).unwrap();
+        assert!(log.append(4, 2).is_err());
+        // Empty blocks are width-neutral.
+        assert!(log.append(0, 0).is_ok());
+    }
+
+    #[test]
+    fn retract_removes_but_never_reuses_ids() {
+        let mut log = BlockLog::new();
+        let a = log.append(10, 2).unwrap();
+        let b = log.append(6, 2).unwrap();
+        assert_eq!(log.retract(a), Some(10));
+        assert_eq!(log.retract(a), None);
+        assert!(log.contains(b));
+        assert_eq!(log.total_rows(), 6);
+        assert_eq!(log.offset_of(b), Some(0));
+        let c = log.append(1, 2).unwrap();
+        assert_eq!(c, 2, "retracted ids are not recycled");
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = BlockLog::new();
+        assert_eq!(log.total_rows(), 0);
+        assert_eq!(log.dim(), None);
+        assert!(!log.contains(0));
+        assert_eq!(log.offset_of(0), None);
+    }
+}

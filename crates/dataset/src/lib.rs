@@ -16,14 +16,18 @@
 //!   quality measures (`p3c-eval`).
 //! * [`persist`] — plain-text and binary round-tripping for staging data
 //!   into the block store and onto disk.
+//! * [`blocklog`] — the append/retract metadata log the incremental
+//!   service keeps per dataset (block ids, row counts, log order).
 #![warn(missing_docs)]
 
+pub mod blocklog;
 pub mod colseg;
 pub mod data;
 pub mod model;
 pub mod persist;
 pub mod rowblock;
 
+pub use blocklog::{BlockEntry, BlockLog};
 pub use colseg::ColumnSet;
 pub use data::{Dataset, NormalizationMap};
 pub use model::{AttrInterval, Clustering, ProjectedCluster};

@@ -42,6 +42,24 @@ impl RowBlock {
         Self { n, d, data }
     }
 
+    /// Concatenates blocks (all of equal dimensionality) into one
+    /// contiguous block, rows in argument order — how the incremental
+    /// service materializes a cumulative dataset from its append log.
+    /// Empty blocks are dimension-neutral; an empty input list yields
+    /// the `0 × 0` block.
+    pub fn concat(blocks: &[&RowBlock]) -> RowBlock {
+        let d = blocks.iter().find(|b| b.n > 0).map_or(0, |b| b.d);
+        let n: usize = blocks.iter().map(|b| b.n).sum();
+        let mut data = Vec::with_capacity(n * d);
+        for block in blocks {
+            if block.n > 0 {
+                assert_eq!(block.d, d, "concatenating blocks of different widths");
+                data.extend_from_slice(&block.data);
+            }
+        }
+        RowBlock::new(n, d, data)
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.n

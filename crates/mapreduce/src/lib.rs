@@ -115,6 +115,7 @@ pub mod fault;
 pub mod kernel;
 pub mod metrics;
 pub mod pool;
+pub mod service;
 pub mod weight;
 
 pub use api::{Combiner, Emitter, Mapper, Reducer};
@@ -136,4 +137,5 @@ pub use engine::{stable_partition, Engine, JobOutput, MrConfig, MrError};
 pub use fault::FaultPlan;
 pub use metrics::{ClusterMetrics, DagMetrics, DagNodeMetrics, JobMetrics};
 pub use pool::{parallel_for_blocks, parallel_for_blocks_with, resolve_threads, run_workers};
+pub use service::{ClusterService, ServiceError, ServiceMetrics, Tenant};
 pub use weight::Weighable;

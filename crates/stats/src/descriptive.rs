@@ -84,6 +84,7 @@ pub struct OnlineMoments {
 }
 
 impl OnlineMoments {
+    /// Fresh accumulator with no observations.
     pub fn new() -> Self {
         Self::default()
     }
@@ -96,10 +97,12 @@ impl OnlineMoments {
         self.m2 += delta * (x - self.mean);
     }
 
+    /// Number of observations folded in so far.
     pub fn count(&self) -> u64 {
         self.n
     }
 
+    /// Running mean; `None` before the first observation.
     pub fn mean(&self) -> Option<f64> {
         (self.n > 0).then_some(self.mean)
     }
@@ -109,6 +112,7 @@ impl OnlineMoments {
         (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
     }
 
+    /// Sample standard deviation (square root of [`OnlineMoments::variance`]).
     pub fn std_dev(&self) -> Option<f64> {
         self.variance().map(f64::sqrt)
     }

@@ -176,6 +176,23 @@ impl Histogram {
         }
     }
 
+    /// Subtracts another histogram (same bin count) bin-by-bin — the
+    /// retract counterpart of [`Histogram::merge`] used by the
+    /// incremental service's delta maintenance. Unit-weight counts are
+    /// integer-valued f64 sums far below 2⁵³, where addition and
+    /// subtraction are exact, so `h.merge(&d); h.subtract(&d)` restores
+    /// `h` bit-for-bit.
+    pub fn subtract(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "subtracting histograms of different bin counts"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a -= b;
+        }
+    }
+
     /// The `[lo, hi]` value range covered by bin `i`.
     pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
         let m = self.counts.len() as f64;

@@ -21,6 +21,7 @@
 //!   indexing `max(1, ⌈m·x⌉)` (Equation 8),
 //! * [`descriptive`] — medians, dimension-wise medians, IQR and online
 //!   moments used by the MVB estimator and the data generator.
+#![warn(missing_docs)]
 
 pub mod binning;
 pub mod chi2;
