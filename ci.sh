@@ -17,9 +17,11 @@
 # Tier 2 (lint + formatting + invariants):
 #   cargo clippy --all-targets -- -D warnings
 #   cargo fmt --check
-#   cargo run -p p3c-audit          (determinism/concurrency invariants)
-#   loom models                     (engine kernel, all interleavings)
+#   cargo run -p p3c-audit          (determinism/concurrency/lock invariants)
+#   cargo test --features lockcheck (tier-1 under runtime lock-rank asserts)
+#   loom models                     (engine kernel + admission condvar)
 #   cargo +nightly miri             (dataset byte paths; skipped if absent)
+#   ThreadSanitizer probe           (service + distrib; skipped if absent)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -117,10 +119,20 @@ cargo clippy --all-targets -- -D warnings
 echo "==> tier 2: cargo fmt --check"
 cargo fmt --check
 
-echo "==> tier 2: determinism & concurrency audit"
+echo "==> tier 2: determinism, concurrency & lock-discipline audit"
+# One run covers both rule sets: the DESIGN.md §10 invariant catalog and
+# the §15 lock rules (rank order + acquisition-graph acyclicity,
+# blocking-under-lock, guard hygiene). Zero unwaived violations or fail.
 cargo run -q -p p3c-audit
 
-echo "==> tier 2: loom models (engine concurrency kernel)"
+# The declared lock ranks, enforced at runtime: the lockcheck feature
+# turns every RankedMutex/RankedRwLock acquisition into an assertion on
+# a thread-local held-rank stack, so the whole tier-1 suite doubles as a
+# dynamic probe of the §15 hierarchy.
+echo "==> tier 2: lockcheck (runtime lock-rank assertions) tier-1 rerun"
+cargo test -q --features lockcheck
+
+echo "==> tier 2: loom models (engine kernel + admission condvar)"
 RUSTFLAGS="--cfg loom" cargo test -q -p p3c-mapreduce --test loom_models
 
 # Miri catches UB on the codec/rowblock/dataset byte paths; it needs a
@@ -133,7 +145,22 @@ else
     echo "==> tier 2: miri unavailable (no nightly toolchain) — skipped"
 fi
 
-# ThreadSanitizer would need nightly -Z build-std; the loom models above
-# cover the same interleavings deterministically, so TSan stays optional.
+# ThreadSanitizer needs nightly -Z build-std; when a nightly toolchain
+# with rust-src is around, sweep the lock-heavy suites (service,
+# distributed backends) for data races the lexical auditor cannot see.
+# The loom models cover the same protocols deterministically, so the
+# probe is best-effort, never a gate on the stable container.
+if cargo +nightly --version > /dev/null 2>&1 \
+    && rustup component list --toolchain nightly 2> /dev/null | grep -q "rust-src (installed)"; then
+    echo "==> tier 2: ThreadSanitizer probe (service + distributed tests)"
+    RUSTFLAGS="-Z sanitizer=thread" RUSTDOCFLAGS="-Z sanitizer=thread" \
+        cargo +nightly test -Z build-std --target x86_64-unknown-linux-gnu \
+        -q -p p3c-mapreduce --lib -- service:: distrib:: || {
+            echo "ThreadSanitizer probe failed" >&2
+            exit 1
+        }
+else
+    echo "==> tier 2: ThreadSanitizer unavailable (no nightly rust-src) — skipped"
+fi
 
 echo "==> CI green"

@@ -12,6 +12,7 @@
 //! so CI can gate on it (see ci.sh tier 2).
 
 mod lexer;
+mod locks;
 mod rules;
 
 use std::path::{Path, PathBuf};
@@ -32,8 +33,10 @@ fn main() -> ExitCode {
     }
     files.sort();
 
-    let mut violations = Vec::new();
-    let mut waivers_in_force = 0usize;
+    // Lex everything first: the lock-discipline pass is whole-workspace
+    // (function summaries cross files), so per-file rule checks run only
+    // after its findings are known.
+    let mut scans = Vec::new();
     for path in &files {
         let source = match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -47,9 +50,39 @@ fn main() -> ExitCode {
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        let scan = lexer::scan(&source);
+        scans.push((rel, lexer::scan(&source)));
+    }
+
+    let (defs, table_problems) = match locks::load_hierarchy(&repo_root.join("DESIGN.md")) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("p3c-audit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scan_refs: Vec<(String, &lexer::FileScan)> =
+        scans.iter().map(|(rel, s)| (rel.clone(), s)).collect();
+    let mut lock_findings = locks::analyze(&defs, &table_problems, &scan_refs);
+    // Findings attributed to DESIGN.md itself (table inconsistencies,
+    // acquisition-graph cycles) have no source line to waive on — they
+    // surface directly.
+    let mut violations: Vec<rules::Violation> = lock_findings
+        .remove("DESIGN.md")
+        .unwrap_or_default()
+        .into_iter()
+        .map(|f| rules::Violation {
+            file: "DESIGN.md".to_string(),
+            line: f.line,
+            rule: f.rule,
+            message: f.message,
+        })
+        .collect();
+
+    let mut waivers_in_force = 0usize;
+    for (rel, scan) in &scans {
         waivers_in_force += scan.waivers.len();
-        violations.extend(rules::check_file(&rel, &scan));
+        let extra = lock_findings.get(rel).map(Vec::as_slice).unwrap_or(&[]);
+        violations.extend(rules::check_file(rel, scan, extra));
     }
 
     for v in &violations {

@@ -17,6 +17,9 @@ pub const KNOWN_KEYS: &[&str] = &[
     "rng-ok",
     "relaxed-ok",
     "order-exact",
+    "lock-order-ok",
+    "lock-blocking-ok",
+    "lock-guard-ok",
 ];
 
 /// One audit finding.
@@ -164,9 +167,13 @@ const RULES: &[Rule] = &[
         waiver_key: "unordered-ok",
         scopes: &[
             "crates/core/src/mr/",
+            "crates/core/src/incremental.rs",
             "crates/mapreduce/src/engine.rs",
             "crates/mapreduce/src/dag.rs",
             "crates/mapreduce/src/dataset.rs",
+            "crates/mapreduce/src/service.rs",
+            "crates/mapreduce/src/distrib/",
+            "crates/cli/src/serve.rs",
         ],
         excludes: &[],
         check: check_hash_container,
@@ -179,6 +186,8 @@ const RULES: &[Rule] = &[
             "crates/mapreduce/src/dag.rs",
             "crates/mapreduce/src/dataset.rs",
             "crates/mapreduce/src/blockstore.rs",
+            "crates/mapreduce/src/service.rs",
+            "crates/mapreduce/src/distrib/",
         ],
         excludes: &[],
         check: check_panic,
@@ -186,21 +195,33 @@ const RULES: &[Rule] = &[
     Rule {
         id: "wall-clock",
         waiver_key: "time-ok",
-        scopes: &["crates/core/src/", "crates/mapreduce/src/"],
+        scopes: &[
+            "crates/core/src/",
+            "crates/mapreduce/src/",
+            "crates/cli/src/serve.rs",
+        ],
         excludes: &["crates/mapreduce/src/metrics.rs"],
         check: check_wall_clock,
     },
     Rule {
         id: "nondeterministic-rng",
         waiver_key: "rng-ok",
-        scopes: &["crates/core/src/", "crates/mapreduce/src/"],
+        scopes: &[
+            "crates/core/src/",
+            "crates/mapreduce/src/",
+            "crates/cli/src/serve.rs",
+        ],
         excludes: &[],
         check: check_rng,
     },
     Rule {
         id: "relaxed-ordering",
         waiver_key: "relaxed-ok",
-        scopes: &["crates/core/src/", "crates/mapreduce/src/"],
+        scopes: &[
+            "crates/core/src/",
+            "crates/mapreduce/src/",
+            "crates/cli/src/serve.rs",
+        ],
         excludes: &[],
         check: check_relaxed,
     },
@@ -225,7 +246,7 @@ fn in_scope(rule: &Rule, path: &str) -> bool {
 /// its statement however many lines the formatter spreads it over. The
 /// heuristic walks forward until a code line ends in `;`, `{`, `}`,
 /// or `,`, bounded so a miss cannot blanket a whole file.
-fn statement_end(scan: &FileScan, start: usize) -> usize {
+pub fn statement_end(scan: &FileScan, start: usize) -> usize {
     const MAX_SPAN: usize = 12;
     let mut line = start;
     while line <= scan.code.len() && line < start + MAX_SPAN {
@@ -241,12 +262,48 @@ fn statement_end(scan: &FileScan, start: usize) -> usize {
     line.min(scan.code.len())
 }
 
-/// Runs every rule over one lexed file. `path` is repo-relative with
-/// forward slashes.
-pub fn check_file(path: &str, scan: &FileScan) -> Vec<Violation> {
+/// Runs every rule over one lexed file, plus any findings the global
+/// lock-discipline pass attributed to it (those flow through the same
+/// waiver machinery, so lock waivers get the identical hygiene checks).
+/// `path` is repo-relative with forward slashes.
+pub fn check_file(
+    path: &str,
+    scan: &FileScan,
+    lock_findings: &[crate::locks::Finding],
+) -> Vec<Violation> {
     let mut violations = Vec::new();
     // Waiver bookkeeping: which waivers actually suppressed something.
     let mut used = vec![false; scan.waivers.len()];
+
+    for finding in lock_findings {
+        let waiver = scan.waivers.iter().position(|w| {
+            w.key == finding.key
+                && w.covers <= finding.line
+                && finding.line <= statement_end(scan, w.covers)
+        });
+        match waiver {
+            Some(w) if !scan.waivers[w].reason.is_empty() => used[w] = true,
+            Some(w) => {
+                used[w] = true;
+                violations.push(Violation {
+                    file: path.to_string(),
+                    line: scan.waivers[w].line,
+                    rule: finding.rule,
+                    message: format!(
+                        "waiver `{}` has no reason — every waiver must \
+                         justify itself",
+                        scan.waivers[w].key
+                    ),
+                });
+            }
+            None => violations.push(Violation {
+                file: path.to_string(),
+                line: finding.line,
+                rule: finding.rule,
+                message: finding.message.clone(),
+            }),
+        }
+    }
 
     for rule in RULES {
         if !in_scope(rule, path) {
@@ -328,7 +385,7 @@ mod tests {
     use crate::lexer::scan;
 
     fn check(path: &str, src: &str) -> Vec<Violation> {
-        check_file(path, &scan(src))
+        check_file(path, &scan(src), &[])
     }
 
     #[test]
@@ -439,6 +496,41 @@ let s = r#\"panic!()\"#;
         // The density-kernel host in p3c-linalg is in scope too.
         assert_eq!(check("crates/linalg/src/cholesky.rs", float).len(), 1);
         assert!(check("crates/linalg/src/matrix.rs", float).is_empty());
+    }
+
+    #[test]
+    fn lock_findings_flow_through_the_waiver_machinery() {
+        use crate::locks::Finding;
+        let finding = |line| Finding {
+            line,
+            rule: "lock-blocking",
+            key: "lock-blocking-ok",
+            message: "TCP frame write while holding `backend.state`".to_string(),
+        };
+        // Unwaived: surfaces as a violation at the finding's line.
+        let bare = scan("self.call(&req);\n");
+        let v = check_file(
+            "crates/mapreduce/src/distrib/process.rs",
+            &bare,
+            &[finding(1)],
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "lock-blocking");
+        // Waived with a reason: suppressed, and the waiver is not stale.
+        let waived = scan(
+            "// audit: lock-blocking-ok — control plane is serialized by design.\n\
+             self.call(&req);\n",
+        );
+        let v = check_file(
+            "crates/mapreduce/src/distrib/process.rs",
+            &waived,
+            &[finding(2)],
+        );
+        assert!(v.is_empty(), "{v:?}");
+        // A lock waiver that suppresses nothing is stale.
+        let v = check_file("crates/mapreduce/src/distrib/process.rs", &waived, &[]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("stale waiver"));
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub fn execute(parsed: &ParsedArgs) -> Result<String, ExecError> {
                 cache_budget: *cache_budget,
                 job_budget: *job_budget,
                 threads: *threads,
+                read_timeout: None,
             };
             match listen {
                 Some(addr) => crate::serve::serve_tcp(&opts, addr)?,

@@ -37,7 +37,21 @@ pub struct ServeOptions {
     pub job_budget: Option<usize>,
     /// Worker threads for the clustering kernels.
     pub threads: Option<usize>,
+    /// Per-connection TCP read timeout; `None` uses
+    /// [`DEFAULT_READ_TIMEOUT`]. A client that stays silent longer is
+    /// disconnected so an abandoned socket cannot pin its thread (and
+    /// the tenant locks its commands would take) forever.
+    pub read_timeout: Option<std::time::Duration>,
 }
+
+/// Read timeout applied to TCP sessions unless overridden.
+pub const DEFAULT_READ_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(300);
+
+/// Longest accepted command line on a TCP session. The protocol is
+/// line-oriented with short commands; without a bound, one client
+/// sending an endless unterminated line would grow the server's buffer
+/// without limit.
+pub const MAX_LINE_LEN: usize = 64 * 1024;
 
 /// Protocol summary printed by the `help` command.
 pub const PROTOCOL_HELP: &str = "\
@@ -340,11 +354,13 @@ pub fn serve_stdin(opts: &ServeOptions) -> std::io::Result<()> {
     let stdout = std::io::stdout();
     for line in stdin.lock().lines() {
         let line = line?;
+        // audit: lock-blocking-ok — single-threaded REPL: the stdin lock *is* the serve loop, and command I/O under it is its job (§15).
         match handle_line(&state, &line) {
             Reply::Text(text) if text.is_empty() => {}
             Reply::Text(text) => {
                 let mut out = stdout.lock();
                 writeln!(out, "{text}")?;
+                // audit: lock-blocking-ok — flushing the REPL's own output stream; nothing is ever locked under `cli.stdout`.
                 out.flush()?;
             }
             Reply::Quit | Reply::Shutdown => break,
@@ -367,8 +383,9 @@ pub fn serve_listener(opts: &ServeOptions, listener: TcpListener) -> std::io::Re
         let stream = stream?;
         let session_state = Arc::clone(&state);
         let session_stop = Arc::clone(&stop);
+        let timeout = opts.read_timeout.unwrap_or(DEFAULT_READ_TIMEOUT);
         sessions.push(std::thread::spawn(move || {
-            let _ = serve_connection(&session_state, &session_stop, stream, addr);
+            let _ = serve_connection(&session_state, &session_stop, stream, addr, timeout);
         }));
         if stop.load(Ordering::SeqCst) {
             break;
@@ -380,16 +397,56 @@ pub fn serve_listener(opts: &ServeOptions, listener: TcpListener) -> std::io::Re
     Ok(())
 }
 
+/// Reads one `\n`-terminated line of at most `max` bytes. `Ok(None)`
+/// is EOF; a line that hits the bound without a terminator is an
+/// `InvalidData` error (the caller disconnects rather than buffer an
+/// unbounded line).
+fn read_bounded_line<R: BufRead>(reader: &mut R, max: usize) -> std::io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    // Re-borrow so `take` consumes `&mut R` (itself a Read impl), not R.
+    let mut limited = <&mut R as std::io::Read>::take(&mut *reader, max as u64 + 1);
+    let n = limited.read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') && n > max {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("command line exceeds {max} bytes"),
+        ));
+    }
+    while buf.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map(Some).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "command line is not UTF-8")
+    })
+}
+
 fn serve_connection(
     state: &ServerState,
     stop: &AtomicBool,
     stream: TcpStream,
     addr: std::net::SocketAddr,
+    timeout: std::time::Duration,
 ) -> std::io::Result<()> {
+    // A silent peer trips the timeout, errors the next read, and the
+    // session thread exits instead of parking forever.
+    stream.set_read_timeout(Some(timeout))?;
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_bounded_line(&mut reader, MAX_LINE_LEN) {
+            Ok(Some(line)) => line,
+            Ok(None) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Tell the client why before hanging up.
+                let _ = writeln!(writer, "error: {e}\n.");
+                let _ = writer.flush();
+                return Err(e);
+            }
+            Err(e) => return Err(e),
+        };
         match handle_line(state, &line) {
             Reply::Text(text) => {
                 if text.is_empty() {
@@ -501,6 +558,79 @@ mod tests {
         assert!(matches!(handle_line(&state, "shutdown"), Reply::Shutdown));
         assert!(matches!(handle_line(&state, ""), Reply::Text(t) if t.is_empty()));
         assert!(matches!(handle_line(&state, "# comment"), Reply::Text(t) if t.is_empty()));
+    }
+
+    #[test]
+    fn bounded_line_reader_accepts_short_and_rejects_long() {
+        use std::io::Cursor;
+        let mut r = Cursor::new(b"hello\nworld\r\n".to_vec());
+        assert_eq!(read_bounded_line(&mut r, 16).unwrap().unwrap(), "hello");
+        assert_eq!(read_bounded_line(&mut r, 16).unwrap().unwrap(), "world");
+        assert!(read_bounded_line(&mut r, 16).unwrap().is_none());
+
+        // A line exactly at the bound still parses; one past it errors.
+        let mut r = Cursor::new([vec![b'a'; 16], b"\n".to_vec()].concat());
+        assert_eq!(
+            read_bounded_line(&mut r, 16).unwrap().unwrap(),
+            "a".repeat(16)
+        );
+        let mut r = Cursor::new(vec![b'a'; 17]); // unterminated and too long
+        let err = read_bounded_line(&mut r, 16).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn tcp_session_disconnects_on_oversized_line() {
+        use std::io::Read;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let opts = ServeOptions::default();
+        let server = std::thread::spawn(move || serve_listener(&opts, listener));
+
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        // An unterminated line one past the bound: the server must send
+        // an error block and hang up rather than buffer forever.
+        writer.write_all(&vec![b'x'; MAX_LINE_LEN + 1]).unwrap();
+        writer.flush().unwrap();
+        let mut response = String::new();
+        let mut reader = BufReader::new(stream);
+        reader.read_to_string(&mut response).unwrap(); // returns only on EOF
+        assert!(
+            response.contains("error: command line exceeds"),
+            "{response}"
+        );
+
+        // The listener is still healthy for well-behaved clients.
+        let out = ctl_send(&addr, &["create".to_string(), "a".to_string()]).unwrap();
+        assert_eq!(out, "created a\n");
+        let out = ctl_send(&addr, &["shutdown".to_string()]).unwrap();
+        assert!(out.contains("shutting down"), "{out}");
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn tcp_session_disconnects_an_idle_client() {
+        use std::io::Read;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let opts = ServeOptions {
+            read_timeout: Some(std::time::Duration::from_millis(50)),
+            ..ServeOptions::default()
+        };
+        let server = std::thread::spawn(move || serve_listener(&opts, listener));
+
+        // Connect and go silent: the read timeout must end the session
+        // (observed as EOF on our side) instead of pinning it forever.
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut response = String::new();
+        reader.read_to_string(&mut response).unwrap();
+        assert!(response.is_empty(), "{response}");
+
+        let out = ctl_send(&addr, &["shutdown".to_string()]).unwrap();
+        assert!(out.contains("shutting down"), "{out}");
+        server.join().unwrap().unwrap();
     }
 
     #[test]

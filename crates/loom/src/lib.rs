@@ -204,6 +204,44 @@ mod tests {
     }
 
     #[test]
+    fn condvar_handoff_wakes_waiter_in_every_schedule() {
+        use super::sync::Condvar;
+        let executions = model(|| {
+            let slot = Arc::new((Mutex::new(false), Condvar::new()));
+            let setter = {
+                let s = Arc::clone(&slot);
+                thread::spawn(move || {
+                    let (m, cv) = &*s;
+                    *m.lock() = true;
+                    cv.notify_all();
+                })
+            };
+            let (m, cv) = &*slot;
+            let mut g = m.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+            drop(g);
+            setter.join_unwrap();
+        });
+        assert!(
+            executions > 1,
+            "expected multiple schedules, got {executions}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn condvar_wait_without_notify_deadlocks() {
+        model(|| {
+            let m = Mutex::new(());
+            let cv = super::sync::Condvar::new();
+            let mut g = m.lock();
+            cv.wait(&mut g);
+        });
+    }
+
+    #[test]
     #[should_panic(expected = "join them")]
     fn leaked_thread_is_reported() {
         model(|| {

@@ -26,6 +26,9 @@ pub(crate) enum Status {
     BlockedOnMutex(usize),
     /// Parked until the thread with this id finishes.
     BlockedOnJoin(usize),
+    /// Parked in `Condvar::wait` until the condvar with this id is
+    /// notified. The associated mutex is released while parked.
+    BlockedOnCondvar(usize),
     /// Ran to completion.
     Finished,
 }
@@ -43,6 +46,9 @@ pub(crate) struct SchedState {
     pub trace: Vec<(usize, usize)>,
     /// `Some(tid)` while the mutex with that table index is held.
     pub mutex_owner: Vec<Option<usize>>,
+    /// Number of condvars registered with this execution. Condvars need
+    /// no ownership table — only an id waiters can park against.
+    pub condvar_count: usize,
     /// Set when the execution is being torn down; parked threads wake up
     /// and unwind instead of continuing.
     pub poisoned: bool,
@@ -92,6 +98,7 @@ impl Registry {
                 step: 0,
                 trace: Vec::new(),
                 mutex_owner: Vec::new(),
+                condvar_count: 0,
                 poisoned: false,
                 failure: None,
             }),
@@ -228,7 +235,12 @@ impl Registry {
     /// from guard drops, possibly during unwinding.
     pub fn mutex_unlock(&self, me: usize, id: usize) {
         let mut st = self.locked();
-        debug_assert_eq!(st.mutex_owner[id], Some(me), "unlock by non-owner");
+        if st.mutex_owner[id] != Some(me) {
+            // The guard is being dropped during unwinding after
+            // `condvar_wait` aborted between releasing the mutex and
+            // reacquiring it — nothing to release.
+            return;
+        }
         st.mutex_owner[id] = None;
         for s in &mut st.statuses {
             if *s == Status::BlockedOnMutex(id) {
@@ -237,6 +249,81 @@ impl Registry {
         }
         // No decision point here: the caller's next visible operation
         // provides one, and the release is already observable then.
+    }
+
+    /// Registers a condvar for the current execution and returns its id.
+    pub fn register_condvar(&self) -> usize {
+        let mut st = self.locked();
+        st.condvar_count += 1;
+        st.condvar_count - 1
+    }
+
+    /// Atomically releases `mutex` and parks on condvar `cv`; reacquires
+    /// the mutex after being notified, before returning to the caller.
+    ///
+    /// The release-and-park is a single step under the scheduler lock, so
+    /// a notify between "release" and "park" cannot be lost — the same
+    /// atomicity real condvars provide. A notify *before* this call is
+    /// missed, exactly as with real condvars, which is why callers loop
+    /// on a predicate.
+    pub fn condvar_wait(&self, me: usize, cv: usize, mutex: usize) {
+        let mut st = self.locked();
+        self.abort_if_poisoned(&st);
+        debug_assert_eq!(st.mutex_owner[mutex], Some(me), "wait without the lock");
+        st.mutex_owner[mutex] = None;
+        for s in &mut st.statuses {
+            if *s == Status::BlockedOnMutex(mutex) {
+                *s = Status::Runnable;
+            }
+        }
+        st.statuses[me] = Status::BlockedOnCondvar(cv);
+        if !self.pick_next(&mut st, Some(me)) {
+            let why = self.describe_deadlock(&st);
+            self.poison(&mut st, why);
+            drop(st);
+            panic!("{ABORT_MSG}");
+        }
+        st = self.park_until_active(st, me);
+        // Notified: contend for the mutex again before returning.
+        loop {
+            if st.mutex_owner[mutex].is_none() {
+                st.mutex_owner[mutex] = Some(me);
+                return;
+            }
+            st.statuses[me] = Status::BlockedOnMutex(mutex);
+            if !self.pick_next(&mut st, Some(me)) {
+                let why = self.describe_deadlock(&st);
+                self.poison(&mut st, why);
+                drop(st);
+                panic!("{ABORT_MSG}");
+            }
+            st = self.park_until_active(st, me);
+        }
+    }
+
+    /// Wakes every waiter parked on condvar `cv`. Like `mutex_unlock`,
+    /// no decision point of its own: the notifier's next visible
+    /// operation provides one, and the wake-up is observable then.
+    pub fn condvar_notify_all(&self, cv: usize) {
+        let mut st = self.locked();
+        self.abort_if_poisoned(&st);
+        for s in &mut st.statuses {
+            if *s == Status::BlockedOnCondvar(cv) {
+                *s = Status::Runnable;
+            }
+        }
+    }
+
+    /// Wakes the lowest-numbered waiter parked on condvar `cv`, if any.
+    pub fn condvar_notify_one(&self, cv: usize) {
+        let mut st = self.locked();
+        self.abort_if_poisoned(&st);
+        for s in &mut st.statuses {
+            if *s == Status::BlockedOnCondvar(cv) {
+                *s = Status::Runnable;
+                break;
+            }
+        }
     }
 
     /// Parks until `target` finishes (with a decision point first).
@@ -333,7 +420,14 @@ impl Registry {
             .statuses
             .iter()
             .enumerate()
-            .filter(|(_, s)| matches!(s, Status::BlockedOnMutex(_) | Status::BlockedOnJoin(_)))
+            .filter(|(_, s)| {
+                matches!(
+                    s,
+                    Status::BlockedOnMutex(_)
+                        | Status::BlockedOnJoin(_)
+                        | Status::BlockedOnCondvar(_)
+                )
+            })
             .map(|(i, s)| format!("thread {i} {s:?}"))
             .collect();
         format!(

@@ -188,5 +188,48 @@ impl<T> Drop for MutexGuard<'_, T> {
     }
 }
 
+/// A model-checked condition variable with a parking_lot-flavoured API.
+///
+/// `wait` atomically releases the guard's mutex and parks until a notify,
+/// then reacquires the mutex before returning — the guard stays valid
+/// across the call. As with real condvars a notify issued while no thread
+/// is parked is lost, so callers must loop on a predicate.
+#[derive(Debug)]
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    /// A new model-checked condvar, registered with the current
+    /// execution's scheduler.
+    pub fn new() -> Self {
+        let id = with_context(|reg, _| reg.register_condvar());
+        Self { id }
+    }
+
+    /// Releases the guard's mutex and parks until notified; the mutex is
+    /// reacquired (contending if necessary) before this returns.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let mutex_id = guard.mutex.id;
+        with_context(|reg, me| reg.condvar_wait(me, self.id, mutex_id));
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        with_context(|reg, _| reg.condvar_notify_all(self.id));
+    }
+
+    /// Wakes one parked waiter (the lowest-numbered, deterministically).
+    pub fn notify_one(&self) {
+        with_context(|reg, _| reg.condvar_notify_one(self.id));
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 // Re-exported so shimmed code can keep `Ordering` imports stable.
 pub use std::sync::atomic::Ordering;

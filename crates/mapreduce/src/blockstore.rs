@@ -6,8 +6,8 @@
 //! fixed-size blocks, each block carries a replication factor, and the
 //! store meters bytes read and written.
 
+use crate::sync::{rank, RankedRwLock};
 use bytes::Bytes;
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -19,7 +19,7 @@ pub const DEFAULT_BLOCK_SIZE: usize = 64 * 1024;
 pub struct BlockStore {
     block_size: usize,
     replication: usize,
-    files: RwLock<BTreeMap<String, Vec<Bytes>>>,
+    files: RankedRwLock<BTreeMap<String, Vec<Bytes>>>,
     bytes_written: AtomicU64,
     bytes_read: AtomicU64,
 }
@@ -38,7 +38,7 @@ impl BlockStore {
         Self {
             block_size: block_size.max(1),
             replication: replication.max(1),
-            files: RwLock::new(BTreeMap::new()),
+            files: RankedRwLock::new(rank::BLOCKSTORE_FILES, "blockstore.files", BTreeMap::new()),
             bytes_written: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
         }

@@ -27,7 +27,7 @@
 
 use crate::blockstore::BlockStore;
 use crate::engine::MrError;
-use parking_lot::Mutex;
+use crate::sync::{rank, RankedMutex};
 use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -364,7 +364,7 @@ enum SpillPlan {
 pub struct DatasetStore {
     blockstore: Arc<BlockStore>,
     budget: Option<usize>,
-    inner: Mutex<Inner>,
+    inner: RankedMutex<Inner>,
 }
 
 impl Default for DatasetStore {
@@ -389,12 +389,16 @@ impl DatasetStore {
         Self {
             blockstore,
             budget,
-            inner: Mutex::new(Inner {
-                entries: BTreeMap::new(),
-                mem_bytes: 0,
-                clock: 0,
-                stats: DatasetStoreStats::default(),
-            }),
+            inner: RankedMutex::new(
+                rank::DATASET_STORE,
+                "dataset.inner",
+                Inner {
+                    entries: BTreeMap::new(),
+                    mem_bytes: 0,
+                    clock: 0,
+                    stats: DatasetStoreStats::default(),
+                },
+            ),
         }
     }
 

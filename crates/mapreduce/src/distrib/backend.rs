@@ -22,7 +22,7 @@ use super::shuffle::{ShuffleError, ShuffleManager};
 use super::tracker::{BlockLocation, MapOutputTracker};
 use crate::fault::FaultPlan;
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -164,7 +164,7 @@ struct ServiceState {
     tracker: MapOutputTracker,
     /// Maps whose stored output has been "lost" by injection; fetches
     /// return [`BackendError::Lost`] until the map is restored.
-    lost: Mutex<HashSet<(u64, usize)>>,
+    lost: Mutex<BTreeSet<(u64, usize)>>,
     loss_plan: Option<FaultPlan>,
     stats: Mutex<BTreeMap<u64, ShuffleStats>>,
 }
@@ -194,7 +194,7 @@ impl LocalBackend {
             service: Some(ServiceState {
                 manager: ShuffleManager::new(crate::blockstore::DEFAULT_BLOCK_SIZE),
                 tracker: MapOutputTracker::new(),
-                lost: Mutex::new(HashSet::new()),
+                lost: Mutex::new(BTreeSet::new()),
                 loss_plan,
                 stats: Mutex::new(BTreeMap::new()),
             }),
@@ -204,6 +204,7 @@ impl LocalBackend {
     fn service(&self) -> &ServiceState {
         self.service
             .as_ref()
+            // audit: panic-ok — statically impossible: every constructor that routes bytes installs the service state.
             .expect("passthrough LocalBackend never routes bytes")
     }
 

@@ -26,7 +26,7 @@ use super::wire::{
 };
 use crate::fault::FaultPlan;
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -49,7 +49,7 @@ pub struct ProcessBackend {
     state: Mutex<ClusterState>,
     stats: Mutex<BTreeMap<u64, ShuffleStats>>,
     /// Stages that already consumed their injected kill (one per stage).
-    kills_fired: Mutex<HashSet<u64>>,
+    kills_fired: Mutex<BTreeSet<u64>>,
 }
 
 enum ClusterState {
@@ -82,7 +82,7 @@ impl ProcessBackend {
             tracker: MapOutputTracker::new(),
             state: Mutex::new(ClusterState::Idle),
             stats: Mutex::new(BTreeMap::new()),
-            kills_fired: Mutex::new(HashSet::new()),
+            kills_fired: Mutex::new(BTreeSet::new()),
         }
     }
 
@@ -118,6 +118,7 @@ impl ProcessBackend {
         match state {
             ClusterState::Up(cluster) => Ok(cluster),
             ClusterState::Down => Err(BackendError::Unavailable("backend shut down".to_string())),
+            // audit: panic-ok — statically impossible: the Idle arm above just replaced the state with Up.
             ClusterState::Idle => unreachable!("cluster booted above"),
         }
     }
@@ -269,12 +270,15 @@ impl Backend for ProcessBackend {
 
     fn submit_stage(&self, spec: &StageSpec, outputs: Vec<MapOutput>) -> Result<(), BackendError> {
         let mut state = self.state.lock();
+        // audit: lock-blocking-ok — lazy cluster boot is serialized under `backend.state` by design (§15).
         let cluster = self.ensure_up(&mut state)?;
         for output in &outputs {
             // Kill *before* storing this map's partitions: earlier maps
             // on the same worker are lost (and recovered at fetch
             // time); this map stores cleanly on the fresh process.
+            // audit: lock-blocking-ok — fault-injection kill RPC on the serialized control plane (§15).
             self.maybe_inject_kill(cluster, spec, output.map_id)?;
+            // audit: lock-blocking-ok — map-output store RPC on the serialized control plane (§15).
             self.store_map(cluster, spec, output, true)?;
         }
         Ok(())
@@ -282,7 +286,9 @@ impl Backend for ProcessBackend {
 
     fn restore_map(&self, spec: &StageSpec, output: MapOutput) -> Result<(), BackendError> {
         let mut state = self.state.lock();
+        // audit: lock-blocking-ok — lazy cluster boot is serialized under `backend.state` by design (§15).
         let cluster = self.ensure_up(&mut state)?;
+        // audit: lock-blocking-ok — map-output store RPC on the serialized control plane (§15).
         self.store_map(cluster, spec, &output, false)
     }
 
@@ -293,6 +299,7 @@ impl Backend for ProcessBackend {
         reduce_id: usize,
     ) -> Result<Vec<u8>, BackendError> {
         let mut state = self.state.lock();
+        // audit: lock-blocking-ok — lazy cluster boot (spawn/accept/handshake) is serialized under `backend.state` by design (§15).
         let cluster = self.ensure_up(&mut state)?;
         let Some(loc) = self.tracker.lookup(spec.shuffle_id, map_id, reduce_id) else {
             // Never registered, or invalidated by a worker death.
@@ -308,8 +315,10 @@ impl Backend for ProcessBackend {
                 self.stat(spec.shuffle_id, |s| s.retries += 1);
                 // Exponential backoff between attempts against a live
                 // worker (corruption or transient short reads).
+                // audit: lock-blocking-ok — bounded backoff (at most 40ms) between fetch retries on the serialized control plane.
                 std::thread::sleep(Duration::from_millis(5 << attempt));
             }
+            // audit: lock-blocking-ok — fetch RPC under `backend.state`: the control plane is intentionally serialized (§15).
             match Self::call(cluster, loc.worker, OP_FETCH, &payload) {
                 Ok((OP_FETCH_OK, body)) => {
                     let mut r = WireReader::new(&body);
@@ -355,6 +364,7 @@ impl Backend for ProcessBackend {
                     // Dead worker: everything it held is lost; restart
                     // it and let the engine re-execute.
                     self.stat(spec.shuffle_id, |s| s.retries += 1);
+                    // audit: lock-blocking-ok — dead-worker restart is part of the serialized control plane (§15).
                     self.restart_worker(cluster, loc.worker, spec.shuffle_id)?;
                     return Err(BackendError::Lost { map_id });
                 }
@@ -373,6 +383,7 @@ impl Backend for ProcessBackend {
             for w in 0..cluster.workers.len() {
                 // Best-effort cleanup; a dead worker has nothing to
                 // delete anyway.
+                // audit: lock-blocking-ok — best-effort stage-cleanup RPC; the control plane is serialized under `backend.state` by design (§15).
                 let _ = Self::call(cluster, w, OP_DELETE_SID, &payload);
             }
         }
@@ -388,9 +399,11 @@ impl Backend for ProcessBackend {
         let mut state = self.state.lock();
         if let ClusterState::Up(cluster) = &mut *state {
             for conn in &mut cluster.workers {
+                // audit: lock-blocking-ok — shutdown broadcast over the serialized control plane (§15).
                 let _ = write_frame(&mut conn.stream, OP_SHUTDOWN, &[]);
             }
             for conn in &mut cluster.workers {
+                // audit: lock-blocking-ok — shutdown joins worker children under the serialized control plane; no lock ranks below `backend.state` here.
                 wait_or_kill(&mut conn.child);
             }
         }

@@ -14,15 +14,11 @@
 //! interleavings exhaustively.
 
 #[cfg(loom)]
-use p3c_loom::sync::{
-    atomic::{AtomicUsize, Ordering},
-    Mutex,
-};
-#[cfg(not(loom))]
-use parking_lot::Mutex;
+use p3c_loom::sync::atomic::{AtomicUsize, Ordering};
 #[cfg(not(loom))]
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::sync::{rank, RankedMutex};
 use std::collections::BTreeMap;
 
 /// Where one `(shuffle_id, map_id, reduce_id)` partition lives.
@@ -41,7 +37,7 @@ pub struct BlockLocation {
 /// deterministically ordered.
 #[derive(Debug)]
 pub struct MapOutputTracker {
-    entries: Mutex<BTreeMap<(u64, usize, usize), BlockLocation>>,
+    entries: RankedMutex<BTreeMap<(u64, usize, usize), BlockLocation>>,
     /// Bumped on every invalidation; a fetch that spans a worker death
     /// can compare epochs to learn that its lookup is stale.
     epoch: AtomicUsize,
@@ -57,7 +53,7 @@ impl MapOutputTracker {
     /// An empty tracker.
     pub fn new() -> Self {
         Self {
-            entries: Mutex::new(BTreeMap::new()),
+            entries: RankedMutex::new(rank::TRACKER_ENTRIES, "tracker.entries", BTreeMap::new()),
             epoch: AtomicUsize::new(0),
         }
     }

@@ -17,9 +17,10 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 
-/// Upper bound on a single frame's payload; anything larger is treated
-/// as a corrupt stream rather than an allocation request.
-pub const MAX_FRAME_LEN: usize = 1 << 30;
+/// Upper bound on a single frame's payload (256 MiB); anything larger
+/// is treated as a corrupt stream rather than an allocation request —
+/// a reader must never allocate on the say-so of four wire bytes.
+pub const MAX_FRAME_LEN: usize = 1 << 28;
 
 // ------------------------------------------------------------ opcodes ---
 

@@ -116,6 +116,7 @@ pub mod kernel;
 pub mod metrics;
 pub mod pool;
 pub mod service;
+pub mod sync;
 pub mod weight;
 
 pub use api::{Combiner, Emitter, Mapper, Reducer};

@@ -22,7 +22,7 @@
 //!   the store's cache counters as the service's operations surface.
 
 use crate::dataset::DatasetStore;
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{rank, RankedCondvar, RankedMutex};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -139,23 +139,32 @@ struct AdmissionState {
 /// its estimate fits under the budget alongside the jobs already in
 /// flight, or when nothing is in flight (one oversized job is always
 /// allowed through rather than deadlocking).
-struct Admission {
+///
+/// Public so the admission Condvar protocol can be model-checked from
+/// the loom integration tests; [`ClusterService`] is the intended user.
+pub struct Admission {
     budget: Option<usize>,
-    state: Mutex<AdmissionState>,
-    cv: Condvar,
+    state: RankedMutex<AdmissionState>,
+    cv: RankedCondvar,
 }
 
 impl Admission {
-    fn new(budget: Option<usize>) -> Self {
+    /// Admission against `budget` summed working-set bytes
+    /// (`None` = unbounded, never waits).
+    pub fn new(budget: Option<usize>) -> Self {
         Self {
             budget,
-            state: Mutex::new(AdmissionState::default()),
-            cv: Condvar::new(),
+            state: RankedMutex::new(
+                rank::SERVICE_ADMISSION,
+                "service.admission",
+                AdmissionState::default(),
+            ),
+            cv: RankedCondvar::new(),
         }
     }
 
     /// Blocks until admitted; returns whether the job had to wait.
-    fn admit(&self, bytes: usize) -> bool {
+    pub fn admit(&self, bytes: usize) -> bool {
         let mut state = self.state.lock();
         let mut waited = false;
         while let Some(budget) = self.budget {
@@ -171,7 +180,8 @@ impl Admission {
         waited
     }
 
-    fn release(&self, bytes: usize) {
+    /// Returns a finished job's bytes to the budget and wakes waiters.
+    pub fn release(&self, bytes: usize) {
         let mut state = self.state.lock();
         state.in_flight_jobs -= 1;
         state.in_flight_bytes = state.in_flight_bytes.saturating_sub(bytes);
@@ -179,9 +189,9 @@ impl Admission {
         self.cv.notify_all();
     }
 
-    /// Whether a job of `bytes` would have to wait right now (tests).
-    #[cfg(test)]
-    fn would_wait(&self, bytes: usize) -> bool {
+    /// Whether a job of `bytes` would have to wait right now (tests and
+    /// loom models).
+    pub fn would_wait(&self, bytes: usize) -> bool {
         let state = self.state.lock();
         match self.budget {
             Some(budget) => {
@@ -208,7 +218,7 @@ impl Drop for AdmissionGuard<'_> {
 /// Multi-tenant clustering service over one shared budgeted store.
 pub struct ClusterService<T: Tenant> {
     store: Arc<DatasetStore>,
-    tenants: Mutex<BTreeMap<String, Arc<Mutex<T>>>>,
+    tenants: RankedMutex<BTreeMap<String, Arc<RankedMutex<T>>>>,
     admission: Admission,
     metrics: MetricCells,
 }
@@ -220,7 +230,7 @@ impl<T: Tenant> ClusterService<T> {
     pub fn new(store: Arc<DatasetStore>, job_budget: Option<usize>) -> Self {
         Self {
             store,
-            tenants: Mutex::new(BTreeMap::new()),
+            tenants: RankedMutex::new(rank::SERVICE_TENANTS, "service.tenants", BTreeMap::new()),
             admission: Admission::new(job_budget),
             metrics: MetricCells::default(),
         }
@@ -241,7 +251,7 @@ impl<T: Tenant> ClusterService<T> {
         self.metrics.snapshot()
     }
 
-    fn tenant(&self, name: &str) -> Result<Arc<Mutex<T>>, ServiceError> {
+    fn tenant(&self, name: &str) -> Result<Arc<RankedMutex<T>>, ServiceError> {
         self.tenants
             .lock()
             .get(name)
@@ -255,7 +265,14 @@ impl<T: Tenant> ClusterService<T> {
         if tenants.contains_key(name) {
             return Err(ServiceError::DatasetExists(name.to_string()));
         }
-        tenants.insert(name.to_string(), Arc::new(Mutex::new(tenant)));
+        tenants.insert(
+            name.to_string(),
+            Arc::new(RankedMutex::new(
+                rank::SERVICE_TENANT,
+                "service.tenant",
+                tenant,
+            )),
+        );
         Ok(())
     }
 
@@ -331,6 +348,7 @@ impl<T: Tenant> ClusterService<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parking_lot::Mutex;
 
     /// Tenant stub: blocks are row counts, the model is the running
     /// total at recluster time.

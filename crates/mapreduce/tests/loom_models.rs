@@ -25,11 +25,16 @@
 //! * [`MapOutputTracker`] — the distributed data plane's location
 //!   registry (DESIGN.md §12) — stays consistent when re-registrations
 //!   and lookups race worker deaths.
+//! * [`Admission`] — the service's Mutex+Condvar job gate (DESIGN.md
+//!   §14) — never over-admits under a budget, always admits an
+//!   oversized job when idle, and its notify-on-release protocol never
+//!   loses a wakeup.
 #![cfg(loom)]
 
 use p3c_loom::{model, thread};
 use p3c_mapreduce::distrib::{BlockLocation, MapOutputTracker};
 use p3c_mapreduce::kernel::{BlockPartials, CommitBoard, CounterLedger, ShuffleBuckets, WorkQueue};
+use p3c_mapreduce::service::Admission;
 use std::sync::Arc;
 
 /// Two workers race to drain a three-item queue: across every schedule,
@@ -243,6 +248,75 @@ fn tracker_reregistration_races_worker_death_consistently() {
         assert_eq!(tracker.epoch(), 1, "one death, one epoch bump");
     });
     assert!(executions > 1, "model explored more than one schedule");
+}
+
+/// The service admission gate under contention (DESIGN.md §14): two
+/// 80-byte re-cluster jobs compete for a 100-byte budget. In every
+/// schedule at most one is in flight at a time, both eventually
+/// complete (the release's `notify_all` cannot be lost — `wait`
+/// releases the state lock and parks atomically), and the gate is idle
+/// again after both release.
+#[test]
+fn admission_budget_gates_concurrent_jobs() {
+    use p3c_loom::sync::atomic::{AtomicUsize, Ordering};
+    let executions = model(|| {
+        let adm = Arc::new(Admission::new(Some(100)));
+        let running = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<_> = (0..2)
+            .map(|_| {
+                let adm = Arc::clone(&adm);
+                let running = Arc::clone(&running);
+                thread::spawn(move || {
+                    adm.admit(80);
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    assert!(
+                        now <= 1,
+                        "two 80-byte jobs in flight under a 100-byte budget"
+                    );
+                    running.fetch_sub(1, Ordering::SeqCst);
+                    adm.release(80);
+                })
+            })
+            .collect();
+        for j in jobs {
+            j.join_unwrap();
+        }
+        assert!(!adm.would_wait(80), "gate is idle after both releases");
+    });
+    assert!(executions > 1, "model explored more than one schedule");
+}
+
+/// The oversized-job protocol: an idle service admits a job bigger than
+/// the whole budget without waiting (degrade, don't deadlock), a second
+/// oversized job parks until the first's release, and the
+/// drop-the-guard-then-notify release ordering wakes it in every
+/// schedule.
+#[test]
+fn oversized_admission_waits_for_idle_and_wakes_on_release() {
+    use p3c_loom::sync::atomic::{AtomicBool, Ordering};
+    model(|| {
+        let adm = Arc::new(Admission::new(Some(100)));
+        let first_released = Arc::new(AtomicBool::new(false));
+        assert!(
+            !adm.admit(250),
+            "idle service admits an oversized job without waiting"
+        );
+        let second = {
+            let adm = Arc::clone(&adm);
+            let flag = Arc::clone(&first_released);
+            thread::spawn(move || {
+                adm.admit(250);
+                assert!(
+                    flag.load(Ordering::SeqCst),
+                    "second oversized job admitted before the first released"
+                );
+                adm.release(250);
+            })
+        };
+        first_released.store(true, Ordering::SeqCst);
+        adm.release(250);
+        second.join_unwrap();
+    });
 }
 
 /// A reducer's lookup racing a worker death never observes torn state:
