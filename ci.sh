@@ -7,12 +7,14 @@
 # Then: the tier-1 suite re-run under the multi-process shuffle backend
 # (P3C_BACKEND=process:2), the parallel-kernel bit-identity tests swept
 # over P3C_THREADS, the lane-kernel bit-identity tests swept over
-# P3C_LANES, the kernels/codec/backend/service benchmarks at smoke
-# scale, archiving target/ci/BENCH_{kernels,codec,backend,service}.json
-# (results/ keeps the committed full-scale numbers; the smoke runs must
-# not overwrite them), a stdin-scripted `p3c serve` session exercising
-# the service line protocol under a tight LRU cache budget, and a
-# rustdoc pass with warnings denied (missing docs on the data-plane
+# P3C_LANES, the kernels/codec/backend/service/recovery benchmarks at
+# smoke scale, archiving target/ci/BENCH_*.json (results/ keeps the
+# committed full-scale numbers; the smoke runs must not overwrite them),
+# a stdin-scripted `p3c serve` session exercising the service line
+# protocol under a tight LRU cache budget, a crash-recovery smoke
+# (SIGKILL a durable serve mid-session, restart on the same data dir,
+# and require the recovered fingerprint to match the pre-kill one), and
+# a rustdoc pass with warnings denied (missing docs on the data-plane
 # crates and broken intra-doc links fail the build).
 # Tier 2 (lint + formatting + invariants):
 #   cargo clippy --all-targets -- -D warnings
@@ -88,6 +90,10 @@ echo "==> service benchmark (smoke) -> target/ci/BENCH_service.json"
 ./target/release/experiments --smoke --out target/ci service > /dev/null
 test -s target/ci/BENCH_service.json
 
+echo "==> recovery benchmark (smoke) -> target/ci/BENCH_recovery.json"
+./target/release/experiments --smoke --out target/ci recovery > /dev/null
+test -s target/ci/BENCH_recovery.json
+
 # The clustering service end to end through the line protocol: two
 # appends and re-clusters on a stdin-scripted `p3c serve` under a cache
 # budget small enough to force LRU evictions, then the in-process
@@ -110,6 +116,43 @@ grep -q "incremental and batch models identical" target/ci/serve-smoke.log
 grep -Eq "evictions=[1-9]" target/ci/serve-smoke.log
 grep -Eq "spill_loads=[1-9]" target/ci/serve-smoke.log
 
+# Crash recovery end to end through the real binary: a durable serve is
+# SIGKILLed after journaling two appends and publishing a model — no
+# shutdown path runs — then a second serve on the same data directory
+# must report the recovery, re-cluster to the *same fingerprint*, and
+# pass the incremental-vs-batch verify (DESIGN.md §16). The sleep on
+# stdin keeps the session open so the kill lands mid-connection.
+echo "==> crash smoke: SIGKILL durable serve, restart, fingerprint identity"
+rm -rf target/ci/serve-data
+{
+    printf 'create demo\n'
+    printf 'append demo --synthetic 1200x8 --clusters 3 --seed 7\n'
+    printf 'append demo --synthetic 900x8 --clusters 3 --seed 8\n'
+    printf 'recluster demo\n'
+    sleep 60
+} | ./target/release/p3c serve --data-dir target/ci/serve-data --snapshot-every 2 \
+    > target/ci/serve-crash-1.log 2> target/ci/serve-crash-1.err &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "fingerprint=" target/ci/serve-crash-1.log 2> /dev/null && break
+    sleep 0.2
+done
+grep -q "fingerprint=" target/ci/serve-crash-1.log
+kill -9 "$SERVE_PID" 2> /dev/null || true
+wait "$SERVE_PID" 2> /dev/null || true
+FP_BEFORE=$(grep -o "fingerprint=[0-9a-f]*" target/ci/serve-crash-1.log | head -n 1)
+./target/release/p3c serve --data-dir target/ci/serve-data --snapshot-every 2 \
+    > target/ci/serve-crash-2.log 2> target/ci/serve-crash-2.err <<'EOF'
+recluster demo
+verify demo
+quit
+EOF
+grep -q "recovered 1 tenant" target/ci/serve-crash-2.err
+FP_AFTER=$(grep -o "fingerprint=[0-9a-f]*" target/ci/serve-crash-2.log | head -n 1)
+test -n "$FP_BEFORE"
+test "$FP_BEFORE" = "$FP_AFTER"
+grep -q "incremental and batch models identical" target/ci/serve-crash-2.log
+
 echo "==> rustdoc (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
@@ -131,6 +174,15 @@ cargo run -q -p p3c-audit
 # dynamic probe of the §15 hierarchy.
 echo "==> tier 2: lockcheck (runtime lock-rank assertions) tier-1 rerun"
 cargo test -q --features lockcheck
+
+# The durability invariants, explicitly: the journal/snapshot codec
+# property tests (torn tails, checksum rejection, tmp+rename atomicity)
+# and the randomized crash-recovery suite (random cut offsets, recovered
+# prefix byte-identical to batch). Both already run inside tier 1; this
+# leg keeps them visible and independently runnable.
+echo "==> tier 2: durability: journal codec + crash-recovery tests"
+cargo test -q -p p3c-dataset journal > /dev/null
+cargo test -q --test durability_recovery > /dev/null
 
 echo "==> tier 2: loom models (engine kernel + admission condvar)"
 RUSTFLAGS="--cfg loom" cargo test -q -p p3c-mapreduce --test loom_models

@@ -5,7 +5,8 @@
 //!             [EXPERIMENT...]
 //!
 //! EXPERIMENT ∈ {fig1, fig4, fig5, fig6, fig7, huge, colon, bins, measures,
-//!               stragglers, dag, kernels, codec, backend, service, all}
+//!               stragglers, dag, kernels, codec, backend, service,
+//!               recovery, all}
 //! ```
 //!
 //! Results are printed and written to `<out>/<id>.{json,md}`
@@ -55,6 +56,7 @@ fn main() -> ExitCode {
             "codec",
             "backend",
             "service",
+            "recovery",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -84,6 +86,7 @@ fn main() -> ExitCode {
             "codec" => experiments::codec(&scale),
             "backend" => experiments::backend(&scale),
             "service" => experiments::service(&scale),
+            "recovery" => experiments::recovery(&scale),
             other => die(&format!("unknown experiment {other}")),
         };
         println!("{}", report.to_markdown());
@@ -110,6 +113,6 @@ fn die(msg: &str) -> ! {
 fn print_help() {
     eprintln!(
         "usage: experiments [--scale F] [--dims D] [--seed S] [--smoke] [--out DIR] [EXPERIMENT...]\n\
-         experiments: fig1 fig4 fig5 fig6 fig7 huge colon bins measures stragglers dag kernels codec backend service all (default: all)"
+         experiments: fig1 fig4 fig5 fig6 fig7 huge colon bins measures stragglers dag kernels codec backend service recovery all (default: all)"
     );
 }

@@ -127,6 +127,12 @@ pub enum Command {
         job_budget: Option<usize>,
         /// Worker threads for the clustering kernels.
         threads: Option<usize>,
+        /// Durability directory: journal every mutation and recover
+        /// tenants on startup. `None` = volatile service.
+        data_dir: Option<String>,
+        /// Snapshot a tenant after this many journal records
+        /// (`None` = the serve default; `Some(0)` = journal only).
+        snapshot_every: Option<u64>,
     },
     /// Send one command to a running `serve --listen` instance.
     Ctl {
@@ -330,9 +336,19 @@ fn parse_serve<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, Pa
     let mut cache_budget = None;
     let mut job_budget = None;
     let mut threads = None;
+    let mut data_dir = None;
+    let mut snapshot_every = None;
     while let Some(arg) = it.next() {
         match arg {
             "--listen" => listen = Some(next_value(it, arg)?.to_string()),
+            "--data-dir" => data_dir = Some(next_value(it, arg)?.to_string()),
+            "--snapshot-every" => {
+                snapshot_every = Some(
+                    next_value(it, arg)?
+                        .parse()
+                        .map_err(|_| ParseError("bad --snapshot-every value".into()))?,
+                );
+            }
             "--cache-budget" => {
                 let v = next_value(it, arg)?;
                 cache_budget = Some(parse_bytes(v).ok_or_else(|| {
@@ -360,6 +376,8 @@ fn parse_serve<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, Pa
         cache_budget,
         job_budget,
         threads,
+        data_dir,
+        snapshot_every,
     })
 }
 
@@ -463,6 +481,7 @@ USAGE:
   p3c cluster (--input FILE | --synthetic NxD) [OPTIONS]
   p3c generate --synthetic NxD --out FILE [OPTIONS]
   p3c serve [--listen ADDR] [--cache-budget B] [--job-budget B] [-t N]
+            [--data-dir DIR] [--snapshot-every N]
   p3c ctl --connect ADDR -- COMMAND...
   p3c worker --connect HOST:PORT [--id N]
   p3c help
@@ -493,8 +512,12 @@ SERVE OPTIONS (incremental multi-tenant clustering service):
                          (suffixes k/m/g; default unbounded)
       --job-budget B     byte budget for concurrent re-cluster jobs
   -t, --threads N        worker threads for the clustering kernels
+      --data-dir DIR     durable mode: journal every mutation under DIR
+                         and recover hosted tenants on startup
+      --snapshot-every N snapshot a tenant after N journal records,
+                         truncating its journal (0 = journal only) [64]
   protocol: create | append | retract | recluster | verify | stats |
-            drop | quit | shutdown  (send `help` for details)
+            fingerprint | drop | quit | shutdown  (send `help`)
 
 CTL OPTIONS (one-shot client for serve --listen):
       --connect ADDR     server address; words after -- are sent verbatim
@@ -735,11 +758,14 @@ mod tests {
                 listen: None,
                 cache_budget: None,
                 job_budget: None,
-                threads: None
+                threads: None,
+                data_dir: None,
+                snapshot_every: None
             }
         );
         let parsed = parse(&args(
-            "serve --listen 127.0.0.1:7070 --cache-budget 4m --job-budget 512k -t 2",
+            "serve --listen 127.0.0.1:7070 --cache-budget 4m --job-budget 512k -t 2 \
+             --data-dir /tmp/p3c-data --snapshot-every 16",
         ))
         .unwrap();
         assert_eq!(
@@ -748,11 +774,15 @@ mod tests {
                 listen: Some("127.0.0.1:7070".into()),
                 cache_budget: Some(4 << 20),
                 job_budget: Some(512 << 10),
-                threads: Some(2)
+                threads: Some(2),
+                data_dir: Some("/tmp/p3c-data".into()),
+                snapshot_every: Some(16)
             }
         );
         let err = parse(&args("serve --cache-budget huge")).unwrap_err();
         assert!(err.0.contains("bad --cache-budget"));
+        let err = parse(&args("serve --snapshot-every soon")).unwrap_err();
+        assert!(err.0.contains("bad --snapshot-every"));
     }
 
     #[test]

@@ -51,6 +51,8 @@ pub fn execute(parsed: &ParsedArgs) -> Result<String, ExecError> {
             cache_budget,
             job_budget,
             threads,
+            data_dir,
+            snapshot_every,
         } => {
             let opts = crate::serve::ServeOptions {
                 listen: listen.clone(),
@@ -58,6 +60,8 @@ pub fn execute(parsed: &ParsedArgs) -> Result<String, ExecError> {
                 job_budget: *job_budget,
                 threads: *threads,
                 read_timeout: None,
+                data_dir: data_dir.clone(),
+                snapshot_every: *snapshot_every,
             };
             match listen {
                 Some(addr) => crate::serve::serve_tcp(&opts, addr)?,

@@ -42,10 +42,21 @@ pub struct ServeOptions {
     /// disconnected so an abandoned socket cannot pin its thread (and
     /// the tenant locks its commands would take) forever.
     pub read_timeout: Option<std::time::Duration>,
+    /// Durability directory: every mutation is journaled under it and
+    /// hosted tenants are recovered on startup. `None` = volatile.
+    pub data_dir: Option<String>,
+    /// Snapshot a tenant after this many journal records, truncating
+    /// its journal. `None` uses [`DEFAULT_SNAPSHOT_EVERY`];
+    /// `Some(0)` journals without ever snapshotting.
+    pub snapshot_every: Option<u64>,
 }
 
 /// Read timeout applied to TCP sessions unless overridden.
 pub const DEFAULT_READ_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(300);
+
+/// Journal records between snapshots in durable mode unless overridden
+/// — also the bound on how many records a restart replays per tenant.
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 64;
 
 /// Longest accepted command line on a TCP session. The protocol is
 /// line-oriented with short commands; without a bound, one client
@@ -63,6 +74,7 @@ commands:
   recluster NAME                 re-cluster incrementally
   verify NAME                    recluster + from-scratch batch, compare
   stats [NAME]                   service/store or per-dataset counters
+  fingerprint NAME               fingerprint of the last published model
   drop NAME                      remove a dataset and its blocks
   quit                           end this session
   shutdown                       stop the server (TCP mode)";
@@ -84,7 +96,10 @@ struct ServerState {
 }
 
 impl ServerState {
-    fn new(opts: &ServeOptions) -> Self {
+    /// Builds the service; in durable mode (`--data-dir`) this also
+    /// recovers every persisted tenant from its snapshot + journal tail
+    /// and reports the recovery on stderr before any command is served.
+    fn new(opts: &ServeOptions) -> std::io::Result<Self> {
         let store = Arc::new(match opts.cache_budget {
             Some(budget) => DatasetStore::with_budget(budget),
             None => DatasetStore::new(),
@@ -93,14 +108,41 @@ impl ServerState {
         if let Some(t) = opts.threads {
             base_params.threads = t;
         }
-        Self {
-            service: ClusterService::new(store, opts.job_budget),
+        let service = match &opts.data_dir {
+            None => ClusterService::new(store, opts.job_budget),
+            Some(dir) => {
+                let every = opts.snapshot_every.unwrap_or(DEFAULT_SNAPSHOT_EVERY);
+                let service = ClusterService::with_durability(
+                    store,
+                    opts.job_budget,
+                    std::path::Path::new(dir),
+                    every,
+                )?;
+                let report = service.recover().map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                })?;
+                eprintln!(
+                    "p3c serve: recovered {} tenant(s) from {dir} \
+                     ({} snapshot(s) loaded, {} journal record(s) replayed)",
+                    report.tenants, report.snapshots_loaded, report.records_replayed
+                );
+                service
+            }
+        };
+        Ok(Self {
+            service,
             base_params,
-        }
+        })
     }
 }
 
 fn parse_usize(v: &str, what: &str) -> Result<usize, String> {
+    v.parse().map_err(|_| format!("bad {what} '{v}'"))
+}
+
+/// Block ids are `u64` end to end; parsing through `usize` would
+/// truncate ids above 2³²−1 on 32-bit targets.
+fn parse_u64(v: &str, what: &str) -> Result<u64, String> {
     v.parse().map_err(|_| format!("bad {what} '{v}'"))
 }
 
@@ -322,17 +364,25 @@ fn handle_line(state: &ServerState, line: &str) -> Reply {
         ["help"] => Ok(PROTOCOL_HELP.to_string()),
         ["create", name, rest @ ..] => cmd_create(state, name, rest),
         ["append", name, rest @ ..] => cmd_append(state, name, rest),
-        ["retract", name, id] => parse_usize(id, "block id").and_then(|id| {
-            match state.service.retract(name, id as u64) {
+        ["retract", name, id] => {
+            parse_u64(id, "block id").and_then(|id| match state.service.retract(name, id) {
                 Ok(true) => Ok(format!("retracted block {id} from {name}")),
                 Ok(false) => Err(format!("no live block {id} in {name}")),
                 Err(e) => Err(e.to_string()),
-            }
-        }),
+            })
+        }
         ["recluster", name] => cmd_recluster(state, name),
         ["verify", name] => cmd_verify(state, name),
         ["stats"] => cmd_stats(state, None),
         ["stats", name] => cmd_stats(state, Some(name)),
+        ["fingerprint", name] => match state.service.last_model(name) {
+            Some(model) => Ok(format!(
+                "{name}: fingerprint={:016x} path={}",
+                fingerprint(&model.result.clustering),
+                model.path.label()
+            )),
+            None => Err(format!("no published model for {name} (run recluster)")),
+        },
         ["drop", name] => state
             .service
             .drop_dataset(name)
@@ -349,7 +399,7 @@ fn handle_line(state: &ServerState, line: &str) -> Reply {
 /// Runs the service in stdin mode until EOF or `quit`; responses go
 /// straight to stdout so heredoc scripting sees them in order.
 pub fn serve_stdin(opts: &ServeOptions) -> std::io::Result<()> {
-    let state = ServerState::new(opts);
+    let state = ServerState::new(opts)?;
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     for line in stdin.lock().lines() {
@@ -372,7 +422,7 @@ pub fn serve_stdin(opts: &ServeOptions) -> std::io::Result<()> {
 /// Runs the service on an already-bound listener until a `shutdown`
 /// command arrives. Each response block is terminated by a lone `.`.
 pub fn serve_listener(opts: &ServeOptions, listener: TcpListener) -> std::io::Result<()> {
-    let state = Arc::new(ServerState::new(opts));
+    let state = Arc::new(ServerState::new(opts)?);
     let stop = Arc::new(AtomicBool::new(false));
     let addr = listener.local_addr()?;
     let mut sessions = Vec::new();
@@ -502,7 +552,7 @@ mod tests {
     use super::*;
 
     fn state() -> ServerState {
-        ServerState::new(&ServeOptions::default())
+        ServerState::new(&ServeOptions::default()).unwrap()
     }
 
     fn text(state: &ServerState, line: &str) -> String {
@@ -639,6 +689,73 @@ mod tests {
         let b = Clustering::new(Vec::new(), vec![0, 1, 3]);
         assert_ne!(fingerprint(&a), fingerprint(&b));
         assert_eq!(fingerprint(&a), fingerprint(&a.clone()));
+    }
+
+    #[test]
+    fn fingerprint_command_reads_published_model_without_reclustering() {
+        let state = state();
+        text(&state, "create t");
+        text(&state, "append t --synthetic 800x6 --seed 5");
+        let out = text(&state, "fingerprint t");
+        assert!(out.starts_with("error: no published model"), "{out}");
+        let reclustered = text(&state, "recluster t");
+        let out = text(&state, "fingerprint t");
+        let fp = |s: &str| {
+            let at = s.find("fingerprint=").expect(s) + "fingerprint=".len();
+            s[at..at + 16].to_string()
+        };
+        assert_eq!(fp(&out), fp(&reclustered), "{out} vs {reclustered}");
+        let reclusters_before = state.service.metrics().reclusters;
+        text(&state, "fingerprint t");
+        assert_eq!(
+            state.service.metrics().reclusters,
+            reclusters_before,
+            "fingerprint must read the pinned model, not re-cluster"
+        );
+    }
+
+    #[test]
+    fn huge_block_ids_parse_as_u64() {
+        let state = state();
+        text(&state, "create t");
+        // Regression: ids used to round-trip through usize; an id above
+        // 2^32-1 must parse (and report "no live block", not a parse
+        // error) on every target.
+        let out = text(&state, "retract t 18446744073709551615");
+        assert!(out.contains("no live block 18446744073709551615"), "{out}");
+        assert!(text(&state, "retract t -3").starts_with("error: bad block id"));
+    }
+
+    #[test]
+    fn durable_server_recovers_tenants_across_restarts() {
+        let dir = std::env::temp_dir().join(format!("p3c-serve-recovery-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = ServeOptions {
+            data_dir: Some(dir.to_string_lossy().into_owned()),
+            snapshot_every: Some(2),
+            ..ServeOptions::default()
+        };
+        let pre_kill = {
+            let state = ServerState::new(&opts).unwrap();
+            text(&state, "create t");
+            text(&state, "append t --synthetic 500x6 --seed 1");
+            text(&state, "append t --synthetic 300x6 --seed 2");
+            text(&state, "append t --synthetic 200x6 --seed 3");
+            text(&state, "recluster t")
+            // The state is dropped without any shutdown handshake —
+            // exactly what a SIGKILL leaves behind.
+        };
+        let state = ServerState::new(&opts).unwrap();
+        assert_eq!(state.service.names(), vec!["t".to_string()]);
+        let post = text(&state, "recluster t");
+        let fp = |s: &str| {
+            let at = s.find("fingerprint=").expect(s) + "fingerprint=".len();
+            s[at..at + 16].to_string()
+        };
+        assert_eq!(fp(&post), fp(&pre_kill), "{post} vs {pre_kill}");
+        let out = text(&state, "verify t");
+        assert!(out.contains("identical"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

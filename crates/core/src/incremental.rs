@@ -57,8 +57,9 @@ use crate::p3cplus::{
     P3cResult,
 };
 use crate::support::SupportCache;
-use crate::types::Signature;
-use p3c_dataset::{AttrInterval, BlockLog, Clustering, ProjectedCluster, RowBlock};
+use crate::types::{Interval, Signature};
+use p3c_dataset::journal::{self, ByteReader};
+use p3c_dataset::{AttrInterval, BlockEntry, BlockLog, Clustering, ProjectedCluster, RowBlock};
 use p3c_mapreduce::{DatasetHandle, DatasetStore};
 use p3c_stats::{bin_rows, Histogram};
 use std::cell::RefCell;
@@ -639,6 +640,476 @@ impl p3c_mapreduce::service::Tenant for IncrementalLight {
     }
 }
 
+// ---- Durable snapshot codec (service crash recovery, DESIGN.md §16) ----
+//
+// Hand-rolled little-endian encoding over the `p3c_dataset::journal`
+// primitives. The snapshot captures *everything* a restarted process
+// needs to continue byte-identically: params, block log, maintained
+// histograms, support cache, model state, stats — and the live block
+// payloads themselves, because the `DatasetStore` is volatile.
+
+/// Snapshot body version; bump on any layout change.
+const STATE_VERSION: u32 = 1;
+
+fn put_params(buf: &mut Vec<u8>, p: &P3cParams) {
+    journal::put_f64(buf, p.alpha_chi2);
+    journal::put_f64(buf, p.alpha_poisson);
+    journal::put_f64(buf, p.theta_cc);
+    journal::put_bool(buf, p.use_effect_size);
+    journal::put_bool(buf, p.use_redundancy_filter);
+    journal::put_bool(buf, p.use_ai_proving);
+    buf.push(match p.bin_rule {
+        BinRuleChoice::Sturges => 0,
+        BinRuleChoice::FreedmanDiaconis => 1,
+        BinRuleChoice::FreedmanDiaconisIqr => 2,
+    });
+    buf.push(match p.outlier {
+        crate::config::OutlierMethod::Naive => 0,
+        crate::config::OutlierMethod::Mvb => 1,
+        crate::config::OutlierMethod::Mcd => 2,
+    });
+    journal::put_f64(buf, p.alpha_outlier);
+    journal::put_usize(buf, p.em_max_iters);
+    journal::put_f64(buf, p.em_tol);
+    journal::put_usize(buf, p.t_gen);
+    journal::put_usize(buf, p.t_c);
+    journal::put_usize(buf, p.max_levels);
+    journal::put_usize(buf, p.max_candidates_per_level);
+    journal::put_usize(buf, p.threads);
+}
+
+fn read_params(r: &mut ByteReader) -> Result<P3cParams, String> {
+    let alpha_chi2 = r.f64()?;
+    let alpha_poisson = r.f64()?;
+    let theta_cc = r.f64()?;
+    let use_effect_size = r.bool()?;
+    let use_redundancy_filter = r.bool()?;
+    let use_ai_proving = r.bool()?;
+    let bin_rule = match r.u8()? {
+        0 => BinRuleChoice::Sturges,
+        1 => BinRuleChoice::FreedmanDiaconis,
+        2 => BinRuleChoice::FreedmanDiaconisIqr,
+        t => return Err(format!("unknown bin rule tag {t}")),
+    };
+    let outlier = match r.u8()? {
+        0 => crate::config::OutlierMethod::Naive,
+        1 => crate::config::OutlierMethod::Mvb,
+        2 => crate::config::OutlierMethod::Mcd,
+        t => return Err(format!("unknown outlier method tag {t}")),
+    };
+    Ok(P3cParams {
+        alpha_chi2,
+        alpha_poisson,
+        theta_cc,
+        use_effect_size,
+        use_redundancy_filter,
+        use_ai_proving,
+        bin_rule,
+        outlier,
+        alpha_outlier: r.f64()?,
+        em_max_iters: r.usize()?,
+        em_tol: r.f64()?,
+        t_gen: r.usize()?,
+        t_c: r.usize()?,
+        max_levels: r.usize()?,
+        max_candidates_per_level: r.usize()?,
+        threads: r.usize()?,
+    })
+}
+
+fn put_signature(buf: &mut Vec<u8>, sig: &Signature) {
+    journal::put_usize(buf, sig.intervals().len());
+    for iv in sig.intervals() {
+        journal::put_usize(buf, iv.attr);
+        journal::put_usize(buf, iv.bin_lo);
+        journal::put_usize(buf, iv.bin_hi);
+        journal::put_usize(buf, iv.bins);
+    }
+}
+
+fn read_signature(r: &mut ByteReader) -> Result<Signature, String> {
+    let k = r.usize()?;
+    let mut intervals = Vec::with_capacity(k.min(1 << 16));
+    for _ in 0..k {
+        let attr = r.usize()?;
+        let bin_lo = r.usize()?;
+        let bin_hi = r.usize()?;
+        let bins = r.usize()?;
+        intervals.push(Interval::new(attr, bin_lo, bin_hi, bins));
+    }
+    Ok(Signature::new(intervals))
+}
+
+fn put_f64s(buf: &mut Vec<u8>, values: &[f64]) {
+    journal::put_usize(buf, values.len());
+    for &v in values {
+        journal::put_f64(buf, v);
+    }
+}
+
+fn read_f64s(r: &mut ByteReader) -> Result<Vec<f64>, String> {
+    let n = r.usize()?;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(r.f64()?);
+    }
+    Ok(out)
+}
+
+fn put_histogram(buf: &mut Vec<u8>, h: &Histogram) {
+    put_f64s(buf, h.counts());
+}
+
+fn read_histogram(r: &mut ByteReader) -> Result<Histogram, String> {
+    let counts = read_f64s(r)?;
+    if counts.is_empty() {
+        return Err("histogram with zero bins".to_string());
+    }
+    Ok(Histogram::from_counts(counts))
+}
+
+fn put_ids(buf: &mut Vec<u8>, ids: &[usize]) {
+    journal::put_usize(buf, ids.len());
+    for &i in ids {
+        journal::put_usize(buf, i);
+    }
+}
+
+fn read_ids(r: &mut ByteReader) -> Result<Vec<usize>, String> {
+    let n = r.usize()?;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(r.usize()?);
+    }
+    Ok(out)
+}
+
+fn put_id_lists(buf: &mut Vec<u8>, lists: &[Vec<usize>]) {
+    journal::put_usize(buf, lists.len());
+    for ids in lists {
+        put_ids(buf, ids);
+    }
+}
+
+fn read_id_lists(r: &mut ByteReader) -> Result<Vec<Vec<usize>>, String> {
+    let k = r.usize()?;
+    let mut out = Vec::with_capacity(k.min(1 << 16));
+    for _ in 0..k {
+        out.push(read_ids(r)?);
+    }
+    Ok(out)
+}
+
+impl IncrementalLight {
+    /// Serializes the complete engine state — maintained statistics,
+    /// model, *and* the live block payloads (the store is volatile) —
+    /// for the service's durable snapshot.
+    pub fn snapshot_bytes(&self, store: &DatasetStore) -> Result<Vec<u8>, String> {
+        let buf = &mut Vec::new();
+        journal::put_u32(buf, STATE_VERSION);
+        put_params(buf, &self.params);
+
+        journal::put_usize(buf, self.log.entries().len());
+        for e in self.log.entries() {
+            journal::put_u64(buf, e.id);
+            journal::put_usize(buf, e.rows);
+        }
+        journal::put_u64(buf, self.log.next_id());
+        journal::put_bool(buf, self.log.dim().is_some());
+        journal::put_usize(buf, self.log.dim().unwrap_or(0));
+
+        journal::put_usize(buf, self.hists.histograms.len());
+        for h in &self.hists.histograms {
+            put_histogram(buf, h);
+        }
+        journal::put_usize(buf, self.hists.bins);
+        journal::put_bool(buf, self.hists_valid);
+        journal::put_usize(buf, self.bins);
+
+        journal::put_usize(buf, self.supports.len());
+        for (sig, count) in self.supports.iter() {
+            put_signature(buf, sig);
+            journal::put_u64(buf, count);
+        }
+
+        journal::put_bool(buf, self.model.is_some());
+        if let Some(m) = &self.model {
+            journal::put_usize(buf, m.cores.len());
+            for core in &m.cores {
+                put_signature(buf, &core.signature);
+                journal::put_f64(buf, core.support);
+                journal::put_f64(buf, core.expected);
+            }
+            put_id_lists(buf, &m.membership.members);
+            put_id_lists(buf, &m.membership.unique_members);
+            put_ids(buf, &m.membership.outliers);
+            journal::put_usize(buf, m.per_core.len());
+            for cs in &m.per_core {
+                put_f64s(buf, &cs.member_min);
+                put_f64s(buf, &cs.member_max);
+                put_f64s(buf, &cs.unique_min);
+                put_f64s(buf, &cs.unique_max);
+                journal::put_usize(buf, cs.unique_hists.len());
+                for h in &cs.unique_hists {
+                    put_histogram(buf, h);
+                }
+                journal::put_bool(buf, cs.unique_hists_stale);
+            }
+        }
+
+        journal::put_bool(buf, self.dirty_full);
+        let s = &self.stats;
+        for v in [
+            s.appends,
+            s.retracts,
+            s.delta_rows,
+            s.reclusters,
+            s.fast_reclusters,
+            s.full_reclusters,
+            s.hist_rebuilds,
+            s.support_scans,
+            s.cached_levels,
+        ] {
+            journal::put_u64(buf, v);
+        }
+
+        // Live block payloads, log order; zero-row blocks have none.
+        let live: Vec<&BlockEntry> = self.log.entries().iter().filter(|e| e.rows > 0).collect();
+        journal::put_usize(buf, live.len());
+        for e in live {
+            let handle: DatasetHandle<RowBlock> = DatasetHandle::new(self.block_name(e.id));
+            let block = store.get(&handle).map_err(|e| e.to_string())?;
+            journal::put_u64(buf, e.id);
+            journal::put_usize(buf, block.len());
+            journal::put_usize(buf, block.dim());
+            for &v in block.as_slice() {
+                journal::put_f64(buf, v);
+            }
+        }
+        Ok(std::mem::take(buf))
+    }
+
+    /// Rehydrates an engine from [`IncrementalLight::snapshot_bytes`]
+    /// output, re-inserting the block payloads into `store`. The result
+    /// continues byte-identically to the engine that was snapshotted.
+    pub fn from_snapshot_bytes(
+        name: &str,
+        bytes: &[u8],
+        store: &DatasetStore,
+    ) -> Result<Self, String> {
+        let mut r = ByteReader::new(bytes);
+        let version = r.u32()?;
+        if version != STATE_VERSION {
+            return Err(format!("unsupported engine snapshot version {version}"));
+        }
+        let params = read_params(&mut r)?;
+
+        let num_entries = r.usize()?;
+        let mut entries = Vec::with_capacity(num_entries.min(1 << 20));
+        for _ in 0..num_entries {
+            let id = r.u64()?;
+            let rows = r.usize()?;
+            entries.push(BlockEntry { id, rows });
+        }
+        let next_id = r.u64()?;
+        let has_dim = r.bool()?;
+        let dim_val = r.usize()?;
+        let log = BlockLog::from_parts(entries, next_id, has_dim.then_some(dim_val))?;
+
+        let num_hists = r.usize()?;
+        let mut histograms = Vec::with_capacity(num_hists.min(1 << 16));
+        for _ in 0..num_hists {
+            histograms.push(read_histogram(&mut r)?);
+        }
+        let hist_bins = r.usize()?;
+        let hists_valid = r.bool()?;
+        let bins = r.usize()?;
+
+        let num_supports = r.usize()?;
+        let mut supports = SupportCache::new();
+        for _ in 0..num_supports {
+            let sig = read_signature(&mut r)?;
+            let count = r.u64()?;
+            supports.insert(sig, count);
+        }
+
+        let model = if r.bool()? {
+            let num_cores = r.usize()?;
+            let mut cores = Vec::with_capacity(num_cores.min(1 << 16));
+            for _ in 0..num_cores {
+                let signature = read_signature(&mut r)?;
+                let support = r.f64()?;
+                let expected = r.f64()?;
+                cores.push(ClusterCore {
+                    signature,
+                    support,
+                    expected,
+                });
+            }
+            let members = read_id_lists(&mut r)?;
+            let unique_members = read_id_lists(&mut r)?;
+            let outliers = read_ids(&mut r)?;
+            let num_per_core = r.usize()?;
+            let mut per_core = Vec::with_capacity(num_per_core.min(1 << 16));
+            for _ in 0..num_per_core {
+                let member_min = read_f64s(&mut r)?;
+                let member_max = read_f64s(&mut r)?;
+                let unique_min = read_f64s(&mut r)?;
+                let unique_max = read_f64s(&mut r)?;
+                let num_uh = r.usize()?;
+                let mut unique_hists = Vec::with_capacity(num_uh.min(1 << 16));
+                for _ in 0..num_uh {
+                    unique_hists.push(read_histogram(&mut r)?);
+                }
+                let unique_hists_stale = r.bool()?;
+                per_core.push(CoreFinalizeState {
+                    member_min,
+                    member_max,
+                    unique_min,
+                    unique_max,
+                    unique_hists,
+                    unique_hists_stale,
+                });
+            }
+            if members.len() != cores.len()
+                || unique_members.len() != cores.len()
+                || per_core.len() != cores.len()
+            {
+                return Err("model state arrays disagree on core count".to_string());
+            }
+            Some(ModelState {
+                cores,
+                membership: LightMembership {
+                    members,
+                    unique_members,
+                    outliers,
+                },
+                per_core,
+            })
+        } else {
+            None
+        };
+
+        let dirty_full = r.bool()?;
+        let mut counters = [0u64; 9];
+        for c in &mut counters {
+            *c = r.u64()?;
+        }
+        let stats = IncrementalStats {
+            appends: counters[0],
+            retracts: counters[1],
+            delta_rows: counters[2],
+            reclusters: counters[3],
+            fast_reclusters: counters[4],
+            full_reclusters: counters[5],
+            hist_rebuilds: counters[6],
+            support_scans: counters[7],
+            cached_levels: counters[8],
+        };
+
+        let mut engine = IncrementalLight::new(name, params);
+        engine.log = log;
+        engine.hists = AttributeHistograms {
+            histograms,
+            bins: hist_bins,
+        };
+        engine.hists_valid = hists_valid;
+        engine.bins = bins;
+        engine.supports = supports;
+        engine.model = model;
+        engine.dirty_full = dirty_full;
+        engine.stats = stats;
+
+        let num_blocks = r.usize()?;
+        for _ in 0..num_blocks {
+            let id = r.u64()?;
+            let rows = r.usize()?;
+            let d = r.usize()?;
+            let len = rows
+                .checked_mul(d)
+                .ok_or_else(|| "block payload size overflow".to_string())?;
+            let mut data = Vec::with_capacity(len.min(1 << 24));
+            for _ in 0..len {
+                data.push(r.f64()?);
+            }
+            if !engine.log.contains(id) {
+                return Err(format!("payload for block {id} not in the log"));
+            }
+            let bytes = 16 + 8 * data.len();
+            let handle: DatasetHandle<RowBlock> = DatasetHandle::new(engine.block_name(id));
+            store.put_segmented(
+                &handle,
+                RowBlock::new(rows, d, data),
+                bytes,
+                row_block_seg_codec(),
+            );
+        }
+        r.finish()?;
+        Ok(engine)
+    }
+}
+
+/// [`IncrementalLight`] is also the *durable* tenant: the service
+/// journals each block before applying it and snapshots the full engine
+/// state, giving `p3c serve` crash recovery with bounded replay
+/// (DESIGN.md §16).
+impl p3c_mapreduce::service::DurableTenant for IncrementalLight {
+    fn encode_create(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        journal::put_u32(&mut buf, STATE_VERSION);
+        put_params(&mut buf, &self.params);
+        buf
+    }
+
+    fn decode_create(name: &str, bytes: &[u8]) -> Result<Self, String> {
+        let mut r = ByteReader::new(bytes);
+        let version = r.u32()?;
+        if version != STATE_VERSION {
+            return Err(format!("unsupported create record version {version}"));
+        }
+        let params = read_params(&mut r)?;
+        r.finish()?;
+        Ok(IncrementalLight::new(name, params))
+    }
+
+    fn encode_block(block: &RowBlock) -> Vec<u8> {
+        let mut buf = Vec::new();
+        journal::put_usize(&mut buf, block.len());
+        journal::put_usize(&mut buf, block.dim());
+        for &v in block.as_slice() {
+            journal::put_f64(&mut buf, v);
+        }
+        buf
+    }
+
+    fn decode_block(bytes: &[u8]) -> Result<RowBlock, String> {
+        let mut r = ByteReader::new(bytes);
+        let rows = r.usize()?;
+        let d = r.usize()?;
+        let len = rows
+            .checked_mul(d)
+            .ok_or_else(|| "block size overflow".to_string())?;
+        let mut data = Vec::with_capacity(len.min(1 << 24));
+        for _ in 0..len {
+            data.push(r.f64()?);
+        }
+        r.finish()?;
+        Ok(RowBlock::new(rows, d, data))
+    }
+
+    fn snapshot_state(&self, store: &DatasetStore) -> Result<Vec<u8>, String> {
+        self.snapshot_bytes(store)
+    }
+
+    fn restore_state(name: &str, bytes: &[u8], store: &DatasetStore) -> Result<Self, String> {
+        IncrementalLight::from_snapshot_bytes(name, bytes, store)
+    }
+
+    fn discretization_stamp(&self) -> u64 {
+        self.bins as u64
+    }
+}
+
 /// Lazily-materialized cumulative row block, fetched at most once per
 /// recluster and shared by every stage that falls back to raw rows.
 struct CumulativeRows<'a> {
@@ -1008,6 +1479,79 @@ mod tests {
         assert!(eng
             .append(&store, RowBlock::from_rows(&[vec![0.1, 0.2, 0.3]]))
             .is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_continues_byte_identically() {
+        use p3c_mapreduce::service::DurableTenant;
+        let data = generate(&spec(2500, 21));
+        let all = RowBlock::from(data.dataset.clone());
+        let params = P3cParams::default();
+        let store = DatasetStore::new();
+        let mut eng = IncrementalLight::new("t", params.clone());
+        eng.append(&store, chunk(&all, 0, 1000)).unwrap();
+        eng.recluster(&store).unwrap();
+        eng.append(&store, chunk(&all, 1000, 1000)).unwrap();
+        // Snapshot mid-stream: model, support cache, and maintained
+        // memberships are all live.
+        let state = eng.snapshot_state(&store).unwrap();
+        let store2 = DatasetStore::new();
+        let mut back = IncrementalLight::from_snapshot_bytes("t", &state, &store2).unwrap();
+        assert_eq!(back.stats().appends, eng.stats().appends);
+        assert_eq!(back.total_rows(), eng.total_rows());
+        assert_eq!(back.block_ids(), eng.block_ids());
+        // Both engines continue on the same stream and must stay
+        // byte-identical to each other and to batch.
+        eng.append(&store, chunk(&all, 2000, 500)).unwrap();
+        back.append(&store2, chunk(&all, 2000, 500)).unwrap();
+        let a = eng.recluster(&store).unwrap();
+        let b = back.recluster(&store2).unwrap();
+        assert_eq!(a.path, b.path);
+        assert_identical(&a.result, &b.result);
+        assert_identical(&b.result, &batch(&chunk(&all, 0, 2500), &params));
+        // Retract through the restored engine too.
+        let first = back.block_ids()[0];
+        assert!(back.retract(&store2, first).unwrap());
+        let rows: Vec<Vec<f64>> = (1000..2500).map(|i| all.row(i).to_vec()).collect();
+        let outcome = back.recluster(&store2).unwrap();
+        assert_identical(
+            &outcome.result,
+            &batch(&RowBlock::from_rows(&rows), &params),
+        );
+    }
+
+    #[test]
+    fn block_codec_roundtrips_and_rejects_garbage() {
+        use p3c_mapreduce::service::DurableTenant;
+        let block = RowBlock::from_rows(&[vec![0.25, 0.5], vec![0.75, 1.0]]);
+        let bytes = IncrementalLight::encode_block(&block);
+        let back = IncrementalLight::decode_block(&bytes).unwrap();
+        assert_eq!(back.as_slice(), block.as_slice());
+        assert_eq!((back.len(), back.dim()), (2, 2));
+        assert!(IncrementalLight::decode_block(&bytes[..bytes.len() - 1]).is_err());
+        assert!(IncrementalLight::decode_block(&[]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(IncrementalLight::decode_block(&extra).is_err());
+    }
+
+    #[test]
+    fn create_codec_roundtrips_params() {
+        use p3c_mapreduce::service::DurableTenant;
+        let params = P3cParams {
+            alpha_poisson: 1e-20,
+            bin_rule: BinRuleChoice::Sturges,
+            t_c: 123,
+            ..P3cParams::default()
+        };
+        let eng = IncrementalLight::new("t", params.clone());
+        let bytes = eng.encode_create();
+        let back = IncrementalLight::decode_create("t", &bytes).unwrap();
+        assert_eq!(back.name(), "t");
+        assert_eq!(back.params().alpha_poisson, params.alpha_poisson);
+        assert_eq!(back.params().bin_rule, params.bin_rule);
+        assert_eq!(back.params().t_c, params.t_c);
+        assert!(IncrementalLight::decode_create("t", &bytes[..4]).is_err());
     }
 
     #[test]

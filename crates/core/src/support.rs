@@ -106,6 +106,12 @@ impl SupportCache {
         self.counts.clear();
     }
 
+    /// The cached `(signature, support)` pairs in deterministic
+    /// (BTreeMap key) order — snapshot serialization.
+    pub fn iter(&self) -> impl Iterator<Item = (&Signature, u64)> {
+        self.counts.iter().map(|(sig, &c)| (sig, c))
+    }
+
     /// Folds a delta block into every cached support: one RSSC pass
     /// over the delta rows, then an exact add (append) or subtract
     /// (retract) per signature. Cost is `O(|delta| · cached)` bit-ops —

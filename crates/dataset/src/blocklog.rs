@@ -36,14 +36,59 @@ impl BlockLog {
         Self::default()
     }
 
+    /// Rebuilds a log from persisted parts (snapshot restore).
+    ///
+    /// # Errors
+    /// Rejects parts that could not have come from a real log: ids not
+    /// strictly increasing, ids at or beyond `next_id`, or a missing
+    /// width while non-empty blocks are live.
+    pub fn from_parts(
+        entries: Vec<BlockEntry>,
+        next_id: u64,
+        dim: Option<usize>,
+    ) -> Result<Self, String> {
+        for pair in entries.windows(2) {
+            if pair[0].id >= pair[1].id {
+                return Err(format!(
+                    "block ids not strictly increasing: {} then {}",
+                    pair[0].id, pair[1].id
+                ));
+            }
+        }
+        if let Some(last) = entries.last() {
+            if last.id >= next_id {
+                return Err(format!(
+                    "block id {} is at or beyond next_id {next_id}",
+                    last.id
+                ));
+            }
+        }
+        if dim.is_none() && entries.iter().any(|e| e.rows > 0) {
+            return Err("log has non-empty blocks but no width".to_string());
+        }
+        Ok(Self {
+            entries,
+            next_id,
+            dim,
+        })
+    }
+
+    /// The id the next appended block would receive.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
     /// Records an appended block of `rows × dim` and returns its id.
     ///
     /// # Errors
     /// Rejects a block whose width disagrees with the log's established
-    /// dimensionality.
+    /// dimensionality. Zero-row blocks are only width-neutral when they
+    /// carry no width at all (`dim == 0`); a zero-row block with a
+    /// concrete mismatched width is rejected like any other, so a bad
+    /// producer can't smuggle a wrong-width entry into the log.
     pub fn append(&mut self, rows: usize, dim: usize) -> Result<u64, String> {
         match self.dim {
-            Some(d) if rows > 0 && d != dim => {
+            Some(d) if d != dim && (rows > 0 || dim != 0) => {
                 return Err(format!(
                     "block width {dim} does not match dataset width {d}"
                 ));
@@ -126,6 +171,42 @@ mod tests {
         assert!(log.append(4, 2).is_err());
         // Empty blocks are width-neutral.
         assert!(log.append(0, 0).is_ok());
+    }
+
+    #[test]
+    fn zero_row_block_with_wrong_width_rejected() {
+        // Regression: the width check used to be skipped whenever
+        // `rows == 0`, silently logging a mismatched-width entry.
+        let mut log = BlockLog::new();
+        log.append(10, 3).unwrap();
+        assert!(log.append(0, 2).is_err());
+        assert!(log.append(0, 3).is_ok(), "matching width still fine");
+        assert_eq!(log.num_blocks(), 2);
+    }
+
+    #[test]
+    fn from_parts_validates_and_roundtrips() {
+        let mut log = BlockLog::new();
+        log.append(10, 3).unwrap();
+        let b = log.append(5, 3).unwrap();
+        log.retract(b);
+        log.append(2, 3).unwrap();
+        let rebuilt =
+            BlockLog::from_parts(log.entries().to_vec(), log.next_id(), log.dim()).unwrap();
+        assert_eq!(rebuilt.entries(), log.entries());
+        assert_eq!(rebuilt.next_id(), log.next_id());
+        assert_eq!(rebuilt.dim(), log.dim());
+        assert_eq!(
+            rebuilt.clone().append(1, 3).unwrap(),
+            3,
+            "id numbering continues after restore"
+        );
+
+        let e = |id, rows| BlockEntry { id, rows };
+        assert!(BlockLog::from_parts(vec![e(1, 2), e(1, 2)], 5, Some(3)).is_err());
+        assert!(BlockLog::from_parts(vec![e(2, 2), e(1, 2)], 5, Some(3)).is_err());
+        assert!(BlockLog::from_parts(vec![e(4, 2)], 4, Some(3)).is_err());
+        assert!(BlockLog::from_parts(vec![e(0, 2)], 1, None).is_err());
     }
 
     #[test]

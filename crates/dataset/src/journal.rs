@@ -1,0 +1,674 @@
+//! Write-ahead journal and snapshot files for the incremental service.
+//!
+//! A durable tenant is persisted as one directory holding two files:
+//!
+//! * `journal.bin` — an append-only log of checksummed, length-prefixed
+//!   records, one per mutation (`create`/`append`/`retract`/bin-rule
+//!   step), written **before** the mutation is applied in memory. The
+//!   frame format mirrors the distributed backend's wire protocol:
+//!   `[u32 payload_len][u8 op][u64 seq][payload][u64 fnv1a]`, all
+//!   little-endian, with the checksum taken over `op ‖ seq ‖ payload`.
+//! * `snapshot.bin` — an atomically-replaced (`tmp` + `rename` + fsync)
+//!   dump of the tenant's maintained statistics, stamped with the
+//!   sequence number of the last journal record it covers. After a
+//!   snapshot lands, the journal is truncated, so replay cost is
+//!   bounded by the mutations since the last snapshot.
+//!
+//! Recovery reads the snapshot (if any), then replays the journal tail.
+//! A torn final record — the expected artifact of a crash mid-`write` —
+//! is detected by the length prefix or checksum and silently dropped,
+//! along with everything after it; any *earlier* corruption is also cut
+//! at that point, because a prefix of the journal is still a valid
+//! history (the tenant merely loses its most recent mutations, exactly
+//! as if the crash had happened a moment sooner). A corrupt *snapshot*
+//! is a hard error: the journal records it covered were truncated, so
+//! there is nothing left to replay from.
+//!
+//! The byte codec ([`put_u64`], [`ByteReader`], …) is deliberately the
+//! same shape as `distrib/wire.rs`: little-endian integers, `f64` as raw
+//! IEEE-754 bits, length-prefixed strings — exact round-trips so the
+//! service's byte-identity contract survives a crash.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Upper bound on a single record's payload (256 MiB). A longer length
+/// prefix is treated as corruption, not an allocation request.
+pub const MAX_RECORD_LEN: usize = 1 << 28;
+
+/// Magic number opening a snapshot file (`b"P3CSNAP1"`).
+pub const SNAPSHOT_MAGIC: u64 = u64::from_le_bytes(*b"P3CSNAP1");
+
+/// File name of the journal within a tenant directory.
+pub const JOURNAL_FILE: &str = "journal.bin";
+/// File name of the snapshot within a tenant directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+
+// ----------------------------------------------------------- checksum ---
+
+/// FNV-1a over a byte slice — same function the distributed backend
+/// uses for shuffle partitions; pinned by tests, must never drift.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+// --------------------------------------------------------- byte codec ---
+
+/// Appends a `u32`, little-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64`, little-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `usize` as 8 bytes so layouts agree across platforms.
+pub fn put_usize(buf: &mut Vec<u8>, v: usize) {
+    put_u64(buf, v as u64);
+}
+
+/// Appends an `f64` as its raw IEEE-754 bits — exact round-trip.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+/// Appends a `bool` as one byte.
+pub fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(v as u8);
+}
+
+/// Appends a length-prefixed byte string.
+pub fn put_bytes(buf: &mut Vec<u8>, v: &[u8]) {
+    put_u64(buf, v.len() as u64);
+    buf.extend_from_slice(v);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, v: &str) {
+    put_bytes(buf, v.as_bytes());
+}
+
+/// Bounded cursor over an encoded payload. Every read is
+/// bounds-checked; errors are strings so callers can wrap them with
+/// tenant context without an error-type dependency.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over the whole buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next `n` bytes, or errors if the buffer is short.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "payload truncated: wanted {n} bytes, {} remain",
+                self.remaining()
+            ));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], String> {
+        let mut a = [0u8; N];
+        a.copy_from_slice(self.take(N)?);
+        Ok(a)
+    }
+
+    /// Reads one `u8`.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take_array::<1>()?[0])
+    }
+
+    /// Reads one little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take_array()?))
+    }
+
+    /// Reads one little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take_array()?))
+    }
+
+    /// Reads a `usize` that traveled as 8 bytes.
+    pub fn usize(&mut self) -> Result<usize, String> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| format!("value {v} overflows usize"))
+    }
+
+    /// Reads an `f64` from raw bits.
+    pub fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `bool`, rejecting tags other than 0/1.
+    pub fn bool(&mut self) -> Result<bool, String> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(format!("bad bool tag {t}")),
+        }
+    }
+
+    /// Reads a length-prefixed byte string; the prefix is checked
+    /// against the bytes actually remaining before any allocation.
+    pub fn bytes(&mut self) -> Result<&'a [u8], String> {
+        let n = self.usize()?;
+        if n > self.remaining() {
+            return Err(format!(
+                "length prefix {n} exceeds remaining payload {}",
+                self.remaining()
+            ));
+        }
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, String> {
+        String::from_utf8(self.bytes()?.to_vec()).map_err(|_| "invalid utf-8 string".to_string())
+    }
+
+    /// Errors unless the buffer is fully consumed.
+    pub fn finish(&self) -> Result<(), String> {
+        if self.remaining() != 0 {
+            return Err(format!("{} trailing bytes after value", self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------------ journal ---
+
+/// One decoded journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Monotonic per-tenant sequence number; survives truncation, so a
+    /// snapshot's `covered_seq` totally orders snapshot vs. tail.
+    pub seq: u64,
+    /// Operation tag — opaque to this module, owned by the service.
+    pub op: u8,
+    /// Operation payload, encoded with the byte codec above.
+    pub payload: Vec<u8>,
+}
+
+fn record_checksum(op: u8, seq: u64, payload: &[u8]) -> u64 {
+    let mut head = Vec::with_capacity(9 + payload.len());
+    head.push(op);
+    put_u64(&mut head, seq);
+    head.extend_from_slice(payload);
+    fnv1a64(&head)
+}
+
+fn encode_record(op: u8, seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(4 + 1 + 8 + payload.len() + 8);
+    put_u32(&mut frame, payload.len() as u32);
+    frame.push(op);
+    put_u64(&mut frame, seq);
+    frame.extend_from_slice(payload);
+    put_u64(&mut frame, record_checksum(op, seq, payload));
+    frame
+}
+
+/// Reads every intact record of a journal file.
+///
+/// Returns the records plus the byte length of the valid prefix; a torn
+/// or corrupt tail (the expected artifact of a crash mid-append) is cut
+/// at the first bad frame. A missing file is an empty journal.
+///
+/// # Errors
+/// Only genuine I/O failures (permissions, hardware) error; corruption
+/// never does — a valid prefix is still a valid history.
+pub fn read_journal(path: &Path) -> io::Result<(Vec<JournalRecord>, u64)> {
+    let buf = match fs::read(path) {
+        Ok(buf) => buf,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(e) => return Err(e),
+    };
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let rest = &buf[pos..];
+        if rest.len() < 4 + 1 + 8 {
+            break;
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        if len > MAX_RECORD_LEN || rest.len() < 4 + 1 + 8 + len + 8 {
+            break;
+        }
+        let op = rest[4];
+        let seq = u64::from_le_bytes(rest[5..13].try_into().unwrap());
+        let payload = &rest[13..13 + len];
+        let stored = u64::from_le_bytes(rest[13 + len..13 + len + 8].try_into().unwrap());
+        if stored != record_checksum(op, seq, payload) {
+            break;
+        }
+        records.push(JournalRecord {
+            seq,
+            op,
+            payload: payload.to_vec(),
+        });
+        pos += 4 + 1 + 8 + len + 8;
+    }
+    Ok((records, pos as u64))
+}
+
+/// Appending side of a tenant's journal.
+///
+/// Every [`record`](JournalWriter::record) writes one framed record and
+/// flushes it to the OS **and** the device (`sync_data`) before
+/// returning — the write-ahead property the recovery contract rests on.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    next_seq: u64,
+}
+
+impl JournalWriter {
+    /// Opens (creating if absent) the journal at `path` for appending,
+    /// with sequence numbering starting at `next_seq`.
+    pub fn create(path: &Path, next_seq: u64) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self { file, next_seq })
+    }
+
+    /// Reopens an existing journal after recovery: truncates the file
+    /// to its `valid_len` intact prefix (chopping any torn tail) and
+    /// resumes appending with sequence numbering from `next_seq`.
+    pub fn open_end(path: &Path, valid_len: u64, next_seq: u64) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            // Truncation to the validated prefix is explicit, below.
+            .truncate(false)
+            .open(path)?;
+        file.set_len(valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        file.sync_data()?;
+        Ok(Self { file, next_seq })
+    }
+
+    /// The sequence number the next record will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Appends one record and syncs it to the device; returns the
+    /// sequence number it was stamped with.
+    pub fn record(&mut self, op: u8, payload: &[u8]) -> io::Result<u64> {
+        let seq = self.next_seq;
+        let frame = encode_record(op, seq, payload);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Empties the journal after a successful snapshot. Sequence
+    /// numbering continues monotonically — it never restarts — so the
+    /// snapshot's `covered_seq` stays comparable with later records.
+    pub fn reset(&mut self) -> io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.sync_data()
+    }
+}
+
+// ----------------------------------------------------------- snapshot ---
+
+const SNAPSHOT_VERSION: u32 = 1;
+
+/// Atomically replaces the snapshot at `path` with `state`, stamped as
+/// covering every journal record with `seq <= covered_seq`.
+///
+/// The bytes go to a sibling `*.tmp` file first, are synced, and only
+/// then renamed over the target — a crash at any point leaves either
+/// the old snapshot or the new one, never a torn hybrid.
+pub fn write_snapshot(path: &Path, covered_seq: u64, state: &[u8]) -> io::Result<()> {
+    let mut body = Vec::with_capacity(8 + 4 + 8 + 8 + state.len() + 8);
+    put_u64(&mut body, SNAPSHOT_MAGIC);
+    put_u32(&mut body, SNAPSHOT_VERSION);
+    put_u64(&mut body, covered_seq);
+    put_bytes(&mut body, state);
+    let mut check = Vec::with_capacity(8 + state.len());
+    put_u64(&mut check, covered_seq);
+    check.extend_from_slice(state);
+    put_u64(&mut body, fnv1a64(&check));
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&body)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Persist the rename itself; ignore platforms/filesystems that
+        // refuse to open a directory for syncing.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads the snapshot at `path`; `None` if no snapshot was ever taken.
+///
+/// # Errors
+/// A snapshot that exists but fails its magic, version, or checksum is
+/// an `InvalidData` error — unlike a torn journal tail there is no
+/// valid fallback, because the records it covered are gone.
+pub fn read_snapshot(path: &Path) -> io::Result<Option<(u64, Vec<u8>)>> {
+    let buf = match fs::read(path) {
+        Ok(buf) => buf,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let corrupt = |what: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("corrupt snapshot {}: {what}", path.display()),
+        )
+    };
+    let mut r = ByteReader::new(&buf);
+    let parse = (|| -> Result<(u64, Vec<u8>), String> {
+        if r.u64()? != SNAPSHOT_MAGIC {
+            return Err("bad magic".into());
+        }
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(format!("unsupported version {version}"));
+        }
+        let covered_seq = r.u64()?;
+        let state = r.bytes()?.to_vec();
+        let stored = r.u64()?;
+        r.finish()?;
+        let mut check = Vec::with_capacity(8 + state.len());
+        put_u64(&mut check, covered_seq);
+        check.extend_from_slice(&state);
+        if stored != fnv1a64(&check) {
+            return Err("checksum mismatch".into());
+        }
+        Ok((covered_seq, state))
+    })();
+    parse.map(Some).map_err(|e| corrupt(&e))
+}
+
+// ---------------------------------------------------------- dir names ---
+
+/// Escapes a tenant name into a filesystem-safe directory component.
+///
+/// ASCII alphanumerics, `_`, `-`, and non-leading `.` pass through;
+/// every other byte (including `%` itself, so the map is injective)
+/// becomes `%XX` uppercase hex. The empty name maps to `"%-"`, which no
+/// non-empty name can produce (`-` is not a hex digit).
+pub fn sanitize_component(name: &str) -> String {
+    if name.is_empty() {
+        return "%-".to_string();
+    }
+    let mut out = String::with_capacity(name.len());
+    for (i, b) in name.bytes().enumerate() {
+        let plain = b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || (b == b'.' && i > 0);
+        if plain {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02X}"));
+        }
+    }
+    out
+}
+
+/// The directory holding one tenant's journal and snapshot.
+pub fn tenant_dir(data_dir: &Path, name: &str) -> PathBuf {
+    data_dir.join(sanitize_component(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SplitMix64(u64);
+    impl SplitMix64 {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("p3c-journal-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn byte_codec_roundtrips_exactly() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX);
+        put_usize(&mut buf, 42);
+        put_f64(&mut buf, -0.0);
+        put_f64(&mut buf, f64::from_bits(0x7ff8_dead_beef_0001));
+        put_bool(&mut buf, true);
+        put_str(&mut buf, "héllo");
+        put_bytes(&mut buf, b"");
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.usize().unwrap(), 42);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64().unwrap().to_bits(), 0x7ff8_dead_beef_0001);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.bytes().unwrap(), b"");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn byte_reader_rejects_truncation_and_hostile_prefixes() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert!(r.u64().is_err());
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX); // length prefix far beyond payload
+        let mut r = ByteReader::new(&buf);
+        assert!(r.bytes().is_err());
+        let mut r = ByteReader::new(&[9]);
+        assert!(r.bool().is_err());
+    }
+
+    #[test]
+    fn journal_roundtrip_and_seq_numbering() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join(JOURNAL_FILE);
+        let mut w = JournalWriter::create(&path, 5).unwrap();
+        assert_eq!(w.record(1, b"alpha").unwrap(), 5);
+        assert_eq!(w.record(2, b"").unwrap(), 6);
+        assert_eq!(w.record(3, &[0u8; 100]).unwrap(), 7);
+        assert_eq!(w.next_seq(), 8);
+        drop(w);
+        let (records, valid) = read_journal(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].seq, 5);
+        assert_eq!(records[0].op, 1);
+        assert_eq!(records[0].payload, b"alpha");
+        assert_eq!(records[2].payload, vec![0u8; 100]);
+        assert_eq!(valid, fs::metadata(&path).unwrap().len());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        let dir = tmpdir("missing");
+        let (records, valid) = read_journal(&dir.join("nope.bin")).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(valid, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_cut_at_every_possible_boundary() {
+        // Chop the file at randomized byte offsets: every truncation
+        // must recover exactly the records whose frames fit whole.
+        let dir = tmpdir("torn");
+        let path = dir.join(JOURNAL_FILE);
+        let mut w = JournalWriter::create(&path, 0).unwrap();
+        let mut frame_ends = Vec::new();
+        let mut total = 0u64;
+        for i in 0..6u8 {
+            let payload = vec![i; (i as usize) * 7 + 1];
+            w.record(10 + i, &payload).unwrap();
+            total += (4 + 1 + 8 + payload.len() + 8) as u64;
+            frame_ends.push(total);
+        }
+        drop(w);
+        let full = fs::read(&path).unwrap();
+        assert_eq!(full.len() as u64, total);
+        let mut rng = SplitMix64(0xfeed_beef);
+        for _ in 0..40 {
+            let cut = (rng.next() % (total + 1)) as u64;
+            let chopped = dir.join("chopped.bin");
+            fs::write(&chopped, &full[..cut as usize]).unwrap();
+            let (records, valid) = read_journal(&chopped).unwrap();
+            let expect = frame_ends.iter().filter(|&&e| e <= cut).count();
+            assert_eq!(records.len(), expect, "cut at {cut}");
+            assert_eq!(
+                valid,
+                frame_ends.get(expect.wrapping_sub(1)).copied().unwrap_or(0)
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_stops_replay_at_last_good_frame() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join(JOURNAL_FILE);
+        let mut w = JournalWriter::create(&path, 0).unwrap();
+        w.record(1, b"good").unwrap();
+        w.record(2, b"flipped").unwrap();
+        drop(w);
+        let mut bytes = fs::read(&path).unwrap();
+        let first = 4 + 1 + 8 + 4 + 8;
+        bytes[first + 14] ^= 0x40; // flip one payload bit of record 2
+        fs::write(&path, &bytes).unwrap();
+        let (records, valid) = read_journal(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].payload, b"good");
+        assert_eq!(valid, first as u64);
+        // open_end chops the corrupt tail; the next append lands clean.
+        let mut w = JournalWriter::open_end(&path, valid, 2).unwrap();
+        w.record(3, b"after").unwrap();
+        drop(w);
+        let (records, _) = read_journal(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].seq, 2);
+        assert_eq!(records[1].payload, b"after");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_corruption_not_allocation() {
+        let dir = tmpdir("oversized");
+        let path = dir.join(JOURNAL_FILE);
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, (MAX_RECORD_LEN + 1) as u32);
+        bytes.extend_from_slice(&[0u8; 64]);
+        fs::write(&path, &bytes).unwrap();
+        let (records, valid) = read_journal(&path).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(valid, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reset_empties_but_keeps_seq_monotonic() {
+        let dir = tmpdir("reset");
+        let path = dir.join(JOURNAL_FILE);
+        let mut w = JournalWriter::create(&path, 0).unwrap();
+        w.record(1, b"a").unwrap();
+        w.record(1, b"b").unwrap();
+        w.reset().unwrap();
+        assert_eq!(w.record(1, b"c").unwrap(), 2, "seq survives reset");
+        drop(w);
+        let (records, _) = read_journal(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].seq, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_atomic_replace() {
+        let dir = tmpdir("snap");
+        let path = dir.join(SNAPSHOT_FILE);
+        assert_eq!(read_snapshot(&path).unwrap(), None);
+        write_snapshot(&path, 41, b"state-v1").unwrap();
+        write_snapshot(&path, 97, b"state-v2").unwrap();
+        let (covered, state) = read_snapshot(&path).unwrap().unwrap();
+        assert_eq!(covered, 97);
+        assert_eq!(state, b"state-v2");
+        assert!(!path.with_extension("tmp").exists(), "tmp renamed away");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_hard_error() {
+        let dir = tmpdir("snapbad");
+        let path = dir.join(SNAPSHOT_FILE);
+        write_snapshot(&path, 7, b"precious").unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 12] ^= 1; // inside the state/checksum region
+        fs::write(&path, &bytes).unwrap();
+        let err = read_snapshot(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Truncation is equally fatal.
+        let good = {
+            write_snapshot(&path, 7, b"precious").unwrap();
+            fs::read(&path).unwrap()
+        };
+        fs::write(&path, &good[..good.len() - 3]).unwrap();
+        assert!(read_snapshot(&path).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sanitize_is_injective_on_tricky_names() {
+        assert_eq!(sanitize_component("plain-name_1.v2"), "plain-name_1.v2");
+        assert_eq!(sanitize_component("a/b"), "a%2Fb");
+        assert_eq!(sanitize_component("a%2Fb"), "a%252Fb");
+        assert_eq!(sanitize_component(".."), "%2E.");
+        assert_eq!(sanitize_component("."), "%2E");
+        assert_eq!(sanitize_component(""), "%-");
+        let names = ["a/b", "a%2Fb", "..", ".", "", "a b", "a\nb", "ü"];
+        let mut seen = std::collections::BTreeSet::new();
+        for n in names {
+            assert!(seen.insert(sanitize_component(n)), "collision on {n:?}");
+        }
+    }
+}

@@ -18,11 +18,15 @@
 //!   into the block store and onto disk.
 //! * [`blocklog`] — the append/retract metadata log the incremental
 //!   service keeps per dataset (block ids, row counts, log order).
+//! * [`journal`] — the write-ahead journal and snapshot files backing
+//!   durable tenants (checksummed records, atomic snapshot replace,
+//!   torn-tail-tolerant recovery reads).
 #![warn(missing_docs)]
 
 pub mod blocklog;
 pub mod colseg;
 pub mod data;
+pub mod journal;
 pub mod model;
 pub mod persist;
 pub mod rowblock;

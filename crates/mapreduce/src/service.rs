@@ -20,10 +20,17 @@
 //!   execution instead of deadlocking).
 //! * **Metrics** — monotonic operation counters, exposed together with
 //!   the store's cache counters as the service's operations surface.
+//! * **Durability** (opt-in, DESIGN.md §16) — a per-tenant write-ahead
+//!   journal plus periodic snapshots under a data directory. Every
+//!   mutation is journaled *before* it is applied, snapshots bound the
+//!   replay tail, and [`ClusterService::recover`] rehydrates every
+//!   tenant on restart to a byte-identical state.
 
 use crate::dataset::DatasetStore;
 use crate::sync::{rank, RankedCondvar, RankedMutex};
+use p3c_dataset::journal::{self, JournalWriter};
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -36,8 +43,9 @@ use std::sync::Arc;
 pub trait Tenant: Send + 'static {
     /// An appended/retracted unit of rows.
     type Block: Send;
-    /// The model a re-cluster produces.
-    type Model: Send;
+    /// The model a re-cluster produces. `Sync` because the service
+    /// publishes the last model behind an `Arc` for concurrent readers.
+    type Model: Send + Sync;
 
     /// Folds a block into the maintained state; returns its id.
     fn append(&mut self, store: &DatasetStore, block: Self::Block) -> Result<u64, String>;
@@ -59,6 +67,39 @@ pub trait Tenant: Send + 'static {
     fn drop_data(&mut self, store: &DatasetStore);
 }
 
+/// A [`Tenant`] that can be persisted: exact codecs for its creation
+/// parameters, its blocks, and its full maintained state, plus a stamp
+/// that changes whenever its discretization (bin rule output) does.
+///
+/// All codecs must round-trip **bit-exactly** — recovery's contract is
+/// that a replayed tenant re-clusters to the same fingerprint as a
+/// from-scratch batch fit, and any f64 drift in a histogram or support
+/// count breaks that.
+pub trait DurableTenant: Tenant + Sized {
+    /// Encodes the parameters needed to re-create this tenant empty.
+    fn encode_create(&self) -> Vec<u8>;
+    /// Re-creates an empty tenant from [`encode_create`] bytes.
+    ///
+    /// [`encode_create`]: DurableTenant::encode_create
+    fn decode_create(name: &str, bytes: &[u8]) -> Result<Self, String>;
+    /// Encodes one block for the journal.
+    fn encode_block(block: &Self::Block) -> Vec<u8>;
+    /// Decodes a journaled block.
+    fn decode_block(bytes: &[u8]) -> Result<Self::Block, String>;
+    /// Serializes the full maintained state, including live row
+    /// payloads held in `store`.
+    fn snapshot_state(&self, store: &DatasetStore) -> Result<Vec<u8>, String>;
+    /// Rebuilds a tenant from [`snapshot_state`] bytes, re-seeding row
+    /// payloads into `store`.
+    ///
+    /// [`snapshot_state`]: DurableTenant::snapshot_state
+    fn restore_state(name: &str, bytes: &[u8], store: &DatasetStore) -> Result<Self, String>;
+    /// An exact stamp of the current discretization (e.g. the bin
+    /// count); a change after an apply is journaled as a bin-rule step
+    /// and re-verified on replay.
+    fn discretization_stamp(&self) -> u64;
+}
+
 /// Service-level failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
@@ -68,6 +109,8 @@ pub enum ServiceError {
     DatasetExists(String),
     /// The tenant's engine reported an error.
     Tenant(String),
+    /// The journal/snapshot layer failed (I/O, corrupt state).
+    Durability(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -76,6 +119,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::UnknownDataset(name) => write!(f, "unknown dataset `{name}`"),
             ServiceError::DatasetExists(name) => write!(f, "dataset `{name}` already exists"),
             ServiceError::Tenant(msg) => write!(f, "tenant error: {msg}"),
+            ServiceError::Durability(msg) => write!(f, "durability error: {msg}"),
         }
     }
 }
@@ -215,12 +259,91 @@ impl Drop for AdmissionGuard<'_> {
     }
 }
 
+// --------------------------------------------------------- durability ---
+
+/// Journal record op: tenant created (payload: name, create bytes).
+const OP_CREATE: u8 = 1;
+/// Journal record op: block appended (payload: encoded block).
+const OP_APPEND: u8 = 2;
+/// Journal record op: block retracted (payload: block id).
+const OP_RETRACT: u8 = 3;
+/// Journal record op: discretization changed after an apply (payload:
+/// the new stamp) — verified, not applied, on replay.
+const OP_BINSTEP: u8 = 4;
+
+/// Erased [`DurableTenant`] entry points, stored as plain fn pointers
+/// so the hot-path operations (`append`/`retract`), which are generic
+/// over any [`Tenant`], can journal without the `DurableTenant` bound.
+struct WalHooks<T: Tenant> {
+    encode_create: fn(&T) -> Vec<u8>,
+    encode_block: fn(&T::Block) -> Vec<u8>,
+    snapshot_state: fn(&T, &DatasetStore) -> Result<Vec<u8>, String>,
+    discretization_stamp: fn(&T) -> u64,
+}
+
+/// Service-wide durability configuration (present iff built with
+/// [`ClusterService::with_durability`]).
+struct Durability<T: Tenant> {
+    dir: PathBuf,
+    /// Take a snapshot and truncate the journal after this many
+    /// journal records per tenant; 0 = never snapshot.
+    snapshot_every: u64,
+    hooks: WalHooks<T>,
+}
+
+/// The journaling side-state of one durable tenant. Lives inside the
+/// tenant's slot, so journal writes happen under the tenant lock and
+/// the on-disk record order is exactly the apply order. The file I/O
+/// under that lock is intentional — the write-ahead property requires
+/// the record to be on disk before the mutation applies, and only this
+/// tenant's operations are serialized behind it (DESIGN.md §16).
+struct TenantWal {
+    writer: JournalWriter,
+    name: String,
+    dir: PathBuf,
+    /// Journal records written since the last snapshot (replay cost).
+    since_snapshot: u64,
+    /// Last journaled discretization stamp.
+    stamp: u64,
+}
+
+/// One hosted tenant plus its optional journaling state.
+struct Slot<T: Tenant> {
+    tenant: T,
+    wal: Option<TenantWal>,
+}
+
+/// Writes one journal record, counting it toward the snapshot cadence.
+fn wal_log(wal: &mut TenantWal, op: u8, payload: &[u8]) -> Result<(), ServiceError> {
+    wal.writer
+        .record(op, payload)
+        .map_err(|e| ServiceError::Durability(format!("journal write for `{}`: {e}", wal.name)))?;
+    wal.since_snapshot += 1;
+    Ok(())
+}
+
+/// What a [`ClusterService::recover`] pass found and replayed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Tenants rehydrated and re-registered.
+    pub tenants: usize,
+    /// Tenants whose state came from a snapshot (vs. journal-only).
+    pub snapshots_loaded: usize,
+    /// Journal records replayed across all tenants — bounded by the
+    /// records written since each tenant's last snapshot.
+    pub records_replayed: u64,
+}
+
 /// Multi-tenant clustering service over one shared budgeted store.
 pub struct ClusterService<T: Tenant> {
     store: Arc<DatasetStore>,
-    tenants: RankedMutex<BTreeMap<String, Arc<RankedMutex<T>>>>,
+    tenants: RankedMutex<BTreeMap<String, Arc<RankedMutex<Slot<T>>>>>,
+    /// Last model each tenant published, pinned behind an `Arc` so
+    /// readers keep a coherent clustering while appends continue.
+    published: RankedMutex<BTreeMap<String, Arc<T::Model>>>,
     admission: Admission,
     metrics: MetricCells,
+    durability: Option<Durability<T>>,
 }
 
 impl<T: Tenant> ClusterService<T> {
@@ -231,8 +354,14 @@ impl<T: Tenant> ClusterService<T> {
         Self {
             store,
             tenants: RankedMutex::new(rank::SERVICE_TENANTS, "service.tenants", BTreeMap::new()),
+            published: RankedMutex::new(
+                rank::SERVICE_PUBLISHED,
+                "service.published",
+                BTreeMap::new(),
+            ),
             admission: Admission::new(job_budget),
             metrics: MetricCells::default(),
+            durability: None,
         }
     }
 
@@ -251,7 +380,7 @@ impl<T: Tenant> ClusterService<T> {
         self.metrics.snapshot()
     }
 
-    fn tenant(&self, name: &str) -> Result<Arc<RankedMutex<T>>, ServiceError> {
+    fn tenant(&self, name: &str) -> Result<Arc<RankedMutex<Slot<T>>>, ServiceError> {
         self.tenants
             .lock()
             .get(name)
@@ -259,77 +388,201 @@ impl<T: Tenant> ClusterService<T> {
             .ok_or_else(|| ServiceError::UnknownDataset(name.to_string()))
     }
 
-    /// Hosts a new tenant under `name`.
+    /// Hosts a new tenant under `name`. On a durable service this also
+    /// opens the tenant's journal and logs the create record before the
+    /// tenant is registered — the registry lock is held across that
+    /// file I/O so two racing creates cannot share a journal file.
     pub fn create(&self, name: &str, tenant: T) -> Result<(), ServiceError> {
         let mut tenants = self.tenants.lock();
         if tenants.contains_key(name) {
             return Err(ServiceError::DatasetExists(name.to_string()));
         }
+        let wal = match self.durability.as_ref() {
+            None => None,
+            Some(d) => {
+                let dir = journal::tenant_dir(&d.dir, name);
+                std::fs::create_dir_all(&dir).map_err(|e| {
+                    ServiceError::Durability(format!("create tenant dir for `{name}`: {e}"))
+                })?;
+                let writer =
+                    JournalWriter::create(&dir.join(journal::JOURNAL_FILE), 0).map_err(|e| {
+                        ServiceError::Durability(format!("open journal for `{name}`: {e}"))
+                    })?;
+                let mut payload = Vec::new();
+                journal::put_str(&mut payload, name);
+                journal::put_bytes(&mut payload, &(d.hooks.encode_create)(&tenant));
+                let mut wal = TenantWal {
+                    writer,
+                    name: name.to_string(),
+                    dir,
+                    since_snapshot: 0,
+                    stamp: (d.hooks.discretization_stamp)(&tenant),
+                };
+                wal_log(&mut wal, OP_CREATE, &payload)?;
+                Some(wal)
+            }
+        };
         tenants.insert(
             name.to_string(),
             Arc::new(RankedMutex::new(
                 rank::SERVICE_TENANT,
                 "service.tenant",
-                tenant,
+                Slot { tenant, wal },
             )),
         );
         Ok(())
     }
 
-    /// Removes the named tenant and releases its stored data.
+    /// Removes the named tenant, releases its stored data, and (on a
+    /// durable service) deletes its journal and snapshot so a restart
+    /// does not resurrect it.
     pub fn drop_dataset(&self, name: &str) -> Result<(), ServiceError> {
         let tenant = self
             .tenants
             .lock()
             .remove(name)
             .ok_or_else(|| ServiceError::UnknownDataset(name.to_string()))?;
-        tenant.lock().drop_data(&self.store);
+        self.published.lock().remove(name);
+        tenant.lock().tenant.drop_data(&self.store);
+        if let Some(d) = self.durability.as_ref() {
+            let dir = journal::tenant_dir(&d.dir, name);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
         Ok(())
     }
 
-    /// Appends a block to the named dataset; returns the block id.
+    /// Appends a block to the named dataset; returns the block id. On a
+    /// durable service the block is journaled before it is applied.
     pub fn append(&self, name: &str, block: T::Block) -> Result<u64, ServiceError> {
         let tenant = self.tenant(name)?;
-        let id = tenant
-            .lock()
+        let mut slot = tenant.lock();
+        if let (Some(d), Some(wal)) = (self.durability.as_ref(), slot.wal.as_mut()) {
+            let mut payload = Vec::new();
+            journal::put_bytes(&mut payload, &(d.hooks.encode_block)(&block));
+            wal_log(wal, OP_APPEND, &payload)?;
+        }
+        let id = slot
+            .tenant
             .append(&self.store, block)
             .map_err(ServiceError::Tenant)?;
+        self.roll_wal(&mut slot)?;
+        drop(slot);
         MetricCells::bump(&self.metrics.appends);
         Ok(id)
     }
 
     /// Retracts block `id` from the named dataset; `Ok(false)` if the
-    /// id is not live.
+    /// id is not live. Journaled before it is applied on a durable
+    /// service (a miss replays as the same no-op).
     pub fn retract(&self, name: &str, id: u64) -> Result<bool, ServiceError> {
         let tenant = self.tenant(name)?;
-        let hit = tenant
-            .lock()
+        let mut slot = tenant.lock();
+        if let Some(wal) = slot.wal.as_mut() {
+            let mut payload = Vec::new();
+            journal::put_u64(&mut payload, id);
+            wal_log(wal, OP_RETRACT, &payload)?;
+        }
+        let hit = slot
+            .tenant
             .retract(&self.store, id)
             .map_err(ServiceError::Tenant)?;
+        self.roll_wal(&mut slot)?;
+        drop(slot);
         if hit {
             MetricCells::bump(&self.metrics.retracts);
         }
         Ok(hit)
     }
 
-    /// Re-clusters the named dataset under admission control and
-    /// returns the tenant's model.
-    pub fn recluster(&self, name: &str) -> Result<T::Model, ServiceError> {
-        let tenant = self.tenant(name)?;
-        let estimate = tenant.lock().recluster_estimate();
-        if self.admission.admit(estimate) {
-            MetricCells::bump(&self.metrics.admission_waits);
-        }
-        let _guard = AdmissionGuard {
-            admission: &self.admission,
-            bytes: estimate,
+    /// After an applied mutation: journals a discretization change and
+    /// takes a snapshot (truncating the journal) when the cadence says
+    /// so. Called under the tenant lock.
+    fn roll_wal(&self, slot: &mut Slot<T>) -> Result<(), ServiceError> {
+        let Some(d) = self.durability.as_ref() else {
+            return Ok(());
         };
-        let model = tenant
-            .lock()
-            .recluster(&self.store)
-            .map_err(ServiceError::Tenant)?;
-        MetricCells::bump(&self.metrics.reclusters);
-        Ok(model)
+        let Slot { tenant, wal } = slot;
+        let Some(wal) = wal.as_mut() else {
+            return Ok(());
+        };
+        let stamp = (d.hooks.discretization_stamp)(tenant);
+        if stamp != wal.stamp {
+            let mut payload = Vec::new();
+            journal::put_u64(&mut payload, stamp);
+            wal_log(wal, OP_BINSTEP, &payload)?;
+            wal.stamp = stamp;
+        }
+        if d.snapshot_every > 0 && wal.since_snapshot >= d.snapshot_every {
+            let state =
+                (d.hooks.snapshot_state)(tenant, &self.store).map_err(ServiceError::Durability)?;
+            let mut body = Vec::new();
+            journal::put_str(&mut body, &wal.name);
+            journal::put_bytes(&mut body, &state);
+            // The snapshot covers every record written so far; only
+            // after it is durably renamed into place is the journal
+            // truncated, so a crash in between merely replays records
+            // the snapshot already covers (skipped by seq).
+            let covered = wal.writer.next_seq().saturating_sub(1);
+            journal::write_snapshot(&wal.dir.join(journal::SNAPSHOT_FILE), covered, &body)
+                .map_err(|e| {
+                    ServiceError::Durability(format!("snapshot write for `{}`: {e}", wal.name))
+                })?;
+            wal.writer.reset().map_err(|e| {
+                ServiceError::Durability(format!("journal truncate for `{}`: {e}", wal.name))
+            })?;
+            wal.since_snapshot = 0;
+        }
+        Ok(())
+    }
+
+    /// Re-clusters the named dataset under admission control, publishes
+    /// the model, and returns it pinned behind an `Arc`.
+    ///
+    /// The admitted byte count must cover what the job actually uses,
+    /// so the estimate is re-read under the tenant lock after admission
+    /// and the job re-admits at the larger figure if a concurrent
+    /// append grew the working set while it waited.
+    pub fn recluster(&self, name: &str) -> Result<Arc<T::Model>, ServiceError> {
+        let tenant = self.tenant(name)?;
+        let mut estimate = tenant.lock().tenant.recluster_estimate();
+        loop {
+            if self.admission.admit(estimate) {
+                MetricCells::bump(&self.metrics.admission_waits);
+            }
+            let admission_guard = AdmissionGuard {
+                admission: &self.admission,
+                bytes: estimate,
+            };
+            let mut slot = tenant.lock();
+            let now = slot.tenant.recluster_estimate();
+            if now > estimate {
+                drop(slot);
+                drop(admission_guard);
+                estimate = now;
+                continue;
+            }
+            let model = slot
+                .tenant
+                .recluster(&self.store)
+                .map_err(ServiceError::Tenant)?;
+            let model = Arc::new(model);
+            // Publish while still holding the tenant lock so the
+            // "last published model" order matches the tenant's own
+            // recluster serialization.
+            self.published
+                .lock()
+                .insert(name.to_string(), Arc::clone(&model));
+            drop(slot);
+            drop(admission_guard);
+            MetricCells::bump(&self.metrics.reclusters);
+            return Ok(model);
+        }
+    }
+
+    /// The last model the named tenant published, if any — readers hold
+    /// the `Arc` while appends and re-clusters continue.
+    pub fn last_model(&self, name: &str) -> Option<Arc<T::Model>> {
+        self.published.lock().get(name).cloned()
     }
 
     /// Runs `f` with shared access to the named tenant (reporting:
@@ -341,21 +594,246 @@ impl<T: Tenant> ClusterService<T> {
     ) -> Result<R, ServiceError> {
         let tenant = self.tenant(name)?;
         let mut guard = tenant.lock();
-        Ok(f(&mut guard))
+        Ok(f(&mut guard.tenant))
     }
+}
+
+impl<T: DurableTenant> ClusterService<T> {
+    /// New durable service: every tenant journals its mutations under
+    /// `data_dir` and snapshots after `snapshot_every` journal records
+    /// (0 = journal only, never snapshot). Call
+    /// [`recover`](ClusterService::recover) before serving to rehydrate
+    /// tenants persisted by an earlier process.
+    pub fn with_durability(
+        store: Arc<DatasetStore>,
+        job_budget: Option<usize>,
+        data_dir: &Path,
+        snapshot_every: u64,
+    ) -> std::io::Result<Self> {
+        std::fs::create_dir_all(data_dir)?;
+        let mut svc = Self::new(store, job_budget);
+        svc.durability = Some(Durability {
+            dir: data_dir.to_path_buf(),
+            snapshot_every,
+            hooks: WalHooks {
+                encode_create: T::encode_create,
+                encode_block: T::encode_block,
+                snapshot_state: T::snapshot_state,
+                discretization_stamp: T::discretization_stamp,
+            },
+        });
+        Ok(svc)
+    }
+
+    /// Rehydrates every tenant found under the data directory from its
+    /// snapshot plus journal tail and registers it with the service.
+    ///
+    /// Replay applies each journaled mutation exactly as the original
+    /// operation did; a record whose apply failed originally fails
+    /// identically on replay (the tenant is deterministic), so the
+    /// recovered state is byte-identical to the pre-crash state as of
+    /// the last intact journal record.
+    pub fn recover(&self) -> Result<RecoveryReport, ServiceError> {
+        let Some(d) = self.durability.as_ref() else {
+            return Ok(RecoveryReport::default());
+        };
+        let mut report = RecoveryReport::default();
+        let mut dirs: Vec<PathBuf> = Vec::new();
+        let iter = std::fs::read_dir(&d.dir).map_err(|e| {
+            ServiceError::Durability(format!("read data dir {}: {e}", d.dir.display()))
+        })?;
+        for entry in iter {
+            let entry =
+                entry.map_err(|e| ServiceError::Durability(format!("read data dir: {e}")))?;
+            if entry.path().is_dir() {
+                dirs.push(entry.path());
+            }
+        }
+        dirs.sort();
+        let mut recovered = Vec::new();
+        for tdir in &dirs {
+            if let Some(pair) = recover_tenant::<T>(&self.store, tdir, &mut report)? {
+                recovered.push(pair);
+            }
+        }
+        let mut tenants = self.tenants.lock();
+        for (name, slot) in recovered {
+            if tenants.contains_key(&name) {
+                return Err(ServiceError::Durability(format!(
+                    "tenant `{name}` recovered twice (colliding tenant directories)"
+                )));
+            }
+            report.tenants += 1;
+            tenants.insert(
+                name,
+                Arc::new(RankedMutex::new(
+                    rank::SERVICE_TENANT,
+                    "service.tenant",
+                    slot,
+                )),
+            );
+        }
+        Ok(report)
+    }
+}
+
+/// Rehydrates one tenant directory: snapshot (if any), then the journal
+/// tail with `seq > covered_seq`. Returns `None` for a directory with
+/// nothing durable in it (e.g. a crash before the create record hit the
+/// disk).
+fn recover_tenant<T: DurableTenant>(
+    store: &DatasetStore,
+    dir: &Path,
+    report: &mut RecoveryReport,
+) -> Result<Option<(String, Slot<T>)>, ServiceError> {
+    let ctx = |e: String| ServiceError::Durability(format!("{}: {e}", dir.display()));
+    let jour_path = dir.join(journal::JOURNAL_FILE);
+    let snap = journal::read_snapshot(&dir.join(journal::SNAPSHOT_FILE))
+        .map_err(|e| ctx(e.to_string()))?;
+    let (records, valid_len) = journal::read_journal(&jour_path).map_err(|e| ctx(e.to_string()))?;
+    let from_snapshot = snap.is_some();
+    let mut covered = 0u64;
+    let mut loaded = None;
+    if let Some((cov, body)) = snap {
+        let mut r = journal::ByteReader::new(&body);
+        let parsed = (|| -> Result<(String, T), String> {
+            let name = r.str()?;
+            let state = r.bytes()?;
+            r.finish()?;
+            let tenant = T::restore_state(&name, state, store)?;
+            Ok((name, tenant))
+        })()
+        .map_err(ctx)?;
+        covered = cov;
+        report.snapshots_loaded += 1;
+        loaded = Some(parsed);
+    }
+    // Records at or below the snapshot's covered seq are already
+    // folded into the snapshot state; without a snapshot nothing is
+    // covered and replay starts at seq 0.
+    let floor = if from_snapshot { covered + 1 } else { 0 };
+    let mut tail = records.iter().filter(|rec| rec.seq >= floor);
+    let (name, mut tenant) = match loaded {
+        Some(pair) => pair,
+        None => {
+            let Some(first) = tail.next() else {
+                return Ok(None);
+            };
+            if first.op != OP_CREATE {
+                return Err(ctx(format!(
+                    "journal does not start with a create record (op {})",
+                    first.op
+                )));
+            }
+            let mut r = journal::ByteReader::new(&first.payload);
+            let parsed = (|| -> Result<(String, T), String> {
+                let name = r.str()?;
+                let bytes = r.bytes()?;
+                r.finish()?;
+                let tenant = T::decode_create(&name, bytes)?;
+                Ok((name, tenant))
+            })()
+            .map_err(ctx)?;
+            report.records_replayed += 1;
+            parsed
+        }
+    };
+    for rec in tail {
+        match rec.op {
+            OP_APPEND => {
+                let mut r = journal::ByteReader::new(&rec.payload);
+                let block = (|| -> Result<T::Block, String> {
+                    let bytes = r.bytes()?;
+                    r.finish()?;
+                    T::decode_block(bytes)
+                })()
+                .map_err(ctx)?;
+                // A failed apply failed deterministically at journal
+                // time too; replay reproduces the failure and moves on.
+                let _ = tenant.append(store, block);
+            }
+            OP_RETRACT => {
+                let mut r = journal::ByteReader::new(&rec.payload);
+                let id = (|| -> Result<u64, String> {
+                    let id = r.u64()?;
+                    r.finish()?;
+                    Ok(id)
+                })()
+                .map_err(ctx)?;
+                let _ = tenant.retract(store, id);
+            }
+            OP_BINSTEP => {
+                let mut r = journal::ByteReader::new(&rec.payload);
+                let stamp = (|| -> Result<u64, String> {
+                    let stamp = r.u64()?;
+                    r.finish()?;
+                    Ok(stamp)
+                })()
+                .map_err(ctx)?;
+                let replayed = T::discretization_stamp(&tenant);
+                if replayed != stamp {
+                    return Err(ctx(format!(
+                        "replayed discretization stamp {replayed} does not match \
+                         journaled stamp {stamp}"
+                    )));
+                }
+            }
+            OP_CREATE => {
+                return Err(ctx("unexpected create record mid-journal".to_string()));
+            }
+            other => return Err(ctx(format!("unknown journal op {other}"))),
+        }
+        report.records_replayed += 1;
+    }
+    let next_seq = records
+        .last()
+        .map(|rec| rec.seq + 1)
+        .unwrap_or(0)
+        .max(floor);
+    let writer =
+        JournalWriter::open_end(&jour_path, valid_len, next_seq).map_err(|e| ctx(e.to_string()))?;
+    let wal = TenantWal {
+        writer,
+        name: name.clone(),
+        dir: dir.to_path_buf(),
+        since_snapshot: records.len() as u64,
+        stamp: T::discretization_stamp(&tenant),
+    };
+    Ok(Some((
+        name,
+        Slot {
+            tenant,
+            wal: Some(wal),
+        },
+    )))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use parking_lot::Mutex;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Handshake a gated tenant's recluster blocks on: it signals
+    /// `entered` and then parks until the test sends on `release`.
+    struct Gate {
+        entered: mpsc::Sender<()>,
+        release: Mutex<mpsc::Receiver<()>>,
+    }
 
     /// Tenant stub: blocks are row counts, the model is the running
-    /// total at recluster time.
+    /// total at recluster time. `estimates` is consumed one entry per
+    /// `recluster_estimate` call (the last entry repeats), so tests can
+    /// model a working set that grows between reads.
     struct FakeTenant {
         blocks: BTreeMap<u64, usize>,
         next_id: u64,
-        estimate: usize,
+        estimates: Vec<usize>,
+        estimate_calls: AtomicUsize,
+        estimate_probe: Option<mpsc::Sender<()>>,
+        gate: Option<Gate>,
     }
 
     impl FakeTenant {
@@ -363,7 +841,10 @@ mod tests {
             Self {
                 blocks: BTreeMap::new(),
                 next_id: 0,
-                estimate,
+                estimates: vec![estimate],
+                estimate_calls: AtomicUsize::new(0),
+                estimate_probe: None,
+                gate: None,
             }
         }
     }
@@ -384,6 +865,10 @@ mod tests {
         }
 
         fn recluster(&mut self, _store: &DatasetStore) -> Result<usize, String> {
+            if let Some(gate) = &self.gate {
+                gate.entered.send(()).ok();
+                gate.release.lock().recv().ok();
+            }
             Ok(self.blocks.values().sum())
         }
 
@@ -392,7 +877,11 @@ mod tests {
         }
 
         fn recluster_estimate(&self) -> usize {
-            self.estimate
+            if let Some(probe) = &self.estimate_probe {
+                probe.send(()).ok();
+            }
+            let call = self.estimate_calls.fetch_add(1, Ordering::SeqCst);
+            self.estimates[call.min(self.estimates.len() - 1)]
         }
 
         fn drop_data(&mut self, _store: &DatasetStore) {
@@ -400,8 +889,85 @@ mod tests {
         }
     }
 
+    impl DurableTenant for FakeTenant {
+        fn encode_create(&self) -> Vec<u8> {
+            let mut buf = Vec::new();
+            journal::put_u64(&mut buf, self.estimates[0] as u64);
+            buf
+        }
+
+        fn decode_create(_name: &str, bytes: &[u8]) -> Result<Self, String> {
+            let mut r = journal::ByteReader::new(bytes);
+            let estimate = r.u64()? as usize;
+            r.finish()?;
+            Ok(FakeTenant::new(estimate))
+        }
+
+        fn encode_block(block: &usize) -> Vec<u8> {
+            let mut buf = Vec::new();
+            journal::put_usize(&mut buf, *block);
+            buf
+        }
+
+        fn decode_block(bytes: &[u8]) -> Result<usize, String> {
+            let mut r = journal::ByteReader::new(bytes);
+            let block = r.usize()?;
+            r.finish()?;
+            Ok(block)
+        }
+
+        fn snapshot_state(&self, _store: &DatasetStore) -> Result<Vec<u8>, String> {
+            let mut buf = Vec::new();
+            journal::put_u64(&mut buf, self.estimates[0] as u64);
+            journal::put_u64(&mut buf, self.next_id);
+            journal::put_usize(&mut buf, self.blocks.len());
+            for (id, rows) in &self.blocks {
+                journal::put_u64(&mut buf, *id);
+                journal::put_usize(&mut buf, *rows);
+            }
+            Ok(buf)
+        }
+
+        fn restore_state(_name: &str, bytes: &[u8], _store: &DatasetStore) -> Result<Self, String> {
+            let mut r = journal::ByteReader::new(bytes);
+            let estimate = r.u64()? as usize;
+            let next_id = r.u64()?;
+            let n = r.usize()?;
+            let mut blocks = BTreeMap::new();
+            for _ in 0..n {
+                let id = r.u64()?;
+                let rows = r.usize()?;
+                blocks.insert(id, rows);
+            }
+            r.finish()?;
+            let mut tenant = FakeTenant::new(estimate);
+            tenant.blocks = blocks;
+            tenant.next_id = next_id;
+            Ok(tenant)
+        }
+
+        fn discretization_stamp(&self) -> u64 {
+            // Changes on every append, so the BINSTEP record path and
+            // its replay verification get exercised by ordinary use.
+            self.next_id
+        }
+    }
+
     fn service(budget: Option<usize>) -> ClusterService<FakeTenant> {
         ClusterService::new(Arc::new(DatasetStore::new()), budget)
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("p3c-service-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn durable_service(dir: &Path, snapshot_every: u64) -> ClusterService<FakeTenant> {
+        ClusterService::with_durability(Arc::new(DatasetStore::new()), None, dir, snapshot_every)
+            .unwrap()
     }
 
     #[test]
@@ -415,11 +981,11 @@ mod tests {
         );
         let id = svc.append("a", 100).unwrap();
         svc.append("b", 7).unwrap();
-        assert_eq!(svc.recluster("a").unwrap(), 100);
-        assert_eq!(svc.recluster("b").unwrap(), 7);
+        assert_eq!(*svc.recluster("a").unwrap(), 100);
+        assert_eq!(*svc.recluster("b").unwrap(), 7);
         assert!(svc.retract("a", id).unwrap());
         assert!(!svc.retract("a", id).unwrap());
-        assert_eq!(svc.recluster("a").unwrap(), 0);
+        assert_eq!(*svc.recluster("a").unwrap(), 0);
         assert_eq!(
             svc.append("c", 1),
             Err(ServiceError::UnknownDataset("c".into()))
@@ -429,6 +995,24 @@ mod tests {
         assert_eq!(svc.names(), vec!["a".to_string(), "b".to_string()]);
         svc.drop_dataset("a").unwrap();
         assert_eq!(svc.names(), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn last_model_pins_the_published_clustering() {
+        let svc = service(None);
+        svc.create("a", FakeTenant::new(10)).unwrap();
+        assert_eq!(svc.last_model("a"), None, "nothing published yet");
+        svc.append("a", 5).unwrap();
+        let first = svc.recluster("a").unwrap();
+        assert_eq!(svc.last_model("a"), Some(Arc::clone(&first)));
+        // The pinned Arc survives later appends and re-clusters.
+        svc.append("a", 7).unwrap();
+        let pinned = svc.last_model("a").unwrap();
+        let second = svc.recluster("a").unwrap();
+        assert_eq!((*pinned, *second), (5, 12));
+        assert_eq!(svc.last_model("a"), Some(second));
+        svc.drop_dataset("a").unwrap();
+        assert_eq!(svc.last_model("a"), None, "dropped tenants unpublish");
     }
 
     #[test]
@@ -478,12 +1062,130 @@ mod tests {
 
     #[test]
     fn recluster_waits_are_counted_when_budget_contended() {
+        // Genuine contention: the budget is pre-occupied by 80 bytes, so
+        // the 80-byte recluster (budget 100) must block until release.
         let svc = Arc::new(service(Some(100)));
-        svc.create("big", FakeTenant::new(80)).unwrap();
+        let (probe_tx, probe_rx) = mpsc::channel();
+        let mut tenant = FakeTenant::new(80);
+        tenant.estimate_probe = Some(probe_tx);
+        svc.create("big", tenant).unwrap();
         svc.append("big", 1).unwrap();
-        // Serial jobs never contend.
-        svc.recluster("big").unwrap();
-        svc.recluster("big").unwrap();
-        assert_eq!(svc.metrics().admission_waits, 0);
+        svc.admission.admit(80);
+        let t = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || *svc.recluster("big").unwrap())
+        };
+        // The worker has read its estimate and is now inside admit();
+        // give it time to reach the wait before freeing the budget.
+        probe_rx.recv().unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        svc.admission.release(80);
+        assert_eq!(t.join().unwrap(), 1);
+        assert!(
+            svc.metrics().admission_waits >= 1,
+            "blocked recluster must count its wait"
+        );
+        let state = svc.admission.state.lock();
+        assert_eq!(
+            (state.in_flight_bytes, state.in_flight_jobs),
+            (0, 0),
+            "admission fully released after the job"
+        );
+    }
+
+    #[test]
+    fn recluster_readmits_when_estimate_grows_after_admission() {
+        // Regression for the admit-then-re-lock TOCTOU: the estimate is
+        // 30 when first read, but by the time the tenant lock is
+        // re-acquired the working set has grown to 80. The service must
+        // re-admit at 80, not run an 80-byte job on a 30-byte ticket.
+        let svc = Arc::new(service(Some(1000)));
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel();
+        let mut tenant = FakeTenant::new(30);
+        tenant.estimates = vec![30, 80];
+        tenant.gate = Some(Gate {
+            entered: entered_tx,
+            release: Mutex::new(release_rx),
+        });
+        svc.create("grow", tenant).unwrap();
+        svc.append("grow", 1).unwrap();
+        let t = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || *svc.recluster("grow").unwrap())
+        };
+        // The job is now running inside recluster(), holding its
+        // admission ticket; it must reflect the re-read 80, not the
+        // stale 30.
+        entered_rx.recv().unwrap();
+        assert_eq!(svc.admission.state.lock().in_flight_bytes, 80);
+        release_tx.send(()).unwrap();
+        assert_eq!(t.join().unwrap(), 1);
+        assert_eq!(svc.admission.state.lock().in_flight_bytes, 0);
+    }
+
+    #[test]
+    fn durable_service_recovers_from_journal_alone() {
+        let dir = tmpdir("journal-only");
+        let expected = {
+            let svc = durable_service(&dir, 0);
+            svc.create("t", FakeTenant::new(10)).unwrap();
+            svc.append("t", 5).unwrap();
+            let id = svc.append("t", 7).unwrap();
+            svc.append("t", 9).unwrap();
+            svc.retract("t", id).unwrap();
+            *svc.recluster("t").unwrap()
+        };
+        let svc = durable_service(&dir, 0);
+        let report = svc.recover().unwrap();
+        assert_eq!(report.tenants, 1);
+        assert_eq!(report.snapshots_loaded, 0);
+        // 1 create + 3 appends + 3 binsteps + 1 retract.
+        assert_eq!(report.records_replayed, 8);
+        assert_eq!(*svc.recluster("t").unwrap(), expected);
+        // Ids keep counting where the pre-crash service left off.
+        assert_eq!(svc.append("t", 1).unwrap(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_bounds_replay_and_preserves_state() {
+        let dir = tmpdir("snapshot");
+        let expected = {
+            let svc = durable_service(&dir, 3);
+            svc.create("t", FakeTenant::new(10)).unwrap();
+            for rows in 1..=10 {
+                svc.append("t", rows).unwrap();
+            }
+            *svc.recluster("t").unwrap()
+        };
+        let svc = durable_service(&dir, 3);
+        let report = svc.recover().unwrap();
+        assert_eq!((report.tenants, report.snapshots_loaded), (1, 1));
+        assert!(
+            report.records_replayed <= 3,
+            "replay must be bounded by the snapshot interval, got {}",
+            report.records_replayed
+        );
+        assert_eq!(*svc.recluster("t").unwrap(), expected);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drop_dataset_erases_durable_state() {
+        let dir = tmpdir("drop");
+        {
+            let svc = durable_service(&dir, 0);
+            svc.create("gone", FakeTenant::new(10)).unwrap();
+            svc.append("gone", 5).unwrap();
+            svc.create("kept", FakeTenant::new(10)).unwrap();
+            svc.append("kept", 3).unwrap();
+            svc.drop_dataset("gone").unwrap();
+        }
+        let svc = durable_service(&dir, 0);
+        let report = svc.recover().unwrap();
+        assert_eq!(report.tenants, 1);
+        assert_eq!(svc.names(), vec!["kept".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

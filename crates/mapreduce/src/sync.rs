@@ -32,6 +32,10 @@ pub mod rank {
     pub const SERVICE_ADMISSION: u16 = 20;
     /// Per-tenant `Mutex<T>` serializing one tenant's operations.
     pub const SERVICE_TENANT: u16 = 30;
+    /// `ClusterService.published` — last published model per tenant.
+    /// Above the tenant lock: a finished re-cluster publishes its model
+    /// while still holding the tenant it computed it under.
+    pub const SERVICE_PUBLISHED: u16 = 35;
     /// `RunShared` scheduler queue state (`dag.rs`).
     pub const DAG_QUEUE: u16 = 40;
     /// DAG recovery serialization (`dag.rs`). Below the node-run slots:

@@ -111,6 +111,17 @@ impl Histogram {
         }
     }
 
+    /// Rebuilds a histogram from persisted per-bin counts (snapshot
+    /// restore). The counts are taken verbatim — exactly what
+    /// [`counts`](Histogram::counts) returned when it was saved.
+    ///
+    /// # Panics
+    /// Panics on an empty counts vector (a histogram has ≥ 1 bin).
+    pub fn from_counts(counts: Vec<f64>) -> Self {
+        assert!(!counts.is_empty(), "histogram needs at least one bin");
+        Self { counts }
+    }
+
     /// Builds a histogram directly from values.
     pub fn from_values(values: impl IntoIterator<Item = f64>, m: usize) -> Self {
         let mut h = Self::new(m);
